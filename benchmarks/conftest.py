@@ -1,0 +1,57 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the same row/series structure.  Defaults are scaled down to finish on a
+laptop in minutes; environment knobs grow them toward paper scale:
+
+- ``REPRO_BENCH_SCALE``   dataset size multiplier (default 0.3)
+- ``REPRO_BENCH_SEEDS``   repeats per cell           (default 3; paper: 5)
+- ``REPRO_BENCH_CONFIGS`` candidate-pool size cap    (default 36; paper: 162)
+- ``REPRO_BENCH_MAX_ITER``MLP epochs per evaluation  (default 12)
+- ``REPRO_BENCH_DATASETS``comma-separated dataset subset for Table IV
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments import paper_search_space
+
+
+def env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+BENCH_SCALE = env_float("REPRO_BENCH_SCALE", 0.3)
+BENCH_SEEDS = range(env_int("REPRO_BENCH_SEEDS", 3))
+BENCH_CONFIGS = env_int("REPRO_BENCH_CONFIGS", 36)
+BENCH_MAX_ITER = env_int("REPRO_BENCH_MAX_ITER", 12)
+BENCH_DATASETS = tuple(
+    name.strip()
+    for name in os.environ.get("REPRO_BENCH_DATASETS", "australian,splice,machine").split(",")
+    if name.strip()
+)
+
+
+@pytest.fixture(scope="session")
+def table4_configurations():
+    """The Table IV candidate pool: the 162-config grid, capped for speed."""
+    grid = paper_search_space(4).grid()
+    if BENCH_CONFIGS >= len(grid):
+        return grid
+    rng = np.random.default_rng(0)
+    picks = rng.choice(len(grid), size=BENCH_CONFIGS, replace=False)
+    return [grid[i] for i in picks]
+
+
+def bench_dataset(name: str, seed: int = 0):
+    """Load a dataset analogue at the benchmark scale."""
+    return load_dataset(name, scale=BENCH_SCALE, random_state=seed)

@@ -1,0 +1,54 @@
+"""Extension — sensitivity of the metric weights alpha and beta_max.
+
+DESIGN.md calls out the alpha = 0.1 / beta_max = 10 = 1/alpha normalisation
+as a design choice; this ablation sweeps alpha with beta_max = 1/alpha and
+reports ranking quality at a small subset ratio.
+"""
+
+from repro.experiments import build_cv_evaluator, cv_experiment_space, format_series
+from repro.core import CrossValidationStudy
+
+from conftest import BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset
+
+ALPHAS = (0.0, 0.05, 0.1, 0.2, 0.4)
+RATIO = 0.2
+
+
+def test_ext_alpha_sensitivity(benchmark):
+    dataset = bench_dataset("splice")
+    configurations = cv_experiment_space().grid()
+
+    def run():
+        truth_evaluator = build_cv_evaluator("stratified", dataset, max_iter=BENCH_MAX_ITER)
+        study = CrossValidationStudy(truth_evaluator, configurations)
+        per_alpha = {alpha: {"acc": [], "ndcg": []} for alpha in ALPHAS}
+        for seed in BENCH_SEEDS:
+            truth = study.ground_truth(dataset.X_test, dataset.y_test, random_state=seed)
+            for alpha in ALPHAS:
+                evaluator = build_cv_evaluator(
+                    "ours", dataset, max_iter=BENCH_MAX_ITER, random_state=seed,
+                    alpha=alpha if alpha > 0 else 0.0,
+                    beta_max=(1.0 / alpha) if alpha > 0 else 10.0,
+                )
+                if alpha == 0.0:
+                    # alpha = 0 disables the variance term entirely.
+                    from repro.core import ScoreParams
+                    evaluator.score_params = ScoreParams(use_variance=False)
+                ranking = CrossValidationStudy(evaluator, configurations).run(
+                    subset_ratio=RATIO, random_state=seed
+                )
+                per_alpha[alpha]["acc"].append(float(truth[ranking.recommended_index]))
+                per_alpha[alpha]["ndcg"].append(float(ranking.ndcg(truth)))
+        return per_alpha
+
+    per_alpha = benchmark.pedantic(run, rounds=1, iterations=1)
+    import numpy as np
+
+    print(f"\n=== Extension: alpha sensitivity (splice, ratio {RATIO:.0%}, beta_max = 1/alpha) ===")
+    print(format_series(
+        "alpha", ALPHAS,
+        {
+            "testAcc": [float(np.mean(per_alpha[a]["acc"])) for a in ALPHAS],
+            "nDCG": [float(np.mean(per_alpha[a]["ndcg"])) for a in ALPHAS],
+        },
+    ))

@@ -1,0 +1,48 @@
+"""Extension — anytime performance: incumbent score vs cumulative cost.
+
+Compares how quickly SHA and SHA+ climb toward good configurations, an
+angle implicit in the paper's efficiency claims ("avoids configurations
+that are low-quality but time-consuming to evaluate").
+"""
+
+import numpy as np
+
+from repro.core import make_searcher
+from repro.experiments import format_series, paper_search_space
+from repro.experiments.trajectory import align_curves, anytime_curve, area_under_curve
+
+from conftest import BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset, table4_configurations  # noqa: F401
+
+
+def test_ext_anytime_performance(benchmark, table4_configurations):
+    dataset = bench_dataset("australian")
+    space = paper_search_space(4)
+
+    def run():
+        curves = {}
+        aucs = {"SHA": [], "SHA+": []}
+        for seed in BENCH_SEEDS:
+            for method, label in (("sha", "SHA"), ("sha+", "SHA+")):
+                searcher = make_searcher(
+                    method, space, dataset.X_train, dataset.y_train,
+                    metric=dataset.metric, random_state=seed,
+                )
+                result = searcher.fit(configurations=table4_configurations)
+                curve = anytime_curve(result)
+                curves[f"{label} (seed {seed})"] = curve
+                horizon = curve.total_cost
+                aucs[label].append(area_under_curve(curve, horizon))
+        return curves, aucs
+
+    curves, aucs = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Average the per-seed curves on a common grid for display.
+    grid, aligned = align_curves(curves, n_points=10)
+    sha_mean = np.mean([v for k, v in aligned.items() if k.startswith("SHA ")], axis=0)
+    plus_mean = np.mean([v for k, v in aligned.items() if k.startswith("SHA+")], axis=0)
+    print("\n=== Extension: anytime incumbent score vs cost (australian) ===")
+    print(format_series(
+        "cost(s)", [f"{c:.2f}" for c in grid],
+        {"SHA": sha_mean.tolist(), "SHA+": plus_mean.tolist()},
+    ))
+    print(f"normalised AUC: SHA {np.mean(aucs['SHA']):.3f}  SHA+ {np.mean(aucs['SHA+']):.3f}")
+    assert np.mean(aucs["SHA+"]) >= np.mean(aucs["SHA"]) - 0.1

@@ -1,0 +1,33 @@
+"""Extension — ASHA vs ASHA+ (not in the paper's tables).
+
+The paper states its method applies to *all* bandit-based methods and
+discusses ASHA in related work; this bench applies the enhancement to the
+simulated-asynchronous ASHA and reports the same row structure as Table IV,
+plus the simulated parallel makespan.
+"""
+
+from repro.experiments import format_table, mean_std, run_hpo_methods
+
+from conftest import BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset, table4_configurations  # noqa: F401
+
+
+def test_ext_asha_vs_asha_plus(benchmark, table4_configurations):
+    dataset = bench_dataset("australian")
+
+    def run():
+        return run_hpo_methods(
+            dataset,
+            methods=("asha", "asha+"),
+            configurations=table4_configurations,
+            seeds=BENCH_SEEDS,
+            max_iter=BENCH_MAX_ITER,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["testAcc (%)"] + [mean_std(results[m].test_scores, scale=100.0) for m in ("asha", "asha+")],
+        ["time (sec.)"] + [mean_std(results[m].times, decimals=2) for m in ("asha", "asha+")],
+    ]
+    print("\n=== Extension: ASHA vs ASHA+ (australian) ===")
+    print(format_table(["australian", "ASHA", "ASHA+"], rows))
+    assert results["asha+"].mean_test >= results["asha"].mean_test - 0.05

@@ -1,0 +1,76 @@
+"""Extension — sweep of the group count v (and r_group's re-clustering).
+
+The paper recommends keeping v <= 5 so the total fold count stays at the
+usual 5; this ablation sweeps v with k_spe = min(v, 2) and reports ranking
+quality, plus the effect of disabling the r_group re-clustering rule.
+"""
+
+import numpy as np
+
+from repro.core import CrossValidationStudy, MLPModelFactory, ScoreParams, SubsetCVEvaluator, generate_groups
+from repro.experiments import build_cv_evaluator, cv_experiment_space, format_series
+
+from conftest import BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset
+
+GROUP_COUNTS = (2, 3, 4, 5)
+RATIO = 0.25
+
+
+def test_ext_group_count(benchmark):
+    dataset = bench_dataset("satimage")
+    configurations = cv_experiment_space().grid()
+
+    def run():
+        truth_evaluator = build_cv_evaluator("stratified", dataset, max_iter=BENCH_MAX_ITER)
+        study = CrossValidationStudy(truth_evaluator, configurations)
+        out = {v: {"acc": [], "ndcg": []} for v in GROUP_COUNTS}
+        factory = MLPModelFactory(task="classification", max_iter=BENCH_MAX_ITER)
+        for seed in BENCH_SEEDS:
+            truth = study.ground_truth(dataset.X_test, dataset.y_test, random_state=seed)
+            for v in GROUP_COUNTS:
+                grouping = generate_groups(
+                    dataset.X_train, dataset.y_train, n_groups=v, random_state=seed
+                )
+                evaluator = SubsetCVEvaluator(
+                    dataset.X_train, dataset.y_train, factory,
+                    metric=dataset.metric, sampling="grouped", folding="grouped",
+                    grouping=grouping, k_gen=5 - min(v, 2), k_spe=min(v, 2),
+                    score_params=ScoreParams(),
+                )
+                ranking = CrossValidationStudy(evaluator, configurations).run(
+                    subset_ratio=RATIO, random_state=seed
+                )
+                out[v]["acc"].append(float(truth[ranking.recommended_index]))
+                out[v]["ndcg"].append(float(ranking.ndcg(truth)))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Extension: group count v sweep (satimage, ratio {RATIO:.0%}) ===")
+    print(format_series(
+        "v", GROUP_COUNTS,
+        {
+            "testF1": [float(np.mean(out[v]["acc"])) for v in GROUP_COUNTS],
+            "nDCG": [float(np.mean(out[v]["ndcg"])) for v in GROUP_COUNTS],
+        },
+    ))
+
+
+def test_ext_r_group_reclustering(benchmark):
+    """Compare grouping with and without the small-cluster re-clustering."""
+    dataset = bench_dataset("splice")
+
+    def run():
+        sizes = {}
+        for r_group in (0.0, 0.8):
+            grouping = generate_groups(
+                dataset.X_train, dataset.y_train, n_groups=3,
+                r_group=r_group, random_state=0,
+            )
+            sizes[r_group] = grouping.group_sizes.tolist()
+        return sizes
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Extension: r_group re-clustering effect on group sizes (splice) ===")
+    for r_group, counts in sizes.items():
+        balance = min(counts) / max(counts)
+        print(f"r_group={r_group}: group sizes {counts} (balance {balance:.2f})")

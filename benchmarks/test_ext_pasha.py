@@ -1,0 +1,35 @@
+"""Extension — PASHA's progressive budget saving (related work (iii)).
+
+PASHA unlocks expensive rungs only when cheap budgets have not stabilised
+the configuration ranking.  This bench compares ASHA and PASHA (and their
+enhanced variants) on total instance-budget spent and final accuracy.
+"""
+
+from repro.experiments import format_table, mean_std, run_hpo_methods
+
+from conftest import BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset, table4_configurations  # noqa: F401
+
+
+def test_ext_pasha_budget_saving(benchmark, table4_configurations):
+    dataset = bench_dataset("credit2023")
+
+    def run():
+        results = run_hpo_methods(
+            dataset,
+            methods=("asha", "pasha", "pasha+"),
+            configurations=table4_configurations,
+            seeds=BENCH_SEEDS,
+            max_iter=BENCH_MAX_ITER,
+        )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    methods = ("asha", "pasha", "pasha+")
+    rows = [
+        ["testAcc (%)"] + [mean_std(results[m].test_scores, scale=100.0) for m in methods],
+        ["time (sec.)"] + [mean_std(results[m].times, decimals=2) for m in methods],
+    ]
+    print("\n=== Extension: ASHA vs PASHA vs PASHA+ (credit2023) ===")
+    print(format_table(["credit2023", *methods], rows))
+    # PASHA should not be slower than ASHA on average (it can stop rungs early).
+    assert results["pasha"].mean_time <= results["asha"].mean_time * 1.5

@@ -1,0 +1,39 @@
+"""Extension — numerical check of Proposition 1 (sampling stability).
+
+The paper's proposition compares random sampling (one binomial) against
+group-based sampling (a convolution of two skewed half-size binomials) for
+a balanced binary dataset.  This bench evaluates both distributions across
+the eps range and prints the variance and the probability of drawing the
+exactly-representative subset — the quantity the proposition argues grows
+with group purity.
+"""
+
+import numpy as np
+
+from repro.core.theory import compare_sampling_stability
+from repro.experiments import format_series
+
+EPS_GRID = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+N, P = 40, 0.5
+
+
+def run():
+    rows = {"random var": [], "grouped var": [], "random P(exact)": [], "grouped P(exact)": []}
+    for eps in EPS_GRID:
+        comparison = compare_sampling_stability(N, P, eps)
+        rows["random var"].append(comparison["random"].variance)
+        rows["grouped var"].append(comparison["grouped"].variance)
+        rows["random P(exact)"].append(comparison["random"].mode_probability)
+        rows["grouped P(exact)"].append(comparison["grouped"].mode_probability)
+    return rows
+
+
+def test_ext_proposition1(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Extension: Proposition 1 (n={N}, p={P}) ===")
+    print(format_series("eps", EPS_GRID, rows))
+    # The proposition's claims: identical at eps=0, strictly more stable
+    # for eps>0, deterministic at eps=p.
+    np.testing.assert_allclose(rows["grouped var"][0], rows["random var"][0])
+    assert all(g <= r + 1e-9 for g, r in zip(rows["grouped var"], rows["random var"]))
+    assert rows["grouped P(exact)"][-1] > 0.999

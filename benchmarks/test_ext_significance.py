@@ -1,0 +1,61 @@
+"""Extension — paired significance testing of SHA+ vs SHA.
+
+The paper reports mean ± std across 5 seeds; this bench adds the formal
+instrument: a paired t-test and Wilcoxon signed-rank test of per-seed test
+scores of SHA+ against SHA across several datasets, with Holm correction.
+At benchmark scale the differences are usually *not* significant on easy
+datasets — an honest negative worth printing next to the means.
+"""
+
+from repro.experiments import (
+    format_table,
+    holm_correction,
+    paired_t_test,
+    run_hpo_methods,
+    wilcoxon_test,
+    win_rate,
+)
+
+from conftest import BENCH_DATASETS, BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset, table4_configurations  # noqa: F401
+
+
+def test_ext_significance(benchmark, table4_configurations):
+    def run():
+        per_dataset = {}
+        for name in BENCH_DATASETS:
+            dataset = bench_dataset(name)
+            results = run_hpo_methods(
+                dataset,
+                methods=("sha", "sha+"),
+                configurations=table4_configurations,
+                seeds=BENCH_SEEDS,
+                max_iter=BENCH_MAX_ITER,
+            )
+            per_dataset[name] = (results["sha"].test_scores, results["sha+"].test_scores)
+        return per_dataset
+
+    per_dataset = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    raw_p = {}
+    for name, (sha_scores, plus_scores) in per_dataset.items():
+        t = paired_t_test(plus_scores, sha_scores)
+        w = wilcoxon_test(plus_scores, sha_scores)
+        raw_p[name] = t.p_value
+        rows.append([
+            name,
+            f"{t.mean_difference * 100:+.2f}",
+            f"{win_rate(plus_scores, sha_scores):.2f}",
+            f"{t.p_value:.3f}",
+            f"{w.p_value:.3f}",
+        ])
+    adjusted = holm_correction(raw_p)
+    for row in rows:
+        row.append(f"{adjusted[row[0]]:.3f}")
+    print("\n=== Extension: SHA+ vs SHA paired tests (positive diff = SHA+ better) ===")
+    print(format_table(
+        ["dataset", "mean diff (%)", "win rate", "t-test p", "wilcoxon p", "holm p"], rows
+    ))
+    # Structural assertions only: p-values are valid probabilities.
+    for name in per_dataset:
+        assert 0.0 <= raw_p[name] <= 1.0
+        assert adjusted[name] >= raw_p[name] - 1e-12

@@ -1,0 +1,50 @@
+"""Extension — direct measurement of evaluation stability (Section III-E).
+
+The paper argues its sampling and folds make small-subset evaluation more
+stable.  This bench evaluates one fixed configuration repeatedly under
+fresh randomness with both evaluators across budgets and prints the spread
+(standard deviation over repeats) — the paper's instability, measured.
+"""
+
+import numpy as np
+
+from repro.core import MLPModelFactory, compare_stability, grouped_evaluator, vanilla_evaluator
+from repro.experiments import format_series
+
+from conftest import BENCH_MAX_ITER, bench_dataset
+
+BUDGETS = (0.1, 0.2, 0.4, 1.0)
+CONFIG = {"hidden_layer_sizes": (30,), "activation": "relu"}
+
+
+def test_ext_evaluation_stability(benchmark):
+    dataset = bench_dataset("splice")
+    factory = MLPModelFactory(task="classification", max_iter=BENCH_MAX_ITER)
+    evaluators = {
+        "vanilla": vanilla_evaluator(dataset.X_train, dataset.y_train, factory, metric=dataset.metric),
+        "grouped": grouped_evaluator(
+            dataset.X_train, dataset.y_train, factory, metric=dataset.metric, random_state=0
+        ),
+    }
+
+    def run():
+        return compare_stability(
+            evaluators, CONFIG, budgets=BUDGETS, n_repeats=8, random_state=0
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Extension: evaluation-stability spread (splice; lower = more stable) ===")
+    print(format_series(
+        "budget", BUDGETS,
+        {
+            "vanilla spread": [comparison["vanilla"][b].spread for b in BUDGETS],
+            "grouped spread": [comparison["grouped"][b].spread for b in BUDGETS],
+            "vanilla mean": [comparison["vanilla"][b].average for b in BUDGETS],
+            "grouped mean": [comparison["grouped"][b].average for b in BUDGETS],
+        },
+    ))
+    # Shape: averaged across budgets the grouped evaluator is not less
+    # stable than the vanilla one.
+    vanilla_total = sum(comparison["vanilla"][b].spread for b in BUDGETS)
+    grouped_total = sum(comparison["grouped"][b].spread for b in BUDGETS)
+    assert grouped_total <= vanilla_total * 1.5

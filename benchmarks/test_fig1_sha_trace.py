@@ -1,0 +1,43 @@
+"""Figure 1 — the Successive Halving schematic (8 configurations, eta=2).
+
+Reproduces the budget/candidate trace of the paper's Figure 1: 8 configs at
+1/8 budget, then 4 at 1/4, then 2 at 1/2, then the winner trained on the
+full dataset.
+"""
+
+from collections import Counter
+
+from repro.bandit import SuccessiveHalving
+from repro.core import MLPModelFactory, vanilla_evaluator
+from repro.experiments import format_table
+from repro.space import Categorical, SearchSpace
+
+from conftest import BENCH_MAX_ITER, bench_dataset
+
+
+def run_trace():
+    dataset = bench_dataset("australian")
+    space = SearchSpace(
+        [
+            Categorical("hidden_layer_sizes", [(30,), (30, 30), (40,), (40, 40), (50,), (50, 50), (20,), (20, 20)]),
+        ]
+    )
+    factory = MLPModelFactory(task="classification", max_iter=BENCH_MAX_ITER, solver="lbfgs")
+    evaluator = vanilla_evaluator(dataset.X_train, dataset.y_train, factory, metric=dataset.metric)
+    sha = SuccessiveHalving(space, evaluator, random_state=0, eta=2.0)
+    result = sha.fit(configurations=space.grid())
+    return result
+
+
+def test_fig1_sha_trace(benchmark):
+    result = benchmark.pedantic(run_trace, rounds=1, iterations=1)
+    rounds = Counter(round(t.budget_fraction, 6) for t in result.trials)
+    rows = [
+        [f"iteration {i}", f"{n} configs", f"{budget:.3f} budget each"]
+        for i, (budget, n) in enumerate(sorted(rounds.items()))
+    ]
+    print("\n=== Figure 1 (SHA trace, 8 configurations, eta=2) ===")
+    print(format_table(["round", "candidates", "budget"], rows))
+    print(f"winner: {result.best_config}")
+    # The paper's schedule: candidates halve, budgets double.
+    assert dict(sorted(rounds.items())) == {0.125: 8, 0.25: 4, 0.5: 2}

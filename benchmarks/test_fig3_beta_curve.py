@@ -1,0 +1,25 @@
+"""Figure 3 — the beta-gamma line (subset-size weight of Equation 2).
+
+Regenerates the curve with beta_max = 10 (the paper's setting) and checks
+its three anchor points: beta_max at the small-subset clamp, beta_max/2 at
+gamma = 50, and 0 at the large-subset clamp.
+"""
+
+import numpy as np
+
+from repro.core import beta_curve, beta_weight, gamma_bounds
+from repro.experiments import format_series
+
+
+def test_fig3_beta_curve(benchmark):
+    gammas, betas = benchmark.pedantic(beta_curve, kwargs={"beta_max": 10.0, "n_points": 21}, rounds=1, iterations=1)
+    print("\n=== Figure 3 (beta(gamma), beta_max = 10) ===")
+    print(format_series("gamma(%)", [f"{g:.0f}" for g in gammas], {"beta": betas.tolist()}))
+
+    gamma_min, gamma_max = gamma_bounds(10.0)
+    print(f"clamp thresholds: gamma_min = {gamma_min:.3f}%, gamma_max = {gamma_max:.3f}%")
+
+    assert abs(betas[0] - 10.0) < 1e-9
+    assert abs(beta_weight(50.0, 10.0) - 5.0) < 1e-9
+    assert abs(betas[-1]) < 1e-9
+    assert all(a >= b - 1e-12 for a, b in zip(betas, betas[1:]))  # monotone decreasing

@@ -1,0 +1,71 @@
+"""Figure 4 — SHA vs SHA+ as the configuration count grows.
+
+Left half of the figure: adding hyperparameters (Table III order) on the
+*australian* dataset.  Right half: growing the model-size space (layers x
+widths).  The paper's shape: SHA+ maintains or extends an accuracy edge as
+the space grows, and its time advantage widens.
+"""
+
+from repro.experiments import format_series, run_config_scaling
+
+from conftest import BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset
+
+
+def test_fig4a_hyperparameter_axis(benchmark):
+    dataset = bench_dataset("australian")
+    values = [1, 2, 3, 4]
+
+    def run():
+        return run_config_scaling(
+            dataset,
+            axis="hyperparameters",
+            values=values,
+            methods=("sha", "sha+"),
+            seeds=BENCH_SEEDS,
+            max_iter=BENCH_MAX_ITER,
+            max_grid=64,
+        )
+
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Figure 4 (left): accuracy & time vs #hyperparameters (australian) ===")
+    print(format_series(
+        "#HPs", values,
+        {
+            "SHA acc": output["sha"]["accuracy"],
+            "SHA+ acc": output["sha+"]["accuracy"],
+            "SHA time": output["sha"]["time"],
+            "SHA+ time": output["sha+"]["time"],
+            "#configs": output["sha"]["n_configs"],
+        },
+    ))
+    # Shape: averaged over the sweep, SHA+ is at least competitive.
+    mean_gap = sum(p - v for p, v in zip(output["sha+"]["accuracy"], output["sha"]["accuracy"])) / len(values)
+    assert mean_gap >= -0.05
+
+
+def test_fig4b_model_size_axis(benchmark):
+    dataset = bench_dataset("australian")
+    values = [1, 2]
+
+    def run():
+        return run_config_scaling(
+            dataset,
+            axis="layers",
+            values=values,
+            methods=("sha", "sha+"),
+            seeds=BENCH_SEEDS,
+            max_iter=BENCH_MAX_ITER,
+            max_grid=48,
+        )
+
+    output = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Figure 4 (right): accuracy & time vs model depth (australian) ===")
+    print(format_series(
+        "#layers", values,
+        {
+            "SHA acc": output["sha"]["accuracy"],
+            "SHA+ acc": output["sha+"]["accuracy"],
+            "SHA time": output["sha"]["time"],
+            "SHA+ time": output["sha+"]["time"],
+        },
+    ))

@@ -1,0 +1,53 @@
+"""Figure 5 — cross-validation methods vs subset size.
+
+For each of the paper's six CV datasets: test accuracy of the recommended
+configuration and nDCG of the predicted ranking, for random k-fold,
+stratified k-fold, and the paper's method (grouped sampling, general+special
+folds, UCB metric), across subset ratios.
+
+Paper shape: "ours" recommends better configurations and ranks better,
+most clearly at small subset sizes.
+"""
+
+import pytest
+
+from repro.experiments import cv_experiment_space, format_series, run_cv_experiment
+
+from conftest import BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset
+
+RATIOS = (0.1, 0.2, 0.4, 1.0)
+DATASETS = ("australian", "splice", "satimage")  # subset of the paper's six
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_fig5_cv_methods(benchmark, dataset_name):
+    dataset = bench_dataset(dataset_name)
+    configurations = cv_experiment_space().grid()
+
+    def run():
+        return run_cv_experiment(
+            dataset,
+            variants=("random", "stratified", "ours"),
+            ratios=RATIOS,
+            seeds=BENCH_SEEDS,
+            configurations=configurations,
+            max_iter=BENCH_MAX_ITER,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Figure 5: {dataset_name} (18 configurations) ===")
+    print(format_series(
+        "ratio", RATIOS,
+        {
+            "random acc": [results["random"].mean_accuracy(r) for r in RATIOS],
+            "strat acc": [results["stratified"].mean_accuracy(r) for r in RATIOS],
+            "ours acc": [results["ours"].mean_accuracy(r) for r in RATIOS],
+            "random nDCG": [results["random"].mean_ndcg(r) for r in RATIOS],
+            "strat nDCG": [results["stratified"].mean_ndcg(r) for r in RATIOS],
+            "ours nDCG": [results["ours"].mean_ndcg(r) for r in RATIOS],
+        },
+    ))
+    # Shape: averaged over ratios, ours is competitive with the baselines.
+    ours = sum(results["ours"].mean_ndcg(r) for r in RATIOS)
+    rand = sum(results["random"].mean_ndcg(r) for r in RATIOS)
+    assert ours >= rand - 0.2

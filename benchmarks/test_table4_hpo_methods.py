@@ -1,0 +1,47 @@
+"""Table IV — the main HPO comparison.
+
+For each dataset, runs random / SHA / SHA+ / HB / HB+ / BOHB / BOHB+ over
+several seeds on the 4-hyperparameter (162-configuration) space and prints
+train score, test score and search time as mean +/- std — the same block
+structure as the paper's Table IV.
+
+Paper shape to reproduce: every ``+`` variant matches or beats its vanilla
+version on test score (often with lower variance), at comparable or lower
+search time.  Scale knobs in conftest grow this toward the paper's full
+setting (scale=1, 5 seeds, all 162 configurations, 10 datasets).
+"""
+
+import pytest
+
+from repro.experiments import TABLE4_METHODS, format_table4_rows, run_hpo_methods
+
+from conftest import BENCH_DATASETS, BENCH_MAX_ITER, BENCH_SEEDS, bench_dataset
+
+
+@pytest.mark.parametrize("dataset_name", BENCH_DATASETS)
+def test_table4_hpo_methods(benchmark, dataset_name, table4_configurations):
+    dataset = bench_dataset(dataset_name)
+
+    def run():
+        return run_hpo_methods(
+            dataset,
+            methods=TABLE4_METHODS,
+            configurations=table4_configurations,
+            seeds=BENCH_SEEDS,
+            max_iter=BENCH_MAX_ITER,
+            searcher_kwargs={
+                key: {"min_budget_fraction": 1.0 / 9.0}
+                for key in ("hb", "hb+", "bohb", "bohb+")
+            },
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n=== Table IV block: {dataset_name} "
+          f"({len(table4_configurations)} configs, {len(list(BENCH_SEEDS))} seeds) ===")
+    print(format_table4_rows(dataset_name, dataset.metric, results))
+
+    # Shape check (soft): the enhanced variants should not lose badly.
+    for vanilla, plus in (("sha", "sha+"), ("hb", "hb+"), ("bohb", "bohb+")):
+        assert results[plus].mean_test >= results[vanilla].mean_test - 0.05, (
+            f"{plus} fell more than 5 points behind {vanilla} on {dataset_name}"
+        )

@@ -1,0 +1,63 @@
+"""Imbalanced fraud detection: HPO with the F1 metric.
+
+The paper's introduction motivates bandit-based HPO for costly,
+high-dimensional problems; the ``fraud`` analogue (1.5% positive class)
+shows why the enhanced evaluation matters: random small subsets often
+contain almost no positives, so the vanilla folds score configurations
+unreliably, while the group-aware folds keep both classes represented.
+
+This example compares all three enhanced bandit methods (SHA+, HB+, BOHB+)
+against their vanilla versions.
+
+Run with::
+
+    python examples/fraud_detection.py [--scale 0.4]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import optimize
+from repro.core import MLPModelFactory
+from repro.datasets import load_dataset
+from repro.experiments import paper_search_space
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-iter", type=int, default=20)
+    args = parser.parse_args()
+
+    dataset = load_dataset("fraud", scale=args.scale, random_state=args.seed)
+    positives = (dataset.y_train == 1).mean()
+    print(f"fraud analogue: {dataset.n_train} rows, {positives:.2%} positive class")
+
+    space = paper_search_space(2)
+    factory = MLPModelFactory(task="classification", max_iter=args.max_iter)
+
+    header = f"{'method':<8}{'test F1':>10}{'time (s)':>10}"
+    print("\n" + header)
+    print("-" * len(header))
+    for method in ("sha", "sha+", "hb", "hb+", "bohb", "bohb+"):
+        outcome = optimize(
+            dataset.X_train,
+            dataset.y_train,
+            space,
+            method=method,
+            metric="f1",
+            model_factory=factory,
+            random_state=args.seed,
+            configurations=space.grid(),
+            searcher_kwargs={"min_budget_fraction": 1 / 9} if method.startswith(("hb", "bohb")) else None,
+        )
+        from repro.core import make_scorer
+
+        test_f1 = make_scorer("f1")(outcome.model, dataset.X_test, dataset.y_test)
+        print(f"{method:<8}{test_f1:>10.4f}{outcome.result.wall_time:>10.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — reproduction of "Enhancing the Performance of Bandit-based
+Hyperparameter Optimization" (Chen, Wen, Chen & Huang, ICDE 2024).
+
+The package layers:
+
+- :mod:`repro.learners`, :mod:`repro.cluster`, :mod:`repro.model_selection`,
+  :mod:`repro.metrics`, :mod:`repro.datasets` — from-scratch substrate
+  replacing scikit-learn for this reproduction;
+- :mod:`repro.space`, :mod:`repro.bandit` — search spaces and the vanilla
+  bandit-based HPO methods (random, SHA, HyperBand, BOHB, ASHA);
+- :mod:`repro.core` — the paper's contribution: instance grouping,
+  general+special fold construction and the variance/size-aware metric,
+  plugged into the bandit methods as SHA+/HB+/BOHB+/ASHA+;
+- :mod:`repro.experiments` — runners regenerating every table and figure.
+
+Quickstart::
+
+    from repro import optimize
+    from repro.datasets import load_dataset
+    from repro.experiments import paper_search_space
+
+    ds = load_dataset("australian")
+    outcome = optimize(ds.X_train, ds.y_train, paper_search_space(4),
+                       method="sha+", metric=ds.metric, random_state=0)
+    print(outcome.best_config, outcome.model.score(ds.X_test, ds.y_test))
+"""
+
+from .bandit import (
+    ASHA,
+    BOHB,
+    PASHA,
+    BaseSearcher,
+    EvaluationResult,
+    HyperBand,
+    RandomSearch,
+    SearchResult,
+    SuccessiveHalving,
+    Trial,
+)
+from .core import (
+    GeneralSpecialFolds,
+    InstanceGrouping,
+    MLPModelFactory,
+    OptimizationOutcome,
+    ScoreParams,
+    SubsetCVEvaluator,
+    beta_weight,
+    generate_groups,
+    grouped_evaluator,
+    make_searcher,
+    optimize,
+    ucb_score,
+    vanilla_evaluator,
+)
+from .results import load_result, result_from_dict, result_to_dict, save_result
+from .space import Categorical, Float, Integer, SearchSpace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ASHA",
+    "BOHB",
+    "PASHA",
+    "BaseSearcher",
+    "load_result",
+    "result_from_dict",
+    "result_to_dict",
+    "save_result",
+    "Categorical",
+    "EvaluationResult",
+    "Float",
+    "GeneralSpecialFolds",
+    "HyperBand",
+    "InstanceGrouping",
+    "Integer",
+    "MLPModelFactory",
+    "OptimizationOutcome",
+    "RandomSearch",
+    "ScoreParams",
+    "SearchResult",
+    "SearchSpace",
+    "SubsetCVEvaluator",
+    "SuccessiveHalving",
+    "Trial",
+    "beta_weight",
+    "generate_groups",
+    "grouped_evaluator",
+    "make_searcher",
+    "optimize",
+    "ucb_score",
+    "vanilla_evaluator",
+]

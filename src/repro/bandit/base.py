@@ -1,0 +1,221 @@
+"""Shared abstractions for bandit-based searchers.
+
+Defines the evaluation protocol every searcher consumes — which is the seam
+the paper's enhancement plugs into: a *vanilla* evaluator gives SHA / HB /
+BOHB, while the grouped evaluator from :mod:`repro.core` turns the same
+searchers into SHA+ / HB+ / BOHB+ without touching their logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..space import SearchSpace, config_key
+
+__all__ = [
+    "EvaluationResult",
+    "ConfigurationEvaluator",
+    "Trial",
+    "SearchResult",
+    "BaseSearcher",
+    "top_k_indices",
+]
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one configuration under a partial budget.
+
+    Attributes
+    ----------
+    mean:
+        Average cross-validation score ``mu`` (the vanilla metric).
+    std:
+        Standard deviation ``sigma`` across folds.
+    score:
+        Ranking score used for halving; equals ``mean`` for vanilla
+        evaluators and ``mu + alpha * beta(gamma) * sigma`` (Equation 3) for
+        the enhanced evaluator.
+    gamma:
+        Subset size as a percentage of the full budget (``gamma`` in the
+        paper).
+    fold_scores:
+        Per-fold validation scores.
+    n_instances:
+        Number of training instances actually used.
+    cost:
+        Wall-clock seconds spent on this evaluation.
+    """
+
+    mean: float
+    std: float
+    score: float
+    gamma: float
+    fold_scores: List[float] = field(default_factory=list)
+    n_instances: int = 0
+    cost: float = 0.0
+
+
+class ConfigurationEvaluator(Protocol):
+    """Anything that can score a configuration under a budget fraction."""
+
+    def evaluate(
+        self,
+        config: Dict[str, Any],
+        budget_fraction: float,
+        rng: np.random.Generator,
+    ) -> EvaluationResult:
+        """Train/validate ``config`` on a ``budget_fraction`` subset."""
+        ...
+
+
+@dataclass
+class Trial:
+    """One (configuration, budget) evaluation performed during a search."""
+
+    config: Dict[str, Any]
+    budget_fraction: float
+    result: EvaluationResult
+    iteration: int = 0
+    bracket: int = 0
+
+    @property
+    def key(self):
+        """Hashable configuration identity."""
+        return config_key(self.config)
+
+
+@dataclass
+class SearchResult:
+    """Complete record of one HPO run.
+
+    Attributes
+    ----------
+    best_config:
+        The configuration surviving to the end of the search.
+    best_score:
+        Its evaluation score at the largest budget seen.
+    trials:
+        Every (config, budget) evaluation in execution order.
+    wall_time:
+        Total search seconds (sum of evaluation costs plus overhead the
+        searcher reports).
+    method:
+        Human-readable searcher name (e.g. ``"SHA+"``).
+    """
+
+    best_config: Dict[str, Any]
+    best_score: float
+    trials: List[Trial] = field(default_factory=list)
+    wall_time: float = 0.0
+    method: str = ""
+
+    @property
+    def n_trials(self) -> int:
+        """Number of evaluations performed."""
+        return len(self.trials)
+
+    @property
+    def total_evaluation_cost(self) -> float:
+        """Sum of per-evaluation wall-clock costs."""
+        return float(sum(t.result.cost for t in self.trials))
+
+    def incumbent_trajectory(self) -> List[float]:
+        """Best score seen after each trial (monotone non-decreasing)."""
+        best = -np.inf
+        trajectory = []
+        for trial in self.trials:
+            best = max(best, trial.result.score)
+            trajectory.append(best)
+        return trajectory
+
+
+def top_k_indices(scores: Sequence[float], k: int) -> List[int]:
+    """Indices of the ``k`` largest scores, best first, ties broken stably."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    scores = np.asarray(scores, dtype=float)
+    order = np.argsort(-scores, kind="stable")
+    return order[: min(k, len(scores))].tolist()
+
+
+class BaseSearcher:
+    """Common plumbing for all searchers.
+
+    Parameters
+    ----------
+    space:
+        The hyperparameter search space.
+    evaluator:
+        Evaluation strategy (vanilla or grouped); this is the paper's
+        plug-in point.
+    random_state:
+        Seed for configuration sampling and subset draws.
+    """
+
+    method_name = "base"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        evaluator: ConfigurationEvaluator,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.space = space
+        self.evaluator = evaluator
+        self.random_state = random_state
+        self._rng = np.random.default_rng(random_state)
+        self._trials: List[Trial] = []
+
+    def _reset(self) -> None:
+        self._rng = np.random.default_rng(self.random_state)
+        self._trials = []
+
+    def _evaluate(
+        self,
+        config: Dict[str, Any],
+        budget_fraction: float,
+        iteration: int = 0,
+        bracket: int = 0,
+    ) -> Trial:
+        """Run the evaluator and record the trial."""
+        result = self.evaluator.evaluate(config, budget_fraction, self._rng)
+        trial = Trial(
+            config=config,
+            budget_fraction=budget_fraction,
+            result=result,
+            iteration=iteration,
+            bracket=bracket,
+        )
+        self._trials.append(trial)
+        return trial
+
+    def _initial_configurations(
+        self, configurations: Optional[Sequence[Dict[str, Any]]], n_configurations: Optional[int]
+    ) -> List[Dict[str, Any]]:
+        """Resolve the candidate set: explicit list, sample, or full grid."""
+        if configurations is not None:
+            configs = [dict(c) for c in configurations]
+            if not configs:
+                raise ValueError("configurations must be non-empty")
+            for config in configs:
+                self.space.validate(config)
+            return configs
+        if n_configurations is not None:
+            return self.space.sample_batch(n_configurations, rng=self._rng)
+        if self.space.is_finite:
+            return self.space.grid()
+        raise ValueError(
+            "An infinite space requires either explicit configurations or n_configurations"
+        )
+
+    def fit(
+        self,
+        configurations: Optional[Sequence[Dict[str, Any]]] = None,
+        n_configurations: Optional[int] = None,
+    ) -> SearchResult:
+        """Run the search and return its :class:`SearchResult`."""
+        raise NotImplementedError

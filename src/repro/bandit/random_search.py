@@ -1,0 +1,55 @@
+"""Random search baseline.
+
+The paper's ``random`` baseline evaluates a fixed number of uniformly drawn
+configurations at full budget and returns the best — the yardstick all
+bandit methods are compared against in Table IV.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from .base import BaseSearcher, SearchResult, top_k_indices
+
+__all__ = ["RandomSearch"]
+
+
+class RandomSearch(BaseSearcher):
+    """Evaluate ``n_configurations`` random configurations at full budget.
+
+    Parameters
+    ----------
+    space, evaluator, random_state:
+        See :class:`~repro.bandit.base.BaseSearcher`.
+    n_configurations:
+        Default sample size when :meth:`fit` is called without arguments
+        (the paper uses 10).
+    """
+
+    method_name = "random"
+
+    def __init__(self, space, evaluator, random_state=None, n_configurations: int = 10) -> None:
+        super().__init__(space, evaluator, random_state)
+        self.n_configurations = n_configurations
+
+    def fit(
+        self,
+        configurations: Optional[Sequence[Dict[str, Any]]] = None,
+        n_configurations: Optional[int] = None,
+    ) -> SearchResult:
+        """Evaluate the candidates at full budget; return the best."""
+        self._reset()
+        start = time.perf_counter()
+        if configurations is None and n_configurations is None:
+            n_configurations = self.n_configurations
+        candidates = self._initial_configurations(configurations, n_configurations)
+        trials = [self._evaluate(config, 1.0) for config in candidates]
+        best = top_k_indices([t.result.score for t in trials], 1)[0]
+        return SearchResult(
+            best_config=trials[best].config,
+            best_score=trials[best].result.score,
+            trials=list(self._trials),
+            wall_time=time.perf_counter() - start,
+            method=self.method_name,
+        )

@@ -1,0 +1,116 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro datasets                 # list dataset analogues
+    python -m repro tune --dataset NAME      # run HPO on one dataset
+    python -m repro report --out report.md   # regenerate all experiments
+
+``tune`` runs any registered method (``sha+``, ``bohb``, ...) on a registry
+dataset, prints the chosen configuration with its train/test scores and can
+persist the full search record as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import METHODS, MLPModelFactory, make_scorer, optimize
+from .datasets import dataset_info_table, list_datasets, load_dataset
+from .experiments import paper_search_space
+from .results import save_result
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bandit-based HPO reproduction (ICDE 2024)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets_parser = subparsers.add_parser("datasets", help="list dataset analogues")
+    datasets_parser.add_argument("--scale", type=float, default=1.0)
+
+    tune_parser = subparsers.add_parser("tune", help="run HPO on one dataset")
+    tune_parser.add_argument("--dataset", required=True, choices=list_datasets())
+    tune_parser.add_argument("--method", default="sha+", choices=sorted(METHODS))
+    tune_parser.add_argument("--hps", type=int, default=2,
+                             help="number of Table III hyperparameters (1-8)")
+    tune_parser.add_argument("--scale", type=float, default=0.5)
+    tune_parser.add_argument("--seed", type=int, default=0)
+    tune_parser.add_argument("--max-iter", type=int, default=25)
+    tune_parser.add_argument("--save", default=None, help="write the search record as JSON")
+
+    report_parser = subparsers.add_parser("report", help="regenerate every table & figure")
+    report_parser.add_argument("--scale", type=float, default=0.3)
+    report_parser.add_argument("--seeds", type=int, default=3)
+    report_parser.add_argument("--configs", type=int, default=36)
+    report_parser.add_argument("--max-iter", type=int, default=12)
+    report_parser.add_argument("--out", default=None)
+    return parser
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    print(dataset_info_table(scale=args.scale))
+    return 0
+
+
+def _command_tune(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, scale=args.scale, random_state=args.seed)
+    task = "regression" if dataset.task == "regression" else "classification"
+    space = paper_search_space(args.hps)
+    factory = MLPModelFactory(task=task, max_iter=args.max_iter)
+    print(f"tuning {dataset.name} ({dataset.n_train} rows) with {args.method} "
+          f"over {space.n_configurations} configurations ...")
+    outcome = optimize(
+        dataset.X_train,
+        dataset.y_train,
+        space,
+        method=args.method,
+        metric=dataset.metric,
+        task=task,
+        model_factory=factory,
+        random_state=args.seed,
+        configurations=space.grid() if space.is_finite and not args.method.startswith(("bohb", "dehb", "tpe", "smac")) else None,
+        n_configurations=None,
+    )
+    test_score = make_scorer(dataset.metric)(outcome.model, dataset.X_test, dataset.y_test)
+    print(f"best configuration : {outcome.best_config}")
+    print(f"train {dataset.metric}      : {outcome.train_score:.4f}")
+    print(f"test {dataset.metric}       : {test_score:.4f}")
+    print(f"search wall time   : {outcome.result.wall_time:.1f}s over {outcome.result.n_trials} trials")
+    if args.save:
+        save_result(outcome.result, args.save)
+        print(f"search record saved to {args.save}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from .experiments.run_all import main as run_all_main
+
+    forwarded = ["--scale", str(args.scale), "--seeds", str(args.seeds),
+                 "--configs", str(args.configs), "--max-iter", str(args.max_iter)]
+    if args.out:
+        forwarded += ["--out", args.out]
+    run_all_main(forwarded)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": _command_datasets,
+        "tune": _command_tune,
+        "report": _command_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Clustering substrate used by the instance-grouping step."""
+
+from .kmeans import KMeans, balanced_kmeans_labels
+from .meanshift import MeanShift, estimate_bandwidth, meanshift_labels_consolidated
+
+__all__ = [
+    "KMeans",
+    "MeanShift",
+    "balanced_kmeans_labels",
+    "estimate_bandwidth",
+    "meanshift_labels_consolidated",
+]

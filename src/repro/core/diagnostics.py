@@ -1,0 +1,96 @@
+"""Evaluation-stability diagnostics (paper Section III-E).
+
+The paper's central stability argument: evaluating a configuration on a
+small sampled subset is noisy, and group-based sampling plus
+general+special folds reduce that noise.  These helpers measure it
+directly — the same configuration is evaluated repeatedly with fresh
+randomness, and the spread of the observed mean scores quantifies
+evaluation stability (smaller is more stable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .evaluator import SubsetCVEvaluator
+
+__all__ = ["StabilityResult", "evaluation_stability", "compare_stability"]
+
+
+@dataclass
+class StabilityResult:
+    """Repeat-evaluation statistics for one (evaluator, config, budget).
+
+    Attributes
+    ----------
+    means:
+        The evaluator's mean fold score per repeat.
+    """
+
+    means: List[float]
+
+    @property
+    def spread(self) -> float:
+        """Standard deviation of the repeated evaluations — the paper's
+        instability measure (lower is more stable)."""
+        return float(np.std(self.means))
+
+    @property
+    def average(self) -> float:
+        """Average evaluation value across repeats."""
+        return float(np.mean(self.means))
+
+    def __len__(self) -> int:
+        return len(self.means)
+
+
+def evaluation_stability(
+    evaluator: SubsetCVEvaluator,
+    config: Dict[str, Any],
+    budget_fraction: float,
+    n_repeats: int = 10,
+    random_state: Optional[int] = None,
+) -> StabilityResult:
+    """Evaluate ``config`` repeatedly and collect the observed means.
+
+    Each repeat uses an independent random stream, so the spread captures
+    exactly the sampling-induced noise the paper's components target.
+    """
+    if n_repeats < 2:
+        raise ValueError(f"n_repeats must be >= 2, got {n_repeats}")
+    base = np.random.default_rng(random_state)
+    means = []
+    for _ in range(n_repeats):
+        rng = np.random.default_rng(int(base.integers(2**63)))
+        means.append(evaluator.evaluate(config, budget_fraction, rng).mean)
+    return StabilityResult(means=means)
+
+
+def compare_stability(
+    evaluators: Dict[str, SubsetCVEvaluator],
+    config: Dict[str, Any],
+    budgets: Sequence[float],
+    n_repeats: int = 10,
+    random_state: Optional[int] = None,
+) -> Dict[str, Dict[float, StabilityResult]]:
+    """Stability of several evaluators across budget fractions.
+
+    Returns
+    -------
+    dict
+        ``name -> {budget -> StabilityResult}``; compare ``spread`` values
+        at matching budgets (the paper predicts the grouped evaluator's
+        spread is smallest at small budgets).
+    """
+    output: Dict[str, Dict[float, StabilityResult]] = {}
+    for name, evaluator in evaluators.items():
+        per_budget = {}
+        for budget in budgets:
+            per_budget[budget] = evaluation_stability(
+                evaluator, config, budget, n_repeats=n_repeats, random_state=random_state
+            )
+        output[name] = per_budget
+    return output

@@ -1,0 +1,200 @@
+"""High-level API: build vanilla or enhanced (``+``) bandit searchers.
+
+``SHA+`` / ``HB+`` / ``BOHB+`` / ``ASHA+`` are the corresponding vanilla
+searchers wired to the grouped evaluator — the enhancement is entirely a
+property of *how configurations are evaluated*, so the factory here is the
+whole integration (paper Section III-D).
+
+:func:`optimize` is the one-call entry point used by the examples: it
+builds the evaluator, runs the search, refits the winner on the full
+training set and returns everything.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..bandit import (
+    ASHA,
+    BOHB,
+    DEHB,
+    PASHA,
+    BaseSearcher,
+    HyperBand,
+    RandomSearch,
+    SearchResult,
+    SMACSearch,
+    SuccessiveHalving,
+    TPESearch,
+)
+from ..space import SearchSpace
+from .evaluator import MLPModelFactory, SubsetCVEvaluator, grouped_evaluator, vanilla_evaluator
+
+__all__ = ["METHODS", "make_searcher", "optimize", "OptimizationOutcome"]
+
+#: method name -> (searcher class, uses enhanced evaluator)
+METHODS = {
+    "random": (RandomSearch, False),
+    "sha": (SuccessiveHalving, False),
+    "sha+": (SuccessiveHalving, True),
+    "hb": (HyperBand, False),
+    "hb+": (HyperBand, True),
+    "bohb": (BOHB, False),
+    "bohb+": (BOHB, True),
+    "asha": (ASHA, False),
+    "asha+": (ASHA, True),
+    "pasha": (PASHA, False),
+    "pasha+": (PASHA, True),
+    "dehb": (DEHB, False),
+    "dehb+": (DEHB, True),
+    "tpe": (TPESearch, False),
+    "smac": (SMACSearch, False),
+}
+
+
+def make_searcher(
+    method: str,
+    space: SearchSpace,
+    X: np.ndarray,
+    y: np.ndarray,
+    metric: str = "accuracy",
+    task: str = "classification",
+    model_factory=None,
+    random_state: Optional[int] = None,
+    evaluator_kwargs: Optional[Dict[str, Any]] = None,
+    searcher_kwargs: Optional[Dict[str, Any]] = None,
+) -> BaseSearcher:
+    """Construct a searcher by paper name (``"sha"``, ``"sha+"``, ...).
+
+    Parameters
+    ----------
+    method:
+        One of :data:`METHODS` (case-insensitive).
+    space:
+        The hyperparameter space.
+    X, y:
+        Training data defining the instance budget.
+    metric, task:
+        Evaluation metric and problem type.
+    model_factory:
+        Callable ``(config, random_state) -> estimator``; defaults to an
+        :class:`~repro.core.evaluator.MLPModelFactory` with a small
+        ``max_iter`` suitable for experimentation.
+    random_state:
+        Seed shared by the evaluator construction and the searcher.
+    evaluator_kwargs, searcher_kwargs:
+        Extra keyword arguments for the evaluator factory / searcher class.
+    """
+    key = method.lower()
+    if key not in METHODS:
+        raise ValueError(f"Unknown method {method!r}; available: {sorted(METHODS)}")
+    searcher_cls, enhanced = METHODS[key]
+    if model_factory is None:
+        model_factory = MLPModelFactory(task=task, max_iter=30)
+    evaluator_kwargs = dict(evaluator_kwargs or {})
+    if enhanced:
+        evaluator = grouped_evaluator(
+            X, y, model_factory, metric=metric, task=task, random_state=random_state, **evaluator_kwargs
+        )
+    else:
+        evaluator = vanilla_evaluator(X, y, model_factory, metric=metric, task=task, **evaluator_kwargs)
+    searcher = searcher_cls(space, evaluator, random_state=random_state, **(searcher_kwargs or {}))
+    searcher.method_name = _display_name(key)
+    return searcher
+
+
+def _display_name(key: str) -> str:
+    base = key.rstrip("+")
+    display = {
+        "random": "random", "sha": "SHA", "hb": "HB", "bohb": "BOHB",
+        "asha": "ASHA", "pasha": "PASHA", "dehb": "DEHB", "tpe": "TPE",
+        "smac": "SMAC",
+    }[base]
+    return display + ("+" if key.endswith("+") else "")
+
+
+@dataclass
+class OptimizationOutcome:
+    """Everything :func:`optimize` produces.
+
+    Attributes
+    ----------
+    result:
+        The raw :class:`~repro.bandit.SearchResult` of the run.
+    model:
+        The winning configuration refit on the full training set (the
+        paper's final step), or ``None`` when ``refit=False``.
+    train_score, wall_time:
+        Full-train-set score of the refit model and total seconds including
+        the refit.
+    """
+
+    result: SearchResult
+    model: Any
+    train_score: float
+    wall_time: float
+
+    @property
+    def best_config(self) -> Dict[str, Any]:
+        """The selected configuration ``tau*``."""
+        return self.result.best_config
+
+
+def optimize(
+    X: np.ndarray,
+    y: np.ndarray,
+    space: SearchSpace,
+    method: str = "sha+",
+    metric: str = "accuracy",
+    task: str = "classification",
+    configurations: Optional[Sequence[Dict[str, Any]]] = None,
+    n_configurations: Optional[int] = None,
+    model_factory=None,
+    random_state: Optional[int] = None,
+    refit: bool = True,
+    evaluator_kwargs: Optional[Dict[str, Any]] = None,
+    searcher_kwargs: Optional[Dict[str, Any]] = None,
+) -> OptimizationOutcome:
+    """Run hyperparameter optimization end to end.
+
+    Examples
+    --------
+    >>> from repro import optimize
+    >>> from repro.datasets import load_dataset
+    >>> from repro.experiments import paper_search_space
+    >>> ds = load_dataset("australian", scale=0.3)
+    >>> outcome = optimize(ds.X_train, ds.y_train, paper_search_space(4),
+    ...                    method="sha+", n_configurations=8, random_state=0)
+    >>> sorted(outcome.best_config) == sorted(paper_search_space(4).names)
+    True
+    """
+    start = time.perf_counter()
+    searcher = make_searcher(
+        method,
+        space,
+        X,
+        y,
+        metric=metric,
+        task=task,
+        model_factory=model_factory,
+        random_state=random_state,
+        evaluator_kwargs=evaluator_kwargs,
+        searcher_kwargs=searcher_kwargs,
+    )
+    result = searcher.fit(configurations=configurations, n_configurations=n_configurations)
+    model = None
+    train_score = float("nan")
+    if refit:
+        evaluator: SubsetCVEvaluator = searcher.evaluator
+        model = evaluator.fit_full(result.best_config, random_state=random_state)
+        train_score = float(evaluator.scorer(model, evaluator.X, evaluator.y))
+    return OptimizationOutcome(
+        result=result,
+        model=model,
+        train_score=train_score,
+        wall_time=time.perf_counter() - start,
+    )

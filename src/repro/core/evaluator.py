@@ -1,0 +1,345 @@
+"""Configuration evaluators: subset sampling + cross-validation + scoring.
+
+:class:`SubsetCVEvaluator` is the single workhorse behind both the vanilla
+and the enhanced bandit methods.  Its three axes correspond one-to-one to
+the paper's three components, each independently switchable (which is what
+the ablation experiments toggle):
+
+- ``sampling``: how the instance-budget subset is drawn — ``"random"``,
+  ``"stratified"`` (by label; the vanilla baseline) or ``"grouped"``
+  (group-stratified from Operation 1's groups);
+- ``folding``: how CV folds are built inside the subset — ``"random"``,
+  ``"stratified"`` or ``"grouped"`` (the general+special folds of
+  Operation 2);
+- ``score_params``: the halving metric — the vanilla mean or the paper's
+  variance- and size-aware score of Equation 3.
+
+Factory helpers :func:`vanilla_evaluator` and :func:`grouped_evaluator`
+build the two configurations the paper compares.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from ..bandit.base import EvaluationResult
+from ..learners import MLPClassifier, MLPRegressor
+from ..metrics import accuracy_score, f1_score, r2_score
+from ..model_selection import KFold, StratifiedKFold, random_subsample, stratified_subsample
+from .folds import GeneralSpecialFolds
+from .grouping import InstanceGrouping, generate_groups
+from .scoring import ScoreParams, ucb_score
+
+__all__ = [
+    "MLPModelFactory",
+    "SubsetCVEvaluator",
+    "make_scorer",
+    "vanilla_evaluator",
+    "grouped_evaluator",
+]
+
+
+def make_scorer(metric: str) -> Callable:
+    """Scoring function ``(model, X, y) -> float`` for a metric name.
+
+    ``"accuracy"`` and ``"r2"`` are the obvious ones; ``"f1"`` scores the
+    positive class for binary problems (the paper's imbalanced datasets
+    encode the minority as class 1) and macro-averages otherwise.
+    """
+    if metric == "accuracy":
+        return lambda model, X, y: accuracy_score(y, model.predict(X))
+    if metric == "f1":
+
+        def f1(model, X, y):
+            predictions = model.predict(X)
+            if len(np.unique(y)) <= 2:
+                return f1_score(y, predictions, average="binary", pos_label=1)
+            return f1_score(y, predictions, average="macro")
+
+        return f1
+    if metric == "r2":
+        return lambda model, X, y: r2_score(y, model.predict(X))
+    raise ValueError(f"Unknown metric {metric!r}; expected 'accuracy', 'f1' or 'r2'")
+
+
+class _ConstantClassifier:
+    """Degenerate fallback when a training fold contains a single class."""
+
+    def __init__(self, label) -> None:
+        self.label = label
+
+    def predict(self, X) -> np.ndarray:
+        return np.full(len(X), self.label)
+
+
+class MLPModelFactory:
+    """Build an MLP estimator from a configuration dict.
+
+    Configuration keys are passed straight through as
+    :class:`~repro.learners.MLPClassifier` / ``MLPRegressor`` keyword
+    arguments (they share the paper's Table III names), layered over
+    ``defaults``.
+
+    Parameters
+    ----------
+    task:
+        ``"classification"`` or ``"regression"``.
+    defaults:
+        Keyword arguments applied to every model (e.g. ``max_iter``).
+    """
+
+    def __init__(self, task: str = "classification", **defaults: Any) -> None:
+        if task not in ("classification", "regression"):
+            raise ValueError(f"task must be 'classification' or 'regression', got {task!r}")
+        self.task = task
+        self.defaults = defaults
+
+    def __call__(self, config: Dict[str, Any], random_state: Optional[int] = None):
+        """Instantiate an unfitted estimator for ``config``."""
+        kwargs = {**self.defaults, **config}
+        if random_state is not None:
+            kwargs.setdefault("random_state", random_state)
+        cls = MLPClassifier if self.task == "classification" else MLPRegressor
+        return cls(**kwargs)
+
+
+class SubsetCVEvaluator:
+    """Evaluate configurations on budgeted subsets via cross-validation.
+
+    Parameters
+    ----------
+    X, y:
+        The full training set the budget refers to (``B = len(y)``).
+    model_factory:
+        Callable ``(config, random_state) -> estimator``.
+    metric:
+        ``"accuracy"``, ``"f1"`` or ``"r2"``.
+    task:
+        ``"classification"`` or ``"regression"``.
+    sampling, folding:
+        Axis choices described in the module docstring.
+    n_splits:
+        Fold count for the non-grouped folding modes.
+    grouping:
+        Pre-computed :class:`~repro.core.grouping.InstanceGrouping`;
+        required whenever ``sampling`` or ``folding`` is ``"grouped"``.
+    k_gen, k_spe, special_majority:
+        Parameters of the general+special folds (paper: 3 / 2 / 0.8).
+    score_params:
+        Halving-metric weights; ``ScoreParams(use_variance=False)``
+        reproduces the vanilla mean-only metric.
+    min_subset:
+        Floor on the subset size so tiny budget fractions remain splittable.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        model_factory: Callable,
+        metric: str = "accuracy",
+        task: str = "classification",
+        sampling: str = "stratified",
+        folding: str = "stratified",
+        n_splits: int = 5,
+        grouping: Optional[InstanceGrouping] = None,
+        k_gen: int = 3,
+        k_spe: int = 2,
+        special_majority: float = 0.8,
+        score_params: Optional[ScoreParams] = None,
+        min_subset: int = 30,
+    ) -> None:
+        for axis, value in (("sampling", sampling), ("folding", folding)):
+            if value not in ("random", "stratified", "grouped"):
+                raise ValueError(f"{axis} must be 'random', 'stratified' or 'grouped', got {value!r}")
+        if (sampling == "grouped" or folding == "grouped") and grouping is None:
+            raise ValueError("grouped sampling/folding requires a grouping")
+        self.X = np.asarray(X, dtype=float)
+        self.y = np.asarray(y)
+        if len(self.X) != len(self.y):
+            raise ValueError(f"X and y have inconsistent lengths: {len(self.X)} != {len(self.y)}")
+        self.model_factory = model_factory
+        self.metric = metric
+        self.scorer = make_scorer(metric)
+        self.task = task
+        self.sampling = sampling
+        self.folding = folding
+        self.n_splits = n_splits
+        self.grouping = grouping
+        self.k_gen = k_gen
+        self.k_spe = k_spe
+        self.special_majority = special_majority
+        self.score_params = score_params if score_params is not None else ScoreParams(use_variance=False)
+        self.min_subset = min_subset
+
+    # -- protocol ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        config: Dict[str, Any],
+        budget_fraction: float,
+        rng: np.random.Generator,
+    ) -> EvaluationResult:
+        """Score ``config`` on a ``budget_fraction`` subset of the data."""
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+        start = time.perf_counter()
+        n_total = len(self.y)
+        k_total = self._n_folds()
+        floor = max(self.min_subset, 2 * k_total)
+        n_subset = int(round(budget_fraction * n_total))
+        n_subset = min(n_total, max(floor, n_subset))
+
+        subset = self._draw_subset(n_subset, rng)
+        fold_scores = []
+        for train_idx, val_idx in self._folds(subset, rng):
+            fold_scores.append(self._fit_and_score(config, train_idx, val_idx, rng))
+        gamma = 100.0 * len(subset) / n_total
+        mean = float(np.mean(fold_scores))
+        std = float(np.std(fold_scores))
+        score = ucb_score(mean, std, gamma, self.score_params)
+        return EvaluationResult(
+            mean=mean,
+            std=std,
+            score=score,
+            gamma=gamma,
+            fold_scores=[float(s) for s in fold_scores],
+            n_instances=int(len(subset)),
+            cost=time.perf_counter() - start,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _n_folds(self) -> int:
+        if self.folding == "grouped":
+            return self.k_gen + self.k_spe
+        return self.n_splits
+
+    def _draw_subset(self, n_subset: int, rng: np.random.Generator) -> np.ndarray:
+        n_total = len(self.y)
+        if n_subset >= n_total:
+            return np.arange(n_total)
+        if self.sampling == "grouped":
+            return stratified_subsample(self.grouping.group_labels, n_subset, rng=rng)
+        if self.sampling == "stratified" and self.task == "classification":
+            return stratified_subsample(self.y, n_subset, rng=rng)
+        return random_subsample(n_total, n_subset, rng=rng)
+
+    def _folds(self, subset: np.ndarray, rng: np.random.Generator):
+        """Yield (train, validation) pairs in full-dataset coordinates."""
+        seed = int(rng.integers(2**31))
+        if self.folding == "grouped":
+            splitter = GeneralSpecialFolds(
+                self.grouping.group_labels,
+                k_gen=self.k_gen,
+                k_spe=self.k_spe,
+                special_majority=self.special_majority,
+                random_state=seed,
+            )
+            yield from splitter.split(subset)
+            return
+        if self.folding == "stratified" and self.task == "classification":
+            splitter = StratifiedKFold(n_splits=self.n_splits, shuffle=True, random_state=seed)
+            relative = splitter.split(subset, self.y[subset])
+        else:
+            splitter = KFold(n_splits=self.n_splits, shuffle=True, random_state=seed)
+            relative = splitter.split(subset)
+        for train_rel, val_rel in relative:
+            yield subset[train_rel], subset[val_rel]
+
+    def _fit_and_score(
+        self,
+        config: Dict[str, Any],
+        train_idx: np.ndarray,
+        val_idx: np.ndarray,
+        rng: np.random.Generator,
+    ) -> float:
+        X_train, y_train = self.X[train_idx], self.y[train_idx]
+        X_val, y_val = self.X[val_idx], self.y[val_idx]
+        if self.task == "classification" and len(np.unique(y_train)) < 2:
+            model = _ConstantClassifier(y_train[0])
+        else:
+            model = self.model_factory(config, random_state=int(rng.integers(2**31)))
+            model.fit(X_train, y_train)
+        return float(self.scorer(model, X_val, y_val))
+
+    def fit_full(self, config: Dict[str, Any], random_state: Optional[int] = None):
+        """Train a model with ``config`` on the entire training set."""
+        model = self.model_factory(config, random_state=random_state)
+        model.fit(self.X, self.y)
+        return model
+
+
+def vanilla_evaluator(
+    X: np.ndarray,
+    y: np.ndarray,
+    model_factory: Callable,
+    metric: str = "accuracy",
+    task: str = "classification",
+    n_splits: int = 5,
+    min_subset: int = 30,
+) -> SubsetCVEvaluator:
+    """The baseline evaluator: stratified subsets, stratified k-fold, mean."""
+    return SubsetCVEvaluator(
+        X,
+        y,
+        model_factory,
+        metric=metric,
+        task=task,
+        sampling="stratified" if task == "classification" else "random",
+        folding="stratified",
+        n_splits=n_splits,
+        score_params=ScoreParams(use_variance=False),
+        min_subset=min_subset,
+    )
+
+
+def grouped_evaluator(
+    X: np.ndarray,
+    y: np.ndarray,
+    model_factory: Callable,
+    metric: str = "accuracy",
+    task: str = "classification",
+    n_groups: int = 2,
+    k_gen: int = 3,
+    k_spe: int = 2,
+    r_group: float = 0.8,
+    special_majority: float = 0.8,
+    alpha: float = 0.1,
+    beta_max: float = 10.0,
+    min_subset: int = 30,
+    random_state: Optional[int] = None,
+    grouping: Optional[InstanceGrouping] = None,
+) -> SubsetCVEvaluator:
+    """The paper's enhanced evaluator (grouped sampling/folds, Eq. 3 score).
+
+    Builds the instance grouping up front (the paper performs this once
+    before optimization starts) unless one is supplied.
+    """
+    if grouping is None:
+        grouping = generate_groups(
+            X,
+            y,
+            n_groups=n_groups,
+            task="regression" if task == "regression" else "classification",
+            r_group=r_group,
+            random_state=random_state,
+        )
+    return SubsetCVEvaluator(
+        X,
+        y,
+        model_factory,
+        metric=metric,
+        task=task,
+        sampling="grouped",
+        folding="grouped",
+        grouping=grouping,
+        k_gen=k_gen,
+        k_spe=k_spe,
+        special_majority=special_majority,
+        score_params=ScoreParams(alpha=alpha, beta_max=beta_max),
+        min_subset=min_subset,
+    )

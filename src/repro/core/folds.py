@@ -1,0 +1,210 @@
+"""General and special fold construction (paper Section III-B, Operation 2).
+
+Cross-validation folds for a (sub)set of instances are built from the
+pre-computed groups:
+
+- **general folds** are group-stratified samples that mimic the overall
+  distribution (like stratified k-fold, but stratifying on the feature+label
+  groups instead of labels alone);
+- **special folds** deliberately deviate: fold ``i`` draws a majority
+  (default 80%) of its instances from group ``omega_i`` and the remainder
+  group-stratified from the other groups, so the config is also scored under
+  group-specific distributions.
+
+The ``k_gen + k_spe`` validation folds form a partition of the subset; the
+training side of each fold is the subset minus its validation block, giving
+ordinary k-fold semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["GeneralSpecialFolds"]
+
+
+class GeneralSpecialFolds:
+    """Splitter producing ``k_gen`` general plus ``k_spe`` special folds.
+
+    Parameters
+    ----------
+    group_labels:
+        Group index per instance of the *full* training set (from
+        :func:`repro.core.grouping.generate_groups`).
+    k_gen:
+        Number of general (distribution-matching) folds; the paper uses 3.
+    k_spe:
+        Number of special (group-biased) folds; the paper sets this to the
+        group count ``v`` and uses 2 in the main experiments.  Must not
+        exceed the number of groups.
+    special_majority:
+        Fraction of a special fold drawn from its own group (paper: 0.8).
+    random_state:
+        Seed for all sampling.
+    """
+
+    def __init__(
+        self,
+        group_labels: np.ndarray,
+        k_gen: int = 3,
+        k_spe: int = 2,
+        special_majority: float = 0.8,
+        random_state: Optional[int] = None,
+    ) -> None:
+        group_labels = np.asarray(group_labels, dtype=int)
+        if group_labels.ndim != 1:
+            raise ValueError(f"group_labels must be 1-D, got shape {group_labels.shape}")
+        if k_gen < 0 or k_spe < 0 or k_gen + k_spe < 2:
+            raise ValueError(f"Need k_gen + k_spe >= 2 folds, got k_gen={k_gen}, k_spe={k_spe}")
+        n_groups = int(group_labels.max()) + 1 if len(group_labels) else 0
+        if k_spe > n_groups:
+            raise ValueError(f"k_spe={k_spe} cannot exceed the number of groups ({n_groups})")
+        if not 0.0 < special_majority <= 1.0:
+            raise ValueError(f"special_majority must be in (0, 1], got {special_majority}")
+        self.group_labels = group_labels
+        self.k_gen = k_gen
+        self.k_spe = k_spe
+        self.special_majority = special_majority
+        self.random_state = random_state
+        self.n_groups = n_groups
+
+    def get_n_splits(self) -> int:
+        """Total fold count ``k_gen + k_spe``."""
+        return self.k_gen + self.k_spe
+
+    def split(
+        self, subset_indices: Optional[np.ndarray] = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train, validation)`` index pairs over the subset.
+
+        Parameters
+        ----------
+        subset_indices:
+            Indices (into the full training set) forming the evaluation
+            subset; defaults to the entire set.  Returned indices refer to
+            the same full-set coordinates.
+        """
+        if subset_indices is None:
+            subset_indices = np.arange(len(self.group_labels))
+        subset_indices = np.asarray(subset_indices, dtype=int)
+        n = len(subset_indices)
+        k_total = self.get_n_splits()
+        if n < 2 * k_total:
+            raise ValueError(
+                f"Subset of {n} instances is too small for {k_total} folds "
+                f"(needs at least {2 * k_total})"
+            )
+        rng = np.random.default_rng(self.random_state)
+        blocks = self._partition(subset_indices, rng)
+        subset_set = subset_indices
+        for block in blocks:
+            mask = np.isin(subset_set, block, assume_unique=False)
+            yield subset_set[~mask], block
+
+    # -- internals ---------------------------------------------------------
+
+    def _partition(self, subset_indices: np.ndarray, rng: np.random.Generator) -> List[np.ndarray]:
+        """Partition the subset into special blocks then general blocks."""
+        n = len(subset_indices)
+        k_total = self.get_n_splits()
+        block_size = n // k_total
+        groups = self.group_labels[subset_indices]
+
+        remaining = np.ones(n, dtype=bool)  # positions within subset_indices
+        blocks: List[np.ndarray] = []
+
+        # Special folds first: they need their own group's instances, which
+        # general sampling would otherwise consume.
+        special_groups = self._pick_special_groups(groups, rng)
+        for group in special_groups:
+            own_positions = np.flatnonzero(remaining & (groups == group))
+            n_own_target = int(round(self.special_majority * block_size))
+            n_own = min(n_own_target, len(own_positions), block_size)
+            chosen_own = rng.choice(own_positions, size=n_own, replace=False) if n_own else np.empty(0, dtype=int)
+            remaining[chosen_own] = False
+            n_other = block_size - n_own
+            other_positions = np.flatnonzero(remaining & (groups != group))
+            if len(other_positions) < n_other:
+                # Not enough foreign instances left: top up from anywhere.
+                other_positions = np.flatnonzero(remaining)
+            chosen_other = self._stratified_pick(other_positions, groups, n_other, rng)
+            remaining[chosen_other] = False
+            blocks.append(subset_indices[np.concatenate([chosen_own, chosen_other])])
+
+        # General folds: group-stratified split of everything left.
+        leftover_positions = np.flatnonzero(remaining)
+        if self.k_gen:
+            general = self._stratified_partition(leftover_positions, groups, self.k_gen, rng)
+            blocks.extend(subset_indices[part] for part in general)
+        elif len(leftover_positions):
+            # No general folds: distribute leftovers round-robin into the
+            # special blocks' *training* side by simply ignoring them — they
+            # remain in every fold's training split by construction.
+            pass
+        return blocks
+
+    def _pick_special_groups(self, groups: np.ndarray, rng: np.random.Generator) -> List[int]:
+        """Choose which groups get a special fold (largest presence first)."""
+        present, counts = np.unique(groups, return_counts=True)
+        order = np.argsort(-counts, kind="stable")
+        ranked = [int(present[i]) for i in order]
+        if len(ranked) >= self.k_spe:
+            return ranked[: self.k_spe]
+        # Fewer distinct groups in the subset than requested special folds:
+        # reuse groups cyclically (their samples will still differ).
+        picks = []
+        while len(picks) < self.k_spe:
+            picks.extend(ranked)
+        return picks[: self.k_spe]
+
+    @staticmethod
+    def _stratified_pick(
+        positions: np.ndarray, groups: np.ndarray, n_pick: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pick ``n_pick`` positions roughly proportional to group sizes."""
+        if n_pick <= 0 or len(positions) == 0:
+            return np.empty(0, dtype=int)
+        n_pick = min(n_pick, len(positions))
+        member_groups = groups[positions]
+        present, counts = np.unique(member_groups, return_counts=True)
+        exact = counts * (n_pick / counts.sum())
+        allocation = np.floor(exact).astype(int)
+        order = np.argsort(-(exact - allocation))
+        shortfall = n_pick - int(allocation.sum())
+        for i in order:
+            if shortfall == 0:
+                break
+            if allocation[i] < counts[i]:
+                allocation[i] += 1
+                shortfall -= 1
+        while shortfall > 0:
+            candidates = np.flatnonzero(allocation < counts)
+            allocation[rng.choice(candidates)] += 1
+            shortfall -= 1
+        picked = []
+        for group, take in zip(present, allocation):
+            if take == 0:
+                continue
+            pool = positions[member_groups == group]
+            picked.append(rng.choice(pool, size=take, replace=False))
+        result = np.concatenate(picked)
+        rng.shuffle(result)
+        return result
+
+    @staticmethod
+    def _stratified_partition(
+        positions: np.ndarray, groups: np.ndarray, k: int, rng: np.random.Generator
+    ) -> List[np.ndarray]:
+        """Split positions into ``k`` group-stratified, size-balanced parts."""
+        parts: List[List[int]] = [[] for _ in range(k)]
+        member_groups = groups[positions]
+        offset = 0
+        for group in np.unique(member_groups):
+            members = positions[member_groups == group].copy()
+            rng.shuffle(members)
+            for i, position in enumerate(members):
+                parts[(offset + i) % k].append(int(position))
+            offset = (offset + len(members)) % k
+        return [np.array(sorted(part), dtype=int) for part in parts]

@@ -1,0 +1,224 @@
+"""Instance grouping from features and labels (paper Section III-A).
+
+Before the HPO loop starts, the training set is divided into ``v`` groups
+that subsequent subset sampling and fold construction draw from:
+
+1. features are clustered with iterated k-means (small clusters dissolved
+   and re-clustered, rule controlled by ``r_group``) giving ``c_i^x``;
+2. labels give a category ``c_i^y`` — used directly for classification
+   (with rare classes merged), quantile-binned for regression;
+3. Operation 1 merges the two: each cluster first claims the instances of
+   its top-k classes, then every remaining instance joins the group of the
+   cluster holding the largest share of its class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster import balanced_kmeans_labels
+from ..cluster.meanshift import meanshift_labels_consolidated
+from ..learners.base import check_array
+
+__all__ = ["InstanceGrouping", "label_categories", "generate_groups"]
+
+
+@dataclass
+class InstanceGrouping:
+    """Result of group construction.
+
+    Attributes
+    ----------
+    group_labels:
+        Group index in ``0..n_groups-1`` for every training instance.
+    feature_clusters:
+        The k-means cluster ``c^x`` of every instance.
+    label_categories:
+        The label category ``c^y`` of every instance.
+    n_groups:
+        Number of groups ``v``.
+    """
+
+    group_labels: np.ndarray
+    feature_clusters: np.ndarray
+    label_categories: np.ndarray
+    n_groups: int
+
+    def indices_of(self, group: int) -> np.ndarray:
+        """Indices of all instances in ``group``."""
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group must be in [0, {self.n_groups}), got {group}")
+        return np.flatnonzero(self.group_labels == group)
+
+    @property
+    def group_sizes(self) -> np.ndarray:
+        """Instance count per group."""
+        return np.bincount(self.group_labels, minlength=self.n_groups)
+
+    def __len__(self) -> int:
+        return len(self.group_labels)
+
+
+def label_categories(
+    y: np.ndarray,
+    task: str = "classification",
+    n_bins: int = 4,
+    rare_fraction: float = 0.10,
+) -> np.ndarray:
+    """Label category ``c^y`` per instance.
+
+    Classification labels are used directly, except that classes holding
+    fewer than ``rare_fraction * n / u`` instances (the paper's 10% of the
+    per-class average) are merged into a single "rare" category.  Regression
+    targets are quantile-binned into ``n_bins`` magnitude categories.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer categories re-coded to ``0..n_categories-1``.
+    """
+    y = np.asarray(y)
+    if y.ndim != 1:
+        y = y.ravel()
+    if len(y) == 0:
+        raise ValueError("y must be non-empty")
+
+    if task == "regression":
+        if n_bins < 1:
+            raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+        y = y.astype(float)
+        quantiles = np.quantile(y, np.linspace(0, 1, n_bins + 1)[1:-1])
+        return np.searchsorted(quantiles, y, side="right").astype(int)
+
+    classes, inverse, counts = np.unique(y, return_inverse=True, return_counts=True)
+    n_classes = len(classes)
+    threshold = rare_fraction * len(y) / n_classes
+    rare = counts < threshold
+    if rare.sum() <= 1:
+        # Zero or one rare class: nothing to merge, keep codes as-is.
+        return inverse.astype(int)
+    mapping = np.empty(n_classes, dtype=int)
+    next_code = 0
+    for cls_index in range(n_classes):
+        if not rare[cls_index]:
+            mapping[cls_index] = next_code
+            next_code += 1
+    mapping[rare] = next_code  # all rare classes share one merged category
+    return mapping[inverse]
+
+
+def generate_groups(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_groups: int = 3,
+    task: str = "classification",
+    r_group: float = 0.8,
+    top_k: Optional[int] = None,
+    n_label_bins: int = 4,
+    clusterer: str = "kmeans",
+    random_state: Optional[int] = None,
+) -> InstanceGrouping:
+    """Construct instance groups (Operation 1 / ``GenGroups``).
+
+    Parameters
+    ----------
+    X, y:
+        Training features and targets.
+    n_groups:
+        The number of groups ``v`` (the paper recommends at most 5 so the
+        total fold count ``k_gen + k_spe`` stays at the usual 5).
+    task:
+        ``"classification"`` or ``"regression"`` (regression labels are
+        binned into magnitude categories).
+    r_group:
+        Minimum-cluster-size ratio of the iterated k-means (paper: 0.8).
+    top_k:
+        Classes claimed per cluster in the first allocation pass; defaults
+        to ``ceil(n_categories / n_groups)`` so the passes roughly cover all
+        categories.
+    n_label_bins:
+        Category count for regression label binning.
+    clusterer:
+        Feature-clustering algorithm: ``"kmeans"`` (the paper's default,
+        with the balanced re-clustering rule) or ``"meanshift"``
+        (Section III-A lists it as an alternative; its modes are
+        consolidated to ``n_groups`` clusters).
+    random_state:
+        Seed for clustering.
+
+    Returns
+    -------
+    InstanceGrouping
+        Group labels for every instance, plus the intermediate cluster and
+        category codes.
+    """
+    X = check_array(X)
+    y = np.asarray(y)
+    if len(y) != X.shape[0]:
+        raise ValueError(f"X and y have inconsistent lengths: {X.shape[0]} != {len(y)}")
+    if n_groups < 1:
+        raise ValueError(f"n_groups must be >= 1, got {n_groups}")
+    if X.shape[0] < n_groups:
+        raise ValueError(f"Need at least n_groups={n_groups} instances, got {X.shape[0]}")
+
+    if clusterer == "kmeans":
+        clusters = balanced_kmeans_labels(
+            X, n_clusters=n_groups, r_group=r_group, random_state=random_state
+        )
+    elif clusterer == "meanshift":
+        clusters = meanshift_labels_consolidated(X, n_clusters=n_groups, random_state=random_state)
+    else:
+        raise ValueError(f"clusterer must be 'kmeans' or 'meanshift', got {clusterer!r}")
+    categories = label_categories(
+        y, task="regression" if task == "regression" else "classification", n_bins=n_label_bins
+    )
+
+    n = X.shape[0]
+    n_categories = int(categories.max()) + 1
+    if top_k is None:
+        top_k = max(1, int(np.ceil(n_categories / n_groups)))
+
+    # counts[i, j]: instances with category i in cluster j (Operation 1, L2).
+    counts = np.zeros((n_categories, n_groups), dtype=int)
+    np.add.at(counts, (categories, clusters), 1)
+
+    group_labels = np.full(n, -1, dtype=int)
+
+    # Pass 1: each cluster claims its top-k categories (Operation 1, L6-9).
+    for cluster_index in range(n_groups):
+        column = counts[:, cluster_index]
+        claimed = np.argsort(-column, kind="stable")[:top_k]
+        claimed = [c for c in claimed if column[c] > 0]
+        if not claimed:
+            continue
+        member = (clusters == cluster_index) & np.isin(categories, claimed) & (group_labels == -1)
+        group_labels[member] = cluster_index
+
+    # Pass 2: remaining instances follow their category's dominant cluster
+    # (Operation 1, L12-16).
+    dominant_cluster = counts.argmax(axis=1)
+    unassigned = group_labels == -1
+    group_labels[unassigned] = dominant_cluster[categories[unassigned]]
+
+    # Guard: keep every group non-empty so downstream stratified sampling
+    # never sees a zero-width stratum.  Move the nearest-cluster instances
+    # of the largest group into any empty one.
+    sizes = np.bincount(group_labels, minlength=n_groups)
+    for empty in np.flatnonzero(sizes == 0):
+        donor = int(sizes.argmax())
+        donors = np.flatnonzero((group_labels == donor) & (clusters == empty))
+        if len(donors) == 0:
+            donors = np.flatnonzero(group_labels == donor)
+        take = donors[: max(1, len(donors) // 2)]
+        group_labels[take] = empty
+        sizes = np.bincount(group_labels, minlength=n_groups)
+
+    return InstanceGrouping(
+        group_labels=group_labels,
+        feature_clusters=clusters,
+        label_categories=categories,
+        n_groups=n_groups,
+    )

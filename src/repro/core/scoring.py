@@ -1,0 +1,149 @@
+"""Evaluation metric with variance and sampling size (paper Section III-C).
+
+Implements Equations 1-3:
+
+- the UCB-style combination ``s = mu + alpha * sigma`` (Eq. 1);
+- the subset-size weight ``beta(gamma)`` (Eq. 2), a shifted/clamped
+  ``atanh`` of the sampling percentage ``gamma = |b_t| / |B| * 100`` that
+  decays from ``beta_max`` (tiny subsets: variance matters most) through
+  ``beta_max / 2`` at 50% to 0 at full budget (Figure 3);
+- the final score ``s = mu + alpha * beta(gamma) * sigma`` (Eq. 3).
+
+Note on Eq. 2: the printed formula feeds a percentage straight into
+``atanh``; the thresholds ``gamma_min/max = 50 (1 -/+ tanh(beta_max / 4))``
+and Figure 3 pin down the intended normalisation, which divides the clamped
+percentage by 100 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "gamma_bounds",
+    "beta_weight",
+    "beta_curve",
+    "ucb_score",
+    "ScoreParams",
+    "scores_from_folds",
+]
+
+
+def gamma_bounds(beta_max: float = 10.0) -> tuple:
+    """The clamp thresholds ``(gamma_min, gamma_max)`` of Equation 2.
+
+    Both are percentages in ``(0, 100)``; they are where the raw ``atanh``
+    term would exceed ``+/- beta_max / 2``.
+    """
+    if beta_max <= 0:
+        raise ValueError(f"beta_max must be positive, got {beta_max}")
+    gamma_min = 50.0 * (1.0 - np.tanh(beta_max / 4.0))
+    gamma_max = 50.0 * (1.0 - np.tanh(-beta_max / 4.0))
+    return float(gamma_min), float(gamma_max)
+
+
+def beta_weight(gamma, beta_max: float = 10.0):
+    """Subset-size weight ``beta(gamma)`` of Equation 2.
+
+    Parameters
+    ----------
+    gamma:
+        Sampling percentage ``|b_t| / |B| * 100`` in ``[0, 100]``; scalar or
+        array.
+    beta_max:
+        Maximum weight, recommended ``1 / alpha`` so the combined factor
+        ``alpha * beta`` is normalised to ``[0, 1]``.
+
+    Returns
+    -------
+    float or numpy.ndarray
+        ``beta`` in ``[0, beta_max]``: ``beta_max`` at the small-subset
+        clamp, ``beta_max / 2`` at 50%, 0 at the large-subset clamp.
+    """
+    gamma = np.asarray(gamma, dtype=float)
+    if np.any(gamma < 0) or np.any(gamma > 100):
+        raise ValueError("gamma must be a percentage in [0, 100]")
+    gamma_min, gamma_max = gamma_bounds(beta_max)
+    clamped = np.clip(gamma, gamma_min, gamma_max)
+    value = 2.0 * np.arctanh(1.0 - 2.0 * clamped / 100.0) + beta_max / 2.0
+    if value.ndim == 0:
+        return float(value)
+    return value
+
+
+def beta_curve(beta_max: float = 10.0, n_points: int = 101) -> tuple:
+    """The Figure 3 line: ``(gammas, betas)`` over ``[0, 100]``."""
+    gammas = np.linspace(0.0, 100.0, n_points)
+    return gammas, beta_weight(gammas, beta_max=beta_max)
+
+
+@dataclass(frozen=True)
+class ScoreParams:
+    """Weights of the final evaluation metric (Equation 3).
+
+    Attributes
+    ----------
+    alpha:
+        Variance weight of Equation 1 (paper default 0.1).
+    beta_max:
+        Cap of the subset-size weight (paper default 10, i.e. ``1/alpha``).
+    use_variance:
+        Disable to fall back to the vanilla mean-only metric (used by the
+        Figure 7 ablation).
+    use_sampling_weight:
+        Disable to use a constant ``beta = 1`` (pure Equation 1 UCB).
+    """
+
+    alpha: float = 0.1
+    beta_max: float = 10.0
+    use_variance: bool = True
+    use_sampling_weight: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.beta_max <= 0:
+            raise ValueError(f"beta_max must be positive, got {self.beta_max}")
+
+
+def ucb_score(
+    mean: float,
+    std: float,
+    gamma: float,
+    params: ScoreParams = ScoreParams(),
+) -> float:
+    """Final evaluation metric ``s(x, y, gamma)`` of Equation 3.
+
+    Parameters
+    ----------
+    mean, std:
+        Mean ``mu`` and standard deviation ``sigma`` of the fold scores.
+    gamma:
+        Sampling percentage in ``[0, 100]``.
+    params:
+        Metric weights and ablation switches.
+
+    Returns
+    -------
+    float
+        ``mu`` when variance use is disabled, ``mu + alpha * sigma`` when
+        the sampling weight is disabled, else
+        ``mu + alpha * beta(gamma) * sigma``.
+    """
+    if not params.use_variance:
+        return float(mean)
+    weight = beta_weight(gamma, beta_max=params.beta_max) if params.use_sampling_weight else 1.0
+    return float(mean + params.alpha * weight * std)
+
+
+def scores_from_folds(fold_scores: Sequence[float], gamma: float, params: ScoreParams = ScoreParams()) -> tuple:
+    """Convenience: ``(mean, std, final score)`` from raw fold scores."""
+    fold_scores = np.asarray(fold_scores, dtype=float)
+    if fold_scores.size == 0:
+        raise ValueError("fold_scores must be non-empty")
+    mean = float(fold_scores.mean())
+    std = float(fold_scores.std())
+    return mean, std, ucb_score(mean, std, gamma, params)

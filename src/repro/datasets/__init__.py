@@ -1,0 +1,25 @@
+"""Synthetic datasets and the registry of paper-dataset analogues."""
+
+from .io import load_csv, load_svmlight_file
+from .registry import (
+    DATASET_SPECS,
+    Dataset,
+    DatasetSpec,
+    dataset_info_table,
+    list_datasets,
+    load_dataset,
+)
+from .synthetic import make_classification, make_regression
+
+__all__ = [
+    "DATASET_SPECS",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_info_table",
+    "list_datasets",
+    "load_csv",
+    "load_dataset",
+    "load_svmlight_file",
+    "make_classification",
+    "make_regression",
+]

@@ -1,0 +1,172 @@
+"""File-format loaders: LibSVM sparse text and numeric CSV.
+
+The paper's datasets come from LibSVM / UCI / Kaggle; in an online
+environment a user of this package can load the *real* files with these
+parsers and run every experiment unchanged (the runners only need
+``(X, y)`` arrays).  Implemented with the standard library + numpy only.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["load_svmlight_file", "load_csv"]
+
+
+def load_svmlight_file(
+    path: Union[str, Path],
+    n_features: Optional[int] = None,
+    zero_based: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Parse a LibSVM/svmlight text file into dense arrays.
+
+    Each line is ``<label> <index>:<value> <index>:<value> ...``; comments
+    start with ``#``.  Feature indices are 1-based by default (the LibSVM
+    convention).
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    n_features:
+        Force the feature-matrix width; inferred from the largest index
+        when omitted.
+    zero_based:
+        Set when the file uses 0-based indices.
+
+    Returns
+    -------
+    tuple
+        ``(X, y)`` with ``X`` dense of shape ``(n_samples, n_features)``.
+    """
+    path = Path(path)
+    labels = []
+    rows = []  # list of (indices, values)
+    max_index = -1
+    with path.open() as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            try:
+                labels.append(float(parts[0]))
+            except ValueError:
+                raise ValueError(f"{path}:{line_number}: malformed label {parts[0]!r}") from None
+            indices, values = [], []
+            for token in parts[1:]:
+                try:
+                    index_text, value_text = token.split(":", 1)
+                    index = int(index_text)
+                    value = float(value_text)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: malformed feature token {token!r}"
+                    ) from None
+                if not zero_based:
+                    index -= 1
+                if index < 0:
+                    raise ValueError(f"{path}:{line_number}: negative feature index")
+                indices.append(index)
+                values.append(value)
+                max_index = max(max_index, index)
+            rows.append((indices, values))
+
+    if not rows:
+        raise ValueError(f"{path} contains no samples")
+    width = n_features if n_features is not None else max_index + 1
+    if width <= 0:
+        raise ValueError("Could not infer a positive feature count")
+    X = np.zeros((len(rows), width), dtype=float)
+    for row_index, (indices, values) in enumerate(rows):
+        for index, value in zip(indices, values):
+            if index >= width:
+                raise ValueError(
+                    f"feature index {index} exceeds n_features={width}"
+                )
+            X[row_index, index] = value
+    y = np.array(labels)
+    # Integer-valued labels (the common classification case) come back as ints.
+    if np.all(y == np.round(y)):
+        y = y.astype(int)
+    return X, y
+
+
+def load_csv(
+    path: Union[str, Path],
+    target_column: Union[int, str] = -1,
+    has_header: bool = True,
+    delimiter: str = ",",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Load a numeric CSV into ``(X, y)``.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    target_column:
+        Column holding the target — an integer position (negative allowed)
+        or, when the file has a header, a column name.
+    has_header:
+        Whether the first row is a header.
+    delimiter:
+        Field separator.
+
+    Returns
+    -------
+    tuple
+        ``(X, y)``; non-numeric target values are label-encoded to ints.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    if not lines:
+        raise ValueError(f"{path} is empty")
+
+    header = None
+    if has_header:
+        header = [cell.strip() for cell in lines[0].split(delimiter)]
+        lines = lines[1:]
+        if not lines:
+            raise ValueError(f"{path} has a header but no data rows")
+
+    table = [ [cell.strip() for cell in line.split(delimiter)] for line in lines ]
+    widths = {len(row) for row in table}
+    if header is not None:
+        widths.add(len(header))
+    if len(widths) != 1:
+        raise ValueError(f"{path} has ragged rows (widths {sorted(widths)})")
+    n_columns = widths.pop()
+
+    if isinstance(target_column, str):
+        if header is None:
+            raise ValueError("A named target_column requires has_header=True")
+        try:
+            target_index = header.index(target_column)
+        except ValueError:
+            raise ValueError(f"No column named {target_column!r}; have {header}") from None
+    else:
+        target_index = target_column % n_columns
+
+    target_raw = [row[target_index] for row in table]
+    feature_rows = [
+        [cell for i, cell in enumerate(row) if i != target_index] for row in table
+    ]
+    try:
+        X = np.array(feature_rows, dtype=float)
+    except ValueError:
+        raise ValueError(f"{path}: non-numeric feature values") from None
+
+    try:
+        y = np.array(target_raw, dtype=float)
+        if np.all(y == np.round(y)):
+            y = y.astype(int)
+    except ValueError:
+        # Categorical string target: encode to 0..k-1 by sorted name.
+        classes = sorted(set(target_raw))
+        mapping = {name: code for code, name in enumerate(classes)}
+        y = np.array([mapping[value] for value in target_raw], dtype=int)
+    return X, y

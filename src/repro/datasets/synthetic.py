@@ -1,0 +1,180 @@
+"""Synthetic dataset generators.
+
+``make_classification`` follows the design of scikit-learn's generator:
+class centroids on hypercube vertices, several Gaussian clusters per class,
+redundant features as random linear combinations of informative ones, pure
+noise features and optional label flipping.  ``make_regression`` produces a
+linear target with an optional smooth nonlinear component so that MLP
+capacity actually matters.
+
+These generators drive the paper-dataset analogues in
+:mod:`repro.datasets.registry`: the paper's effects depend on dataset
+*shape* (size, imbalance, dimension, cluster structure), which is exactly
+what the parameters control.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["make_classification", "make_regression"]
+
+
+def _class_weights(weights: Optional[Sequence[float]], n_classes: int) -> np.ndarray:
+    if weights is None:
+        return np.full(n_classes, 1.0 / n_classes)
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape[0] != n_classes:
+        raise ValueError(f"weights must have length {n_classes}, got {weights.shape[0]}")
+    if (weights <= 0).any():
+        raise ValueError("weights must be strictly positive")
+    return weights / weights.sum()
+
+
+def make_classification(
+    n_samples: int = 100,
+    n_features: int = 20,
+    n_informative: Optional[int] = None,
+    n_redundant: Optional[int] = None,
+    n_classes: int = 2,
+    n_clusters_per_class: int = 2,
+    weights: Optional[Sequence[float]] = None,
+    class_sep: float = 1.0,
+    flip_y: float = 0.01,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a random classification problem.
+
+    Parameters
+    ----------
+    n_samples:
+        Total number of instances.
+    n_features:
+        Total feature count (informative + redundant + noise).
+    n_informative:
+        Features carrying class signal; defaults to
+        ``min(n_features, max(2, ceil(log2(n_classes * n_clusters_per_class)) + 2))``.
+    n_redundant:
+        Random linear combinations of informative features; defaults to
+        ``min(2, n_features - n_informative)``.
+    n_classes:
+        Number of classes.
+    n_clusters_per_class:
+        Gaussian sub-clusters per class — this is the intra-class structure
+        the paper's feature clustering step exploits.
+    weights:
+        Per-class sampling proportions (need not sum to one); ``None`` means
+        balanced.
+    class_sep:
+        Centroid spread multiplier; larger = easier problem.
+    flip_y:
+        Fraction of labels replaced with uniform random classes (label
+        noise).
+    random_state:
+        Seed for full reproducibility.
+
+    Returns
+    -------
+    tuple
+        ``(X, y)`` with ``X`` of shape ``(n_samples, n_features)`` and
+        integer labels ``y`` in ``0..n_classes-1``.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if n_classes < 2:
+        raise ValueError(f"n_classes must be >= 2, got {n_classes}")
+    if n_clusters_per_class < 1:
+        raise ValueError(f"n_clusters_per_class must be >= 1, got {n_clusters_per_class}")
+    if not 0.0 <= flip_y <= 1.0:
+        raise ValueError(f"flip_y must be in [0, 1], got {flip_y}")
+    rng = np.random.default_rng(random_state)
+
+    n_centroids = n_classes * n_clusters_per_class
+    if n_informative is None:
+        n_informative = min(n_features, max(2, int(np.ceil(np.log2(max(2, n_centroids)))) + 2))
+    if n_informative > n_features:
+        raise ValueError(
+            f"n_informative={n_informative} cannot exceed n_features={n_features}"
+        )
+    if n_redundant is None:
+        n_redundant = min(2, n_features - n_informative)
+    if n_informative + n_redundant > n_features:
+        raise ValueError("n_informative + n_redundant cannot exceed n_features")
+    n_noise = n_features - n_informative - n_redundant
+
+    # Random hypercube-corner-like centroids, one per (class, cluster).
+    centroids = rng.choice([-1.0, 1.0], size=(n_centroids, n_informative))
+    centroids += rng.uniform(-0.3, 0.3, size=centroids.shape)
+    centroids *= class_sep
+
+    probabilities = _class_weights(weights, n_classes)
+    y = rng.choice(n_classes, size=n_samples, p=probabilities)
+    cluster_of = rng.integers(n_clusters_per_class, size=n_samples)
+    centroid_index = y * n_clusters_per_class + cluster_of
+
+    X_informative = centroids[centroid_index] + rng.standard_normal((n_samples, n_informative))
+    parts = [X_informative]
+    if n_redundant:
+        mixing = rng.standard_normal((n_informative, n_redundant))
+        parts.append(X_informative @ mixing / np.sqrt(n_informative))
+    if n_noise:
+        parts.append(rng.standard_normal((n_samples, n_noise)))
+    X = np.hstack(parts)
+
+    if flip_y > 0:
+        flip_mask = rng.random(n_samples) < flip_y
+        y[flip_mask] = rng.integers(n_classes, size=int(flip_mask.sum()))
+
+    # Shuffle feature columns so informative features are not contiguous.
+    X = X[:, rng.permutation(n_features)]
+    return X, y.astype(int)
+
+
+def make_regression(
+    n_samples: int = 100,
+    n_features: int = 20,
+    n_informative: Optional[int] = None,
+    noise: float = 0.1,
+    nonlinearity: float = 0.5,
+    random_state: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate a random regression problem.
+
+    The target mixes a linear map of the informative features with a smooth
+    ``tanh`` interaction term weighted by ``nonlinearity``, so networks with
+    hidden capacity genuinely outperform linear fits.
+
+    Returns
+    -------
+    tuple
+        ``(X, y)`` with standardized ``y``.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if noise < 0:
+        raise ValueError(f"noise must be non-negative, got {noise}")
+    rng = np.random.default_rng(random_state)
+    if n_informative is None:
+        n_informative = max(1, min(n_features, n_features // 2))
+    if n_informative > n_features:
+        raise ValueError(
+            f"n_informative={n_informative} cannot exceed n_features={n_features}"
+        )
+
+    X = rng.standard_normal((n_samples, n_features))
+    informative = X[:, :n_informative]
+    linear_weights = rng.standard_normal(n_informative)
+    y = informative @ linear_weights
+    if nonlinearity > 0 and n_informative >= 2:
+        hidden = np.tanh(informative @ rng.standard_normal((n_informative, 4)))
+        y = y + nonlinearity * (hidden @ rng.standard_normal(4))
+    y = y + noise * rng.standard_normal(n_samples)
+
+    spread = y.std()
+    if spread > 0:
+        y = (y - y.mean()) / spread
+    # Shuffle columns so informative features are not contiguous.
+    X = X[:, rng.permutation(n_features)]
+    return X, y

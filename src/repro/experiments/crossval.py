@@ -1,0 +1,183 @@
+"""Cross-validation experiment runners (Figure 5-7, Table V).
+
+All four experiments share one protocol: cross-validate a fixed candidate
+grid on a subset of a given ratio with some CV *variant*, recommend the
+top-scoring configuration, and compare against the ground-truth test scores
+(every configuration refit on the full training set) via recommended-config
+accuracy and nDCG.
+
+The variants map onto the three axes of
+:class:`~repro.core.evaluator.SubsetCVEvaluator`:
+
+=================  ==========  =========================  ==============
+variant            sampling    folding                    metric
+=================  ==========  =========================  ==============
+``random``         random      random k-fold              mean
+``stratified``     stratified  stratified k-fold          mean
+``ours``           grouped     general+special (3+2)      Eq. 3 UCB
+``grouped-mean``   grouped     group-stratified (5+0)     mean (Table V)
+``ours-mean``      grouped     general+special (3+2)      mean (Fig. 7)
+``folds-g<g>s<s>`` grouped     general+special (g+s)      mean (Fig. 6)
+=================  ==========  =========================  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cv import CrossValidationStudy
+from ..core.evaluator import MLPModelFactory, SubsetCVEvaluator
+from ..core.grouping import generate_groups
+from ..core.scoring import ScoreParams
+from ..datasets import Dataset
+from .spaces import cv_experiment_space
+
+__all__ = [
+    "CVVariantResult",
+    "build_cv_evaluator",
+    "run_cv_experiment",
+    "CV_EXPERIMENT_DATASETS",
+]
+
+#: the six datasets of the paper's CV experiments (Figure 5).
+CV_EXPERIMENT_DATASETS = ("australian", "splice", "a9a", "gisette", "satimage", "usps")
+
+
+@dataclass
+class CVVariantResult:
+    """Per-ratio outcomes of one CV variant on one dataset.
+
+    ``test_accuracy[ratio]`` / ``ndcg[ratio]`` hold one value per seed.
+    """
+
+    variant: str
+    test_accuracy: Dict[float, List[float]] = field(default_factory=dict)
+    ndcg: Dict[float, List[float]] = field(default_factory=dict)
+
+    def mean_accuracy(self, ratio: float) -> float:
+        """Seed-averaged accuracy of the recommended configuration."""
+        return float(np.mean(self.test_accuracy[ratio]))
+
+    def mean_ndcg(self, ratio: float) -> float:
+        """Seed-averaged nDCG of the predicted ranking."""
+        return float(np.mean(self.ndcg[ratio]))
+
+
+def _parse_fold_variant(variant: str) -> Optional[Tuple[int, int]]:
+    """``folds-g3s2`` -> ``(3, 2)``; ``None`` for other names."""
+    if not variant.startswith("folds-g"):
+        return None
+    try:
+        g_part, s_part = variant[len("folds-g") :].split("s")
+        return int(g_part), int(s_part)
+    except ValueError:
+        raise ValueError(
+            f"Malformed fold variant {variant!r}; expected 'folds-g<gen>s<spe>'"
+        ) from None
+
+
+def build_cv_evaluator(
+    variant: str,
+    dataset: Dataset,
+    max_iter: int = 30,
+    n_groups: int = 2,
+    alpha: float = 0.1,
+    beta_max: float = 10.0,
+    min_subset: int = 30,
+    random_state: Optional[int] = None,
+) -> SubsetCVEvaluator:
+    """Build the evaluator implementing one CV variant (see module table)."""
+    task = "regression" if dataset.task == "regression" else "classification"
+    factory = MLPModelFactory(task=task, max_iter=max_iter)
+    mean_only = ScoreParams(use_variance=False)
+    ucb = ScoreParams(alpha=alpha, beta_max=beta_max)
+    common = dict(metric=dataset.metric, task=task, min_subset=min_subset)
+
+    if variant == "random":
+        return SubsetCVEvaluator(
+            dataset.X_train, dataset.y_train, factory,
+            sampling="random", folding="random", score_params=mean_only, **common,
+        )
+    if variant == "stratified":
+        return SubsetCVEvaluator(
+            dataset.X_train, dataset.y_train, factory,
+            sampling="stratified", folding="stratified", score_params=mean_only, **common,
+        )
+
+    fold_allocation = _parse_fold_variant(variant)
+    if variant in ("ours", "ours-mean", "grouped-mean") or fold_allocation is not None:
+        if fold_allocation is not None:
+            k_gen, k_spe = fold_allocation
+        elif variant == "grouped-mean":
+            k_gen, k_spe = 5, 0
+        else:
+            k_gen, k_spe = 3, 2
+        # Special folds need at least k_spe groups.
+        groups = generate_groups(
+            dataset.X_train,
+            dataset.y_train,
+            n_groups=max(n_groups, k_spe, 1),
+            task=task,
+            random_state=random_state,
+        )
+        return SubsetCVEvaluator(
+            dataset.X_train, dataset.y_train, factory,
+            sampling="grouped", folding="grouped", grouping=groups,
+            k_gen=k_gen, k_spe=k_spe,
+            score_params=ucb if variant == "ours" else mean_only,
+            **common,
+        )
+    raise ValueError(f"Unknown CV variant {variant!r}")
+
+
+def run_cv_experiment(
+    dataset: Dataset,
+    variants: Sequence[str] = ("random", "stratified", "ours"),
+    ratios: Sequence[float] = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0),
+    seeds: Iterable[int] = range(3),
+    configurations: Optional[Sequence[Dict[str, Any]]] = None,
+    max_iter: int = 30,
+    truth_max_iter: Optional[int] = None,
+    **evaluator_overrides: Any,
+) -> Dict[str, CVVariantResult]:
+    """Run the shared CV protocol for several variants on one dataset.
+
+    Ground-truth test scores (full-train fits of every configuration) are
+    computed once per seed and shared across variants and ratios, exactly as
+    the paper's "actual ranking".
+
+    Returns
+    -------
+    dict
+        ``variant -> CVVariantResult``.
+    """
+    if configurations is None:
+        configurations = cv_experiment_space().grid()
+    truth_max_iter = truth_max_iter or max_iter
+    results = {variant: CVVariantResult(variant=variant) for variant in variants}
+
+    for seed in seeds:
+        # Shared ground truth for this seed.
+        task = "regression" if dataset.task == "regression" else "classification"
+        truth_factory = MLPModelFactory(task=task, max_iter=truth_max_iter)
+        truth_evaluator = SubsetCVEvaluator(
+            dataset.X_train, dataset.y_train, truth_factory,
+            metric=dataset.metric, task=task,
+        )
+        study = CrossValidationStudy(truth_evaluator, configurations)
+        truth = study.ground_truth(dataset.X_test, dataset.y_test, random_state=seed)
+
+        for variant in variants:
+            evaluator = build_cv_evaluator(
+                variant, dataset, max_iter=max_iter, random_state=seed, **evaluator_overrides
+            )
+            variant_study = CrossValidationStudy(evaluator, configurations)
+            for ratio in ratios:
+                ranking = variant_study.run(subset_ratio=ratio, random_state=seed)
+                record = results[variant]
+                record.test_accuracy.setdefault(ratio, []).append(float(truth[ranking.recommended_index]))
+                record.ndcg.setdefault(ratio, []).append(float(ranking.ndcg(truth)))
+    return results

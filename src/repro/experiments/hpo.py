@@ -1,0 +1,236 @@
+"""Hyperparameter-optimization experiment runners (Table IV, Figure 4).
+
+``run_hpo_methods`` reproduces one Table IV row-group: every method is run
+over several seeds on one dataset, reporting train score, test score and
+search time as ``mean +/- std``.  ``run_config_scaling`` reproduces
+Figure 4: SHA vs SHA+ as the configuration count grows, either by adding
+hyperparameters (Table III order) or by deepening the model-size space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.enhanced import make_searcher
+from ..core.evaluator import MLPModelFactory, make_scorer
+from ..datasets import Dataset
+from ..space import SearchSpace
+from .report import format_table, mean_std
+from .spaces import model_complexity_space, paper_search_space
+
+__all__ = [
+    "TABLE4_METHODS",
+    "MethodRunStats",
+    "run_hpo_methods",
+    "run_config_scaling",
+    "format_table4_rows",
+]
+
+#: Table IV's method columns, in paper order.
+TABLE4_METHODS = ("random", "sha", "sha+", "hb", "hb+", "bohb", "bohb+")
+
+
+@dataclass
+class MethodRunStats:
+    """Aggregated results of one method over several seeds."""
+
+    method: str
+    train_scores: List[float] = field(default_factory=list)
+    test_scores: List[float] = field(default_factory=list)
+    times: List[float] = field(default_factory=list)
+    best_configs: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def mean_test(self) -> float:
+        """Average test score across seeds."""
+        return float(np.mean(self.test_scores)) if self.test_scores else float("nan")
+
+    @property
+    def std_test(self) -> float:
+        """Standard deviation of the test score across seeds."""
+        return float(np.std(self.test_scores)) if self.test_scores else float("nan")
+
+    @property
+    def mean_time(self) -> float:
+        """Average search seconds across seeds."""
+        return float(np.mean(self.times)) if self.times else float("nan")
+
+
+def _default_searcher_kwargs(method: str, n_configs: int) -> Dict[str, Any]:
+    """Budget settings scaled to the candidate-pool size."""
+    key = method.lower()
+    if key.startswith("sha"):
+        return {"eta": 2.0, "min_budget_fraction": 1.0 / max(2, n_configs)}
+    if key.startswith("hb") or key.startswith("bohb"):
+        return {"eta": 3.0, "min_budget_fraction": 1.0 / 27.0}
+    if key.startswith("asha"):
+        return {"eta": 2.0, "min_budget_fraction": 1.0 / 8.0, "max_started": n_configs}
+    return {}
+
+
+def run_hpo_methods(
+    dataset: Dataset,
+    methods: Sequence[str] = TABLE4_METHODS,
+    space: Optional[SearchSpace] = None,
+    configurations: Optional[Sequence[Dict[str, Any]]] = None,
+    seeds: Iterable[int] = range(5),
+    max_iter: int = 30,
+    n_random: int = 10,
+    evaluator_kwargs: Optional[Dict[str, Any]] = None,
+    searcher_kwargs: Optional[Dict[str, Dict[str, Any]]] = None,
+    use_pool: bool = True,
+) -> Dict[str, MethodRunStats]:
+    """Run every method on one dataset over the given seeds.
+
+    Parameters
+    ----------
+    dataset:
+        A loaded :class:`~repro.datasets.Dataset`.
+    methods:
+        Method names accepted by :func:`repro.core.make_searcher`.
+    space:
+        Search space; defaults to the paper's 4-hyperparameter /
+        162-configuration space.
+    configurations:
+        Candidate pool; defaults to the full grid of ``space``.  The
+        ``random`` baseline ignores this and samples ``n_random``
+        configurations, as in the paper.
+    seeds:
+        Random seeds (the paper repeats each experiment 5 times).
+    max_iter:
+        MLP epoch budget during search evaluations and the final refit.
+    n_random:
+        Pool size of the random-search baseline.
+    evaluator_kwargs, searcher_kwargs:
+        Per-evaluator / per-method (keyed by lowercased name) overrides.
+    use_pool:
+        When False, model-based searchers (BOHB, DEHB) sample/propose their
+        own configurations from the space instead of drawing from a fixed
+        pool; the random baseline still uses ``n_random`` samples.
+
+    Returns
+    -------
+    dict
+        ``method -> MethodRunStats``.
+    """
+    if space is None:
+        space = paper_search_space(4)
+    if configurations is None:
+        configurations = space.grid()
+    task = "regression" if dataset.task == "regression" else "classification"
+    scorer = make_scorer(dataset.metric)
+    searcher_kwargs = searcher_kwargs or {}
+    results: Dict[str, MethodRunStats] = {}
+
+    for method in methods:
+        key = method.lower()
+        stats = MethodRunStats(method=method)
+        for seed in seeds:
+            factory = MLPModelFactory(task=task, max_iter=max_iter)
+            kwargs = {**_default_searcher_kwargs(key, len(configurations)), **searcher_kwargs.get(key, {})}
+            searcher = make_searcher(
+                key,
+                space,
+                dataset.X_train,
+                dataset.y_train,
+                metric=dataset.metric,
+                task=task,
+                model_factory=factory,
+                random_state=seed,
+                evaluator_kwargs=evaluator_kwargs,
+                searcher_kwargs=kwargs,
+            )
+            if key == "random":
+                rng = np.random.default_rng(seed)
+                pool = [configurations[i] for i in rng.choice(len(configurations), size=min(n_random, len(configurations)), replace=False)]
+                result = searcher.fit(configurations=pool)
+            elif use_pool and not key.startswith(("bohb", "dehb")):
+                result = searcher.fit(configurations=configurations)
+            else:
+                # Model-based searchers must propose their own
+                # configurations (a fixed pool would bypass their samplers
+                # and reduce them to HyperBand); they draw from the same
+                # space the grid enumerates.
+                result = searcher.fit()
+            model = searcher.evaluator.fit_full(result.best_config, random_state=seed)
+            stats.train_scores.append(float(scorer(model, dataset.X_train, dataset.y_train)))
+            stats.test_scores.append(float(scorer(model, dataset.X_test, dataset.y_test)))
+            stats.times.append(result.wall_time)
+            stats.best_configs.append(result.best_config)
+        results[method] = stats
+    return results
+
+
+def format_table4_rows(dataset_name: str, metric: str, results: Dict[str, MethodRunStats]) -> str:
+    """Render one dataset's Table IV block (train, test, time rows)."""
+    methods = list(results)
+    metric_label = {"accuracy": "Acc.", "f1": "F1.", "r2": "R2"}.get(metric, metric)
+    rows = [
+        [f"train{metric_label} (%)"] + [mean_std(results[m].train_scores, scale=100.0) for m in methods],
+        [f"test{metric_label} (%)"] + [mean_std(results[m].test_scores, scale=100.0) for m in methods],
+        ["time (sec.)"] + [mean_std(results[m].times, decimals=2) for m in methods],
+    ]
+    return format_table([dataset_name, *methods], rows)
+
+
+def run_config_scaling(
+    dataset: Dataset,
+    axis: str = "hyperparameters",
+    values: Optional[Sequence[int]] = None,
+    methods: Sequence[str] = ("sha", "sha+"),
+    seeds: Iterable[int] = range(3),
+    max_iter: int = 30,
+    max_grid: int = 200,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Figure 4: accuracy / time of SHA vs SHA+ as the space grows.
+
+    Parameters
+    ----------
+    axis:
+        ``"hyperparameters"`` grows the Table III prefix (1..8);
+        ``"layers"`` deepens the model-size space of Figure 4's right half.
+    values:
+        Axis values; defaults to ``1..6`` HPs or ``1..3`` layers.
+    max_grid:
+        Cap on the enumerated grid per point (subsampled deterministically
+        beyond this, keeping runtimes laptop-friendly).
+
+    Returns
+    -------
+    dict
+        ``method -> {"accuracy": [...], "time": [...], "n_configs": [...]}``
+        aligned with ``values``.
+    """
+    if axis not in ("hyperparameters", "layers"):
+        raise ValueError(f"axis must be 'hyperparameters' or 'layers', got {axis!r}")
+    if values is None:
+        values = list(range(1, 7)) if axis == "hyperparameters" else [1, 2, 3]
+    output: Dict[str, Dict[str, List[float]]] = {
+        m: {"accuracy": [], "time": [], "n_configs": []} for m in methods
+    }
+    for value in values:
+        space = (
+            paper_search_space(value)
+            if axis == "hyperparameters"
+            else model_complexity_space(value)
+        )
+        grid = space.grid()
+        if len(grid) > max_grid:
+            picker = np.random.default_rng(value)
+            grid = [grid[i] for i in picker.choice(len(grid), size=max_grid, replace=False)]
+        results = run_hpo_methods(
+            dataset,
+            methods=methods,
+            space=space,
+            configurations=grid,
+            seeds=seeds,
+            max_iter=max_iter,
+        )
+        for method in methods:
+            output[method]["accuracy"].append(results[method].mean_test)
+            output[method]["time"].append(results[method].mean_time)
+            output[method]["n_configs"].append(float(len(grid)))
+    return output

@@ -1,0 +1,59 @@
+"""Win-rate reliability analysis across seeds.
+
+Complements mean ± std and the paired tests: for each pair of methods,
+how often (over seeds) does one strictly beat the other?  The paper's
+stability story predicts the "+" variants should rarely *lose* even when
+mean gains are small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .report import format_table
+
+__all__ = ["win_rate", "win_rate_matrix", "format_win_rate_matrix"]
+
+
+def win_rate(candidate: Sequence[float], baseline: Sequence[float], tie_epsilon: float = 1e-9) -> float:
+    """Fraction of seeds where ``candidate`` strictly beats ``baseline``.
+
+    Ties (within ``tie_epsilon``) count half, so two identical methods get
+    a 0.5 win rate.
+    """
+    candidate = np.asarray(candidate, dtype=float)
+    baseline = np.asarray(baseline, dtype=float)
+    if candidate.shape != baseline.shape or candidate.ndim != 1 or candidate.size == 0:
+        raise ValueError(
+            f"candidate and baseline must be non-empty 1-D of equal length, got {candidate.shape} vs {baseline.shape}"
+        )
+    wins = (candidate > baseline + tie_epsilon).sum()
+    ties = (np.abs(candidate - baseline) <= tie_epsilon).sum()
+    return float((wins + 0.5 * ties) / candidate.size)
+
+
+def win_rate_matrix(scores: Dict[str, Sequence[float]]) -> Dict[str, Dict[str, float]]:
+    """Pairwise win rates ``matrix[row][column] = P(row beats column)``."""
+    if not scores:
+        raise ValueError("scores must be non-empty")
+    lengths = {len(v) for v in scores.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"All methods need the same seed count, got lengths {sorted(lengths)}")
+    names = list(scores)
+    matrix: Dict[str, Dict[str, float]] = {}
+    for row in names:
+        matrix[row] = {}
+        for column in names:
+            matrix[row][column] = 0.5 if row == column else win_rate(scores[row], scores[column])
+    return matrix
+
+
+def format_win_rate_matrix(matrix: Dict[str, Dict[str, float]], title: str = "") -> str:
+    """Render the matrix as a text table (rows beat columns)."""
+    names = list(matrix)
+    rows: List[List[str]] = []
+    for row in names:
+        rows.append([row] + [f"{matrix[row][column]:.2f}" for column in names])
+    return format_table(["beats ->", *names], rows, title=title)

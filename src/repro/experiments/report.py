@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmarks print the same row/series structure as the paper's tables
+and figures; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "mean_std"]
+
+
+def mean_std(values: Sequence[float], scale: float = 1.0, decimals: int = 2) -> str:
+    """Render ``mean +/- std`` of a sample, e.g. ``96.87+-0.35``."""
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        return "-"
+    mean = values.mean() * scale
+    std = values.std() * scale
+    return f"{mean:.{decimals}f}+-{std:.{decimals}f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Fixed-width text table with a separator under the header."""
+    headers = [str(h) for h in headers]
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+    decimals: int = 3,
+) -> str:
+    """Render figure data as a table: one x column plus one column per line."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for name in series:
+            value = series[name][i]
+            row.append("-" if value is None or (isinstance(value, float) and np.isnan(value)) else f"{value:.{decimals}f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,225 @@
+"""Regenerate every paper table and figure in one run.
+
+Usage::
+
+    python -m repro.experiments.run_all [--scale 0.3] [--seeds 3]
+        [--configs 36] [--max-iter 12] [--out report.md]
+
+Produces a markdown report with one section per paper artifact (Tables
+II-V, Figures 1 and 3-7), using the same runners the ``benchmarks/`` suite
+wraps.  ``EXPERIMENTS.md`` is written from this report's output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections import Counter
+from typing import List
+
+import numpy as np
+
+from ..bandit import SuccessiveHalving
+from ..core import MLPModelFactory, beta_curve, vanilla_evaluator
+from ..datasets import dataset_info_table, load_dataset
+from ..space import Categorical, SearchSpace
+from .crossval import run_cv_experiment
+from .hpo import TABLE4_METHODS, format_table4_rows, run_config_scaling, run_hpo_methods
+from .report import format_series, format_table, mean_std
+from .spaces import cv_experiment_space, paper_search_space, search_space_table
+
+__all__ = ["run_all", "main"]
+
+
+def _section(title: str) -> List[str]:
+    return ["", f"## {title}", ""]
+
+
+def run_all(
+    scale: float = 0.3,
+    n_seeds: int = 3,
+    n_configs: int = 36,
+    max_iter: int = 12,
+    table4_datasets=("australian", "splice", "machine"),
+    cv_datasets=("australian", "splice", "satimage"),
+    stream=sys.stdout,
+) -> str:
+    """Run every experiment and return the markdown report."""
+    seeds = range(n_seeds)
+    started = time.time()
+    lines: List[str] = [
+        "# Reproduction report",
+        "",
+        f"settings: scale={scale}, seeds={n_seeds}, configs={n_configs}, max_iter={max_iter}",
+    ]
+
+    def log(text: str) -> None:
+        print(text, file=stream, flush=True)
+
+    # Table II / III ---------------------------------------------------------
+    log("[1/8] Tables II-III ...")
+    lines += _section("Table II — dataset analogues")
+    lines += ["```", dataset_info_table(scale=scale), "```"]
+    lines += _section("Table III — search space")
+    lines += ["```", search_space_table(), "```"]
+
+    # Figure 1 ----------------------------------------------------------------
+    log("[2/8] Figure 1 (SHA trace) ...")
+    dataset = load_dataset("australian", scale=scale, random_state=0)
+    trace_space = SearchSpace([
+        Categorical("hidden_layer_sizes", [(30,), (30, 30), (40,), (40, 40), (50,), (50, 50), (20,), (20, 20)]),
+    ])
+    factory = MLPModelFactory(task="classification", max_iter=max_iter, solver="lbfgs")
+    evaluator = vanilla_evaluator(dataset.X_train, dataset.y_train, factory, metric=dataset.metric)
+    trace = SuccessiveHalving(trace_space, evaluator, random_state=0, eta=2.0).fit(
+        configurations=trace_space.grid()
+    )
+    rounds = Counter(round(t.budget_fraction, 6) for t in trace.trials)
+    lines += _section("Figure 1 — SHA trace (8 configs, eta=2)")
+    lines += ["```"] + [
+        f"round {i}: {count} configs at budget {budget:.3f}"
+        for i, (budget, count) in enumerate(sorted(rounds.items()))
+    ] + ["```"]
+
+    # Figure 3 ----------------------------------------------------------------
+    log("[3/8] Figure 3 (beta curve) ...")
+    gammas, betas = beta_curve(beta_max=10.0, n_points=11)
+    lines += _section("Figure 3 — beta(gamma), beta_max=10")
+    lines += ["```", format_series("gamma(%)", [f"{g:.0f}" for g in gammas], {"beta": betas.tolist()}), "```"]
+
+    # Table IV ----------------------------------------------------------------
+    log("[4/8] Table IV (HPO comparison) ...")
+    grid = paper_search_space(4).grid()
+    if n_configs < len(grid):
+        rng = np.random.default_rng(0)
+        grid = [grid[i] for i in rng.choice(len(grid), size=n_configs, replace=False)]
+    lines += _section(f"Table IV — HPO methods ({len(grid)} configurations)")
+    for name in table4_datasets:
+        log(f"      - {name}")
+        ds = load_dataset(name, scale=scale, random_state=0)
+        results = run_hpo_methods(
+            ds, methods=TABLE4_METHODS, configurations=grid, seeds=seeds, max_iter=max_iter,
+            searcher_kwargs={k: {"min_budget_fraction": 1.0 / 9.0} for k in ("hb", "hb+", "bohb", "bohb+")},
+        )
+        lines += ["```", format_table4_rows(name, ds.metric, results), "```"]
+
+    # Figure 4 ----------------------------------------------------------------
+    log("[5/8] Figure 4 (config scaling) ...")
+    ds = load_dataset("australian", scale=scale, random_state=0)
+    scaling = run_config_scaling(
+        ds, axis="hyperparameters", values=[1, 2, 3, 4], seeds=seeds,
+        max_iter=max_iter, max_grid=64,
+    )
+    lines += _section("Figure 4 — SHA vs SHA+ vs number of hyperparameters (australian)")
+    lines += ["```", format_series(
+        "#HPs", [1, 2, 3, 4],
+        {
+            "SHA acc": scaling["sha"]["accuracy"],
+            "SHA+ acc": scaling["sha+"]["accuracy"],
+            "SHA time": scaling["sha"]["time"],
+            "SHA+ time": scaling["sha+"]["time"],
+        },
+    ), "```"]
+
+    # Figure 5 ----------------------------------------------------------------
+    log("[6/8] Figure 5 (CV methods) ...")
+    ratios = (0.1, 0.2, 0.4, 1.0)
+    configurations = cv_experiment_space().grid()
+    lines += _section("Figure 5 — CV methods vs subset size")
+    for name in cv_datasets:
+        log(f"      - {name}")
+        ds = load_dataset(name, scale=scale, random_state=0)
+        cv = run_cv_experiment(
+            ds, variants=("random", "stratified", "ours"), ratios=ratios,
+            seeds=seeds, configurations=configurations, max_iter=max_iter,
+        )
+        lines += [f"### {name}", "```", format_series(
+            "ratio", ratios,
+            {
+                "random acc": [cv["random"].mean_accuracy(r) for r in ratios],
+                "strat acc": [cv["stratified"].mean_accuracy(r) for r in ratios],
+                "ours acc": [cv["ours"].mean_accuracy(r) for r in ratios],
+                "random nDCG": [cv["random"].mean_ndcg(r) for r in ratios],
+                "strat nDCG": [cv["stratified"].mean_ndcg(r) for r in ratios],
+                "ours nDCG": [cv["ours"].mean_ndcg(r) for r in ratios],
+            },
+        ), "```"]
+
+    # Table V ------------------------------------------------------------------
+    log("[7/8] Table V (grouping ablation) + Figures 6-7 ...")
+    lines += _section("Table V — grouping-only ablation (10% / 100%)")
+    for name in cv_datasets:
+        ds = load_dataset(name, scale=scale, random_state=0)
+        cv = run_cv_experiment(
+            ds, variants=("stratified", "grouped-mean"), ratios=(0.1, 1.0),
+            seeds=seeds, configurations=configurations, max_iter=max_iter,
+        )
+        rows = []
+        for ratio in (0.1, 1.0):
+            for variant, label in (("stratified", "vanilla"), ("grouped-mean", "ours")):
+                rows.append([
+                    f"{ratio:.0%}", label,
+                    mean_std(cv[variant].test_accuracy[ratio], scale=100.0),
+                    f"{cv[variant].mean_ndcg(ratio):.3f}",
+                ])
+        lines += [f"### {name}", "```", format_table(["ratio", "method", "testAcc (%)", "nDCG"], rows), "```"]
+
+    # Figures 6 & 7 --------------------------------------------------------------
+    ds = load_dataset("splice", scale=scale, random_state=0)
+    allocations = ["folds-g5s0", "folds-g4s1", "folds-g3s2", "folds-g2s3", "folds-g1s4", "folds-g0s5"]
+    cv6 = run_cv_experiment(
+        ds, variants=allocations, ratios=(0.3,), seeds=seeds,
+        configurations=configurations, max_iter=max_iter, n_groups=5,
+    )
+    lines += _section("Figure 6 — fold allocation (splice, ratio 30%)")
+    lines += ["```", format_series(
+        "(gen,spe)", [a.replace("folds-", "") for a in allocations],
+        {
+            "testAcc": [cv6[a].mean_accuracy(0.3) for a in allocations],
+            "nDCG": [cv6[a].mean_ndcg(0.3) for a in allocations],
+        },
+    ), "```"]
+
+    cv7 = run_cv_experiment(
+        ds, variants=("ours-mean", "ours"), ratios=ratios, seeds=seeds,
+        configurations=configurations, max_iter=max_iter,
+    )
+    lines += _section("Figure 7 — metric ablation (splice)")
+    lines += ["```", format_series(
+        "ratio", ratios,
+        {
+            "mean acc": [cv7["ours-mean"].mean_accuracy(r) for r in ratios],
+            "UCB acc": [cv7["ours"].mean_accuracy(r) for r in ratios],
+            "mean nDCG": [cv7["ours-mean"].mean_ndcg(r) for r in ratios],
+            "UCB nDCG": [cv7["ours"].mean_ndcg(r) for r in ratios],
+        },
+    ), "```"]
+
+    log("[8/8] done.")
+    lines += ["", f"total runtime: {time.time() - started:.0f}s", ""]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seeds", type=int, default=3)
+    parser.add_argument("--configs", type=int, default=36)
+    parser.add_argument("--max-iter", type=int, default=12)
+    parser.add_argument("--out", default=None, help="write the markdown report here")
+    args = parser.parse_args(argv)
+    report = run_all(
+        scale=args.scale, n_seeds=args.seeds, n_configs=args.configs, max_iter=args.max_iter
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""The paper's hyperparameter search spaces (Table III).
+
+Eight hyperparameters of the scikit-learn-style MLP, added in table order
+for the "number of hyperparameters" sweep of Figure 4.  The main Table IV
+comparison uses the first four (6 x 3 x 3 x 3 = 162 configurations); the
+cross-validation experiments use the first two (6 x 3 = 18 configurations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..space import Categorical, SearchSpace
+
+__all__ = [
+    "PAPER_HYPERPARAMETERS",
+    "paper_search_space",
+    "cv_experiment_space",
+    "model_complexity_space",
+    "search_space_table",
+]
+
+#: Table III rows, in order.
+PAPER_HYPERPARAMETERS: List[Categorical] = [
+    Categorical(
+        "hidden_layer_sizes",
+        [(30,), (30, 30), (40,), (40, 40), (50,), (50, 50)],
+    ),
+    Categorical("activation", ["logistic", "tanh", "relu"]),
+    Categorical("solver", ["lbfgs", "sgd", "adam"]),
+    Categorical("learning_rate_init", [0.1, 0.05, 0.01]),
+    Categorical("batch_size", [32, 64, 128]),
+    Categorical("learning_rate", ["constant", "invscaling", "adaptive"]),
+    Categorical("momentum", [0.7, 0.8, 0.9]),
+    Categorical("early_stopping", [True, False]),
+]
+
+
+def paper_search_space(n_hyperparameters: int = 8) -> SearchSpace:
+    """The first ``n_hyperparameters`` Table III rows as a search space.
+
+    ``n_hyperparameters=4`` gives the 162-configuration space of the main
+    experiment; 2 gives the 18-configuration cross-validation space.
+    """
+    if not 1 <= n_hyperparameters <= len(PAPER_HYPERPARAMETERS):
+        raise ValueError(
+            f"n_hyperparameters must be in [1, {len(PAPER_HYPERPARAMETERS)}], got {n_hyperparameters}"
+        )
+    return SearchSpace(PAPER_HYPERPARAMETERS[:n_hyperparameters])
+
+
+def cv_experiment_space() -> SearchSpace:
+    """Section IV-C's 18-configuration space (hidden sizes x activation)."""
+    return paper_search_space(2)
+
+
+def model_complexity_space(n_layers: int, widths: Sequence[int] = (10, 20, 30, 40, 50)) -> SearchSpace:
+    """Figure 4's model-size sweep: all width tuples up to ``n_layers`` deep.
+
+    With the paper's widths this yields ``5 + 25 + ... + 5**n_layers``
+    hidden-layer choices, crossed with the activation choices.
+    """
+    if n_layers < 1:
+        raise ValueError(f"n_layers must be >= 1, got {n_layers}")
+    sizes: List[tuple] = []
+    frontier: List[tuple] = [()]
+    for _ in range(n_layers):
+        frontier = [prefix + (w,) for prefix in frontier for w in widths]
+        sizes.extend(frontier)
+    return SearchSpace(
+        [
+            Categorical("hidden_layer_sizes", sizes),
+            Categorical("activation", ["logistic", "tanh", "relu"]),
+        ]
+    )
+
+
+def search_space_table() -> str:
+    """Render Table III (name and range of every hyperparameter)."""
+    width = max(len(p.name) for p in PAPER_HYPERPARAMETERS) + 2
+    lines = [f"{'name':<{width}}range", "-" * (width + 50)]
+    for parameter in PAPER_HYPERPARAMETERS:
+        lines.append(f"{parameter.name:<{width}}{parameter.choices}")
+    return "\n".join(lines)

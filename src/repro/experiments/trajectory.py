@@ -1,0 +1,111 @@
+"""Anytime-performance analysis: incumbent score versus cumulative cost.
+
+HPO methods are often compared not just by their final pick but by how
+quickly they reach good configurations.  From a
+:class:`~repro.bandit.SearchResult`'s trial sequence this module builds the
+incumbent trajectory over cumulative evaluation cost, aligns several
+methods on a common cost grid, and renders them as a printable series —
+used by the anytime extension bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..bandit.base import SearchResult
+
+__all__ = ["AnytimeCurve", "anytime_curve", "align_curves", "area_under_curve"]
+
+
+@dataclass
+class AnytimeCurve:
+    """Step function: best score seen after spending each cost amount.
+
+    Attributes
+    ----------
+    costs:
+        Cumulative evaluation cost after each trial (strictly increasing).
+    scores:
+        Incumbent (best-so-far) evaluation score at those costs.
+    """
+
+    costs: np.ndarray
+    scores: np.ndarray
+
+    def value_at(self, cost: float) -> float:
+        """Incumbent score after spending ``cost`` (NaN before the first)."""
+        index = np.searchsorted(self.costs, cost, side="right") - 1
+        if index < 0:
+            return float("nan")
+        return float(self.scores[index])
+
+    @property
+    def total_cost(self) -> float:
+        """Cost at which the search finished."""
+        return float(self.costs[-1]) if len(self.costs) else 0.0
+
+
+def anytime_curve(result: SearchResult) -> AnytimeCurve:
+    """Build the incumbent-vs-cost curve from a search result's trials."""
+    if not result.trials:
+        raise ValueError("SearchResult has no trials")
+    costs = np.cumsum([max(t.result.cost, 0.0) for t in result.trials])
+    scores = np.maximum.accumulate([t.result.score for t in result.trials])
+    return AnytimeCurve(costs=np.asarray(costs, dtype=float), scores=np.asarray(scores, dtype=float))
+
+
+def align_curves(
+    curves: Dict[str, AnytimeCurve],
+    n_points: int = 20,
+) -> Tuple[np.ndarray, Dict[str, List[float]]]:
+    """Sample every curve on a shared cost grid.
+
+    The grid spans from the earliest first-trial cost to the largest total
+    cost across methods; curves that finished earlier hold their final
+    value (the standard anytime-plot convention).
+
+    Returns
+    -------
+    tuple
+        ``(grid, {name: values})``.
+    """
+    if not curves:
+        raise ValueError("curves must be non-empty")
+    start = min(curve.costs[0] for curve in curves.values())
+    end = max(curve.total_cost for curve in curves.values())
+    grid = np.linspace(start, end, n_points)
+    aligned = {}
+    for name, curve in curves.items():
+        values = []
+        for cost in grid:
+            if cost >= curve.total_cost:
+                values.append(float(curve.scores[-1]))
+            else:
+                values.append(curve.value_at(cost))
+        aligned[name] = values
+    return grid, aligned
+
+
+def area_under_curve(curve: AnytimeCurve, up_to: float) -> float:
+    """Normalised area under the incumbent curve over ``[0, up_to]``.
+
+    Higher is better (good configurations found early).  The pre-first-trial
+    region contributes zero.
+    """
+    if up_to <= 0:
+        raise ValueError(f"up_to must be positive, got {up_to}")
+    # Integrate the step function.
+    total = 0.0
+    previous_cost = 0.0
+    previous_score = 0.0
+    for cost, score in zip(curve.costs, curve.scores):
+        if cost >= up_to:
+            break
+        total += previous_score * (min(cost, up_to) - previous_cost)
+        previous_cost = cost
+        previous_score = score
+    total += previous_score * (up_to - previous_cost)
+    return total / up_to

@@ -1,0 +1,51 @@
+"""From-scratch learner substrate (scikit-learn equivalents).
+
+Provides the estimators the paper's experiments train: a numpy MLP
+classifier / regressor covering the full Table III hyperparameter space,
+plus the preprocessing helpers they depend on.
+"""
+
+from .activations import ACTIVATIONS, get_activation, logistic, relu, softmax, tanh
+from .base import BaseEstimator, check_array, check_X_y, clone
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .forest import RandomForestClassifier, RandomForestRegressor
+from .linear import LogisticRegression, Ridge
+from .losses import binary_log_loss, log_loss, squared_loss
+from .mlp import MLPClassifier, MLPRegressor
+from .naive_bayes import GaussianNB
+from .preprocessing import LabelEncoder, StandardScaler, one_hot
+from .solvers import AdamOptimizer, SGDOptimizer, make_optimizer
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "ACTIVATIONS",
+    "AdamOptimizer",
+    "BaseEstimator",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GaussianNB",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "LabelEncoder",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MLPRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "Ridge",
+    "SGDOptimizer",
+    "StandardScaler",
+    "binary_log_loss",
+    "check_X_y",
+    "check_array",
+    "clone",
+    "get_activation",
+    "log_loss",
+    "logistic",
+    "make_optimizer",
+    "one_hot",
+    "relu",
+    "softmax",
+    "squared_loss",
+    "tanh",
+]

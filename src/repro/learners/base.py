@@ -1,0 +1,87 @@
+"""Minimal estimator protocol shared by all learners.
+
+Provides a tiny subset of the scikit-learn estimator contract that the rest
+of the library relies on: constructor-args-as-hyperparameters,
+``get_params`` / ``set_params``, and :func:`clone` to create an unfitted copy
+with identical hyperparameters.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["BaseEstimator", "clone", "check_X_y", "check_array"]
+
+
+class BaseEstimator:
+    """Base class giving hyperparameter introspection to learners.
+
+    Subclasses must accept all hyperparameters as keyword arguments in
+    ``__init__`` and store them under the same attribute names, which is what
+    makes :func:`clone` and :meth:`get_params` work without per-class code.
+    Fitted state must use attribute names ending in ``_``.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list:
+        init_signature = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, parameter in init_signature.parameters.items()
+            if name != "self"
+            and parameter.kind not in (parameter.VAR_KEYWORD, parameter.VAR_POSITIONAL)
+        ]
+
+    def get_params(self) -> Dict[str, Any]:
+        """Return hyperparameters as a ``name -> value`` dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyperparameters, raising on names unknown to ``__init__``."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"Invalid parameter {name!r} for {type(self).__name__}; valid parameters: {sorted(valid)}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({args})"
+
+
+def clone(estimator: BaseEstimator) -> BaseEstimator:
+    """Return a new unfitted estimator with the same hyperparameters."""
+    params = {key: copy.deepcopy(value) for key, value in estimator.get_params().items()}
+    return type(estimator)(**params)
+
+
+def check_array(X: Any, *, name: str = "X") -> np.ndarray:
+    """Coerce ``X`` to a 2-D float array, rejecting NaN / inf values."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one sample")
+    if not np.isfinite(X).all():
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return X
+
+
+def check_X_y(X: Any, y: Any) -> tuple:
+    """Validate a feature matrix / target vector pair of matching length."""
+    X = check_array(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        y = y.ravel()
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(f"X and y have inconsistent lengths: {X.shape[0]} != {y.shape[0]}")
+    return X, y

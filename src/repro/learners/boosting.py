@@ -1,0 +1,167 @@
+"""Gradient boosting over CART trees.
+
+A third tunable model family: stage-wise additive trees fit to gradients —
+squared error for regression, binomial deviance (log-odds) for binary
+classification.  Boosting's strong sensitivity to ``learning_rate`` /
+``n_estimators`` / ``max_depth`` makes it a natural HPO subject.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .activations import logistic
+from .base import BaseEstimator, check_X_y
+from .preprocessing import LabelEncoder
+from .tree import DecisionTreeRegressor
+
+__all__ = ["GradientBoostingRegressor", "GradientBoostingClassifier"]
+
+
+class _BaseBoosting(BaseEstimator):
+    """Shared stage-wise fitting loop."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+
+    def _validate(self) -> None:
+        if self.n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {self.learning_rate}")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError(f"subsample must be in (0, 1], got {self.subsample}")
+
+    def _negative_gradient(self, y: np.ndarray, raw: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _initial_raw(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _fit_stages(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._validate()
+        rng = np.random.default_rng(self.random_state)
+        self.init_raw_ = self._initial_raw(y)
+        raw = np.full(len(y), self.init_raw_)
+        self.estimators_: List[DecisionTreeRegressor] = []
+        self.train_losses_: List[float] = []
+        n_samples = len(y)
+        for _ in range(self.n_estimators):
+            residual = self._negative_gradient(y, raw)
+            if self.subsample < 1.0:
+                pick = rng.choice(n_samples, size=max(2, int(self.subsample * n_samples)), replace=False)
+            else:
+                pick = np.arange(n_samples)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=int(rng.integers(2**31)),
+            )
+            tree.fit(X[pick], residual[pick])
+            raw = raw + self.learning_rate * tree.predict(X)
+            self.estimators_.append(tree)
+            self.train_losses_.append(self._loss(y, raw))
+
+    def _loss(self, y: np.ndarray, raw: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _raw_predict(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "estimators_"):
+            raise RuntimeError(f"{type(self).__name__} must be fitted before prediction")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        raw = np.full(X.shape[0], self.init_raw_)
+        for tree in self.estimators_:
+            raw = raw + self.learning_rate * tree.predict(X)
+        return raw
+
+
+class GradientBoostingRegressor(_BaseBoosting):
+    """Least-squares gradient boosting."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
+        """Fit the additive model on ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        self._fit_stages(X, y.astype(float))
+        return self
+
+    def _initial_raw(self, y: np.ndarray) -> float:
+        return float(y.mean())
+
+    def _negative_gradient(self, y: np.ndarray, raw: np.ndarray) -> np.ndarray:
+        return y - raw
+
+    def _loss(self, y: np.ndarray, raw: np.ndarray) -> float:
+        return float(((y - raw) ** 2).mean())
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets."""
+        return self._raw_predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """R² of the prediction."""
+        y = np.asarray(y, dtype=float).ravel()
+        prediction = self.predict(X)
+        ss_res = float(((y - prediction) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+class GradientBoostingClassifier(_BaseBoosting):
+    """Binary classification with binomial deviance (log-odds boosting)."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        """Fit the additive log-odds model on binary ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        self._encoder = LabelEncoder().fit(y)
+        self.classes_ = self._encoder.classes_
+        if len(self.classes_) != 2:
+            raise ValueError(
+                f"GradientBoostingClassifier supports binary problems; got {len(self.classes_)} classes"
+            )
+        codes = self._encoder.transform(y).astype(float)
+        self._fit_stages(X, codes)
+        return self
+
+    def _initial_raw(self, y: np.ndarray) -> float:
+        positive = float(np.clip(y.mean(), 1e-6, 1 - 1e-6))
+        return float(np.log(positive / (1.0 - positive)))
+
+    def _negative_gradient(self, y: np.ndarray, raw: np.ndarray) -> np.ndarray:
+        return y - logistic(raw)
+
+    def _loss(self, y: np.ndarray, raw: np.ndarray) -> float:
+        probability = np.clip(logistic(raw), 1e-12, 1 - 1e-12)
+        return float(-(y * np.log(probability) + (1 - y) * np.log(1 - probability)).mean())
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class probabilities ``(n_samples, 2)``."""
+        positive = logistic(self._raw_predict(X))
+        return np.column_stack([1.0 - positive, positive])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class labels."""
+        positive = self.predict_proba(X)[:, 1]
+        return self._encoder.inverse_transform((positive >= 0.5).astype(int))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(X) == np.asarray(y).ravel()).mean())

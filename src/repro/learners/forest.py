@@ -1,0 +1,177 @@
+"""Random forests: bagged CART ensembles.
+
+Used in two roles: as another model family to tune, and as the surrogate
+model of the SMAC-style Bayesian optimizer in
+:mod:`repro.bandit.smac` (SMAC3 — compared textually in the paper's
+Section IV-B — uses a random-forest surrogate, whose per-tree spread
+provides the uncertainty estimate the acquisition function needs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import BaseEstimator, check_X_y
+from .preprocessing import LabelEncoder
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = ["RandomForestClassifier", "RandomForestRegressor"]
+
+
+class _BaseForest(BaseEstimator):
+    """Bootstrap-aggregated trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = "sqrt",
+        bootstrap: bool = True,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(self.max_features, (int, np.integer)):
+            return int(min(self.max_features, n_features))
+        raise ValueError(
+            f"max_features must be None, 'sqrt', 'log2' or an int, got {self.max_features!r}"
+        )
+
+    def _make_tree(self, random_state: int, max_features: Optional[int]):
+        raise NotImplementedError
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray) -> None:
+        if self.n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        rng = np.random.default_rng(self.random_state)
+        max_features = self._resolve_max_features(X.shape[1])
+        n_samples = X.shape[0]
+        self.estimators_: List = []
+        for _ in range(self.n_estimators):
+            if self.bootstrap:
+                sample = rng.integers(n_samples, size=n_samples)
+            else:
+                sample = np.arange(n_samples)
+            tree = self._make_tree(int(rng.integers(2**31)), max_features)
+            tree.fit(X[sample], y[sample])
+            self.estimators_.append(tree)
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "estimators_"):
+            raise RuntimeError(f"{type(self).__name__} must be fitted before prediction")
+
+
+class RandomForestClassifier(_BaseForest):
+    """Majority-vote forest of CART classifiers."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` bootstrapped trees."""
+        X, y = check_X_y(X, y)
+        self._encoder = LabelEncoder().fit(y)
+        self.classes_ = self._encoder.classes_
+        codes = self._encoder.transform(y)
+        self._n_classes = len(self.classes_)
+        self._fit_forest(X, codes)
+        return self
+
+    def _make_tree(self, random_state: int, max_features: Optional[int]):
+        return DecisionTreeClassifier(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=max_features,
+            random_state=random_state,
+        )
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of per-tree leaf distributions."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        votes = np.zeros((X.shape[0], self._n_classes))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            # Trees were fitted on integer codes; class columns align only
+            # when every bootstrap saw all classes — pad when they did not.
+            if proba.shape[1] == self._n_classes:
+                votes += proba
+            else:
+                seen = tree._encoder.classes_.astype(int)
+                votes[:, seen] += proba
+        return votes / len(self.estimators_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote class labels."""
+        self._check_fitted()
+        return self._encoder.inverse_transform(self.predict_proba(X).argmax(axis=1))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(X) == np.asarray(y).ravel()).mean())
+
+
+class RandomForestRegressor(_BaseForest):
+    """Mean-aggregated forest of CART regressors.
+
+    :meth:`predict_with_std` exposes the per-tree spread used as the
+    surrogate uncertainty in SMAC-style Bayesian optimization.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        """Fit ``n_estimators`` bootstrapped trees."""
+        X, y = check_X_y(X, y)
+        self._fit_forest(X, y.astype(float))
+        return self
+
+    def _make_tree(self, random_state: int, max_features: Optional[int]):
+        return DecisionTreeRegressor(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=max_features,
+            random_state=random_state,
+        )
+
+    def _tree_matrix(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.vstack([tree.predict(X) for tree in self.estimators_])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Mean of per-tree predictions."""
+        return self._tree_matrix(X).mean(axis=0)
+
+    def predict_with_std(self, X: np.ndarray) -> tuple:
+        """``(mean, std)`` across trees — the surrogate's uncertainty."""
+        matrix = self._tree_matrix(X)
+        return matrix.mean(axis=0), matrix.std(axis=0)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """R² of the mean prediction."""
+        y = np.asarray(y, dtype=float).ravel()
+        prediction = self.predict(X)
+        ss_res = float(((y - prediction) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot

@@ -1,0 +1,48 @@
+"""Loss functions used by the MLP learners.
+
+All losses return the *mean* loss over the batch so gradients are directly
+comparable across batch sizes, mirroring scikit-learn's conventions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log_loss", "binary_log_loss", "squared_loss", "LOSSES"]
+
+# Clipping bound keeping log() finite without visibly distorting gradients.
+_EPS = 1e-10
+
+
+def log_loss(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Multinomial cross-entropy.
+
+    Parameters
+    ----------
+    y_true:
+        One-hot encoded labels of shape ``(n_samples, n_classes)``.
+    y_prob:
+        Predicted class probabilities of the same shape.
+    """
+    y_prob = np.clip(y_prob, _EPS, 1.0 - _EPS)
+    return float(-(y_true * np.log(y_prob)).sum() / y_true.shape[0])
+
+
+def binary_log_loss(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Binary cross-entropy for a single sigmoid output column."""
+    y_prob = np.clip(y_prob, _EPS, 1.0 - _EPS)
+    per_sample = y_true * np.log(y_prob) + (1.0 - y_true) * np.log(1.0 - y_prob)
+    return float(-per_sample.sum() / y_true.shape[0])
+
+
+def squared_loss(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean squared error halved, so its gradient is ``(pred - true) / n``."""
+    diff = y_pred - y_true
+    return float((diff**2).sum() / (2.0 * y_true.shape[0]))
+
+
+LOSSES = {
+    "log_loss": log_loss,
+    "binary_log_loss": binary_log_loss,
+    "squared_loss": squared_loss,
+}

@@ -1,0 +1,85 @@
+"""Gaussian naive Bayes.
+
+The fastest classifier in the substrate — useful as a cheap baseline model
+in HPO experiments and as the "quick scorer" in tests where training cost
+must be negligible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, check_X_y
+from .preprocessing import LabelEncoder
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BaseEstimator):
+    """Naive Bayes with per-class Gaussian feature likelihoods.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to all variances
+        for numerical stability (scikit-learn's knob).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        """Estimate per-class means, variances and priors."""
+        if self.var_smoothing < 0:
+            raise ValueError(f"var_smoothing must be non-negative, got {self.var_smoothing}")
+        X, y = check_X_y(X, y)
+        self._encoder = LabelEncoder().fit(y)
+        self.classes_ = self._encoder.classes_
+        codes = self._encoder.transform(y)
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+        self.theta_ = np.zeros((n_classes, n_features))
+        self.var_ = np.zeros((n_classes, n_features))
+        self.class_prior_ = np.zeros(n_classes)
+        for code in range(n_classes):
+            members = X[codes == code]
+            if len(members) == 0:
+                raise ValueError(f"class {self.classes_[code]!r} has no training instances")
+            self.theta_[code] = members.mean(axis=0)
+            self.var_[code] = members.var(axis=0)
+            self.class_prior_[code] = len(members) / len(y)
+        epsilon = self.var_smoothing * max(float(X.var(axis=0).max()), 1e-12)
+        self.var_ += epsilon
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "theta_"):
+            raise RuntimeError("GaussianNB must be fitted before prediction")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        log_likelihoods = []
+        for code in range(len(self.classes_)):
+            log_prior = np.log(self.class_prior_[code])
+            gaussian = -0.5 * (
+                np.log(2.0 * np.pi * self.var_[code])
+                + (X - self.theta_[code]) ** 2 / self.var_[code]
+            ).sum(axis=1)
+            log_likelihoods.append(log_prior + gaussian)
+        return np.column_stack(log_likelihoods)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Posterior class probabilities."""
+        joint = self._joint_log_likelihood(X)
+        joint -= joint.max(axis=1, keepdims=True)
+        likelihood = np.exp(joint)
+        return likelihood / likelihood.sum(axis=1, keepdims=True)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        joint = self._joint_log_likelihood(X)
+        return self._encoder.inverse_transform(joint.argmax(axis=1))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(X) == np.asarray(y).ravel()).mean())

@@ -1,0 +1,118 @@
+"""Feature and label preprocessing utilities.
+
+Implements the pieces of scikit-learn's preprocessing module the
+reproduction relies on: standard scaling, label encoding and one-hot
+encoding of integer class labels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseEstimator, check_array
+
+__all__ = ["StandardScaler", "LabelEncoder", "one_hot"]
+
+
+class StandardScaler(BaseEstimator):
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centred but unscaled, the
+    same guard scikit-learn applies.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True) -> None:
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and scale from ``X``."""
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler must be fitted before transform")
+        X = check_array(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features but scaler was fitted with {self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit to ``X`` and return the transformed array."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Map standardized values back to the original feature space."""
+        if not hasattr(self, "mean_"):
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform")
+        X = check_array(X)
+        return X * self.scale_ + self.mean_
+
+
+class LabelEncoder(BaseEstimator):
+    """Encode arbitrary hashable labels as integers ``0..n_classes-1``."""
+
+    def fit(self, y) -> "LabelEncoder":
+        """Record the sorted unique labels of ``y``."""
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        """Map labels to their integer codes, raising on unseen labels."""
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder must be fitted before transform")
+        y = np.asarray(y)
+        codes = np.searchsorted(self.classes_, y)
+        codes = np.clip(codes, 0, len(self.classes_) - 1)
+        if not np.array_equal(self.classes_[codes], y):
+            unseen = sorted(set(y.tolist()) - set(self.classes_.tolist()))
+            raise ValueError(f"y contains labels unseen during fit: {unseen}")
+        return codes
+
+    def fit_transform(self, y) -> np.ndarray:
+        """Fit to ``y`` and return the integer codes."""
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> np.ndarray:
+        """Map integer codes back to original labels."""
+        if not hasattr(self, "classes_"):
+            raise RuntimeError("LabelEncoder must be fitted before inverse_transform")
+        codes = np.asarray(codes, dtype=int)
+        if codes.size and (codes.min() < 0 or codes.max() >= len(self.classes_)):
+            raise ValueError("codes contain values outside the fitted range")
+        return self.classes_[codes]
+
+
+def one_hot(y: np.ndarray, n_classes: Optional[int] = None) -> np.ndarray:
+    """One-hot encode integer labels.
+
+    Parameters
+    ----------
+    y:
+        Integer labels in ``0..n_classes-1``.
+    n_classes:
+        Number of columns; inferred as ``y.max() + 1`` when omitted.
+    """
+    y = np.asarray(y, dtype=int)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if n_classes is None:
+        n_classes = int(y.max()) + 1 if y.size else 0
+    if y.size and (y.min() < 0 or y.max() >= n_classes):
+        raise ValueError(f"labels must lie in [0, {n_classes}), got range [{y.min()}, {y.max()}]")
+    encoded = np.zeros((y.shape[0], n_classes), dtype=float)
+    encoded[np.arange(y.shape[0]), y] = 1.0
+    return encoded

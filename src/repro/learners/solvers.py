@@ -1,0 +1,179 @@
+"""First-order parameter optimizers for the MLP learners.
+
+Implements the two stochastic solvers from the paper's search space
+(Table III): plain/momentum SGD with the three scikit-learn learning-rate
+schedules (``constant``, ``invscaling``, ``adaptive``) and Adam.  The L-BFGS
+solver is a full-batch method and is handled directly inside
+:mod:`repro.learners.mlp` via :func:`scipy.optimize.minimize`.
+
+The optimizers operate on flat lists of numpy arrays (the layer weight and
+bias matrices) and update them in place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["SGDOptimizer", "AdamOptimizer", "make_optimizer"]
+
+
+class SGDOptimizer:
+    """Stochastic gradient descent with momentum and learning-rate schedules.
+
+    Parameters
+    ----------
+    params:
+        Parameter arrays that will be updated in place.
+    learning_rate_init:
+        Initial step size.
+    schedule:
+        ``"constant"`` keeps the step fixed; ``"invscaling"`` decays it as
+        ``eta0 / t**power_t``; ``"adaptive"`` divides it by 5 whenever the
+        caller reports two consecutive epochs without loss improvement
+        (mirroring scikit-learn's heuristic).
+    momentum:
+        Classical momentum coefficient in ``[0, 1)``.
+    nesterov:
+        Use Nesterov lookahead momentum.
+    power_t:
+        Exponent of the inverse-scaling schedule.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        learning_rate_init: float = 0.1,
+        schedule: str = "constant",
+        momentum: float = 0.9,
+        nesterov: bool = True,
+        power_t: float = 0.5,
+    ) -> None:
+        if schedule not in ("constant", "invscaling", "adaptive"):
+            raise ValueError(f"Unknown learning-rate schedule {schedule!r}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if learning_rate_init <= 0.0:
+            raise ValueError(f"learning_rate_init must be positive, got {learning_rate_init}")
+        self.params = list(params)
+        self.learning_rate_init = learning_rate_init
+        self.learning_rate = learning_rate_init
+        self.schedule = schedule
+        self.momentum = momentum
+        self.nesterov = nesterov
+        self.power_t = power_t
+        self._velocities: List[np.ndarray] = [np.zeros_like(p) for p in self.params]
+        self._t = 0
+
+    def update(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one gradient step (in place) to every parameter array."""
+        self._t += 1
+        if self.schedule == "invscaling":
+            self.learning_rate = self.learning_rate_init / (self._t**self.power_t)
+        for param, grad, velocity in zip(self.params, grads, self._velocities):
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            if self.nesterov:
+                param += self.momentum * velocity - self.learning_rate * grad
+            else:
+                param += velocity
+
+    def notify_no_improvement(self) -> None:
+        """React to a stall signal: the adaptive schedule shrinks the step."""
+        if self.schedule == "adaptive":
+            self.learning_rate = max(self.learning_rate / 5.0, 1e-6)
+
+    def should_stop(self, tol: float = 1e-6) -> bool:
+        """Whether the step size has collapsed below a useful magnitude."""
+        return self.schedule == "adaptive" and self.learning_rate <= tol
+
+
+class AdamOptimizer:
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction.
+
+    Parameters
+    ----------
+    params:
+        Parameter arrays updated in place.
+    learning_rate_init:
+        Base step size.
+    beta_1, beta_2:
+        Exponential decay rates for the first and second moment estimates.
+    epsilon:
+        Denominator fuzz factor preventing division by zero.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        learning_rate_init: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate_init <= 0.0:
+            raise ValueError(f"learning_rate_init must be positive, got {learning_rate_init}")
+        if not 0.0 <= beta_1 < 1.0 or not 0.0 <= beta_2 < 1.0:
+            raise ValueError("beta_1 and beta_2 must be in [0, 1)")
+        self.params = list(params)
+        self.learning_rate_init = learning_rate_init
+        self.learning_rate = learning_rate_init
+        self.beta_1 = beta_1
+        self.beta_2 = beta_2
+        self.epsilon = epsilon
+        self._t = 0
+        self._ms: List[np.ndarray] = [np.zeros_like(p) for p in self.params]
+        self._vs: List[np.ndarray] = [np.zeros_like(p) for p in self.params]
+
+    def update(self, grads: Sequence[np.ndarray]) -> None:
+        """Apply one Adam step (in place) to every parameter array."""
+        self._t += 1
+        # Fold both bias corrections into a single effective step size.
+        step = (
+            self.learning_rate_init
+            * np.sqrt(1.0 - self.beta_2**self._t)
+            / (1.0 - self.beta_1**self._t)
+        )
+        self.learning_rate = step
+        for param, grad, m, v in zip(self.params, grads, self._ms, self._vs):
+            m *= self.beta_1
+            m += (1.0 - self.beta_1) * grad
+            v *= self.beta_2
+            v += (1.0 - self.beta_2) * grad**2
+            param -= step * m / (np.sqrt(v) + self.epsilon)
+
+    def notify_no_improvement(self) -> None:
+        """Adam has no schedule reaction; kept for interface symmetry."""
+
+    def should_stop(self, tol: float = 1e-6) -> bool:
+        """Adam never requests an early schedule-based stop."""
+        return False
+
+
+def make_optimizer(
+    solver: str,
+    params: Sequence[np.ndarray],
+    learning_rate_init: float,
+    learning_rate: str = "constant",
+    momentum: float = 0.9,
+    nesterov: bool = True,
+    power_t: float = 0.5,
+):
+    """Construct the optimizer matching a Table III ``solver`` value.
+
+    ``solver`` must be ``"sgd"`` or ``"adam"``; ``"lbfgs"`` is full-batch and
+    handled by the estimator itself.
+    """
+    if solver == "sgd":
+        return SGDOptimizer(
+            params,
+            learning_rate_init=learning_rate_init,
+            schedule=learning_rate,
+            momentum=momentum,
+            nesterov=nesterov,
+            power_t=power_t,
+        )
+    if solver == "adam":
+        return AdamOptimizer(params, learning_rate_init=learning_rate_init)
+    raise ValueError(f"Unknown first-order solver {solver!r}; expected 'sgd' or 'adam'")

@@ -1,0 +1,310 @@
+"""Decision-tree learners (CART).
+
+A second model family for hyperparameter optimization: trees have cheap,
+strongly hyperparameter-sensitive fits (``max_depth``,
+``min_samples_split``, ``min_samples_leaf``), which makes them good
+subjects for HPO examples and fast tests.  Classification uses Gini or
+entropy impurity; regression uses variance reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import BaseEstimator, check_X_y
+from .preprocessing import LabelEncoder
+
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a prediction, splits carry a test."""
+
+    prediction: np.ndarray  # class distribution or mean target
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return 1.0 - float((proportions**2).sum())
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts[counts > 0] / total
+    return float(-(proportions * np.log2(proportions)).sum())
+
+
+class _BaseTree(BaseEstimator):
+    """Shared CART machinery."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # subclass hooks -------------------------------------------------------
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    # construction -----------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.min_samples_split < 2:
+            raise ValueError(f"min_samples_split must be >= 2, got {self.min_samples_split}")
+        if self.min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {self.min_samples_leaf}")
+
+    def _fit_tree(self, X: np.ndarray, y: np.ndarray) -> None:
+        self._rng = np.random.default_rng(self.random_state)
+        self.n_features_ = X.shape[1]
+        self.tree_ = self._grow(X, y, depth=0)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=self._leaf_value(y))
+        n_samples = len(y)
+        if (
+            n_samples < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or self._impurity(y) == 0.0
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None or self.max_features >= self.n_features_:
+            return np.arange(self.n_features_)
+        return self._rng.choice(self.n_features_, size=self.max_features, replace=False)
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray):
+        n_samples = len(y)
+        parent_impurity = self._impurity(y)
+        # Zero-gain splits are allowed (matching CART): problems like XOR
+        # have no positive-gain first split yet need one to proceed.
+        best_gain = -1e-12
+        best = None
+        for feature in self._candidate_features():
+            order = np.argsort(X[:, feature], kind="stable")
+            values = X[order, feature]
+            # Candidate cut positions: between distinct neighbours, honouring
+            # the leaf-size floor.
+            valid = values[1:] > values[:-1]
+            cuts = np.flatnonzero(valid) + 1
+            cuts = cuts[(cuts >= self.min_samples_leaf) & (n_samples - cuts >= self.min_samples_leaf)]
+            if len(cuts) == 0:
+                continue
+            left_imp, right_imp = self._cut_impurities(y[order])
+            weighted = (cuts * left_imp[cuts - 1] + (n_samples - cuts) * right_imp[cuts - 1]) / n_samples
+            gains = parent_impurity - weighted
+            local_best = int(gains.argmax())
+            if gains[local_best] > best_gain:
+                best_gain = float(gains[local_best])
+                cut = int(cuts[local_best])
+                best = (int(feature), float((values[cut - 1] + values[cut]) / 2.0))
+        return best
+
+    def _cut_impurities(self, sorted_targets: np.ndarray):
+        """Impurities of every prefix/suffix split, via prefix sums.
+
+        Returns ``(left, right)`` arrays of length ``n - 1`` where entry
+        ``k - 1`` holds the impurity of the first ``k`` / last ``n - k``
+        targets respectively.
+        """
+        raise NotImplementedError
+
+    def _predict_row(self, row: np.ndarray) -> np.ndarray:
+        node = self.tree_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def _depth(self, node: Optional[_Node] = None) -> int:
+        node = node or self.tree_
+        if node.is_leaf:
+            return 0
+        return 1 + max(self._depth(node.left), self._depth(node.right))
+
+    @property
+    def depth_(self) -> int:
+        """Actual depth of the fitted tree."""
+        if not hasattr(self, "tree_"):
+            raise RuntimeError("Tree must be fitted first")
+        return self._depth()
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classifier with Gini or entropy impurity.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.learners.tree import DecisionTreeClassifier
+    >>> X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    >>> y = np.array([0, 0, 1, 1])
+    >>> DecisionTreeClassifier().fit(X, y).score(X, y)
+    1.0
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        random_state: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            max_depth=max_depth,
+            min_samples_split=min_samples_split,
+            min_samples_leaf=min_samples_leaf,
+            max_features=max_features,
+            random_state=random_state,
+        )
+        self.criterion = criterion
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree on ``(X, y)``."""
+        if self.criterion not in ("gini", "entropy"):
+            raise ValueError(f"criterion must be 'gini' or 'entropy', got {self.criterion!r}")
+        self._validate()
+        X, y = check_X_y(X, y)
+        self._encoder = LabelEncoder().fit(y)
+        self.classes_ = self._encoder.classes_
+        self._codes = self._encoder.transform(y)
+        self._fit_tree(X, self._codes)
+        return self
+
+    def _impurity(self, y: np.ndarray) -> float:
+        counts = np.bincount(y, minlength=len(self.classes_))
+        return _gini(counts) if self.criterion == "gini" else _entropy(counts)
+
+    def _cut_impurities(self, sorted_targets: np.ndarray):
+        """Vectorised Gini/entropy of every prefix and suffix."""
+        n = len(sorted_targets)
+        one_hot = np.zeros((n, len(self.classes_)))
+        one_hot[np.arange(n), sorted_targets] = 1.0
+        prefix = one_hot.cumsum(axis=0)[:-1]  # counts of first k, k=1..n-1
+        suffix = prefix[-1] + one_hot[-1] - prefix  # counts of last n-k
+        k = np.arange(1, n, dtype=float)
+        left_p = prefix / k[:, None]
+        right_p = suffix / (n - k)[:, None]
+        if self.criterion == "gini":
+            left = 1.0 - (left_p**2).sum(axis=1)
+            right = 1.0 - (right_p**2).sum(axis=1)
+        else:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                left = -np.where(left_p > 0, left_p * np.log2(left_p), 0.0).sum(axis=1)
+                right = -np.where(right_p > 0, right_p * np.log2(right_p), 0.0).sum(axis=1)
+        return left, right
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=len(self.classes_)).astype(float)
+        return counts / max(counts.sum(), 1.0)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Leaf class distributions per row."""
+        if not hasattr(self, "tree_"):
+            raise RuntimeError("DecisionTreeClassifier must be fitted before prediction")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.vstack([self._predict_row(row) for row in X])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        if not hasattr(self, "tree_"):
+            raise RuntimeError("DecisionTreeClassifier must be fitted before prediction")
+        return self._encoder.inverse_transform(self.predict_proba(X).argmax(axis=1))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy."""
+        return float((self.predict(X) == np.asarray(y).ravel()).mean())
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor with variance-reduction splits."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        """Grow the tree on ``(X, y)``."""
+        self._validate()
+        X, y = check_X_y(X, y)
+        self._fit_tree(X, y.astype(float))
+        return self
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(y.var()) if len(y) else 0.0
+
+    def _cut_impurities(self, sorted_targets: np.ndarray):
+        """Vectorised variance of every prefix and suffix."""
+        n = len(sorted_targets)
+        totals = sorted_targets.cumsum()[:-1]
+        squares = (sorted_targets**2).cumsum()[:-1]
+        grand_total = sorted_targets.sum()
+        grand_square = float((sorted_targets**2).sum())
+        k = np.arange(1, n, dtype=float)
+        left = squares / k - (totals / k) ** 2
+        right = (grand_square - squares) / (n - k) - ((grand_total - totals) / (n - k)) ** 2
+        return np.maximum(left, 0.0), np.maximum(right, 0.0)
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.array([float(y.mean()) if len(y) else 0.0])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Leaf means per row."""
+        if not hasattr(self, "tree_"):
+            raise RuntimeError("DecisionTreeRegressor must be fitted before prediction")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.array([self._predict_row(row)[0] for row in X])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """R² of the prediction."""
+        y = np.asarray(y, dtype=float).ravel()
+        prediction = self.predict(X)
+        ss_res = float(((y - prediction) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot

@@ -1,0 +1,29 @@
+"""Evaluation metrics used across the reproduction."""
+
+from .classification import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from .curves import average_precision_score, roc_auc_score, roc_curve
+from .ranking import dcg_score, ndcg_score, ranking_from_scores
+from .regression import mean_absolute_error, mean_squared_error, r2_score
+
+__all__ = [
+    "accuracy_score",
+    "average_precision_score",
+    "confusion_matrix",
+    "dcg_score",
+    "f1_score",
+    "roc_auc_score",
+    "roc_curve",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "ndcg_score",
+    "precision_score",
+    "r2_score",
+    "ranking_from_scores",
+    "recall_score",
+]

@@ -1,0 +1,120 @@
+"""Classification metrics: accuracy, precision, recall, F1, confusion matrix.
+
+Standard definitions matching scikit-learn; the paper reports accuracy for
+balanced datasets and F1 for imbalanced ones (Table IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+]
+
+
+def _validate_pair(y_true, y_pred):
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            f"y_true and y_pred have inconsistent lengths: {y_true.shape[0]} != {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly matching predictions."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def confusion_matrix(y_true, y_pred, labels: Optional[np.ndarray] = None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class ``i`` predicted ``j``."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def _per_class_prf(y_true, y_pred, labels):
+    # The confusion matrix must cover *all* observed labels even when only
+    # one class is scored, otherwise false positives/negatives involving the
+    # other classes are silently dropped.
+    all_labels = np.unique(
+        np.concatenate([np.asarray(y_true).ravel(), np.asarray(y_pred).ravel(), np.asarray(labels).ravel()])
+    )
+    matrix = confusion_matrix(y_true, y_pred, labels=all_labels)
+    true_positive = np.diag(matrix).astype(float)
+    predicted = matrix.sum(axis=0).astype(float)
+    actual = matrix.sum(axis=1).astype(float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, true_positive / predicted, 0.0)
+        recall = np.where(actual > 0, true_positive / actual, 0.0)
+        denominator = precision + recall
+        f1 = np.where(denominator > 0, 2.0 * precision * recall / denominator, 0.0)
+    # Restrict to the requested labels, in their order.
+    index = {label: i for i, label in enumerate(all_labels.tolist())}
+    select = np.array([index[label] for label in np.asarray(labels).ravel().tolist()])
+    return precision[select], recall[select], f1[select], actual[select]
+
+
+def _resolve_labels(y_true, y_pred, average: str, pos_label):
+    if average == "binary":
+        return np.asarray([pos_label])
+    return np.unique(np.concatenate([np.asarray(y_true).ravel(), np.asarray(y_pred).ravel()]))
+
+
+def precision_score(y_true, y_pred, average: str = "binary", pos_label=1) -> float:
+    """Precision = TP / (TP + FP), averaged per ``average`` mode."""
+    labels = _resolve_labels(y_true, y_pred, average, pos_label)
+    precision, _, _, support = _per_class_prf(y_true, y_pred, labels)
+    return _reduce(precision, support, average)
+
+
+def recall_score(y_true, y_pred, average: str = "binary", pos_label=1) -> float:
+    """Recall = TP / (TP + FN), averaged per ``average`` mode."""
+    labels = _resolve_labels(y_true, y_pred, average, pos_label)
+    _, recall, _, support = _per_class_prf(y_true, y_pred, labels)
+    return _reduce(recall, support, average)
+
+
+def f1_score(y_true, y_pred, average: str = "binary", pos_label=1) -> float:
+    """F1 = harmonic mean of precision and recall.
+
+    Parameters
+    ----------
+    average:
+        ``"binary"`` scores only ``pos_label``; ``"macro"`` averages the
+        per-class F1 unweighted; ``"weighted"`` weights by class support.
+    """
+    labels = _resolve_labels(y_true, y_pred, average, pos_label)
+    _, _, f1, support = _per_class_prf(y_true, y_pred, labels)
+    return _reduce(f1, support, average)
+
+
+def _reduce(values: np.ndarray, support: np.ndarray, average: str) -> float:
+    if average == "binary":
+        return float(values[0])
+    if average == "macro":
+        return float(values.mean())
+    if average == "weighted":
+        total = support.sum()
+        if total == 0:
+            return 0.0
+        return float((values * support).sum() / total)
+    raise ValueError(f"Unknown average mode {average!r}; expected 'binary', 'macro' or 'weighted'")

@@ -1,0 +1,73 @@
+"""Threshold-curve metrics: ROC AUC and average precision.
+
+Not reported in the paper's tables but standard for the imbalanced
+workloads it evaluates (fraud, machine), and used by the extension
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["roc_curve", "roc_auc_score", "average_precision_score"]
+
+
+def _validate(y_true, y_score):
+    y_true = np.asarray(y_true).ravel()
+    y_score = np.asarray(y_score, dtype=float).ravel()
+    if y_true.shape[0] != y_score.shape[0]:
+        raise ValueError(
+            f"y_true and y_score have inconsistent lengths: {y_true.shape[0]} != {y_score.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("metrics require at least one sample")
+    positives = y_true == 1
+    if positives.all() or (~positives).all():
+        raise ValueError("ROC/AP require both classes present in y_true")
+    return positives.astype(float), y_score
+
+
+def roc_curve(y_true, y_score) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """False-positive rate, true-positive rate and thresholds.
+
+    ``y_true`` uses 1 for the positive class; thresholds are the distinct
+    scores in decreasing order.
+    """
+    positives, y_score = _validate(y_true, y_score)
+    order = np.argsort(-y_score, kind="stable")
+    sorted_scores = y_score[order]
+    sorted_positives = positives[order]
+
+    # Cut only where the score changes (ties share a point).
+    distinct = np.flatnonzero(np.diff(sorted_scores)) if len(sorted_scores) > 1 else np.array([], dtype=int)
+    cut_points = np.concatenate([distinct, [len(sorted_scores) - 1]])
+
+    tps = np.cumsum(sorted_positives)[cut_points]
+    fps = (cut_points + 1) - tps
+    total_positive = positives.sum()
+    total_negative = len(positives) - total_positive
+
+    tpr = np.concatenate([[0.0], tps / total_positive])
+    fpr = np.concatenate([[0.0], fps / total_negative])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut_points]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve (trapezoidal rule)."""
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def average_precision_score(y_true, y_score) -> float:
+    """Average precision: the step-function area under precision-recall."""
+    positives, y_score = _validate(y_true, y_score)
+    order = np.argsort(-y_score, kind="stable")
+    sorted_positives = positives[order]
+    tps = np.cumsum(sorted_positives)
+    precision = tps / np.arange(1, len(tps) + 1)
+    recall = tps / positives.sum()
+    recall_steps = np.diff(np.concatenate([[0.0], recall]))
+    return float((precision * recall_steps).sum())

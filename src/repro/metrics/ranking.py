@@ -1,0 +1,76 @@
+"""Ranking metrics for configuration-ordering quality.
+
+The paper's cross-validation experiments (Figures 5-7, Table V) compare the
+*predicted* ranking of hyperparameter configurations (by CV score) to the
+*actual* ranking (by full test accuracy) with nDCG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["dcg_score", "ndcg_score", "ranking_from_scores"]
+
+
+def ranking_from_scores(scores) -> np.ndarray:
+    """Indices ordering items from best to worst score (ties stable)."""
+    scores = np.asarray(scores, dtype=float)
+    # Stable mergesort keeps deterministic output when scores tie.
+    return np.argsort(-scores, kind="stable")
+
+
+def dcg_score(relevance_in_rank_order, k: Optional[int] = None) -> float:
+    """Discounted cumulative gain of a relevance sequence already in rank order.
+
+    Uses the standard gain ``rel_i / log2(i + 2)`` for rank position ``i``
+    (0-based).
+    """
+    relevance = np.asarray(relevance_in_rank_order, dtype=float)
+    if k is not None:
+        relevance = relevance[:k]
+    if relevance.size == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(relevance.size) + 2.0)
+    return float((relevance * discounts).sum())
+
+
+def ndcg_score(true_relevance, predicted_scores, k: Optional[int] = None) -> float:
+    """Normalised DCG of ranking items by ``predicted_scores``.
+
+    Parameters
+    ----------
+    true_relevance:
+        Ground-truth quality of each item (e.g. a configuration's test
+        accuracy).  Values are shifted to be non-negative, which leaves the
+        induced ordering — and therefore the metric's meaning — unchanged.
+    predicted_scores:
+        Scores used to produce the evaluated ranking (e.g. CV scores).
+    k:
+        Optional truncation depth.
+
+    Returns
+    -------
+    float
+        nDCG in ``[0, 1]``; 1 means the predicted ranking matches an ideal
+        ordering of the true relevance.
+    """
+    true_relevance = np.asarray(true_relevance, dtype=float)
+    predicted_scores = np.asarray(predicted_scores, dtype=float)
+    if true_relevance.shape[0] != predicted_scores.shape[0]:
+        raise ValueError(
+            "true_relevance and predicted_scores have inconsistent lengths: "
+            f"{true_relevance.shape[0]} != {predicted_scores.shape[0]}"
+        )
+    if true_relevance.shape[0] == 0:
+        raise ValueError("ndcg_score requires at least one item")
+    shifted = true_relevance - true_relevance.min()
+    predicted_order = ranking_from_scores(predicted_scores)
+    ideal_order = ranking_from_scores(shifted)
+    dcg = dcg_score(shifted[predicted_order], k=k)
+    ideal = dcg_score(shifted[ideal_order], k=k)
+    if ideal == 0.0:
+        # All items equally relevant: any ranking is perfect.
+        return 1.0
+    return dcg / ideal

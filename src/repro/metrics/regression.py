@@ -1,0 +1,46 @@
+"""Regression metrics: R², MSE, MAE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["r2_score", "mean_squared_error", "mean_absolute_error"]
+
+
+def _validate_pair(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            f"y_true and y_pred have inconsistent lengths: {y_true.shape[0]} != {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination.
+
+    Returns 1 for a perfect fit, 0 for the mean predictor and negative
+    values for worse-than-mean fits.  A constant ``y_true`` yields 1.0 when
+    predicted exactly, 0.0 otherwise.
+    """
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    ss_res = float(((y_true - y_pred) ** 2).sum())
+    ss_tot = float(((y_true - y_true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(((y_true - y_pred) ** 2).mean())
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean of absolute residuals."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).mean())

@@ -1,0 +1,123 @@
+"""Additional splitters: repeated k-fold and group-aware k-fold.
+
+``RepeatedStratifiedKFold`` backs multi-seed cross-validation experiments;
+``GroupKFold`` keeps all instances of one group in the same fold — useful
+when the instance groups from Operation 1 must not leak between train and
+validation sides.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .splitters import KFold, StratifiedKFold
+
+__all__ = ["RepeatedKFold", "RepeatedStratifiedKFold", "GroupKFold", "LeaveOneOut"]
+
+
+class RepeatedKFold:
+    """``n_repeats`` independent shuffled k-fold rounds."""
+
+    def __init__(self, n_splits: int = 5, n_repeats: int = 2, random_state: Optional[int] = None) -> None:
+        if n_repeats < 1:
+            raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+        self.n_splits = n_splits
+        self.n_repeats = n_repeats
+        self.random_state = random_state
+
+    def get_n_splits(self) -> int:
+        """Total split count ``n_splits * n_repeats``."""
+        return self.n_splits * self.n_repeats
+
+    def split(self, X, y=None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield all repeats' folds, each repeat with a derived seed."""
+        seed_source = np.random.default_rng(self.random_state)
+        for _ in range(self.n_repeats):
+            fold = KFold(self.n_splits, shuffle=True, random_state=int(seed_source.integers(2**31)))
+            yield from fold.split(X)
+
+
+class RepeatedStratifiedKFold:
+    """``n_repeats`` independent shuffled stratified k-fold rounds."""
+
+    def __init__(self, n_splits: int = 5, n_repeats: int = 2, random_state: Optional[int] = None) -> None:
+        if n_repeats < 1:
+            raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+        self.n_splits = n_splits
+        self.n_repeats = n_repeats
+        self.random_state = random_state
+
+    def get_n_splits(self) -> int:
+        """Total split count ``n_splits * n_repeats``."""
+        return self.n_splits * self.n_repeats
+
+    def split(self, X, y) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield all repeats' stratified folds."""
+        seed_source = np.random.default_rng(self.random_state)
+        for _ in range(self.n_repeats):
+            fold = StratifiedKFold(
+                self.n_splits, shuffle=True, random_state=int(seed_source.integers(2**31))
+            )
+            yield from fold.split(X, y)
+
+
+class GroupKFold:
+    """K-fold where all members of a group land in the same fold.
+
+    Groups are assigned to folds greedily by decreasing size (balancing
+    fold sizes), so validation folds never split a group.
+    """
+
+    def __init__(self, n_splits: int = 5) -> None:
+        self.n_splits = n_splits
+
+    def get_n_splits(self) -> int:
+        """Number of folds."""
+        return self.n_splits
+
+    def split(self, X, y=None, groups=None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield train/test pairs with group integrity preserved."""
+        if groups is None:
+            raise ValueError("GroupKFold requires a groups array")
+        groups = np.asarray(groups)
+        n_samples = len(groups)
+        if len(X) != n_samples:
+            raise ValueError(f"X and groups have inconsistent lengths: {len(X)} != {n_samples}")
+        unique, counts = np.unique(groups, return_counts=True)
+        if len(unique) < self.n_splits:
+            raise ValueError(
+                f"Cannot split {len(unique)} groups into {self.n_splits} folds"
+            )
+        # Greedy balanced assignment: biggest group to the lightest fold.
+        order = np.argsort(-counts, kind="stable")
+        fold_sizes = np.zeros(self.n_splits, dtype=int)
+        fold_of_group = {}
+        for index in order:
+            fold = int(fold_sizes.argmin())
+            fold_of_group[unique[index]] = fold
+            fold_sizes[fold] += counts[index]
+        fold_of = np.array([fold_of_group[g] for g in groups])
+        indices = np.arange(n_samples)
+        for fold in range(self.n_splits):
+            yield indices[fold_of != fold], indices[fold_of == fold]
+
+
+class LeaveOneOut:
+    """Degenerate k-fold with one validation instance per split."""
+
+    def get_n_splits(self, X=None) -> int:
+        """Number of splits (== number of samples)."""
+        if X is None:
+            raise ValueError("LeaveOneOut needs X to count splits")
+        return len(X)
+
+    def split(self, X, y=None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield each instance once as the validation side."""
+        n_samples = len(X)
+        if n_samples < 2:
+            raise ValueError("LeaveOneOut requires at least 2 samples")
+        indices = np.arange(n_samples)
+        for i in range(n_samples):
+            yield np.delete(indices, i), indices[i : i + 1]

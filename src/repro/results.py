@@ -1,0 +1,109 @@
+"""Persistence of search results.
+
+A production HPO library must make runs inspectable after the process
+exits; this module serialises :class:`~repro.bandit.SearchResult` objects
+(with every trial) to plain JSON and back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .bandit.base import EvaluationResult, SearchResult, Trial
+
+__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce config values (tuples, numpy scalars) to JSON-safe types."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_jsonable(v) for v in value]}
+    if isinstance(value, (list,)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return value
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_from_jsonable(v) for v in value["__tuple__"])
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    return value
+
+
+def _config_to_dict(config: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _jsonable(value) for key, value in config.items()}
+
+
+def _config_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: _from_jsonable(value) for key, value in data.items()}
+
+
+def result_to_dict(result: SearchResult) -> Dict[str, Any]:
+    """Serialise a search result (including all trials) to a plain dict."""
+    return {
+        "method": result.method,
+        "best_config": _config_to_dict(result.best_config),
+        "best_score": result.best_score,
+        "wall_time": result.wall_time,
+        "trials": [
+            {
+                "config": _config_to_dict(trial.config),
+                "budget_fraction": trial.budget_fraction,
+                "iteration": trial.iteration,
+                "bracket": trial.bracket,
+                "result": {
+                    "mean": trial.result.mean,
+                    "std": trial.result.std,
+                    "score": trial.result.score,
+                    "gamma": trial.result.gamma,
+                    "fold_scores": list(trial.result.fold_scores),
+                    "n_instances": trial.result.n_instances,
+                    "cost": trial.result.cost,
+                },
+            }
+            for trial in result.trials
+        ],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> SearchResult:
+    """Inverse of :func:`result_to_dict`."""
+    try:
+        trials = [
+            Trial(
+                config=_config_from_dict(raw["config"]),
+                budget_fraction=raw["budget_fraction"],
+                iteration=raw.get("iteration", 0),
+                bracket=raw.get("bracket", 0),
+                result=EvaluationResult(**raw["result"]),
+            )
+            for raw in data.get("trials", [])
+        ]
+        return SearchResult(
+            best_config=_config_from_dict(data["best_config"]),
+            best_score=data["best_score"],
+            trials=trials,
+            wall_time=data.get("wall_time", 0.0),
+            method=data.get("method", ""),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"Malformed search-result payload: {exc}") from exc
+
+
+def save_result(result: SearchResult, path: Union[str, Path]) -> None:
+    """Write a search result to ``path`` as JSON."""
+    path = Path(path)
+    with path.open("w") as handle:
+        json.dump(result_to_dict(result), handle, indent=2)
+
+
+def load_result(path: Union[str, Path]) -> SearchResult:
+    """Read a search result previously written by :func:`save_result`."""
+    path = Path(path)
+    with path.open() as handle:
+        return result_from_dict(json.load(handle))

@@ -1,0 +1,6 @@
+"""Hyperparameter search-space definitions."""
+
+from .params import Categorical, Float, Integer, Parameter
+from .space import SearchSpace, config_key
+
+__all__ = ["Categorical", "Float", "Integer", "Parameter", "SearchSpace", "config_key"]

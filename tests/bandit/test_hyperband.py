@@ -1,0 +1,98 @@
+"""Tests for HyperBand."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bandit import HyperBand
+from repro.space import Categorical, SearchSpace
+
+
+@pytest.fixture
+def quality_space():
+    return SearchSpace([Categorical("q", list(range(27)))])
+
+
+class TestBracketPlan:
+    def test_smax_from_min_budget(self, quality_space, synthetic_evaluator_factory):
+        hb = HyperBand(
+            quality_space, synthetic_evaluator_factory(lambda c: 0.5),
+            eta=3.0, min_budget_fraction=1 / 27,
+        )
+        assert hb.s_max == 3
+
+    def test_plan_matches_hyperband_formula(self, quality_space, synthetic_evaluator_factory):
+        hb = HyperBand(
+            quality_space, synthetic_evaluator_factory(lambda c: 0.5),
+            eta=3.0, min_budget_fraction=1 / 27,
+        )
+        plan = hb.bracket_plan()
+        assert [b["s"] for b in plan] == [3, 2, 1, 0]
+        for bracket in plan:
+            s = bracket["s"]
+            expected_n = math.ceil((hb.s_max + 1) / (s + 1) * 3**s)
+            assert bracket["n_configs"] == expected_n
+            assert bracket["budget_fraction"] == pytest.approx(3.0**-s)
+
+    def test_deepest_bracket_most_configs(self, quality_space, synthetic_evaluator_factory):
+        hb = HyperBand(quality_space, synthetic_evaluator_factory(lambda c: 0.5))
+        plan = hb.bracket_plan()
+        counts = [b["n_configs"] for b in plan]
+        assert counts[0] == max(counts)
+
+
+class TestSearch:
+    def test_finds_good_config_without_noise(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        result = HyperBand(quality_space, evaluator, random_state=0).fit()
+        assert result.best_config["q"] >= 24
+
+    def test_budgets_grow_within_bracket(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        result = HyperBand(quality_space, evaluator, random_state=0).fit()
+        deep = [t for t in result.trials if t.bracket == 3]
+        budgets = sorted({t.budget_fraction for t in deep})
+        np.testing.assert_allclose(budgets, [1 / 27, 1 / 9, 1 / 3, 1.0], rtol=1e-6)
+
+    def test_explicit_pool_only_uses_pool_configs(self, synthetic_evaluator_factory):
+        space = SearchSpace([Categorical("q", list(range(27)))])
+        pool = [{"q": i} for i in (0, 5, 10, 15, 20)]
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        result = HyperBand(space, evaluator, random_state=0).fit(configurations=pool)
+        used = {t.config["q"] for t in result.trials}
+        assert used <= {0, 5, 10, 15, 20}
+        assert result.best_config["q"] == 20
+
+    def test_best_prefers_larger_budget(self, quality_space, synthetic_evaluator_factory):
+        # With noise-free evaluations, the winner is evaluated at budget 1.
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        hb = HyperBand(quality_space, evaluator, random_state=1)
+        result = hb.fit()
+        best_trials = [t for t in result.trials if t.config == result.best_config]
+        assert max(t.budget_fraction for t in best_trials) == 1.0
+
+    def test_deterministic_with_seed(self, quality_space):
+        from tests.conftest import SyntheticEvaluator
+
+        outcomes = []
+        for _ in range(2):
+            evaluator = SyntheticEvaluator(lambda c: c["q"] / 100, noise=0.05, seed=7)
+            outcomes.append(HyperBand(quality_space, evaluator, random_state=7).fit())
+        assert outcomes[0].best_config == outcomes[1].best_config
+
+    def test_method_name(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: 0.5, noise=0.0)
+        assert HyperBand(quality_space, evaluator, random_state=0).fit().method == "HB"
+
+
+class TestValidation:
+    def test_eta_validation(self, quality_space, synthetic_evaluator_factory):
+        with pytest.raises(ValueError, match="eta"):
+            HyperBand(quality_space, synthetic_evaluator_factory(lambda c: 0.5), eta=0.5)
+
+    def test_min_budget_validation(self, quality_space, synthetic_evaluator_factory):
+        with pytest.raises(ValueError, match="min_budget_fraction"):
+            HyperBand(
+                quality_space, synthetic_evaluator_factory(lambda c: 0.5), min_budget_fraction=2.0
+            )

@@ -1,0 +1,54 @@
+"""Tests for the random-search baseline."""
+
+import pytest
+
+from repro.bandit import RandomSearch
+from repro.space import Categorical, SearchSpace
+
+
+@pytest.fixture
+def quality_space():
+    return SearchSpace([Categorical("q", list(range(20)))])
+
+
+class TestRandomSearch:
+    def test_evaluates_at_full_budget(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        result = RandomSearch(quality_space, evaluator, random_state=0, n_configurations=5).fit()
+        assert all(t.budget_fraction == 1.0 for t in result.trials)
+        assert result.n_trials == 5
+
+    def test_returns_best_of_sampled(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        result = RandomSearch(quality_space, evaluator, random_state=0, n_configurations=10).fit()
+        sampled = [t.config["q"] for t in result.trials]
+        assert result.best_config["q"] == max(sampled)
+
+    def test_explicit_pool(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        pool = [{"q": 3}, {"q": 17}]
+        result = RandomSearch(quality_space, evaluator, random_state=0).fit(configurations=pool)
+        assert result.best_config == {"q": 17}
+
+    def test_default_n_configurations_used(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: 0.5, noise=0.0)
+        result = RandomSearch(quality_space, evaluator, random_state=0, n_configurations=7).fit()
+        assert result.n_trials == 7
+
+    def test_deterministic(self, quality_space):
+        from tests.conftest import SyntheticEvaluator
+
+        outcomes = []
+        for _ in range(2):
+            evaluator = SyntheticEvaluator(lambda c: c["q"] / 100, noise=0.0)
+            outcomes.append(RandomSearch(quality_space, evaluator, random_state=4).fit())
+        assert outcomes[0].best_config == outcomes[1].best_config
+
+    def test_method_name(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: 0.5, noise=0.0)
+        assert RandomSearch(quality_space, evaluator, random_state=0).fit().method == "random"
+
+    def test_wall_time_recorded(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: 0.5, noise=0.0)
+        result = RandomSearch(quality_space, evaluator, random_state=0).fit()
+        assert result.wall_time > 0.0

@@ -1,0 +1,99 @@
+"""Tests for the SMAC-style RF-surrogate optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.bandit import SMACSearch, expected_improvement
+from repro.space import Categorical, Float, SearchSpace
+
+
+@pytest.fixture
+def quality_space():
+    return SearchSpace([Categorical("q", list(range(20)))])
+
+
+class TestExpectedImprovement:
+    def test_zero_when_certain_and_worse(self):
+        ei = expected_improvement(np.array([0.1]), np.array([0.0]), best=0.5)
+        assert ei[0] == 0.0
+
+    def test_positive_when_certain_and_better(self):
+        ei = expected_improvement(np.array([0.9]), np.array([0.0]), best=0.5, xi=0.0)
+        assert ei[0] == pytest.approx(0.4)
+
+    def test_uncertainty_adds_value(self):
+        certain = expected_improvement(np.array([0.5]), np.array([0.0]), best=0.5)
+        uncertain = expected_improvement(np.array([0.5]), np.array([0.3]), best=0.5)
+        assert uncertain[0] > certain[0]
+
+    def test_monotone_in_mean(self):
+        means = np.array([0.1, 0.3, 0.5, 0.7])
+        ei = expected_improvement(means, np.full(4, 0.1), best=0.4)
+        assert all(a <= b for a, b in zip(ei, ei[1:]))
+
+    def test_non_negative(self, rng):
+        ei = expected_improvement(rng.random(50), rng.random(50), best=0.5)
+        assert (ei >= 0).all()
+
+
+class TestSmacSearch:
+    def test_full_budget_sequential(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        result = SMACSearch(quality_space, evaluator, random_state=0, n_trials=8).fit()
+        assert result.n_trials == 8
+        assert all(t.budget_fraction == 1.0 for t in result.trials)
+
+    def test_surrogate_phase_improves_over_startup(self):
+        from tests.conftest import SyntheticEvaluator
+
+        space = SearchSpace([Float("x", 0.0, 1.0), Float("y", 0.0, 1.0)])
+
+        def objective(config):
+            return -((config["x"] - 0.25) ** 2 + (config["y"] - 0.75) ** 2)
+
+        startup_means, model_means = [], []
+        for seed in range(5):
+            evaluator = SyntheticEvaluator(objective, noise=0.0)
+            result = SMACSearch(space, evaluator, random_state=seed, n_startup=5).fit(
+                n_configurations=20
+            )
+            values = [objective(t.config) for t in result.trials]
+            startup_means.append(np.mean(values[:5]))
+            model_means.append(np.mean(values[5:]))
+        assert np.mean(model_means) > np.mean(startup_means)
+
+    def test_pool_mode_no_repeats(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        pool = [{"q": i} for i in (0, 4, 8, 12, 16)]
+        result = SMACSearch(quality_space, evaluator, random_state=0, n_trials=10).fit(
+            configurations=pool
+        )
+        evaluated = [t.config["q"] for t in result.trials]
+        assert len(evaluated) == len(set(evaluated)) == 5  # pool exhausted once
+
+    def test_deterministic(self, quality_space):
+        from tests.conftest import SyntheticEvaluator
+
+        outcomes = []
+        for _ in range(2):
+            evaluator = SyntheticEvaluator(lambda c: c["q"] / 100, noise=0.01, seed=4)
+            outcomes.append(SMACSearch(quality_space, evaluator, random_state=4, n_trials=8).fit())
+        assert outcomes[0].best_config == outcomes[1].best_config
+
+    def test_method_name_and_registration(self, quality_space, synthetic_evaluator_factory):
+        from repro.core import METHODS
+
+        evaluator = synthetic_evaluator_factory(lambda c: 0.5, noise=0.0)
+        assert SMACSearch(quality_space, evaluator, random_state=0, n_trials=2).fit().method == "SMAC"
+        assert "smac" in METHODS
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        {"n_trials": 0},
+        {"n_startup": 0},
+        {"n_candidates": 0},
+    ])
+    def test_invalid_parameters(self, bad, quality_space, synthetic_evaluator_factory):
+        with pytest.raises(ValueError):
+            SMACSearch(quality_space, synthetic_evaluator_factory(lambda c: 0.5), **bad)

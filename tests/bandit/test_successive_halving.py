@@ -1,0 +1,102 @@
+"""Tests for Successive Halving."""
+
+import numpy as np
+import pytest
+
+from repro.bandit import SuccessiveHalving
+from repro.space import Categorical, SearchSpace
+
+
+@pytest.fixture
+def quality_space():
+    """16 configurations whose quality equals q/100."""
+    return SearchSpace([Categorical("q", list(range(16)))])
+
+
+class TestFigure1Trace:
+    def test_eight_configs_eta2_matches_paper_schedule(self, synthetic_evaluator_factory):
+        """Figure 1: 8 configs -> rounds of 8@1/8, 4@1/4, 2@1/2."""
+        space = SearchSpace([Categorical("q", list(range(8)))])
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 10, noise=0.0)
+        sha = SuccessiveHalving(space, evaluator, random_state=0, eta=2.0)
+        sha.fit()
+        rounds = {}
+        for config, budget in evaluator.calls:
+            rounds.setdefault(round(budget, 6), 0)
+            rounds[round(budget, 6)] += 1
+        assert rounds == {0.125: 8, 0.25: 4, 0.5: 2}
+
+    def test_budget_doubles_as_candidates_halve(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        sha = SuccessiveHalving(quality_space, evaluator, random_state=0, eta=2.0)
+        result = sha.fit()
+        budgets = sorted({t.budget_fraction for t in result.trials})
+        np.testing.assert_allclose(budgets, [1 / 16, 1 / 8, 1 / 4, 1 / 2])
+
+
+class TestSelection:
+    def test_finds_best_config_without_noise(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        sha = SuccessiveHalving(quality_space, evaluator, random_state=0)
+        result = sha.fit()
+        assert result.best_config == {"q": 15}
+
+    def test_usually_finds_best_with_small_noise(self, quality_space, synthetic_evaluator_factory):
+        hits = 0
+        for seed in range(10):
+            evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.01, seed=seed)
+            result = SuccessiveHalving(quality_space, evaluator, random_state=seed).fit()
+            hits += result.best_config["q"] >= 13
+        assert hits >= 8
+
+    def test_eta3_eliminates_faster(self, quality_space, synthetic_evaluator_factory):
+        eta2 = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        SuccessiveHalving(quality_space, eta2, random_state=0, eta=2.0).fit()
+        eta3 = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        SuccessiveHalving(quality_space, eta3, random_state=0, eta=3.0).fit()
+        assert len(eta3.calls) < len(eta2.calls)
+
+    def test_single_candidate_evaluated_at_full_budget(self, tiny_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: 0.5, noise=0.0)
+        sha = SuccessiveHalving(tiny_space, evaluator, random_state=0)
+        result = sha.fit(configurations=[{"a": 1, "b": "x"}])
+        assert result.best_config == {"a": 1, "b": "x"}
+        assert result.trials[0].budget_fraction == 1.0
+
+
+class TestBudgetFloor:
+    def test_min_budget_fraction_enforced(self, synthetic_evaluator_factory):
+        space = SearchSpace([Categorical("q", list(range(64)))])
+        evaluator = synthetic_evaluator_factory(lambda c: c["q"] / 100, noise=0.0)
+        sha = SuccessiveHalving(space, evaluator, random_state=0, min_budget_fraction=0.05)
+        result = sha.fit()
+        assert min(t.budget_fraction for t in result.trials) >= 0.05
+
+
+class TestValidation:
+    def test_eta_must_exceed_one(self, tiny_space, synthetic_evaluator_factory):
+        with pytest.raises(ValueError, match="eta"):
+            SuccessiveHalving(tiny_space, synthetic_evaluator_factory(lambda c: 0.5), eta=1.0)
+
+    def test_min_budget_bounds(self, tiny_space, synthetic_evaluator_factory):
+        with pytest.raises(ValueError, match="min_budget_fraction"):
+            SuccessiveHalving(
+                tiny_space, synthetic_evaluator_factory(lambda c: 0.5), min_budget_fraction=0.0
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, quality_space):
+        from tests.conftest import SyntheticEvaluator
+
+        results = []
+        for _ in range(2):
+            evaluator = SyntheticEvaluator(lambda c: c["q"] / 100, noise=0.05, seed=3)
+            results.append(SuccessiveHalving(quality_space, evaluator, random_state=3).fit())
+        assert results[0].best_config == results[1].best_config
+        assert len(results[0].trials) == len(results[1].trials)
+
+    def test_method_name(self, quality_space, synthetic_evaluator_factory):
+        evaluator = synthetic_evaluator_factory(lambda c: 0.5, noise=0.0)
+        result = SuccessiveHalving(quality_space, evaluator, random_state=0).fit()
+        assert result.method == "SHA"

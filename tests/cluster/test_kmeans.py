@@ -1,0 +1,122 @@
+"""Tests for k-means and the balanced re-clustering used by grouping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import KMeans, balanced_kmeans_labels
+
+
+def three_blobs(n_per=50, sep=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[0.0, 0.0], [sep, 0.0], [0.0, sep]])
+    X = np.vstack([c + rng.standard_normal((n_per, 2)) for c in centres])
+    truth = np.repeat(np.arange(3), n_per)
+    return X, truth
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        X, truth = three_blobs()
+        labels = KMeans(n_clusters=3, random_state=0).fit_predict(X)
+        # Each true blob must map to a single predicted cluster.
+        for blob in range(3):
+            assert len(np.unique(labels[truth == blob])) == 1
+        assert len(np.unique(labels)) == 3
+
+    def test_inertia_better_than_single_cluster(self):
+        X, _ = three_blobs()
+        k3 = KMeans(n_clusters=3, random_state=0).fit(X)
+        k1 = KMeans(n_clusters=1, random_state=0).fit(X)
+        assert k3.inertia_ < k1.inertia_ / 5
+
+    def test_predict_consistent_with_training_labels(self):
+        X, _ = three_blobs()
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        np.testing.assert_array_equal(model.predict(X), model.labels_)
+
+    def test_centers_shape(self):
+        X, _ = three_blobs()
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert model.cluster_centers_.shape == (3, 2)
+
+    def test_deterministic_with_seed(self):
+        X, _ = three_blobs()
+        a = KMeans(n_clusters=3, random_state=42).fit(X)
+        b = KMeans(n_clusters=3, random_state=42).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+
+    def test_more_samples_than_clusters_required(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            KMeans(n_clusters=5).fit(np.ones((3, 2)))
+
+    def test_invalid_n_clusters(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            KMeans(n_clusters=0).fit(np.ones((5, 2)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            KMeans().predict(np.ones((2, 2)))
+
+    def test_duplicate_points_handled(self):
+        X = np.vstack([np.zeros((10, 2)), np.ones((10, 2))])
+        model = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert len(np.unique(model.labels_)) == 2
+
+    def test_inertia_non_negative(self):
+        X, _ = three_blobs()
+        model = KMeans(n_clusters=4, random_state=0).fit(X)
+        assert model.inertia_ >= 0.0
+
+
+class TestBalancedKMeans:
+    def test_all_instances_labelled(self):
+        X, _ = three_blobs()
+        labels = balanced_kmeans_labels(X, 3, random_state=0)
+        assert labels.shape == (len(X),)
+        assert set(np.unique(labels)) <= set(range(3))
+
+    def test_no_tiny_clusters_after_balancing(self):
+        # One dominant blob plus a tiny outlier cluster.
+        rng = np.random.default_rng(1)
+        X = np.vstack([
+            rng.standard_normal((95, 2)),
+            rng.standard_normal((5, 2)) + 50.0,
+        ])
+        labels = balanced_kmeans_labels(X, 2, r_group=0.8, random_state=0)
+        counts = np.bincount(labels, minlength=2)
+        # Every final cluster ends up with a meaningful share: the 5 outliers
+        # are reassigned to surviving centers rather than forming a cluster.
+        assert counts.min() >= 1
+        assert counts.sum() == 100
+
+    def test_r_group_zero_is_plain_kmeans(self):
+        X, _ = three_blobs()
+        balanced = balanced_kmeans_labels(X, 3, r_group=0.0, random_state=0)
+        plain = KMeans(n_clusters=3, random_state=0).fit_predict(X)
+        np.testing.assert_array_equal(balanced, plain)
+
+    def test_invalid_r_group(self):
+        with pytest.raises(ValueError, match="r_group"):
+            balanced_kmeans_labels(np.ones((10, 2)), 2, r_group=1.5)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            balanced_kmeans_labels(np.ones((2, 2)), 3)
+
+    def test_deterministic(self):
+        X, _ = three_blobs(seed=5)
+        a = balanced_kmeans_labels(X, 3, random_state=9)
+        b = balanced_kmeans_labels(X, 3, random_state=9)
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_labels_always_complete_and_in_range(self, n_clusters, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((60, 3))
+        labels = balanced_kmeans_labels(X, n_clusters, random_state=seed)
+        assert labels.shape == (60,)
+        assert labels.min() >= 0
+        assert labels.max() < n_clusters

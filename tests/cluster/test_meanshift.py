@@ -1,0 +1,100 @@
+"""Tests for mean-shift clustering."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import MeanShift, estimate_bandwidth
+from repro.cluster.meanshift import meanshift_labels_consolidated
+
+
+def blobs(n_per=40, sep=12.0, n_blobs=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[i * sep, 0.0] for i in range(n_blobs)])
+    X = np.vstack([c + rng.standard_normal((n_per, 2)) for c in centres])
+    truth = np.repeat(np.arange(n_blobs), n_per)
+    return X, truth
+
+
+class TestEstimateBandwidth:
+    def test_positive(self):
+        X, _ = blobs()
+        assert estimate_bandwidth(X) > 0.0
+
+    def test_scales_with_data_spread(self):
+        X, _ = blobs()
+        assert estimate_bandwidth(X * 10) > estimate_bandwidth(X)
+
+    def test_identical_points(self):
+        assert estimate_bandwidth(np.ones((10, 2))) == 1.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            estimate_bandwidth(np.ones((5, 2)), quantile=0.0)
+
+
+class TestMeanShift:
+    def test_finds_separated_blobs(self):
+        X, truth = blobs()
+        model = MeanShift(bandwidth=3.0, random_state=0).fit(X)
+        assert model.n_clusters_ == 3
+        for blob_index in range(3):
+            assert len(np.unique(model.labels_[truth == blob_index])) == 1
+
+    def test_labels_cover_all_instances(self):
+        X, _ = blobs()
+        model = MeanShift(bandwidth=3.0, random_state=0).fit(X)
+        assert model.labels_.shape == (len(X),)
+        assert model.labels_.max() < model.n_clusters_
+
+    def test_predict_consistent(self):
+        X, _ = blobs()
+        model = MeanShift(bandwidth=3.0, random_state=0).fit(X)
+        np.testing.assert_array_equal(model.predict(X), model.labels_)
+
+    def test_huge_bandwidth_single_cluster(self):
+        X, _ = blobs()
+        model = MeanShift(bandwidth=1000.0, random_state=0).fit(X)
+        assert model.n_clusters_ == 1
+
+    def test_auto_bandwidth(self):
+        X, _ = blobs()
+        model = MeanShift(random_state=0).fit(X)
+        assert model.n_clusters_ >= 1
+        assert model.bandwidth_ > 0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            MeanShift(bandwidth=-1.0).fit(np.ones((5, 2)))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            MeanShift().predict(np.ones((2, 2)))
+
+
+class TestConsolidation:
+    def test_exactly_n_clusters(self):
+        X, _ = blobs(n_blobs=5, sep=8.0)
+        labels = meanshift_labels_consolidated(X, n_clusters=3, random_state=0)
+        assert len(np.unique(labels)) <= 3
+        assert labels.shape == (len(X),)
+
+    def test_fewer_modes_than_requested_kept(self):
+        X, _ = blobs(n_blobs=2)
+        labels = meanshift_labels_consolidated(X, n_clusters=5, random_state=0)
+        assert labels.max() < 5
+
+    def test_grouping_integration(self):
+        from repro.core import generate_groups
+
+        X, truth = blobs(n_blobs=3)
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=len(X))
+        grouping = generate_groups(X, y, n_groups=3, clusterer="meanshift", random_state=0)
+        assert (grouping.group_sizes > 0).all()
+
+    def test_unknown_clusterer_rejected(self):
+        from repro.core import generate_groups
+
+        X, _ = blobs()
+        with pytest.raises(ValueError, match="clusterer"):
+            generate_groups(X, np.zeros(len(X)), clusterer="spectral")

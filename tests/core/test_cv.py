@@ -1,0 +1,62 @@
+"""Tests for the standalone cross-validation study (Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CrossValidationStudy, MLPModelFactory, vanilla_evaluator
+
+CONFIGS = [
+    {"hidden_layer_sizes": (4,), "activation": "relu"},
+    {"hidden_layer_sizes": (16,), "activation": "relu"},
+    {"hidden_layer_sizes": (4,), "activation": "tanh"},
+]
+
+
+@pytest.fixture
+def study(small_classification):
+    X, y = small_classification
+    factory = MLPModelFactory(task="classification", max_iter=10, solver="lbfgs")
+    return CrossValidationStudy(vanilla_evaluator(X, y, factory), CONFIGS)
+
+
+class TestRun:
+    def test_one_result_per_configuration(self, study):
+        ranking = study.run(subset_ratio=0.5, random_state=0)
+        assert len(ranking.results) == 3
+        assert ranking.scores.shape == (3,)
+        assert ranking.means.shape == (3,)
+
+    def test_recommended_is_argmax(self, study):
+        ranking = study.run(subset_ratio=0.5, random_state=0)
+        assert ranking.recommended_index == int(ranking.scores.argmax())
+
+    def test_deterministic_by_seed(self, study):
+        a = study.run(subset_ratio=0.5, random_state=3)
+        b = study.run(subset_ratio=0.5, random_state=3)
+        np.testing.assert_allclose(a.scores, b.scores)
+
+    def test_ndcg_of_self_is_one(self, study):
+        ranking = study.run(subset_ratio=0.5, random_state=0)
+        assert ranking.ndcg(ranking.scores) == pytest.approx(1.0)
+
+
+class TestGroundTruth:
+    def test_truth_per_configuration(self, study, small_classification):
+        X, y = small_classification
+        truth = study.ground_truth(X[:50], y[:50], random_state=0)
+        assert truth.shape == (3,)
+        assert ((truth >= 0) & (truth <= 1)).all()
+
+    def test_ndcg_against_truth_bounded(self, study, small_classification):
+        X, y = small_classification
+        truth = study.ground_truth(X[:50], y[:50], random_state=0)
+        ranking = study.run(subset_ratio=0.5, random_state=0)
+        assert 0.0 <= ranking.ndcg(truth) <= 1.0
+
+
+class TestValidation:
+    def test_empty_configurations_rejected(self, small_classification):
+        X, y = small_classification
+        factory = MLPModelFactory(task="classification", max_iter=5)
+        with pytest.raises(ValueError, match="non-empty"):
+            CrossValidationStudy(vanilla_evaluator(X, y, factory), [])

@@ -1,0 +1,80 @@
+"""Tests for the evaluation-stability diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MLPModelFactory,
+    StabilityResult,
+    compare_stability,
+    evaluation_stability,
+    grouped_evaluator,
+    vanilla_evaluator,
+)
+
+CONFIG = {"hidden_layer_sizes": (4,), "activation": "relu"}
+
+
+def fast_factory():
+    return MLPModelFactory(task="classification", max_iter=4, solver="lbfgs")
+
+
+class TestStabilityResult:
+    def test_spread_and_average(self):
+        result = StabilityResult(means=[0.7, 0.8, 0.9])
+        assert result.average == pytest.approx(0.8)
+        assert result.spread == pytest.approx(np.std([0.7, 0.8, 0.9]))
+        assert len(result) == 3
+
+
+class TestEvaluationStability:
+    def test_collects_n_repeats(self, small_classification):
+        X, y = small_classification
+        evaluator = vanilla_evaluator(X, y, fast_factory())
+        result = evaluation_stability(evaluator, CONFIG, 0.3, n_repeats=4, random_state=0)
+        assert len(result) == 4
+        assert all(0.0 <= m <= 1.0 for m in result.means)
+
+    def test_repeats_actually_vary(self, small_classification):
+        X, y = small_classification
+        evaluator = vanilla_evaluator(X, y, fast_factory())
+        result = evaluation_stability(evaluator, CONFIG, 0.2, n_repeats=5, random_state=0)
+        assert result.spread > 0.0
+
+    def test_deterministic_given_seed(self, small_classification):
+        X, y = small_classification
+        evaluator = vanilla_evaluator(X, y, fast_factory())
+        a = evaluation_stability(evaluator, CONFIG, 0.3, n_repeats=3, random_state=7)
+        b = evaluation_stability(evaluator, CONFIG, 0.3, n_repeats=3, random_state=7)
+        assert a.means == b.means
+
+    def test_large_budget_more_stable_than_small(self, small_classification):
+        X, y = small_classification
+        evaluator = vanilla_evaluator(X, y, fast_factory())
+        small = evaluation_stability(evaluator, CONFIG, 0.15, n_repeats=8, random_state=0)
+        full = evaluation_stability(evaluator, CONFIG, 1.0, n_repeats=8, random_state=0)
+        # At full budget the subset is fixed; only fold/model randomness
+        # remains, so the spread should not exceed the small-budget one
+        # (by a noticeable factor).
+        assert full.spread <= small.spread * 1.5
+
+    def test_n_repeats_validation(self, small_classification):
+        X, y = small_classification
+        evaluator = vanilla_evaluator(X, y, fast_factory())
+        with pytest.raises(ValueError, match="n_repeats"):
+            evaluation_stability(evaluator, CONFIG, 0.5, n_repeats=1)
+
+
+class TestCompareStability:
+    def test_structure(self, small_classification):
+        X, y = small_classification
+        evaluators = {
+            "vanilla": vanilla_evaluator(X, y, fast_factory()),
+            "grouped": grouped_evaluator(X, y, fast_factory(), random_state=0),
+        }
+        comparison = compare_stability(
+            evaluators, CONFIG, budgets=(0.2, 0.5), n_repeats=3, random_state=0
+        )
+        assert set(comparison) == {"vanilla", "grouped"}
+        assert set(comparison["vanilla"]) == {0.2, 0.5}
+        assert all(isinstance(r, StabilityResult) for r in comparison["grouped"].values())

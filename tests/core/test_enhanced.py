@@ -1,0 +1,116 @@
+"""Tests for the high-level search factory and optimize()."""
+
+import numpy as np
+import pytest
+
+from repro.bandit import BOHB, HyperBand, RandomSearch, SuccessiveHalving
+from repro.core import METHODS, MLPModelFactory, make_searcher, optimize
+from repro.core.evaluator import SubsetCVEvaluator
+from repro.experiments import paper_search_space
+from repro.space import Categorical, SearchSpace
+
+SMALL_SPACE = SearchSpace(
+    [
+        Categorical("hidden_layer_sizes", [(8,), (16,)]),
+        Categorical("activation", ["relu", "tanh"]),
+    ]
+)
+
+
+class TestMakeSearcher:
+    def test_all_registered_methods_construct(self, small_classification):
+        X, y = small_classification
+        for method in METHODS:
+            searcher = make_searcher(method, SMALL_SPACE, X, y, random_state=0)
+            assert isinstance(searcher.evaluator, SubsetCVEvaluator)
+
+    @pytest.mark.parametrize("method,cls", [
+        ("sha", SuccessiveHalving), ("sha+", SuccessiveHalving),
+        ("hb", HyperBand), ("hb+", HyperBand),
+        ("bohb", BOHB), ("bohb+", BOHB),
+        ("random", RandomSearch),
+    ])
+    def test_method_maps_to_class(self, method, cls, small_classification):
+        X, y = small_classification
+        assert isinstance(make_searcher(method, SMALL_SPACE, X, y), cls)
+
+    def test_plus_variants_use_grouped_evaluator(self, small_classification):
+        X, y = small_classification
+        plus = make_searcher("sha+", SMALL_SPACE, X, y, random_state=0)
+        vanilla = make_searcher("sha", SMALL_SPACE, X, y, random_state=0)
+        assert plus.evaluator.sampling == "grouped"
+        assert plus.evaluator.folding == "grouped"
+        assert vanilla.evaluator.sampling == "stratified"
+        assert vanilla.evaluator.score_params.use_variance is False
+        assert plus.evaluator.score_params.use_variance is True
+
+    def test_display_names(self, small_classification):
+        X, y = small_classification
+        assert make_searcher("sha+", SMALL_SPACE, X, y).method_name == "SHA+"
+        assert make_searcher("bohb", SMALL_SPACE, X, y).method_name == "BOHB"
+        assert make_searcher("hb+", SMALL_SPACE, X, y).method_name == "HB+"
+
+    def test_case_insensitive(self, small_classification):
+        X, y = small_classification
+        assert make_searcher("SHA+", SMALL_SPACE, X, y).method_name == "SHA+"
+
+    def test_unknown_method_raises(self, small_classification):
+        X, y = small_classification
+        with pytest.raises(ValueError, match="Unknown method"):
+            make_searcher("grid", SMALL_SPACE, X, y)
+
+    def test_searcher_kwargs_forwarded(self, small_classification):
+        X, y = small_classification
+        searcher = make_searcher("sha", SMALL_SPACE, X, y, searcher_kwargs={"eta": 3.0})
+        assert searcher.eta == 3.0
+
+    def test_evaluator_kwargs_forwarded(self, small_classification):
+        X, y = small_classification
+        searcher = make_searcher("sha+", SMALL_SPACE, X, y, evaluator_kwargs={"k_gen": 4, "k_spe": 1})
+        assert searcher.evaluator.k_gen == 4
+        assert searcher.evaluator.k_spe == 1
+
+
+class TestOptimize:
+    def test_end_to_end_sha_plus(self, small_classification):
+        X, y = small_classification
+        factory = MLPModelFactory(task="classification", max_iter=10, solver="lbfgs")
+        outcome = optimize(
+            X, y, SMALL_SPACE, method="sha+", model_factory=factory, random_state=0
+        )
+        SMALL_SPACE.validate(outcome.best_config)
+        assert outcome.model is not None
+        assert 0.0 <= outcome.train_score <= 1.0
+        assert outcome.wall_time > 0.0
+
+    def test_refit_false_skips_model(self, small_classification):
+        X, y = small_classification
+        factory = MLPModelFactory(task="classification", max_iter=10, solver="lbfgs")
+        outcome = optimize(
+            X, y, SMALL_SPACE, method="sha", model_factory=factory,
+            random_state=0, refit=False,
+        )
+        assert outcome.model is None
+        assert np.isnan(outcome.train_score)
+
+    def test_result_trials_recorded(self, small_classification):
+        X, y = small_classification
+        factory = MLPModelFactory(task="classification", max_iter=10, solver="lbfgs")
+        outcome = optimize(
+            X, y, SMALL_SPACE, method="sha", model_factory=factory, random_state=0, refit=False
+        )
+        assert outcome.result.n_trials > 0
+        # 4 configs with eta=2: 4 at 1/4 budget then 2 at 1/2 budget.
+        budgets = [t.budget_fraction for t in outcome.result.trials]
+        assert budgets.count(0.25) == 4
+        assert budgets.count(0.5) == 2
+
+    def test_docstring_example_shape(self, small_classification):
+        X, y = small_classification
+        outcome = optimize(
+            X, y, paper_search_space(2), method="sha+",
+            n_configurations=4, random_state=0,
+            model_factory=MLPModelFactory(task="classification", max_iter=5, solver="lbfgs"),
+            refit=False,
+        )
+        assert sorted(outcome.best_config) == sorted(paper_search_space(2).names)

@@ -1,0 +1,120 @@
+"""Property-based and failure-injection tests for the evaluators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MLPModelFactory,
+    ScoreParams,
+    SubsetCVEvaluator,
+    generate_groups,
+    grouped_evaluator,
+    vanilla_evaluator,
+)
+from repro.datasets import make_classification
+
+CONFIG = {"hidden_layer_sizes": (4,), "activation": "relu"}
+
+
+def fast_factory():
+    return MLPModelFactory(task="classification", max_iter=4, solver="lbfgs")
+
+
+class TestEvaluatorProperties:
+    @given(
+        budget=st.floats(min_value=0.05, max_value=1.0),
+        sampling=st.sampled_from(["random", "stratified", "grouped"]),
+        folding=st.sampled_from(["random", "stratified", "grouped"]),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_axis_combination_produces_valid_result(self, budget, sampling, folding, seed):
+        X, y = make_classification(n_samples=150, n_features=5, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=2, random_state=seed)
+        evaluator = SubsetCVEvaluator(
+            X, y, fast_factory(),
+            sampling=sampling, folding=folding, grouping=grouping,
+            score_params=ScoreParams(),
+        )
+        result = evaluator.evaluate(CONFIG, budget, np.random.default_rng(seed))
+        assert 0.0 <= result.mean <= 1.0
+        assert result.std >= 0.0
+        assert 0.0 < result.gamma <= 100.0
+        assert result.n_instances <= len(y)
+        assert len(result.fold_scores) == evaluator._n_folds()
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_gamma_consistent_with_instances(self, seed):
+        X, y = make_classification(n_samples=120, n_features=4, random_state=seed)
+        evaluator = vanilla_evaluator(X, y, fast_factory())
+        result = evaluator.evaluate(CONFIG, 0.5, np.random.default_rng(seed))
+        assert result.gamma == pytest.approx(100.0 * result.n_instances / len(y))
+
+    @given(
+        alpha=st.floats(min_value=0.0, max_value=1.0),
+        budget=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_score_bonus_proportional_to_alpha(self, alpha, budget):
+        """score - mean == alpha * beta(gamma) * std exactly."""
+        from repro.core import beta_weight
+
+        X, y = make_classification(n_samples=150, n_features=5, random_state=0)
+        evaluator = grouped_evaluator(
+            X, y, fast_factory(), alpha=alpha, beta_max=10.0, random_state=0
+        )
+        result = evaluator.evaluate(CONFIG, budget, np.random.default_rng(1))
+        expected = alpha * beta_weight(result.gamma, 10.0) * result.std
+        assert result.score - result.mean == pytest.approx(expected, abs=1e-9)
+
+
+class TestFailureInjection:
+    def test_extreme_imbalance_random_folds_survive(self):
+        """Random folds on 1% positives often yield single-class training
+        folds; the constant-classifier fallback must keep evaluation alive."""
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((200, 4))
+        y = np.zeros(200, dtype=int)
+        y[rng.choice(200, size=3, replace=False)] = 1
+        evaluator = SubsetCVEvaluator(
+            X, y, fast_factory(), sampling="random", folding="random",
+            score_params=ScoreParams(use_variance=False),
+        )
+        for budget in (0.2, 0.5, 1.0):
+            result = evaluator.evaluate(CONFIG, budget, np.random.default_rng(1))
+            assert np.isfinite(result.mean)
+
+    def test_tiny_dataset_floor_kicks_in(self):
+        X, y = make_classification(n_samples=70, n_features=3, random_state=0)
+        evaluator = vanilla_evaluator(X, y, fast_factory(), min_subset=40)
+        result = evaluator.evaluate(CONFIG, 0.01, np.random.default_rng(0))
+        assert result.n_instances == 40
+
+    def test_model_factory_exception_propagates(self):
+        """A broken configuration should surface, not be silently swallowed."""
+        X, y = make_classification(n_samples=100, n_features=3, random_state=0)
+        evaluator = vanilla_evaluator(X, y, fast_factory())
+        with pytest.raises(ValueError):
+            evaluator.evaluate({"hidden_layer_sizes": (0,)}, 0.5, np.random.default_rng(0))
+
+    def test_grouped_evaluator_with_many_groups_small_subset(self):
+        X, y = make_classification(n_samples=200, n_features=5, random_state=0)
+        evaluator = grouped_evaluator(
+            X, y, fast_factory(), n_groups=5, k_gen=0, k_spe=5, random_state=0
+        )
+        result = evaluator.evaluate(CONFIG, 0.3, np.random.default_rng(0))
+        assert len(result.fold_scores) == 5
+
+    def test_regression_grouped_with_skewed_targets(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((150, 4))
+        y = np.exp(rng.standard_normal(150) * 2)  # heavy right tail
+        factory = MLPModelFactory(task="regression", max_iter=4, solver="lbfgs")
+        evaluator = grouped_evaluator(
+            X, y, factory, metric="r2", task="regression", random_state=0
+        )
+        result = evaluator.evaluate(CONFIG, 0.5, np.random.default_rng(0))
+        assert np.isfinite(result.score)

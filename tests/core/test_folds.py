@@ -1,0 +1,118 @@
+"""Tests for general+special fold construction (Operation 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeneralSpecialFolds, generate_groups
+from repro.datasets import make_classification
+
+
+@pytest.fixture
+def grouping(small_classification):
+    X, y = small_classification
+    return generate_groups(X, y, n_groups=3, random_state=0)
+
+
+class TestFoldStructure:
+    def test_yields_k_gen_plus_k_spe_folds(self, grouping):
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2, random_state=0)
+        folds = list(splitter.split())
+        assert len(folds) == 5
+        assert splitter.get_n_splits() == 5
+
+    def test_validation_blocks_partition_subset(self, grouping):
+        subset = np.arange(0, 200)
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2, random_state=0)
+        blocks = [val for _, val in splitter.split(subset)]
+        combined = np.sort(np.concatenate(blocks))
+        # Blocks are disjoint and cover (almost) the whole subset; integer
+        # division may leave a remainder smaller than the fold count.
+        assert len(np.unique(combined)) == len(combined)
+        assert len(combined) >= len(subset) - 5
+        assert np.isin(combined, subset).all()
+
+    def test_train_val_disjoint_and_cover_subset(self, grouping):
+        subset = np.arange(50, 250)
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2, random_state=0)
+        for train, val in splitter.split(subset):
+            assert len(np.intersect1d(train, val)) == 0
+            assert len(train) + len(val) == len(subset)
+            assert np.isin(train, subset).all()
+            assert np.isin(val, subset).all()
+
+    def test_special_folds_dominated_by_one_group(self, grouping):
+        splitter = GeneralSpecialFolds(
+            grouping.group_labels, k_gen=3, k_spe=2, special_majority=0.8, random_state=0
+        )
+        folds = list(splitter.split())
+        # The first k_spe blocks are the special ones by construction.
+        for _, val in folds[-2:]:  # general folds: no group holds > 70%
+            shares = np.bincount(grouping.group_labels[val], minlength=3) / len(val)
+            global_shares = np.bincount(grouping.group_labels, minlength=3) / len(grouping.group_labels)
+            np.testing.assert_allclose(shares, global_shares, atol=0.1)
+
+    def test_special_folds_overrepresent_their_group(self, grouping):
+        splitter = GeneralSpecialFolds(
+            grouping.group_labels, k_gen=0, k_spe=3, special_majority=0.8, random_state=0
+        )
+        global_shares = np.bincount(grouping.group_labels, minlength=3) / len(grouping.group_labels)
+        for _, val in splitter.split():
+            shares = np.bincount(grouping.group_labels[val], minlength=3) / len(val)
+            # Some group is over-represented well beyond its global share
+            # (the biased-sampling property that defines a special fold).
+            assert (shares - global_shares).max() > 0.1
+
+    def test_general_only_matches_group_stratification(self, grouping):
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=5, k_spe=0, random_state=0)
+        folds = list(splitter.split())
+        assert len(folds) == 5
+        global_shares = np.bincount(grouping.group_labels, minlength=3) / len(grouping.group_labels)
+        for _, val in folds:
+            shares = np.bincount(grouping.group_labels[val], minlength=3) / len(val)
+            np.testing.assert_allclose(shares, global_shares, atol=0.08)
+
+    def test_deterministic(self, grouping):
+        a = [v.tolist() for _, v in GeneralSpecialFolds(grouping.group_labels, random_state=4).split()]
+        b = [v.tolist() for _, v in GeneralSpecialFolds(grouping.group_labels, random_state=4).split()]
+        assert a == b
+
+
+class TestEdgeCases:
+    def test_small_subset_raises(self, grouping):
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2)
+        with pytest.raises(ValueError, match="too small"):
+            list(splitter.split(np.arange(5)))
+
+    def test_k_spe_exceeding_groups_raises(self, grouping):
+        with pytest.raises(ValueError, match="k_spe"):
+            GeneralSpecialFolds(grouping.group_labels, k_gen=1, k_spe=4)
+
+    def test_too_few_folds_raises(self, grouping):
+        with pytest.raises(ValueError, match="folds"):
+            GeneralSpecialFolds(grouping.group_labels, k_gen=1, k_spe=0)
+
+    def test_invalid_special_majority(self, grouping):
+        with pytest.raises(ValueError, match="special_majority"):
+            GeneralSpecialFolds(grouping.group_labels, special_majority=0.0)
+
+    def test_subset_missing_some_groups_still_works(self, grouping):
+        # Subset drawn from a single group only.
+        one_group = grouping.indices_of(0)[:60]
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2, random_state=0)
+        folds = list(splitter.split(one_group))
+        assert len(folds) == 5
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=10, deadline=None)
+    def test_partition_invariant_random_subsets(self, seed):
+        X, y = make_classification(n_samples=200, n_features=5, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=2, random_state=seed)
+        rng = np.random.default_rng(seed)
+        subset = rng.choice(200, size=80, replace=False)
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2, random_state=seed)
+        blocks = [val for _, val in splitter.split(subset)]
+        combined = np.concatenate(blocks)
+        assert len(np.unique(combined)) == len(combined)
+        assert np.isin(combined, subset).all()

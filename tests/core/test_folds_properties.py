@@ -1,0 +1,82 @@
+"""Property-based tests for general+special fold invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeneralSpecialFolds, generate_groups
+from repro.datasets import make_classification, make_regression
+
+
+class TestFoldInvariants:
+    @given(
+        k_gen=st.integers(min_value=0, max_value=5),
+        k_spe=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_allocation_partitions(self, k_gen, k_spe, seed):
+        if k_gen + k_spe < 2:
+            return
+        X, y = make_classification(n_samples=180, n_features=4, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=max(k_spe, 2), random_state=seed)
+        splitter = GeneralSpecialFolds(
+            grouping.group_labels, k_gen=k_gen, k_spe=k_spe, random_state=seed
+        )
+        blocks = [val for _, val in splitter.split()]
+        assert len(blocks) == k_gen + k_spe
+        combined = np.concatenate(blocks)
+        assert len(np.unique(combined)) == len(combined)  # disjoint
+        # Near-complete coverage (integer division remainder only).
+        assert len(combined) >= 180 - (k_gen + k_spe)
+
+    @given(
+        special_majority=st.floats(min_value=0.5, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_special_majority_parameter_respected(self, special_majority, seed):
+        X, y = make_classification(n_samples=200, n_features=4, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=2, random_state=seed)
+        splitter = GeneralSpecialFolds(
+            grouping.group_labels, k_gen=0, k_spe=2,
+            special_majority=special_majority, random_state=seed,
+        )
+        global_shares = np.bincount(grouping.group_labels, minlength=2) / 200
+        for _, val in splitter.split():
+            shares = np.bincount(grouping.group_labels[val], minlength=2) / len(val)
+            # Some group is over-represented relative to its global share,
+            # unless that group is too small to dominate its block.
+            assert (shares - global_shares).max() > -0.05
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_regression_groups_fold_cleanly(self, seed):
+        X, y = make_regression(n_samples=150, n_features=5, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=3, task="regression", random_state=seed)
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2, random_state=seed)
+        blocks = [val for _, val in splitter.split()]
+        assert len(blocks) == 5
+        for train, val in splitter.split():
+            assert len(np.intersect1d(train, val)) == 0
+
+    @given(
+        subset_size=st.integers(min_value=20, max_value=150),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_subset_sizes(self, subset_size, seed):
+        X, y = make_classification(n_samples=160, n_features=4, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=2, random_state=seed)
+        rng = np.random.default_rng(seed)
+        subset = rng.choice(160, size=subset_size, replace=False)
+        splitter = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2, random_state=seed)
+        if subset_size < 2 * 5:
+            with pytest.raises(ValueError):
+                list(splitter.split(subset))
+            return
+        blocks = [val for _, val in splitter.split(subset)]
+        combined = np.concatenate(blocks)
+        assert np.isin(combined, subset).all()
+        assert len(np.unique(combined)) == len(combined)

@@ -1,0 +1,136 @@
+"""Tests for instance grouping (Operation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InstanceGrouping, generate_groups, label_categories
+from repro.datasets import make_classification, make_regression
+
+
+class TestLabelCategories:
+    def test_classification_uses_labels_directly(self):
+        y = np.array([0, 1, 2, 1, 0, 2])
+        np.testing.assert_array_equal(label_categories(y), y)
+
+    def test_string_labels_coded(self):
+        y = np.array(["b", "a", "b"])
+        codes = label_categories(y)
+        assert codes.tolist() == [1, 0, 1]
+
+    def test_rare_classes_merged(self):
+        # 4 classes over 100 instances; threshold is 10% of 25 = 2.5.
+        # Classes 2 and 3 have 2 instances each -> both merged.
+        y = np.array([0] * 50 + [1] * 46 + [2] * 2 + [3] * 2)
+        codes = label_categories(y)
+        assert len(np.unique(codes)) == 3
+        merged = codes[96:]
+        assert len(np.unique(merged)) == 1  # 2 and 3 share a category
+
+    def test_single_rare_class_not_merged(self):
+        y = np.array([0] * 50 + [1] * 48 + [2] * 2)
+        codes = label_categories(y)
+        assert len(np.unique(codes)) == 3
+
+    def test_regression_binned_by_quantile(self):
+        y = np.linspace(0, 1, 100)
+        codes = label_categories(y, task="regression", n_bins=4)
+        counts = np.bincount(codes)
+        assert len(counts) == 4
+        assert counts.min() >= 24  # near-equal quantile bins
+
+    def test_regression_bins_monotone_in_y(self):
+        y = np.array([0.1, 0.9, 0.5])
+        codes = label_categories(y, task="regression", n_bins=3)
+        assert codes[0] <= codes[2] <= codes[1]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            label_categories(np.array([]))
+
+
+class TestGenerateGroups:
+    def test_every_instance_assigned(self, small_classification):
+        X, y = small_classification
+        grouping = generate_groups(X, y, n_groups=3, random_state=0)
+        assert len(grouping) == len(y)
+        assert grouping.group_labels.min() >= 0
+        assert grouping.group_labels.max() < 3
+
+    def test_all_groups_non_empty(self, small_multiclass):
+        X, y = small_multiclass
+        grouping = generate_groups(X, y, n_groups=4, random_state=0)
+        assert (grouping.group_sizes > 0).all()
+
+    def test_intermediate_codes_exposed(self, small_classification):
+        X, y = small_classification
+        grouping = generate_groups(X, y, n_groups=2, random_state=0)
+        assert grouping.feature_clusters.shape == y.shape
+        assert grouping.label_categories.shape == y.shape
+
+    def test_indices_of_partition(self, small_classification):
+        X, y = small_classification
+        grouping = generate_groups(X, y, n_groups=3, random_state=0)
+        combined = np.sort(np.concatenate([grouping.indices_of(g) for g in range(3)]))
+        np.testing.assert_array_equal(combined, np.arange(len(y)))
+
+    def test_indices_of_invalid_group(self, small_classification):
+        X, y = small_classification
+        grouping = generate_groups(X, y, n_groups=2, random_state=0)
+        with pytest.raises(ValueError, match="group"):
+            grouping.indices_of(5)
+
+    def test_groups_reflect_feature_clusters(self):
+        # Two well-separated feature blobs with mixed labels: the feature
+        # clustering should identify the blobs perfectly, and the final
+        # groups (which blend in label information per Operation 1's second
+        # pass) should still align with the blobs well above chance.
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.standard_normal((100, 2)), rng.standard_normal((100, 2)) + 12.0])
+        y = rng.integers(0, 2, size=200)
+        grouping = generate_groups(X, y, n_groups=2, random_state=0)
+        blob = np.repeat([0, 1], 100)
+        cluster_agreement = max(
+            (grouping.feature_clusters == blob).mean(),
+            (grouping.feature_clusters == 1 - blob).mean(),
+        )
+        assert cluster_agreement == 1.0
+        group_agreement = max(
+            (grouping.group_labels == blob).mean(),
+            (grouping.group_labels == 1 - blob).mean(),
+        )
+        assert group_agreement > 0.6
+
+    def test_regression_grouping(self, small_regression):
+        X, y = small_regression
+        grouping = generate_groups(X, y, n_groups=3, task="regression", random_state=0)
+        assert len(np.unique(grouping.group_labels)) >= 2
+
+    def test_deterministic(self, small_classification):
+        X, y = small_classification
+        a = generate_groups(X, y, n_groups=3, random_state=5)
+        b = generate_groups(X, y, n_groups=3, random_state=5)
+        np.testing.assert_array_equal(a.group_labels, b.group_labels)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            generate_groups(np.ones((10, 2)), np.zeros(5))
+
+    def test_too_few_instances_raises(self):
+        with pytest.raises(ValueError, match="at least"):
+            generate_groups(np.ones((2, 2)), np.zeros(2), n_groups=5)
+
+    def test_top_k_override(self, small_multiclass):
+        X, y = small_multiclass
+        grouping = generate_groups(X, y, n_groups=2, top_k=3, random_state=0)
+        assert (grouping.group_sizes > 0).all()
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_grouping_invariants(self, n_groups, seed):
+        X, y = make_classification(n_samples=120, n_features=6, n_classes=3, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=n_groups, random_state=seed)
+        assert len(grouping) == 120
+        assert grouping.group_sizes.sum() == 120
+        assert (grouping.group_sizes > 0).all()

@@ -1,0 +1,133 @@
+"""Tests for the evaluation metric (Equations 1-3, Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ScoreParams, beta_curve, beta_weight, gamma_bounds, ucb_score
+from repro.core.scoring import scores_from_folds
+
+
+class TestGammaBounds:
+    def test_paper_values_for_beta_max_10(self):
+        gamma_min, gamma_max = gamma_bounds(beta_max=10.0)
+        assert gamma_min == pytest.approx(50 * (1 - np.tanh(2.5)))
+        assert gamma_max == pytest.approx(50 * (1 + np.tanh(2.5)))
+        assert 0 < gamma_min < 1.0
+        assert 99.0 < gamma_max < 100.0
+
+    def test_symmetric_around_fifty(self):
+        gamma_min, gamma_max = gamma_bounds(beta_max=6.0)
+        assert gamma_min + gamma_max == pytest.approx(100.0)
+
+    def test_invalid_beta_max(self):
+        with pytest.raises(ValueError, match="beta_max"):
+            gamma_bounds(0.0)
+
+
+class TestBetaWeight:
+    """The Figure 3 shape: beta_max at tiny subsets, beta_max/2 at 50%, 0 at full."""
+
+    def test_maximum_at_small_gamma(self):
+        assert beta_weight(0.0, beta_max=10.0) == pytest.approx(10.0)
+
+    def test_half_at_fifty_percent(self):
+        assert beta_weight(50.0, beta_max=10.0) == pytest.approx(5.0)
+
+    def test_zero_at_full_budget(self):
+        assert beta_weight(100.0, beta_max=10.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_clamped_below_gamma_min(self):
+        gamma_min, _ = gamma_bounds(10.0)
+        assert beta_weight(gamma_min / 2, 10.0) == pytest.approx(beta_weight(gamma_min, 10.0))
+
+    def test_monotone_decreasing(self):
+        gammas = np.linspace(0, 100, 51)
+        betas = beta_weight(gammas, beta_max=10.0)
+        assert all(a >= b - 1e-12 for a, b in zip(betas, betas[1:]))
+
+    def test_steeper_near_extremes_than_middle(self):
+        # The tanh design changes faster for small sizes than around 50%.
+        d_small = beta_weight(2.0, 10.0) - beta_weight(7.0, 10.0)
+        d_mid = beta_weight(47.5, 10.0) - beta_weight(52.5, 10.0)
+        assert d_small > d_mid
+
+    def test_symmetry_of_design(self):
+        # beta(50 - d) + beta(50 + d) == beta_max (symmetric around 50%).
+        for d in (5.0, 20.0, 40.0):
+            total = beta_weight(50 - d, 10.0) + beta_weight(50 + d, 10.0)
+            assert total == pytest.approx(10.0, abs=1e-9)
+
+    def test_vector_input(self):
+        betas = beta_weight(np.array([0.0, 50.0, 100.0]), beta_max=8.0)
+        np.testing.assert_allclose(betas, [8.0, 4.0, 0.0], atol=1e-9)
+
+    def test_out_of_range_gamma_raises(self):
+        with pytest.raises(ValueError, match="gamma"):
+            beta_weight(120.0)
+        with pytest.raises(ValueError, match="gamma"):
+            beta_weight(-1.0)
+
+    @given(st.floats(min_value=0, max_value=100), st.floats(min_value=1.0, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_in_zero_beta_max(self, gamma, beta_max):
+        value = beta_weight(gamma, beta_max=beta_max)
+        assert -1e-9 <= value <= beta_max + 1e-9
+
+
+class TestBetaCurve:
+    def test_figure3_series(self):
+        gammas, betas = beta_curve(beta_max=10.0, n_points=11)
+        assert gammas.shape == betas.shape == (11,)
+        assert betas[0] == pytest.approx(10.0)
+        assert betas[-1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestUcbScore:
+    def test_vanilla_mode_returns_mean(self):
+        params = ScoreParams(use_variance=False)
+        assert ucb_score(0.8, 0.5, 10.0, params) == 0.8
+
+    def test_equation1_without_sampling_weight(self):
+        params = ScoreParams(alpha=0.1, use_sampling_weight=False)
+        assert ucb_score(0.8, 0.2, 10.0, params) == pytest.approx(0.8 + 0.1 * 0.2)
+
+    def test_full_equation3(self):
+        params = ScoreParams(alpha=0.1, beta_max=10.0)
+        expected = 0.8 + 0.1 * beta_weight(30.0, 10.0) * 0.2
+        assert ucb_score(0.8, 0.2, 30.0, params) == pytest.approx(expected)
+
+    def test_small_subsets_reward_variance_more(self):
+        params = ScoreParams(alpha=0.1, beta_max=10.0)
+        small = ucb_score(0.8, 0.2, 5.0, params)
+        large = ucb_score(0.8, 0.2, 95.0, params)
+        assert small > large
+
+    def test_at_full_budget_score_is_mean(self):
+        params = ScoreParams(alpha=0.1, beta_max=10.0)
+        assert ucb_score(0.8, 0.9, 100.0, params) == pytest.approx(0.8, abs=1e-9)
+
+    def test_normalized_weight_bounds(self):
+        # With beta_max = 1/alpha the combined weight alpha*beta is in [0,1],
+        # so the score is at most mean + std.
+        params = ScoreParams(alpha=0.1, beta_max=10.0)
+        assert ucb_score(0.5, 0.3, 0.0, params) == pytest.approx(0.8)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="alpha"):
+            ScoreParams(alpha=-0.5)
+        with pytest.raises(ValueError, match="beta_max"):
+            ScoreParams(beta_max=0.0)
+
+
+class TestScoresFromFolds:
+    def test_aggregates(self):
+        mean, std, score = scores_from_folds([0.7, 0.8, 0.9], gamma=50.0)
+        assert mean == pytest.approx(0.8)
+        assert std == pytest.approx(np.std([0.7, 0.8, 0.9]))
+        assert score == pytest.approx(mean + 0.1 * 5.0 * std)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            scores_from_folds([], gamma=50.0)

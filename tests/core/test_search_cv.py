@@ -1,0 +1,84 @@
+"""Tests for the estimator-style EnhancedSearchCV wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import EnhancedSearchCV, MLPModelFactory
+from repro.space import Categorical, SearchSpace
+
+SPACE = SearchSpace(
+    [
+        Categorical("hidden_layer_sizes", [(4,), (8,)]),
+        Categorical("activation", ["relu", "tanh"]),
+    ]
+)
+
+
+def fast_search(**overrides):
+    defaults = dict(
+        space=SPACE,
+        method="sha+",
+        model_factory=MLPModelFactory(task="classification", max_iter=6, solver="lbfgs"),
+        random_state=0,
+    )
+    defaults.update(overrides)
+    return EnhancedSearchCV(**defaults)
+
+
+class TestFit:
+    def test_fit_sets_attributes(self, small_classification):
+        X, y = small_classification
+        search = fast_search().fit(X, y)
+        SPACE.validate(search.best_config_)
+        assert search.best_estimator_ is not None
+        assert search.n_trials_ > 0
+        assert 0.0 <= search.train_score_ <= 1.0
+
+    def test_predict_and_score(self, small_classification):
+        X, y = small_classification
+        search = fast_search().fit(X, y)
+        predictions = search.predict(X[:20])
+        assert predictions.shape == (20,)
+        assert 0.0 <= search.score(X, y) <= 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            fast_search().predict(np.ones((2, 2)))
+        with pytest.raises(RuntimeError, match="fitted"):
+            fast_search().score(np.ones((2, 2)), np.zeros(2))
+
+    def test_unknown_method_raises(self, small_classification):
+        X, y = small_classification
+        with pytest.raises(ValueError, match="Unknown method"):
+            fast_search(method="grid").fit(X, y)
+
+    def test_vanilla_method_works(self, small_classification):
+        X, y = small_classification
+        search = fast_search(method="sha").fit(X, y)
+        assert search.n_trials_ > 0
+
+    def test_model_based_method_skips_grid(self, small_classification):
+        X, y = small_classification
+        search = fast_search(method="tpe", n_configurations=5).fit(X, y)
+        assert search.n_trials_ == 5
+
+    def test_deterministic(self, small_classification):
+        X, y = small_classification
+        a = fast_search(random_state=3).fit(X, y)
+        b = fast_search(random_state=3).fit(X, y)
+        assert a.best_config_ == b.best_config_
+
+    def test_regression_task(self, small_regression):
+        X, y = small_regression
+        search = EnhancedSearchCV(
+            SPACE, method="sha+", metric="r2", task="regression",
+            model_factory=MLPModelFactory(task="regression", max_iter=6, solver="lbfgs"),
+            random_state=0,
+        ).fit(X, y)
+        assert np.isfinite(search.score(X, y))
+
+    def test_get_params_protocol(self):
+        search = fast_search(max_iter=9)
+        params = search.get_params()
+        assert params["method"] == "sha+"
+        assert params["max_iter"] == 9

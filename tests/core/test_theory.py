@@ -1,0 +1,104 @@
+"""Tests for the Proposition 1 sampling-stability analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    SamplingStability,
+    binomial_pmf,
+    compare_sampling_stability,
+    grouped_sampling_pmf,
+)
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        assert binomial_pmf(20, 0.3).sum() == pytest.approx(1.0)
+
+    def test_known_values(self):
+        pmf = binomial_pmf(2, 0.5)
+        np.testing.assert_allclose(pmf, [0.25, 0.5, 0.25])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(0, 0.5)
+        with pytest.raises(ValueError):
+            binomial_pmf(10, 1.5)
+
+
+class TestGroupedPmf:
+    def test_sums_to_one(self):
+        assert grouped_sampling_pmf(20, 0.5, 0.2).sum() == pytest.approx(1.0)
+
+    def test_eps_zero_equals_random(self):
+        np.testing.assert_allclose(
+            grouped_sampling_pmf(16, 0.4, 0.0), binomial_pmf(16, 0.4), atol=1e-12
+        )
+
+    def test_eps_max_is_deterministic(self):
+        # p = 0.5, eps = 0.5: one group all-negative, one all-positive.
+        pmf = grouped_sampling_pmf(10, 0.5, 0.5)
+        assert pmf[5] == pytest.approx(1.0)
+
+    def test_same_mean_as_random(self):
+        counts = np.arange(21)
+        random_mean = (counts * binomial_pmf(20, 0.5)).sum()
+        grouped_mean = (counts * grouped_sampling_pmf(20, 0.5, 0.3)).sum()
+        assert grouped_mean == pytest.approx(random_mean)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="even"):
+            grouped_sampling_pmf(7, 0.5, 0.1)
+        with pytest.raises(ValueError, match="eps"):
+            grouped_sampling_pmf(10, 0.5, 0.6)
+
+
+class TestProposition1:
+    def test_grouped_variance_smaller_for_positive_eps(self):
+        comparison = compare_sampling_stability(n=40, p=0.5, eps=0.3)
+        assert comparison["grouped"].variance < comparison["random"].variance
+
+    def test_variance_reduction_formula(self):
+        # Var_random = n p (1-p); Var_grouped = n p (1-p) - n eps^2 / 2...
+        # each half contributes (n/2) q (1-q); summed over q = p +/- eps:
+        # n p(1-p) - n eps^2.
+        n, p, eps = 30, 0.5, 0.2
+        comparison = compare_sampling_stability(n, p, eps)
+        expected = n * p * (1 - p) - n * eps**2
+        assert comparison["grouped"].variance == pytest.approx(expected)
+
+    def test_mode_probability_higher_for_grouped(self):
+        comparison = compare_sampling_stability(n=40, p=0.5, eps=0.4)
+        assert comparison["grouped"].mode_probability > comparison["random"].mode_probability
+
+    def test_eps_zero_identical(self):
+        comparison = compare_sampling_stability(n=20, p=0.5, eps=0.0)
+        assert comparison["grouped"].variance == pytest.approx(comparison["random"].variance)
+        assert comparison["grouped"].mode_probability == pytest.approx(
+            comparison["random"].mode_probability
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=30).map(lambda k: 2 * k),
+        st.floats(min_value=0.2, max_value=0.8),
+        st.floats(min_value=0.01, max_value=0.19),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_grouped_never_less_stable(self, n, p, eps):
+        eps = min(eps, p, 1 - p)
+        comparison = compare_sampling_stability(n, p, eps)
+        assert comparison["grouped"].variance <= comparison["random"].variance + 1e-9
+
+
+class TestSamplingStability:
+    def test_from_pmf(self):
+        stats = SamplingStability.from_pmf(np.array([0.25, 0.5, 0.25]), expected_count=1)
+        assert stats.mean == pytest.approx(1.0)
+        assert stats.variance == pytest.approx(0.5)
+        assert stats.mode_probability == pytest.approx(0.5)
+
+    def test_out_of_range_expected(self):
+        stats = SamplingStability.from_pmf(np.array([1.0]), expected_count=5)
+        assert stats.mode_probability == 0.0

@@ -1,0 +1,132 @@
+"""Tests for the LibSVM and CSV file loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_csv, load_svmlight_file
+
+
+class TestSvmlight:
+    def test_basic_parse(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 1:0.5 3:2.0\n-1 2:1.5\n")
+        X, y = load_svmlight_file(path)
+        np.testing.assert_array_equal(y, [1, -1])
+        np.testing.assert_allclose(X, [[0.5, 0.0, 2.0], [0.0, 1.5, 0.0]])
+
+    def test_zero_based_indices(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 0:3.0\n")
+        X, _ = load_svmlight_file(path, zero_based=True)
+        np.testing.assert_allclose(X, [[3.0]])
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("# header comment\n\n1 1:1.0 # trailing\n")
+        X, y = load_svmlight_file(path)
+        assert X.shape == (1, 1)
+
+    def test_forced_width(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("0 1:1.0\n")
+        X, _ = load_svmlight_file(path, n_features=5)
+        assert X.shape == (1, 5)
+
+    def test_width_overflow_rejected(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("0 9:1.0\n")
+        with pytest.raises(ValueError, match="exceeds"):
+            load_svmlight_file(path, n_features=3)
+
+    def test_float_labels_preserved(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("0.75 1:1.0\n0.25 1:2.0\n")
+        _, y = load_svmlight_file(path)
+        assert y.dtype.kind == "f"
+        np.testing.assert_allclose(y, [0.75, 0.25])
+
+    def test_integer_labels_cast(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("3 1:1.0\n")
+        _, y = load_svmlight_file(path)
+        assert y.dtype.kind == "i"
+
+    @pytest.mark.parametrize("content,match", [
+        ("abc 1:1.0\n", "malformed label"),
+        ("1 banana\n", "malformed feature"),
+        ("1 0:1.0\n", "negative feature index"),
+        ("", "no samples"),
+    ])
+    def test_malformed_inputs(self, tmp_path, content, match):
+        path = tmp_path / "bad.txt"
+        path.write_text(content)
+        with pytest.raises(ValueError, match=match):
+            load_svmlight_file(path)
+
+    def test_roundtrip_with_pipeline(self, tmp_path):
+        """A loaded file feeds the HPO pipeline end to end."""
+        rng = np.random.default_rng(0)
+        lines = []
+        for _ in range(60):
+            label = int(rng.integers(2))
+            x1, x2 = rng.standard_normal(2) + 2 * label
+            lines.append(f"{label} 1:{x1:.4f} 2:{x2:.4f}")
+        path = tmp_path / "train.txt"
+        path.write_text("\n".join(lines) + "\n")
+        X, y = load_svmlight_file(path)
+        from repro.learners import LogisticRegression
+
+        assert LogisticRegression().fit(X, y).score(X, y) > 0.8
+
+
+class TestCsv:
+    def test_header_and_named_target(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,label\n1.0,2.0,0\n3.0,4.0,1\n")
+        X, y = load_csv(path, target_column="label")
+        np.testing.assert_allclose(X, [[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal(y, [0, 1])
+
+    def test_positional_target(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("0,1.0,2.0\n1,3.0,4.0\n")
+        X, y = load_csv(path, target_column=0, has_header=False)
+        np.testing.assert_array_equal(y, [0, 1])
+        np.testing.assert_allclose(X, [[1.0, 2.0], [3.0, 4.0]])
+
+    def test_default_last_column(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0,0\n2.0,1\n", )
+        X, y = load_csv(path, has_header=False)
+        np.testing.assert_array_equal(y, [0, 1])
+
+    def test_string_target_encoded(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("x,cls\n1.0,cat\n2.0,dog\n3.0,cat\n")
+        _, y = load_csv(path, target_column="cls")
+        np.testing.assert_array_equal(y, [0, 1, 0])
+
+    def test_float_regression_target(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("x,price\n1.0,10.5\n2.0,20.25\n")
+        _, y = load_csv(path, target_column="price")
+        assert y.dtype.kind == "f"
+
+    @pytest.mark.parametrize("content,kwargs,match", [
+        ("", {}, "empty"),
+        ("a,b\n", {}, "no data rows"),
+        ("a,b\n1.0\n", {}, "ragged"),
+        ("a,b\n1.0,2.0\n", {"target_column": "z"}, "No column named"),
+        ("a,b\nfoo,0\n", {"target_column": "b"}, "non-numeric feature"),
+    ])
+    def test_malformed_inputs(self, tmp_path, content, kwargs, match):
+        path = tmp_path / "bad.csv"
+        path.write_text(content)
+        with pytest.raises(ValueError, match=match):
+            load_csv(path, **kwargs)
+
+    def test_named_target_without_header_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("1.0,0\n")
+        with pytest.raises(ValueError, match="has_header"):
+            load_csv(path, target_column="label", has_header=False)

@@ -1,0 +1,113 @@
+"""Tests for the paper-dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_SPECS,
+    dataset_info_table,
+    list_datasets,
+    load_dataset,
+)
+
+
+class TestRegistryContents:
+    def test_twelve_datasets_like_the_paper(self):
+        assert len(DATASET_SPECS) == 12
+
+    def test_paper_task_mix(self):
+        assert len(list_datasets(task="binary")) == 8
+        assert len(list_datasets(task="multiclass")) == 2
+        assert len(list_datasets(task="regression")) == 2
+
+    def test_expected_names(self):
+        expected = {
+            "australian", "splice", "gisette", "machine", "NTICUSdroid",
+            "a9a", "fraud", "credit2023", "satimage", "usps",
+            "molecules", "kc-house",
+        }
+        assert set(DATASET_SPECS) == expected
+
+    def test_metric_assignment_matches_table4(self):
+        assert DATASET_SPECS["gisette"].metric == "accuracy"
+        assert DATASET_SPECS["machine"].metric == "f1"
+        assert DATASET_SPECS["a9a"].metric == "f1"
+        assert DATASET_SPECS["molecules"].metric == "r2"
+
+    def test_paper_sizes_recorded(self):
+        assert DATASET_SPECS["fraud"].paper_train == 284807
+        assert DATASET_SPECS["gisette"].paper_features == 5000
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", sorted(DATASET_SPECS))
+    def test_every_dataset_loads_at_tiny_scale(self, name):
+        ds = load_dataset(name, scale=0.1, random_state=0)
+        assert ds.n_train > 0
+        assert len(ds.y_test) > 0
+        assert ds.X_train.shape[1] == ds.X_test.shape[1]
+        assert np.isfinite(ds.X_train).all()
+
+    def test_split_is_80_20(self):
+        ds = load_dataset("australian", random_state=0)
+        total = ds.n_train + len(ds.y_test)
+        assert ds.n_train / total == pytest.approx(0.8, abs=0.02)
+
+    def test_features_standardized_on_train(self):
+        ds = load_dataset("splice", random_state=0)
+        np.testing.assert_allclose(ds.X_train.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(ds.X_train.std(axis=0), 1.0, atol=1e-6)
+
+    def test_multiclass_has_all_classes(self):
+        ds = load_dataset("usps", scale=0.5, random_state=0)
+        assert ds.n_classes == 10
+        assert set(np.unique(ds.y_test)) <= set(np.unique(ds.y_train))
+
+    def test_imbalance_preserved(self):
+        ds = load_dataset("fraud", random_state=0)
+        positive_rate = (ds.y_train == 1).mean()
+        assert positive_rate < 0.05
+
+    def test_regression_has_float_targets(self):
+        ds = load_dataset("kc-house", scale=0.3, random_state=0)
+        assert ds.task == "regression"
+        assert ds.n_classes == 0
+        assert ds.y_train.dtype.kind == "f"
+
+    def test_deterministic_per_seed(self):
+        a = load_dataset("machine", scale=0.2, random_state=5)
+        b = load_dataset("machine", scale=0.2, random_state=5)
+        np.testing.assert_array_equal(a.X_train, b.X_train)
+
+    def test_seed_changes_data(self):
+        a = load_dataset("machine", scale=0.2, random_state=1)
+        b = load_dataset("machine", scale=0.2, random_state=2)
+        assert not np.array_equal(a.X_train, b.X_train)
+
+    def test_scale_grows_rows(self):
+        small = load_dataset("a9a", scale=0.1, random_state=0)
+        large = load_dataset("a9a", scale=0.3, random_state=0)
+        assert large.n_train > small.n_train
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="Unknown dataset"):
+            load_dataset("mnist")
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError, match="scale"):
+            load_dataset("australian", scale=0.0)
+
+    def test_stratified_split_keeps_minority_in_test(self):
+        ds = load_dataset("machine", random_state=0)
+        assert (ds.y_test == 1).sum() >= 1
+
+
+class TestInfoTable:
+    def test_contains_every_dataset(self):
+        table = dataset_info_table(scale=0.1)
+        for name in DATASET_SPECS:
+            assert name in table
+
+    def test_mentions_paper_sizes(self):
+        table = dataset_info_table(scale=0.1)
+        assert "284807" in table

@@ -1,0 +1,114 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_classification, make_regression
+from repro.learners import MLPClassifier
+
+
+class TestMakeClassification:
+    def test_shapes(self):
+        X, y = make_classification(n_samples=120, n_features=15, random_state=0)
+        assert X.shape == (120, 15)
+        assert y.shape == (120,)
+
+    def test_all_classes_present(self):
+        _, y = make_classification(n_samples=300, n_classes=4, random_state=0)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+
+    def test_weights_respected(self):
+        _, y = make_classification(
+            n_samples=2000, weights=[0.9, 0.1], flip_y=0.0, random_state=0
+        )
+        minority = (y == 1).mean()
+        assert 0.07 < minority < 0.13
+
+    def test_deterministic(self):
+        a = make_classification(n_samples=50, random_state=7)
+        b = make_classification(n_samples=50, random_state=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a, _ = make_classification(n_samples=50, random_state=1)
+        b, _ = make_classification(n_samples=50, random_state=2)
+        assert not np.allclose(a, b)
+
+    def test_class_sep_controls_difficulty(self):
+        # Difficulty must show on *held-out* data (training accuracy can
+        # saturate at 1.0 for both via memorization).
+        def holdout_score(class_sep):
+            X, y = make_classification(
+                n_samples=600, class_sep=class_sep, flip_y=0.0, random_state=0
+            )
+            clf = MLPClassifier(hidden_layer_sizes=(16,), solver="lbfgs", max_iter=60, random_state=0)
+            clf.fit(X[:400], y[:400])
+            return clf.score(X[400:], y[400:])
+
+        assert holdout_score(3.0) > holdout_score(0.1)
+
+    def test_flip_y_adds_noise(self):
+        _, clean = make_classification(n_samples=500, flip_y=0.0, random_state=3)
+        _, noisy = make_classification(n_samples=500, flip_y=0.3, random_state=3)
+        assert (clean != noisy).mean() > 0.05
+
+    @pytest.mark.parametrize("bad", [
+        {"n_samples": 0},
+        {"n_classes": 1},
+        {"n_clusters_per_class": 0},
+        {"flip_y": 1.5},
+        {"weights": [1.0]},
+        {"weights": [0.5, -0.5]},
+        {"n_informative": 100, "n_features": 5},
+    ])
+    def test_invalid_arguments_raise(self, bad):
+        with pytest.raises(ValueError):
+            make_classification(**{"n_samples": 50, **bad})
+
+    @given(
+        st.integers(min_value=20, max_value=200),
+        st.integers(min_value=4, max_value=30),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_labels_always_valid(self, n, f, k, seed):
+        X, y = make_classification(n_samples=n, n_features=f, n_classes=k, random_state=seed)
+        assert X.shape == (n, f)
+        assert y.min() >= 0 and y.max() < k
+        assert np.isfinite(X).all()
+
+
+class TestMakeRegression:
+    def test_shapes(self):
+        X, y = make_regression(n_samples=80, n_features=7, random_state=0)
+        assert X.shape == (80, 7)
+        assert y.shape == (80,)
+
+    def test_target_standardized(self):
+        _, y = make_regression(n_samples=500, random_state=0)
+        assert abs(y.mean()) < 1e-8
+        assert y.std() == pytest.approx(1.0)
+
+    def test_signal_exists(self):
+        # A linear least-squares fit should explain a large variance share.
+        X, y = make_regression(n_samples=300, n_features=6, noise=0.05, nonlinearity=0.0, random_state=0)
+        coefficients, *_ = np.linalg.lstsq(X, y, rcond=None)
+        residual = y - X @ coefficients
+        assert residual.var() < 0.2 * y.var()
+
+    def test_deterministic(self):
+        a = make_regression(n_samples=30, random_state=11)
+        b = make_regression(n_samples=30, random_state=11)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            make_regression(n_samples=0)
+        with pytest.raises(ValueError):
+            make_regression(noise=-1.0)
+        with pytest.raises(ValueError):
+            make_regression(n_features=3, n_informative=10)

@@ -1,0 +1,101 @@
+"""Tests for the Figure 5-7 / Table V experiment runner (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments import (
+    CV_EXPERIMENT_DATASETS,
+    build_cv_evaluator,
+    run_cv_experiment,
+)
+from repro.experiments.crossval import _parse_fold_variant
+
+CONFIGS = [
+    {"hidden_layer_sizes": (8,), "activation": "relu"},
+    {"hidden_layer_sizes": (16,), "activation": "relu"},
+    {"hidden_layer_sizes": (8,), "activation": "tanh"},
+    {"hidden_layer_sizes": (16,), "activation": "tanh"},
+]
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return load_dataset("australian", scale=0.3, random_state=0)
+
+
+class TestBuildCvEvaluator:
+    def test_random_variant(self, tiny_dataset):
+        evaluator = build_cv_evaluator("random", tiny_dataset)
+        assert evaluator.sampling == "random"
+        assert evaluator.folding == "random"
+        assert evaluator.score_params.use_variance is False
+
+    def test_stratified_variant(self, tiny_dataset):
+        evaluator = build_cv_evaluator("stratified", tiny_dataset)
+        assert evaluator.sampling == "stratified"
+
+    def test_ours_variant_full_pipeline(self, tiny_dataset):
+        evaluator = build_cv_evaluator("ours", tiny_dataset, random_state=0)
+        assert evaluator.sampling == "grouped"
+        assert evaluator.folding == "grouped"
+        assert (evaluator.k_gen, evaluator.k_spe) == (3, 2)
+        assert evaluator.score_params.use_variance is True
+
+    def test_grouped_mean_is_table5_setting(self, tiny_dataset):
+        evaluator = build_cv_evaluator("grouped-mean", tiny_dataset, random_state=0)
+        assert (evaluator.k_gen, evaluator.k_spe) == (5, 0)
+        assert evaluator.score_params.use_variance is False
+
+    def test_ours_mean_is_fig7_baseline(self, tiny_dataset):
+        evaluator = build_cv_evaluator("ours-mean", tiny_dataset, random_state=0)
+        assert (evaluator.k_gen, evaluator.k_spe) == (3, 2)
+        assert evaluator.score_params.use_variance is False
+
+    def test_fold_allocation_variants(self, tiny_dataset):
+        evaluator = build_cv_evaluator("folds-g1s4", tiny_dataset, random_state=0)
+        assert (evaluator.k_gen, evaluator.k_spe) == (1, 4)
+
+    def test_parse_fold_variant(self):
+        assert _parse_fold_variant("folds-g3s2") == (3, 2)
+        assert _parse_fold_variant("ours") is None
+        with pytest.raises(ValueError, match="Malformed"):
+            _parse_fold_variant("folds-gXsY")
+
+    def test_unknown_variant(self, tiny_dataset):
+        with pytest.raises(ValueError, match="Unknown CV variant"):
+            build_cv_evaluator("bootstrap", tiny_dataset)
+
+
+class TestRunCvExperiment:
+    @pytest.fixture(scope="class")
+    def results(self, tiny_dataset):
+        return run_cv_experiment(
+            tiny_dataset,
+            variants=("random", "ours"),
+            ratios=(0.3, 1.0),
+            seeds=range(2),
+            configurations=CONFIGS,
+            max_iter=6,
+        )
+
+    def test_per_variant_per_ratio_per_seed(self, results):
+        for variant in ("random", "ours"):
+            record = results[variant]
+            assert set(record.test_accuracy) == {0.3, 1.0}
+            assert len(record.test_accuracy[0.3]) == 2
+            assert len(record.ndcg[1.0]) == 2
+
+    def test_values_bounded(self, results):
+        for record in results.values():
+            for ratio in (0.3, 1.0):
+                assert all(0.0 <= v <= 1.0 for v in record.test_accuracy[ratio])
+                assert all(0.0 <= v <= 1.0 + 1e-9 for v in record.ndcg[ratio])
+
+    def test_means(self, results):
+        record = results["ours"]
+        assert record.mean_accuracy(0.3) == pytest.approx(np.mean(record.test_accuracy[0.3]))
+        assert record.mean_ndcg(1.0) == pytest.approx(np.mean(record.ndcg[1.0]))
+
+    def test_paper_dataset_list(self):
+        assert CV_EXPERIMENT_DATASETS == ("australian", "splice", "a9a", "gisette", "satimage", "usps")

@@ -1,0 +1,134 @@
+"""Tests for the Table IV / Figure 4 experiment runners (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments import (
+    TABLE4_METHODS,
+    format_table4_rows,
+    paper_search_space,
+    run_config_scaling,
+    run_hpo_methods,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return load_dataset("australian", scale=0.3, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_results(tiny_dataset):
+    space = paper_search_space(2)
+    return run_hpo_methods(
+        tiny_dataset,
+        methods=("random", "sha", "sha+"),
+        space=space,
+        configurations=space.grid()[:8],
+        seeds=range(2),
+        max_iter=8,
+        n_random=3,
+    )
+
+
+class TestRunHpoMethods:
+    def test_stats_per_method(self, tiny_results):
+        assert set(tiny_results) == {"random", "sha", "sha+"}
+        for stats in tiny_results.values():
+            assert len(stats.test_scores) == 2
+            assert len(stats.train_scores) == 2
+            assert len(stats.times) == 2
+            assert len(stats.best_configs) == 2
+
+    def test_scores_in_unit_interval(self, tiny_results):
+        for stats in tiny_results.values():
+            assert all(0.0 <= s <= 1.0 for s in stats.test_scores)
+            assert all(0.0 <= s <= 1.0 for s in stats.train_scores)
+
+    def test_times_positive(self, tiny_results):
+        for stats in tiny_results.values():
+            assert all(t > 0 for t in stats.times)
+
+    def test_aggregates(self, tiny_results):
+        stats = tiny_results["sha"]
+        assert stats.mean_test == pytest.approx(np.mean(stats.test_scores))
+        assert stats.std_test == pytest.approx(np.std(stats.test_scores))
+        assert stats.mean_time == pytest.approx(np.mean(stats.times))
+
+    def test_methods_paper_order(self):
+        assert TABLE4_METHODS == ("random", "sha", "sha+", "hb", "hb+", "bohb", "bohb+")
+
+    def test_format_table4_rows(self, tiny_results, tiny_dataset):
+        text = format_table4_rows("australian", tiny_dataset.metric, tiny_results)
+        assert "trainAcc. (%)" in text
+        assert "testAcc. (%)" in text
+        assert "time (sec.)" in text
+        assert "sha+" in text
+
+
+class TestRunConfigScaling:
+    def test_output_aligned_with_values(self, tiny_dataset):
+        output = run_config_scaling(
+            tiny_dataset,
+            axis="hyperparameters",
+            values=[1, 2],
+            methods=("sha", "sha+"),
+            seeds=range(1),
+            max_iter=5,
+            max_grid=12,
+        )
+        for method in ("sha", "sha+"):
+            assert len(output[method]["accuracy"]) == 2
+            assert len(output[method]["time"]) == 2
+            assert output[method]["n_configs"][0] <= output[method]["n_configs"][1]
+
+    def test_layer_axis(self, tiny_dataset):
+        output = run_config_scaling(
+            tiny_dataset,
+            axis="layers",
+            values=[1],
+            methods=("sha",),
+            seeds=range(1),
+            max_iter=5,
+            max_grid=10,
+        )
+        assert output["sha"]["n_configs"] == [10.0]
+
+    def test_invalid_axis(self, tiny_dataset):
+        with pytest.raises(ValueError, match="axis"):
+            run_config_scaling(tiny_dataset, axis="depth")
+
+
+class TestModelBasedSearchersBypassPool:
+    def test_bohb_explores_beyond_restricted_pool(self, tiny_dataset):
+        """BOHB must sample the space itself; a fixed pool would silently
+        reduce it to HyperBand (a regression this test guards against)."""
+        from repro.space import config_key
+
+        space = paper_search_space(2)
+        restricted_pool = space.grid()[:3]
+        results = run_hpo_methods(
+            tiny_dataset,
+            methods=("bohb",),
+            space=space,
+            configurations=restricted_pool,
+            seeds=range(1),
+            max_iter=4,
+            searcher_kwargs={"bohb": {"min_budget_fraction": 1.0 / 9.0}},
+        )
+        assert results["bohb"].test_scores  # ran fine
+        # The searcher saw the whole space, not just the 3-item pool: with
+        # one full HB schedule it evaluates far more than 3 distinct configs.
+        # (We can't inspect trials through MethodRunStats, so re-run directly.)
+        from repro.core import make_searcher
+
+        searcher = make_searcher(
+            "bohb", space, tiny_dataset.X_train, tiny_dataset.y_train,
+            metric=tiny_dataset.metric, random_state=0,
+            model_factory=None,
+            searcher_kwargs={"min_budget_fraction": 1.0 / 9.0},
+        )
+        result = searcher.fit()
+        distinct = {config_key(t.config) for t in result.trials}
+        assert len(distinct) > 3

@@ -1,0 +1,54 @@
+"""Tests for win-rate reliability analysis."""
+
+import pytest
+
+from repro.experiments.reliability import format_win_rate_matrix, win_rate, win_rate_matrix
+
+
+class TestWinRate:
+    def test_always_wins(self):
+        assert win_rate([0.9, 0.9, 0.9], [0.5, 0.5, 0.5]) == 1.0
+
+    def test_never_wins(self):
+        assert win_rate([0.1, 0.1], [0.9, 0.9]) == 0.0
+
+    def test_ties_count_half(self):
+        assert win_rate([0.5, 0.5], [0.5, 0.5]) == 0.5
+
+    def test_mixed(self):
+        assert win_rate([0.9, 0.1, 0.5], [0.5, 0.5, 0.5]) == pytest.approx((1 + 0 + 0.5) / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            win_rate([0.5], [0.5, 0.6])
+        with pytest.raises(ValueError):
+            win_rate([], [])
+
+
+class TestMatrix:
+    def test_structure_and_symmetry(self):
+        matrix = win_rate_matrix({"a": [0.9, 0.8], "b": [0.5, 0.6], "c": [0.5, 0.6]})
+        assert matrix["a"]["b"] == 1.0
+        assert matrix["b"]["a"] == 0.0
+        assert matrix["a"]["a"] == 0.5
+        # Complementarity: P(x beats y) + P(y beats x) == 1 with half-ties.
+        for x in matrix:
+            for y in matrix:
+                assert matrix[x][y] + matrix[y][x] == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="seed count"):
+            win_rate_matrix({"a": [0.5], "b": [0.5, 0.6]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            win_rate_matrix({})
+
+
+class TestFormatting:
+    def test_table_contains_all_methods(self):
+        matrix = win_rate_matrix({"sha": [0.8, 0.7], "sha+": [0.85, 0.75]})
+        text = format_win_rate_matrix(matrix, title="win rates")
+        assert "win rates" in text
+        assert "sha+" in text
+        assert "1.00" in text

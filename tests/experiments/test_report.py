@@ -1,0 +1,54 @@
+"""Tests for table/series text rendering."""
+
+import numpy as np
+
+from repro.experiments import format_series, format_table, mean_std
+
+
+class TestMeanStd:
+    def test_formats_mean_and_std(self):
+        assert mean_std([0.9, 1.1]) == "1.00+-0.10"
+
+    def test_scale_to_percent(self):
+        assert mean_std([0.5, 0.5], scale=100.0) == "50.00+-0.00"
+
+    def test_empty_is_dash(self):
+        assert mean_std([]) == "-"
+
+    def test_decimals(self):
+        assert mean_std([1.23456], decimals=3) == "1.235+-0.000"
+
+
+class TestFormatTable:
+    def test_header_and_rows_aligned(self):
+        text = format_table(["name", "value"], [["a", "1"], ["bbbb", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert all(len(line) == len(lines[0]) or line.rstrip() for line in lines)
+
+    def test_title_prepended(self):
+        text = format_table(["h"], [["x"]], title="Table IV")
+        assert text.splitlines()[0] == "Table IV"
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table(["h"], [["a-very-wide-cell"]])
+        assert "a-very-wide-cell" in text
+
+
+class TestFormatSeries:
+    def test_one_row_per_x(self):
+        text = format_series("ratio", [0.1, 0.5], {"ours": [0.9, 0.95], "vanilla": [0.85, 0.94]})
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "ours" in lines[0] and "vanilla" in lines[0]
+        assert "0.900" in lines[2]
+
+    def test_nan_rendered_as_dash(self):
+        text = format_series("x", [1], {"s": [float("nan")]})
+        assert "-" in text.splitlines()[-1]
+
+    def test_decimals_respected(self):
+        text = format_series("x", [1], {"s": [0.123456]}, decimals=2)
+        assert "0.12" in text

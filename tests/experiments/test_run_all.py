@@ -1,0 +1,49 @@
+"""Smoke test for the run-everything report generator (tiny settings)."""
+
+import io
+
+import pytest
+
+from repro.experiments import run_all
+
+
+@pytest.mark.slow
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_all(
+            scale=0.12,
+            n_seeds=1,
+            n_configs=6,
+            max_iter=4,
+            table4_datasets=("australian",),
+            cv_datasets=("australian",),
+            stream=io.StringIO(),
+        )
+
+    def test_every_section_present(self, report):
+        for heading in (
+            "Table II", "Table III", "Figure 1", "Figure 3",
+            "Table IV", "Figure 4", "Figure 5", "Table V",
+            "Figure 6", "Figure 7",
+        ):
+            assert heading in report, f"missing section {heading}"
+
+    def test_table4_methods_listed(self, report):
+        for method in ("random", "sha", "sha+", "hb", "hb+", "bohb", "bohb+"):
+            assert method in report
+
+    def test_markdown_structure(self, report):
+        assert report.startswith("# Reproduction report")
+        assert report.count("```") % 2 == 0  # balanced code fences
+
+    def test_cli_writes_file(self, tmp_path, monkeypatch):
+        from repro.experiments.run_all import main
+
+        out = tmp_path / "report.md"
+        main([
+            "--scale", "0.12", "--seeds", "1", "--configs", "4",
+            "--max-iter", "3", "--out", str(out),
+        ])
+        assert out.exists()
+        assert "Reproduction report" in out.read_text()

@@ -1,0 +1,84 @@
+"""Tests for paired statistical comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.significance import (
+    PairedComparison,
+    holm_correction,
+    paired_t_test,
+    wilcoxon_test,
+)
+
+
+class TestPairedTTest:
+    def test_clear_difference_is_significant(self):
+        baseline = [0.80, 0.81, 0.79, 0.80, 0.82]
+        candidate = [0.90, 0.91, 0.89, 0.90, 0.92]
+        comparison = paired_t_test(candidate, baseline)
+        assert comparison.significant(0.05)
+        assert comparison.mean_difference == pytest.approx(0.10)
+        assert comparison.n == 5
+
+    def test_identical_samples_not_significant(self):
+        scores = [0.8, 0.7, 0.9]
+        comparison = paired_t_test(scores, scores)
+        assert comparison.p_value == 1.0
+        assert not comparison.significant()
+
+    def test_direction_in_mean_difference(self):
+        worse = paired_t_test([0.5, 0.5, 0.5], [0.9, 0.9, 0.9])
+        assert worse.mean_difference < 0
+
+    def test_noise_not_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.8, 0.01, size=6)
+        b = a + rng.normal(0.0, 0.02, size=6)
+        comparison = paired_t_test(a, b)
+        assert comparison.p_value > 0.05
+
+    @pytest.mark.parametrize("bad_pair", [
+        ([0.5], [0.5]),
+        ([0.5, 0.6], [0.5]),
+    ])
+    def test_validation(self, bad_pair):
+        with pytest.raises(ValueError):
+            paired_t_test(*bad_pair)
+
+
+class TestWilcoxon:
+    def test_clear_difference_detected(self):
+        baseline = [0.70, 0.71, 0.72, 0.69, 0.73, 0.70, 0.71, 0.72]
+        candidate = [b + 0.1 for b in baseline]
+        comparison = wilcoxon_test(candidate, baseline)
+        assert comparison.p_value < 0.05
+
+    def test_identical_samples(self):
+        comparison = wilcoxon_test([0.5, 0.6], [0.5, 0.6])
+        assert comparison.p_value == 1.0
+
+    def test_agrees_with_t_test_on_clean_data(self):
+        baseline = list(np.linspace(0.7, 0.75, 10))
+        candidate = [b + 0.05 for b in baseline]
+        t = paired_t_test(candidate, baseline)
+        w = wilcoxon_test(candidate, baseline)
+        assert t.significant() and w.significant()
+
+
+class TestHolm:
+    def test_empty(self):
+        assert holm_correction({}) == {}
+
+    def test_single_unchanged(self):
+        assert holm_correction({"a": 0.03}) == {"a": 0.03}
+
+    def test_ordering_and_scaling(self):
+        adjusted = holm_correction({"a": 0.01, "b": 0.04, "c": 0.03})
+        # Smallest raw p multiplied by m=3, then step-down.
+        assert adjusted["a"] == pytest.approx(0.03)
+        assert adjusted["c"] == pytest.approx(0.06)
+        assert adjusted["b"] == pytest.approx(0.06)
+
+    def test_monotone_and_clipped(self):
+        adjusted = holm_correction({"x": 0.9, "y": 0.5})
+        assert adjusted["y"] <= adjusted["x"] <= 1.0

@@ -1,0 +1,80 @@
+"""Tests for the paper's search spaces (Table III)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_HYPERPARAMETERS,
+    cv_experiment_space,
+    model_complexity_space,
+    paper_search_space,
+    search_space_table,
+)
+
+
+class TestPaperSpace:
+    def test_eight_hyperparameters_in_table_order(self):
+        names = [p.name for p in PAPER_HYPERPARAMETERS]
+        assert names == [
+            "hidden_layer_sizes", "activation", "solver", "learning_rate_init",
+            "batch_size", "learning_rate", "momentum", "early_stopping",
+        ]
+
+    def test_main_experiment_space_is_162(self):
+        assert paper_search_space(4).n_configurations == 162
+
+    def test_full_space_size(self):
+        # 6*3*3*3*3*3*3*2 = 17496 configurations with all 8 HPs.
+        assert paper_search_space(8).n_configurations == 6 * 3**6 * 2
+
+    def test_prefix_grows_monotonically(self):
+        sizes = [paper_search_space(k).n_configurations for k in range(1, 9)]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_hidden_sizes_match_table3(self):
+        space = paper_search_space(1)
+        assert space["hidden_layer_sizes"].choices == [
+            (30,), (30, 30), (40,), (40, 40), (50,), (50, 50),
+        ]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError, match="n_hyperparameters"):
+            paper_search_space(0)
+        with pytest.raises(ValueError, match="n_hyperparameters"):
+            paper_search_space(9)
+
+
+class TestCvSpace:
+    def test_eighteen_configurations(self):
+        space = cv_experiment_space()
+        assert space.n_configurations == 18
+        assert space.names == ["hidden_layer_sizes", "activation"]
+
+
+class TestComplexitySpace:
+    def test_one_layer(self):
+        space = model_complexity_space(1)
+        # 5 widths x 3 activations.
+        assert space.n_configurations == 15
+
+    def test_two_layers_cumulative(self):
+        space = model_complexity_space(2)
+        # (5 + 25) size tuples x 3 activations.
+        assert space.n_configurations == 90
+
+    def test_sizes_are_tuples_up_to_depth(self):
+        space = model_complexity_space(2, widths=(10, 20))
+        sizes = space["hidden_layer_sizes"].choices
+        assert (10,) in sizes and (10, 20) in sizes
+        assert max(len(s) for s in sizes) == 2
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError, match="n_layers"):
+            model_complexity_space(0)
+
+
+class TestTableRendering:
+    def test_table_lists_every_hyperparameter(self):
+        table = search_space_table()
+        for parameter in PAPER_HYPERPARAMETERS:
+            assert parameter.name in table
+        assert "logistic" in table

@@ -1,0 +1,94 @@
+"""Tests for anytime-performance curves."""
+
+import numpy as np
+import pytest
+
+from repro.bandit.base import EvaluationResult, SearchResult, Trial
+from repro.experiments.trajectory import (
+    AnytimeCurve,
+    align_curves,
+    anytime_curve,
+    area_under_curve,
+)
+
+
+def make_result(scores_costs):
+    trials = [
+        Trial(
+            config={"i": i},
+            budget_fraction=1.0,
+            result=EvaluationResult(mean=s, std=0.0, score=s, gamma=100.0, cost=c),
+        )
+        for i, (s, c) in enumerate(scores_costs)
+    ]
+    best = max(s for s, _ in scores_costs)
+    return SearchResult(best_config={}, best_score=best, trials=trials)
+
+
+class TestAnytimeCurve:
+    def test_incumbent_monotone(self):
+        curve = anytime_curve(make_result([(0.5, 1.0), (0.3, 1.0), (0.8, 1.0), (0.6, 1.0)]))
+        np.testing.assert_allclose(curve.scores, [0.5, 0.5, 0.8, 0.8])
+        np.testing.assert_allclose(curve.costs, [1.0, 2.0, 3.0, 4.0])
+
+    def test_value_at(self):
+        curve = anytime_curve(make_result([(0.5, 1.0), (0.9, 2.0)]))
+        assert np.isnan(curve.value_at(0.5))
+        assert curve.value_at(1.0) == 0.5
+        assert curve.value_at(2.9) == 0.5
+        assert curve.value_at(3.0) == 0.9
+        assert curve.value_at(100.0) == 0.9
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError, match="no trials"):
+            anytime_curve(SearchResult(best_config={}, best_score=0.0))
+
+    def test_real_search_produces_curve(self, tiny_space, synthetic_evaluator_factory):
+        from repro.bandit import SuccessiveHalving
+
+        evaluator = synthetic_evaluator_factory(lambda c: c["a"] / 10, noise=0.0)
+        result = SuccessiveHalving(tiny_space, evaluator, random_state=0).fit()
+        curve = anytime_curve(result)
+        assert len(curve.costs) == result.n_trials
+        assert (np.diff(curve.scores) >= 0).all()
+
+
+class TestAlignCurves:
+    def test_shared_grid(self):
+        curves = {
+            "fast": anytime_curve(make_result([(0.9, 0.5)])),
+            "slow": anytime_curve(make_result([(0.5, 2.0), (0.8, 2.0)])),
+        }
+        grid, aligned = align_curves(curves, n_points=5)
+        assert len(grid) == 5
+        assert set(aligned) == {"fast", "slow"}
+        assert all(len(v) == 5 for v in aligned.values())
+
+    def test_finished_curve_holds_final_value(self):
+        curves = {
+            "fast": anytime_curve(make_result([(0.9, 0.5)])),
+            "slow": anytime_curve(make_result([(0.5, 10.0)])),
+        }
+        _, aligned = align_curves(curves, n_points=4)
+        assert aligned["fast"][-1] == 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            align_curves({})
+
+
+class TestAreaUnderCurve:
+    def test_flat_curve(self):
+        curve = AnytimeCurve(costs=np.array([1.0]), scores=np.array([0.8]))
+        # Zero until cost 1, then 0.8 for the remaining 9 units.
+        assert area_under_curve(curve, up_to=10.0) == pytest.approx(0.8 * 9 / 10)
+
+    def test_early_improvement_scores_higher(self):
+        early = anytime_curve(make_result([(0.9, 1.0), (0.9, 9.0)]))
+        late = anytime_curve(make_result([(0.1, 9.0), (0.9, 1.0)]))
+        assert area_under_curve(early, 10.0) > area_under_curve(late, 10.0)
+
+    def test_invalid_horizon(self):
+        curve = AnytimeCurve(costs=np.array([1.0]), scores=np.array([0.5]))
+        with pytest.raises(ValueError, match="up_to"):
+            area_under_curve(curve, 0.0)

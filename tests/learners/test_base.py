@@ -1,0 +1,93 @@
+"""Tests for the estimator protocol (get/set params, clone, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.learners.base import BaseEstimator, check_array, check_X_y, clone
+
+
+class ToyEstimator(BaseEstimator):
+    def __init__(self, alpha=1.0, mode="fast", widths=(3, 3)):
+        self.alpha = alpha
+        self.mode = mode
+        self.widths = widths
+
+    def fit(self, X, y):
+        self.fitted_ = True
+        return self
+
+
+class TestParams:
+    def test_get_params_returns_constructor_args(self):
+        est = ToyEstimator(alpha=2.0, mode="slow")
+        assert est.get_params() == {"alpha": 2.0, "mode": "slow", "widths": (3, 3)}
+
+    def test_set_params_roundtrip(self):
+        est = ToyEstimator()
+        est.set_params(alpha=5.0, widths=(1,))
+        assert est.alpha == 5.0
+        assert est.widths == (1,)
+
+    def test_set_params_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            ToyEstimator().set_params(gamma=1.0)
+
+    def test_repr_contains_params(self):
+        text = repr(ToyEstimator(alpha=7))
+        assert "alpha=7" in text and "ToyEstimator" in text
+
+
+class TestClone:
+    def test_clone_copies_hyperparameters(self):
+        est = ToyEstimator(alpha=9.0)
+        copy = clone(est)
+        assert copy.get_params() == est.get_params()
+        assert copy is not est
+
+    def test_clone_drops_fitted_state(self):
+        est = ToyEstimator().fit(None, None)
+        copy = clone(est)
+        assert not hasattr(copy, "fitted_")
+
+    def test_clone_deep_copies_mutable_params(self):
+        est = ToyEstimator(widths=[3, 3])
+        copy = clone(est)
+        copy.widths.append(4)
+        assert est.widths == [3, 3]
+
+
+class TestCheckArray:
+    def test_promotes_1d_to_column(self):
+        out = check_array([1.0, 2.0])
+        assert out.shape == (2, 1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="NaN or infinite"):
+            check_array([[np.inf, 1.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            check_array(np.empty((0, 3)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array(np.zeros((2, 2, 2)))
+
+
+class TestCheckXy:
+    def test_accepts_matching_lengths(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent lengths"):
+            check_X_y([[1.0], [2.0]], [0, 1, 2])
+
+    def test_flattens_column_targets(self):
+        _, y = check_X_y([[1.0], [2.0]], np.array([[0], [1]]))
+        assert y.shape == (2,)

@@ -1,0 +1,102 @@
+"""Tests for gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.learners import GradientBoostingClassifier, GradientBoostingRegressor
+
+
+class TestRegressor:
+    def test_fits_nonlinear_target(self, small_regression):
+        X, y = small_regression
+        model = GradientBoostingRegressor(n_estimators=40, max_depth=3, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.7
+
+    def test_training_loss_decreases(self, small_regression):
+        X, y = small_regression
+        model = GradientBoostingRegressor(n_estimators=30, random_state=0).fit(X, y)
+        assert model.train_losses_[-1] < model.train_losses_[0]
+        assert len(model.train_losses_) == 30
+
+    def test_more_stages_fit_tighter(self, small_regression):
+        X, y = small_regression
+        short = GradientBoostingRegressor(n_estimators=5, random_state=0).fit(X, y)
+        long = GradientBoostingRegressor(n_estimators=60, random_state=0).fit(X, y)
+        assert long.score(X, y) > short.score(X, y)
+
+    def test_learning_rate_scales_steps(self, small_regression):
+        X, y = small_regression
+        slow = GradientBoostingRegressor(n_estimators=10, learning_rate=0.01, random_state=0).fit(X, y)
+        fast = GradientBoostingRegressor(n_estimators=10, learning_rate=0.3, random_state=0).fit(X, y)
+        assert fast.score(X, y) > slow.score(X, y)
+
+    def test_subsample_runs(self, small_regression):
+        X, y = small_regression
+        model = GradientBoostingRegressor(n_estimators=10, subsample=0.5, random_state=0).fit(X, y)
+        assert np.isfinite(model.predict(X)).all()
+
+    def test_single_stage_predicts_near_mean_plus_step(self, small_regression):
+        X, y = small_regression
+        model = GradientBoostingRegressor(n_estimators=1, learning_rate=1.0, max_depth=1, random_state=0)
+        model.fit(X, y)
+        assert abs(model.predict(X).mean() - y.mean()) < 0.5
+
+    @pytest.mark.parametrize("bad", [
+        {"n_estimators": 0},
+        {"learning_rate": 0.0},
+        {"subsample": 0.0},
+        {"subsample": 1.5},
+    ])
+    def test_invalid_parameters(self, bad, small_regression):
+        X, y = small_regression
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(**bad).fit(X, y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            GradientBoostingRegressor().predict(np.ones((2, 2)))
+
+    def test_deterministic(self, small_regression):
+        X, y = small_regression
+        a = GradientBoostingRegressor(n_estimators=8, subsample=0.7, random_state=5).fit(X, y).predict(X)
+        b = GradientBoostingRegressor(n_estimators=8, subsample=0.7, random_state=5).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestClassifier:
+    def test_learns_binary_problem(self, small_classification):
+        X, y = small_classification
+        model = GradientBoostingClassifier(n_estimators=30, max_depth=3, random_state=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_proba_valid(self, small_classification):
+        X, y = small_classification
+        model = GradientBoostingClassifier(n_estimators=10, random_state=0).fit(X, y)
+        proba = model.predict_proba(X[:15])
+        assert proba.shape == (15, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(15))
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_deviance_decreases(self, small_classification):
+        X, y = small_classification
+        model = GradientBoostingClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert model.train_losses_[-1] < model.train_losses_[0]
+
+    def test_string_labels(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((80, 2))
+        y = np.where(X[:, 0] > 0, "pos", "neg")
+        model = GradientBoostingClassifier(n_estimators=15, random_state=0).fit(X, y)
+        assert set(model.predict(X)) <= {"pos", "neg"}
+        assert model.score(X, y) > 0.9
+
+    def test_multiclass_rejected(self, small_multiclass):
+        X, y = small_multiclass
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier().fit(X, y)
+
+    def test_imbalanced_initial_odds(self, imbalanced_classification):
+        X, y = imbalanced_classification
+        model = GradientBoostingClassifier(n_estimators=1, learning_rate=0.01, random_state=0).fit(X, y)
+        # Initial raw prediction reflects the 10% positive rate.
+        assert model.init_raw_ < 0

@@ -1,0 +1,90 @@
+"""Tests for random forests."""
+
+import numpy as np
+import pytest
+
+from repro.learners import RandomForestClassifier, RandomForestRegressor
+
+
+class TestClassifier:
+    def test_learns_nonlinear_boundary(self, small_classification):
+        X, y = small_classification
+        forest = RandomForestClassifier(n_estimators=10, max_depth=6, random_state=0).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_more_trees_not_worse(self, small_classification):
+        X, y = small_classification
+        holdout = slice(0, 60)
+        train = slice(60, None)
+        few = RandomForestClassifier(n_estimators=2, max_depth=4, random_state=0).fit(X[train], y[train])
+        many = RandomForestClassifier(n_estimators=25, max_depth=4, random_state=0).fit(X[train], y[train])
+        assert many.score(X[holdout], y[holdout]) >= few.score(X[holdout], y[holdout]) - 0.05
+
+    def test_predict_proba_valid(self, small_multiclass):
+        X, y = small_multiclass
+        forest = RandomForestClassifier(n_estimators=5, max_depth=4, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X[:20])
+        assert proba.shape == (20, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(20), atol=1e-9)
+
+    def test_bootstrap_trees_differ(self, small_classification):
+        X, y = small_classification
+        forest = RandomForestClassifier(n_estimators=5, max_depth=3, random_state=0).fit(X, y)
+        predictions = [tuple(t.predict(X[:30]).tolist()) for t in forest.estimators_]
+        assert len(set(predictions)) > 1
+
+    def test_no_bootstrap_mode(self, small_classification):
+        X, y = small_classification
+        forest = RandomForestClassifier(
+            n_estimators=3, bootstrap=False, max_features=None, max_depth=3, random_state=0
+        ).fit(X, y)
+        # Without bootstrap or feature subsampling, all trees are identical.
+        predictions = [tuple(t.predict(X[:30]).tolist()) for t in forest.estimators_]
+        assert len(set(predictions)) == 1
+
+    def test_max_features_options(self, small_classification):
+        X, y = small_classification
+        for option in ("sqrt", "log2", 3, None):
+            forest = RandomForestClassifier(n_estimators=3, max_features=option, random_state=0)
+            forest.fit(X, y)
+        with pytest.raises(ValueError, match="max_features"):
+            RandomForestClassifier(max_features="cube").fit(X, y)
+
+    def test_invalid_n_estimators(self, small_classification):
+        X, y = small_classification
+        with pytest.raises(ValueError, match="n_estimators"):
+            RandomForestClassifier(n_estimators=0).fit(X, y)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            RandomForestClassifier().predict(np.ones((2, 2)))
+
+    def test_deterministic(self, small_classification):
+        X, y = small_classification
+        a = RandomForestClassifier(n_estimators=4, random_state=3).fit(X, y).predict(X)
+        b = RandomForestClassifier(n_estimators=4, random_state=3).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRegressor:
+    def test_fits_smooth_function(self, small_regression):
+        X, y = small_regression
+        forest = RandomForestRegressor(n_estimators=15, max_depth=8, random_state=0).fit(X, y)
+        assert forest.score(X, y) > 0.6
+
+    def test_predict_with_std(self, small_regression):
+        X, y = small_regression
+        forest = RandomForestRegressor(n_estimators=10, max_depth=5, random_state=0).fit(X, y)
+        mean, std = forest.predict_with_std(X[:10])
+        assert mean.shape == std.shape == (10,)
+        assert (std >= 0).all()
+        np.testing.assert_allclose(mean, forest.predict(X[:10]))
+
+    def test_std_higher_off_manifold(self, rng):
+        # Uncertainty should grow far away from the training data.
+        X = rng.standard_normal((150, 2))
+        y = X[:, 0] + X[:, 1]
+        forest = RandomForestRegressor(n_estimators=20, max_depth=6, random_state=0).fit(X, y)
+        _, std_near = forest.predict_with_std(X[:20])
+        _, std_far = forest.predict_with_std(np.full((20, 2), 10.0))
+        assert std_far.mean() >= std_near.mean()

@@ -1,0 +1,79 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners.losses import LOSSES, binary_log_loss, log_loss, squared_loss
+
+
+class TestLogLoss:
+    def test_perfect_prediction_near_zero(self):
+        y = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert log_loss(y, y) == pytest.approx(0.0, abs=1e-8)
+
+    def test_uniform_prediction_is_log_k(self):
+        y = np.array([[1.0, 0.0, 0.0]])
+        probs = np.full((1, 3), 1.0 / 3.0)
+        assert log_loss(y, probs) == pytest.approx(np.log(3))
+
+    def test_confidently_wrong_is_large(self):
+        y = np.array([[1.0, 0.0]])
+        probs = np.array([[1e-12, 1.0 - 1e-12]])
+        assert log_loss(y, probs) > 20.0
+
+    def test_clipping_keeps_loss_finite(self):
+        y = np.array([[1.0, 0.0]])
+        probs = np.array([[0.0, 1.0]])
+        assert np.isfinite(log_loss(y, probs))
+
+
+class TestBinaryLogLoss:
+    def test_matches_manual_formula(self):
+        y = np.array([[1.0], [0.0], [1.0]])
+        p = np.array([[0.9], [0.2], [0.6]])
+        expected = -np.mean([np.log(0.9), np.log(0.8), np.log(0.6)])
+        assert binary_log_loss(y, p) == pytest.approx(expected)
+
+    def test_symmetric_in_class_swap(self):
+        y = np.array([[1.0], [0.0]])
+        p = np.array([[0.7], [0.3]])
+        assert binary_log_loss(y, p) == pytest.approx(binary_log_loss(1 - y, 1 - p))
+
+
+class TestSquaredLoss:
+    def test_zero_for_exact_prediction(self):
+        y = np.array([[1.0], [2.0]])
+        assert squared_loss(y, y) == 0.0
+
+    def test_half_mse_convention(self):
+        y_true = np.array([[0.0], [0.0]])
+        y_pred = np.array([[2.0], [2.0]])
+        # mean squared error is 4; the half-MSE convention gives 2.
+        assert squared_loss(y_true, y_pred) == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_all_losses_registered(self):
+        assert set(LOSSES) == {"log_loss", "binary_log_loss", "squared_loss"}
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=0.99), min_size=1, max_size=20),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_binary_log_loss_non_negative(self, probs, labels):
+        n = min(len(probs), len(labels))
+        p = np.array(probs[:n]).reshape(-1, 1)
+        y = np.array(labels[:n], dtype=float).reshape(-1, 1)
+        assert binary_log_loss(y, p) >= 0.0
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_squared_loss_non_negative(self, values):
+        y = np.array(values).reshape(-1, 1)
+        noisy = y + 1.0
+        assert squared_loss(y, noisy) >= 0.0

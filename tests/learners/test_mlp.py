@@ -1,0 +1,205 @@
+"""Tests for the MLP classifier and regressor."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_regression
+from repro.learners import MLPClassifier, MLPRegressor, clone
+
+
+class TestClassifierLearning:
+    def test_learns_separable_binary(self, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(hidden_layer_sizes=(16,), solver="lbfgs", max_iter=100, random_state=0)
+        assert clf.fit(X, y).score(X, y) > 0.9
+
+    def test_learns_multiclass(self, small_multiclass):
+        X, y = small_multiclass
+        clf = MLPClassifier(hidden_layer_sizes=(24,), solver="lbfgs", max_iter=150, random_state=0)
+        assert clf.fit(X, y).score(X, y) > 0.85
+
+    @pytest.mark.parametrize("solver", ["sgd", "adam", "lbfgs"])
+    def test_all_solvers_learn(self, solver, small_classification):
+        X, y = small_classification
+        lr = 0.05 if solver == "sgd" else 0.01
+        clf = MLPClassifier(
+            hidden_layer_sizes=(16,), solver=solver, max_iter=80,
+            learning_rate_init=lr, random_state=0,
+        )
+        assert clf.fit(X, y).score(X, y) > 0.85
+
+    @pytest.mark.parametrize("activation", ["logistic", "tanh", "relu"])
+    def test_all_activations_learn(self, activation, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(
+            hidden_layer_sizes=(16,), activation=activation, solver="lbfgs",
+            max_iter=100, random_state=0,
+        )
+        assert clf.fit(X, y).score(X, y) > 0.85
+
+    @pytest.mark.parametrize("schedule", ["constant", "invscaling", "adaptive"])
+    def test_learning_rate_schedules_run(self, schedule, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(
+            hidden_layer_sizes=(8,), solver="sgd", learning_rate=schedule,
+            learning_rate_init=0.1, max_iter=30, random_state=0,
+        )
+        assert clf.fit(X, y).score(X, y) > 0.6
+
+    def test_deep_network_runs(self, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(hidden_layer_sizes=(10, 10, 10), solver="adam", max_iter=40, random_state=0)
+        clf.fit(X, y)
+        assert len(clf.coefs_) == 4  # 3 hidden + output
+
+
+class TestClassifierApi:
+    def test_predict_proba_rows_sum_to_one(self, small_multiclass):
+        X, y = small_multiclass
+        clf = MLPClassifier(hidden_layer_sizes=(8,), solver="adam", max_iter=20, random_state=0).fit(X, y)
+        proba = clf.predict_proba(X[:20])
+        assert proba.shape == (20, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(20), atol=1e-9)
+
+    def test_binary_proba_two_columns(self, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(hidden_layer_sizes=(8,), solver="adam", max_iter=20, random_state=0).fit(X, y)
+        proba = clf.predict_proba(X[:5])
+        assert proba.shape == (5, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(5))
+
+    def test_predict_returns_original_labels(self):
+        X, _ = make_classification(n_samples=100, n_features=4, class_sep=3.0, random_state=0)
+        y = np.where(np.arange(100) % 2 == 0, "cat", "dog")
+        clf = MLPClassifier(hidden_layer_sizes=(4,), max_iter=5, random_state=0).fit(X, y)
+        assert set(clf.predict(X)) <= {"cat", "dog"}
+
+    def test_reproducible_with_same_seed(self, small_classification):
+        X, y = small_classification
+        a = MLPClassifier(hidden_layer_sizes=(8,), solver="adam", max_iter=15, random_state=7).fit(X, y)
+        b = MLPClassifier(hidden_layer_sizes=(8,), solver="adam", max_iter=15, random_state=7).fit(X, y)
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            MLPClassifier().predict(np.ones((2, 3)))
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="at least 2 classes"):
+            MLPClassifier(max_iter=5).fit(np.ones((10, 2)), np.zeros(10))
+
+    def test_loss_curve_recorded_and_decreasing_overall(self, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(hidden_layer_sizes=(16,), solver="adam", max_iter=30, random_state=0).fit(X, y)
+        assert len(clf.loss_curve_) > 1
+        assert clf.loss_curve_[-1] < clf.loss_curve_[0]
+
+    def test_clonable(self):
+        clf = MLPClassifier(hidden_layer_sizes=(5, 5), activation="tanh", momentum=0.8)
+        copy = clone(clf)
+        assert copy.get_params() == clf.get_params()
+
+
+class TestEarlyStopping:
+    def test_early_stopping_halts_before_max_iter(self, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(
+            hidden_layer_sizes=(16,), solver="adam", max_iter=500,
+            early_stopping=True, n_iter_no_change=3, random_state=0,
+        ).fit(X, y)
+        assert clf.n_iter_ < 500
+        assert len(clf.validation_scores_) == clf.n_iter_
+
+    def test_tol_stops_on_plateau(self, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(
+            hidden_layer_sizes=(16,), solver="adam", max_iter=1000,
+            tol=1e-2, n_iter_no_change=2, random_state=0,
+        ).fit(X, y)
+        assert clf.n_iter_ < 1000
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        {"solver": "rmsprop"},
+        {"activation": "swish"},
+        {"max_iter": 0},
+        {"alpha": -1.0},
+        {"validation_fraction": 1.5},
+        {"hidden_layer_sizes": (0,)},
+        {"batch_size": -5},
+    ])
+    def test_invalid_hyperparameters_raise(self, bad, small_classification):
+        X, y = small_classification
+        with pytest.raises(ValueError):
+            MLPClassifier(**bad).fit(X, y)
+
+    def test_nan_input_rejected(self):
+        X = np.ones((10, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            MLPClassifier(max_iter=5).fit(X, np.arange(10) % 2)
+
+
+class TestGradients:
+    def test_backprop_matches_numerical_gradient(self):
+        """Analytic gradients agree with central finite differences."""
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((12, 3))
+        y_int = rng.integers(0, 3, size=12)
+        clf = MLPClassifier(hidden_layer_sizes=(4,), activation="tanh", alpha=0.01, random_state=0)
+        clf._validate_hyperparameters()
+        from repro.learners.mlp import _init_coefficients
+        from repro.learners.preprocessing import one_hot
+
+        clf.classes_ = np.array([0, 1, 2])
+        y = one_hot(y_int, 3)
+        clf.coefs_, clf.intercepts_ = _init_coefficients([3, 4, 3], "tanh", rng)
+
+        _, coef_grads, intercept_grads = clf._backprop(X, y)
+        eps = 1e-6
+        for layer in range(2):
+            coef = clf.coefs_[layer]
+            numeric = np.zeros_like(coef)
+            for i in range(coef.shape[0]):
+                for j in range(coef.shape[1]):
+                    coef[i, j] += eps
+                    up, _, _ = clf._backprop(X, y)
+                    coef[i, j] -= 2 * eps
+                    down, _, _ = clf._backprop(X, y)
+                    coef[i, j] += eps
+                    numeric[i, j] = (up - down) / (2 * eps)
+            np.testing.assert_allclose(coef_grads[layer], numeric, atol=1e-6)
+
+
+class TestRegressor:
+    def test_fits_nonlinear_target(self, small_regression):
+        X, y = small_regression
+        reg = MLPRegressor(hidden_layer_sizes=(24,), solver="lbfgs", max_iter=200, random_state=0)
+        assert reg.fit(X, y).score(X, y) > 0.8
+
+    def test_beats_constant_predictor(self, small_regression):
+        X, y = small_regression
+        reg = MLPRegressor(
+            hidden_layer_sizes=(8,), solver="adam", max_iter=60,
+            learning_rate_init=0.01, random_state=0,
+        )
+        assert reg.fit(X, y).score(X, y) > 0.0
+
+    def test_predict_shape(self, small_regression):
+        X, y = small_regression
+        reg = MLPRegressor(hidden_layer_sizes=(4,), max_iter=10, random_state=0).fit(X, y)
+        assert reg.predict(X).shape == (len(y),)
+
+    def test_single_row_prediction(self, small_regression):
+        X, y = small_regression
+        reg = MLPRegressor(hidden_layer_sizes=(4,), max_iter=10, random_state=0).fit(X, y)
+        assert reg.predict(X[0]).shape == (1,)
+
+    def test_sgd_with_momentum_runs(self, small_regression):
+        X, y = small_regression
+        reg = MLPRegressor(
+            hidden_layer_sizes=(8,), solver="sgd", momentum=0.9,
+            learning_rate_init=0.01, max_iter=40, random_state=0,
+        )
+        assert np.isfinite(reg.fit(X, y).loss_)

@@ -1,0 +1,120 @@
+"""Property-based tests for the MLP learners (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners import MLPClassifier, MLPRegressor
+
+SOLVERS = st.sampled_from(["sgd", "adam", "lbfgs"])
+ACTIVATIONS = st.sampled_from(["logistic", "tanh", "relu"])
+
+
+class TestClassifierProperties:
+    @given(
+        solver=SOLVERS,
+        activation=ACTIVATIONS,
+        n_classes=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fit_predict_never_crashes_and_labels_valid(self, solver, activation, n_classes, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((40, 5))
+        y = rng.integers(0, n_classes, size=40)
+        y[:n_classes] = np.arange(n_classes)  # every class present
+        clf = MLPClassifier(
+            hidden_layer_sizes=(6,), solver=solver, activation=activation,
+            max_iter=5, random_state=seed,
+        )
+        clf.fit(X, y)
+        predictions = clf.predict(X)
+        assert set(predictions.tolist()) <= set(range(n_classes))
+        proba = clf.predict_proba(X)
+        assert proba.shape == (40, n_classes)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(40), atol=1e-8)
+        assert (proba >= 0).all()
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_score_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((30, 3))
+        y = rng.integers(0, 2, size=30)
+        y[:2] = [0, 1]
+        clf = MLPClassifier(hidden_layer_sizes=(4,), max_iter=3, random_state=seed).fit(X, y)
+        assert 0.0 <= clf.score(X, y) <= 1.0
+
+    @given(
+        batch_size=st.sampled_from([1, 7, 32, 64, 128, "auto"]),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_any_batch_size_works(self, batch_size, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((25, 3))
+        y = (X[:, 0] > 0).astype(int)
+        y[:2] = [0, 1]
+        clf = MLPClassifier(
+            hidden_layer_sizes=(4,), solver="adam", batch_size=batch_size,
+            max_iter=3, random_state=seed,
+        )
+        assert np.isfinite(clf.fit(X, y).loss_)
+
+
+class TestRegressorProperties:
+    @given(solver=SOLVERS, seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_finite(self, solver, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((30, 4))
+        y = X[:, 0] * 2 - X[:, 1]
+        reg = MLPRegressor(
+            hidden_layer_sizes=(5,), solver=solver, max_iter=5,
+            learning_rate_init=0.01, random_state=seed,
+        ).fit(X, y)
+        assert np.isfinite(reg.predict(X)).all()
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_loss_curve_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((20, 2))
+        y = rng.standard_normal(20)
+        reg = MLPRegressor(hidden_layer_sizes=(3,), solver="adam", max_iter=4, random_state=seed)
+        reg.fit(X, y)
+        assert all(np.isfinite(v) for v in reg.loss_curve_)
+
+
+class TestDegenerateInputs:
+    def test_two_samples(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        y = np.array([0, 1])
+        clf = MLPClassifier(hidden_layer_sizes=(2,), solver="lbfgs", max_iter=20, random_state=0)
+        clf.fit(X, y)
+        assert len(clf.predict(X)) == 2
+
+    def test_single_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((50, 1))
+        y = (X[:, 0] > 0).astype(int)
+        clf = MLPClassifier(hidden_layer_sizes=(4,), solver="lbfgs", max_iter=50, random_state=0)
+        assert clf.fit(X, y).score(X, y) > 0.9
+
+    def test_constant_features(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        clf = MLPClassifier(hidden_layer_sizes=(2,), max_iter=5, random_state=0)
+        clf.fit(X, y)  # should not crash; accuracy ~0.5 is expected
+        assert clf.predict(X).shape == (20,)
+
+    def test_early_stopping_with_tiny_dataset(self):
+        X = np.random.default_rng(0).standard_normal((12, 2))
+        y = np.array([0, 1] * 6)
+        clf = MLPClassifier(
+            hidden_layer_sizes=(3,), solver="adam", max_iter=10,
+            early_stopping=True, random_state=0,
+        )
+        clf.fit(X, y)  # validation split of 1 sample must not crash
+        assert hasattr(clf, "coefs_")

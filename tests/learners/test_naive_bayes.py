@@ -1,0 +1,73 @@
+"""Tests for Gaussian naive Bayes."""
+
+import numpy as np
+import pytest
+
+from repro.learners import GaussianNB
+
+
+class TestGaussianNB:
+    def test_learns_separated_gaussians(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (60, 3)), rng.normal(5, 1, (60, 3))])
+        y = np.array([0] * 60 + [1] * 60)
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.99
+
+    def test_multiclass(self, small_multiclass):
+        X, y = small_multiclass
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) > 0.5
+
+    def test_priors_sum_to_one(self, imbalanced_classification):
+        X, y = imbalanced_classification
+        model = GaussianNB().fit(X, y)
+        assert model.class_prior_.sum() == pytest.approx(1.0)
+        assert model.class_prior_[1] < model.class_prior_[0]
+
+    def test_proba_valid(self, small_classification):
+        X, y = small_classification
+        model = GaussianNB().fit(X, y)
+        proba = model.predict_proba(X[:25])
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(25))
+        assert ((proba >= 0) & (proba <= 1)).all()
+
+    def test_prior_matters_on_ambiguous_point(self):
+        rng = np.random.default_rng(1)
+        # Same distribution for both classes, 9:1 prior.
+        X = rng.normal(0, 1, (100, 2))
+        y = np.array([0] * 90 + [1] * 10)
+        model = GaussianNB().fit(X, y)
+        prediction = model.predict(np.zeros((1, 2)))
+        assert prediction[0] == 0
+
+    def test_constant_feature_smoothing(self):
+        X = np.column_stack([np.ones(40), np.r_[np.zeros(20), np.ones(20)]])
+        y = np.array([0] * 20 + [1] * 20)
+        model = GaussianNB().fit(X, y)
+        assert np.isfinite(model._joint_log_likelihood(X)).all()
+        assert model.score(X, y) == 1.0
+
+    def test_string_labels(self):
+        X = np.vstack([np.zeros((10, 1)), np.ones((10, 1)) * 9])
+        y = np.array(["a"] * 10 + ["b"] * 10)
+        model = GaussianNB().fit(X, y)
+        assert set(model.predict(X)) == {"a", "b"}
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            GaussianNB().predict(np.ones((2, 2)))
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError, match="var_smoothing"):
+            GaussianNB(var_smoothing=-1.0).fit(np.ones((4, 1)), [0, 0, 1, 1])
+
+    def test_works_as_hpo_model(self, small_classification):
+        """GaussianNB through the evaluator seam (fast model factory)."""
+        from repro.core import vanilla_evaluator
+
+        X, y = small_classification
+        factory = lambda config, random_state=None: GaussianNB(**config)
+        evaluator = vanilla_evaluator(X, y, factory)
+        result = evaluator.evaluate({"var_smoothing": 1e-9}, 0.5, np.random.default_rng(0))
+        assert 0.0 <= result.mean <= 1.0

@@ -1,0 +1,99 @@
+"""Tests for StandardScaler, LabelEncoder and one-hot encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners.preprocessing import LabelEncoder, StandardScaler, one_hot
+
+
+class TestStandardScaler:
+    def test_transforms_to_zero_mean_unit_std(self, rng):
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), np.zeros(4), atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), np.ones(4), atol=1e-10)
+
+    def test_constant_feature_not_scaled(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(Z[:, 0], np.zeros(10))
+        assert np.isfinite(Z).all()
+
+    def test_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3)) * 7 + 2
+        scaler = StandardScaler().fit(X)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(np.ones((5, 4)))
+
+    def test_with_mean_false_only_scales(self, rng):
+        X = rng.normal(loc=10.0, size=(100, 2))
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.mean() > 1.0  # mean not removed
+
+    def test_with_std_false_only_centres(self, rng):
+        X = rng.normal(scale=5.0, size=(100, 2))
+        Z = StandardScaler(with_std=False).fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), np.zeros(2), atol=1e-10)
+        assert Z.std() > 2.0
+
+
+class TestLabelEncoder:
+    def test_encodes_sorted_unique(self):
+        encoder = LabelEncoder().fit(["b", "a", "b", "c"])
+        np.testing.assert_array_equal(encoder.classes_, ["a", "b", "c"])
+        np.testing.assert_array_equal(encoder.transform(["a", "c", "b"]), [0, 2, 1])
+
+    def test_inverse_roundtrip(self):
+        labels = np.array([5, 2, 9, 2, 5])
+        encoder = LabelEncoder().fit(labels)
+        np.testing.assert_array_equal(
+            encoder.inverse_transform(encoder.transform(labels)), labels
+        )
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit([0, 1])
+        with pytest.raises(ValueError, match="unseen"):
+            encoder.transform([2])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            LabelEncoder().transform([0])
+
+    def test_inverse_out_of_range_raises(self):
+        encoder = LabelEncoder().fit([0, 1])
+        with pytest.raises(ValueError, match="outside"):
+            encoder.inverse_transform([5])
+
+
+class TestOneHot:
+    def test_basic_encoding(self):
+        out = one_hot(np.array([0, 2, 1]), n_classes=3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]])
+
+    def test_infers_n_classes(self):
+        assert one_hot(np.array([0, 3])).shape == (2, 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="labels must lie"):
+            one_hot(np.array([0, 5]), n_classes=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            one_hot(np.zeros((2, 2), dtype=int))
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_rows_sum_to_one(self, labels):
+        out = one_hot(np.array(labels), n_classes=10)
+        np.testing.assert_array_equal(out.sum(axis=1), np.ones(len(labels)))
+        np.testing.assert_array_equal(out.argmax(axis=1), labels)

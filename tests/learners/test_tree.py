@@ -1,0 +1,120 @@
+"""Tests for decision-tree learners."""
+
+import numpy as np
+import pytest
+
+from repro.learners import DecisionTreeClassifier, DecisionTreeRegressor, clone
+
+
+class TestClassifier:
+    def test_perfectly_fits_axis_aligned_data(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_learns_xor_with_depth_two(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        X = np.repeat(X, 10, axis=0)
+        y = (X[:, 0] != X[:, 1]).astype(int)
+        model = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_max_depth_limits_tree(self, small_classification):
+        X, y = small_classification
+        shallow = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        assert shallow.depth_ <= 2
+        assert deep.score(X, y) >= shallow.score(X, y)
+
+    def test_min_samples_leaf_respected(self, small_classification):
+        X, y = small_classification
+        model = DecisionTreeClassifier(min_samples_leaf=30).fit(X, y)
+
+        def leaf_sizes(node, X_node, y_node):
+            if node.is_leaf:
+                return [len(y_node)]
+            mask = X_node[:, node.feature] <= node.threshold
+            return leaf_sizes(node.left, X_node[mask], y_node[mask]) + leaf_sizes(
+                node.right, X_node[~mask], y_node[~mask]
+            )
+
+        assert min(leaf_sizes(model.tree_, X, y)) >= 30
+
+    @pytest.mark.parametrize("criterion", ["gini", "entropy"])
+    def test_both_criteria_learn(self, criterion, small_classification):
+        X, y = small_classification
+        model = DecisionTreeClassifier(criterion=criterion, max_depth=6).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_predict_proba_rows_sum_to_one(self, small_multiclass):
+        X, y = small_multiclass
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = model.predict_proba(X[:15])
+        assert proba.shape == (15, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), np.ones(15))
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [1.0]] * 10)
+        y = np.array(["a", "b"] * 10)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert set(model.predict(X)) == {"a", "b"}
+
+    def test_invalid_criterion(self):
+        with pytest.raises(ValueError, match="criterion"):
+            DecisionTreeClassifier(criterion="mse").fit(np.ones((4, 1)), [0, 0, 1, 1])
+
+    @pytest.mark.parametrize("bad", [
+        {"max_depth": 0},
+        {"min_samples_split": 1},
+        {"min_samples_leaf": 0},
+    ])
+    def test_invalid_structure_params(self, bad):
+        X, y = np.arange(8, dtype=float).reshape(-1, 1), [0, 0, 0, 0, 1, 1, 1, 1]
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(**bad).fit(X, y)
+
+    def test_max_features_subsampling_runs(self, small_classification):
+        X, y = small_classification
+        model = DecisionTreeClassifier(max_features=2, random_state=0, max_depth=4).fit(X, y)
+        assert model.score(X, y) > 0.5
+
+    def test_constant_features_become_leaf(self):
+        X = np.ones((10, 2))
+        y = np.array([0] * 5 + [1] * 5)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert model.tree_.is_leaf
+        assert model.depth_ == 0
+
+    def test_clonable(self):
+        model = DecisionTreeClassifier(max_depth=3, criterion="entropy")
+        assert clone(model).get_params() == model.get_params()
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            DecisionTreeClassifier().predict(np.ones((2, 2)))
+
+
+class TestRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 40).reshape(-1, 1)
+        y = (X.ravel() > 0.5).astype(float) * 10
+        model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert model.score(X, y) > 0.99
+
+    def test_deeper_fits_better(self, small_regression):
+        X, y = small_regression
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=10).fit(X, y)
+        assert deep.score(X, y) > shallow.score(X, y)
+
+    def test_leaf_predicts_mean(self):
+        X = np.ones((6, 1))
+        y = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        model = DecisionTreeRegressor().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), np.full(6, 3.5))
+
+    def test_predict_shape(self, small_regression):
+        X, y = small_regression
+        model = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert model.predict(X).shape == y.shape

@@ -1,0 +1,124 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 1, 1, 0]) == 0.75
+
+    def test_string_labels(self):
+        assert accuracy_score(["a", "b"], ["a", "a"]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            accuracy_score([1], [1, 0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_known_matrix(self):
+        y_true = [0, 0, 1, 1, 1]
+        y_pred = [0, 1, 1, 1, 0]
+        matrix = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(matrix, [[1, 1], [1, 2]])
+
+    def test_explicit_labels_order(self):
+        matrix = confusion_matrix([1, 0], [1, 0], labels=[1, 0])
+        np.testing.assert_array_equal(matrix, [[1, 0], [0, 1]])
+
+    def test_sums_to_n(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 3, 50)
+        y_pred = rng.integers(0, 3, 50)
+        assert confusion_matrix(y_true, y_pred).sum() == 50
+
+
+class TestPrecisionRecallF1:
+    # y_true: 3 positives, 3 negatives; predictions: TP=2, FP=1, FN=1.
+    Y_TRUE = [1, 1, 1, 0, 0, 0]
+    Y_PRED = [1, 1, 0, 1, 0, 0]
+
+    def test_binary_precision(self):
+        assert precision_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(2 / 3)
+
+    def test_binary_recall(self):
+        assert recall_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(2 / 3)
+
+    def test_binary_f1(self):
+        assert f1_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(2 / 3)
+
+    def test_f1_is_harmonic_mean(self):
+        p = precision_score(self.Y_TRUE, self.Y_PRED)
+        r = recall_score(self.Y_TRUE, self.Y_PRED)
+        assert f1_score(self.Y_TRUE, self.Y_PRED) == pytest.approx(2 * p * r / (p + r))
+
+    def test_perfect_f1(self):
+        assert f1_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_zero_division_is_zero(self):
+        # No predicted positives: precision undefined -> 0 by convention.
+        assert precision_score([1, 1], [0, 0]) == 0.0
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_macro_average(self):
+        y_true = [0, 0, 1, 1, 2, 2]
+        y_pred = [0, 0, 1, 0, 2, 2]
+        per_class = [
+            f1_score(np.array(y_true) == c, np.array(y_pred) == c, pos_label=True)
+            for c in (0, 1, 2)
+        ]
+        assert f1_score(y_true, y_pred, average="macro") == pytest.approx(np.mean(per_class))
+
+    def test_weighted_average_weighted_by_support(self):
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        weighted = f1_score(y_true, y_pred, average="weighted")
+        macro = f1_score(y_true, y_pred, average="macro")
+        assert weighted > macro  # the strong majority class dominates
+
+    def test_unknown_average_raises(self):
+        with pytest.raises(ValueError, match="average"):
+            f1_score([0, 1], [0, 1], average="micro")
+
+    def test_custom_pos_label(self):
+        y_true = ["spam", "ham", "spam"]
+        y_pred = ["spam", "spam", "spam"]
+        assert recall_score(y_true, y_pred, pos_label="spam") == 1.0
+        assert precision_score(y_true, y_pred, pos_label="spam") == pytest.approx(2 / 3)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_bounded_and_self_perfect(self, labels):
+        assert accuracy_score(labels, labels) == 1.0
+        shuffled = list(reversed(labels))
+        assert 0.0 <= accuracy_score(labels, shuffled) <= 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=40),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_f1_bounded(self, a, b):
+        n = min(len(a), len(b))
+        value = f1_score(a[:n], b[:n])
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,76 @@
+"""Tests for ROC and precision-recall curve metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import average_precision_score, roc_auc_score, roc_curve
+
+
+class TestRocCurve:
+    def test_starts_at_origin_ends_at_one_one(self):
+        fpr, tpr, _ = roc_curve([0, 1, 1, 0], [0.1, 0.9, 0.4, 0.2])
+        assert (fpr[0], tpr[0]) == (0.0, 0.0)
+        assert (fpr[-1], tpr[-1]) == (1.0, 1.0)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 50)
+        y[0], y[1] = 0, 1
+        s = rng.random(50)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_ties_share_a_point(self):
+        fpr, tpr, thresholds = roc_curve([1, 0], [0.5, 0.5])
+        # One distinct score -> origin plus a single curve point.
+        assert len(thresholds) == 2
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_scores(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 2000)
+        s = rng.random(2000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.05)
+
+    def test_known_value(self):
+        # y=[0,0,1,1], s=[0.1,0.4,0.35,0.8] is the classic sklearn example: AUC=0.75.
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.4, 0.35, 0.8]) == pytest.approx(0.75)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            roc_auc_score([1, 1], [0.5, 0.6])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            roc_auc_score([1], [0.5, 0.6])
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision_score([0, 1], [0.1, 0.9]) == 1.0
+
+    def test_known_value(self):
+        # Ranked: pos, neg, pos -> precisions at recall steps: 1, 2/3.
+        value = average_precision_score([1, 0, 1], [0.9, 0.5, 0.1])
+        assert value == pytest.approx(0.5 * 1.0 + 0.5 * (2 / 3))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, 100)
+        y[0], y[1] = 0, 1
+        s = rng.random(100)
+        assert 0.0 < average_precision_score(y, s) <= 1.0
+
+    def test_baseline_matches_positive_rate(self):
+        rng = np.random.default_rng(3)
+        y = (rng.random(5000) < 0.2).astype(int)
+        s = rng.random(5000)
+        assert average_precision_score(y, s) == pytest.approx(0.2, abs=0.03)

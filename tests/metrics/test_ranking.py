@@ -1,0 +1,80 @@
+"""Tests for the nDCG ranking metric used by the CV experiments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import dcg_score, ndcg_score, ranking_from_scores
+
+
+class TestRankingFromScores:
+    def test_orders_best_first(self):
+        np.testing.assert_array_equal(ranking_from_scores([0.1, 0.9, 0.5]), [1, 2, 0])
+
+    def test_stable_on_ties(self):
+        np.testing.assert_array_equal(ranking_from_scores([0.5, 0.5, 0.1]), [0, 1, 2])
+
+
+class TestDcg:
+    def test_known_value(self):
+        # DCG of [3, 2, 1] = 3/log2(2) + 2/log2(3) + 1/log2(4)
+        expected = 3 / 1.0 + 2 / np.log2(3) + 1 / 2.0
+        assert dcg_score([3, 2, 1]) == pytest.approx(expected)
+
+    def test_truncation(self):
+        assert dcg_score([3, 2, 1], k=1) == pytest.approx(3.0)
+
+    def test_empty_is_zero(self):
+        assert dcg_score([]) == 0.0
+
+    def test_front_loading_scores_higher(self):
+        assert dcg_score([3, 1, 0]) > dcg_score([0, 1, 3])
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        truth = [0.9, 0.5, 0.7]
+        assert ndcg_score(truth, truth) == pytest.approx(1.0)
+
+    def test_monotone_transform_of_truth_is_one(self):
+        truth = np.array([0.9, 0.5, 0.7])
+        assert ndcg_score(truth, truth * 100 - 3) == pytest.approx(1.0)
+
+    def test_reversed_ranking_below_one(self):
+        truth = [0.9, 0.5, 0.7]
+        assert ndcg_score(truth, [-s for s in truth]) < 1.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            truth = rng.random(8)
+            predicted = rng.random(8)
+            assert 0.0 <= ndcg_score(truth, predicted) <= 1.0
+
+    def test_all_equal_relevance_is_one(self):
+        assert ndcg_score([0.5, 0.5, 0.5], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_negative_relevance_shifted(self):
+        # Shifting relevance must not change the metric's ordering meaning.
+        truth = [-1.0, -3.0, -2.0]
+        assert ndcg_score(truth, truth) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            ndcg_score([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ndcg_score([], [])
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=15),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_always_one_and_others_bounded(self, truth, seed):
+        truth = np.array(truth)
+        assert ndcg_score(truth, truth) == pytest.approx(1.0)
+        rng = np.random.default_rng(seed)
+        predicted = rng.random(len(truth))
+        value = ndcg_score(truth, predicted)
+        assert 0.0 <= value <= 1.0 + 1e-9

@@ -1,0 +1,60 @@
+"""Tests for regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mean_absolute_error, mean_squared_error, r2_score
+
+
+class TestR2:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_predictor_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([3.0, 3.0, -5.0])) < 0.0
+
+    def test_constant_target_perfect(self):
+        y = np.full(5, 4.0)
+        assert r2_score(y, y) == 1.0
+
+    def test_constant_target_imperfect(self):
+        y = np.full(5, 4.0)
+        assert r2_score(y, y + 1.0) == 0.0
+
+    def test_known_value(self):
+        y_true = np.array([3.0, -0.5, 2.0, 7.0])
+        y_pred = np.array([2.5, 0.0, 2.0, 8.0])
+        assert r2_score(y_true, y_pred) == pytest.approx(0.9486, abs=1e-4)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            r2_score([1.0], [1.0, 2.0])
+
+
+class TestMse:
+    def test_zero_for_exact(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal(20), rng.standard_normal(20)
+        assert mean_squared_error(a, b) >= 0.0
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, -3.0]) == pytest.approx(2.0)
+
+    def test_mae_le_rmse(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal(50), rng.standard_normal(50)
+        assert mean_absolute_error(a, b) <= np.sqrt(mean_squared_error(a, b)) + 1e-12

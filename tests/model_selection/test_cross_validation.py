@@ -1,0 +1,91 @@
+"""Tests for the generic cross-validation driver."""
+
+import numpy as np
+import pytest
+
+from repro.learners import MLPClassifier
+from repro.learners.base import BaseEstimator
+from repro.model_selection import (
+    CrossValidationResult,
+    KFold,
+    StratifiedKFold,
+    cross_validate,
+    fit_and_score,
+)
+
+
+class MajorityClassifier(BaseEstimator):
+    """Predicts the training majority class; fast and deterministic."""
+
+    def fit(self, X, y):
+        values, counts = np.unique(y, return_counts=True)
+        self.majority_ = values[counts.argmax()]
+        return self
+
+    def predict(self, X):
+        return np.full(len(X), self.majority_)
+
+    def score(self, X, y):
+        return float((self.predict(X) == y).mean())
+
+
+class TestCrossValidate:
+    def test_returns_one_score_per_fold(self, small_classification):
+        X, y = small_classification
+        splits = StratifiedKFold(5, random_state=0).split(X, y)
+        result = cross_validate(MajorityClassifier(), X, y, splits)
+        assert len(result) == 5
+        assert len(result.fold_sizes) == 5
+
+    def test_mean_and_std_aggregate(self):
+        result = CrossValidationResult(fold_scores=[0.8, 0.9, 1.0])
+        assert result.mean == pytest.approx(0.9)
+        assert result.std == pytest.approx(np.std([0.8, 0.9, 1.0]))
+
+    def test_empty_result_is_nan(self):
+        result = CrossValidationResult()
+        assert np.isnan(result.mean)
+        assert np.isnan(result.std)
+
+    def test_majority_score_matches_class_balance(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.zeros((100, 2))
+        splits = StratifiedKFold(5, random_state=0).split(X, y)
+        result = cross_validate(MajorityClassifier(), X, y, splits)
+        assert result.mean == pytest.approx(0.8)
+
+    def test_max_splits_caps_folds(self, small_classification):
+        X, y = small_classification
+        splits = KFold(5, random_state=0).split(X)
+        result = cross_validate(MajorityClassifier(), X, y, splits, max_splits=2)
+        assert len(result) == 2
+
+    def test_empty_split_raises(self, small_classification):
+        X, y = small_classification
+        bad_splits = [(np.arange(10), np.array([], dtype=int))]
+        with pytest.raises(ValueError, match="empty"):
+            cross_validate(MajorityClassifier(), X, y, bad_splits)
+
+    def test_estimator_is_cloned_per_fold(self, small_classification):
+        X, y = small_classification
+        estimator = MajorityClassifier()
+        splits = KFold(3, random_state=0).split(X)
+        cross_validate(estimator, X, y, splits)
+        assert not hasattr(estimator, "majority_")  # original untouched
+
+    def test_works_with_mlp(self, small_classification):
+        X, y = small_classification
+        clf = MLPClassifier(hidden_layer_sizes=(8,), solver="lbfgs", max_iter=40, random_state=0)
+        splits = StratifiedKFold(3, random_state=0).split(X, y)
+        result = cross_validate(clf, X, y, splits)
+        assert result.mean > 0.8
+
+
+class TestFitAndScore:
+    def test_scores_holdout_only(self):
+        y = np.array([0] * 8 + [1] * 2)
+        X = np.zeros((10, 1))
+        train = np.arange(8)  # all class 0
+        test = np.arange(8, 10)  # all class 1
+        score = fit_and_score(MajorityClassifier(), X, y, train, test)
+        assert score == 0.0

@@ -1,0 +1,110 @@
+"""Tests for the extended splitters (repeated, group-aware, LOO)."""
+
+import numpy as np
+import pytest
+
+from repro.model_selection import (
+    GroupKFold,
+    LeaveOneOut,
+    RepeatedKFold,
+    RepeatedStratifiedKFold,
+)
+
+
+class TestRepeatedKFold:
+    def test_total_split_count(self):
+        splitter = RepeatedKFold(n_splits=4, n_repeats=3, random_state=0)
+        splits = list(splitter.split(np.zeros(20)))
+        assert len(splits) == 12
+        assert splitter.get_n_splits() == 12
+
+    def test_each_repeat_is_a_partition(self):
+        splitter = RepeatedKFold(n_splits=4, n_repeats=2, random_state=0)
+        splits = list(splitter.split(np.zeros(20)))
+        for repeat in (splits[:4], splits[4:]):
+            covered = np.sort(np.concatenate([test for _, test in repeat]))
+            np.testing.assert_array_equal(covered, np.arange(20))
+
+    def test_repeats_differ(self):
+        splitter = RepeatedKFold(n_splits=2, n_repeats=2, random_state=0)
+        splits = [test.tolist() for _, test in splitter.split(np.zeros(30))]
+        assert splits[0] != splits[2]
+
+    def test_deterministic(self):
+        a = [t.tolist() for _, t in RepeatedKFold(3, 2, random_state=1).split(np.zeros(18))]
+        b = [t.tolist() for _, t in RepeatedKFold(3, 2, random_state=1).split(np.zeros(18))]
+        assert a == b
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError, match="n_repeats"):
+            RepeatedKFold(n_repeats=0)
+
+
+class TestRepeatedStratifiedKFold:
+    def test_stratification_in_every_repeat(self):
+        y = np.array([0] * 40 + [1] * 10)
+        splitter = RepeatedStratifiedKFold(n_splits=5, n_repeats=2, random_state=0)
+        for _, test in splitter.split(y, y):
+            assert (y[test] == 1).sum() == 2
+
+    def test_total_count(self):
+        assert RepeatedStratifiedKFold(5, 3).get_n_splits() == 15
+
+
+class TestGroupKFold:
+    def test_groups_never_split(self):
+        groups = np.repeat(np.arange(10), 5)
+        splitter = GroupKFold(n_splits=5)
+        for train, test in splitter.split(np.zeros(50), groups=groups):
+            train_groups = set(groups[train].tolist())
+            test_groups = set(groups[test].tolist())
+            assert not train_groups & test_groups
+
+    def test_all_indices_covered(self):
+        groups = np.repeat(np.arange(8), 4)
+        tests = [t for _, t in GroupKFold(4).split(np.zeros(32), groups=groups)]
+        covered = np.sort(np.concatenate(tests))
+        np.testing.assert_array_equal(covered, np.arange(32))
+
+    def test_fold_sizes_balanced_for_equal_groups(self):
+        groups = np.repeat(np.arange(10), 6)
+        sizes = [len(t) for _, t in GroupKFold(5).split(np.zeros(60), groups=groups)]
+        assert max(sizes) - min(sizes) == 0
+
+    def test_unbalanced_groups_balanced_greedily(self):
+        groups = np.array([0] * 30 + [1] * 10 + [2] * 10 + [3] * 10)
+        sizes = [len(t) for _, t in GroupKFold(2).split(np.zeros(60), groups=groups)]
+        assert sorted(sizes) == [30, 30]
+
+    def test_requires_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            list(GroupKFold(2).split(np.zeros(10)))
+
+    def test_too_few_groups(self):
+        with pytest.raises(ValueError, match="groups"):
+            list(GroupKFold(5).split(np.zeros(10), groups=np.zeros(10)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            list(GroupKFold(2).split(np.zeros(10), groups=np.zeros(8)))
+
+
+class TestLeaveOneOut:
+    def test_each_sample_once(self):
+        loo = LeaveOneOut()
+        tests = [t for _, t in loo.split(np.zeros(7))]
+        assert len(tests) == 7
+        covered = np.sort(np.concatenate(tests))
+        np.testing.assert_array_equal(covered, np.arange(7))
+
+    def test_train_has_rest(self):
+        for train, test in LeaveOneOut().split(np.zeros(5)):
+            assert len(train) == 4
+            assert len(test) == 1
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError, match="2 samples"):
+            list(LeaveOneOut().split(np.zeros(1)))
+
+    def test_get_n_splits(self):
+        assert LeaveOneOut().get_n_splits(np.zeros(9)) == 9

@@ -1,0 +1,166 @@
+"""Tests for KFold, StratifiedKFold, train_test_split and subsampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model_selection import (
+    KFold,
+    StratifiedKFold,
+    random_subsample,
+    stratified_subsample,
+    train_test_split,
+)
+
+
+class TestKFold:
+    def test_partitions_all_indices(self):
+        X = np.zeros(23)
+        tests = [test for _, test in KFold(n_splits=5, random_state=0).split(X)]
+        combined = np.sort(np.concatenate(tests))
+        np.testing.assert_array_equal(combined, np.arange(23))
+
+    def test_train_test_disjoint_and_complete(self):
+        X = np.zeros(20)
+        for train, test in KFold(n_splits=4, random_state=0).split(X):
+            assert len(np.intersect1d(train, test)) == 0
+            assert len(train) + len(test) == 20
+
+    def test_fold_sizes_balanced(self):
+        X = np.zeros(22)
+        sizes = [len(test) for _, test in KFold(n_splits=5, random_state=0).split(X)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_no_shuffle_is_contiguous(self):
+        X = np.zeros(10)
+        first_test = next(iter(KFold(n_splits=5, shuffle=False).split(X)))[1]
+        np.testing.assert_array_equal(first_test, [0, 1])
+
+    def test_deterministic_with_seed(self):
+        X = np.zeros(30)
+        a = [t.tolist() for _, t in KFold(5, random_state=3).split(X)]
+        b = [t.tolist() for _, t in KFold(5, random_state=3).split(X)]
+        assert a == b
+
+    def test_n_splits_validation(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            list(KFold(n_splits=1).split(np.zeros(10)))
+        with pytest.raises(ValueError, match="greater than"):
+            list(KFold(n_splits=11).split(np.zeros(10)))
+
+    def test_get_n_splits(self):
+        assert KFold(n_splits=7).get_n_splits() == 7
+
+
+class TestStratifiedKFold:
+    def test_partitions_all_indices(self):
+        y = np.array([0] * 30 + [1] * 20)
+        tests = [test for _, test in StratifiedKFold(5, random_state=0).split(y, y)]
+        combined = np.sort(np.concatenate(tests))
+        np.testing.assert_array_equal(combined, np.arange(50))
+
+    def test_class_proportions_preserved(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for _, test in StratifiedKFold(5, random_state=0).split(y, y):
+            counts = np.bincount(y[test], minlength=2)
+            assert counts[0] == 8
+            assert counts[1] == 2
+
+    def test_small_class_spread_across_folds(self):
+        # 5 minority instances, 5 folds: each fold gets exactly one.
+        y = np.array([0] * 45 + [1] * 5)
+        minority_per_fold = [
+            int((y[test] == 1).sum())
+            for _, test in StratifiedKFold(5, random_state=0).split(y, y)
+        ]
+        assert minority_per_fold == [1, 1, 1, 1, 1]
+
+    def test_multiclass(self):
+        y = np.repeat(np.arange(4), 10)
+        for _, test in StratifiedKFold(5, random_state=1).split(y, y):
+            counts = np.bincount(y[test], minlength=4)
+            np.testing.assert_array_equal(counts, [2, 2, 2, 2])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            list(StratifiedKFold(2).split(np.zeros(5), np.zeros(6)))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert len(X_test) == 20
+        assert len(X_train) == 80
+        np.testing.assert_array_equal(X_train.ravel(), y_train)
+
+    def test_no_overlap(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        X_train, X_test, _, _ = train_test_split(X, y, random_state=0)
+        assert len(np.intersect1d(X_train.ravel(), X_test.ravel())) == 0
+
+    def test_stratified_preserves_ratio(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.zeros((100, 1))
+        _, _, y_train, y_test = train_test_split(X, y, test_size=0.25, stratify=y, random_state=0)
+        assert (y_test == 1).sum() == 5
+        assert (y_train == 1).sum() == 15
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError, match="test_size"):
+            train_test_split(np.zeros((10, 1)), np.zeros(10), test_size=1.0)
+
+    def test_deterministic(self):
+        X = np.arange(40).reshape(-1, 1)
+        y = np.arange(40)
+        a = train_test_split(X, y, random_state=5)[1]
+        b = train_test_split(X, y, random_state=5)[1]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSubsampling:
+    def test_random_subsample_size_and_uniqueness(self, rng):
+        idx = random_subsample(100, 30, rng=rng)
+        assert len(idx) == 30
+        assert len(np.unique(idx)) == 30
+
+    def test_random_subsample_bounds(self):
+        with pytest.raises(ValueError, match="n_select"):
+            random_subsample(10, 11)
+        with pytest.raises(ValueError, match="n_select"):
+            random_subsample(10, 0)
+
+    def test_stratified_subsample_proportions(self, rng):
+        labels = np.array([0] * 70 + [1] * 30)
+        idx = stratified_subsample(labels, 20, rng=rng)
+        counts = np.bincount(labels[idx], minlength=2)
+        np.testing.assert_array_equal(counts, [14, 6])
+
+    def test_stratified_subsample_exact_size_with_awkward_ratios(self, rng):
+        labels = np.array([0] * 33 + [1] * 33 + [2] * 34)
+        idx = stratified_subsample(labels, 10, rng=rng)
+        assert len(idx) == 10
+        assert len(np.unique(idx)) == 10
+
+    def test_stratified_subsample_handles_saturated_class(self, rng):
+        # Class 1 has only 2 instances but proportionally deserves more.
+        labels = np.array([0] * 4 + [1] * 2)
+        idx = stratified_subsample(labels, 5, rng=rng)
+        assert len(idx) == 5
+
+    @given(
+        st.integers(min_value=2, max_value=60),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stratified_subsample_always_exact(self, n_select, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 4, size=80)
+        n_select = min(n_select, 80)
+        idx = stratified_subsample(labels, n_select, rng=rng)
+        assert len(idx) == n_select
+        assert len(np.unique(idx)) == n_select
+        assert idx.min() >= 0 and idx.max() < 80

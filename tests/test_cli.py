@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune", "--dataset", "australian"])
+        assert args.method == "sha+"
+        assert args.hps == 2
+
+    def test_tune_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--dataset", "mnist"])
+
+    def test_tune_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "--dataset", "australian", "--method", "grid"])
+
+
+class TestDatasetsCommand:
+    def test_prints_table(self, capsys):
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "australian" in out
+        assert "kc-house" in out
+
+
+class TestTuneCommand:
+    def test_end_to_end_with_save(self, capsys, tmp_path):
+        out_file = tmp_path / "search.json"
+        code = main([
+            "tune", "--dataset", "australian", "--method", "sha",
+            "--scale", "0.25", "--max-iter", "5", "--seed", "1",
+            "--save", str(out_file),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "best configuration" in printed
+        assert "test accuracy" in printed
+        payload = json.loads(out_file.read_text())
+        assert payload["method"] == "SHA"
+        assert payload["trials"]
+
+    def test_model_based_method_runs_without_pool(self, capsys):
+        code = main([
+            "tune", "--dataset", "australian", "--method", "tpe",
+            "--scale", "0.25", "--max-iter", "5",
+        ])
+        assert code == 0
+        assert "best configuration" in capsys.readouterr().out

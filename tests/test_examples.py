@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs end-to-end at tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["--scale", "0.2", "--max-iter", "5"]),
+    ("fraud_detection.py", ["--scale", "0.15", "--max-iter", "5"]),
+    ("house_price_regression.py", ["--scale", "0.1", "--max-iter", "6"]),
+    ("configuration_ranking.py", ["--scale", "0.2", "--ratio", "0.3"]),
+    ("tree_model_tuning.py", ["--scale", "0.12"]),
+    ("parallel_asha.py", ["--scale", "0.1", "--max-iter", "5"]),
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+@pytest.mark.slow
+def test_every_example_has_a_smoke_test():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {script for script, _ in CASES}
+    assert scripts == covered, f"uncovered examples: {scripts - covered}"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", [c[0] for c in CASES])
+def test_example_help(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), "--help"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0
+    assert "usage" in result.stdout.lower()

@@ -1,0 +1,105 @@
+"""Tests for search-result persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bandit.base import EvaluationResult, SearchResult, Trial
+from repro.results import load_result, result_from_dict, result_to_dict, save_result
+
+
+@pytest.fixture
+def sample_result():
+    trials = [
+        Trial(
+            config={"hidden_layer_sizes": (30, 30), "activation": "relu"},
+            budget_fraction=0.25,
+            iteration=1,
+            bracket=2,
+            result=EvaluationResult(
+                mean=0.8, std=0.05, score=0.83, gamma=25.0,
+                fold_scores=[0.75, 0.8, 0.85], n_instances=100, cost=1.5,
+            ),
+        ),
+        Trial(
+            config={"hidden_layer_sizes": (40,), "activation": "tanh"},
+            budget_fraction=1.0,
+            result=EvaluationResult(mean=0.9, std=0.01, score=0.9, gamma=100.0),
+        ),
+    ]
+    return SearchResult(
+        best_config={"hidden_layer_sizes": (40,), "activation": "tanh"},
+        best_score=0.9,
+        trials=trials,
+        wall_time=12.5,
+        method="SHA+",
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, sample_result):
+        restored = result_from_dict(result_to_dict(sample_result))
+        assert restored.best_config == sample_result.best_config
+        assert restored.best_score == sample_result.best_score
+        assert restored.method == "SHA+"
+        assert restored.n_trials == 2
+        assert restored.trials[0].config == sample_result.trials[0].config
+        assert restored.trials[0].result.fold_scores == [0.75, 0.8, 0.85]
+        assert restored.trials[0].bracket == 2
+
+    def test_tuples_survive_json(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(sample_result, path)
+        restored = load_result(path)
+        assert restored.best_config["hidden_layer_sizes"] == (40,)
+        assert isinstance(restored.best_config["hidden_layer_sizes"], tuple)
+
+    def test_file_is_valid_json(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(sample_result, path)
+        with path.open() as handle:
+            payload = json.load(handle)
+        assert payload["method"] == "SHA+"
+        assert len(payload["trials"]) == 2
+
+    def test_numpy_scalars_serialised(self, tmp_path):
+        result = SearchResult(
+            best_config={"q": np.int64(5), "lr": np.float64(0.1)},
+            best_score=float(np.float64(0.5)),
+        )
+        path = tmp_path / "np.json"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.best_config == {"q": 5, "lr": 0.1}
+
+    def test_incumbent_trajectory_preserved(self, sample_result):
+        restored = result_from_dict(result_to_dict(sample_result))
+        assert restored.incumbent_trajectory() == sample_result.incumbent_trajectory()
+
+
+class TestErrors:
+    def test_malformed_payload(self):
+        with pytest.raises(ValueError, match="Malformed"):
+            result_from_dict({"trials": []})
+
+    def test_malformed_trial(self):
+        with pytest.raises(ValueError, match="Malformed"):
+            result_from_dict({
+                "best_config": {}, "best_score": 0.0,
+                "trials": [{"config": {}}],
+            })
+
+
+class TestRealSearchRoundTrip:
+    def test_actual_search_result_persists(self, tmp_path, tiny_space, synthetic_evaluator_factory):
+        from repro.bandit import SuccessiveHalving
+
+        evaluator = synthetic_evaluator_factory(lambda c: c["a"] / 10, noise=0.0)
+        result = SuccessiveHalving(tiny_space, evaluator, random_state=0).fit()
+        path = tmp_path / "sha.json"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.best_config == result.best_config
+        assert restored.n_trials == result.n_trials
+        assert restored.total_evaluation_cost == pytest.approx(result.total_evaluation_cost)
