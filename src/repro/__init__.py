@@ -8,6 +8,9 @@ The package layers:
   replacing scikit-learn for this reproduction;
 - :mod:`repro.space`, :mod:`repro.bandit` — search spaces and the vanilla
   bandit-based HPO methods (random, SHA, HyperBand, BOHB, ASHA);
+- :mod:`repro.engine` — the trial-execution engine: deterministic
+  per-trial seeding, memoization, retry/degrade fault tolerance and
+  pluggable serial/process-pool executors;
 - :mod:`repro.core` — the paper's contribution: instance grouping,
   general+special fold construction and the variance/size-aware metric,
   plugged into the bandit methods as SHA+/HB+/BOHB+/ASHA+;
@@ -52,6 +55,14 @@ from .core import (
     ucb_score,
     vanilla_evaluator,
 )
+from .engine import (
+    EvaluationCache,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialEngine,
+    TrialOutcome,
+    TrialRequest,
+)
 from .results import load_result, result_from_dict, result_to_dict, save_result
 from .space import Categorical, Float, Integer, SearchSpace
 
@@ -77,11 +88,17 @@ __all__ = [
     "OptimizationOutcome",
     "RandomSearch",
     "ScoreParams",
+    "EvaluationCache",
+    "ParallelExecutor",
     "SearchResult",
     "SearchSpace",
+    "SerialExecutor",
     "SubsetCVEvaluator",
     "SuccessiveHalving",
     "Trial",
+    "TrialEngine",
+    "TrialOutcome",
+    "TrialRequest",
     "beta_weight",
     "generate_groups",
     "grouped_evaluator",

@@ -1,12 +1,21 @@
 """ASHA — Asynchronous Successive Halving (Li et al., 2018).
 
-The reproduction runs on a single process, so asynchrony is *simulated*:
-``n_workers`` virtual workers pull jobs from the ASHA scheduler, each job's
-duration is the measured wall-clock cost of its evaluation, and worker
-clocks advance through an event queue.  The scheduling decisions (greedy
-promotion of any configuration in the top ``1/eta`` of its rung, bottom-rung
-backfill otherwise) are exactly ASHA's, so promotion behaviour and the
-simulated makespan are faithful.
+Two execution modes share one scheduler (greedy promotion of any
+configuration in the top ``1/eta`` of its rung, bottom-rung backfill
+otherwise):
+
+- **Simulated** (default, no engine): the historical single-process mode.
+  ``n_workers`` virtual workers pull jobs, each job's duration is the
+  measured wall-clock cost of its evaluation, and worker clocks advance
+  through an event queue — promotion behaviour and the simulated makespan
+  are faithful even though evaluations actually run serially.
+- **Engine-backed** (``engine=`` given): jobs are submitted to a
+  :class:`~repro.engine.TrialEngine`, keeping up to ``n_workers`` trials
+  in flight.  With a :class:`~repro.engine.ParallelExecutor` the
+  asynchrony is *real*: scheduler decisions react to genuine completion
+  order, ``measured_makespan_`` reports actual wall-clock time, and
+  ``simulated_makespan_`` falls back to a greedy list-scheduling estimate
+  over the measured costs.
 """
 
 from __future__ import annotations
@@ -31,23 +40,78 @@ class _Rung:
     promoted: Set[int] = field(default_factory=set)
 
 
+class _Scheduler:
+    """ASHA's promote-else-grow job source, shared by both execution modes."""
+
+    def __init__(self, pool: List[Dict[str, Any]], eta: float, max_rung: int) -> None:
+        self.pool = pool
+        self.eta = eta
+        self.rungs: Dict[int, _Rung] = {k: _Rung() for k in range(max_rung + 1)}
+        self.configs_by_id: Dict[int, Dict[str, Any]] = {}
+        self._key_to_id: Dict[Tuple, int] = {}
+        self._next_new = 0
+        self._max_rung = max_rung
+
+    def _register(self, config: Dict[str, Any]) -> int:
+        key = config_key(config)
+        if key not in self._key_to_id:
+            new_id = len(self._key_to_id)
+            self._key_to_id[key] = new_id
+            self.configs_by_id[new_id] = config
+        return self._key_to_id[key]
+
+    def next_job(self) -> Optional[Tuple[int, int]]:
+        """(config_id, rung): promote from the highest promotable rung, else grow."""
+        for rung_index in range(self._max_rung - 1, -1, -1):
+            rung = self.rungs[rung_index]
+            if not rung.completed:
+                continue
+            n_promotable = int(len(rung.completed) / self.eta)
+            ranked = sorted(rung.completed, key=lambda item: -item[0])
+            for _, config_id in ranked[:n_promotable]:
+                if config_id not in rung.promoted:
+                    rung.promoted.add(config_id)
+                    return config_id, rung_index + 1
+        if self._next_new < len(self.pool):
+            config_id = self._register(self.pool[self._next_new])
+            self._next_new += 1
+            return config_id, 0
+        return None
+
+    def complete(self, config_id: int, rung_index: int, score: float) -> None:
+        """Make a finished evaluation visible to future scheduling decisions."""
+        self.rungs[rung_index].completed.append((score, config_id))
+
+
 class ASHA(BaseSearcher):
-    """Simulated-asynchronous successive halving.
+    """Asynchronous successive halving (simulated or engine-backed).
 
     Parameters
     ----------
-    space, evaluator, random_state:
-        See :class:`~repro.bandit.base.BaseSearcher`.
+    space, evaluator, random_state, engine:
+        See :class:`~repro.bandit.base.BaseSearcher`.  Without an engine
+        the asynchrony is simulated; with one, up to ``n_workers`` trials
+        are kept in flight on the engine's executor.
     eta:
         Promotion rate: a configuration is promoted when it ranks in the
         top ``1/eta`` of completions at its rung.
     min_budget_fraction:
         Rung-0 instance fraction; rung ``k`` uses ``min * eta**k``.
     n_workers:
-        Number of simulated parallel workers.
+        Number of (virtual or in-flight) parallel workers.
     max_started:
         Cap on distinct configurations started at rung 0 when :meth:`fit`
         receives no explicit candidates.
+
+    Attributes
+    ----------
+    simulated_makespan_:
+        Event-queue makespan in simulated mode; greedy list-scheduling
+        estimate over measured costs in engine mode.
+    measured_makespan_:
+        Actual wall-clock seconds of the dispatch loop (equals the serial
+        evaluation time in simulated mode; genuinely smaller when an
+        engine with a parallel executor overlaps trials).
     """
 
     method_name = "ASHA"
@@ -61,8 +125,9 @@ class ASHA(BaseSearcher):
         min_budget_fraction: float = 1.0 / 8.0,
         n_workers: int = 4,
         max_started: int = 32,
+        engine=None,
     ) -> None:
-        super().__init__(space, evaluator, random_state)
+        super().__init__(space, evaluator, random_state, engine=engine)
         if eta <= 1.0:
             raise ValueError(f"eta must be > 1, got {eta}")
         if not 0.0 < min_budget_fraction <= 1.0:
@@ -74,6 +139,7 @@ class ASHA(BaseSearcher):
         self.n_workers = n_workers
         self.max_started = max_started
         self.simulated_makespan_: float = 0.0
+        self.measured_makespan_: float = 0.0
 
     @property
     def max_rung(self) -> int:
@@ -83,66 +149,56 @@ class ASHA(BaseSearcher):
     def _budget_at(self, rung: int) -> float:
         return min(1.0, self.min_budget_fraction * self.eta**rung)
 
+    def _resolve_pool(
+        self,
+        configurations: Optional[Sequence[Dict[str, Any]]],
+        n_configurations: Optional[int],
+    ) -> List[Dict[str, Any]]:
+        if configurations is not None or n_configurations is not None:
+            return list(self._initial_configurations(configurations, n_configurations))
+        return list(self.space.sample_batch(self.max_started, rng=self._rng))
+
     def fit(
         self,
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,
     ) -> SearchResult:
-        """Run the simulated-asynchronous search."""
+        """Run the asynchronous search (simulated or engine-backed)."""
         self._reset()
         start = time.perf_counter()
-        if configurations is not None or n_configurations is not None:
-            pool = self._initial_configurations(configurations, n_configurations)
+        pool = self._resolve_pool(configurations, n_configurations)
+        scheduler = _Scheduler(pool, self.eta, self.max_rung)
+        if self.engine is None:
+            best = self._run_simulated(scheduler)
         else:
-            pool = self.space.sample_batch(self.max_started, rng=self._rng)
-        pool = list(pool)
-        next_new = 0
+            best = self._run_engine(scheduler)
+        self.measured_makespan_ = time.perf_counter() - start
+        assert best is not None  # the pool is never empty
+        return SearchResult(
+            best_config=best[2],
+            best_score=best[3],
+            trials=list(self._trials),
+            wall_time=time.perf_counter() - start,
+            method=self.method_name,
+        )
 
-        rungs: Dict[int, _Rung] = {k: _Rung() for k in range(self.max_rung + 1)}
-        configs_by_id: Dict[int, Dict[str, Any]] = {}
-        key_to_id: Dict[Tuple, int] = {}
-        best: Optional[Tuple[float, int, Dict[str, Any], float]] = None  # (budget, rung, config, score)
+    # -- simulated mode (historical behaviour) ---------------------------------
 
-        def register(config: Dict[str, Any]) -> int:
-            key = config_key(config)
-            if key not in key_to_id:
-                new_id = len(key_to_id)
-                key_to_id[key] = new_id
-                configs_by_id[new_id] = config
-            return key_to_id[key]
-
-        def next_job() -> Optional[Tuple[int, int]]:
-            """(config_id, rung) per ASHA's promote-else-grow rule."""
-            nonlocal next_new
-            for rung_index in range(self.max_rung - 1, -1, -1):
-                rung = rungs[rung_index]
-                if not rung.completed:
-                    continue
-                n_promotable = int(len(rung.completed) / self.eta)
-                ranked = sorted(rung.completed, key=lambda item: -item[0])
-                for score, config_id in ranked[:n_promotable]:
-                    if config_id not in rung.promoted:
-                        rung.promoted.add(config_id)
-                        return config_id, rung_index + 1
-            if next_new < len(pool):
-                config_id = register(pool[next_new])
-                next_new += 1
-                return config_id, 0
-            return None
-
-        # Event-driven simulation.  Evaluations run eagerly (the real cost is
-        # measured at dispatch) but their scores only become visible to the
-        # scheduler at the job's simulated completion time, which is what
-        # makes the promotion decisions genuinely asynchronous.
+    def _run_simulated(self, scheduler: _Scheduler):
+        """Event-driven simulation: evaluations run eagerly (the real cost is
+        measured at dispatch) but their scores only become visible to the
+        scheduler at the job's simulated completion time, which is what
+        makes the promotion decisions genuinely asynchronous."""
+        best = None  # (budget, rung, config, score)
         pending: List[Tuple[float, int, int, int, float]] = []  # (finish, seq, config_id, rung, score)
         free_workers = self.n_workers
         clock = 0.0
         sequence = 0
         while True:
-            job = next_job() if free_workers > 0 else None
+            job = scheduler.next_job() if free_workers > 0 else None
             if job is not None:
                 config_id, rung_index = job
-                config = configs_by_id[config_id]
+                config = scheduler.configs_by_id[config_id]
                 trial = self._evaluate(config, self._budget_at(rung_index), iteration=rung_index)
                 duration = max(trial.result.cost, 1e-9)
                 heapq.heappush(
@@ -158,15 +214,62 @@ class ASHA(BaseSearcher):
                 break  # nothing running, nothing schedulable: done
             finish, _, config_id, rung_index, score = heapq.heappop(pending)
             clock = max(clock, finish)
-            rungs[rung_index].completed.append((score, config_id))
+            scheduler.complete(config_id, rung_index, score)
             free_workers += 1
 
         self.simulated_makespan_ = clock
-        assert best is not None  # the pool is never empty
-        return SearchResult(
-            best_config=best[2],
-            best_score=best[3],
-            trials=list(self._trials),
-            wall_time=time.perf_counter() - start,
-            method=self.method_name,
-        )
+        return best
+
+    # -- engine mode (real dispatch) -------------------------------------------
+
+    def _run_engine(self, scheduler: _Scheduler):
+        """Keep up to ``n_workers`` trials in flight on the engine.
+
+        Scheduling decisions consume *actual* completion order, so with a
+        parallel executor this is true ASHA rather than a simulation.  The
+        per-trial derived seeds still make each individual evaluation
+        reproducible; only the promotion schedule may differ between
+        executors, exactly as in a real asynchronous deployment.
+        """
+        from ..engine.protocol import TrialRequest  # local import avoids a cycle
+
+        best = None
+        in_flight: Dict[int, Tuple[int, int]] = {}  # trial_id -> (config_id, rung)
+        durations: List[float] = []
+        while True:
+            while len(in_flight) < self.n_workers:
+                job = scheduler.next_job()
+                if job is None:
+                    break
+                config_id, rung_index = job
+                request = self.engine.submit(
+                    TrialRequest(
+                        config=scheduler.configs_by_id[config_id],
+                        budget_fraction=self._budget_at(rung_index),
+                        iteration=rung_index,
+                    )
+                )
+                in_flight[request.trial_id] = (config_id, rung_index)
+            if not in_flight:
+                break
+            outcome = self.engine.wait_one()
+            config_id, rung_index = in_flight.pop(outcome.request.trial_id)
+            trial = self._record_outcome(outcome)
+            scheduler.complete(config_id, rung_index, trial.result.score)
+            durations.append(max(trial.result.cost, 1e-9))
+            candidate = (self._budget_at(rung_index), rung_index, trial.config, trial.result.score)
+            if best is None or (candidate[0], candidate[3]) > (best[0], best[3]):
+                best = candidate
+
+        self.simulated_makespan_ = self._list_schedule_makespan(durations)
+        return best
+
+    def _list_schedule_makespan(self, durations: List[float]) -> float:
+        """Greedy ``n_workers``-machine makespan estimate over observed costs."""
+        if not durations:
+            return 0.0
+        worker_free = [0.0] * self.n_workers
+        heapq.heapify(worker_free)
+        for duration in durations:
+            heapq.heappush(worker_free, heapq.heappop(worker_free) + duration)
+        return max(worker_free)

@@ -154,6 +154,14 @@ class BaseSearcher:
         plug-in point.
     random_state:
         Seed for configuration sampling and subset draws.
+    engine:
+        Optional :class:`~repro.engine.TrialEngine`.  Without one
+        (default), evaluations run inline against the searcher's shared
+        random stream — the historical behaviour, bit-for-bit.  With one,
+        evaluations are routed through the engine: each trial gets a seed
+        derived from ``(random_state, config, budget)``, enabling
+        memoization, retries and parallel executors while keeping results
+        independent of worker count and completion order.
     """
 
     method_name = "base"
@@ -163,16 +171,20 @@ class BaseSearcher:
         space: SearchSpace,
         evaluator: ConfigurationEvaluator,
         random_state: Optional[int] = None,
+        engine=None,
     ) -> None:
         self.space = space
         self.evaluator = evaluator
         self.random_state = random_state
+        self.engine = engine
         self._rng = np.random.default_rng(random_state)
         self._trials: List[Trial] = []
 
     def _reset(self) -> None:
         self._rng = np.random.default_rng(self.random_state)
         self._trials = []
+        if self.engine is not None:
+            self.engine.bind(self.evaluator, root_seed=self.random_state)
 
     def _evaluate(
         self,
@@ -181,7 +193,9 @@ class BaseSearcher:
         iteration: int = 0,
         bracket: int = 0,
     ) -> Trial:
-        """Run the evaluator and record the trial."""
+        """Run the evaluator (directly or via the engine) and record the trial."""
+        if self.engine is not None:
+            return self._evaluate_batch([config], budget_fraction, iteration, bracket)[0]
         result = self.evaluator.evaluate(config, budget_fraction, self._rng)
         trial = Trial(
             config=config,
@@ -189,6 +203,53 @@ class BaseSearcher:
             result=result,
             iteration=iteration,
             bracket=bracket,
+        )
+        self._trials.append(trial)
+        return trial
+
+    def _evaluate_batch(
+        self,
+        configs: Sequence[Dict[str, Any]],
+        budget_fraction: float,
+        iteration: int = 0,
+        bracket: int = 0,
+    ) -> List[Trial]:
+        """Evaluate a rung's worth of configurations, engine-batched if possible.
+
+        Without an engine this degrades to the serial loop (identical to
+        calling :meth:`_evaluate` per configuration).  With one, the whole
+        batch is submitted at once so a parallel executor can overlap the
+        evaluations; outcomes come back in request order, so recorded
+        trials keep the exact ordering of the serial path.
+        """
+        if self.engine is None:
+            return [
+                self._evaluate(config, budget_fraction, iteration, bracket)
+                for config in configs
+            ]
+        from ..engine.protocol import TrialRequest  # local import avoids a cycle
+
+        requests = [
+            TrialRequest(
+                config=config,
+                budget_fraction=budget_fraction,
+                iteration=iteration,
+                bracket=bracket,
+            )
+            for config in configs
+        ]
+        outcomes = self.engine.run_batch(requests)
+        return [self._record_outcome(outcome) for outcome in outcomes]
+
+    def _record_outcome(self, outcome) -> Trial:
+        """Convert an engine :class:`~repro.engine.TrialOutcome` into a Trial."""
+        request = outcome.request
+        trial = Trial(
+            config=request.config,
+            budget_fraction=request.budget_fraction,
+            result=outcome.result,
+            iteration=request.iteration,
+            bracket=request.bracket,
         )
         self._trials.append(trial)
         return trial

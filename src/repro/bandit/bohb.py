@@ -91,6 +91,7 @@ class BOHB(HyperBand):
         top_n_percent: float = 15.0,
         n_candidates: int = 24,
         min_points_in_model: Optional[int] = None,
+        engine=None,
     ) -> None:
         super().__init__(
             space,
@@ -98,6 +99,7 @@ class BOHB(HyperBand):
             random_state=random_state,
             eta=eta,
             min_budget_fraction=min_budget_fraction,
+            engine=engine,
         )
         if not 0.0 <= random_fraction <= 1.0:
             raise ValueError(f"random_fraction must be in [0, 1], got {random_fraction}")

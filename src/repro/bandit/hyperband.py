@@ -26,8 +26,10 @@ class HyperBand(BaseSearcher):
 
     Parameters
     ----------
-    space, evaluator, random_state:
-        See :class:`~repro.bandit.base.BaseSearcher`.
+    space, evaluator, random_state, engine:
+        See :class:`~repro.bandit.base.BaseSearcher`; every rung of every
+        bracket is submitted to the engine as one batch, and cycled pool
+        configurations hit the engine's evaluation cache across brackets.
     eta:
         Halving rate inside each bracket (HpBandSter's default of 3).
     min_budget_fraction:
@@ -44,8 +46,9 @@ class HyperBand(BaseSearcher):
         random_state=None,
         eta: float = 3.0,
         min_budget_fraction: float = 1.0 / 27.0,
+        engine=None,
     ) -> None:
-        super().__init__(space, evaluator, random_state)
+        super().__init__(space, evaluator, random_state, engine=engine)
         if eta <= 1.0:
             raise ValueError(f"eta must be > 1, got {eta}")
         if not 0.0 < min_budget_fraction <= 1.0:
@@ -115,10 +118,9 @@ class HyperBand(BaseSearcher):
             survivors = candidates
             rung_budget = budget_fraction
             for rung in range(s + 1):
-                trials = [
-                    self._evaluate(config, min(rung_budget, 1.0), iteration=rung, bracket=s)
-                    for config in survivors
-                ]
+                trials = self._evaluate_batch(
+                    survivors, min(rung_budget, 1.0), iteration=rung, bracket=s
+                )
                 for trial in trials:
                     self._observe(trial)
                     if best_trial is None or self._is_better(trial, best_trial):

@@ -23,8 +23,10 @@ class SuccessiveHalving(BaseSearcher):
 
     Parameters
     ----------
-    space, evaluator, random_state:
-        See :class:`~repro.bandit.base.BaseSearcher`.
+    space, evaluator, random_state, engine:
+        See :class:`~repro.bandit.base.BaseSearcher`; each halving
+        iteration is submitted to the engine as one batch, so a parallel
+        executor evaluates a whole rung concurrently.
     eta:
         Elimination rate: the top ``1/eta`` of configurations survive each
         iteration.  The paper halves, so the default is 2.
@@ -51,8 +53,9 @@ class SuccessiveHalving(BaseSearcher):
         random_state=None,
         eta: float = 2.0,
         min_budget_fraction: float = 0.01,
+        engine=None,
     ) -> None:
-        super().__init__(space, evaluator, random_state)
+        super().__init__(space, evaluator, random_state, engine=engine)
         if eta <= 1.0:
             raise ValueError(f"eta must be > 1, got {eta}")
         if not 0.0 < min_budget_fraction <= 1.0:
@@ -74,10 +77,7 @@ class SuccessiveHalving(BaseSearcher):
         while len(survivors) > 1:
             budget_fraction = max(1.0 / len(survivors), self.min_budget_fraction)
             budget_fraction = min(budget_fraction, 1.0)
-            last_trials = [
-                self._evaluate(config, budget_fraction, iteration=iteration)
-                for config in survivors
-            ]
+            last_trials = self._evaluate_batch(survivors, budget_fraction, iteration=iteration)
             n_keep = max(1, math.ceil(len(survivors) / self.eta))
             keep = top_k_indices([t.result.score for t in last_trials], n_keep)
             survivors = [last_trials[i].config for i in keep]

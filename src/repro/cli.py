@@ -8,7 +8,10 @@ Subcommands::
 
 ``tune`` runs any registered method (``sha+``, ``bohb``, ...) on a registry
 dataset, prints the chosen configuration with its train/test scores and can
-persist the full search record as JSON.
+persist the full search record as JSON.  The execution-engine flags
+``--n-workers``, ``--cache/--no-cache`` and ``--max-retries`` route
+evaluations through :class:`repro.engine.TrialEngine` (a process pool when
+``--n-workers > 1``), and the run summary then reports the cache hit rate.
 """
 
 from __future__ import annotations
@@ -45,6 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.add_argument("--seed", type=int, default=0)
     tune_parser.add_argument("--max-iter", type=int, default=25)
     tune_parser.add_argument("--save", default=None, help="write the search record as JSON")
+    tune_parser.add_argument("--n-workers", type=_positive_int, default=1,
+                             help="evaluation worker processes (>1 enables the parallel executor)")
+    tune_parser.add_argument("--cache", action=argparse.BooleanOptionalAction, default=None,
+                             help="memoize repeated (config, budget) evaluations "
+                                  "(default: on whenever the engine is active)")
+    tune_parser.add_argument("--max-retries", type=int, default=None,
+                             help="retries per failed trial before degrading it (engine default: 1)")
 
     report_parser = subparsers.add_parser("report", help="regenerate every table & figure")
     report_parser.add_argument("--scale", type=float, default=0.3)
@@ -55,9 +65,36 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(value: str) -> int:
+    """Argparse type for flags that must be a strictly positive integer."""
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
 def _command_datasets(args: argparse.Namespace) -> int:
     print(dataset_info_table(scale=args.scale))
     return 0
+
+
+def _build_engine(args: argparse.Namespace):
+    """Engine from the CLI flags, or ``None`` when none were requested.
+
+    The engine only activates when a flag deviates from the no-engine
+    default, so a plain ``repro tune`` keeps the historical inline
+    (shared-random-stream) execution bit for bit.
+    """
+    if args.n_workers <= 1 and args.cache is None and args.max_retries is None:
+        return None
+    from .engine import ParallelExecutor, SerialExecutor, TrialEngine
+
+    executor = ParallelExecutor(n_workers=args.n_workers) if args.n_workers > 1 else SerialExecutor()
+    return TrialEngine(
+        executor=executor,
+        cache=True if args.cache is None else args.cache,
+        max_retries=1 if args.max_retries is None else args.max_retries,
+    )
 
 
 def _command_tune(args: argparse.Namespace) -> int:
@@ -65,6 +102,11 @@ def _command_tune(args: argparse.Namespace) -> int:
     task = "regression" if dataset.task == "regression" else "classification"
     space = paper_search_space(args.hps)
     factory = MLPModelFactory(task=task, max_iter=args.max_iter)
+    engine = _build_engine(args)
+    if engine is not None:
+        print(f"engine: {type(engine.executor).__name__} x{args.n_workers} workers, "
+              f"cache {'on' if engine.cache is not None else 'off'}, "
+              f"max_retries {engine.max_retries}")
     print(f"tuning {dataset.name} ({dataset.n_train} rows) with {args.method} "
           f"over {space.n_configurations} configurations ...")
     outcome = optimize(
@@ -78,12 +120,20 @@ def _command_tune(args: argparse.Namespace) -> int:
         random_state=args.seed,
         configurations=space.grid() if space.is_finite and not args.method.startswith(("bohb", "dehb", "tpe", "smac")) else None,
         n_configurations=None,
+        engine=engine,
     )
     test_score = make_scorer(dataset.metric)(outcome.model, dataset.X_test, dataset.y_test)
     print(f"best configuration : {outcome.best_config}")
     print(f"train {dataset.metric}      : {outcome.train_score:.4f}")
     print(f"test {dataset.metric}       : {test_score:.4f}")
     print(f"search wall time   : {outcome.result.wall_time:.1f}s over {outcome.result.n_trials} trials")
+    if engine is not None:
+        stats = engine.stats
+        print(f"cache hit rate     : {100.0 * stats.hit_rate:.1f}% "
+              f"({stats.cache_hits}/{stats.cache_hits + stats.cache_misses} lookups, "
+              f"{stats.executed} evaluations run, {stats.retries} retries, "
+              f"{stats.failures} degraded)")
+        engine.shutdown()
     if args.save:
         save_result(outcome.result, args.save)
         print(f"search record saved to {args.save}")

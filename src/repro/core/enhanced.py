@@ -67,6 +67,7 @@ def make_searcher(
     random_state: Optional[int] = None,
     evaluator_kwargs: Optional[Dict[str, Any]] = None,
     searcher_kwargs: Optional[Dict[str, Any]] = None,
+    engine=None,
 ) -> BaseSearcher:
     """Construct a searcher by paper name (``"sha"``, ``"sha+"``, ...).
 
@@ -88,6 +89,11 @@ def make_searcher(
         Seed shared by the evaluator construction and the searcher.
     evaluator_kwargs, searcher_kwargs:
         Extra keyword arguments for the evaluator factory / searcher class.
+    engine:
+        Optional :class:`~repro.engine.TrialEngine` routing every
+        evaluation through a pluggable executor with memoization and
+        retries; works with any method since all searchers evaluate
+        through the same seam.
     """
     key = method.lower()
     if key not in METHODS:
@@ -103,6 +109,8 @@ def make_searcher(
     else:
         evaluator = vanilla_evaluator(X, y, model_factory, metric=metric, task=task, **evaluator_kwargs)
     searcher = searcher_cls(space, evaluator, random_state=random_state, **(searcher_kwargs or {}))
+    if engine is not None:
+        searcher.engine = engine
     searcher.method_name = _display_name(key)
     return searcher
 
@@ -158,8 +166,13 @@ def optimize(
     refit: bool = True,
     evaluator_kwargs: Optional[Dict[str, Any]] = None,
     searcher_kwargs: Optional[Dict[str, Any]] = None,
+    engine=None,
 ) -> OptimizationOutcome:
     """Run hyperparameter optimization end to end.
+
+    Pass ``engine=TrialEngine(executor=ParallelExecutor(4))`` to evaluate
+    configurations on a process pool with memoization and fault tolerance;
+    the fixed-seed search result is identical to the serial one.
 
     Examples
     --------
@@ -184,6 +197,7 @@ def optimize(
         random_state=random_state,
         evaluator_kwargs=evaluator_kwargs,
         searcher_kwargs=searcher_kwargs,
+        engine=engine,
     )
     result = searcher.fit(configurations=configurations, n_configurations=n_configurations)
     model = None

@@ -133,6 +133,11 @@ class SubsetCVEvaluator:
         reproduces the vanilla mean-only metric.
     min_subset:
         Floor on the subset size so tiny budget fractions remain splittable.
+    clock:
+        Zero-argument callable timing each evaluation (default
+        :func:`time.perf_counter`).  Tests inject a fake clock to make
+        :attr:`EvaluationResult.cost` deterministic instead of sleeping;
+        a custom clock must be picklable to cross process boundaries.
     """
 
     def __init__(
@@ -151,6 +156,7 @@ class SubsetCVEvaluator:
         special_majority: float = 0.8,
         score_params: Optional[ScoreParams] = None,
         min_subset: int = 30,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         for axis, value in (("sampling", sampling), ("folding", folding)):
             if value not in ("random", "stratified", "grouped"):
@@ -174,6 +180,25 @@ class SubsetCVEvaluator:
         self.special_majority = special_majority
         self.score_params = score_params if score_params is not None else ScoreParams(use_variance=False)
         self.min_subset = min_subset
+        self.clock = clock if clock is not None else time.perf_counter
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self):
+        """Drop the (possibly lambda-built) scorer so the evaluator pickles.
+
+        :class:`~repro.engine.ParallelExecutor` ships the evaluator to
+        worker processes once via the pool initializer; the scorer is
+        rebuilt from ``metric`` on the other side.
+        """
+        state = dict(self.__dict__)
+        state.pop("scorer", None)
+        return state
+
+    def __setstate__(self, state):
+        """Restore attributes and rebuild the scorer from the metric name."""
+        self.__dict__.update(state)
+        self.scorer = make_scorer(self.metric)
 
     # -- protocol ------------------------------------------------------------
 
@@ -186,7 +211,7 @@ class SubsetCVEvaluator:
         """Score ``config`` on a ``budget_fraction`` subset of the data."""
         if not 0.0 < budget_fraction <= 1.0:
             raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
-        start = time.perf_counter()
+        start = self.clock()
         n_total = len(self.y)
         k_total = self._n_folds()
         floor = max(self.min_subset, 2 * k_total)
@@ -208,7 +233,7 @@ class SubsetCVEvaluator:
             gamma=gamma,
             fold_scores=[float(s) for s in fold_scores],
             n_instances=int(len(subset)),
-            cost=time.perf_counter() - start,
+            cost=self.clock() - start,
         )
 
     # -- internals -------------------------------------------------------------
@@ -281,6 +306,7 @@ def vanilla_evaluator(
     task: str = "classification",
     n_splits: int = 5,
     min_subset: int = 30,
+    clock: Optional[Callable[[], float]] = None,
 ) -> SubsetCVEvaluator:
     """The baseline evaluator: stratified subsets, stratified k-fold, mean."""
     return SubsetCVEvaluator(
@@ -294,6 +320,7 @@ def vanilla_evaluator(
         n_splits=n_splits,
         score_params=ScoreParams(use_variance=False),
         min_subset=min_subset,
+        clock=clock,
     )
 
 
@@ -313,6 +340,7 @@ def grouped_evaluator(
     min_subset: int = 30,
     random_state: Optional[int] = None,
     grouping: Optional[InstanceGrouping] = None,
+    clock: Optional[Callable[[], float]] = None,
 ) -> SubsetCVEvaluator:
     """The paper's enhanced evaluator (grouped sampling/folds, Eq. 3 score).
 
@@ -342,4 +370,5 @@ def grouped_evaluator(
         special_majority=special_majority,
         score_params=ScoreParams(alpha=alpha, beta_max=beta_max),
         min_subset=min_subset,
+        clock=clock,
     )

@@ -1,0 +1,40 @@
+"""Execution engine: parallel, memoized, fault-tolerant trial dispatch.
+
+This package decouples *what a searcher wants evaluated* from *how the
+evaluations run*.  Searchers describe work as
+:class:`~repro.engine.protocol.TrialRequest` objects; a
+:class:`~repro.engine.core.TrialEngine` derives a deterministic per-trial
+seed for each, memoizes repeated ``(config, budget)`` pairs, retries
+worker failures, and dispatches the rest through a pluggable executor —
+:class:`~repro.engine.executors.SerialExecutor` in-process, or
+:class:`~repro.engine.executors.ParallelExecutor` across a process pool.
+
+Because seeds are derived rather than drawn from a shared stream, a
+fixed-seed search returns bitwise-identical trials, scores and winner
+under any executor and any worker count::
+
+    from repro.engine import TrialEngine, ParallelExecutor
+
+    engine = TrialEngine(executor=ParallelExecutor(n_workers=4))
+    searcher = HyperBand(space, evaluator, random_state=0, engine=engine)
+    result = searcher.fit(configurations=pool)   # == serial run, faster
+    print(engine.stats.hit_rate)                 # memoization at work
+"""
+
+from .cache import EvaluationCache
+from .core import FAILURE_SCORE, EngineStats, TrialEngine
+from .executors import ParallelExecutor, SerialExecutor, TrialExecutor
+from .protocol import TrialOutcome, TrialRequest, derive_seed
+
+__all__ = [
+    "EvaluationCache",
+    "EngineStats",
+    "FAILURE_SCORE",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "TrialEngine",
+    "TrialExecutor",
+    "TrialOutcome",
+    "TrialRequest",
+    "derive_seed",
+]

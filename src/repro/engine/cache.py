@@ -1,0 +1,94 @@
+"""Memoization of evaluation results across rungs, brackets and searches.
+
+HyperBand-family searchers re-evaluate the same configuration at the same
+budget surprisingly often: a finite candidate pool is cycled across
+brackets, duplicate survivors reach the next rung twice, and repeated
+``fit()`` calls re-run whole schedules.  Because the engine derives every
+trial's seed from ``(config, budget, attempt)`` — see
+:func:`~repro.engine.protocol.derive_seed` — a repeated pair would
+recompute *exactly* the same result, so serving it from memory is
+behaviour-preserving, not an approximation.
+
+:class:`EvaluationCache` is a small LRU keyed by
+``(config_key, budget_fraction, seed)`` with hit/miss counters that the
+CLI and the benchmark report as a hit rate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..bandit.base import EvaluationResult
+
+__all__ = ["EvaluationCache"]
+
+
+def _normalise_budget(budget_fraction: float) -> float:
+    """Round the budget the same way seed derivation does."""
+    return round(float(budget_fraction), 12)
+
+
+class EvaluationCache:
+    """LRU map ``(config_key, budget_fraction, seed) -> EvaluationResult``.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional capacity; the least-recently-used entry is evicted once
+        the cache grows past it.  ``None`` (default) means unbounded,
+        which is appropriate for single-search lifetimes where the number
+        of distinct (config, budget) pairs is modest.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, EvaluationResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        """Number of stored results."""
+        return len(self._entries)
+
+    @staticmethod
+    def make_key(config_key: Tuple, budget_fraction: float, seed: int) -> Tuple:
+        """The exact lookup key used by :meth:`get` and :meth:`put`."""
+        return (config_key, _normalise_budget(budget_fraction), int(seed))
+
+    def get(
+        self, config_key: Tuple, budget_fraction: float, seed: int
+    ) -> Optional[EvaluationResult]:
+        """Return the memoized result or ``None``, updating hit/miss counts."""
+        key = self.make_key(config_key, budget_fraction, seed)
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(
+        self, config_key: Tuple, budget_fraction: float, seed: int, result: EvaluationResult
+    ) -> None:
+        """Store ``result``, evicting the LRU entry when over capacity."""
+        key = self.make_key(config_key, budget_fraction, seed)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from memory (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,336 @@
+"""The trial engine: batching, memoization, retries and fault degradation.
+
+:class:`TrialEngine` sits between a searcher ("what to evaluate") and a
+:class:`~repro.engine.executors.TrialExecutor` ("how it runs").  It
+
+1. assigns every :class:`~repro.engine.protocol.TrialRequest` a stable
+   ``trial_id`` and a deterministic per-trial seed
+   (:func:`~repro.engine.protocol.derive_seed`), making results
+   independent of worker count and completion order;
+2. memoizes results in an :class:`~repro.engine.cache.EvaluationCache`
+   and deduplicates identical requests that are in flight simultaneously
+   (HyperBand rungs routinely contain duplicate survivors);
+3. retries failed trials up to ``max_retries`` times, each retry under a
+   freshly derived seed, then *degrades* a permanently-failing trial to a
+   sentinel worst-score outcome instead of aborting the search.
+
+Two consumption styles are offered: :meth:`TrialEngine.run_batch` for
+synchronous rung-at-a-time searchers (SHA / HyperBand / BOHB), returning
+outcomes in request order, and :meth:`TrialEngine.submit` /
+:meth:`TrialEngine.wait_one` for asynchronous schedulers (ASHA), where
+completions are delivered as they land.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from collections import deque
+
+from ..bandit.base import EvaluationResult
+from .cache import EvaluationCache
+from .executors import SerialExecutor, TrialExecutor
+from .protocol import TrialOutcome, TrialRequest, derive_seed
+
+__all__ = ["TrialEngine", "EngineStats", "FAILURE_SCORE"]
+
+#: Sentinel score assigned to permanently-failing trials: finite (so JSON
+#: round-trips and argsort stay well-behaved) yet below any real metric.
+FAILURE_SCORE = -1e30
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated over the engine's lifetime.
+
+    Attributes
+    ----------
+    submitted:
+        Requests handed to the engine (cache hits included).
+    executed:
+        Evaluations actually run (every retry attempt counts).
+    cache_hits, cache_misses:
+        Lookup outcomes, counting in-flight deduplication as hits.
+    retries:
+        Re-executions triggered by failures.
+    failures:
+        Trials degraded to the sentinel after exhausting retries.
+    """
+
+    submitted: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    failures: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of submissions served without a new evaluation."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (for CLI summaries and benchmark JSON)."""
+        return {
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "retries": self.retries,
+            "failures": self.failures,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _sentinel_result(budget_fraction: float, failure_score: float) -> EvaluationResult:
+    """Worst-score placeholder for a trial whose every attempt raised."""
+    return EvaluationResult(
+        mean=failure_score,
+        std=0.0,
+        score=failure_score,
+        gamma=100.0 * budget_fraction,
+        fold_scores=[],
+        n_instances=0,
+        cost=0.0,
+    )
+
+
+class TrialEngine:
+    """Caching, retrying trial dispatcher over a pluggable executor.
+
+    Parameters
+    ----------
+    executor:
+        A :class:`~repro.engine.executors.TrialExecutor`; defaults to a
+        fresh :class:`~repro.engine.executors.SerialExecutor`, which keeps
+        single-process behaviour while still enabling memoization and
+        fault tolerance.
+    cache:
+        ``True`` (default) builds an unbounded
+        :class:`~repro.engine.cache.EvaluationCache`; pass an instance to
+        share or bound one, or ``False``/``None`` to disable memoization.
+    max_retries:
+        Failed-trial re-executions before degradation (0 disables retry).
+    failure_score:
+        Score of the sentinel outcome for permanently-failing trials.
+    root_seed:
+        Root of per-trial seed derivation; usually supplied later by the
+        searcher through :meth:`bind` (its ``random_state``).
+
+    Examples
+    --------
+    >>> from repro.engine import TrialEngine, SerialExecutor
+    >>> engine = TrialEngine(executor=SerialExecutor(), max_retries=2)
+
+    Searchers accept the engine directly::
+
+        searcher = SuccessiveHalving(space, evaluator, random_state=0,
+                                     engine=engine)
+    """
+
+    def __init__(
+        self,
+        executor: Optional[TrialExecutor] = None,
+        cache: Union[EvaluationCache, bool, None] = True,
+        max_retries: int = 1,
+        failure_score: float = FAILURE_SCORE,
+        root_seed: Optional[int] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.executor = executor if executor is not None else SerialExecutor()
+        if cache is True:
+            self.cache: Optional[EvaluationCache] = EvaluationCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.max_retries = max_retries
+        self.failure_score = failure_score
+        self.root_seed = root_seed
+        self.stats = EngineStats()
+        self._evaluator = None
+        self._next_trial_id = 0
+        # Async bookkeeping: outcomes ready for pickup, in-flight requests,
+        # and followers piggy-backing on an identical in-flight request.
+        self._ready: Deque[TrialOutcome] = deque()
+        self._in_flight: Dict[int, TrialRequest] = {}
+        self._followers: Dict[Tuple, List[TrialRequest]] = {}
+        self._primary_key: Dict[int, Tuple] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def bind(self, evaluator, root_seed: Optional[int] = None) -> None:
+        """Attach the evaluator (and optionally the seed root) before use.
+
+        Searchers call this from ``fit()`` with their evaluator and
+        ``random_state``; the cache and counters intentionally survive
+        re-binding so repeated fits share memoized work when the evaluator
+        is unchanged.
+        """
+        self._evaluator = evaluator
+        if root_seed is not None:
+            self.root_seed = root_seed
+        self.executor.bind(evaluator)
+
+    @property
+    def capacity(self) -> int:
+        """Concurrency the underlying executor genuinely provides."""
+        return self.executor.capacity
+
+    def shutdown(self) -> None:
+        """Release executor resources (workers, queues)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "TrialEngine":
+        """Support ``with TrialEngine(...) as engine:``."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Shut down the executor on scope exit."""
+        self.shutdown()
+
+    # -- request preparation ---------------------------------------------------
+
+    def _prepare(self, request: TrialRequest) -> TrialRequest:
+        """Assign trial id, configuration key and derived seed."""
+        if self._evaluator is None:
+            raise RuntimeError("TrialEngine used before bind(); attach an evaluator first")
+        request.trial_id = self._next_trial_id
+        self._next_trial_id += 1
+        key = request.resolved_key()
+        if request.seed is None:
+            request.seed = derive_seed(
+                self.root_seed, key, request.budget_fraction, request.attempt
+            )
+        self.stats.submitted += 1
+        return request
+
+    def _cache_key(self, request: TrialRequest) -> Tuple:
+        return EvaluationCache.make_key(
+            request.resolved_key(), request.budget_fraction, request.seed
+        )
+
+    # -- async protocol --------------------------------------------------------
+
+    def submit(self, request: TrialRequest) -> TrialRequest:
+        """Schedule one request; its outcome arrives via :meth:`wait_one`.
+
+        Cache hits complete immediately (queued for the next
+        :meth:`wait_one`), an identical in-flight request is joined as a
+        follower rather than re-executed, and everything else goes to the
+        executor.  Returns the request with ``trial_id``/``seed`` filled
+        in so callers can correlate completions.
+        """
+        request = self._prepare(request)
+        cache_key = self._cache_key(request)
+        if self.cache is not None:
+            cached = self.cache.get(*cache_key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self._ready.append(
+                    TrialOutcome(request=request, result=cached, attempts=0, cache_hit=True)
+                )
+                return request
+            if cache_key in self._followers:
+                self.stats.cache_hits += 1
+                self._followers[cache_key].append(request)
+                return request
+            self.stats.cache_misses += 1
+            self._followers[cache_key] = []
+            self._primary_key[request.trial_id] = cache_key
+        self._in_flight[request.trial_id] = request
+        self.executor.submit(request)
+        self.stats.executed += 1
+        return request
+
+    def pending(self) -> int:
+        """Outcomes still owed to the caller (in flight, followers, ready)."""
+        followers = sum(len(f) for f in self._followers.values())
+        return len(self._in_flight) + followers + len(self._ready)
+
+    def wait_one(self) -> TrialOutcome:
+        """Block until the next outcome (cache hit, success, or degradation).
+
+        Failed executions are retried transparently — the caller only ever
+        sees terminal outcomes.
+        """
+        while True:
+            if self._ready:
+                return self._ready.popleft()
+            if not self._in_flight:
+                raise RuntimeError("wait_one called with no pending trials")
+            trial_id, ok, result, error = self.executor.wait_one()
+            request = self._in_flight.pop(trial_id)
+            if ok:
+                self._settle(request, result, failed=False, error=None)
+                continue
+            if request.attempt < self.max_retries:
+                self.stats.retries += 1
+                retry = TrialRequest(
+                    config=request.config,
+                    budget_fraction=request.budget_fraction,
+                    iteration=request.iteration,
+                    bracket=request.bracket,
+                    trial_id=request.trial_id,
+                    key=request.key,
+                    attempt=request.attempt + 1,
+                )
+                retry.seed = derive_seed(
+                    self.root_seed, retry.resolved_key(), retry.budget_fraction, retry.attempt
+                )
+                self._in_flight[retry.trial_id] = retry
+                self.executor.submit(retry)
+                self.stats.executed += 1
+                continue
+            self.stats.failures += 1
+            sentinel = _sentinel_result(request.budget_fraction, self.failure_score)
+            self._settle(request, sentinel, failed=True, error=error)
+
+    def _settle(
+        self,
+        request: TrialRequest,
+        result: EvaluationResult,
+        failed: bool,
+        error: Optional[str],
+    ) -> None:
+        """Queue the terminal outcome, release followers, update the cache."""
+        attempts = request.attempt + 1
+        self._ready.append(
+            TrialOutcome(request=request, result=result, attempts=attempts, failed=failed, error=error)
+        )
+        cache_key = self._primary_key.pop(request.trial_id, None)
+        if cache_key is None:
+            return
+        for follower in self._followers.pop(cache_key, []):
+            self._ready.append(
+                TrialOutcome(request=follower, result=result, attempts=0, cache_hit=True,
+                             failed=failed, error=error)
+            )
+        if not failed and self.cache is not None:
+            self.cache.put(*cache_key, result)
+
+    # -- batch protocol --------------------------------------------------------
+
+    def run_batch(self, requests: Sequence[TrialRequest]) -> List[TrialOutcome]:
+        """Evaluate a batch and return outcomes **in request order**.
+
+        This is the synchronous entry point used by rung-at-a-time
+        searchers: submission order fixes both trial ids and the returned
+        order, so a fixed-seed search is bitwise identical under serial
+        and parallel executors.
+        """
+        submitted = [self.submit(request) for request in requests]
+        outcomes: Dict[int, TrialOutcome] = {}
+        wanted = {request.trial_id for request in submitted}
+        spillover: List[TrialOutcome] = []
+        while len(outcomes) < len(submitted):
+            outcome = self.wait_one()
+            if outcome.request.trial_id in wanted:
+                outcomes[outcome.request.trial_id] = outcome
+            else:  # outcome of an earlier async submission; keep it claimable
+                spillover.append(outcome)
+        self._ready.extendleft(reversed(spillover))
+        return [outcomes[request.trial_id] for request in submitted]

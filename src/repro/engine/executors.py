@@ -1,0 +1,250 @@
+"""Pluggable trial executors: serial reference and process-pool parallel.
+
+Both executors implement the same tiny submit/wait protocol consumed by
+:class:`~repro.engine.core.TrialEngine`:
+
+- :meth:`TrialExecutor.submit` schedules a prepared
+  :class:`~repro.engine.protocol.TrialRequest`;
+- :meth:`TrialExecutor.wait_one` blocks for the next completion and
+  returns ``(trial_id, ok, result, error)`` — exceptions raised by the
+  evaluator are *returned*, never propagated, so the engine's retry policy
+  sees worker failures as data.
+
+:class:`SerialExecutor` runs requests inline in FIFO order and is the
+bitwise reference implementation.  :class:`ParallelExecutor` fans trials
+out to a ``concurrent.futures.ProcessPoolExecutor``; the evaluator (with
+its full ``X``/``y`` arrays) is shipped to each worker **once** through the
+pool initializer instead of being pickled into every task, so a task's
+payload is just ``(trial_id, config, budget_fraction, seed)``.  Because
+seeds are derived per trial, completion order cannot affect scores — only
+scheduling latency.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..bandit.base import EvaluationResult
+
+__all__ = ["TrialExecutor", "SerialExecutor", "ParallelExecutor"]
+
+#: Per-worker evaluator installed by the pool initializer.
+_WORKER_EVALUATOR = None
+
+
+def _worker_init(evaluator) -> None:
+    """Pool initializer: bind the evaluator once per worker process."""
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = evaluator
+
+
+def _safe_evaluate(
+    evaluator, trial_id: int, config: Dict[str, Any], budget_fraction: float, seed: int
+) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
+    """Run one evaluation under a fresh seeded generator, capturing errors."""
+    try:
+        rng = np.random.default_rng(seed)
+        result = evaluator.evaluate(config, budget_fraction, rng)
+        return trial_id, True, result, None
+    except Exception as exc:  # noqa: BLE001 — fault tolerance is the point
+        return trial_id, False, None, f"{type(exc).__name__}: {exc}"
+
+
+def _worker_run(
+    trial_id: int, config: Dict[str, Any], budget_fraction: float, seed: int
+) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
+    """Task function executed inside a pool worker."""
+    return _safe_evaluate(_WORKER_EVALUATOR, trial_id, config, budget_fraction, seed)
+
+
+class TrialExecutor:
+    """Abstract submit/wait executor bound to one evaluator.
+
+    Attributes
+    ----------
+    capacity:
+        Number of trials the executor can genuinely run concurrently
+        (1 for serial execution, the worker count for a process pool).
+    """
+
+    capacity: int = 1
+
+    def bind(self, evaluator) -> None:
+        """Attach the evaluator used for every subsequent submission."""
+        raise NotImplementedError
+
+    def submit(self, request) -> None:
+        """Schedule a prepared request (``trial_id`` and ``seed`` set)."""
+        raise NotImplementedError
+
+    def wait_one(self) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
+        """Block until one submission finishes; never raises evaluator errors."""
+        raise NotImplementedError
+
+    def pending(self) -> int:
+        """Number of submitted-but-uncollected trials."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any resources (idempotent)."""
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "TrialExecutor":
+        """Support ``with executor: ...`` for deterministic teardown."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Shut the executor down on scope exit."""
+        self.shutdown()
+
+
+class SerialExecutor(TrialExecutor):
+    """In-process FIFO executor — the default and the bitwise reference.
+
+    Submissions are queued and only executed inside :meth:`wait_one`, so
+    the submit/wait protocol behaves observably like a one-worker pool
+    with deterministic completion order.
+    """
+
+    capacity = 1
+
+    def __init__(self) -> None:
+        self._evaluator = None
+        self._queue: deque = deque()
+
+    def bind(self, evaluator) -> None:
+        """Attach the evaluator requests will run against."""
+        self._evaluator = evaluator
+
+    def submit(self, request) -> None:
+        """Queue the request for lazy FIFO execution."""
+        if self._evaluator is None:
+            raise RuntimeError("SerialExecutor.submit called before bind()")
+        self._queue.append(request)
+
+    def wait_one(self) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
+        """Execute and return the oldest queued request."""
+        if not self._queue:
+            raise RuntimeError("wait_one called with no pending trials")
+        request = self._queue.popleft()
+        return _safe_evaluate(
+            self._evaluator, request.trial_id, request.config, request.budget_fraction, request.seed
+        )
+
+    def pending(self) -> int:
+        """Number of queued, not-yet-executed requests."""
+        return len(self._queue)
+
+
+class ParallelExecutor(TrialExecutor):
+    """Process-pool executor shipping the evaluator to workers once.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker process count; defaults to ``os.cpu_count()`` (min 1).
+    start_method:
+        ``multiprocessing`` start method.  Defaults to ``"fork"`` where
+        available (Linux), which inherits the evaluator's data arrays
+        copy-on-write and makes even closure-carrying evaluators usable;
+        falls back to the platform default elsewhere, in which case the
+        evaluator must be picklable (see
+        ``SubsetCVEvaluator.__getstate__``).
+
+    Notes
+    -----
+    A crashed worker (``BrokenExecutor``) does not sink the search: every
+    in-flight trial is surfaced as a failed completion — which the engine
+    retries or degrades — and a fresh pool is spun up lazily for the next
+    submission.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None, start_method: Optional[str] = None) -> None:
+        import os
+
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers or max(1, os.cpu_count() or 1)
+        self.capacity = self.n_workers
+        if start_method is None and "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+        self._context = multiprocessing.get_context(start_method)
+        self._evaluator = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._futures: Dict[Any, int] = {}
+        self._broken: deque = deque()
+
+    def bind(self, evaluator) -> None:
+        """Attach the evaluator; a new one forces a pool restart."""
+        if evaluator is not self._evaluator:
+            self.shutdown()
+        self._evaluator = evaluator
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if self._evaluator is None:
+                raise RuntimeError("ParallelExecutor.submit called before bind()")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=self._context,
+                initializer=_worker_init,
+                initargs=(self._evaluator,),
+            )
+        return self._pool
+
+    def submit(self, request) -> None:
+        """Ship ``(trial_id, config, budget, seed)`` to the pool."""
+        pool = self._ensure_pool()
+        try:
+            future = pool.submit(
+                _worker_run, request.trial_id, request.config, request.budget_fraction, request.seed
+            )
+        except BrokenExecutor:
+            self._mark_broken()
+            self._broken.append((request.trial_id, "BrokenExecutor: pool died before submission"))
+            return
+        self._futures[future] = request.trial_id
+
+    def wait_one(self) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
+        """Return the next completion (any order), surfacing pool crashes."""
+        if self._broken:
+            trial_id, message = self._broken.popleft()
+            return trial_id, False, None, message
+        if not self._futures:
+            raise RuntimeError("wait_one called with no pending trials")
+        done, _ = wait(list(self._futures), return_when=FIRST_COMPLETED)
+        future = next(iter(done))
+        trial_id = self._futures.pop(future)
+        try:
+            return future.result()
+        except BrokenExecutor as exc:
+            self._mark_broken()
+            return trial_id, False, None, f"{type(exc).__name__}: worker process died"
+
+    def _mark_broken(self) -> None:
+        """Fail over: convert every in-flight future into an error completion."""
+        for future, trial_id in self._futures.items():
+            future.cancel()
+            self._broken.append((trial_id, "BrokenExecutor: worker process died"))
+        self._futures.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def pending(self) -> int:
+        """In-flight futures plus crash-surfaced completions awaiting pickup."""
+        return len(self._futures) + len(self._broken)
+
+    def shutdown(self) -> None:
+        """Terminate the pool and forget in-flight work."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._futures.clear()
+        self._broken.clear()

@@ -1,0 +1,145 @@
+"""Trial protocol: stable identities and deterministic per-trial seeds.
+
+The engine decouples *what to evaluate* (a :class:`TrialRequest`) from *how
+it runs* (an executor).  For the decoupling to be safe the randomness of an
+evaluation must not depend on which worker runs it or in which order trials
+complete.  :func:`derive_seed` therefore derives every trial's seed purely
+from stable facts — the search's root seed, the configuration's
+order-independent :func:`~repro.space.config_key`, the budget fraction and
+the retry attempt — via a keyed BLAKE2b digest.  Two consequences:
+
+- a batch produces bitwise-identical scores under any executor and any
+  worker count (the acceptance property of the engine);
+- a repeated ``(config, budget)`` pair derives the *same* seed, which is
+  what makes memoization in :class:`~repro.engine.cache.EvaluationCache`
+  semantically transparent rather than an approximation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..bandit.base import EvaluationResult
+from ..space import config_key
+
+__all__ = ["TrialRequest", "TrialOutcome", "derive_seed"]
+
+#: Digest size (bytes) of the derived seed; 8 bytes -> uint64 seeds.
+_SEED_BYTES = 8
+
+
+def derive_seed(
+    root_seed: Optional[int],
+    key: Tuple,
+    budget_fraction: float,
+    attempt: int = 0,
+) -> int:
+    """Deterministic uint64 seed for one (config, budget, attempt) trial.
+
+    Parameters
+    ----------
+    root_seed:
+        The search's ``random_state`` (``None`` is treated as 0 so that an
+        unseeded search is still internally self-consistent).
+    key:
+        Stable configuration identity from
+        :func:`~repro.space.config_key`; because the key is sorted by
+        parameter name, dict insertion order cannot leak into the seed.
+    budget_fraction:
+        Budget the trial runs at, rounded to 12 decimals before hashing so
+        float noise below reproducibility relevance cannot split seeds.
+    attempt:
+        Retry counter; each retry of a failed trial draws a fresh stream.
+
+    Returns
+    -------
+    int
+        A seed in ``[0, 2**64)`` suitable for ``np.random.default_rng``.
+
+    Notes
+    -----
+    The digest is computed over ``repr`` of the tuple, not ``hash``:
+    Python's string hashing is salted per process, and seeds must agree
+    across worker processes and across runs.
+    """
+    payload = repr(
+        (int(root_seed) if root_seed is not None else 0, key, round(float(budget_fraction), 12), int(attempt))
+    ).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=_SEED_BYTES).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass
+class TrialRequest:
+    """A unit of work submitted to the engine: evaluate ``config`` at a budget.
+
+    Attributes
+    ----------
+    config:
+        The hyperparameter configuration to evaluate.
+    budget_fraction:
+        Fraction of the instance budget, in ``(0, 1]``.
+    iteration, bracket:
+        Bookkeeping copied onto the resulting
+        :class:`~repro.bandit.base.Trial` (rung index / bracket id).
+    trial_id:
+        Stable submission index assigned by the engine; outcomes are
+        matched back to requests through it, so batch results can be
+        returned in request order regardless of completion order.
+    seed:
+        Derived per-trial seed (filled in by the engine via
+        :func:`derive_seed`; pre-setting it overrides derivation).
+    key:
+        Cached :func:`~repro.space.config_key` of ``config``.
+    attempt:
+        Retry attempt this request represents (0 = first try).
+    """
+
+    config: Dict[str, Any]
+    budget_fraction: float
+    iteration: int = 0
+    bracket: int = 0
+    trial_id: int = -1
+    seed: Optional[int] = None
+    key: Optional[Tuple] = None
+    attempt: int = 0
+
+    def resolved_key(self) -> Tuple:
+        """The configuration identity, computing and caching it if needed."""
+        if self.key is None:
+            self.key = config_key(self.config)
+        return self.key
+
+
+@dataclass
+class TrialOutcome:
+    """What the engine hands back for one :class:`TrialRequest`.
+
+    Attributes
+    ----------
+    request:
+        The originating request (with ``trial_id`` and ``seed`` filled in).
+    result:
+        The evaluation result; for a permanently-failed trial this is the
+        engine's sentinel worst-score result, so searchers never see an
+        exception and simply rank the trial last.
+    attempts:
+        Number of executions performed (1 = first try succeeded,
+        0 = served from cache).
+    cache_hit:
+        Whether the result came from the evaluation cache (including
+        deduplication against an identical in-flight request).
+    failed:
+        True when every attempt raised and ``result`` is the sentinel.
+    error:
+        ``"ExcType: message"`` of the last failure, if any attempt failed.
+    """
+
+    request: TrialRequest
+    result: EvaluationResult
+    attempts: int = 1
+    cache_hit: bool = False
+    failed: bool = False
+    error: Optional[str] = None

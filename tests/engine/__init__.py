@@ -1,0 +1,1 @@
+"""Tests for the trial-execution engine (repro.engine)."""

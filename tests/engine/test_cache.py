@@ -1,0 +1,64 @@
+"""EvaluationCache: lookup semantics, counters, LRU eviction."""
+
+import pytest
+
+from repro.bandit.base import EvaluationResult
+from repro.engine import EvaluationCache
+
+
+def _result(score: float) -> EvaluationResult:
+    return EvaluationResult(mean=score, std=0.0, score=score, gamma=50.0)
+
+
+KEY_A = (("a", 1),)
+KEY_B = (("a", 2),)
+
+
+class TestLookups:
+    def test_miss_then_hit(self):
+        cache = EvaluationCache()
+        assert cache.get(KEY_A, 0.5, 7) is None
+        cache.put(KEY_A, 0.5, 7, _result(0.9))
+        hit = cache.get(KEY_A, 0.5, 7)
+        assert hit is not None and hit.score == 0.9
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_seed_and_budget_are_part_of_the_key(self):
+        cache = EvaluationCache()
+        cache.put(KEY_A, 0.5, 7, _result(0.9))
+        assert cache.get(KEY_A, 0.5, 8) is None  # other seed
+        assert cache.get(KEY_A, 0.25, 7) is None  # other budget
+        assert cache.get(KEY_B, 0.5, 7) is None  # other config
+
+    def test_budget_normalisation_matches_seed_derivation(self):
+        cache = EvaluationCache()
+        cache.put(KEY_A, 0.1, 7, _result(0.9))
+        assert cache.get(KEY_A, 0.1 + 1e-15, 7) is not None
+
+    def test_hit_rate_zero_when_untouched(self):
+        assert EvaluationCache().hit_rate == 0.0
+
+    def test_clear_resets_everything(self):
+        cache = EvaluationCache()
+        cache.put(KEY_A, 0.5, 7, _result(0.9))
+        cache.get(KEY_A, 0.5, 7)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        cache = EvaluationCache(max_entries=2)
+        cache.put(KEY_A, 0.5, 1, _result(0.1))
+        cache.put(KEY_A, 0.5, 2, _result(0.2))
+        cache.get(KEY_A, 0.5, 1)  # touch 1 -> 2 becomes LRU
+        cache.put(KEY_A, 0.5, 3, _result(0.3))
+        assert cache.get(KEY_A, 0.5, 1) is not None
+        assert cache.get(KEY_A, 0.5, 2) is None  # evicted
+        assert cache.get(KEY_A, 0.5, 3) is not None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_entries=0)

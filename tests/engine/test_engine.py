@@ -1,0 +1,274 @@
+"""TrialEngine integration: determinism, memoization, fault tolerance."""
+
+import numpy as np
+import pytest
+
+from repro.bandit import ASHA, HyperBand, SuccessiveHalving
+from repro.bandit.base import EvaluationResult
+from repro.core import MLPModelFactory, vanilla_evaluator
+from repro.datasets import make_classification
+from repro.engine import (
+    FAILURE_SCORE,
+    EvaluationCache,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialEngine,
+    TrialRequest,
+)
+from repro.space import Categorical, SearchSpace
+
+
+class SeededQualityEvaluator:
+    """Picklable synthetic evaluator: score = quality + seeded noise.
+
+    Unlike the conftest SyntheticEvaluator (whose noise comes from shared
+    internal state), the noise here is drawn from the engine-provided
+    generator, so identical derived seeds must give identical scores.
+    """
+
+    def evaluate(self, config, budget_fraction, rng):
+        score = config["q"] / 10.0 + 0.01 * float(rng.standard_normal())
+        return EvaluationResult(
+            mean=score, std=0.0, score=score, gamma=100 * budget_fraction
+        )
+
+
+class FlakyEvaluator:
+    """Raises for configured configs the first ``n_failures`` times each."""
+
+    def __init__(self, n_failures):
+        self.n_failures = dict(n_failures)
+        self.calls = {}
+
+    def evaluate(self, config, budget_fraction, rng):
+        q = config["q"]
+        seen = self.calls.get(q, 0)
+        self.calls[q] = seen + 1
+        if seen < self.n_failures.get(q, 0):
+            raise RuntimeError(f"transient failure for q={q}")
+        return EvaluationResult(
+            mean=q, std=0.0, score=q, gamma=100 * budget_fraction
+        )
+
+
+class CountingClock:
+    """Deterministic clock: each call advances exactly one tick."""
+
+    def __init__(self):
+        self.ticks = 0
+
+    def __call__(self):
+        self.ticks += 1
+        return float(self.ticks)
+
+
+@pytest.fixture(scope="module")
+def tiny_problem():
+    X, y = make_classification(n_samples=160, n_features=5, random_state=0)
+    space = SearchSpace(
+        [
+            Categorical("hidden_layer_sizes", [(8,), (16,)]),
+            Categorical("alpha", [1e-4, 1e-2]),
+        ]
+    )
+    factory = MLPModelFactory(task="classification", max_iter=4)
+    return X, y, space, factory
+
+
+def _trial_fingerprint(result):
+    return [
+        (t.key, t.budget_fraction, t.result.score, tuple(t.result.fold_scores))
+        for t in result.trials
+    ]
+
+
+class TestBitwiseDeterminism:
+    def test_sha_serial_equals_parallel(self, tiny_problem):
+        X, y, space, factory = tiny_problem
+        results = {}
+        for name, executor in (("serial", SerialExecutor()), ("parallel", ParallelExecutor(n_workers=4))):
+            with TrialEngine(executor=executor) as engine:
+                searcher = SuccessiveHalving(
+                    space, vanilla_evaluator(X, y, factory), random_state=7, engine=engine
+                )
+                results[name] = searcher.fit(configurations=space.grid())
+        assert _trial_fingerprint(results["serial"]) == _trial_fingerprint(results["parallel"])
+        assert results["serial"].best_config == results["parallel"].best_config
+        assert results["serial"].best_score == results["parallel"].best_score
+
+    def test_hyperband_serial_equals_parallel(self, tiny_problem):
+        X, y, space, factory = tiny_problem
+        results = {}
+        for name, executor in (("serial", SerialExecutor()), ("parallel", ParallelExecutor(n_workers=4))):
+            with TrialEngine(executor=executor) as engine:
+                searcher = HyperBand(
+                    space, vanilla_evaluator(X, y, factory), random_state=3, engine=engine
+                )
+                results[name] = searcher.fit(configurations=space.grid())
+        assert _trial_fingerprint(results["serial"]) == _trial_fingerprint(results["parallel"])
+        assert results["serial"].best_config == results["parallel"].best_config
+
+    def test_engineless_path_unchanged(self, tiny_problem):
+        # The legacy inline path must not be perturbed by the engine existing.
+        X, y, space, factory = tiny_problem
+        a = SuccessiveHalving(space, vanilla_evaluator(X, y, factory), random_state=7).fit(
+            configurations=space.grid()
+        )
+        b = SuccessiveHalving(space, vanilla_evaluator(X, y, factory), random_state=7).fit(
+            configurations=space.grid()
+        )
+        assert _trial_fingerprint(a) == _trial_fingerprint(b)
+
+
+class TestMemoization:
+    def test_hyperband_brackets_share_the_cache(self):
+        space = SearchSpace([Categorical("q", list(range(4)))])
+        with TrialEngine(executor=SerialExecutor()) as engine:
+            searcher = HyperBand(
+                space, SeededQualityEvaluator(), random_state=0, engine=engine
+            )
+            result = searcher.fit(configurations=space.grid())
+        stats = engine.stats
+        # Cycling 4 configs through HyperBand's brackets must repeat pairs.
+        assert stats.cache_hits > 0
+        assert stats.submitted == result.n_trials
+        assert stats.cache_hits + stats.cache_misses == stats.submitted
+        assert stats.executed == stats.cache_misses
+        assert engine.cache is not None and len(engine.cache) == stats.cache_misses
+
+    def test_cached_trials_score_identically(self):
+        space = SearchSpace([Categorical("q", [1, 2])])
+        with TrialEngine(executor=SerialExecutor()) as engine:
+            searcher = HyperBand(
+                space, SeededQualityEvaluator(), random_state=0, engine=engine
+            )
+            result = searcher.fit(configurations=space.grid())
+        by_pair = {}
+        for trial in result.trials:
+            by_pair.setdefault((trial.key, trial.budget_fraction), set()).add(
+                trial.result.score
+            )
+        assert all(len(scores) == 1 for scores in by_pair.values())
+
+    def test_repeated_fit_is_served_from_cache(self):
+        space = SearchSpace([Categorical("q", list(range(4)))])
+        evaluator = SeededQualityEvaluator()
+        with TrialEngine(executor=SerialExecutor()) as engine:
+            searcher = SuccessiveHalving(space, evaluator, random_state=0, engine=engine)
+            searcher.fit(configurations=space.grid())
+            executed_first = engine.stats.executed
+            searcher.fit(configurations=space.grid())
+            assert engine.stats.executed == executed_first  # 100% cache hits
+
+    def test_cache_disabled(self):
+        space = SearchSpace([Categorical("q", list(range(4)))])
+        with TrialEngine(executor=SerialExecutor(), cache=False) as engine:
+            searcher = HyperBand(space, SeededQualityEvaluator(), random_state=0, engine=engine)
+            result = searcher.fit(configurations=space.grid())
+        assert engine.cache is None
+        assert engine.stats.executed == result.n_trials
+
+
+class TestFaultTolerance:
+    def test_retry_then_succeed(self):
+        engine = TrialEngine(executor=SerialExecutor(), max_retries=2)
+        engine.bind(FlakyEvaluator({5: 2}), root_seed=0)
+        outcome = engine.run_batch([TrialRequest(config={"q": 5}, budget_fraction=1.0)])[0]
+        assert not outcome.failed
+        assert outcome.attempts == 3
+        assert outcome.result.score == 5
+        assert engine.stats.retries == 2
+        assert engine.stats.failures == 0
+
+    def test_retries_use_fresh_derived_seeds(self):
+        engine = TrialEngine(executor=SerialExecutor(), max_retries=3)
+        seen = []
+
+        class SeedRecorder:
+            def evaluate(self, config, budget_fraction, rng):
+                seen.append(int(rng.integers(2**31)))
+                if len(seen) < 3:
+                    raise RuntimeError("fail twice")
+                return EvaluationResult(mean=1.0, std=0.0, score=1.0, gamma=100.0)
+
+        engine.bind(SeedRecorder(), root_seed=0)
+        engine.run_batch([TrialRequest(config={"q": 1}, budget_fraction=1.0)])
+        assert len(set(seen)) == 3  # every attempt drew from a distinct stream
+
+    def test_degrades_to_sentinel_after_exhausting_retries(self):
+        engine = TrialEngine(executor=SerialExecutor(), max_retries=1)
+        engine.bind(FlakyEvaluator({5: 99}), root_seed=0)
+        outcome = engine.run_batch([TrialRequest(config={"q": 5}, budget_fraction=0.5)])[0]
+        assert outcome.failed
+        assert outcome.result.score == FAILURE_SCORE
+        assert "RuntimeError" in outcome.error
+        assert engine.stats.failures == 1
+
+    def test_search_survives_a_permanently_failing_config(self):
+        space = SearchSpace([Categorical("q", [1, 2, 3, 4])])
+        with TrialEngine(executor=SerialExecutor(), max_retries=1) as engine:
+            searcher = SuccessiveHalving(
+                space, FlakyEvaluator({4: 99}), random_state=0, engine=engine
+            )
+            result = searcher.fit(configurations=space.grid())
+        # The failing config is ranked last, never crowning the search.
+        assert result.best_config == {"q": 3}
+        degraded = [t for t in result.trials if t.result.score == FAILURE_SCORE]
+        assert degraded and all(t.config == {"q": 4} for t in degraded)
+
+    def test_failures_are_not_cached(self):
+        engine = TrialEngine(executor=SerialExecutor(), max_retries=0)
+        flaky = FlakyEvaluator({5: 1})  # fails once, then recovers
+        engine.bind(flaky, root_seed=0)
+        first = engine.run_batch([TrialRequest(config={"q": 5}, budget_fraction=1.0)])[0]
+        assert first.failed
+        second = engine.run_batch([TrialRequest(config={"q": 5}, budget_fraction=1.0)])[0]
+        assert not second.failed and second.result.score == 5
+
+
+class TestAshaEngineMode:
+    def test_runs_and_reports_makespans(self):
+        space = SearchSpace([Categorical("q", list(range(8)))])
+        with TrialEngine(executor=SerialExecutor()) as engine:
+            asha = ASHA(
+                space, SeededQualityEvaluator(), random_state=0, n_workers=2, engine=engine
+            )
+            result = asha.fit(configurations=space.grid())
+        assert result.n_trials >= 8
+        assert asha.measured_makespan_ > 0.0
+        assert asha.simulated_makespan_ > 0.0
+        assert result.best_config["q"] >= 6  # quality is monotone in q
+
+    def test_parallel_asha_completes_all_trials(self, tiny_problem):
+        X, y, space, factory = tiny_problem
+        with TrialEngine(executor=ParallelExecutor(n_workers=2)) as engine:
+            asha = ASHA(
+                space,
+                vanilla_evaluator(X, y, factory),
+                random_state=0,
+                n_workers=2,
+                engine=engine,
+            )
+            result = asha.fit(configurations=space.grid())
+        assert result.n_trials >= len(space.grid())
+        assert engine.stats.failures == 0
+
+
+class TestInjectableClock:
+    def test_costs_are_deterministic_with_fake_clock(self, tiny_problem):
+        X, y, _, factory = tiny_problem
+        evaluator = vanilla_evaluator(X, y, factory, clock=CountingClock())
+        result = evaluator.evaluate(
+            {"hidden_layer_sizes": (8,), "alpha": 1e-4}, 0.5, np.random.default_rng(0)
+        )
+        # start tick 1, end tick 2 -> cost is exactly one tick.
+        assert result.cost == 1.0
+
+    def test_engine_trajectory_costs_without_sleeping(self, tiny_problem):
+        X, y, space, factory = tiny_problem
+        evaluator = vanilla_evaluator(X, y, factory, clock=CountingClock())
+        with TrialEngine(executor=SerialExecutor()) as engine:
+            searcher = SuccessiveHalving(space, evaluator, random_state=0, engine=engine)
+            result = searcher.fit(configurations=space.grid())
+        assert all(t.result.cost == 1.0 for t in result.trials)
+        assert result.total_evaluation_cost == float(result.n_trials)

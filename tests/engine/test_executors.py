@@ -1,0 +1,108 @@
+"""Executor protocol: FIFO serial reference and the process-pool executor."""
+
+import pytest
+
+from repro.bandit.base import EvaluationResult
+from repro.engine import ParallelExecutor, SerialExecutor, TrialRequest
+
+
+class SeedEchoEvaluator:
+    """Picklable evaluator whose score encodes (config, seed) for assertions."""
+
+    def evaluate(self, config, budget_fraction, rng):
+        if config.get("explode"):
+            raise ValueError("requested failure")
+        noise = float(rng.random())  # derived-seed determinism shows up here
+        score = config["q"] + noise
+        return EvaluationResult(
+            mean=score, std=0.0, score=score, gamma=100 * budget_fraction
+        )
+
+
+def _request(trial_id, q=0, budget=0.5, seed=123, explode=False):
+    config = {"q": q, "explode": True} if explode else {"q": q}
+    return TrialRequest(
+        config=config, budget_fraction=budget, trial_id=trial_id, seed=seed
+    )
+
+
+class TestSerialExecutor:
+    def test_fifo_completion(self):
+        executor = SerialExecutor()
+        executor.bind(SeedEchoEvaluator())
+        for i in range(3):
+            executor.submit(_request(i, q=i))
+        assert executor.pending() == 3
+        order = [executor.wait_one()[0] for _ in range(3)]
+        assert order == [0, 1, 2]
+        assert executor.pending() == 0
+
+    def test_errors_are_returned_not_raised(self):
+        executor = SerialExecutor()
+        executor.bind(SeedEchoEvaluator())
+        executor.submit(_request(0, explode=True))
+        trial_id, ok, result, error = executor.wait_one()
+        assert (trial_id, ok, result) == (0, False, None)
+        assert "ValueError" in error
+
+    def test_submit_before_bind_raises(self):
+        with pytest.raises(RuntimeError):
+            SerialExecutor().submit(_request(0))
+
+    def test_wait_without_pending_raises(self):
+        executor = SerialExecutor()
+        executor.bind(SeedEchoEvaluator())
+        with pytest.raises(RuntimeError):
+            executor.wait_one()
+
+
+class TestParallelExecutor:
+    def test_same_seed_same_result_as_serial(self):
+        serial = SerialExecutor()
+        serial.bind(SeedEchoEvaluator())
+        serial.submit(_request(0, q=3, seed=999))
+        _, _, serial_result, _ = serial.wait_one()
+
+        with ParallelExecutor(n_workers=2) as parallel:
+            parallel.bind(SeedEchoEvaluator())
+            parallel.submit(_request(0, q=3, seed=999))
+            _, ok, parallel_result, _ = parallel.wait_one()
+        assert ok
+        assert parallel_result.score == serial_result.score
+
+    def test_all_submissions_complete_any_order(self):
+        with ParallelExecutor(n_workers=2) as executor:
+            executor.bind(SeedEchoEvaluator())
+            for i in range(5):
+                executor.submit(_request(i, q=i, seed=i))
+            seen = {executor.wait_one()[0] for _ in range(5)}
+        assert seen == {0, 1, 2, 3, 4}
+
+    def test_worker_exception_is_data(self):
+        with ParallelExecutor(n_workers=1) as executor:
+            executor.bind(SeedEchoEvaluator())
+            executor.submit(_request(0, explode=True))
+            trial_id, ok, result, error = executor.wait_one()
+        assert (trial_id, ok, result) == (0, False, None)
+        assert "ValueError" in error
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(n_workers=0)
+
+    def test_capacity_reports_workers(self):
+        executor = ParallelExecutor(n_workers=3)
+        assert executor.capacity == 3
+        executor.shutdown()
+
+    def test_rebinding_new_evaluator_restarts_pool(self):
+        executor = ParallelExecutor(n_workers=1)
+        first = SeedEchoEvaluator()
+        executor.bind(first)
+        executor.submit(_request(0, q=1, seed=5))
+        executor.wait_one()
+        executor.bind(SeedEchoEvaluator())  # different instance -> pool restart
+        executor.submit(_request(1, q=2, seed=5))
+        trial_id, ok, result, _ = executor.wait_one()
+        assert ok and trial_id == 1
+        executor.shutdown()

@@ -25,6 +25,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tune", "--dataset", "australian", "--method", "grid"])
 
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["tune", "--dataset", "australian"])
+        assert args.n_workers == 1
+        assert args.cache is None
+        assert args.max_retries is None
+
+    def test_engine_flags_parse(self):
+        args = build_parser().parse_args([
+            "tune", "--dataset", "australian",
+            "--n-workers", "4", "--no-cache", "--max-retries", "2",
+        ])
+        assert args.n_workers == 4
+        assert args.cache is False
+        assert args.max_retries == 2
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(SystemExit):
+            main(["tune", "--dataset", "australian", "--n-workers", "0"])
+
 
 class TestDatasetsCommand:
     def test_prints_table(self, capsys):

@@ -1,0 +1,150 @@
+"""Benchmark the trial-execution engine: SHA / HyperBand at 1/2/4 workers.
+
+Times each searcher on the synthetic classification dataset three ways —
+the legacy engine-less inline path (baseline), then through a
+:class:`repro.engine.TrialEngine` with 1, 2 and 4 workers (serial executor
+for 1, process pool otherwise, evaluation cache on) — and writes
+``BENCH_engine.json`` with wall-clock seconds, speedups versus the
+baseline and cache hit rates, so future PRs have a perf trajectory to
+compare against.
+
+Two effects combine into the speedup: the process pool overlaps
+evaluations (when physical cores exist), and the memoization cache
+eliminates the repeated (config, budget) pairs that HyperBand's bracket
+cycling generates regardless of core count.  The JSON separates the
+per-run hit rate so the two are distinguishable.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engine.py [--out BENCH_engine.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.bandit import HyperBand, SuccessiveHalving
+from repro.core import MLPModelFactory, vanilla_evaluator
+from repro.datasets import make_classification
+from repro.engine import ParallelExecutor, SerialExecutor, TrialEngine
+from repro.experiments import paper_search_space
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def build_problem(args):
+    """Synthetic dataset, search space, candidate pools and model factory."""
+    X, y = make_classification(
+        n_samples=args.n_samples, n_features=12, n_classes=2,
+        class_sep=1.2, flip_y=0.05, random_state=args.seed,
+    )
+    space = paper_search_space(2)
+    grid = space.grid()
+    pools = {
+        # SHA halves a moderate pool; each (config, budget) pair is unique.
+        "sha": grid[: args.sha_pool],
+        # HyperBand cycles a small pool through its brackets -> repeats.
+        "hb": grid[: args.hb_pool],
+    }
+    factory = MLPModelFactory(task="classification", max_iter=args.max_iter)
+    return X, y, space, pools, factory
+
+
+def make_searcher(method, space, evaluator, seed, engine=None):
+    """SHA or HB wired to the shared evaluator and optional engine."""
+    if method == "sha":
+        return SuccessiveHalving(space, evaluator, random_state=seed, engine=engine)
+    return HyperBand(space, evaluator, random_state=seed, engine=engine)
+
+
+def run_once(method, X, y, space, pool, factory, seed, engine):
+    """One timed fit; returns (seconds, SearchResult)."""
+    evaluator = vanilla_evaluator(X, y, factory)
+    searcher = make_searcher(method, space, evaluator, seed, engine=engine)
+    start = time.perf_counter()
+    result = searcher.fit(configurations=pool)
+    return time.perf_counter() - start, result
+
+
+def bench_method(method, X, y, space, pool, factory, seed):
+    """Baseline + engine runs at every worker count for one method."""
+    baseline_seconds, baseline_result = run_once(
+        method, X, y, space, pool, factory, seed, engine=None
+    )
+    runs = {}
+    reference_best = None
+    for n_workers in WORKER_COUNTS:
+        executor = SerialExecutor() if n_workers == 1 else ParallelExecutor(n_workers=n_workers)
+        with TrialEngine(executor=executor, cache=True) as engine:
+            seconds, result = run_once(method, X, y, space, pool, factory, seed, engine)
+            stats = engine.stats
+        if reference_best is None:
+            reference_best = result.best_config
+        elif result.best_config != reference_best:
+            raise AssertionError(
+                f"{method}: worker count changed the winner — determinism broken"
+            )
+        runs[str(n_workers)] = {
+            "seconds": round(seconds, 4),
+            "speedup_vs_baseline": round(baseline_seconds / seconds, 3),
+            "cache_hit_rate": round(stats.hit_rate, 4),
+            "n_trials": result.n_trials,
+            "evaluations_executed": stats.executed,
+            "retries": stats.retries,
+        }
+        print(f"  {method.upper():>3} x{n_workers}: {seconds:6.2f}s  "
+              f"speedup {runs[str(n_workers)]['speedup_vs_baseline']:5.2f}x  "
+              f"hit rate {100 * stats.hit_rate:5.1f}%  "
+              f"({stats.executed}/{result.n_trials} executed)")
+    return {
+        "baseline_seconds": round(baseline_seconds, 4),
+        "baseline_trials": baseline_result.n_trials,
+        "runs": runs,
+    }
+
+
+def main(argv=None) -> int:
+    """Run the benchmark and write the JSON report."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"))
+    parser.add_argument("--n-samples", type=int, default=900)
+    parser.add_argument("--max-iter", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sha-pool", type=int, default=16)
+    parser.add_argument("--hb-pool", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    X, y, space, pools, factory = build_problem(args)
+    print(f"dataset: {args.n_samples} samples, MLP max_iter={args.max_iter}")
+    report = {
+        "benchmark": "repro.engine SHA/HB at 1/2/4 workers",
+        "dataset": {"n_samples": args.n_samples, "n_features": 12},
+        "max_iter": args.max_iter,
+        "seed": args.seed,
+        "pools": {name: len(pool) for name, pool in pools.items()},
+        "methods": {},
+    }
+    for method in ("sha", "hb"):
+        print(f"{method.upper()} (pool of {len(pools[method])}):")
+        report["methods"][method] = bench_method(
+            method, X, y, space, pools[method], factory, args.seed
+        )
+
+    hb4 = report["methods"]["hb"]["runs"]["4"]
+    report["headline"] = {
+        "hyperband_4worker_speedup": hb4["speedup_vs_baseline"],
+        "hyperband_4worker_cache_hit_rate": hb4["cache_hit_rate"],
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nheadline: HB x4 speedup {hb4['speedup_vs_baseline']}x, "
+          f"cache hit rate {100 * hb4['cache_hit_rate']:.1f}%")
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
