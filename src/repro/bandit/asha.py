@@ -16,6 +16,16 @@ otherwise):
   order, ``measured_makespan_`` reports actual wall-clock time, and
   ``simulated_makespan_`` falls back to a greedy list-scheduling estimate
   over the measured costs.
+
+A journal-backed engine makes engine-mode ASHA crash-resumable
+(:meth:`~repro.bandit.base.BaseSearcher.resume`): replayed completions are
+delivered in submission order, so the resumed prefix reproduces the
+promotion decisions of a run whose completions arrived in submission
+order — exactly the serial executor's behaviour.  Per-trial scores are
+reproducible under any executor; with a parallel executor only the
+*promotion schedule* may differ between an original and a resumed run,
+just as it may differ between two parallel runs of a real asynchronous
+deployment.
 """
 
 from __future__ import annotations

@@ -184,7 +184,44 @@ class BaseSearcher:
         self._rng = np.random.default_rng(self.random_state)
         self._trials = []
         if self.engine is not None:
-            self.engine.bind(self.evaluator, root_seed=self.random_state)
+            self.engine.bind(
+                self.evaluator,
+                root_seed=self.random_state,
+                metadata=self._run_identity(),
+            )
+
+    def _run_identity(self) -> Dict[str, Any]:
+        """Identity recorded in (and verified against) a run-journal header.
+
+        Guards a resume against the silent mixing of two different runs: a
+        journal written by one searcher/space refuses to replay into
+        another.
+        """
+        from ..engine.journal import space_fingerprint  # local import avoids a cycle
+
+        return {"searcher": self.method_name, "space": space_fingerprint(self.space)}
+
+    def resume(
+        self,
+        configurations: Optional[Sequence[Dict[str, Any]]] = None,
+        n_configurations: Optional[int] = None,
+    ) -> SearchResult:
+        """Re-run :meth:`fit` against the engine's journal of a prior run.
+
+        Requires an engine configured with a
+        :class:`~repro.engine.journal.RunJournal`.  The searcher replays
+        its (deterministic) schedule; every trial the interrupted run made
+        durable is served from the journal with ``resumed=True`` and only
+        the lost tail is executed, so the returned result is bitwise
+        identical to the uninterrupted run's.  Pass the same candidate
+        arguments the original run used.
+        """
+        if self.engine is None or self.engine.journal is None:
+            raise RuntimeError(
+                "resume() requires an engine with a journal; pass "
+                "engine=TrialEngine(..., journal=path)"
+            )
+        return self.fit(configurations=configurations, n_configurations=n_configurations)
 
     def _evaluate(
         self,

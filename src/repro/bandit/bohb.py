@@ -9,6 +9,13 @@ are fitted to each, and candidates maximising ``l(x) / g(x)`` are proposed.
 Configurations are modelled in the unit hypercube through
 :meth:`repro.space.SearchSpace.encode`, which handles categorical
 hyperparameters uniformly.
+
+Crash-safe resume (:meth:`~repro.bandit.base.BaseSearcher.resume`) works
+for BOHB despite its model-based proposals: the sampler's randomness comes
+from the searcher's own re-seeded stream and its observations are exactly
+the trial results, which a journal-backed engine replays bitwise — so the
+resumed run refits the same densities and proposes the same candidates as
+the uninterrupted one.
 """
 
 from __future__ import annotations

@@ -8,6 +8,12 @@ fraction ``eta^-s`` of the instance budget and halves ``s`` times.
 The configuration-proposal step is isolated in :meth:`_propose_configs` so
 that BOHB can subclass and replace random sampling with its model-based
 sampler while inheriting the bracket machinery unchanged.
+
+HyperBand runs are the expensive restarts the engine's run journal exists
+for: with ``engine=TrialEngine(..., journal=path)`` every completed rung
+evaluation is durable, and re-running :meth:`fit` (or calling
+:meth:`~repro.bandit.base.BaseSearcher.resume`) after a crash replays the
+completed brackets from disk and continues from the first lost trial.
 """
 
 from __future__ import annotations

@@ -5,6 +5,10 @@ iteration allocates ``b_t = B / |T_t|`` instances to every surviving
 configuration, scores them through the evaluator, and keeps the top
 ``1/eta`` fraction until one configuration remains (Figure 1 shows the
 ``eta = 2`` trace with 8 configurations).
+
+The halving schedule is a pure function of the candidate list and the
+seed, so a journal-backed engine makes interrupted runs resumable: see
+:meth:`~repro.bandit.base.BaseSearcher.resume`.
 """
 
 from __future__ import annotations

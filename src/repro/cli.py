@@ -12,6 +12,13 @@ persist the full search record as JSON.  The execution-engine flags
 ``--n-workers``, ``--cache/--no-cache`` and ``--max-retries`` route
 evaluations through :class:`repro.engine.TrialEngine` (a process pool when
 ``--n-workers > 1``), and the run summary then reports the cache hit rate.
+
+Robustness flags: ``--journal PATH`` write-ahead-logs every evaluation so
+a crashed run can be continued with ``--resume`` (replaying the durable
+trials and reproducing the uninterrupted result bit for bit), and
+``--trial-timeout SECONDS`` arms the parallel executor's watchdog so a
+hung evaluation is killed, retried with backoff, and eventually degraded
+instead of stalling the search forever.
 """
 
 from __future__ import annotations
@@ -55,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
                                   "(default: on whenever the engine is active)")
     tune_parser.add_argument("--max-retries", type=int, default=None,
                              help="retries per failed trial before degrading it (engine default: 1)")
+    tune_parser.add_argument("--journal", default=None, metavar="PATH",
+                             help="write-ahead log of every evaluation; enables crash-safe resume")
+    tune_parser.add_argument("--resume", action="store_true",
+                             help="continue an interrupted run from --journal "
+                                  "(replays completed trials, executes only the rest)")
+    tune_parser.add_argument("--trial-timeout", type=float, default=None, metavar="SECONDS",
+                             help="watchdog deadline per evaluation; a hung trial is killed, "
+                                  "retried with backoff and finally degraded (implies the "
+                                  "parallel executor)")
 
     report_parser = subparsers.add_parser("report", help="regenerate every table & figure")
     report_parser.add_argument("--scale", type=float, default=0.3)
@@ -83,17 +99,40 @@ def _build_engine(args: argparse.Namespace):
 
     The engine only activates when a flag deviates from the no-engine
     default, so a plain ``repro tune`` keeps the historical inline
-    (shared-random-stream) execution bit for bit.
+    (shared-random-stream) execution bit for bit.  ``--trial-timeout``
+    needs a preemptable evaluation, so it selects the (watchdog-equipped)
+    parallel executor even at one worker.
     """
-    if args.n_workers <= 1 and args.cache is None and args.max_retries is None:
+    engine_flags = (
+        args.n_workers > 1 or args.cache is not None or args.max_retries is not None
+        or args.journal is not None or args.trial_timeout is not None
+    )
+    if args.resume and args.journal is None:
+        raise SystemExit("--resume requires --journal")
+    if not engine_flags:
         return None
+    from pathlib import Path
+
     from .engine import ParallelExecutor, SerialExecutor, TrialEngine
 
-    executor = ParallelExecutor(n_workers=args.n_workers) if args.n_workers > 1 else SerialExecutor()
+    if args.journal is not None:
+        journal_path = Path(args.journal)
+        if journal_path.exists() and journal_path.stat().st_size > 0 and not args.resume:
+            raise SystemExit(
+                f"journal {journal_path} already exists; pass --resume to continue "
+                "that run, or delete the file to start fresh"
+            )
+        if args.resume and not journal_path.exists():
+            raise SystemExit(f"--resume: journal {journal_path} does not exist")
+    if args.n_workers > 1 or args.trial_timeout is not None:
+        executor = ParallelExecutor(n_workers=args.n_workers, trial_timeout=args.trial_timeout)
+    else:
+        executor = SerialExecutor()
     return TrialEngine(
         executor=executor,
         cache=True if args.cache is None else args.cache,
         max_retries=1 if args.max_retries is None else args.max_retries,
+        journal=args.journal,
     )
 
 
@@ -104,9 +143,15 @@ def _command_tune(args: argparse.Namespace) -> int:
     factory = MLPModelFactory(task=task, max_iter=args.max_iter)
     engine = _build_engine(args)
     if engine is not None:
+        extras = []
+        if args.trial_timeout is not None:
+            extras.append(f"trial_timeout {args.trial_timeout}s")
+        if args.journal is not None:
+            extras.append(f"journal {args.journal}" + (" (resuming)" if args.resume else ""))
         print(f"engine: {type(engine.executor).__name__} x{args.n_workers} workers, "
               f"cache {'on' if engine.cache is not None else 'off'}, "
-              f"max_retries {engine.max_retries}")
+              f"max_retries {engine.max_retries}"
+              + ("".join(f", {extra}" for extra in extras)))
     print(f"tuning {dataset.name} ({dataset.n_train} rows) with {args.method} "
           f"over {space.n_configurations} configurations ...")
     outcome = optimize(
@@ -133,6 +178,8 @@ def _command_tune(args: argparse.Namespace) -> int:
               f"({stats.cache_hits}/{stats.cache_hits + stats.cache_misses} lookups, "
               f"{stats.executed} evaluations run, {stats.retries} retries, "
               f"{stats.failures} degraded)")
+        print(f"robustness         : {stats.resumed} resumed from journal, "
+              f"{stats.timeouts} watchdog timeouts, {stats.non_finite} non-finite results")
         engine.shutdown()
     if args.save:
         save_result(outcome.result, args.save)

@@ -1,0 +1,191 @@
+"""Fault injection: a chaos wrapper that attacks the engine on purpose.
+
+The retry/degrade/watchdog/journal machinery is only trustworthy if it is
+routinely exercised against real failures.  :class:`ChaosExecutor` wraps
+any :class:`~repro.engine.executors.TrialExecutor` and, per evaluation,
+injects the failure modes a production HPO service actually sees:
+
+- **raise** — the evaluator throws (transient library/data errors);
+- **hang** — the evaluation sleeps past any reasonable deadline, which
+  only a watchdog ``trial_timeout`` can recover from;
+- **exit** — the worker process dies mid-trial via ``os._exit`` (stand-in
+  for segfaults and OOM kills); in a non-worker process this downgrades
+  to a raise so a serial run is never killed;
+- **nan** / **corrupt** — the evaluation "succeeds" but returns a NaN or
+  ``+inf`` score, which must be sanitised before it poisons ranking.
+
+Fault decisions are drawn from the **engine-provided per-trial RNG**, so
+they are a pure function of ``(root_seed, config, budget, attempt)``:
+identical under any executor and worker count (chaos runs are themselves
+reproducible and journal-resumable), while each retry of a failing trial
+draws a fresh decision — exactly how transient faults behave.
+
+``tools/chaos_suite.py`` drives these modes end to end and asserts the
+engine's invariants: the search completes, degraded trials carry the
+sentinel, and a journaled run resumed after a crash matches the unbroken
+run bit for bit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..bandit.base import EvaluationResult
+from .executors import TrialExecutor
+
+__all__ = ["ChaosError", "ChaosPolicy", "ChaosExecutor"]
+
+
+class ChaosError(RuntimeError):
+    """The exception raised by an injected evaluator failure."""
+
+
+@dataclass
+class ChaosPolicy:
+    """Per-evaluation fault probabilities and shapes.
+
+    Rates are checked in the order ``exit``, ``hang``, ``raise``, ``nan``,
+    ``corrupt`` against a single uniform draw, so their sum is the total
+    fault probability and must stay ``<= 1``.
+
+    Attributes
+    ----------
+    exit_rate:
+        Probability the worker process dies via ``os._exit(13)``
+        (downgraded to :class:`ChaosError` outside worker processes).
+    hang_rate:
+        Probability the evaluation sleeps for ``hang_seconds`` before
+        proceeding normally.
+    failure_rate:
+        Probability of raising :class:`ChaosError`.
+    nan_rate:
+        Probability of returning a result whose score/mean are NaN.
+    corrupt_rate:
+        Probability of returning a result whose score is ``+inf`` — the
+        nastiest corruption, since unsanitised it would *win* the search.
+    hang_seconds:
+        Sleep duration of an injected hang; pick it larger than the
+        executor's ``trial_timeout`` to exercise the watchdog.
+    """
+
+    exit_rate: float = 0.0
+    hang_rate: float = 0.0
+    failure_rate: float = 0.0
+    nan_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.exit_rate, self.hang_rate, self.failure_rate,
+            self.nan_rate, self.corrupt_rate,
+        )
+        if any(rate < 0.0 for rate in rates) or sum(rates) > 1.0:
+            raise ValueError(f"chaos rates must be >= 0 and sum to <= 1, got {rates}")
+
+
+class _ChaosEvaluator:
+    """Evaluator proxy that rolls the fault dice before delegating.
+
+    Picklable as long as the wrapped evaluator is, so it travels to pool
+    workers exactly like the real evaluator would.
+    """
+
+    def __init__(self, evaluator, policy: ChaosPolicy) -> None:
+        self._evaluator = evaluator
+        self._policy = policy
+
+    def evaluate(self, config, budget_fraction, rng) -> EvaluationResult:
+        """Maybe inject a fault, then (if still alive) really evaluate."""
+        policy = self._policy
+        draw = float(rng.random())
+        edges = self._fault_edges()
+        if draw < edges[0]:
+            if multiprocessing.current_process().name != "MainProcess":
+                os._exit(13)
+            raise ChaosError("injected worker exit (downgraded to raise in-process)")
+        if draw < edges[1]:
+            time.sleep(policy.hang_seconds)
+        elif draw < edges[2]:
+            raise ChaosError("injected evaluator failure")
+        result = self._evaluator.evaluate(config, budget_fraction, rng)
+        if draw < edges[3]:
+            result.score = float("nan")
+            result.mean = float("nan")
+        elif draw < edges[4]:
+            result.score = float("inf")
+        return result
+
+    def _fault_edges(self) -> Tuple[float, float, float, float, float]:
+        """Cumulative rate boundaries in injection-priority order."""
+        policy = self._policy
+        exit_edge = policy.exit_rate
+        hang_edge = exit_edge + policy.hang_rate
+        raise_edge = hang_edge + policy.failure_rate
+        nan_edge = raise_edge + policy.nan_rate
+        corrupt_edge = nan_edge + policy.corrupt_rate
+        return exit_edge, hang_edge, raise_edge, nan_edge, corrupt_edge
+
+
+class ChaosExecutor(TrialExecutor):
+    """Executor decorator injecting :class:`ChaosPolicy` faults per trial.
+
+    Parameters
+    ----------
+    inner:
+        The executor that actually runs trials (serial or parallel); all
+        protocol calls delegate to it.
+    policy:
+        Fault probabilities; defaults to an all-zero policy (pass-through).
+
+    Examples
+    --------
+    ::
+
+        executor = ChaosExecutor(
+            ParallelExecutor(n_workers=4, trial_timeout=5.0),
+            ChaosPolicy(failure_rate=0.1, hang_rate=0.05, hang_seconds=30),
+        )
+        engine = TrialEngine(executor=executor, max_retries=2)
+    """
+
+    def __init__(self, inner: TrialExecutor, policy: Optional[ChaosPolicy] = None) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else ChaosPolicy()
+        self._wrapped: Optional[_ChaosEvaluator] = None
+
+    @property
+    def capacity(self) -> int:
+        """Concurrency of the wrapped executor."""
+        return self.inner.capacity
+
+    def bind(self, evaluator) -> None:
+        """Wrap the evaluator in the fault-injecting proxy and bind that.
+
+        The proxy is reused across re-binds of the same evaluator so the
+        wrapped executor's is-this-a-new-evaluator check (which restarts
+        worker pools) keeps working.
+        """
+        if self._wrapped is None or self._wrapped._evaluator is not evaluator:
+            self._wrapped = _ChaosEvaluator(evaluator, self.policy)
+        self.inner.bind(self._wrapped)
+
+    def submit(self, request) -> None:
+        """Delegate to the wrapped executor."""
+        self.inner.submit(request)
+
+    def wait_one(self):
+        """Delegate to the wrapped executor."""
+        return self.inner.wait_one()
+
+    def pending(self) -> int:
+        """Delegate to the wrapped executor."""
+        return self.inner.pending()
+
+    def shutdown(self) -> None:
+        """Delegate to the wrapped executor."""
+        self.inner.shutdown()

@@ -1,4 +1,4 @@
-"""The trial engine: batching, memoization, retries and fault degradation.
+"""The trial engine: batching, memoization, retries, durability, degradation.
 
 :class:`TrialEngine` sits between a searcher ("what to evaluate") and a
 :class:`~repro.engine.executors.TrialExecutor` ("how it runs").  It
@@ -10,9 +10,18 @@
 2. memoizes results in an :class:`~repro.engine.cache.EvaluationCache`
    and deduplicates identical requests that are in flight simultaneously
    (HyperBand rungs routinely contain duplicate survivors);
-3. retries failed trials up to ``max_retries`` times, each retry under a
-   freshly derived seed, then *degrades* a permanently-failing trial to a
-   sentinel worst-score outcome instead of aborting the search.
+3. retries failed trials up to ``max_retries`` times — each retry under a
+   freshly derived seed, after a seeded exponential-backoff-with-jitter
+   delay — then *degrades* a permanently-failing trial to a sentinel
+   worst-score outcome instead of aborting the search;
+4. treats non-finite evaluation results (NaN/inf score, mean or std) as
+   failures, so a numerically-exploding learner cannot poison the
+   ``mu + alpha*beta*sigma`` ranking and instead flows through the same
+   retry-then-degrade path;
+5. optionally write-ahead-logs every executed outcome to a
+   :class:`~repro.engine.journal.RunJournal` and, on the next ``bind``,
+   replays the journal so an interrupted run resumes from its last
+   durable trial and reproduces the uninterrupted result bit for bit.
 
 Two consumption styles are offered: :meth:`TrialEngine.run_batch` for
 synchronous rung-at-a-time searchers (SHA / HyperBand / BOHB), returning
@@ -23,21 +32,36 @@ completions are delivered as they land.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+import math
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from collections import deque
 
+import numpy as np
+
 from ..bandit.base import EvaluationResult
 from .cache import EvaluationCache
-from .executors import SerialExecutor, TrialExecutor
+from .executors import (
+    SerialExecutor,
+    TIMEOUT_ERROR_PREFIX,
+    TrialExecutor,
+    WORKER_HUNG_PREFIX,
+)
+from .journal import JournalEntry, RunJournal, replay_key
 from .protocol import TrialOutcome, TrialRequest, derive_seed
 
-__all__ = ["TrialEngine", "EngineStats", "FAILURE_SCORE"]
+__all__ = ["TrialEngine", "EngineStats", "FAILURE_SCORE", "STATS_SCHEMA_VERSION"]
 
 #: Sentinel score assigned to permanently-failing trials: finite (so JSON
 #: round-trips and argsort stay well-behaved) yet below any real metric.
 FAILURE_SCORE = -1e30
+
+#: Version of the :meth:`EngineStats.as_dict` payload; bump when counters
+#: are added/renamed so BENCH_engine.json stays comparable across PRs.
+STATS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -56,6 +80,14 @@ class EngineStats:
         Re-executions triggered by failures.
     failures:
         Trials degraded to the sentinel after exhausting retries.
+    timeouts:
+        Watchdog interventions (trial deadline exceeded or worker hung);
+        each is also counted as the failure/retry it triggers.
+    resumed:
+        Outcomes replayed from the run journal instead of executed.
+    non_finite:
+        Evaluations whose result carried a NaN/inf score, mean or std and
+        was therefore converted to a failure.
     """
 
     submitted: int = 0
@@ -64,6 +96,9 @@ class EngineStats:
     cache_misses: int = 0
     retries: int = 0
     failures: int = 0
+    timeouts: int = 0
+    resumed: int = 0
+    non_finite: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -74,12 +109,16 @@ class EngineStats:
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict snapshot (for CLI summaries and benchmark JSON)."""
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "submitted": self.submitted,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "retries": self.retries,
             "failures": self.failures,
+            "timeouts": self.timeouts,
+            "resumed": self.resumed,
+            "non_finite": self.non_finite,
             "hit_rate": self.hit_rate,
         }
 
@@ -97,8 +136,20 @@ def _sentinel_result(budget_fraction: float, failure_score: float) -> Evaluation
     )
 
 
+def _result_is_finite(result: EvaluationResult) -> bool:
+    """Whether every ranking-relevant field is a finite number."""
+    try:
+        return (
+            math.isfinite(result.score)
+            and math.isfinite(result.mean)
+            and math.isfinite(result.std)
+        )
+    except TypeError:
+        return False
+
+
 class TrialEngine:
-    """Caching, retrying trial dispatcher over a pluggable executor.
+    """Caching, retrying, journaling trial dispatcher over a pluggable executor.
 
     Parameters
     ----------
@@ -118,6 +169,23 @@ class TrialEngine:
     root_seed:
         Root of per-trial seed derivation; usually supplied later by the
         searcher through :meth:`bind` (its ``random_state``).
+    journal:
+        A :class:`~repro.engine.journal.RunJournal` (or just a path) to
+        write-ahead-log every executed outcome into.  If the file already
+        holds entries from an interrupted run with the same identity, they
+        are replayed at :meth:`bind` time and served instantly with
+        ``resumed=True`` — the deterministic per-trial seeds guarantee the
+        resumed run matches the uninterrupted one bit for bit.
+    retry_backoff:
+        Base delay in seconds before re-executing a failed trial; retry
+        ``k`` sleeps ``min(retry_backoff * 2**(k-1), retry_backoff_max)``
+        scaled by a deterministic jitter in ``[0.5, 1.0]`` drawn from the
+        trial's derived seed.  ``0`` restores immediate re-execution.
+    retry_backoff_max:
+        Upper bound on a single backoff delay.
+    sleep:
+        Injectable sleep function (tests pass a recorder; default
+        :func:`time.sleep`).
 
     Examples
     --------
@@ -137,9 +205,15 @@ class TrialEngine:
         max_retries: int = 1,
         failure_score: float = FAILURE_SCORE,
         root_seed: Optional[int] = None,
+        journal: Union[RunJournal, str, Path, None] = None,
+        retry_backoff: float = 0.05,
+        retry_backoff_max: float = 2.0,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.executor = executor if executor is not None else SerialExecutor()
         if cache is True:
             self.cache: Optional[EvaluationCache] = EvaluationCache()
@@ -150,9 +224,19 @@ class TrialEngine:
         self.max_retries = max_retries
         self.failure_score = failure_score
         self.root_seed = root_seed
+        if journal is not None and not isinstance(journal, RunJournal):
+            journal = RunJournal(journal)
+        self.journal = journal
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self._sleep = sleep if sleep is not None else time.sleep
         self.stats = EngineStats()
         self._evaluator = None
         self._next_trial_id = 0
+        self._journal_open = False
+        #: Journal entries keyed by the attempt-0 lookup key, consulted
+        #: before the cache so failed (sentinel) outcomes also replay.
+        self._replayed: Dict[Tuple, JournalEntry] = {}
         # Async bookkeeping: outcomes ready for pickup, in-flight requests,
         # and followers piggy-backing on an identical in-flight request.
         self._ready: Deque[TrialOutcome] = deque()
@@ -162,17 +246,29 @@ class TrialEngine:
 
     # -- lifecycle ------------------------------------------------------------
 
-    def bind(self, evaluator, root_seed: Optional[int] = None) -> None:
+    def bind(self, evaluator, root_seed: Optional[int] = None, metadata=None) -> None:
         """Attach the evaluator (and optionally the seed root) before use.
 
-        Searchers call this from ``fit()`` with their evaluator and
-        ``random_state``; the cache and counters intentionally survive
+        Searchers call this from ``fit()`` with their evaluator,
+        ``random_state`` and identity metadata (searcher name, space
+        fingerprint); the cache and counters intentionally survive
         re-binding so repeated fits share memoized work when the evaluator
-        is unchanged.
+        is unchanged.  When a journal is configured, binding opens it:
+        a pre-existing file is identity-checked (root seed plus any
+        metadata keys both sides know) and replayed, making the next
+        ``fit()`` a resume of the interrupted run.
         """
         self._evaluator = evaluator
         if root_seed is not None:
             self.root_seed = root_seed
+        if self.journal is not None:
+            if not self._journal_open:
+                entries = self.journal.open(self.root_seed, metadata=metadata)
+                for entry in entries:
+                    self._replayed[replay_key(entry, self.root_seed)] = entry
+                self._journal_open = True
+            else:
+                self.journal.check_identity(self.root_seed, metadata)
         self.executor.bind(evaluator)
 
     @property
@@ -181,8 +277,11 @@ class TrialEngine:
         return self.executor.capacity
 
     def shutdown(self) -> None:
-        """Release executor resources (workers, queues)."""
+        """Release executor resources (workers, queues) and close the journal."""
         self.executor.shutdown()
+        if self.journal is not None:
+            self.journal.close()
+            self._journal_open = False
 
     def __enter__(self) -> "TrialEngine":
         """Support ``with TrialEngine(...) as engine:``."""
@@ -218,14 +317,30 @@ class TrialEngine:
     def submit(self, request: TrialRequest) -> TrialRequest:
         """Schedule one request; its outcome arrives via :meth:`wait_one`.
 
-        Cache hits complete immediately (queued for the next
-        :meth:`wait_one`), an identical in-flight request is joined as a
-        follower rather than re-executed, and everything else goes to the
-        executor.  Returns the request with ``trial_id``/``seed`` filled
-        in so callers can correlate completions.
+        Journal-replayed and cached outcomes complete immediately (queued
+        for the next :meth:`wait_one`), an identical in-flight request is
+        joined as a follower rather than re-executed, and everything else
+        goes to the executor.  Returns the request with
+        ``trial_id``/``seed`` filled in so callers can correlate
+        completions.
         """
         request = self._prepare(request)
         cache_key = self._cache_key(request)
+        if self._replayed:
+            entry = self._replayed.get(cache_key)
+            if entry is not None:
+                self.stats.resumed += 1
+                self._ready.append(
+                    TrialOutcome(
+                        request=request,
+                        result=entry.result,
+                        attempts=entry.attempts,
+                        failed=entry.failed,
+                        error=entry.error,
+                        resumed=True,
+                    )
+                )
+                return request
         if self.cache is not None:
             cached = self.cache.get(*cache_key)
             if cached is not None:
@@ -252,10 +367,11 @@ class TrialEngine:
         return len(self._in_flight) + followers + len(self._ready)
 
     def wait_one(self) -> TrialOutcome:
-        """Block until the next outcome (cache hit, success, or degradation).
+        """Block until the next outcome (replay, cache hit, success, degradation).
 
-        Failed executions are retried transparently — the caller only ever
-        sees terminal outcomes.
+        Failed executions — including watchdog timeouts and non-finite
+        results — are retried transparently after a backoff delay; the
+        caller only ever sees terminal outcomes.
         """
         while True:
             if self._ready:
@@ -264,9 +380,17 @@ class TrialEngine:
                 raise RuntimeError("wait_one called with no pending trials")
             trial_id, ok, result, error = self.executor.wait_one()
             request = self._in_flight.pop(trial_id)
+            if ok and not _result_is_finite(result):
+                self.stats.non_finite += 1
+                ok, result, error = False, None, (
+                    f"NonFiniteScore: evaluation returned a non-finite result "
+                    f"(score={result.score!r}, mean={result.mean!r}, std={result.std!r})"
+                )
             if ok:
                 self._settle(request, result, failed=False, error=None)
                 continue
+            if error and error.startswith((TIMEOUT_ERROR_PREFIX, WORKER_HUNG_PREFIX)):
+                self.stats.timeouts += 1
             if request.attempt < self.max_retries:
                 self.stats.retries += 1
                 retry = TrialRequest(
@@ -281,6 +405,9 @@ class TrialEngine:
                 retry.seed = derive_seed(
                     self.root_seed, retry.resolved_key(), retry.budget_fraction, retry.attempt
                 )
+                delay = self._retry_delay(retry)
+                if delay > 0.0:
+                    self._sleep(delay)
                 self._in_flight[retry.trial_id] = retry
                 self.executor.submit(retry)
                 self.stats.executed += 1
@@ -289,6 +416,21 @@ class TrialEngine:
             sentinel = _sentinel_result(request.budget_fraction, self.failure_score)
             self._settle(request, sentinel, failed=True, error=error)
 
+    def _retry_delay(self, retry: TrialRequest) -> float:
+        """Seeded exponential backoff with jitter for one retry attempt.
+
+        Doubling per attempt spaces out repeated hits on a struggling
+        resource; the jitter factor in ``[0.5, 1.0]`` de-synchronises
+        concurrent retries.  The jitter is drawn from the retry's own
+        derived seed, so delays — like everything else in the engine —
+        are a pure function of ``(root_seed, config, budget, attempt)``.
+        """
+        if self.retry_backoff <= 0.0:
+            return 0.0
+        base = min(self.retry_backoff * 2.0 ** (retry.attempt - 1), self.retry_backoff_max)
+        rng = np.random.default_rng(retry.seed)
+        return base * (0.5 + 0.5 * float(rng.random()))
+
     def _settle(
         self,
         request: TrialRequest,
@@ -296,11 +438,19 @@ class TrialEngine:
         failed: bool,
         error: Optional[str],
     ) -> None:
-        """Queue the terminal outcome, release followers, update the cache."""
+        """Journal then queue the terminal outcome, release followers, cache it.
+
+        The journal append happens *before* the outcome enters the ready
+        queue — the write-ahead ordering that guarantees any result a
+        searcher has observed is recoverable after a crash.
+        """
         attempts = request.attempt + 1
-        self._ready.append(
-            TrialOutcome(request=request, result=result, attempts=attempts, failed=failed, error=error)
+        outcome = TrialOutcome(
+            request=request, result=result, attempts=attempts, failed=failed, error=error
         )
+        if self.journal is not None and self._journal_open:
+            self.journal.append(outcome)
+        self._ready.append(outcome)
         cache_key = self._primary_key.pop(request.trial_id, None)
         if cache_key is None:
             return
@@ -320,7 +470,8 @@ class TrialEngine:
         This is the synchronous entry point used by rung-at-a-time
         searchers: submission order fixes both trial ids and the returned
         order, so a fixed-seed search is bitwise identical under serial
-        and parallel executors.
+        and parallel executors — and, via journal replay, across an
+        interruption.
         """
         submitted = [self.submit(request) for request in requests]
         outcomes: Dict[int, TrialOutcome] = {}

@@ -1,4 +1,4 @@
-"""Pluggable trial executors: serial reference and process-pool parallel.
+"""Pluggable trial executors: serial reference and watchdog-supervised pool.
 
 Both executors implement the same tiny submit/wait protocol consumed by
 :class:`~repro.engine.core.TrialEngine`:
@@ -11,36 +11,55 @@ Both executors implement the same tiny submit/wait protocol consumed by
   sees worker failures as data.
 
 :class:`SerialExecutor` runs requests inline in FIFO order and is the
-bitwise reference implementation.  :class:`ParallelExecutor` fans trials
-out to a ``concurrent.futures.ProcessPoolExecutor``; the evaluator (with
-its full ``X``/``y`` arrays) is shipped to each worker **once** through the
-pool initializer instead of being pickled into every task, so a task's
-payload is just ``(trial_id, config, budget_fraction, seed)``.  Because
-seeds are derived per trial, completion order cannot affect scores — only
+bitwise reference implementation.  :class:`ParallelExecutor` owns a pool
+of long-lived worker processes it supervises directly (rather than hiding
+them behind ``concurrent.futures``), which is what makes a real watchdog
+possible:
+
+- every worker gets the evaluator **once** at spawn (copy-on-write under
+  the ``fork`` start method), so a task's payload is just
+  ``(trial_id, config, budget_fraction, seed)``;
+- each worker runs a heartbeat thread, letting the parent distinguish
+  *alive-but-slow* from *wedged in native code*;
+- a per-trial deadline (``trial_timeout``) bounds how long any single
+  evaluation may run; on expiry the worker is killed, **respawned**, and
+  the trial surfaced as a failed completion for the engine to retry with
+  backoff or degrade — a hung trial can never stall ``wait_one`` forever;
+- a worker that dies mid-trial (segfault, ``os._exit``, OOM-kill) is
+  detected the same way: respawn plus a failed completion, never a
+  deadlock.
+
+Because seeds are derived per trial, none of this affects scores — only
 scheduling latency.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+import threading
+import time
 from collections import deque
-from typing import Any, Dict, Optional, Tuple
+from multiprocessing import connection as mp_connection
+from typing import Any, Deque, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..bandit.base import EvaluationResult
 
-__all__ = ["TrialExecutor", "SerialExecutor", "ParallelExecutor"]
+__all__ = [
+    "TrialExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "TIMEOUT_ERROR_PREFIX",
+    "WORKER_DIED_PREFIX",
+    "WORKER_HUNG_PREFIX",
+]
 
-#: Per-worker evaluator installed by the pool initializer.
-_WORKER_EVALUATOR = None
-
-
-def _worker_init(evaluator) -> None:
-    """Pool initializer: bind the evaluator once per worker process."""
-    global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = evaluator
+#: Error-string prefixes the watchdog uses; the engine keys its
+#: ``timeouts`` counter off them, and tests match on them.
+TIMEOUT_ERROR_PREFIX = "TrialTimeout"
+WORKER_DIED_PREFIX = "WorkerDied"
+WORKER_HUNG_PREFIX = "WorkerHung"
 
 
 def _safe_evaluate(
@@ -55,11 +74,46 @@ def _safe_evaluate(
         return trial_id, False, None, f"{type(exc).__name__}: {exc}"
 
 
-def _worker_run(
-    trial_id: int, config: Dict[str, Any], budget_fraction: float, seed: int
-) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
-    """Task function executed inside a pool worker."""
-    return _safe_evaluate(_WORKER_EVALUATOR, trial_id, config, budget_fraction, seed)
+def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: float) -> None:
+    """Worker process loop: recv task, evaluate, send result, heartbeat.
+
+    The duplex pipe carries tasks parent→worker and ``("hb",)`` /
+    ``("done", token, payload)`` messages worker→parent.  A background
+    thread emits heartbeats even while an evaluation is running, so the
+    parent can tell a long evaluation (heartbeats flowing) from a process
+    wedged in non-Python code (heartbeats stopped).  ``None`` is the
+    shutdown sentinel; a closed pipe (parent gone) also ends the loop.
+    """
+    stop = threading.Event()
+    send_lock = threading.Lock()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                with send_lock:
+                    conn.send(("hb",))
+            except (BrokenPipeError, OSError):
+                return
+
+    beater = threading.Thread(target=_beat, daemon=True)
+    beater.start()
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            token, trial_id, config, budget_fraction, seed = task
+            payload = _safe_evaluate(evaluator, trial_id, config, budget_fraction, seed)
+            try:
+                with send_lock:
+                    conn.send(("done", token, payload))
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        stop.set()
 
 
 class TrialExecutor:
@@ -109,7 +163,10 @@ class SerialExecutor(TrialExecutor):
 
     Submissions are queued and only executed inside :meth:`wait_one`, so
     the submit/wait protocol behaves observably like a one-worker pool
-    with deterministic completion order.
+    with deterministic completion order.  Running in the caller's process
+    it cannot preempt an evaluation, so watchdog timeouts do not apply —
+    use :class:`ParallelExecutor` (any worker count, even 1) when hung or
+    crashing evaluations must be survivable.
     """
 
     capacity = 1
@@ -142,8 +199,27 @@ class SerialExecutor(TrialExecutor):
         return len(self._queue)
 
 
+class _WorkerHandle:
+    """Parent-side view of one worker process: pipe, current task, deadlines."""
+
+    __slots__ = ("worker_id", "process", "conn", "task", "deadline", "last_heartbeat")
+
+    def __init__(self, worker_id: int, process, conn) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        #: ``(token, trial_id)`` of the dispatched trial, or ``None`` if idle.
+        self.task: Optional[Tuple[int, int]] = None
+        self.deadline: Optional[float] = None
+        self.last_heartbeat = time.monotonic()
+
+    @property
+    def idle(self) -> bool:
+        return self.task is None
+
+
 class ParallelExecutor(TrialExecutor):
-    """Process-pool executor shipping the evaluator to workers once.
+    """Watchdog-supervised process pool shipping the evaluator to workers once.
 
     Parameters
     ----------
@@ -156,29 +232,72 @@ class ParallelExecutor(TrialExecutor):
         falls back to the platform default elsewhere, in which case the
         evaluator must be picklable (see
         ``SubsetCVEvaluator.__getstate__``).
+    trial_timeout:
+        Per-trial wall-clock deadline in seconds, measured from dispatch
+        to a worker.  On expiry the worker is killed and respawned and the
+        trial surfaces as a failed completion with a
+        ``"TrialTimeout: ..."`` error, which the engine retries (with
+        backoff) or degrades.  ``None`` (default) disables the deadline.
+    heartbeat_interval:
+        Seconds between worker heartbeats.
+    heartbeat_timeout:
+        Declare a worker *hung* when no heartbeat has arrived for this
+        many seconds while it runs a trial (the worker is killed and
+        respawned like a timeout).  ``None`` (default) disables the check;
+        heartbeats are then only used to keep liveness metadata fresh.
+    poll_interval:
+        Parent-side supervision granularity: how often ``wait_one`` wakes
+        to run watchdog checks while no completion is ready.
 
     Notes
     -----
-    A crashed worker (``BrokenExecutor``) does not sink the search: every
-    in-flight trial is surfaced as a failed completion — which the engine
-    retries or degrades — and a fresh pool is spun up lazily for the next
-    submission.
+    A crashed worker (``os._exit``, segfault, OOM-kill) never sinks the
+    search: its in-flight trial is surfaced as a failed completion — which
+    the engine retries or degrades — and a replacement worker is spawned
+    immediately, keeping capacity constant.  Supervision happens entirely
+    in the parent over per-worker duplex pipes; there is no shared queue a
+    dying worker could leave locked.
     """
 
-    def __init__(self, n_workers: Optional[int] = None, start_method: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        trial_timeout: Optional[float] = None,
+        heartbeat_interval: float = 0.2,
+        heartbeat_timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ) -> None:
         import os
 
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if trial_timeout is not None and trial_timeout <= 0:
+            raise ValueError(f"trial_timeout must be > 0 or None, got {trial_timeout}")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError(f"heartbeat_timeout must be > 0 or None, got {heartbeat_timeout}")
+        if heartbeat_interval <= 0:
+            raise ValueError(f"heartbeat_interval must be > 0, got {heartbeat_interval}")
         self.n_workers = n_workers or max(1, os.cpu_count() or 1)
         self.capacity = self.n_workers
+        self.trial_timeout = trial_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.poll_interval = poll_interval
         if start_method is None and "fork" in multiprocessing.get_all_start_methods():
             start_method = "fork"
         self._context = multiprocessing.get_context(start_method)
         self._evaluator = None
-        self._pool: Optional[ProcessPoolExecutor] = None
-        self._futures: Dict[Any, int] = {}
-        self._broken: deque = deque()
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._backlog: Deque[Tuple] = deque()
+        self._completed: Deque[Tuple[int, bool, Optional[EvaluationResult], Optional[str]]] = deque()
+        self._next_token = 0
+        self._next_worker_id = 0
+        #: Lifetime counts of watchdog interventions (observability).
+        self.respawns = 0
+        self.timeouts = 0
+
+    # -- lifecycle -------------------------------------------------------------
 
     def bind(self, evaluator) -> None:
         """Attach the evaluator; a new one forces a pool restart."""
@@ -186,65 +305,189 @@ class ParallelExecutor(TrialExecutor):
             self.shutdown()
         self._evaluator = evaluator
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            if self._evaluator is None:
-                raise RuntimeError("ParallelExecutor.submit called before bind()")
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.n_workers,
-                mp_context=self._context,
-                initializer=_worker_init,
-                initargs=(self._evaluator,),
-            )
-        return self._pool
+    def _spawn_worker(self) -> _WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_watchdog_worker_main,
+            args=(self._evaluator, child_conn, worker_id, self.heartbeat_interval),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(worker_id, process, parent_conn)
+        self._workers[worker_id] = handle
+        return handle
+
+    def _ensure_workers(self) -> None:
+        if self._evaluator is None:
+            raise RuntimeError("ParallelExecutor.submit called before bind()")
+        while len(self._workers) < self.n_workers:
+            self._spawn_worker()
+
+    # -- submission ------------------------------------------------------------
 
     def submit(self, request) -> None:
-        """Ship ``(trial_id, config, budget, seed)`` to the pool."""
-        pool = self._ensure_pool()
-        try:
-            future = pool.submit(
-                _worker_run, request.trial_id, request.config, request.budget_fraction, request.seed
-            )
-        except BrokenExecutor:
-            self._mark_broken()
-            self._broken.append((request.trial_id, "BrokenExecutor: pool died before submission"))
-            return
-        self._futures[future] = request.trial_id
+        """Dispatch to an idle worker, or queue until one frees up."""
+        self._ensure_workers()
+        token = self._next_token
+        self._next_token += 1
+        task = (token, request.trial_id, request.config, request.budget_fraction, request.seed)
+        for handle in self._workers.values():
+            if handle.idle and handle.process.is_alive():
+                self._dispatch(handle, task)
+                return
+        self._backlog.append(task)
 
-    def wait_one(self) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
-        """Return the next completion (any order), surfacing pool crashes."""
-        if self._broken:
-            trial_id, message = self._broken.popleft()
-            return trial_id, False, None, message
-        if not self._futures:
-            raise RuntimeError("wait_one called with no pending trials")
-        done, _ = wait(list(self._futures), return_when=FIRST_COMPLETED)
-        future = next(iter(done))
-        trial_id = self._futures.pop(future)
+    def _dispatch(self, handle: _WorkerHandle, task: Tuple) -> None:
+        now = time.monotonic()
+        handle.task = (task[0], task[1])
+        handle.deadline = now + self.trial_timeout if self.trial_timeout else None
+        handle.last_heartbeat = now
         try:
-            return future.result()
-        except BrokenExecutor as exc:
-            self._mark_broken()
-            return trial_id, False, None, f"{type(exc).__name__}: worker process died"
+            handle.conn.send(task)
+        except (BrokenPipeError, OSError):
+            self._retire(handle, f"{WORKER_DIED_PREFIX}: worker pipe closed before dispatch")
 
-    def _mark_broken(self) -> None:
-        """Fail over: convert every in-flight future into an error completion."""
-        for future, trial_id in self._futures.items():
-            future.cancel()
-            self._broken.append((trial_id, "BrokenExecutor: worker process died"))
-        self._futures.clear()
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+    def _feed_backlog(self, handle: _WorkerHandle) -> None:
+        if self._backlog:
+            self._dispatch(handle, self._backlog.popleft())
+
+    # -- completion ------------------------------------------------------------
 
     def pending(self) -> int:
-        """In-flight futures plus crash-surfaced completions awaiting pickup."""
-        return len(self._futures) + len(self._broken)
+        """In-flight trials plus queued tasks plus uncollected completions."""
+        in_flight = sum(1 for handle in self._workers.values() if not handle.idle)
+        return in_flight + len(self._backlog) + len(self._completed)
+
+    def wait_one(self) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
+        """Next completion in any order; watchdog failures count as completions."""
+        while True:
+            if self._completed:
+                return self._completed.popleft()
+            if not self.pending():
+                raise RuntimeError("wait_one called with no pending trials")
+            self._pump(self.poll_interval)
+            if self._completed:
+                return self._completed.popleft()
+            self._run_watchdog()
+
+    def _pump(self, timeout: float) -> None:
+        """Drain every readable worker pipe, waiting up to ``timeout``."""
+        conns = {handle.conn: handle for handle in self._workers.values()}
+        if not conns:
+            return
+        try:
+            ready = mp_connection.wait(list(conns), timeout)
+        except OSError:
+            ready = []
+        for conn in ready:
+            handle = conns[conn]
+            self._drain(handle)
+
+    def _drain(self, handle: _WorkerHandle) -> None:
+        """Consume every queued message from one worker's pipe."""
+        while True:
+            try:
+                if not handle.conn.poll():
+                    return
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                self._retire(handle, f"{WORKER_DIED_PREFIX}: worker process exited unexpectedly")
+                return
+            kind = message[0]
+            if kind == "hb":
+                handle.last_heartbeat = time.monotonic()
+            elif kind == "done":
+                _, token, payload = message
+                if handle.task is not None and handle.task[0] == token:
+                    handle.task = None
+                    handle.deadline = None
+                    self._completed.append(payload)
+                    self._feed_backlog(handle)
+                # A mismatched token is a completion the watchdog already
+                # resolved as a failure; drop it — the retry owns the trial.
+
+    def _run_watchdog(self) -> None:
+        """Kill/respawn dead, overdue or silent workers; surface their trials."""
+        now = time.monotonic()
+        for handle in list(self._workers.values()):
+            if not handle.process.is_alive():
+                # Salvage any result that raced the death before declaring it.
+                self._drain(handle)
+                if handle.worker_id in self._workers:
+                    self._retire(
+                        handle, f"{WORKER_DIED_PREFIX}: worker process exited unexpectedly"
+                    )
+                continue
+            if handle.idle:
+                continue
+            if handle.conn.poll():
+                continue  # a completion is waiting; let the next pump collect it
+            if handle.deadline is not None and now > handle.deadline:
+                self.timeouts += 1
+                self._retire(
+                    handle,
+                    f"{TIMEOUT_ERROR_PREFIX}: trial exceeded trial_timeout="
+                    f"{self.trial_timeout}s",
+                )
+            elif (
+                self.heartbeat_timeout is not None
+                and now - handle.last_heartbeat > self.heartbeat_timeout
+            ):
+                self.timeouts += 1
+                self._retire(
+                    handle,
+                    f"{WORKER_HUNG_PREFIX}: no heartbeat for over "
+                    f"{self.heartbeat_timeout}s",
+                )
+
+    def _retire(self, handle: _WorkerHandle, error: str) -> None:
+        """Kill one worker, fail its in-flight trial, and respawn a replacement.
+
+        Idempotent per handle: a worker can be reported dead through
+        several paths (pipe EOF while draining, ``is_alive`` in the
+        watchdog) and must only be failed/respawned once.
+        """
+        if self._workers.pop(handle.worker_id, None) is None:
+            return
+        task = handle.task
+        handle.task = None
+        handle.deadline = None
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(timeout=1.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if task is not None:
+            self._completed.append((task[1], False, None, error))
+        if self._evaluator is not None:
+            replacement = self._spawn_worker()
+            self.respawns += 1
+            self._feed_backlog(replacement)
+
+    # -- teardown --------------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Terminate the pool and forget in-flight work."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-            self._pool = None
-        self._futures.clear()
-        self._broken.clear()
+        """Stop every worker (graceful, then forceful) and forget all state."""
+        for handle in self._workers.values():
+            try:
+                handle.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 1.0
+        for handle in self._workers.values():
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._workers.clear()
+        self._backlog.clear()
+        self._completed.clear()

@@ -1,0 +1,338 @@
+"""Crash-safe run journal: a write-ahead log of trial outcomes.
+
+Long HyperBand-family runs are exactly the workloads whose bracket
+structure makes a restart-from-scratch expensive, yet a process crash
+used to lose every completed evaluation.  :class:`RunJournal` fixes that
+with the classic write-ahead-log recipe:
+
+- the first line of the file is a **header** recording the run's identity
+  (root seed, optional metadata such as the searcher name and a
+  :func:`space_fingerprint` of the search space);
+- every *executed* terminal :class:`~repro.engine.protocol.TrialOutcome`
+  — successes and degraded failures alike — is appended as one JSON line
+  and ``fsync``'d **before** it becomes visible to the searcher, so a
+  crash at any instant leaves a valid prefix on disk (possibly plus one
+  torn final line, which :meth:`RunJournal.read` tolerates and drops).
+
+Because the engine derives every trial's seed purely from
+``(root_seed, config, budget, attempt)`` — see
+:func:`~repro.engine.protocol.derive_seed` — a journaled outcome is not
+an approximation of what a re-run would produce, it *is* what a re-run
+would produce.  Resume therefore needs no searcher-side checkpointing at
+all: :class:`~repro.engine.core.TrialEngine` replays the journal into a
+lookaside map at :meth:`~repro.engine.core.TrialEngine.bind` time, the
+searcher re-executes its (deterministic) schedule, and every already-
+durable trial is served instantly with ``resumed=True`` while only the
+lost tail is actually evaluated.  The resumed run is bitwise identical
+to the uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..bandit.base import EvaluationResult
+from ..results import config_from_jsonable, config_to_jsonable
+from ..space import config_key
+from .cache import EvaluationCache
+from .protocol import TrialOutcome, derive_seed
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalEntry",
+    "JournalError",
+    "RunJournal",
+    "replay_key",
+    "space_fingerprint",
+]
+
+#: On-disk format version; bump when the record schema changes.
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """A journal file is unusable: bad header, version, or identity mismatch."""
+
+
+def space_fingerprint(space) -> str:
+    """Short stable digest of a search space's parameters.
+
+    Built from the parameters' ``repr`` (all of which are
+    value-complete: ``Categorical('q', [1, 2])`` etc.), so two processes
+    constructing the same space agree on the fingerprint and a journal
+    recorded against one space refuses to resume against another.
+    """
+    payload = repr([repr(p) for p in space.parameters]).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
+@dataclass
+class JournalEntry:
+    """One durable trial outcome, as reconstructed from a journal line.
+
+    Attributes
+    ----------
+    config, budget_fraction, iteration, bracket, trial_id, seed, attempt:
+        The originating request's fields (``seed``/``attempt`` are those
+        of the final attempt that settled the trial).
+    attempts:
+        Number of executions the original run performed for this trial.
+    failed:
+        True when the trial was degraded to the sentinel result.
+    error:
+        ``"ExcType: message"`` of the last failure, if any.
+    result:
+        The terminal :class:`~repro.bandit.base.EvaluationResult`
+        (the sentinel for degraded trials).
+    """
+
+    config: Dict[str, Any]
+    budget_fraction: float
+    iteration: int
+    bracket: int
+    trial_id: int
+    seed: Optional[int]
+    attempt: int
+    attempts: int
+    failed: bool
+    error: Optional[str]
+    result: EvaluationResult
+
+
+def _entry_to_dict(outcome: TrialOutcome) -> Dict[str, Any]:
+    """Serialise an executed terminal outcome to a journal record."""
+    request = outcome.request
+    result = outcome.result
+    return {
+        "type": "outcome",
+        "trial_id": request.trial_id,
+        "config": config_to_jsonable(request.config),
+        "budget_fraction": request.budget_fraction,
+        "iteration": request.iteration,
+        "bracket": request.bracket,
+        "seed": request.seed,
+        "attempt": request.attempt,
+        "attempts": outcome.attempts,
+        "failed": outcome.failed,
+        "error": outcome.error,
+        "result": {
+            "mean": result.mean,
+            "std": result.std,
+            "score": result.score,
+            "gamma": result.gamma,
+            "fold_scores": list(result.fold_scores),
+            "n_instances": result.n_instances,
+            "cost": result.cost,
+        },
+    }
+
+
+def _entry_from_dict(data: Dict[str, Any]) -> JournalEntry:
+    """Inverse of :func:`_entry_to_dict`; raises ``KeyError`` when malformed."""
+    return JournalEntry(
+        config=config_from_jsonable(data["config"]),
+        budget_fraction=float(data["budget_fraction"]),
+        iteration=int(data.get("iteration", 0)),
+        bracket=int(data.get("bracket", 0)),
+        trial_id=int(data.get("trial_id", -1)),
+        seed=data.get("seed"),
+        attempt=int(data.get("attempt", 0)),
+        attempts=int(data.get("attempts", 1)),
+        failed=bool(data.get("failed", False)),
+        error=data.get("error"),
+        result=EvaluationResult(**data["result"]),
+    )
+
+
+def replay_key(entry: JournalEntry, root_seed: Optional[int]) -> Tuple:
+    """The engine lookup key a fresh submission of this trial would use.
+
+    Fresh submissions always carry ``attempt=0``, so the key is built from
+    the attempt-0 derived seed regardless of how many retries the original
+    run needed before the trial settled.
+    """
+    key = config_key(entry.config)
+    seed = derive_seed(root_seed, key, entry.budget_fraction, 0)
+    return EvaluationCache.make_key(key, entry.budget_fraction, seed)
+
+
+def _normalise_root(root_seed: Optional[int]) -> int:
+    """Match :func:`~repro.engine.protocol.derive_seed`'s None-is-zero rule."""
+    return int(root_seed) if root_seed is not None else 0
+
+
+class RunJournal:
+    """Append-only fsync'd JSONL log of a run's executed trial outcomes.
+
+    Parameters
+    ----------
+    path:
+        Journal file location; created (with parents) on first open.
+    fsync:
+        Force each record to stable storage before it is considered
+        durable (default).  ``False`` trades crash safety for speed —
+        useful for benchmarking the journaling overhead itself.
+
+    Examples
+    --------
+    Engines accept the journal (or just its path) directly::
+
+        engine = TrialEngine(executor=SerialExecutor(),
+                             journal=RunJournal("run.wal"))
+        searcher = HyperBand(space, evaluator, random_state=0, engine=engine)
+        searcher.fit(configurations=pool)     # every outcome lands in run.wal
+
+    Re-running the same search against the same journal replays every
+    durable trial and only executes what the interrupted run lost.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.header: Optional[Dict[str, Any]] = None
+        self._handle = None
+        #: Journal lines dropped at open because of a torn/corrupt tail.
+        self.dropped_records = 0
+
+    # -- reading ---------------------------------------------------------------
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[JournalEntry], int]:
+        """Parse a journal file into ``(header, entries, n_dropped)``.
+
+        A crash can only ever truncate the file mid-line, so parsing stops
+        at the first undecodable or incomplete record and reports how many
+        trailing lines were dropped; everything before it is trusted.  A
+        missing/invalid header or an unsupported version raises
+        :class:`JournalError` — that is corruption of a different kind and
+        must not be silently "resumed" from.
+        """
+        path = Path(path)
+        raw = path.read_text()
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise JournalError(f"journal {path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"journal {path} has an unreadable header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("type") != "header":
+            raise JournalError(f"journal {path} does not start with a header record")
+        version = header.get("version")
+        if version != JOURNAL_VERSION:
+            raise JournalError(
+                f"journal {path} has version {version!r}; this build reads {JOURNAL_VERSION}"
+            )
+        entries: List[JournalEntry] = []
+        dropped = 0
+        for index, line in enumerate(lines[1:]):
+            try:
+                data = json.loads(line)
+                if data.get("type") != "outcome":
+                    raise KeyError("type")
+                entries.append(_entry_from_dict(data))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                dropped = len(lines) - 1 - index
+                break
+        return header, entries, dropped
+
+    # -- writing ---------------------------------------------------------------
+
+    def open(
+        self,
+        root_seed: Optional[int],
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> List[JournalEntry]:
+        """Open for appending, returning every already-durable entry.
+
+        A fresh file gets a header recording ``root_seed`` and
+        ``metadata``; an existing file is replayed and its header verified
+        against them — resuming with a different seed, searcher or space
+        raises :class:`JournalError` instead of silently mixing two runs.
+        Idempotent: re-opening an already-open journal just re-verifies.
+        """
+        if self._handle is not None:
+            self.check_identity(root_seed, metadata)
+            return []
+        entries: List[JournalEntry] = []
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self.header, entries, self.dropped_records = self.read(self.path)
+            self.check_identity(root_seed, metadata)
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.header = {
+                "type": "header",
+                "version": JOURNAL_VERSION,
+                "root_seed": _normalise_root(root_seed),
+                "metadata": dict(metadata or {}),
+            }
+            self._handle = self.path.open("w")
+            self._write_line(self.header)
+            return []
+        self._handle = self.path.open("a")
+        return entries
+
+    def check_identity(
+        self, root_seed: Optional[int], metadata: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Raise :class:`JournalError` unless header matches this run's identity.
+
+        Metadata keys present in **both** the header and ``metadata`` must
+        agree; keys only one side knows about are ignored, so adding a new
+        metadata field does not invalidate old journals.
+        """
+        if self.header is None:
+            raise JournalError("journal has no header; call open() first")
+        recorded = self.header.get("root_seed")
+        if recorded != _normalise_root(root_seed):
+            raise JournalError(
+                f"journal {self.path} was recorded with root_seed={recorded}, "
+                f"cannot resume with root_seed={_normalise_root(root_seed)}"
+            )
+        stored = self.header.get("metadata") or {}
+        for key, value in (metadata or {}).items():
+            if key in stored and stored[key] != value:
+                raise JournalError(
+                    f"journal {self.path} metadata mismatch on {key!r}: "
+                    f"recorded {stored[key]!r}, run has {value!r}"
+                )
+
+    def append(self, outcome: TrialOutcome) -> None:
+        """Durably log one executed terminal outcome (success or degraded).
+
+        Called by the engine *before* the outcome is released to the
+        searcher — the write-ahead ordering that makes every observed
+        result recoverable.
+        """
+        if self._handle is None:
+            raise JournalError("journal not open; call open() before append()")
+        self._write_line(_entry_to_dict(outcome))
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent); reopening replays it."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "RunJournal":
+        """Support ``with RunJournal(path) as journal:``."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close the file on scope exit."""
+        self.close()

@@ -135,6 +135,10 @@ class TrialOutcome:
         True when every attempt raised and ``result`` is the sentinel.
     error:
         ``"ExcType: message"`` of the last failure, if any attempt failed.
+    resumed:
+        True when the outcome was replayed from a
+        :class:`~repro.engine.journal.RunJournal` written by an earlier
+        (possibly interrupted) run instead of being executed.
     """
 
     request: TrialRequest
@@ -143,3 +147,4 @@ class TrialOutcome:
     cache_hit: bool = False
     failed: bool = False
     error: Optional[str] = None
+    resumed: bool = False

@@ -13,7 +13,14 @@ from typing import Any, Dict, Union
 
 from .bandit.base import EvaluationResult, SearchResult, Trial
 
-__all__ = ["result_to_dict", "result_from_dict", "save_result", "load_result"]
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "config_to_jsonable",
+    "config_from_jsonable",
+]
 
 
 def _jsonable(value: Any) -> Any:
@@ -35,12 +42,23 @@ def _from_jsonable(value: Any) -> Any:
     return value
 
 
-def _config_to_dict(config: Dict[str, Any]) -> Dict[str, Any]:
+def config_to_jsonable(config: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe copy of a configuration (tuples and numpy scalars coerced).
+
+    The engine's run journal and the result files share this encoding, so
+    a configuration round-trips identically through either.
+    """
     return {key: _jsonable(value) for key, value in config.items()}
 
 
-def _config_from_dict(data: Dict[str, Any]) -> Dict[str, Any]:
+def config_from_jsonable(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Inverse of :func:`config_to_jsonable`."""
     return {key: _from_jsonable(value) for key, value in data.items()}
+
+
+# Backwards-compatible private aliases (pre-journal internal names).
+_config_to_dict = config_to_jsonable
+_config_from_dict = config_from_jsonable
 
 
 def result_to_dict(result: SearchResult) -> Dict[str, Any]:

@@ -14,6 +14,12 @@ eliminates the repeated (config, budget) pairs that HyperBand's bracket
 cycling generates regardless of core count.  The JSON separates the
 per-run hit rate so the two are distinguishable.
 
+Each run also records the robustness counters (retries, watchdog
+timeouts, degraded and non-finite trials — all zero on a healthy
+machine), and a final pass times a journaled HyperBand run against an
+unjournaled one to report the fsync'd write-ahead log's overhead as a
+percentage of wall clock.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_engine.py [--out BENCH_engine.json]
@@ -23,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -94,6 +101,9 @@ def bench_method(method, X, y, space, pool, factory, seed):
             "n_trials": result.n_trials,
             "evaluations_executed": stats.executed,
             "retries": stats.retries,
+            "timeouts": stats.timeouts,
+            "degraded": stats.failures,
+            "non_finite": stats.non_finite,
         }
         print(f"  {method.upper():>3} x{n_workers}: {seconds:6.2f}s  "
               f"speedup {runs[str(n_workers)]['speedup_vs_baseline']:5.2f}x  "
@@ -104,6 +114,34 @@ def bench_method(method, X, y, space, pool, factory, seed):
         "baseline_trials": baseline_result.n_trials,
         "runs": runs,
     }
+
+
+def bench_journal_overhead(X, y, space, pool, factory, seed):
+    """Journal cost: HB serial with and without the fsync'd write-ahead log."""
+    plain_seconds, plain_result = run_journal_run(X, y, space, pool, factory, seed, journal=None)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.wal"
+        journaled_seconds, journaled_result = run_journal_run(
+            X, y, space, pool, factory, seed, journal=str(path)
+        )
+        n_entries = sum(1 for _ in path.open()) - 1  # minus header
+    if journaled_result.best_config != plain_result.best_config:
+        raise AssertionError("journaling changed the winner — determinism broken")
+    overhead_pct = 100.0 * (journaled_seconds - plain_seconds) / plain_seconds
+    print(f"journal: plain {plain_seconds:.2f}s, journaled {journaled_seconds:.2f}s "
+          f"({n_entries} entries) -> overhead {overhead_pct:+.1f}%")
+    return {
+        "plain_seconds": round(plain_seconds, 4),
+        "journaled_seconds": round(journaled_seconds, 4),
+        "entries": n_entries,
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def run_journal_run(X, y, space, pool, factory, seed, journal):
+    """One serial HB fit, optionally write-ahead-logged."""
+    with TrialEngine(executor=SerialExecutor(), cache=True, journal=journal) as engine:
+        return run_once("hb", X, y, space, pool, factory, seed, engine)
 
 
 def main(argv=None) -> int:
@@ -133,10 +171,15 @@ def main(argv=None) -> int:
             method, X, y, space, pools[method], factory, args.seed
         )
 
+    report["journal_overhead"] = bench_journal_overhead(
+        X, y, space, pools["hb"], factory, args.seed
+    )
+
     hb4 = report["methods"]["hb"]["runs"]["4"]
     report["headline"] = {
         "hyperband_4worker_speedup": hb4["speedup_vs_baseline"],
         "hyperband_4worker_cache_hit_rate": hb4["cache_hit_rate"],
+        "journal_overhead_pct": report["journal_overhead"]["overhead_pct"],
     }
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")

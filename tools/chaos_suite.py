@@ -1,0 +1,286 @@
+"""Fault-injection harness: attack the engine and assert its invariants.
+
+Each scenario breaks the engine on purpose — evaluator exceptions, NaN
+and ``+inf`` scores, hung evaluations, workers dying via ``os._exit``,
+SIGKILL mid-run, torn journal tails — and asserts the robustness
+contract:
+
+1. the search always completes and a real (finite, non-sentinel) trial
+   wins whenever one exists;
+2. degraded trials carry the sentinel score and are counted in
+   :class:`~repro.engine.EngineStats`;
+3. a journaled run interrupted at any point resumes to the *bitwise*
+   result of the uninterrupted run, for SHA+, HyperBand+ and ASHA.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_suite.py           # full sweep
+    PYTHONPATH=src python tools/chaos_suite.py --quick   # CI smoke subset
+
+Exit code 0 iff every scenario PASSes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+import traceback
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bandit import ASHA, HyperBand, SuccessiveHalving
+from repro.bandit.base import EvaluationResult
+from repro.engine import (
+    FAILURE_SCORE,
+    ChaosExecutor,
+    ChaosPolicy,
+    ParallelExecutor,
+    RunJournal,
+    SerialExecutor,
+    TrialEngine,
+)
+from repro.space import Categorical, SearchSpace
+
+SPACE = SearchSpace([Categorical("q", list(range(8)))])
+
+SEARCHERS = {
+    "sha+": lambda space, ev, engine: SuccessiveHalving(space, ev, random_state=7, engine=engine),
+    "hb+": lambda space, ev, engine: HyperBand(space, ev, random_state=7, engine=engine),
+    "asha": lambda space, ev, engine: ASHA(space, ev, random_state=7, n_workers=2, engine=engine),
+}
+
+
+class QualityEvaluator:
+    """Picklable synthetic evaluator: best configuration is q=7."""
+
+    def evaluate(self, config, budget_fraction, rng):
+        score = config["q"] / 10.0 + 0.001 * float(rng.standard_normal())
+        return EvaluationResult(mean=score, std=0.0, score=score, gamma=100 * budget_fraction)
+
+
+def fingerprint(result):
+    """Order-sensitive trial identity: what "bitwise resume" compares."""
+    return [
+        (t.key, t.budget_fraction, t.result.score, t.iteration, t.bracket)
+        for t in result.trials
+    ]
+
+
+def run_search(name, engine):
+    """One fit of the named searcher on the shared space/evaluator."""
+    searcher = SEARCHERS[name](SPACE, QualityEvaluator(), engine)
+    return searcher.fit(configurations=SPACE.grid())
+
+
+def assert_sane(result, stats):
+    """Invariants every chaotic search must keep."""
+    assert math.isfinite(result.best_score), "non-finite score escaped sanitization"
+    assert result.best_score > FAILURE_SCORE, "a degraded trial won the search"
+    # The cache may re-serve a degraded outcome across brackets, so compare
+    # *distinct* degraded (config, budget) pairs against the failure count.
+    degraded = {
+        (t.key, t.budget_fraction) for t in result.trials
+        if t.result.score == FAILURE_SCORE
+    }
+    assert len(degraded) == stats.failures, (
+        f"distinct sentinel trials ({len(degraded)}) disagree with "
+        f"stats.failures ({stats.failures})"
+    )
+
+
+# -- scenarios ----------------------------------------------------------------
+
+
+def scenario_crash_resume(searcher_name):
+    """Truncate a journal at every prefix; each resume must be bitwise."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.wal"
+        with TrialEngine(executor=SerialExecutor(), journal=str(path), retry_backoff=0.0) as engine:
+            reference = run_search(searcher_name, engine)
+        full = path.read_text().splitlines(True)
+        n_entries = len(full) - 1
+        for n_keep in range(1, n_entries):
+            path.write_text("".join(full[: 1 + n_keep]))
+            with TrialEngine(executor=SerialExecutor(), journal=str(path), retry_backoff=0.0) as engine:
+                resumed = run_search(searcher_name, engine)
+            assert fingerprint(resumed) == fingerprint(reference), (
+                f"{searcher_name}: resume from {n_keep}/{n_entries} diverged"
+            )
+            # Repeated (config, budget) pairs re-serve from the replay map,
+            # so `resumed` is >= the prefix length; only the lost distinct
+            # executions may run again.
+            assert engine.stats.resumed >= n_keep
+            assert engine.stats.executed == n_entries - n_keep
+        return f"{n_entries - 1} cut points, all bitwise"
+
+
+def scenario_evaluator_faults():
+    """Raises + NaN + inf under retries: completes, degrades, sanitizes."""
+    policy = ChaosPolicy(failure_rate=0.2, nan_rate=0.1, corrupt_rate=0.1)
+    with TrialEngine(executor=ChaosExecutor(SerialExecutor(), policy),
+                     max_retries=2, retry_backoff=0.0) as engine:
+        result = run_search("hb+", engine)
+        stats = engine.stats
+    assert_sane(result, stats)
+    assert stats.retries > 0, "no fault was ever injected"
+    assert stats.non_finite > 0, "no corrupted score was ever injected"
+    return f"{stats.retries} retries, {stats.failures} degraded, {stats.non_finite} non-finite"
+
+
+def scenario_hang_watchdog():
+    """Injected hangs outlive trial_timeout: watchdog kills, run finishes."""
+    policy = ChaosPolicy(hang_rate=0.15, hang_seconds=60.0)
+    executor = ChaosExecutor(ParallelExecutor(n_workers=2, trial_timeout=0.5), policy)
+    start = time.monotonic()
+    with TrialEngine(executor=executor, max_retries=2, retry_backoff=0.0) as engine:
+        result = run_search("sha+", engine)
+        stats = engine.stats
+    elapsed = time.monotonic() - start
+    assert_sane(result, stats)
+    assert stats.timeouts > 0, "no hang was ever injected"
+    assert elapsed < 60.0, "the watchdog failed to preempt a hang"
+    return f"{stats.timeouts} watchdog kills in {elapsed:.1f}s"
+
+
+def scenario_worker_exit():
+    """Workers die via os._exit mid-trial: respawn + resubmit, no deadlock."""
+    policy = ChaosPolicy(exit_rate=0.15)
+    inner = ParallelExecutor(n_workers=2)
+    with TrialEngine(executor=ChaosExecutor(inner, policy),
+                     max_retries=3, retry_backoff=0.0) as engine:
+        result = run_search("hb+", engine)
+        stats = engine.stats
+    assert_sane(result, stats)
+    assert inner.respawns > 0, "no worker was ever killed"
+    return f"{inner.respawns} workers respawned, {stats.retries} retries"
+
+
+def scenario_sigkill_resume():
+    """SIGKILL a journaled child mid-run; resume must match the clean run."""
+    with TrialEngine(executor=SerialExecutor(), retry_backoff=0.0) as engine:
+        reference = run_search("hb+", engine)
+
+    script = textwrap.dedent(
+        """
+        import sys, time
+        from repro.bandit import HyperBand
+        from repro.bandit.base import EvaluationResult
+        from repro.engine import SerialExecutor, TrialEngine
+        from repro.space import Categorical, SearchSpace
+
+        class SlowQuality:
+            def evaluate(self, config, budget_fraction, rng):
+                time.sleep(0.05)
+                score = config["q"] / 10.0 + 0.001 * float(rng.standard_normal())
+                return EvaluationResult(mean=score, std=0.0, score=score,
+                                        gamma=100 * budget_fraction)
+
+        space = SearchSpace([Categorical("q", list(range(8)))])
+        engine = TrialEngine(executor=SerialExecutor(), journal=sys.argv[1],
+                             retry_backoff=0.0)
+        HyperBand(space, SlowQuality(), random_state=7, engine=engine).fit(
+            configurations=space.grid())
+        engine.shutdown()
+        """
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.wal"
+        env = {**os.environ,
+               "PYTHONPATH": "src" + os.pathsep + os.environ.get("PYTHONPATH", "")}
+        child = subprocess.Popen([sys.executable, "-c", script, str(path)], env=env)
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if path.exists() and len(path.read_text().splitlines()) >= 5:
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.02)
+            assert child.poll() is None, "child finished before it could be killed"
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+
+        _, entries, _ = RunJournal.read(path)
+        assert 0 < len(entries) < len(reference.trials), "kill was not mid-run"
+
+        # The child's evaluator only adds a sleep, so its journal replays
+        # bitwise into the in-process reference run.
+        with TrialEngine(executor=SerialExecutor(), journal=str(path), retry_backoff=0.0) as engine:
+            resumed = run_search("hb+", engine)
+            stats = engine.stats
+        assert stats.resumed >= len(entries) and stats.executed > 0
+        assert fingerprint(resumed) == fingerprint(reference), "SIGKILL resume diverged"
+        return f"killed at {len(entries)}/{len(reference.trials)} trials, resume bitwise"
+
+
+def scenario_torn_journal():
+    """A crash mid-append leaves a torn line: dropped, then overwritten."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.wal"
+        with TrialEngine(executor=SerialExecutor(), journal=str(path), retry_backoff=0.0) as engine:
+            reference = run_search("sha+", engine)
+        lines = path.read_text().splitlines(True)
+        torn = "".join(lines[:4]) + lines[4][: len(lines[4]) // 2]
+        path.write_text(torn)
+        with TrialEngine(executor=SerialExecutor(), journal=str(path), retry_backoff=0.0) as engine:
+            resumed = run_search("sha+", engine)
+            stats = engine.stats
+        assert engine.journal.dropped_records == 1, "torn tail not detected"
+        assert stats.resumed == 3, "intact prefix not replayed"
+        assert fingerprint(resumed) == fingerprint(reference), "torn-tail resume diverged"
+        return "torn record dropped, prefix replayed, resume bitwise"
+
+
+def build_scenarios(quick):
+    """(name, callable) list; --quick keeps one fast probe per failure mode."""
+    scenarios = [
+        ("crash-resume[sha+]", lambda: scenario_crash_resume("sha+")),
+        ("evaluator-faults", scenario_evaluator_faults),
+        ("torn-journal", scenario_torn_journal),
+        ("worker-exit", scenario_worker_exit),
+        ("hang-watchdog", scenario_hang_watchdog),
+    ]
+    if not quick:
+        scenarios[1:1] = [
+            ("crash-resume[hb+]", lambda: scenario_crash_resume("hb+")),
+            ("crash-resume[asha]", lambda: scenario_crash_resume("asha")),
+        ]
+        scenarios.append(("sigkill-resume", scenario_sigkill_resume))
+    return scenarios
+
+
+def main(argv=None) -> int:
+    """Run every scenario; print PASS/FAIL; exit non-zero on any failure."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke subset: one fast scenario per failure mode")
+    args = parser.parse_args(argv)
+
+    scenarios = build_scenarios(args.quick)
+    print(f"chaos suite: {len(scenarios)} scenarios ({'quick' if args.quick else 'full'})\n")
+    failures = 0
+    for name, scenario in scenarios:
+        start = time.monotonic()
+        try:
+            detail = scenario()
+            status = "PASS"
+        except Exception:
+            failures += 1
+            detail = traceback.format_exc().splitlines()[-1]
+            status = "FAIL"
+        print(f"[{status}] {name:<22} {time.monotonic() - start:6.1f}s  {detail}")
+    print(f"\n{len(scenarios) - failures}/{len(scenarios)} scenarios passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification ladder:
+#   1. tier-1 test suite (fast; chaos tests deselected by pyproject addopts)
+#   2. chaos-marked pytest tier (process kills, SIGKILL resume)
+#   3. fault-injection harness smoke (tools/chaos_suite.py --quick)
+#
+# Usage: bash tools/run_checks.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1: pytest -x -q =="
+python -m pytest -x -q
+
+echo
+echo "== chaos tier: pytest -m chaos =="
+python -m pytest -q -m chaos
+
+echo
+echo "== chaos suite smoke: tools/chaos_suite.py --quick =="
+python tools/chaos_suite.py --quick
+
+echo
+echo "all checks passed"
