@@ -11,6 +11,10 @@ The package layers:
 - :mod:`repro.engine` — the trial-execution engine: deterministic
   per-trial seeding, memoization, retry/degrade fault tolerance and
   pluggable serial/process-pool executors;
+- :mod:`repro.guard` — the data-integrity guard layer: dataset
+  validation/repair, typed degradation events and the policies
+  (``strict``/``repair``/``warn``/``off``) threaded through grouping,
+  folds, learners and scoring;
 - :mod:`repro.core` — the paper's contribution: instance grouping,
   general+special fold construction and the variance/size-aware metric,
   plugged into the bandit methods as SHA+/HB+/BOHB+/ASHA+;
@@ -63,6 +67,15 @@ from .engine import (
     TrialOutcome,
     TrialRequest,
 )
+from .guard import (
+    GUARD_POLICIES,
+    DataReport,
+    GuardError,
+    GuardEvent,
+    GuardLog,
+    GuardWarning,
+    validate_dataset,
+)
 from .results import load_result, result_from_dict, result_to_dict, save_result
 from .space import Categorical, Float, Integer, SearchSpace
 
@@ -80,6 +93,13 @@ __all__ = [
     "Categorical",
     "EvaluationResult",
     "Float",
+    "GUARD_POLICIES",
+    "DataReport",
+    "GuardError",
+    "GuardEvent",
+    "GuardLog",
+    "GuardWarning",
+    "validate_dataset",
     "GeneralSpecialFolds",
     "HyperBand",
     "InstanceGrouping",

@@ -48,6 +48,11 @@ class EvaluationResult:
         Number of training instances actually used.
     cost:
         Wall-clock seconds spent on this evaluation.
+    guard_events:
+        Data-integrity degradations recorded while evaluating, as
+        JSON-able dicts (see :mod:`repro.guard.events`).  Kept as plain
+        data so the events survive worker-process boundaries and journal
+        round-trips; empty when no guard is active.
     """
 
     mean: float
@@ -57,6 +62,7 @@ class EvaluationResult:
     fold_scores: List[float] = field(default_factory=list)
     n_instances: int = 0
     cost: float = 0.0
+    guard_events: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class ConfigurationEvaluator(Protocol):
@@ -195,11 +201,19 @@ class BaseSearcher:
 
         Guards a resume against the silent mixing of two different runs: a
         journal written by one searcher/space refuses to replay into
-        another.
+        another, and (since the guard layer landed) a journal written under
+        one guard policy refuses to replay under a different one — guards
+        change scores, so mixing policies would silently corrupt a run.
+        Journals from before the guard key simply lack it and still resume.
         """
         from ..engine.journal import space_fingerprint  # local import avoids a cycle
 
-        return {"searcher": self.method_name, "space": space_fingerprint(self.space)}
+        guard_policy = getattr(self.evaluator, "guard_policy", None)
+        return {
+            "searcher": self.method_name,
+            "space": space_fingerprint(self.space),
+            "guard": guard_policy if guard_policy is not None else "off",
+        }
 
     def resume(
         self,

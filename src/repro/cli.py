@@ -18,7 +18,13 @@ a crashed run can be continued with ``--resume`` (replaying the durable
 trials and reproducing the uninterrupted result bit for bit), and
 ``--trial-timeout SECONDS`` arms the parallel executor's watchdog so a
 hung evaluation is killed, retried with backoff, and eventually degraded
-instead of stalling the search forever.
+instead of stalling the search forever.  ``--guard POLICY`` switches on
+the data-integrity guard layer (:mod:`repro.guard`): dirty datasets are
+rejected (``strict``), repaired in a copy (``repair``) or recorded
+(``warn``), degenerate grouping/fold cases degrade gracefully, and the
+run summary reports every guard event.  The guard policy is part of a
+journal's identity, so a ``--resume`` under a different policy refuses
+rather than silently mixing scores.
 """
 
 from __future__ import annotations
@@ -71,6 +77,11 @@ def build_parser() -> argparse.ArgumentParser:
                              help="watchdog deadline per evaluation; a hung trial is killed, "
                                   "retried with backoff and finally degraded (implies the "
                                   "parallel executor)")
+    tune_parser.add_argument("--guard", default="off",
+                             choices=["strict", "repair", "warn", "off"],
+                             help="data-integrity guard policy: strict rejects dirty data, "
+                                  "repair fixes it in a copy, warn only records, off (default) "
+                                  "skips all checks")
 
     report_parser = subparsers.add_parser("report", help="regenerate every table & figure")
     report_parser.add_argument("--scale", type=float, default=0.3)
@@ -166,6 +177,7 @@ def _command_tune(args: argparse.Namespace) -> int:
         configurations=space.grid() if space.is_finite and not args.method.startswith(("bohb", "dehb", "tpe", "smac")) else None,
         n_configurations=None,
         engine=engine,
+        guard=args.guard,
     )
     test_score = make_scorer(dataset.metric)(outcome.model, dataset.X_test, dataset.y_test)
     print(f"best configuration : {outcome.best_config}")
@@ -179,8 +191,21 @@ def _command_tune(args: argparse.Namespace) -> int:
               f"{stats.executed} evaluations run, {stats.retries} retries, "
               f"{stats.failures} degraded)")
         print(f"robustness         : {stats.resumed} resumed from journal, "
-              f"{stats.timeouts} watchdog timeouts, {stats.non_finite} non-finite results")
+              f"{stats.timeouts} watchdog timeouts, {stats.non_finite} non-finite results, "
+              f"{stats.guard_events} guard events")
         engine.shutdown()
+    if args.guard != "off":
+        from collections import Counter
+
+        if outcome.data_report is not None:
+            print(f"data report        : {outcome.data_report.summary()}")
+        counts = Counter(
+            event.get("kind", "unknown")
+            for trial in outcome.result.trials
+            for event in trial.result.guard_events
+        )
+        detail = ", ".join(f"{kind} x{n}" for kind, n in sorted(counts.items())) or "none"
+        print(f"guard [{args.guard:>6}]    : {sum(counts.values())} trial event(s): {detail}")
     if args.save:
         save_result(outcome.result, args.save)
         print(f"search record saved to {args.save}")

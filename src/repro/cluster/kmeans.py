@@ -114,15 +114,25 @@ class KMeans(BaseEstimator):
         n_iter = 0
         for n_iter in range(1, self.max_iter + 1):
             new_centers = centers.copy()
+            reseeded: list = []
             for j in range(self.n_clusters):
                 members = X[labels == j]
                 if len(members):
                     new_centers[j] = members.mean(axis=0)
                 else:
                     # Re-seed an empty cluster at the point farthest from
-                    # its current center to keep exactly n_clusters alive.
+                    # its assigned center to keep exactly n_clusters alive.
+                    # argmax is deterministic (first maximum), and points
+                    # already claimed by an earlier empty cluster in this
+                    # iteration are masked out so several simultaneous
+                    # empties never collapse onto the same seed.
                     distances = ((X - centers[labels]) ** 2).sum(axis=1)
-                    new_centers[j] = X[int(distances.argmax())]
+                    if reseeded:
+                        distances = distances.copy()
+                        distances[reseeded] = -1.0
+                    seed_index = int(distances.argmax())
+                    reseeded.append(seed_index)
+                    new_centers[j] = X[seed_index]
             shift = float(((new_centers - centers) ** 2).sum())
             centers = new_centers
             labels, inertia = _assign(X, centers)
@@ -150,6 +160,7 @@ def balanced_kmeans_labels(
     r_group: float = 0.8,
     max_rounds: int = 10,
     random_state: Optional[int] = None,
+    guard=None,
 ) -> np.ndarray:
     """Feature clustering with the paper's small-cluster re-clustering rule.
 
@@ -173,11 +184,24 @@ def balanced_kmeans_labels(
         Safety cap on re-clustering rounds.
     random_state:
         Seed passed to every k-means run.
+    guard:
+        Optional :class:`~repro.guard.events.GuardLog`; records a
+        ``grouping.recluster_fallback`` event when the iteration exhausts
+        its points (or ``max_rounds``) and falls back to an unbalanced
+        clustering.
 
     Returns
     -------
     numpy.ndarray
         Integer cluster labels for all ``n_samples`` instances.
+
+    Notes
+    -----
+    Termination is guaranteed on arbitrary data: every continued round
+    removes at least one instance from the kept set (a round that would
+    remove none breaks immediately), the kept set dropping below
+    ``n_clusters`` triggers the unbalanced fallback, and ``max_rounds``
+    caps the iteration regardless.
     """
     X = check_array(X)
     n_samples = X.shape[0]
@@ -191,7 +215,8 @@ def balanced_kmeans_labels(
     keep_mask = np.ones(n_samples, dtype=bool)
     model = None
     fitted_idx = np.arange(n_samples)
-    for _ in range(max(1, max_rounds)):
+    rounds = 0
+    for rounds in range(1, max(1, max_rounds) + 1):
         kept_idx = np.flatnonzero(keep_mask)
         if len(kept_idx) < n_clusters:
             # Too few instances survived the threshold; fall back to
@@ -199,6 +224,13 @@ def balanced_kmeans_labels(
             keep_mask[:] = True
             fitted_idx = np.flatnonzero(keep_mask)
             model = KMeans(n_clusters=n_clusters, random_state=random_state).fit(X[fitted_idx])
+            if guard is not None:
+                guard.record(
+                    "grouping.recluster_fallback",
+                    "balance rule exhausted its points; clustered unbalanced",
+                    rounds=rounds,
+                    n_clusters=n_clusters,
+                )
             break
         fitted_idx = kept_idx
         model = KMeans(n_clusters=n_clusters, random_state=random_state).fit(X[fitted_idx])
@@ -207,7 +239,20 @@ def balanced_kmeans_labels(
         small = counts < threshold
         if not small.any():
             break
-        keep_mask[kept_idx[np.isin(model.labels_, np.flatnonzero(small))]] = False
+        dissolve = kept_idx[np.isin(model.labels_, np.flatnonzero(small))]
+        if len(dissolve) == 0:
+            # Only empty clusters fell below threshold: no point to remove,
+            # so a further round would make no progress.
+            break
+        keep_mask[dissolve] = False
+    else:
+        if guard is not None:
+            guard.record(
+                "grouping.recluster_fallback",
+                "balance rule hit max_rounds without converging",
+                rounds=rounds,
+                n_clusters=n_clusters,
+            )
 
     labels = np.empty(n_samples, dtype=int)
     labels[fitted_idx] = model.labels_

@@ -8,6 +8,7 @@ from .cv import ConfigurationRanking, CrossValidationStudy
 from .diagnostics import StabilityResult, compare_stability, evaluation_stability
 from .enhanced import METHODS, OptimizationOutcome, make_searcher, optimize
 from .evaluator import (
+    FOLD_FLOOR,
     MLPModelFactory,
     SubsetCVEvaluator,
     grouped_evaluator,
@@ -31,6 +32,7 @@ __all__ = [
     "ConfigurationRanking",
     "CrossValidationStudy",
     "EnhancedSearchCV",
+    "FOLD_FLOOR",
     "GeneralSpecialFolds",
     "InstanceGrouping",
     "MLPModelFactory",

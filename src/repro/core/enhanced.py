@@ -68,6 +68,7 @@ def make_searcher(
     evaluator_kwargs: Optional[Dict[str, Any]] = None,
     searcher_kwargs: Optional[Dict[str, Any]] = None,
     engine=None,
+    guard: Optional[str] = None,
 ) -> BaseSearcher:
     """Construct a searcher by paper name (``"sha"``, ``"sha+"``, ...).
 
@@ -94,6 +95,10 @@ def make_searcher(
         evaluation through a pluggable executor with memoization and
         retries; works with any method since all searchers evaluate
         through the same seam.
+    guard:
+        Data-integrity guard policy (``"strict"``, ``"repair"``,
+        ``"warn"``, ``"off"`` or ``None``); forwarded to the evaluator
+        factory as ``guard_policy``.  See :mod:`repro.guard`.
     """
     key = method.lower()
     if key not in METHODS:
@@ -102,6 +107,8 @@ def make_searcher(
     if model_factory is None:
         model_factory = MLPModelFactory(task=task, max_iter=30)
     evaluator_kwargs = dict(evaluator_kwargs or {})
+    if guard is not None:
+        evaluator_kwargs.setdefault("guard_policy", guard)
     if enhanced:
         evaluator = grouped_evaluator(
             X, y, model_factory, metric=metric, task=task, random_state=random_state, **evaluator_kwargs
@@ -139,12 +146,16 @@ class OptimizationOutcome:
     train_score, wall_time:
         Full-train-set score of the refit model and total seconds including
         the refit.
+    data_report:
+        The :class:`~repro.guard.DataReport` of the entry validation when a
+        guard policy was active, else ``None``.
     """
 
     result: SearchResult
     model: Any
     train_score: float
     wall_time: float
+    data_report: Any = None
 
     @property
     def best_config(self) -> Dict[str, Any]:
@@ -167,6 +178,7 @@ def optimize(
     evaluator_kwargs: Optional[Dict[str, Any]] = None,
     searcher_kwargs: Optional[Dict[str, Any]] = None,
     engine=None,
+    guard: Optional[str] = None,
 ) -> OptimizationOutcome:
     """Run hyperparameter optimization end to end.
 
@@ -198,6 +210,7 @@ def optimize(
         evaluator_kwargs=evaluator_kwargs,
         searcher_kwargs=searcher_kwargs,
         engine=engine,
+        guard=guard,
     )
     result = searcher.fit(configurations=configurations, n_configurations=n_configurations)
     model = None
@@ -211,4 +224,5 @@ def optimize(
         model=model,
         train_score=train_score,
         wall_time=time.perf_counter() - start,
+        data_report=getattr(searcher.evaluator, "data_report", None),
     )

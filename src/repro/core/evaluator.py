@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, Optional
 import numpy as np
 
 from ..bandit.base import EvaluationResult
+from ..guard import DataReport, GuardLog, validate_dataset
 from ..learners import MLPClassifier, MLPRegressor
 from ..metrics import accuracy_score, f1_score, r2_score
 from ..model_selection import KFold, StratifiedKFold, random_subsample, stratified_subsample
@@ -34,12 +35,19 @@ from .grouping import InstanceGrouping, generate_groups
 from .scoring import ScoreParams, ucb_score
 
 __all__ = [
+    "FOLD_FLOOR",
     "MLPModelFactory",
     "SubsetCVEvaluator",
     "make_scorer",
     "vanilla_evaluator",
     "grouped_evaluator",
 ]
+
+#: Score a guarded evaluation assigns to a fold whose fit raised or whose
+#: metric came back non-finite.  Deliberately far below any real metric yet
+#: far above the engine's trial-level FAILURE_SCORE sentinel, so a partially
+#: failed evaluation still ranks below healthy ones but above total failures.
+FOLD_FLOOR = -1e6
 
 
 def make_scorer(metric: str) -> Callable:
@@ -138,6 +146,17 @@ class SubsetCVEvaluator:
         :func:`time.perf_counter`).  Tests inject a fake clock to make
         :attr:`EvaluationResult.cost` deterministic instead of sleeping;
         a custom clock must be picklable to cross process boundaries.
+    guard_policy:
+        Data-integrity guard policy (``"strict"``, ``"repair"``, ``"warn"``,
+        ``"off"`` or ``None``).  With an active policy (anything but
+        ``off``/``None``) the dataset is validated at construction, every
+        evaluation records :class:`~repro.guard.events.GuardEvent` entries
+        onto its result, degenerate folds shrink instead of raising, and
+        failed or non-finite folds are clamped to :data:`FOLD_FLOOR`.
+    data_report:
+        Pre-computed :class:`~repro.guard.DataReport` when the caller (e.g.
+        :func:`grouped_evaluator`) already validated ``X, y``; skips the
+        construction-time validation.
     """
 
     def __init__(
@@ -157,6 +176,8 @@ class SubsetCVEvaluator:
         score_params: Optional[ScoreParams] = None,
         min_subset: int = 30,
         clock: Optional[Callable[[], float]] = None,
+        guard_policy: Optional[str] = None,
+        data_report: Optional[DataReport] = None,
     ) -> None:
         for axis, value in (("sampling", sampling), ("folding", folding)):
             if value not in ("random", "stratified", "grouped"):
@@ -167,6 +188,15 @@ class SubsetCVEvaluator:
         self.y = np.asarray(y)
         if len(self.X) != len(self.y):
             raise ValueError(f"X and y have inconsistent lengths: {len(self.X)} != {len(self.y)}")
+        self.guard_policy = guard_policy
+        if self.guard_active and data_report is None:
+            self.X, self.y, data_report = validate_dataset(
+                self.X, self.y, policy=guard_policy, task=task
+            )
+        self.data_report = data_report
+        # Guard events recorded before evaluation begins (dataset validation,
+        # grouping); factories fill this, the CLI summarises it.
+        self.setup_guard_events: list = []
         self.model_factory = model_factory
         self.metric = metric
         self.scorer = make_scorer(metric)
@@ -181,6 +211,11 @@ class SubsetCVEvaluator:
         self.score_params = score_params if score_params is not None else ScoreParams(use_variance=False)
         self.min_subset = min_subset
         self.clock = clock if clock is not None else time.perf_counter
+
+    @property
+    def guard_active(self) -> bool:
+        """Whether an active guard policy governs this evaluator."""
+        return self.guard_policy not in (None, "off")
 
     # -- pickling -------------------------------------------------------------
 
@@ -212,6 +247,7 @@ class SubsetCVEvaluator:
         if not 0.0 < budget_fraction <= 1.0:
             raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
         start = self.clock()
+        guard = GuardLog(self.guard_policy) if self.guard_active else None
         n_total = len(self.y)
         k_total = self._n_folds()
         floor = max(self.min_subset, 2 * k_total)
@@ -220,8 +256,8 @@ class SubsetCVEvaluator:
 
         subset = self._draw_subset(n_subset, rng)
         fold_scores = []
-        for train_idx, val_idx in self._folds(subset, rng):
-            fold_scores.append(self._fit_and_score(config, train_idx, val_idx, rng))
+        for train_idx, val_idx in self._folds(subset, rng, guard):
+            fold_scores.append(self._fit_and_score(config, train_idx, val_idx, rng, guard))
         gamma = 100.0 * len(subset) / n_total
         mean = float(np.mean(fold_scores))
         std = float(np.std(fold_scores))
@@ -234,6 +270,7 @@ class SubsetCVEvaluator:
             fold_scores=[float(s) for s in fold_scores],
             n_instances=int(len(subset)),
             cost=self.clock() - start,
+            guard_events=guard.as_dicts() if guard else [],
         )
 
     # -- internals -------------------------------------------------------------
@@ -253,7 +290,12 @@ class SubsetCVEvaluator:
             return stratified_subsample(self.y, n_subset, rng=rng)
         return random_subsample(n_total, n_subset, rng=rng)
 
-    def _folds(self, subset: np.ndarray, rng: np.random.Generator):
+    def _folds(
+        self,
+        subset: np.ndarray,
+        rng: np.random.Generator,
+        guard: Optional[GuardLog] = None,
+    ):
         """Yield (train, validation) pairs in full-dataset coordinates."""
         seed = int(rng.integers(2**31))
         if self.folding == "grouped":
@@ -263,14 +305,27 @@ class SubsetCVEvaluator:
                 k_spe=self.k_spe,
                 special_majority=self.special_majority,
                 random_state=seed,
+                guard=guard,
             )
             yield from splitter.split(subset)
             return
+        n_splits = self.n_splits
+        n = len(subset)
+        if guard is not None and n < 2 * n_splits:
+            effective = max(2, n // 2)
+            guard.record(
+                "folds.k_shrunk",
+                f"subset of {n} too small for {n_splits} folds; using {effective}",
+                n=n,
+                k_before=n_splits,
+                k=effective,
+            )
+            n_splits = effective
         if self.folding == "stratified" and self.task == "classification":
-            splitter = StratifiedKFold(n_splits=self.n_splits, shuffle=True, random_state=seed)
+            splitter = StratifiedKFold(n_splits=n_splits, shuffle=True, random_state=seed)
             relative = splitter.split(subset, self.y[subset])
         else:
-            splitter = KFold(n_splits=self.n_splits, shuffle=True, random_state=seed)
+            splitter = KFold(n_splits=n_splits, shuffle=True, random_state=seed)
             relative = splitter.split(subset)
         for train_rel, val_rel in relative:
             yield subset[train_rel], subset[val_rel]
@@ -281,15 +336,48 @@ class SubsetCVEvaluator:
         train_idx: np.ndarray,
         val_idx: np.ndarray,
         rng: np.random.Generator,
+        guard: Optional[GuardLog] = None,
     ) -> float:
         X_train, y_train = self.X[train_idx], self.y[train_idx]
         X_val, y_val = self.X[val_idx], self.y[val_idx]
         if self.task == "classification" and len(np.unique(y_train)) < 2:
+            if guard is not None:
+                guard.record(
+                    "folds.single_class_train",
+                    "training fold holds a single class; scored a constant predictor",
+                    n_train=int(len(train_idx)),
+                )
             model = _ConstantClassifier(y_train[0])
         else:
             model = self.model_factory(config, random_state=int(rng.integers(2**31)))
-            model.fit(X_train, y_train)
-        return float(self.scorer(model, X_val, y_val))
+            if guard is None:
+                model.fit(X_train, y_train)
+            else:
+                try:
+                    model.fit(X_train, y_train)
+                except Exception as exc:  # noqa: BLE001 - any fit failure degrades
+                    guard.record(
+                        "learner.fit_error",
+                        f"fit raised {type(exc).__name__}: {exc}",
+                        error=type(exc).__name__,
+                        floor=FOLD_FLOOR,
+                    )
+                    return FOLD_FLOOR
+                if getattr(model, "diverged_", False):
+                    guard.record(
+                        "learner.diverged",
+                        "fit aborted on exploding loss; parameters rolled back "
+                        "to the last finite state",
+                    )
+        score = float(self.scorer(model, X_val, y_val))
+        if guard is not None and not np.isfinite(score):
+            guard.record(
+                "scoring.nonfinite_fold",
+                f"fold scored {score!r}; clamped to the fold floor",
+                floor=FOLD_FLOOR,
+            )
+            score = FOLD_FLOOR
+        return score
 
     def fit_full(self, config: Dict[str, Any], random_state: Optional[int] = None):
         """Train a model with ``config`` on the entire training set."""
@@ -307,6 +395,7 @@ def vanilla_evaluator(
     n_splits: int = 5,
     min_subset: int = 30,
     clock: Optional[Callable[[], float]] = None,
+    guard_policy: Optional[str] = None,
 ) -> SubsetCVEvaluator:
     """The baseline evaluator: stratified subsets, stratified k-fold, mean."""
     return SubsetCVEvaluator(
@@ -321,6 +410,7 @@ def vanilla_evaluator(
         score_params=ScoreParams(use_variance=False),
         min_subset=min_subset,
         clock=clock,
+        guard_policy=guard_policy,
     )
 
 
@@ -341,12 +431,37 @@ def grouped_evaluator(
     random_state: Optional[int] = None,
     grouping: Optional[InstanceGrouping] = None,
     clock: Optional[Callable[[], float]] = None,
+    guard_policy: Optional[str] = None,
 ) -> SubsetCVEvaluator:
     """The paper's enhanced evaluator (grouped sampling/folds, Eq. 3 score).
 
     Builds the instance grouping up front (the paper performs this once
-    before optimization starts) unless one is supplied.
+    before optimization starts) unless one is supplied.  With an active
+    ``guard_policy`` the dataset is validated *before* grouping (clustering
+    rejects NaN features, so repair must come first) and the grouping step
+    itself runs under a guard log whose events land on the data report's
+    side of the audit trail.
     """
+    data_report = None
+    if guard_policy not in (None, "off"):
+        setup_guard = GuardLog(guard_policy)
+        X, y, data_report = validate_dataset(
+            X,
+            y,
+            policy=guard_policy,
+            task="regression" if task == "regression" else "classification",
+            guard=setup_guard,
+        )
+        if grouping is None:
+            grouping = generate_groups(
+                X,
+                y,
+                n_groups=n_groups,
+                task="regression" if task == "regression" else "classification",
+                r_group=r_group,
+                random_state=random_state,
+                guard=setup_guard,
+            )
     if grouping is None:
         grouping = generate_groups(
             X,
@@ -356,7 +471,7 @@ def grouped_evaluator(
             r_group=r_group,
             random_state=random_state,
         )
-    return SubsetCVEvaluator(
+    evaluator = SubsetCVEvaluator(
         X,
         y,
         model_factory,
@@ -371,4 +486,9 @@ def grouped_evaluator(
         score_params=ScoreParams(alpha=alpha, beta_max=beta_max),
         min_subset=min_subset,
         clock=clock,
+        guard_policy=guard_policy,
+        data_report=data_report,
     )
+    if data_report is not None:
+        evaluator.setup_guard_events = setup_guard.as_dicts()
+    return evaluator

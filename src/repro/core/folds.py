@@ -22,6 +22,8 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..guard.events import GuardLog
+
 __all__ = ["GeneralSpecialFolds"]
 
 
@@ -43,6 +45,13 @@ class GeneralSpecialFolds:
         Fraction of a special fold drawn from its own group (paper: 0.8).
     random_state:
         Seed for all sampling.
+    guard:
+        Optional :class:`~repro.guard.events.GuardLog`.  With a guard,
+        degenerate inputs degrade instead of raising: ``k_spe`` exceeding
+        the group count shrinks to it (``folds.k_shrunk``), a subset too
+        small for ``k_gen + k_spe`` folds shrinks the fold counts
+        per-split (general folds first), and reusing groups for several
+        special folds is recorded as ``folds.special_group_reused``.
     """
 
     def __init__(
@@ -52,6 +61,7 @@ class GeneralSpecialFolds:
         k_spe: int = 2,
         special_majority: float = 0.8,
         random_state: Optional[int] = None,
+        guard: Optional[GuardLog] = None,
     ) -> None:
         group_labels = np.asarray(group_labels, dtype=int)
         if group_labels.ndim != 1:
@@ -60,7 +70,20 @@ class GeneralSpecialFolds:
             raise ValueError(f"Need k_gen + k_spe >= 2 folds, got k_gen={k_gen}, k_spe={k_spe}")
         n_groups = int(group_labels.max()) + 1 if len(group_labels) else 0
         if k_spe > n_groups:
-            raise ValueError(f"k_spe={k_spe} cannot exceed the number of groups ({n_groups})")
+            if guard is None:
+                raise ValueError(f"k_spe={k_spe} cannot exceed the number of groups ({n_groups})")
+            shrunk_spe = n_groups
+            shrunk_gen = max(k_gen, 2 - shrunk_spe)  # keep k_gen + k_spe >= 2
+            guard.record(
+                "folds.k_shrunk",
+                f"k_spe={k_spe} exceeds {n_groups} group(s); "
+                f"using k_gen={shrunk_gen}, k_spe={shrunk_spe}",
+                k_gen_before=k_gen,
+                k_spe_before=k_spe,
+                k_gen=shrunk_gen,
+                k_spe=shrunk_spe,
+            )
+            k_gen, k_spe = shrunk_gen, shrunk_spe
         if not 0.0 < special_majority <= 1.0:
             raise ValueError(f"special_majority must be in (0, 1], got {special_majority}")
         self.group_labels = group_labels
@@ -69,6 +92,7 @@ class GeneralSpecialFolds:
         self.special_majority = special_majority
         self.random_state = random_state
         self.n_groups = n_groups
+        self.guard = guard
 
     def get_n_splits(self) -> int:
         """Total fold count ``k_gen + k_spe``."""
@@ -90,14 +114,9 @@ class GeneralSpecialFolds:
             subset_indices = np.arange(len(self.group_labels))
         subset_indices = np.asarray(subset_indices, dtype=int)
         n = len(subset_indices)
-        k_total = self.get_n_splits()
-        if n < 2 * k_total:
-            raise ValueError(
-                f"Subset of {n} instances is too small for {k_total} folds "
-                f"(needs at least {2 * k_total})"
-            )
+        k_gen, k_spe = self._effective_counts(n)
         rng = np.random.default_rng(self.random_state)
-        blocks = self._partition(subset_indices, rng)
+        blocks = self._partition(subset_indices, k_gen, k_spe, rng)
         subset_set = subset_indices
         for block in blocks:
             mask = np.isin(subset_set, block, assume_unique=False)
@@ -105,10 +124,55 @@ class GeneralSpecialFolds:
 
     # -- internals ---------------------------------------------------------
 
-    def _partition(self, subset_indices: np.ndarray, rng: np.random.Generator) -> List[np.ndarray]:
+    def _effective_counts(self, n: int) -> Tuple[int, int]:
+        """Fold counts for an ``n``-instance subset, shrunk under a guard.
+
+        Without a guard (legacy behaviour) a subset too small for
+        ``k_gen + k_spe`` folds raises.  With one, general folds give way
+        first — the special folds are the paper's novelty — down to one of
+        each kind, bounded by ``n // 2`` total so every validation block
+        keeps at least two instances.
+        """
+        k_gen, k_spe = self.k_gen, self.k_spe
+        k_total = k_gen + k_spe
+        if n >= 2 * k_total:
+            return k_gen, k_spe
+        if self.guard is None:
+            raise ValueError(
+                f"Subset of {n} instances is too small for {k_total} folds "
+                f"(needs at least {2 * k_total})"
+            )
+        max_total = n // 2
+        if max_total < 2:
+            raise ValueError(
+                f"Subset of {n} instances is too small for any 2-fold split "
+                "(needs at least 4)"
+            )
+        k_total_eff = min(k_total, max_total)
+        new_gen = min(k_gen, max(k_total_eff - k_spe, 1 if k_gen else 0))
+        new_spe = k_total_eff - new_gen
+        self.guard.record(
+            "folds.k_shrunk",
+            f"subset of {n} too small for {k_total} folds; "
+            f"using k_gen={new_gen}, k_spe={new_spe}",
+            n=n,
+            k_gen_before=k_gen,
+            k_spe_before=k_spe,
+            k_gen=new_gen,
+            k_spe=new_spe,
+        )
+        return new_gen, new_spe
+
+    def _partition(
+        self,
+        subset_indices: np.ndarray,
+        k_gen: int,
+        k_spe: int,
+        rng: np.random.Generator,
+    ) -> List[np.ndarray]:
         """Partition the subset into special blocks then general blocks."""
         n = len(subset_indices)
-        k_total = self.get_n_splits()
+        k_total = k_gen + k_spe
         block_size = n // k_total
         groups = self.group_labels[subset_indices]
 
@@ -117,7 +181,7 @@ class GeneralSpecialFolds:
 
         # Special folds first: they need their own group's instances, which
         # general sampling would otherwise consume.
-        special_groups = self._pick_special_groups(groups, rng)
+        special_groups = self._pick_special_groups(groups, k_spe, rng)
         for group in special_groups:
             own_positions = np.flatnonzero(remaining & (groups == group))
             n_own_target = int(round(self.special_majority * block_size))
@@ -135,8 +199,8 @@ class GeneralSpecialFolds:
 
         # General folds: group-stratified split of everything left.
         leftover_positions = np.flatnonzero(remaining)
-        if self.k_gen:
-            general = self._stratified_partition(leftover_positions, groups, self.k_gen, rng)
+        if k_gen:
+            general = self._stratified_partition(leftover_positions, groups, k_gen, rng)
             blocks.extend(subset_indices[part] for part in general)
         elif len(leftover_positions):
             # No general folds: distribute leftovers round-robin into the
@@ -145,19 +209,29 @@ class GeneralSpecialFolds:
             pass
         return blocks
 
-    def _pick_special_groups(self, groups: np.ndarray, rng: np.random.Generator) -> List[int]:
+    def _pick_special_groups(
+        self, groups: np.ndarray, k_spe: int, rng: np.random.Generator
+    ) -> List[int]:
         """Choose which groups get a special fold (largest presence first)."""
         present, counts = np.unique(groups, return_counts=True)
         order = np.argsort(-counts, kind="stable")
         ranked = [int(present[i]) for i in order]
-        if len(ranked) >= self.k_spe:
-            return ranked[: self.k_spe]
+        if len(ranked) >= k_spe:
+            return ranked[:k_spe]
         # Fewer distinct groups in the subset than requested special folds:
         # reuse groups cyclically (their samples will still differ).
-        picks = []
-        while len(picks) < self.k_spe:
+        if self.guard is not None:
+            self.guard.record(
+                "folds.special_group_reused",
+                f"subset holds {len(ranked)} distinct group(s) for "
+                f"{k_spe} special folds; groups reused cyclically",
+                n_distinct=len(ranked),
+                k_spe=k_spe,
+            )
+        picks: List[int] = []
+        while len(picks) < k_spe:
             picks.extend(ranked)
-        return picks[: self.k_spe]
+        return picks[:k_spe]
 
     @staticmethod
     def _stratified_pick(

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..cluster import balanced_kmeans_labels
 from ..cluster.meanshift import meanshift_labels_consolidated
+from ..guard.events import GuardLog
 from ..learners.base import check_array
 
 __all__ = ["InstanceGrouping", "label_categories", "generate_groups"]
@@ -120,6 +121,7 @@ def generate_groups(
     n_label_bins: int = 4,
     clusterer: str = "kmeans",
     random_state: Optional[int] = None,
+    guard: Optional[GuardLog] = None,
 ) -> InstanceGrouping:
     """Construct instance groups (Operation 1 / ``GenGroups``).
 
@@ -148,6 +150,12 @@ def generate_groups(
         consolidated to ``n_groups`` clusters).
     random_state:
         Seed for clustering.
+    guard:
+        Optional :class:`~repro.guard.events.GuardLog`.  With a guard the
+        degenerate case ``v > n_samples`` shrinks ``v`` to the sample
+        count (recorded as ``grouping.n_groups_shrunk``) instead of
+        raising, and empty-group refills / re-clustering fallbacks are
+        recorded too.
 
     Returns
     -------
@@ -162,11 +170,19 @@ def generate_groups(
     if n_groups < 1:
         raise ValueError(f"n_groups must be >= 1, got {n_groups}")
     if X.shape[0] < n_groups:
-        raise ValueError(f"Need at least n_groups={n_groups} instances, got {X.shape[0]}")
+        if guard is None:
+            raise ValueError(f"Need at least n_groups={n_groups} instances, got {X.shape[0]}")
+        guard.record(
+            "grouping.n_groups_shrunk",
+            f"requested v={n_groups} exceeds {X.shape[0]} samples; shrunk to fit",
+            requested=n_groups,
+            effective=X.shape[0],
+        )
+        n_groups = X.shape[0]
 
     if clusterer == "kmeans":
         clusters = balanced_kmeans_labels(
-            X, n_clusters=n_groups, r_group=r_group, random_state=random_state
+            X, n_clusters=n_groups, r_group=r_group, random_state=random_state, guard=guard
         )
     elif clusterer == "meanshift":
         clusters = meanshift_labels_consolidated(X, n_clusters=n_groups, random_state=random_state)
@@ -215,6 +231,15 @@ def generate_groups(
         take = donors[: max(1, len(donors) // 2)]
         group_labels[take] = empty
         sizes = np.bincount(group_labels, minlength=n_groups)
+        if guard is not None:
+            guard.record(
+                "grouping.empty_group_refilled",
+                f"group {int(empty)} was empty after Operation 1; "
+                f"moved {len(take)} instance(s) from group {donor}",
+                group=int(empty),
+                donor=donor,
+                n_moved=int(len(take)),
+            )
 
     return InstanceGrouping(
         group_labels=group_labels,

@@ -18,9 +18,11 @@ percentage by 100 (see DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
+
+from ..guard.events import GuardLog
 
 __all__ = [
     "gamma_bounds",
@@ -51,8 +53,9 @@ def beta_weight(gamma, beta_max: float = 10.0):
     Parameters
     ----------
     gamma:
-        Sampling percentage ``|b_t| / |B| * 100`` in ``[0, 100]``; scalar or
-        array.
+        Sampling percentage ``|b_t| / |B| * 100``; scalar or array.  Finite
+        values outside ``[0, 100]`` are clamped (the curve is flat beyond
+        ``gamma_min``/``gamma_max``); non-finite values raise.
     beta_max:
         Maximum weight, recommended ``1 / alpha`` so the combined factor
         ``alpha * beta`` is normalised to ``[0, 1]``.
@@ -64,8 +67,12 @@ def beta_weight(gamma, beta_max: float = 10.0):
         clamp, ``beta_max / 2`` at 50%, 0 at the large-subset clamp.
     """
     gamma = np.asarray(gamma, dtype=float)
-    if np.any(gamma < 0) or np.any(gamma > 100):
-        raise ValueError("gamma must be a percentage in [0, 100]")
+    if not np.isfinite(gamma).all():
+        raise ValueError("gamma must be finite; sanitize non-finite percentages upstream")
+    # Out-of-range percentages (floating-point excursions past 0/100, or a
+    # subset floor pushing |b_t| past |B|) clamp to the valid band instead
+    # of aborting the whole evaluation: Equation 2 is constant outside
+    # [gamma_min, gamma_max] anyway, so clamping is exact, never lossy.
     gamma_min, gamma_max = gamma_bounds(beta_max)
     clamped = np.clip(gamma, gamma_min, gamma_max)
     value = 2.0 * np.arctanh(1.0 - 2.0 * clamped / 100.0) + beta_max / 2.0
@@ -132,18 +139,59 @@ def ucb_score(
         ``mu`` when variance use is disabled, ``mu + alpha * sigma`` when
         the sampling weight is disabled, else
         ``mu + alpha * beta(gamma) * sigma``.
+
+    Notes
+    -----
+    The variance term is hardened so a degenerate ``sigma`` cannot poison
+    an otherwise-finite mean: a non-finite or negative ``std`` contributes
+    0 (the one-fold limit), and a non-finite ``gamma`` is treated as a
+    full-budget evaluation (``beta = 0``).  A non-finite ``mean`` still
+    propagates — that is a genuinely failed evaluation, which the engine's
+    sanitiser converts into a degraded trial.
     """
     if not params.use_variance:
         return float(mean)
-    weight = beta_weight(gamma, beta_max=params.beta_max) if params.use_sampling_weight else 1.0
+    if not np.isfinite(std) or std < 0.0:
+        std = 0.0
+    if params.use_sampling_weight:
+        if not np.isfinite(gamma):
+            gamma = 100.0
+        weight = beta_weight(gamma, beta_max=params.beta_max)
+    else:
+        weight = 1.0
     return float(mean + params.alpha * weight * std)
 
 
-def scores_from_folds(fold_scores: Sequence[float], gamma: float, params: ScoreParams = ScoreParams()) -> tuple:
-    """Convenience: ``(mean, std, final score)`` from raw fold scores."""
+def scores_from_folds(
+    fold_scores: Sequence[float],
+    gamma: float,
+    params: ScoreParams = ScoreParams(),
+    guard: Optional[GuardLog] = None,
+) -> tuple:
+    """Convenience: ``(mean, std, final score)`` from raw fold scores.
+
+    Non-finite fold scores are dropped before aggregation (recorded as
+    ``scoring.nonfinite_fold`` when a ``guard`` log is supplied); with a
+    single surviving fold ``sigma`` is exactly 0 rather than an undefined
+    sample deviation.  Raises :class:`ValueError` only when *no* finite
+    fold score remains — a fully failed evaluation the caller must degrade.
+    """
     fold_scores = np.asarray(fold_scores, dtype=float)
     if fold_scores.size == 0:
         raise ValueError("fold_scores must be non-empty")
+    finite = np.isfinite(fold_scores)
+    n_dropped = int((~finite).sum())
+    if n_dropped:
+        if guard is not None:
+            guard.record(
+                "scoring.nonfinite_fold",
+                f"{n_dropped} non-finite fold score(s) dropped before aggregation",
+                n_dropped=n_dropped,
+                n_total=int(fold_scores.size),
+            )
+        fold_scores = fold_scores[finite]
+    if fold_scores.size == 0:
+        raise ValueError("all fold scores are non-finite")
     mean = float(fold_scores.mean())
-    std = float(fold_scores.std())
+    std = 0.0 if fold_scores.size == 1 else float(fold_scores.std())
     return mean, std, ucb_score(mean, std, gamma, params)

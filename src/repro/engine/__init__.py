@@ -28,7 +28,7 @@ worker deaths and corrupted scores so those guarantees stay exercised::
 """
 
 from .cache import EvaluationCache
-from .chaos import ChaosError, ChaosExecutor, ChaosPolicy
+from .chaos import ChaosError, ChaosExecutor, ChaosPolicy, DataCorruption
 from .core import FAILURE_SCORE, STATS_SCHEMA_VERSION, EngineStats, TrialEngine
 from .executors import ParallelExecutor, SerialExecutor, TrialExecutor
 from .journal import JOURNAL_VERSION, JournalEntry, JournalError, RunJournal, space_fingerprint
@@ -38,6 +38,7 @@ __all__ = [
     "ChaosError",
     "ChaosExecutor",
     "ChaosPolicy",
+    "DataCorruption",
     "EvaluationCache",
     "EngineStats",
     "FAILURE_SCORE",

@@ -34,10 +34,75 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..bandit.base import EvaluationResult
 from .executors import TrialExecutor
 
-__all__ = ["ChaosError", "ChaosPolicy", "ChaosExecutor"]
+__all__ = ["ChaosError", "ChaosPolicy", "ChaosExecutor", "DataCorruption"]
+
+
+@dataclass
+class DataCorruption:
+    """Deterministic dataset-level corruption for guard-layer chaos tests.
+
+    Where :class:`ChaosPolicy` attacks the *execution* of trials, this
+    attacks the *data* they are trained on — the failure modes the guard
+    layer (:mod:`repro.guard`) exists to absorb.  :meth:`apply` is a pure
+    function of ``(X, y, seed)``, so corrupted runs stay reproducible and
+    serial/parallel comparisons remain meaningful.
+
+    Attributes
+    ----------
+    nan_cell_rate:
+        Fraction of feature cells set to NaN.
+    label_flip_rate:
+        Fraction of classification labels replaced by a different class.
+    truncate_fraction:
+        Fraction of rows dropped from the end of the (shuffled) dataset.
+    constant_columns:
+        Number of leading feature columns overwritten with a constant.
+    seed:
+        Seed of the corruption RNG.
+    """
+
+    nan_cell_rate: float = 0.0
+    label_flip_rate: float = 0.0
+    truncate_fraction: float = 0.0
+    constant_columns: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("nan_cell_rate", "label_flip_rate", "truncate_fraction"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.constant_columns < 0:
+            raise ValueError(f"constant_columns must be >= 0, got {self.constant_columns}")
+
+    def apply(self, X: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return corrupted copies of ``X, y`` (inputs untouched)."""
+        rng = np.random.default_rng(self.seed)
+        X = np.array(X, dtype=float, copy=True)
+        y = np.array(y, copy=True)
+        if self.truncate_fraction > 0.0 and len(y) > 1:
+            keep = max(1, int(round(len(y) * (1.0 - self.truncate_fraction))))
+            order = rng.permutation(len(y))[:keep]
+            X, y = X[order], y[order]
+        if self.constant_columns:
+            n_cols = min(self.constant_columns, X.shape[1])
+            X[:, :n_cols] = 1.0
+        if self.nan_cell_rate > 0.0 and X.size:
+            cells = rng.random(X.shape) < self.nan_cell_rate
+            X[cells] = np.nan
+        if self.label_flip_rate > 0.0 and len(y):
+            classes = np.unique(y)
+            if len(classes) > 1:
+                flip = np.flatnonzero(rng.random(len(y)) < self.label_flip_rate)
+                for row in flip:
+                    others = classes[classes != y[row]]
+                    y[row] = others[rng.integers(len(others))]
+        return X, y
 
 
 class ChaosError(RuntimeError):

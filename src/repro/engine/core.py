@@ -61,7 +61,7 @@ FAILURE_SCORE = -1e30
 
 #: Version of the :meth:`EngineStats.as_dict` payload; bump when counters
 #: are added/renamed so BENCH_engine.json stays comparable across PRs.
-STATS_SCHEMA_VERSION = 2
+STATS_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -88,6 +88,10 @@ class EngineStats:
     non_finite:
         Evaluations whose result carried a NaN/inf score, mean or std and
         was therefore converted to a failure.
+    guard_events:
+        Data-integrity guard events carried on settled or replayed
+        results (see :mod:`repro.guard.events`); 0 when no guard is
+        active.
     """
 
     submitted: int = 0
@@ -99,6 +103,7 @@ class EngineStats:
     timeouts: int = 0
     resumed: int = 0
     non_finite: int = 0
+    guard_events: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -119,6 +124,7 @@ class EngineStats:
             "timeouts": self.timeouts,
             "resumed": self.resumed,
             "non_finite": self.non_finite,
+            "guard_events": self.guard_events,
             "hit_rate": self.hit_rate,
         }
 
@@ -330,6 +336,7 @@ class TrialEngine:
             entry = self._replayed.get(cache_key)
             if entry is not None:
                 self.stats.resumed += 1
+                self.stats.guard_events += len(getattr(entry.result, "guard_events", []) or [])
                 self._ready.append(
                     TrialOutcome(
                         request=request,
@@ -445,6 +452,7 @@ class TrialEngine:
         searcher has observed is recoverable after a crash.
         """
         attempts = request.attempt + 1
+        self.stats.guard_events += len(getattr(result, "guard_events", []) or [])
         outcome = TrialOutcome(
             request=request, result=result, attempts=attempts, failed=failed, error=error
         )

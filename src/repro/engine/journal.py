@@ -128,6 +128,7 @@ def _entry_to_dict(outcome: TrialOutcome) -> Dict[str, Any]:
             "fold_scores": list(result.fold_scores),
             "n_instances": result.n_instances,
             "cost": result.cost,
+            "guard_events": list(getattr(result, "guard_events", []) or []),
         },
     }
 

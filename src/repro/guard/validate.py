@@ -1,0 +1,313 @@
+"""Dataset validation and sanitisation at pipeline entry.
+
+:func:`validate_dataset` is the guard layer's front door: every dataset
+headed for grouping / fold construction / learner training passes through
+it once, under one of four policies:
+
+- ``strict`` — any integrity issue raises :class:`GuardError`;
+- ``repair`` — issues are fixed in a copy (median imputation, column
+  drops, row drops) and recorded;
+- ``warn`` — issues are recorded and emitted as :class:`GuardWarning`
+  but the data is returned untouched;
+- ``off`` — no checks at all (the historical behaviour).
+
+Whatever the policy, the function returns a structured
+:class:`DataReport` so callers (CLI summaries, benchmarks, tests) can see
+exactly what was found and what was done about it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .events import GuardLog
+
+__all__ = [
+    "GUARD_POLICIES",
+    "DataIssue",
+    "DataReport",
+    "GuardError",
+    "GuardWarning",
+    "validate_dataset",
+]
+
+#: Valid values of the ``policy`` argument / CLI ``--guard`` flag.
+GUARD_POLICIES = ("strict", "repair", "warn", "off")
+
+
+class GuardError(ValueError):
+    """A data-integrity issue rejected under the ``strict`` policy."""
+
+
+class GuardWarning(UserWarning):
+    """A data-integrity issue surfaced under the ``warn`` policy."""
+
+
+@dataclass(frozen=True)
+class DataIssue:
+    """One integrity finding of :func:`validate_dataset`.
+
+    Attributes
+    ----------
+    kind:
+        Event-taxonomy kind (``data.*``, see :mod:`repro.guard.events`).
+    detail:
+        Human-readable description.
+    n_affected:
+        Cells / columns / rows / classes concerned.
+    repaired:
+        Whether the returned data had the issue fixed.
+    """
+
+    kind: str
+    detail: str
+    n_affected: int = 0
+    repaired: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON payloads."""
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "n_affected": self.n_affected,
+            "repaired": self.repaired,
+        }
+
+
+@dataclass
+class DataReport:
+    """Structured outcome of one :func:`validate_dataset` call.
+
+    Attributes
+    ----------
+    policy:
+        The policy the validation ran under.
+    n_samples_in, n_samples_out:
+        Row counts before / after repair (rows only drop under ``repair``).
+    n_features_in, n_features_out:
+        Column counts before / after repair.
+    issues:
+        Every finding, in detection order.
+    """
+
+    policy: str
+    n_samples_in: int = 0
+    n_samples_out: int = 0
+    n_features_in: int = 0
+    n_features_out: int = 0
+    issues: List[DataIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no issue was found."""
+        return not self.issues
+
+    @property
+    def n_repaired(self) -> int:
+        """Number of issues the returned data had fixed."""
+        return sum(1 for issue in self.issues if issue.repaired)
+
+    def summary(self) -> str:
+        """One-line human summary (used by the CLI run report)."""
+        if self.ok:
+            return f"guard[{self.policy}]: data clean"
+        parts = ", ".join(
+            f"{issue.kind.split('.', 1)[1]}={issue.n_affected}" for issue in self.issues
+        )
+        return (
+            f"guard[{self.policy}]: {len(self.issues)} issue(s) "
+            f"({self.n_repaired} repaired): {parts}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for JSON payloads."""
+        return {
+            "policy": self.policy,
+            "n_samples_in": self.n_samples_in,
+            "n_samples_out": self.n_samples_out,
+            "n_features_in": self.n_features_in,
+            "n_features_out": self.n_features_out,
+            "issues": [issue.as_dict() for issue in self.issues],
+        }
+
+
+def _finite_column_median(column: np.ndarray) -> float:
+    """Median of the finite entries; 0.0 when the whole column is bad."""
+    finite = column[np.isfinite(column)]
+    return float(np.median(finite)) if len(finite) else 0.0
+
+
+def validate_dataset(
+    X: np.ndarray,
+    y: np.ndarray,
+    policy: str = "repair",
+    task: str = "classification",
+    guard: Optional[GuardLog] = None,
+    max_label_fraction: float = 0.5,
+) -> Tuple[np.ndarray, np.ndarray, DataReport]:
+    """Check (and under ``repair`` fix) a dataset's integrity.
+
+    Checks, in order: non-finite feature cells, zero-variance columns,
+    exact duplicate columns, non-finite regression targets, and label
+    cardinality (single-class / near-unique labels for classification).
+    Shape problems — length mismatch, empty data, non-2-D features —
+    raise :class:`GuardError` under every policy, because no repair is
+    meaningful.
+
+    Parameters
+    ----------
+    X, y:
+        Features (coerced to a 2-D float array) and targets.
+    policy:
+        One of :data:`GUARD_POLICIES`.
+    task:
+        ``"classification"`` or ``"regression"`` — decides the label
+        checks.
+    guard:
+        Optional :class:`~repro.guard.events.GuardLog`; every issue is
+        mirrored into it as a ``data.*`` event.
+    max_label_fraction:
+        Classification labels with more than this fraction of distinct
+        values per sample are flagged ``data.high_cardinality``.
+
+    Returns
+    -------
+    tuple
+        ``(X, y, report)``; the arrays are copies only when something was
+        repaired.
+    """
+    if policy not in GUARD_POLICIES:
+        raise ValueError(f"policy must be one of {GUARD_POLICIES}, got {policy!r}")
+
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise GuardError(f"X must be 2-dimensional, got shape {X.shape}")
+    y = np.asarray(y)
+    if y.ndim != 1:
+        y = y.ravel()
+    if len(y) != X.shape[0]:
+        raise GuardError(f"X and y have inconsistent lengths: {X.shape[0]} != {len(y)}")
+    if X.shape[0] == 0:
+        raise GuardError("dataset is empty")
+
+    report = DataReport(
+        policy=policy,
+        n_samples_in=X.shape[0],
+        n_samples_out=X.shape[0],
+        n_features_in=X.shape[1],
+        n_features_out=X.shape[1],
+    )
+    if policy == "off":
+        return X, y, report
+
+    repair = policy == "repair"
+
+    def found(kind: str, detail: str, n_affected: int, repaired: bool) -> None:
+        report.issues.append(
+            DataIssue(kind=kind, detail=detail, n_affected=n_affected, repaired=repaired)
+        )
+        if guard is not None:
+            guard.record(kind, detail, n_affected=n_affected, repaired=repaired)
+        if policy == "strict":
+            raise GuardError(f"strict guard: {detail}")
+        if policy == "warn":
+            warnings.warn(detail, GuardWarning, stacklevel=3)
+
+    # 1. Non-finite feature cells -> column-median imputation.
+    bad_cells = ~np.isfinite(X)
+    n_bad = int(bad_cells.sum())
+    if n_bad:
+        if repair:
+            X = X.copy()
+            for column_index in np.flatnonzero(bad_cells.any(axis=0)):
+                column = X[:, column_index]
+                column[bad_cells[:, column_index]] = _finite_column_median(column)
+        found(
+            "data.nonfinite_cells",
+            f"{n_bad} NaN/inf feature cell(s)"
+            + (" imputed with column medians" if repair else ""),
+            n_bad,
+            repair,
+        )
+
+    # 2. Non-finite regression targets -> drop the rows (no sane imputation).
+    if task == "regression" and np.issubdtype(y.dtype, np.number):
+        bad_rows = ~np.isfinite(y.astype(float))
+        n_bad_rows = int(bad_rows.sum())
+        if n_bad_rows:
+            if n_bad_rows == len(y):
+                raise GuardError("every regression target is non-finite")
+            if repair:
+                X, y = X[~bad_rows], y[~bad_rows]
+                report.n_samples_out = X.shape[0]
+            found(
+                "data.nonfinite_targets",
+                f"{n_bad_rows} non-finite target(s)" + (" dropped" if repair else ""),
+                n_bad_rows,
+                repair,
+            )
+
+    # 3. Zero-variance columns (constant features carry no signal and break
+    #    normalisers); keep at least one column even if all are constant.
+    constant = np.all(X == X[:1], axis=0) if X.shape[0] else np.zeros(X.shape[1], bool)
+    n_constant = int(constant.sum())
+    if n_constant:
+        droppable = repair and n_constant < X.shape[1]
+        if droppable:
+            X = X[:, ~constant]
+        found(
+            "data.constant_columns",
+            f"{n_constant} constant feature column(s)" + (" dropped" if droppable else ""),
+            n_constant,
+            droppable,
+        )
+
+    # 4. Exact duplicate columns (later copies dropped under repair).
+    duplicate = np.zeros(X.shape[1], dtype=bool)
+    seen: Dict[bytes, int] = {}
+    for column_index in range(X.shape[1]):
+        fingerprint = X[:, column_index].tobytes()
+        if fingerprint in seen:
+            duplicate[column_index] = True
+        else:
+            seen[fingerprint] = column_index
+    n_duplicate = int(duplicate.sum())
+    if n_duplicate:
+        if repair:
+            X = X[:, ~duplicate]
+        found(
+            "data.duplicate_columns",
+            f"{n_duplicate} duplicate feature column(s)" + (" dropped" if repair else ""),
+            n_duplicate,
+            repair,
+        )
+    report.n_features_out = X.shape[1]
+
+    # 5. Label cardinality (classification): single-class data cannot be
+    #    learned from (downstream degrades to a constant predictor), and
+    #    near-unique labels usually mean a regression target was mislabeled.
+    if task == "classification":
+        n_classes = len(np.unique(y))
+        if n_classes < 2:
+            found(
+                "data.single_class",
+                "labels contain a single class; models degrade to a constant predictor",
+                n_classes,
+                False,
+            )
+        elif n_classes > max(2, int(max_label_fraction * len(y))):
+            found(
+                "data.high_cardinality",
+                f"{n_classes} distinct labels over {len(y)} samples "
+                "(is this a regression target?)",
+                n_classes,
+                False,
+            )
+
+    return X, y, report

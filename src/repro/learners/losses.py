@@ -13,6 +13,12 @@ __all__ = ["log_loss", "binary_log_loss", "squared_loss", "LOSSES"]
 # Clipping bound keeping log() finite without visibly distorting gradients.
 _EPS = 1e-10
 
+# Residual clamp keeping diff**2 below the float64 overflow threshold
+# (1e150 squared is 1e300 < 1.8e308); only astronomically diverged
+# predictions are affected, and NaN residuals still propagate so
+# divergence detection keeps seeing them.
+_MAX_RESIDUAL = 1e150
+
 
 def log_loss(y_true: np.ndarray, y_prob: np.ndarray) -> float:
     """Multinomial cross-entropy.
@@ -37,7 +43,7 @@ def binary_log_loss(y_true: np.ndarray, y_prob: np.ndarray) -> float:
 
 def squared_loss(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     """Mean squared error halved, so its gradient is ``(pred - true) / n``."""
-    diff = y_pred - y_true
+    diff = np.clip(y_pred - y_true, -_MAX_RESIDUAL, _MAX_RESIDUAL)
     return float((diff**2).sum() / (2.0 * y_true.shape[0]))
 
 

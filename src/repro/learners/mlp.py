@@ -30,7 +30,20 @@ from .losses import binary_log_loss, log_loss, squared_loss
 from .preprocessing import LabelEncoder, one_hot
 from .solvers import make_optimizer
 
-__all__ = ["MLPClassifier", "MLPRegressor"]
+__all__ = ["DIVERGENCE_LOSS_CAP", "MLPClassifier", "MLPRegressor"]
+
+#: Epoch losses beyond this (or non-finite ones) mark the fit as diverged:
+#: training aborts, parameters roll back to the last finite state and
+#: ``diverged_`` is set so guarded evaluators can record the event.
+DIVERGENCE_LOSS_CAP = 1e12
+
+#: Pre-activation clamp in :meth:`_BaseMLP._forward`; keeps exploded
+#: weights from pushing ``inf`` through identity/relu heads while being
+#: far beyond any numerically healthy pre-activation.  Chosen so a clamped
+#: identity output still overshoots :data:`DIVERGENCE_LOSS_CAP` when
+#: squared (``(1e8)^2 / 2 >> 1e12``), keeping regressor divergence
+#: detectable.
+_Z_CLIP = 1e8
 
 
 def _init_coefficients(
@@ -146,6 +159,11 @@ class _BaseMLP(BaseEstimator):
         n_layers = len(self.coefs_)
         for i, (coef, intercept) in enumerate(zip(self.coefs_, self.intercepts_)):
             z = activations[-1] @ coef + intercept
+            # Exploded weights push inf through identity/relu heads; the
+            # clamp keeps the forward pass bounded without affecting healthy
+            # magnitudes.  NaN deliberately passes through: it reaches the
+            # loss, where divergence detection rolls the fit back.
+            z = np.clip(z, -_Z_CLIP, _Z_CLIP)
             if i < n_layers - 1:
                 activations.append(hidden_fn(z))
             elif self._output_activation() == "softmax":
@@ -199,6 +217,7 @@ class _BaseMLP(BaseEstimator):
         self.n_layers_ = len(layer_units)
         self.loss_curve_: List[float] = []
         self.validation_scores_: List[float] = []
+        self.diverged_ = False
 
         if self.solver == "lbfgs":
             self._fit_lbfgs(X, y_encoded)
@@ -234,8 +253,15 @@ class _BaseMLP(BaseEstimator):
             method="L-BFGS-B",
             options={"maxiter": self.max_iter, "maxfun": self.max_fun, "gtol": self.tol},
         )
-        unpack(result.x)
-        self.loss_ = float(result.fun)
+        final = np.asarray(result.x, dtype=float)
+        loss = float(result.fun)
+        if not np.isfinite(final).all() or not np.isfinite(loss) or loss > DIVERGENCE_LOSS_CAP:
+            # Roll back to the (finite) initial parameters rather than keep
+            # a non-finite optimum; the caller can see it via ``diverged_``.
+            self.diverged_ = True
+            final, loss = x0, np.inf
+        unpack(final)
+        self.loss_ = loss
         self.n_iter_ = int(result.nit)
 
     def _validation_split(
@@ -277,6 +303,10 @@ class _BaseMLP(BaseEstimator):
         self.n_iter_ = 0
 
         for _ in range(self.max_iter):
+            # Snapshot the epoch's entry state: it produced a finite loss
+            # (previous epoch passed the divergence check, and the Glorot
+            # initialisation is finite), so it is the rollback target.
+            epoch_start_params = [p.copy() for p in optimizer.params]
             order = rng.permutation(n_samples) if self.shuffle else np.arange(n_samples)
             accumulated_loss = 0.0
             for start in range(0, n_samples, batch_size):
@@ -291,6 +321,16 @@ class _BaseMLP(BaseEstimator):
             epoch_loss = accumulated_loss / n_samples
             self.loss_curve_.append(epoch_loss)
             self.n_iter_ += 1
+
+            if not np.isfinite(epoch_loss) or epoch_loss > DIVERGENCE_LOSS_CAP:
+                # The learning rate (or data) blew the optimisation up.
+                # Abort instead of burning the remaining epochs on garbage,
+                # and restore the last parameters known to behave.
+                self.diverged_ = True
+                self.coefs_ = epoch_start_params[:n_coefs]
+                self.intercepts_ = epoch_start_params[n_coefs:]
+                self.loss_ = float("inf")
+                return
 
             if self.early_stopping and X_val is not None:
                 val_score = self._validation_score(X_val, y_val)

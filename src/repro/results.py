@@ -82,6 +82,7 @@ def result_to_dict(result: SearchResult) -> Dict[str, Any]:
                     "fold_scores": list(trial.result.fold_scores),
                     "n_instances": trial.result.n_instances,
                     "cost": trial.result.cost,
+                    "guard_events": list(getattr(trial.result, "guard_events", []) or []),
                 },
             }
             for trial in result.trials

@@ -120,3 +120,97 @@ class TestBalancedKMeans:
         assert labels.shape == (60,)
         assert labels.min() >= 0
         assert labels.max() < n_clusters
+
+
+class TestEmptyClusterReseeding:
+    """The deterministic farthest-point repair for empty clusters."""
+
+    def test_repeated_points_per_location_cluster(self):
+        # Three distinct locations, each repeated: k-means++ often seeds
+        # two centers on copies of the same point, emptying a cluster.
+        # The farthest-point reseed (with already-claimed points masked)
+        # must still end with one center per location, i.e. zero inertia.
+        locations = np.array([[0.0, 0.0], [50.0, 0.0], [0.0, 50.0]])
+        X = np.repeat(locations, 5, axis=0)
+        for seed in range(10):
+            model = KMeans(n_clusters=3, n_init=1, random_state=seed).fit(X)
+            assert len(np.unique(model.labels_)) == 3
+            assert model.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+    def test_simultaneous_empties_get_distinct_seeds(self):
+        # Five distinct locations and k=5: however many clusters empty in
+        # one Lloyd iteration, masking already-reseeded points must spread
+        # the centers over all five locations.
+        locations = np.array(
+            [[0.0, 0.0], [40.0, 0.0], [0.0, 40.0], [40.0, 40.0], [20.0, 80.0]]
+        )
+        X = np.repeat(locations, 4, axis=0)
+        for seed in range(10):
+            model = KMeans(n_clusters=5, n_init=1, random_state=seed).fit(X)
+            assert len(np.unique(model.labels_)) == 5
+            assert model.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+    def test_all_identical_points_terminate(self):
+        # Pathological data: every point coincides, so every cluster but
+        # one is permanently empty; fit must still terminate with valid
+        # labels and zero inertia.
+        X = np.ones((12, 3))
+        model = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert model.labels_.shape == (12,)
+        assert set(model.labels_) <= {0, 1, 2}
+        assert model.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBalancedKMeansGuard:
+    """Termination guarantees + the grouping.recluster_fallback event."""
+
+    def test_exhausted_points_fall_back_and_record(self):
+        from repro.guard import GuardLog
+
+        # Six distinct points, five clusters, r_group=1: singleton clusters
+        # keep dissolving until fewer points than clusters survive, which
+        # must trigger the unbalanced fallback instead of dying.
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((6, 2)) * 10.0
+        guard = GuardLog("repair")
+        labels = balanced_kmeans_labels(X, 5, r_group=1.0, random_state=0, guard=guard)
+        assert labels.shape == (6,)
+        assert labels.min() >= 0 and labels.max() < 5
+        assert "grouping.recluster_fallback" in [e.kind for e in guard.events]
+
+    def test_max_rounds_exhaustion_records(self):
+        from repro.guard import GuardLog
+
+        # One dominant blob plus far outliers under a strict threshold and
+        # a single allowed round: the for/else must record the fallback.
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.standard_normal((58, 2)), [[90.0, 90.0], [91.0, 91.0]]])
+        guard = GuardLog("repair")
+        labels = balanced_kmeans_labels(
+            X, 2, r_group=0.9, max_rounds=1, random_state=0, guard=guard
+        )
+        assert labels.shape == (60,)
+        kinds = [e.kind for e in guard.events]
+        assert kinds.count("grouping.recluster_fallback") <= 1
+
+    def test_pathological_identical_data_terminates(self):
+        # All-identical instances: thresholds and reseeding interact at
+        # their worst, but the call must return a full labelling.
+        X = np.ones((30, 2))
+        labels = balanced_kmeans_labels(X, 3, random_state=1)
+        assert labels.shape == (30,)
+        assert labels.min() >= 0 and labels.max() < 3
+
+    def test_guardless_call_never_records(self):
+        # guard=None is the legacy path: same labels, no event plumbing.
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((6, 2)) * 10.0
+        with_guard_labels = None
+        from repro.guard import GuardLog
+
+        guard = GuardLog("repair")
+        with_guard_labels = balanced_kmeans_labels(
+            X, 5, r_group=1.0, random_state=0, guard=guard
+        )
+        plain_labels = balanced_kmeans_labels(X, 5, r_group=1.0, random_state=0)
+        np.testing.assert_array_equal(plain_labels, with_guard_labels)

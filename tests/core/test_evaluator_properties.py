@@ -118,3 +118,97 @@ class TestFailureInjection:
         )
         result = evaluator.evaluate(CONFIG, 0.5, np.random.default_rng(0))
         assert np.isfinite(result.score)
+
+
+class TestGuardedEvaluation:
+    """guard_policy threads through evaluate(): degrade, record, stay finite."""
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_single_sample_class_evaluates_and_records(self, seed):
+        # One class holds a single sample: some training folds end up
+        # single-class, which must fall back to the constant predictor and
+        # be recorded instead of crashing.
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((80, 4))
+        y = np.zeros(80, dtype=int)
+        y[rng.integers(80)] = 1
+        evaluator = SubsetCVEvaluator(
+            X, y, fast_factory(), sampling="random", folding="random",
+            score_params=ScoreParams(use_variance=False),
+            guard_policy="warn",
+        )
+        result = evaluator.evaluate(CONFIG, 1.0, np.random.default_rng(seed))
+        assert np.isfinite(result.score)
+        kinds = {event["kind"] for event in result.guard_events}
+        assert kinds <= {"folds.single_class_train", "folds.k_shrunk"}
+
+    @given(
+        budget=st.floats(min_value=0.05, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_guard_is_a_no_op_on_clean_data(self, budget, seed):
+        X, y = make_classification(n_samples=150, n_features=5, random_state=seed)
+        plain = grouped_evaluator(X, y, fast_factory(), random_state=seed)
+        guarded = grouped_evaluator(
+            X, y, fast_factory(), random_state=seed, guard_policy="repair"
+        )
+        a = plain.evaluate(CONFIG, budget, np.random.default_rng(seed))
+        b = guarded.evaluate(CONFIG, budget, np.random.default_rng(seed))
+        assert a.score == b.score and a.mean == b.mean and a.std == b.std
+        assert b.guard_events == []
+
+    def test_tiny_dataset_shrinks_folds_under_guard(self):
+        # A 4-sample dataset cannot host the default 5 folds: without a
+        # guard the splitter raises; with one, the fold count shrinks and
+        # the event says so.
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((4, 3))
+        y = np.array([0, 1, 0, 1])
+        raising = vanilla_evaluator(X, y, fast_factory())
+        with pytest.raises(ValueError):
+            raising.evaluate(CONFIG, 1.0, np.random.default_rng(0))
+        guarded = vanilla_evaluator(X, y, fast_factory(), guard_policy="repair")
+        result = guarded.evaluate(CONFIG, 1.0, np.random.default_rng(0))
+        assert np.isfinite(result.score)
+        kinds = [event["kind"] for event in result.guard_events]
+        assert "folds.k_shrunk" in kinds
+        assert len(result.fold_scores) == 2
+
+    def test_fit_error_floors_the_fold(self):
+        from repro.core import FOLD_FLOOR
+
+        class ExplodingModel:
+            def fit(self, X, y):
+                raise RuntimeError("injected fit failure")
+
+        class ExplodingFactory:
+            task = "classification"
+
+            def __call__(self, config, random_state=None):
+                return ExplodingModel()
+
+        X, y = make_classification(n_samples=120, n_features=4, random_state=0)
+        evaluator = SubsetCVEvaluator(
+            X, y, ExplodingFactory(), sampling="random", folding="random",
+            score_params=ScoreParams(use_variance=False), guard_policy="repair",
+        )
+        result = evaluator.evaluate(CONFIG, 0.5, np.random.default_rng(0))
+        assert all(score == FOLD_FLOOR for score in result.fold_scores)
+        assert np.isfinite(result.score)
+        kinds = {event["kind"] for event in result.guard_events}
+        assert "learner.fit_error" in kinds
+
+    def test_guard_events_reset_between_evaluations(self):
+        # The log is created fresh per evaluate(): a degraded evaluation
+        # must not leak its events into the next one's result.
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((4, 3))
+        y = np.array([0, 1, 0, 1])
+        evaluator = vanilla_evaluator(X, y, fast_factory(), guard_policy="repair")
+        first = evaluator.evaluate(CONFIG, 1.0, np.random.default_rng(0))
+        second = evaluator.evaluate(CONFIG, 1.0, np.random.default_rng(1))
+        shrinks = [e["kind"] for e in first.guard_events].count("folds.k_shrunk")
+        assert shrinks == 1
+        assert [e["kind"] for e in second.guard_events].count("folds.k_shrunk") == 1

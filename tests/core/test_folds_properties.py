@@ -80,3 +80,97 @@ class TestFoldInvariants:
         combined = np.concatenate(blocks)
         assert np.isin(combined, subset).all()
         assert len(np.unique(combined)) == len(combined)
+
+
+class TestGuardedDegeneracies:
+    """With a guard the splitter degrades instead of raising."""
+
+    @given(
+        n=st.integers(min_value=4, max_value=9),
+        seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_tiny_subsets_shrink_instead_of_raising(self, n, seed):
+        from repro.guard import GuardLog
+
+        X, y = make_classification(n_samples=160, n_features=4, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=2, random_state=seed)
+        guard = GuardLog("repair")
+        splitter = GeneralSpecialFolds(
+            grouping.group_labels, k_gen=3, k_spe=2, random_state=seed, guard=guard
+        )
+        rng = np.random.default_rng(seed)
+        subset = rng.choice(160, size=n, replace=False)
+        blocks = [val for _, val in splitter.split(subset)]
+        # n < 2 * 5 always shrinks; the result is still a valid partition
+        # of 2..4 folds whose validation blocks are non-empty.
+        assert 2 <= len(blocks) <= 4
+        combined = np.concatenate(blocks)
+        assert np.isin(combined, subset).all()
+        assert len(np.unique(combined)) == len(combined)
+        assert all(len(block) >= 1 for block in blocks)
+        kinds = [event.kind for event in guard.events]
+        assert "folds.k_shrunk" in kinds
+        shrink = next(e for e in guard.events if e.kind == "folds.k_shrunk")
+        # The special folds are the paper's novelty: they give way last.
+        assert shrink.context["k_spe"] >= min(2, shrink.context["k_gen"])
+
+    @given(
+        k_spe=st.integers(min_value=3, max_value=6),
+        seed=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_k_spe_above_group_count_shrinks_at_init(self, k_spe, seed):
+        from repro.guard import GuardLog
+
+        X, y = make_classification(n_samples=160, n_features=4, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=2, random_state=seed)
+        with pytest.raises(ValueError, match="k_spe"):
+            GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=k_spe)
+        guard = GuardLog("repair")
+        splitter = GeneralSpecialFolds(
+            grouping.group_labels, k_gen=3, k_spe=k_spe, random_state=seed, guard=guard
+        )
+        assert splitter.k_spe == 2
+        assert [event.kind for event in guard.events] == ["folds.k_shrunk"]
+        blocks = [val for _, val in splitter.split()]
+        assert len(blocks) == splitter.k_gen + 2
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_single_group_subset_reuses_groups(self, seed):
+        from repro.guard import GuardLog
+
+        X, y = make_classification(n_samples=160, n_features=4, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=2, random_state=seed)
+        guard = GuardLog("repair")
+        splitter = GeneralSpecialFolds(
+            grouping.group_labels, k_gen=3, k_spe=2, random_state=seed, guard=guard
+        )
+        # A subset drawn from one group only: fewer distinct groups than
+        # special folds, so groups are reused cyclically and recorded.
+        subset = np.flatnonzero(grouping.group_labels == 0)
+        if len(subset) < 10:
+            return
+        blocks = [val for _, val in splitter.split(subset)]
+        assert len(blocks) == 5
+        combined = np.concatenate(blocks)
+        assert len(np.unique(combined)) == len(combined)
+        kinds = [event.kind for event in guard.events]
+        assert "folds.special_group_reused" in kinds
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_guard_does_not_change_healthy_splits(self, seed):
+        from repro.guard import GuardLog
+
+        X, y = make_classification(n_samples=180, n_features=4, random_state=seed)
+        grouping = generate_groups(X, y, n_groups=2, random_state=seed)
+        plain = GeneralSpecialFolds(grouping.group_labels, k_gen=3, k_spe=2, random_state=seed)
+        guarded = GeneralSpecialFolds(
+            grouping.group_labels, k_gen=3, k_spe=2, random_state=seed,
+            guard=GuardLog("repair"),
+        )
+        for (train_a, val_a), (train_b, val_b) in zip(plain.split(), guarded.split()):
+            np.testing.assert_array_equal(train_a, train_b)
+            np.testing.assert_array_equal(val_a, val_b)

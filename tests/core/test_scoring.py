@@ -63,11 +63,24 @@ class TestBetaWeight:
         betas = beta_weight(np.array([0.0, 50.0, 100.0]), beta_max=8.0)
         np.testing.assert_allclose(betas, [8.0, 4.0, 0.0], atol=1e-9)
 
-    def test_out_of_range_gamma_raises(self):
-        with pytest.raises(ValueError, match="gamma"):
-            beta_weight(120.0)
-        with pytest.raises(ValueError, match="gamma"):
-            beta_weight(-1.0)
+    def test_out_of_range_gamma_clamps(self):
+        # Eq. 2 is constant outside [gamma_min, gamma_max], so clamping an
+        # out-of-range percentage is exact — it must never raise or go NaN.
+        assert beta_weight(120.0) == pytest.approx(beta_weight(100.0))
+        assert beta_weight(-1.0) == pytest.approx(beta_weight(0.0))
+        assert np.isfinite(beta_weight(1e9))
+        assert np.isfinite(beta_weight(-1e9))
+
+    def test_out_of_range_gamma_vector_clamps(self):
+        betas = beta_weight(np.array([-5.0, 50.0, 250.0]), beta_max=10.0)
+        np.testing.assert_allclose(betas, [10.0, 5.0, 0.0], atol=1e-9)
+        assert np.isfinite(betas).all()
+
+    def test_non_finite_gamma_raises(self):
+        with pytest.raises(ValueError, match="finite"):
+            beta_weight(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            beta_weight(float("inf"))
 
     @given(st.floats(min_value=0, max_value=100), st.floats(min_value=1.0, max_value=20.0))
     @settings(max_examples=60, deadline=None)
@@ -131,3 +144,36 @@ class TestScoresFromFolds:
     def test_empty_raises(self):
         with pytest.raises(ValueError, match="non-empty"):
             scores_from_folds([], gamma=50.0)
+
+    def test_single_fold_sigma_is_exactly_zero(self):
+        # Eq. 1's sigma is undefined for one sample; the hardened contract
+        # pins it to 0 so the score degrades to the plain mean.
+        mean, std, score = scores_from_folds([0.85], gamma=50.0)
+        assert mean == 0.85
+        assert std == 0.0
+        assert score == pytest.approx(0.85)
+
+    def test_nonfinite_folds_dropped_and_recorded(self):
+        from repro.guard import GuardLog
+
+        guard = GuardLog("repair")
+        mean, std, score = scores_from_folds(
+            [0.7, float("nan"), 0.9, float("inf")], gamma=50.0, guard=guard
+        )
+        assert mean == pytest.approx(0.8)
+        assert np.isfinite(score)
+        kinds = [event.kind for event in guard.events]
+        assert kinds == ["scoring.nonfinite_fold"]
+        assert guard.events[0].context["n_dropped"] == 2
+
+    def test_all_nonfinite_raises(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            scores_from_folds([float("nan"), float("inf")], gamma=50.0)
+
+    def test_ucb_score_hardened_against_bad_std_and_gamma(self):
+        params = ScoreParams(alpha=0.1, beta_max=10.0)
+        assert ucb_score(0.8, float("nan"), 50.0, params) == pytest.approx(0.8)
+        assert ucb_score(0.8, -1.0, 50.0, params) == pytest.approx(0.8)
+        assert ucb_score(0.8, 0.2, float("nan"), params) == pytest.approx(0.8, abs=1e-9)
+        # A non-finite mean is a genuinely failed evaluation and propagates.
+        assert np.isnan(ucb_score(float("nan"), 0.2, 50.0, params))

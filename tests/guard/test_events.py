@@ -1,0 +1,87 @@
+"""Tests for the guard event taxonomy and the GuardLog recorder."""
+
+import pickle
+
+import pytest
+
+from repro.guard import GuardEvent, GuardLog
+from repro.guard.events import EVENT_KINDS
+
+
+class TestGuardEvent:
+    def test_as_dict_round_trip(self):
+        event = GuardEvent(kind="folds.k_shrunk", detail="too small", context={"n": 7})
+        restored = GuardEvent.from_dict(event.as_dict())
+        assert restored == event
+
+    def test_as_dict_omits_empty_context(self):
+        payload = GuardEvent(kind="learner.diverged", detail="boom").as_dict()
+        assert payload == {"kind": "learner.diverged", "detail": "boom"}
+
+    def test_from_dict_tolerates_missing_fields(self):
+        event = GuardEvent.from_dict({})
+        assert event.kind == "unknown"
+        assert event.detail == ""
+        assert event.context == {}
+
+    def test_frozen(self):
+        event = GuardEvent(kind="data.single_class")
+        with pytest.raises(AttributeError):
+            event.kind = "other"
+
+    def test_taxonomy_is_dot_namespaced_by_stage(self):
+        stages = {kind.split(".", 1)[0] for kind in EVENT_KINDS}
+        assert stages == {"data", "grouping", "folds", "learner", "scoring"}
+
+
+class TestGuardLog:
+    def test_record_appends_in_order(self):
+        log = GuardLog("repair")
+        log.record("data.nonfinite_cells", "3 cells", n_affected=3)
+        log.record("folds.k_shrunk", "shrunk", n=9)
+        assert [event.kind for event in log.events] == [
+            "data.nonfinite_cells",
+            "folds.k_shrunk",
+        ]
+        assert log.events[0].context == {"n_affected": 3}
+
+    def test_counts_insertion_ordered(self):
+        log = GuardLog()
+        for kind in ("learner.diverged", "scoring.nonfinite_fold", "learner.diverged"):
+            log.record(kind)
+        assert log.counts() == {"learner.diverged": 2, "scoring.nonfinite_fold": 1}
+
+    def test_empty_log_is_truthy(self):
+        # `if guard:` must mean "a guard is present", never "events exist".
+        log = GuardLog("warn")
+        assert bool(log) is True
+        assert len(log) == 0
+
+    def test_clear_and_extend(self):
+        source, sink = GuardLog(), GuardLog()
+        source.record("grouping.empty_group_refilled")
+        sink.extend(source.events)
+        assert len(sink) == 1
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_as_dicts_matches_wire_shape(self):
+        log = GuardLog("repair")
+        log.record("folds.special_group_reused", "reused", k_spe=2)
+        assert log.as_dicts() == [
+            {"kind": "folds.special_group_reused", "detail": "reused",
+             "context": {"k_spe": 2}}
+        ]
+
+    def test_picklable(self):
+        # Events cross the process-pool boundary on evaluation results.
+        log = GuardLog("repair")
+        log.record("learner.fit_error", "raise", fold=1)
+        restored = pickle.loads(pickle.dumps(log))
+        assert restored.policy == "repair"
+        assert restored.events == log.events
+
+    def test_recorded_kinds_should_be_in_taxonomy(self):
+        log = GuardLog()
+        event = log.record("scoring.gamma_clamped")
+        assert event.kind in EVENT_KINDS

@@ -1,0 +1,191 @@
+"""Tests for dataset validation/repair at pipeline entry."""
+
+import numpy as np
+import pytest
+
+from repro.guard import (
+    GUARD_POLICIES,
+    DataReport,
+    GuardError,
+    GuardLog,
+    GuardWarning,
+    validate_dataset,
+)
+
+
+def clean_data(n=40, d=4, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = rng.integers(0, 2, size=n)
+    return X, y
+
+
+class TestCleanData:
+    @pytest.mark.parametrize("policy", GUARD_POLICIES)
+    def test_clean_data_passes_untouched(self, policy):
+        X, y = clean_data()
+        X_out, y_out, report = validate_dataset(X, y, policy=policy)
+        np.testing.assert_array_equal(X_out, X)
+        np.testing.assert_array_equal(y_out, y)
+        assert report.ok
+        assert report.summary().endswith("data clean")
+
+    def test_report_shape_bookkeeping(self):
+        X, y = clean_data(n=30, d=5)
+        _, _, report = validate_dataset(X, y, policy="repair")
+        assert (report.n_samples_in, report.n_samples_out) == (30, 30)
+        assert (report.n_features_in, report.n_features_out) == (5, 5)
+
+
+class TestNaNCells:
+    def test_repair_imputes_column_median(self):
+        X, y = clean_data()
+        X[3, 1] = np.nan
+        X[7, 1] = np.inf
+        expected = float(np.median(np.delete(X[:, 1], [3, 7])))
+        X_out, _, report = validate_dataset(X, y, policy="repair")
+        assert np.isfinite(X_out).all()
+        assert X_out[3, 1] == expected and X_out[7, 1] == expected
+        assert [i.kind for i in report.issues] == ["data.nonfinite_cells"]
+        assert report.issues[0].n_affected == 2
+        assert report.issues[0].repaired
+
+    def test_repair_does_not_mutate_the_input(self):
+        X, y = clean_data()
+        X[0, 0] = np.nan
+        validate_dataset(X, y, policy="repair")
+        assert np.isnan(X[0, 0])
+
+    def test_strict_raises(self):
+        X, y = clean_data()
+        X[0, 0] = np.nan
+        with pytest.raises(GuardError, match="NaN/inf"):
+            validate_dataset(X, y, policy="strict")
+
+    def test_warn_records_but_returns_untouched(self):
+        X, y = clean_data()
+        X[0, 0] = np.nan
+        with pytest.warns(GuardWarning):
+            X_out, _, report = validate_dataset(X, y, policy="warn")
+        assert np.isnan(X_out[0, 0])
+        assert not report.ok and not report.issues[0].repaired
+
+    def test_off_skips_all_checks(self):
+        X, y = clean_data()
+        X[:, 0] = np.nan
+        _, _, report = validate_dataset(X, y, policy="off")
+        assert report.ok
+
+    def test_all_bad_column_imputed_then_dropped_as_constant(self):
+        # A column with no finite entry imputes to 0.0 everywhere, which
+        # the constant-column check then removes.
+        X, y = clean_data(d=4)
+        X[:, 2] = np.nan
+        X_out, _, report = validate_dataset(X, y, policy="repair")
+        assert np.isfinite(X_out).all()
+        assert X_out.shape[1] == 3
+        kinds = [issue.kind for issue in report.issues]
+        assert kinds == ["data.nonfinite_cells", "data.constant_columns"]
+
+
+class TestColumns:
+    def test_constant_column_dropped(self):
+        X, y = clean_data(d=4)
+        X[:, 1] = 3.5
+        X_out, _, report = validate_dataset(X, y, policy="repair")
+        assert X_out.shape[1] == 3
+        assert report.n_features_out == 3
+        assert "data.constant_columns" in [i.kind for i in report.issues]
+
+    def test_all_constant_columns_kept(self):
+        # Dropping every column would leave nothing to train on.
+        X = np.ones((20, 3))
+        y = np.arange(20) % 2
+        X_out, _, report = validate_dataset(X, y, policy="repair")
+        assert X_out.shape[1] >= 1
+        issue = next(i for i in report.issues if i.kind == "data.constant_columns")
+        assert not issue.repaired
+
+    def test_duplicate_column_dropped(self):
+        X, y = clean_data(d=4)
+        X[:, 3] = X[:, 0]
+        X_out, _, report = validate_dataset(X, y, policy="repair")
+        assert X_out.shape[1] == 3
+        assert "data.duplicate_columns" in [i.kind for i in report.issues]
+
+
+class TestTargets:
+    def test_nonfinite_regression_targets_drop_rows(self):
+        X, y = clean_data()
+        y = y.astype(float)
+        y[5] = np.nan
+        X_out, y_out, report = validate_dataset(X, y, policy="repair", task="regression")
+        assert len(y_out) == len(y) - 1
+        assert np.isfinite(y_out).all()
+        assert X_out.shape[0] == len(y_out)
+        assert report.n_samples_out == len(y) - 1
+
+    def test_all_targets_bad_raises_under_every_policy(self):
+        X, y = clean_data()
+        y = np.full(len(y), np.nan)
+        for policy in ("strict", "repair", "warn"):
+            with pytest.raises(GuardError, match="every regression target"):
+                validate_dataset(X, y, policy=policy, task="regression")
+
+    def test_single_class_labels_flagged(self):
+        X, _ = clean_data()
+        y = np.zeros(len(X), dtype=int)
+        with pytest.warns(GuardWarning):
+            _, _, report = validate_dataset(X, y, policy="warn")
+        assert [i.kind for i in report.issues] == ["data.single_class"]
+
+    def test_high_cardinality_labels_flagged(self):
+        X, _ = clean_data(n=40)
+        y = np.arange(40)
+        with pytest.warns(GuardWarning):
+            _, _, report = validate_dataset(X, y, policy="warn")
+        assert [i.kind for i in report.issues] == ["data.high_cardinality"]
+
+
+class TestShapeErrors:
+    def test_length_mismatch_raises_everywhere(self):
+        X, y = clean_data()
+        for policy in GUARD_POLICIES:
+            with pytest.raises(GuardError, match="inconsistent lengths"):
+                validate_dataset(X, y[:-1], policy=policy)
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(GuardError, match="empty"):
+            validate_dataset(np.empty((0, 3)), np.empty(0), policy="repair")
+
+    def test_1d_features_promoted_to_column(self):
+        X = np.arange(10, dtype=float)
+        y = np.arange(10) % 2
+        X_out, _, _ = validate_dataset(X, y, policy="repair")
+        assert X_out.shape == (10, 1)
+
+    def test_invalid_policy_rejected(self):
+        X, y = clean_data()
+        with pytest.raises(ValueError, match="policy"):
+            validate_dataset(X, y, policy="panic")
+
+
+class TestGuardLogMirroring:
+    def test_issues_mirror_into_the_log(self):
+        X, y = clean_data()
+        X[0, 0] = np.nan
+        X[:, 1] = 2.0
+        log = GuardLog("repair")
+        _, _, report = validate_dataset(X, y, policy="repair", guard=log)
+        assert [event.kind for event in log.events] == [i.kind for i in report.issues]
+        assert log.events[0].context["repaired"] is True
+
+    def test_report_as_dict_is_jsonable(self):
+        import json
+
+        X, y = clean_data()
+        X[0, 0] = np.inf
+        _, _, report = validate_dataset(X, y, policy="repair")
+        assert isinstance(report, DataReport)
+        payload = json.dumps(report.as_dict())
+        assert "nonfinite_cells" in payload

@@ -76,3 +76,61 @@ class TestTuneCommand:
         ])
         assert code == 0
         assert "best configuration" in capsys.readouterr().out
+
+
+class TestGuardFlag:
+    def test_guard_defaults_to_off(self):
+        args = build_parser().parse_args(["tune", "--dataset", "australian"])
+        assert args.guard == "off"
+
+    def test_guard_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["tune", "--dataset", "australian", "--guard", "panic"]
+            )
+
+    def test_tune_with_guard_prints_summary(self, capsys):
+        code = main([
+            "tune", "--dataset", "australian", "--method", "sha+",
+            "--scale", "0.25", "--max-iter", "5", "--seed", "1",
+            "--guard", "repair",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "data report" in printed
+        assert "guard [repair]" in printed
+
+    def test_guard_off_prints_no_guard_lines(self, capsys):
+        code = main([
+            "tune", "--dataset", "australian", "--method", "sha",
+            "--scale", "0.25", "--max-iter", "5", "--seed", "1",
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "guard [" not in printed
+        assert "data report" not in printed
+
+    def test_guard_with_engine_reports_stat_counter(self, capsys, tmp_path):
+        journal = tmp_path / "run.wal"
+        code = main([
+            "tune", "--dataset", "australian", "--method", "sha+",
+            "--scale", "0.25", "--max-iter", "5", "--seed", "1",
+            "--guard", "repair", "--journal", str(journal),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "guard events" in printed
+        assert journal.exists()
+
+    def test_resume_under_other_guard_policy_refuses(self, tmp_path):
+        journal = tmp_path / "run.wal"
+        base = [
+            "tune", "--dataset", "australian", "--method", "sha+",
+            "--scale", "0.25", "--max-iter", "5", "--seed", "1",
+            "--journal", str(journal),
+        ]
+        assert main(base + ["--guard", "repair"]) == 0
+        from repro.engine import JournalError
+
+        with pytest.raises(JournalError, match="guard"):
+            main(base + ["--resume", "--guard", "warn"])

@@ -15,10 +15,12 @@ cycling generates regardless of core count.  The JSON separates the
 per-run hit rate so the two are distinguishable.
 
 Each run also records the robustness counters (retries, watchdog
-timeouts, degraded and non-finite trials — all zero on a healthy
-machine), and a final pass times a journaled HyperBand run against an
-unjournaled one to report the fsync'd write-ahead log's overhead as a
-percentage of wall clock.
+timeouts, degraded, non-finite and guard-event trials — all zero on a
+healthy machine), and two final passes time a journaled HyperBand run
+against an unjournaled one (the fsync'd write-ahead log's overhead) and
+a ``guard_policy="repair"`` grouped run against a guard-off one (the
+data-integrity layer's overhead, targeted at < 5% on clean data), each
+as a percentage of wall clock.
 
 Usage::
 
@@ -34,7 +36,7 @@ import time
 from pathlib import Path
 
 from repro.bandit import HyperBand, SuccessiveHalving
-from repro.core import MLPModelFactory, vanilla_evaluator
+from repro.core import MLPModelFactory, grouped_evaluator, vanilla_evaluator
 from repro.datasets import make_classification
 from repro.engine import ParallelExecutor, SerialExecutor, TrialEngine
 from repro.experiments import paper_search_space
@@ -104,6 +106,7 @@ def bench_method(method, X, y, space, pool, factory, seed):
             "timeouts": stats.timeouts,
             "degraded": stats.failures,
             "non_finite": stats.non_finite,
+            "guard_events": stats.guard_events,
         }
         print(f"  {method.upper():>3} x{n_workers}: {seconds:6.2f}s  "
               f"speedup {runs[str(n_workers)]['speedup_vs_baseline']:5.2f}x  "
@@ -144,6 +147,46 @@ def run_journal_run(X, y, space, pool, factory, seed, journal):
         return run_once("hb", X, y, space, pool, factory, seed, engine)
 
 
+def bench_guard_overhead(X, y, space, pool, factory, seed, repeats=3):
+    """Guard cost: grouped HB with guard_policy="repair" vs guard off.
+
+    The data is clean, so this measures the pure bookkeeping tax —
+    entry validation, per-evaluation GuardLog, divergence/finiteness
+    checks — which the robustness contract caps at 5% of wall clock.
+    Each variant takes the best of ``repeats`` fits to shed timer noise.
+    """
+
+    def best_of(guard_policy):
+        best_seconds, best_result = float("inf"), None
+        for _ in range(repeats):
+            evaluator = grouped_evaluator(
+                X, y, factory, guard_policy=guard_policy, random_state=seed
+            )
+            searcher = HyperBand(space, evaluator, random_state=seed)
+            start = time.perf_counter()
+            result = searcher.fit(configurations=pool)
+            seconds = time.perf_counter() - start
+            if seconds < best_seconds:
+                best_seconds, best_result = seconds, result
+        return best_seconds, best_result
+
+    off_seconds, off_result = best_of(None)
+    on_seconds, on_result = best_of("repair")
+    if on_result.best_config != off_result.best_config:
+        raise AssertionError("the guard changed the winner on clean data — determinism broken")
+    trial_events = sum(len(t.result.guard_events) for t in on_result.trials)
+    overhead_pct = 100.0 * (on_seconds - off_seconds) / off_seconds
+    print(f"guard: off {off_seconds:.2f}s, repair {on_seconds:.2f}s "
+          f"({trial_events} trial events on clean data) -> overhead {overhead_pct:+.1f}%")
+    return {
+        "off_seconds": round(off_seconds, 4),
+        "repair_seconds": round(on_seconds, 4),
+        "trial_guard_events": trial_events,
+        "overhead_pct": round(overhead_pct, 2),
+        "target_pct": 5.0,
+    }
+
+
 def main(argv=None) -> int:
     """Run the benchmark and write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -174,12 +217,16 @@ def main(argv=None) -> int:
     report["journal_overhead"] = bench_journal_overhead(
         X, y, space, pools["hb"], factory, args.seed
     )
+    report["guard_overhead"] = bench_guard_overhead(
+        X, y, space, pools["hb"], factory, args.seed
+    )
 
     hb4 = report["methods"]["hb"]["runs"]["4"]
     report["headline"] = {
         "hyperband_4worker_speedup": hb4["speedup_vs_baseline"],
         "hyperband_4worker_cache_hit_rate": hb4["cache_hit_rate"],
         "journal_overhead_pct": report["journal_overhead"]["overhead_pct"],
+        "guard_overhead_pct": report["guard_overhead"]["overhead_pct"],
     }
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -2,15 +2,19 @@
 
 Each scenario breaks the engine on purpose — evaluator exceptions, NaN
 and ``+inf`` scores, hung evaluations, workers dying via ``os._exit``,
-SIGKILL mid-run, torn journal tails — and asserts the robustness
-contract:
+SIGKILL mid-run, torn journal tails, corrupted training data fed to real
+learners — and asserts the robustness contract:
 
 1. the search always completes and a real (finite, non-sentinel) trial
    wins whenever one exists;
 2. degraded trials carry the sentinel score and are counted in
    :class:`~repro.engine.EngineStats`;
 3. a journaled run interrupted at any point resumes to the *bitwise*
-   result of the uninterrupted run, for SHA+, HyperBand+ and ASHA.
+   result of the uninterrupted run, for SHA+, HyperBand+ and ASHA;
+4. under ``guard_policy="repair"`` a dataset with NaN cells, a constant
+   feature and a diverging learner still yields a finite incumbent, with
+   every guard event counted in the stats and persisted in the journal,
+   and serial == parallel bitwise.
 
 Usage::
 
@@ -36,12 +40,16 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.bandit import ASHA, HyperBand, SuccessiveHalving
+import numpy as np
+
+from repro.bandit import ASHA, BOHB, HyperBand, SuccessiveHalving
 from repro.bandit.base import EvaluationResult
+from repro.core import MLPModelFactory, grouped_evaluator
 from repro.engine import (
     FAILURE_SCORE,
     ChaosExecutor,
     ChaosPolicy,
+    DataCorruption,
     ParallelExecutor,
     RunJournal,
     SerialExecutor,
@@ -240,6 +248,78 @@ def scenario_torn_journal():
         return "torn record dropped, prefix replayed, resume bitwise"
 
 
+GUARDED_SEARCHERS = {
+    "sha+": lambda space, ev, engine: SuccessiveHalving(space, ev, random_state=7, engine=engine),
+    "hb+": lambda space, ev, engine: HyperBand(space, ev, random_state=7, engine=engine),
+    "bohb+": lambda space, ev, engine: BOHB(space, ev, random_state=7, engine=engine),
+}
+
+
+def _corrupted_problem():
+    """Two Gaussian blobs, then 5% NaN cells, one constant feature, 2% flips."""
+    rng = np.random.default_rng(5)
+    n_per = 80
+    X = np.vstack([
+        rng.normal(loc=-1.0, scale=0.7, size=(n_per, 6)),
+        rng.normal(loc=1.0, scale=0.7, size=(n_per, 6)),
+    ])
+    y = np.array([0] * n_per + [1] * n_per)
+    order = rng.permutation(len(y))
+    corruption = DataCorruption(
+        nan_cell_rate=0.05, label_flip_rate=0.02, constant_columns=1, seed=11
+    )
+    return corruption.apply(X[order], y[order])
+
+
+def scenario_corrupted_data(searcher_name):
+    """Real learners on corrupted data under guard_policy="repair".
+
+    The space plants one deliberately diverging configuration
+    (``learning_rate_init=1e6``): the guarded run must detect the
+    divergence, floor those folds, and still crown a finite, sane
+    incumbent — with every guard event in the stats and the journal, and
+    the parallel run bitwise equal to the serial one.
+    """
+    X, y = _corrupted_problem()
+    factory = MLPModelFactory(task="classification", max_iter=8,
+                              solver="sgd", hidden_layer_sizes=(8,))
+    evaluator = grouped_evaluator(X, y, factory, guard_policy="repair",
+                                  n_groups=2, min_subset=20, random_state=3)
+    space = SearchSpace([Categorical("learning_rate_init", [0.001, 0.01, 1e6])])
+    builder = GUARDED_SEARCHERS[searcher_name]
+
+    def guarded_fingerprint(result):
+        return [row + (trial.result.guard_events,)
+                for row, trial in zip(fingerprint(result), result.trials)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.wal"
+        with TrialEngine(executor=SerialExecutor(), journal=str(path), retry_backoff=0.0) as engine:
+            serial = builder(space, evaluator, engine).fit(configurations=space.grid())
+            serial_stats = engine.stats
+        assert math.isfinite(serial.best_score), "corrupted data produced a non-finite incumbent"
+        assert serial.best_config["learning_rate_init"] != 1e6, "the diverging learner won"
+        assert serial_stats.guard_events > 0, "no guard event reached EngineStats"
+        diverged = sum(1 for t in serial.trials for event in t.result.guard_events
+                       if event["kind"] == "learner.diverged")
+        assert diverged > 0, "lr=1e6 never tripped divergence detection"
+        # Journal entries are appended at settle time (executed trials
+        # only), which is exactly what the stats counter counts too.
+        _, entries, _ = RunJournal.read(path)
+        journal_events = sum(len(e.result.guard_events) for e in entries)
+        assert journal_events == serial_stats.guard_events, "journal lost guard events"
+
+    with TrialEngine(executor=ParallelExecutor(n_workers=2), retry_backoff=0.0) as engine:
+        parallel = builder(space, evaluator, engine).fit(configurations=space.grid())
+        parallel_stats = engine.stats
+    assert guarded_fingerprint(parallel) == guarded_fingerprint(serial), (
+        f"{searcher_name}: guarded serial/parallel runs diverged"
+    )
+    assert parallel_stats.guard_events == serial_stats.guard_events
+    return (f"{serial_stats.guard_events} guard events journaled, "
+            f"{diverged} divergence catches, serial==parallel")
+
+
 def build_scenarios(quick):
     """(name, callable) list; --quick keeps one fast probe per failure mode."""
     scenarios = [
@@ -248,6 +328,7 @@ def build_scenarios(quick):
         ("torn-journal", scenario_torn_journal),
         ("worker-exit", scenario_worker_exit),
         ("hang-watchdog", scenario_hang_watchdog),
+        ("corrupted-data[sha+]", lambda: scenario_corrupted_data("sha+")),
     ]
     if not quick:
         scenarios[1:1] = [
@@ -255,6 +336,10 @@ def build_scenarios(quick):
             ("crash-resume[asha]", lambda: scenario_crash_resume("asha")),
         ]
         scenarios.append(("sigkill-resume", scenario_sigkill_resume))
+        scenarios.extend([
+            ("corrupted-data[hb+]", lambda: scenario_corrupted_data("hb+")),
+            ("corrupted-data[bohb+]", lambda: scenario_corrupted_data("bohb+")),
+        ])
     return scenarios
 
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification ladder:
 #   1. tier-1 test suite (fast; chaos tests deselected by pyproject addopts)
-#   2. chaos-marked pytest tier (process kills, SIGKILL resume)
-#   3. fault-injection harness smoke (tools/chaos_suite.py --quick)
+#   2. guard tier (data-integrity layer + corrupted-data chaos scenario)
+#   3. chaos-marked pytest tier (process kills, SIGKILL resume)
+#   4. fault-injection harness smoke (tools/chaos_suite.py --quick)
 #
 # Usage: bash tools/run_checks.sh
 set -euo pipefail
@@ -11,6 +12,17 @@ export PYTHONPATH=src
 
 echo "== tier-1: pytest -x -q =="
 python -m pytest -x -q
+
+echo
+echo "== guard tier: pytest tests/guard + corrupted-data scenario =="
+python -m pytest -q tests/guard
+python - <<'EOF'
+import importlib.util
+spec = importlib.util.spec_from_file_location("chaos_suite", "tools/chaos_suite.py")
+module = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(module)
+print("corrupted-data[sha+]:", module.scenario_corrupted_data("sha+"))
+EOF
 
 echo
 echo "== chaos tier: pytest -m chaos =="
