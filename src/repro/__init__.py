@@ -15,6 +15,10 @@ The package layers:
   validation/repair, typed degradation events and the policies
   (``strict``/``repair``/``warn``/``off``) threaded through grouping,
   folds, learners and scoring;
+- :mod:`repro.telemetry` — zero-dependency observability: structured
+  run/bracket/rung/trial/fold spans, a deterministic metrics registry and
+  opt-in profiling hooks, threaded through engine, searchers and
+  evaluator (see ``docs/OBSERVABILITY.md``);
 - :mod:`repro.core` — the paper's contribution: instance grouping,
   general+special fold construction and the variance/size-aware metric,
   plugged into the bandit methods as SHA+/HB+/BOHB+/ASHA+;
@@ -78,6 +82,7 @@ from .guard import (
 )
 from .results import load_result, result_from_dict, result_to_dict, save_result
 from .space import Categorical, Float, Integer, SearchSpace
+from .telemetry import MetricsRegistry, Telemetry, TraceSink, Tracer, profiled
 
 __version__ = "1.0.0"
 
@@ -119,6 +124,11 @@ __all__ = [
     "TrialEngine",
     "TrialOutcome",
     "TrialRequest",
+    "MetricsRegistry",
+    "Telemetry",
+    "TraceSink",
+    "Tracer",
+    "profiled",
     "beta_weight",
     "generate_groups",
     "grouped_evaluator",

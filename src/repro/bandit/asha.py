@@ -136,8 +136,9 @@ class ASHA(BaseSearcher):
         n_workers: int = 4,
         max_started: int = 32,
         engine=None,
+        telemetry=None,
     ) -> None:
-        super().__init__(space, evaluator, random_state, engine=engine)
+        super().__init__(space, evaluator, random_state, engine=engine, telemetry=telemetry)
         if eta <= 1.0:
             raise ValueError(f"eta must be > 1, got {eta}")
         if not 0.0 < min_budget_fraction <= 1.0:
@@ -168,7 +169,7 @@ class ASHA(BaseSearcher):
             return list(self._initial_configurations(configurations, n_configurations))
         return list(self.space.sample_batch(self.max_started, rng=self._rng))
 
-    def fit(
+    def _fit(
         self,
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,

@@ -8,6 +8,7 @@ searchers into SHA+ / HB+ / BOHB+ without touching their logic.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol, Sequence
 
@@ -168,6 +169,15 @@ class BaseSearcher:
         derived from ``(random_state, config, budget)``, enabling
         memoization, retries and parallel executors while keeping results
         independent of worker count and completion order.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry`.  When set, every
+        ``fit()`` is wrapped in a ``run`` span, rung batches get ``rung``
+        spans, and each evaluation is recorded as a ``trial`` span with
+        its fold/fit children and metrics — through the engine when one
+        is attached (the engine inherits this telemetry if it has none of
+        its own), or inline otherwise.  Recording never touches the
+        search's random streams, so results stay bit-for-bit identical
+        to an uninstrumented run.
     """
 
     method_name = "base"
@@ -178,11 +188,13 @@ class BaseSearcher:
         evaluator: ConfigurationEvaluator,
         random_state: Optional[int] = None,
         engine=None,
+        telemetry=None,
     ) -> None:
         self.space = space
         self.evaluator = evaluator
         self.random_state = random_state
         self.engine = engine
+        self.telemetry = telemetry
         self._rng = np.random.default_rng(random_state)
         self._trials: List[Trial] = []
 
@@ -195,6 +207,26 @@ class BaseSearcher:
                 root_seed=self.random_state,
                 metadata=self._run_identity(),
             )
+
+    def _sync_telemetry(self) -> None:
+        """Reconcile searcher- and engine-attached telemetry (either way).
+
+        A telemetry object may arrive on the searcher (``optimize(...,
+        telemetry=...)``) or on the engine (``TrialEngine(...,
+        telemetry=...)``); whichever side has one shares it with the
+        other so spans and metrics land in a single place.
+        """
+        engine_telemetry = getattr(self.engine, "telemetry", None)
+        if self.telemetry is None:
+            self.telemetry = engine_telemetry
+        elif self.engine is not None and engine_telemetry is None:
+            self.engine.telemetry = self.telemetry
+
+    def _span(self, name: str, **attrs):
+        """A structural tracer span, or an inert context when telemetry is off."""
+        if self.telemetry is None:
+            return nullcontext(None)
+        return self.telemetry.span(name, **attrs)
 
     def _run_identity(self) -> Dict[str, Any]:
         """Identity recorded in (and verified against) a run-journal header.
@@ -247,7 +279,25 @@ class BaseSearcher:
         """Run the evaluator (directly or via the engine) and record the trial."""
         if self.engine is not None:
             return self._evaluate_batch([config], budget_fraction, iteration, bracket)[0]
-        result = self.evaluator.evaluate(config, budget_fraction, self._rng)
+        if self.telemetry is not None:
+            with self.telemetry.trial(
+                trial_id=len(self._trials),
+                budget_fraction=budget_fraction,
+                iteration=iteration,
+                bracket=bracket,
+            ) as record:
+                result = self.evaluator.evaluate(config, budget_fraction, self._rng)
+                record["attrs"].update(
+                    score=float(result.score),
+                    gamma=float(result.gamma),
+                    cost=float(result.cost),
+                )
+                record["ann"].extend(
+                    event.as_dict() if hasattr(event, "as_dict") else dict(event)
+                    for event in (result.guard_events or [])
+                )
+        else:
+            result = self.evaluator.evaluate(config, budget_fraction, self._rng)
         trial = Trial(
             config=config,
             budget_fraction=budget_fraction,
@@ -271,26 +321,34 @@ class BaseSearcher:
         calling :meth:`_evaluate` per configuration).  With one, the whole
         batch is submitted at once so a parallel executor can overlap the
         evaluations; outcomes come back in request order, so recorded
-        trials keep the exact ordering of the serial path.
+        trials keep the exact ordering of the serial path.  Either way
+        the batch is wrapped in a ``rung`` span when telemetry is on.
         """
-        if self.engine is None:
-            return [
-                self._evaluate(config, budget_fraction, iteration, bracket)
+        with self._span(
+            "rung",
+            budget_fraction=budget_fraction,
+            iteration=iteration,
+            bracket=bracket,
+            n_configs=len(configs),
+        ):
+            if self.engine is None:
+                return [
+                    self._evaluate(config, budget_fraction, iteration, bracket)
+                    for config in configs
+                ]
+            from ..engine.protocol import TrialRequest  # local import avoids a cycle
+
+            requests = [
+                TrialRequest(
+                    config=config,
+                    budget_fraction=budget_fraction,
+                    iteration=iteration,
+                    bracket=bracket,
+                )
                 for config in configs
             ]
-        from ..engine.protocol import TrialRequest  # local import avoids a cycle
-
-        requests = [
-            TrialRequest(
-                config=config,
-                budget_fraction=budget_fraction,
-                iteration=iteration,
-                bracket=bracket,
-            )
-            for config in configs
-        ]
-        outcomes = self.engine.run_batch(requests)
-        return [self._record_outcome(outcome) for outcome in outcomes]
+            outcomes = self.engine.run_batch(requests)
+            return [self._record_outcome(outcome) for outcome in outcomes]
 
     def _record_outcome(self, outcome) -> Trial:
         """Convert an engine :class:`~repro.engine.TrialOutcome` into a Trial."""
@@ -329,5 +387,29 @@ class BaseSearcher:
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,
     ) -> SearchResult:
-        """Run the search and return its :class:`SearchResult`."""
+        """Run the search and return its :class:`SearchResult`.
+
+        Template method: syncs telemetry between searcher and engine,
+        opens the ``run`` span, and delegates the actual search to the
+        subclass's :meth:`_fit`.
+        """
+        self._sync_telemetry()
+        with self._span(
+            "run",
+            searcher=self.method_name,
+            root_seed=self.random_state,
+            engine=self.engine is not None,
+        ) as span:
+            result = self._fit(configurations, n_configurations)
+            if span is not None:
+                span.attrs["best_score"] = float(result.best_score)
+                span.attrs["n_trials"] = result.n_trials
+            return result
+
+    def _fit(
+        self,
+        configurations: Optional[Sequence[Dict[str, Any]]],
+        n_configurations: Optional[int],
+    ) -> SearchResult:
+        """Subclass hook: the actual search, run inside the ``run`` span."""
         raise NotImplementedError

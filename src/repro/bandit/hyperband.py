@@ -53,8 +53,9 @@ class HyperBand(BaseSearcher):
         eta: float = 3.0,
         min_budget_fraction: float = 1.0 / 27.0,
         engine=None,
+        telemetry=None,
     ) -> None:
-        super().__init__(space, evaluator, random_state, engine=engine)
+        super().__init__(space, evaluator, random_state, engine=engine, telemetry=telemetry)
         if eta <= 1.0:
             raise ValueError(f"eta must be > 1, got {eta}")
         if not 0.0 < min_budget_fraction <= 1.0:
@@ -87,7 +88,7 @@ class HyperBand(BaseSearcher):
 
     # -- main loop ------------------------------------------------------------
 
-    def fit(
+    def _fit(
         self,
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,
@@ -121,22 +122,25 @@ class HyperBand(BaseSearcher):
             else:
                 candidates = self._propose_configs(n, budget_fraction)
 
-            survivors = candidates
-            rung_budget = budget_fraction
-            for rung in range(s + 1):
-                trials = self._evaluate_batch(
-                    survivors, min(rung_budget, 1.0), iteration=rung, bracket=s
-                )
-                for trial in trials:
-                    self._observe(trial)
-                    if best_trial is None or self._is_better(trial, best_trial):
-                        best_trial = trial
-                n_keep = max(1, int(len(survivors) / self.eta))
-                keep = top_k_indices([t.result.score for t in trials], n_keep)
-                survivors = [trials[i].config for i in keep]
-                rung_budget *= self.eta
-                if len(survivors) == 1 and rung == s:
-                    break
+            with self._span(
+                "bracket", s=s, n_configs=n, budget_fraction=budget_fraction
+            ):
+                survivors = candidates
+                rung_budget = budget_fraction
+                for rung in range(s + 1):
+                    trials = self._evaluate_batch(
+                        survivors, min(rung_budget, 1.0), iteration=rung, bracket=s
+                    )
+                    for trial in trials:
+                        self._observe(trial)
+                        if best_trial is None or self._is_better(trial, best_trial):
+                            best_trial = trial
+                    n_keep = max(1, int(len(survivors) / self.eta))
+                    keep = top_k_indices([t.result.score for t in trials], n_keep)
+                    survivors = [trials[i].config for i in keep]
+                    rung_budget *= self.eta
+                    if len(survivors) == 1 and rung == s:
+                        break
 
         assert best_trial is not None  # at least one bracket always runs
         return SearchResult(

@@ -90,7 +90,7 @@ class PASHA(BaseSearcher):
         top_low = set(self._top_ranking(low, k))
         return not top_high <= top_low
 
-    def fit(
+    def _fit(
         self,
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,

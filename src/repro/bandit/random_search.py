@@ -33,7 +33,7 @@ class RandomSearch(BaseSearcher):
         super().__init__(space, evaluator, random_state)
         self.n_configurations = n_configurations
 
-    def fit(
+    def _fit(
         self,
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,

@@ -117,7 +117,7 @@ class SMACSearch(BaseSearcher):
         acquisition = expected_improvement(mean, std, best=float(y.max()))
         return candidates[int(acquisition.argmax())]
 
-    def fit(
+    def _fit(
         self,
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,

@@ -58,8 +58,9 @@ class SuccessiveHalving(BaseSearcher):
         eta: float = 2.0,
         min_budget_fraction: float = 0.01,
         engine=None,
+        telemetry=None,
     ) -> None:
-        super().__init__(space, evaluator, random_state, engine=engine)
+        super().__init__(space, evaluator, random_state, engine=engine, telemetry=telemetry)
         if eta <= 1.0:
             raise ValueError(f"eta must be > 1, got {eta}")
         if not 0.0 < min_budget_fraction <= 1.0:
@@ -67,7 +68,7 @@ class SuccessiveHalving(BaseSearcher):
         self.eta = eta
         self.min_budget_fraction = min_budget_fraction
 
-    def fit(
+    def _fit(
         self,
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,

@@ -81,7 +81,7 @@ class TPESearch(BaseSearcher):
                 best_ratio, best_vector = ratio, candidate
         return self.space.decode(best_vector)
 
-    def fit(
+    def _fit(
         self,
         configurations: Optional[Sequence[Dict[str, Any]]] = None,
         n_configurations: Optional[int] = None,

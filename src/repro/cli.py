@@ -25,6 +25,16 @@ rejected (``strict``), repaired in a copy (``repair``) or recorded
 run summary reports every guard event.  The guard policy is part of a
 journal's identity, so a ``--resume`` under a different policy refuses
 rather than silently mixing scores.
+
+Observability flags (:mod:`repro.telemetry`): ``--trace PATH`` streams a
+structured span trace (run > bracket > rung > trial > fold > fit) as
+JSONL, convertible to Chrome-trace JSON with ``tools/trace_view.py``;
+``--metrics`` prints the merged metric counters/histograms after the
+run; ``--profile`` additionally records ``@profiled`` hot-path timings
+(MLP fit, k-means, fold construction).  With a tty on stderr any of the
+three also shows a live one-line progress ticker.  Telemetry is
+observational only — the chosen configuration and all scores are bitwise
+identical with and without it.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from .core import METHODS, MLPModelFactory, make_scorer, optimize
 from .datasets import dataset_info_table, list_datasets, load_dataset
 from .experiments import paper_search_space
 from .results import save_result
+from .telemetry.formatting import format_percent
 
 __all__ = ["main", "build_parser"]
 
@@ -82,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="data-integrity guard policy: strict rejects dirty data, "
                                   "repair fixes it in a copy, warn only records, off (default) "
                                   "skips all checks")
+    tune_parser.add_argument("--trace", default=None, metavar="PATH",
+                             help="stream a structured span trace of the run as JSONL "
+                                  "(convert with tools/trace_view.py)")
+    tune_parser.add_argument("--metrics", action="store_true",
+                             help="print the merged telemetry metrics after the run")
+    tune_parser.add_argument("--profile", action="store_true",
+                             help="record @profiled hot-path timings in the metrics "
+                                  "(implies --metrics)")
 
     report_parser = subparsers.add_parser("report", help="regenerate every table & figure")
     report_parser.add_argument("--scale", type=float, default=0.3)
@@ -147,12 +166,31 @@ def _build_engine(args: argparse.Namespace):
     )
 
 
+def _progress_line(telemetry, attrs) -> None:
+    """Live one-line ticker on stderr (installed only when it is a tty)."""
+    score = attrs.get("score")
+    shown = f"{score:.4f}" if isinstance(score, float) else "-"
+    sys.stderr.write(f"\r  trial {telemetry.trials_seen:>4}  last score {shown}  ")
+    sys.stderr.flush()
+
+
+def _build_telemetry(args: argparse.Namespace):
+    """Telemetry from the CLI flags, or ``None`` when none were requested."""
+    if args.trace is None and not args.metrics and not args.profile:
+        return None
+    from .telemetry import Telemetry
+
+    on_trial = _progress_line if sys.stderr.isatty() else None
+    return Telemetry(trace=args.trace, profile=args.profile, on_trial=on_trial)
+
+
 def _command_tune(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset, scale=args.scale, random_state=args.seed)
     task = "regression" if dataset.task == "regression" else "classification"
     space = paper_search_space(args.hps)
     factory = MLPModelFactory(task=task, max_iter=args.max_iter)
     engine = _build_engine(args)
+    telemetry = _build_telemetry(args)
     if engine is not None:
         extras = []
         if args.trial_timeout is not None:
@@ -178,7 +216,11 @@ def _command_tune(args: argparse.Namespace) -> int:
         n_configurations=None,
         engine=engine,
         guard=args.guard,
+        telemetry=telemetry,
     )
+    if telemetry is not None and telemetry.on_trial is not None:
+        sys.stderr.write("\r" + " " * 40 + "\r")  # clear the progress ticker
+        sys.stderr.flush()
     test_score = make_scorer(dataset.metric)(outcome.model, dataset.X_test, dataset.y_test)
     print(f"best configuration : {outcome.best_config}")
     print(f"train {dataset.metric}      : {outcome.train_score:.4f}")
@@ -186,7 +228,7 @@ def _command_tune(args: argparse.Namespace) -> int:
     print(f"search wall time   : {outcome.result.wall_time:.1f}s over {outcome.result.n_trials} trials")
     if engine is not None:
         stats = engine.stats
-        print(f"cache hit rate     : {100.0 * stats.hit_rate:.1f}% "
+        print(f"cache hit rate     : {format_percent(stats.hit_rate)} "
               f"({stats.cache_hits}/{stats.cache_hits + stats.cache_misses} lookups, "
               f"{stats.executed} evaluations run, {stats.retries} retries, "
               f"{stats.failures} degraded)")
@@ -194,6 +236,14 @@ def _command_tune(args: argparse.Namespace) -> int:
               f"{stats.timeouts} watchdog timeouts, {stats.non_finite} non-finite results, "
               f"{stats.guard_events} guard events")
         engine.shutdown()
+    if telemetry is not None:
+        telemetry.close()
+        if args.trace:
+            print(f"trace              : {telemetry.sink.spans_written} spans -> {args.trace}")
+        if args.metrics or args.profile:
+            print("telemetry metrics  :")
+            for line in telemetry.registry.render_lines():
+                print(f"  {line}")
     if args.guard != "off":
         from collections import Counter
 

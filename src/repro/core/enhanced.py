@@ -69,6 +69,7 @@ def make_searcher(
     searcher_kwargs: Optional[Dict[str, Any]] = None,
     engine=None,
     guard: Optional[str] = None,
+    telemetry=None,
 ) -> BaseSearcher:
     """Construct a searcher by paper name (``"sha"``, ``"sha+"``, ...).
 
@@ -99,6 +100,11 @@ def make_searcher(
         Data-integrity guard policy (``"strict"``, ``"repair"``,
         ``"warn"``, ``"off"`` or ``None``); forwarded to the evaluator
         factory as ``guard_policy``.  See :mod:`repro.guard`.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` recording run/rung/
+        trial spans and metrics for this search.  Shared with ``engine``
+        when one is given (see
+        :meth:`~repro.bandit.base.BaseSearcher._sync_telemetry`).
     """
     key = method.lower()
     if key not in METHODS:
@@ -118,6 +124,8 @@ def make_searcher(
     searcher = searcher_cls(space, evaluator, random_state=random_state, **(searcher_kwargs or {}))
     if engine is not None:
         searcher.engine = engine
+    if telemetry is not None:
+        searcher.telemetry = telemetry
     searcher.method_name = _display_name(key)
     return searcher
 
@@ -179,12 +187,17 @@ def optimize(
     searcher_kwargs: Optional[Dict[str, Any]] = None,
     engine=None,
     guard: Optional[str] = None,
+    telemetry=None,
 ) -> OptimizationOutcome:
     """Run hyperparameter optimization end to end.
 
     Pass ``engine=TrialEngine(executor=ParallelExecutor(4))`` to evaluate
     configurations on a process pool with memoization and fault tolerance;
     the fixed-seed search result is identical to the serial one.
+
+    Pass ``telemetry=Telemetry(trace="run.trace.jsonl")`` to record a
+    structured trace and metrics; recording is observational only, so the
+    returned outcome is bitwise identical with telemetry on or off.
 
     Examples
     --------
@@ -211,6 +224,7 @@ def optimize(
         searcher_kwargs=searcher_kwargs,
         engine=engine,
         guard=guard,
+        telemetry=telemetry,
     )
     result = searcher.fit(configurations=configurations, n_configurations=n_configurations)
     model = None

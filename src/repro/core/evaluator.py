@@ -21,12 +21,15 @@ build the two configurations the paper compares.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
 from ..bandit.base import EvaluationResult
 from ..guard import DataReport, GuardLog, validate_dataset
+from ..telemetry.collect import current_collector
+from ..telemetry.profiling import profiled
 from ..learners import MLPClassifier, MLPRegressor
 from ..metrics import accuracy_score, f1_score, r2_score
 from ..model_selection import KFold, StratifiedKFold, random_subsample, stratified_subsample
@@ -255,9 +258,26 @@ class SubsetCVEvaluator:
         n_subset = min(n_total, max(floor, n_subset))
 
         subset = self._draw_subset(n_subset, rng)
+        collector = current_collector()
         fold_scores = []
-        for train_idx, val_idx in self._folds(subset, rng, guard):
-            fold_scores.append(self._fit_and_score(config, train_idx, val_idx, rng, guard))
+        for fold_index, (train_idx, val_idx) in enumerate(self._folds(subset, rng, guard)):
+            span = (
+                collector.span(
+                    "fold",
+                    fold=fold_index,
+                    n_train=int(len(train_idx)),
+                    n_val=int(len(val_idx)),
+                )
+                if collector is not None
+                else nullcontext(None)
+            )
+            with span as record:
+                fold_score = self._fit_and_score(config, train_idx, val_idx, rng, guard)
+                if record is not None:
+                    record["attrs"]["score"] = round(float(fold_score), 6)
+            if collector is not None:
+                collector.observe("evaluator.fold_score", float(fold_score))
+            fold_scores.append(fold_score)
         gamma = 100.0 * len(subset) / n_total
         mean = float(np.mean(fold_scores))
         std = float(np.std(fold_scores))
@@ -280,6 +300,7 @@ class SubsetCVEvaluator:
             return self.k_gen + self.k_spe
         return self.n_splits
 
+    @profiled("evaluator.draw_subset")
     def _draw_subset(self, n_subset: int, rng: np.random.Generator) -> np.ndarray:
         n_total = len(self.y)
         if n_subset >= n_total:
@@ -350,25 +371,32 @@ class SubsetCVEvaluator:
             model = _ConstantClassifier(y_train[0])
         else:
             model = self.model_factory(config, random_state=int(rng.integers(2**31)))
-            if guard is None:
-                model.fit(X_train, y_train)
-            else:
-                try:
+            collector = current_collector()
+            span = (
+                collector.span("fit", n_train=int(len(train_idx)))
+                if collector is not None
+                else nullcontext(None)
+            )
+            with span:
+                if guard is None:
                     model.fit(X_train, y_train)
-                except Exception as exc:  # noqa: BLE001 - any fit failure degrades
-                    guard.record(
-                        "learner.fit_error",
-                        f"fit raised {type(exc).__name__}: {exc}",
-                        error=type(exc).__name__,
-                        floor=FOLD_FLOOR,
-                    )
-                    return FOLD_FLOOR
-                if getattr(model, "diverged_", False):
-                    guard.record(
-                        "learner.diverged",
-                        "fit aborted on exploding loss; parameters rolled back "
-                        "to the last finite state",
-                    )
+                else:
+                    try:
+                        model.fit(X_train, y_train)
+                    except Exception as exc:  # noqa: BLE001 - any fit failure degrades
+                        guard.record(
+                            "learner.fit_error",
+                            f"fit raised {type(exc).__name__}: {exc}",
+                            error=type(exc).__name__,
+                            floor=FOLD_FLOOR,
+                        )
+                        return FOLD_FLOOR
+                    if getattr(model, "diverged_", False):
+                        guard.record(
+                            "learner.diverged",
+                            "fit aborted on exploding loss; parameters rolled back "
+                            "to the last finite state",
+                        )
         score = float(self.scorer(model, X_val, y_val))
         if guard is not None and not np.isfinite(score):
             guard.record(

@@ -23,6 +23,7 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..guard.events import GuardLog
+from ..telemetry.profiling import profiled
 
 __all__ = ["GeneralSpecialFolds"]
 
@@ -163,6 +164,7 @@ class GeneralSpecialFolds:
         )
         return new_gen, new_spe
 
+    @profiled("folds.partition")
     def _partition(
         self,
         subset_indices: np.ndarray,

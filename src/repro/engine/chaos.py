@@ -37,6 +37,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..bandit.base import EvaluationResult
+from ..telemetry.collect import current_collector
 from .executors import TrialExecutor
 
 __all__ = ["ChaosError", "ChaosPolicy", "ChaosExecutor", "DataCorruption"]
@@ -165,23 +166,43 @@ class _ChaosEvaluator:
         self._policy = policy
 
     def evaluate(self, config, budget_fraction, rng) -> EvaluationResult:
-        """Maybe inject a fault, then (if still alive) really evaluate."""
+        """Maybe inject a fault, then (if still alive) really evaluate.
+
+        When a telemetry collector is installed, every injected fault is
+        counted under ``chaos.injected.<mode>``.  Counters ride home on
+        the evaluation result, so hang/nan/corrupt injections reach the
+        parent's registry (the engine salvages counters from non-finite
+        results before discarding them); raise/exit injections lose
+        their result and surface through the engine's retry/failure
+        counters instead.
+        """
         policy = self._policy
+        collector = current_collector()
         draw = float(rng.random())
         edges = self._fault_edges()
         if draw < edges[0]:
+            if collector is not None:
+                collector.inc("chaos.injected.exit")
             if multiprocessing.current_process().name != "MainProcess":
                 os._exit(13)
             raise ChaosError("injected worker exit (downgraded to raise in-process)")
         if draw < edges[1]:
+            if collector is not None:
+                collector.inc("chaos.injected.hang")
             time.sleep(policy.hang_seconds)
         elif draw < edges[2]:
+            if collector is not None:
+                collector.inc("chaos.injected.raise")
             raise ChaosError("injected evaluator failure")
         result = self._evaluator.evaluate(config, budget_fraction, rng)
         if draw < edges[3]:
+            if collector is not None:
+                collector.inc("chaos.injected.nan")
             result.score = float("nan")
             result.mean = float("nan")
         elif draw < edges[4]:
+            if collector is not None:
+                collector.inc("chaos.injected.corrupt")
             result.score = float("inf")
         return result
 

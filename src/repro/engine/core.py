@@ -43,6 +43,8 @@ from collections import deque
 import numpy as np
 
 from ..bandit.base import EvaluationResult
+from ..telemetry import Telemetry
+from ..telemetry.collect import detach_payload
 from .cache import EvaluationCache
 from .executors import (
     SerialExecutor,
@@ -192,6 +194,14 @@ class TrialEngine:
     sleep:
         Injectable sleep function (tests pass a recorder; default
         :func:`time.sleep`).
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` object to record into:
+        every settled outcome becomes a ``trial`` span (with any
+        fold/fit spans the worker collected grafted underneath, guard
+        events as annotations, and the journal sequence number when
+        journaling), and the engine mirrors its counters into the
+        metrics registry plus queue-wait/execute histograms.  ``None``
+        (default) records nothing and adds no per-trial work.
 
     Examples
     --------
@@ -215,6 +225,7 @@ class TrialEngine:
         retry_backoff: float = 0.05,
         retry_backoff_max: float = 2.0,
         sleep: Optional[Callable[[float], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -236,6 +247,10 @@ class TrialEngine:
         self.retry_backoff = retry_backoff
         self.retry_backoff_max = retry_backoff_max
         self._sleep = sleep if sleep is not None else time.sleep
+        self.telemetry = telemetry
+        #: Submit timestamps by trial id (telemetry only): queue-wait
+        #: tracking and trial-span start times.
+        self._submit_time: Dict[int, float] = {}
         self.stats = EngineStats()
         self._evaluator = None
         self._next_trial_id = 0
@@ -311,11 +326,71 @@ class TrialEngine:
                 self.root_seed, key, request.budget_fraction, request.attempt
             )
         self.stats.submitted += 1
+        if self.telemetry is not None:
+            request.telemetry = self.telemetry.collection_flags
+            self._submit_time[request.trial_id] = self.telemetry.clock()
+            self._inc("engine.submitted")
         return request
 
     def _cache_key(self, request: TrialRequest) -> Tuple:
         return EvaluationCache.make_key(
             request.resolved_key(), request.budget_fraction, request.seed
+        )
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _inc(self, name: str, value: int = 1) -> None:
+        """Mirror one counter into the telemetry registry (no-op when off)."""
+        if self.telemetry is not None:
+            self.telemetry.registry.inc(name, value)
+
+    def _emit_trial(self, outcome: TrialOutcome, payload: Optional[Dict] = None) -> None:
+        """Record one settled outcome as a trial span plus merged metrics.
+
+        Called exactly once per outcome, at the moment it is *queued*
+        (submit's replay/cache-hit branches and ``_settle`` including
+        followers) — never at ``wait_one`` return, where ``run_batch``'s
+        spillover re-queue would double-emit.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        request, result = outcome.request, outcome.result
+        now = telemetry.clock()
+        t0 = self._submit_time.pop(request.trial_id, now)
+        duration = now - t0
+        attrs = {
+            "trial_id": request.trial_id,
+            "seed": request.seed,
+            "budget_fraction": request.budget_fraction,
+            "iteration": request.iteration,
+            "bracket": request.bracket,
+            "attempts": outcome.attempts,
+            "cache_hit": outcome.cache_hit,
+            "resumed": outcome.resumed,
+            "failed": outcome.failed,
+            "score": float(result.score),
+            "gamma": float(result.gamma),
+            "cost": float(result.cost),
+        }
+        if outcome.journal_seq is not None:
+            attrs["journal_seq"] = outcome.journal_seq
+        if outcome.error is not None:
+            attrs["error"] = outcome.error
+        annotations = [
+            event.as_dict() if hasattr(event, "as_dict") else dict(event)
+            for event in (getattr(result, "guard_events", None) or [])
+        ]
+        if payload is not None and not outcome.cache_hit and not outcome.resumed:
+            timings = payload.get("timings") or {}
+            execute = timings.get("trial.execute_s")
+            if execute is not None:
+                telemetry.registry.observe("engine.execute_s", float(execute[1]))
+                telemetry.registry.observe(
+                    "engine.queue_wait_s", max(0.0, duration - float(execute[1]))
+                )
+        telemetry.emit_trial(
+            t0, duration, attrs=attrs, annotations=annotations, payload=payload
         )
 
     # -- async protocol --------------------------------------------------------
@@ -337,35 +412,45 @@ class TrialEngine:
             if entry is not None:
                 self.stats.resumed += 1
                 self.stats.guard_events += len(getattr(entry.result, "guard_events", []) or [])
-                self._ready.append(
-                    TrialOutcome(
-                        request=request,
-                        result=entry.result,
-                        attempts=entry.attempts,
-                        failed=entry.failed,
-                        error=entry.error,
-                        resumed=True,
-                    )
+                self._inc("engine.resumed")
+                outcome = TrialOutcome(
+                    request=request,
+                    result=entry.result,
+                    attempts=entry.attempts,
+                    failed=entry.failed,
+                    error=entry.error,
+                    resumed=True,
+                    journal_seq=entry.seq or None,
                 )
+                self._ready.append(outcome)
+                self._emit_trial(outcome)
                 return request
         if self.cache is not None:
             cached = self.cache.get(*cache_key)
             if cached is not None:
                 self.stats.cache_hits += 1
-                self._ready.append(
-                    TrialOutcome(request=request, result=cached, attempts=0, cache_hit=True)
+                self._inc("engine.cache_hits")
+                self._inc(f"engine.cache_hits.rung.{request.iteration}")
+                outcome = TrialOutcome(
+                    request=request, result=cached, attempts=0, cache_hit=True
                 )
+                self._ready.append(outcome)
+                self._emit_trial(outcome)
                 return request
             if cache_key in self._followers:
                 self.stats.cache_hits += 1
+                self._inc("engine.cache_hits")
+                self._inc(f"engine.cache_hits.rung.{request.iteration}")
                 self._followers[cache_key].append(request)
                 return request
             self.stats.cache_misses += 1
+            self._inc("engine.cache_misses")
             self._followers[cache_key] = []
             self._primary_key[request.trial_id] = cache_key
         self._in_flight[request.trial_id] = request
         self.executor.submit(request)
         self.stats.executed += 1
+        self._inc("engine.executed")
         return request
 
     def pending(self) -> int:
@@ -387,19 +472,28 @@ class TrialEngine:
                 raise RuntimeError("wait_one called with no pending trials")
             trial_id, ok, result, error = self.executor.wait_one()
             request = self._in_flight.pop(trial_id)
+            payload = detach_payload(result) if ok else None
             if ok and not _result_is_finite(result):
                 self.stats.non_finite += 1
+                self._inc("engine.non_finite")
+                if payload is not None and self.telemetry is not None:
+                    # The result is discarded, but what happened inside it
+                    # (chaos injections, profiled timings) still counts.
+                    self.telemetry.registry.merge_payload(payload)
+                    payload = None
                 ok, result, error = False, None, (
                     f"NonFiniteScore: evaluation returned a non-finite result "
                     f"(score={result.score!r}, mean={result.mean!r}, std={result.std!r})"
                 )
             if ok:
-                self._settle(request, result, failed=False, error=None)
+                self._settle(request, result, failed=False, error=None, payload=payload)
                 continue
             if error and error.startswith((TIMEOUT_ERROR_PREFIX, WORKER_HUNG_PREFIX)):
                 self.stats.timeouts += 1
+                self._inc("engine.timeouts")
             if request.attempt < self.max_retries:
                 self.stats.retries += 1
+                self._inc("engine.retries")
                 retry = TrialRequest(
                     config=request.config,
                     budget_fraction=request.budget_fraction,
@@ -408,6 +502,7 @@ class TrialEngine:
                     trial_id=request.trial_id,
                     key=request.key,
                     attempt=request.attempt + 1,
+                    telemetry=request.telemetry,
                 )
                 retry.seed = derive_seed(
                     self.root_seed, retry.resolved_key(), retry.budget_fraction, retry.attempt
@@ -418,8 +513,10 @@ class TrialEngine:
                 self._in_flight[retry.trial_id] = retry
                 self.executor.submit(retry)
                 self.stats.executed += 1
+                self._inc("engine.executed")
                 continue
             self.stats.failures += 1
+            self._inc("engine.failures")
             sentinel = _sentinel_result(request.budget_fraction, self.failure_score)
             self._settle(request, sentinel, failed=True, error=error)
 
@@ -444,29 +541,39 @@ class TrialEngine:
         result: EvaluationResult,
         failed: bool,
         error: Optional[str],
+        payload: Optional[Dict] = None,
     ) -> None:
         """Journal then queue the terminal outcome, release followers, cache it.
 
         The journal append happens *before* the outcome enters the ready
         queue — the write-ahead ordering that guarantees any result a
-        searcher has observed is recoverable after a crash.
+        searcher has observed is recoverable after a crash.  The
+        telemetry payload (already detached from the result, so neither
+        the cache nor the journal ever sees it) is recorded here, once
+        per executed trial; followers get their own cache-hit spans.
         """
         attempts = request.attempt + 1
-        self.stats.guard_events += len(getattr(result, "guard_events", []) or [])
+        guard_count = len(getattr(result, "guard_events", []) or [])
+        self.stats.guard_events += guard_count
+        if guard_count:
+            self._inc("engine.guard_events", guard_count)
         outcome = TrialOutcome(
             request=request, result=result, attempts=attempts, failed=failed, error=error
         )
         if self.journal is not None and self._journal_open:
-            self.journal.append(outcome)
+            outcome.journal_seq = self.journal.append(outcome)
         self._ready.append(outcome)
+        self._emit_trial(outcome, payload=payload)
         cache_key = self._primary_key.pop(request.trial_id, None)
         if cache_key is None:
             return
         for follower in self._followers.pop(cache_key, []):
-            self._ready.append(
-                TrialOutcome(request=follower, result=result, attempts=0, cache_hit=True,
-                             failed=failed, error=error)
+            follower_outcome = TrialOutcome(
+                request=follower, result=result, attempts=0, cache_hit=True,
+                failed=failed, error=error,
             )
+            self._ready.append(follower_outcome)
+            self._emit_trial(follower_outcome)
         if not failed and self.cache is not None:
             self.cache.put(*cache_key, result)
 

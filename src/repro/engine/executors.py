@@ -18,7 +18,7 @@ possible:
 
 - every worker gets the evaluator **once** at spawn (copy-on-write under
   the ``fork`` start method), so a task's payload is just
-  ``(trial_id, config, budget_fraction, seed)``;
+  ``(trial_id, config, budget_fraction, seed, telemetry_flags)``;
 - each worker runs a heartbeat thread, letting the parent distinguish
   *alive-but-slow* from *wedged in native code*;
 - a per-trial deadline (``trial_timeout``) bounds how long any single
@@ -45,6 +45,7 @@ from typing import Any, Deque, Dict, Optional, Tuple
 import numpy as np
 
 from ..bandit.base import EvaluationResult
+from ..telemetry.collect import attach_payload, trial_collection
 
 __all__ = [
     "TrialExecutor",
@@ -63,12 +64,31 @@ WORKER_HUNG_PREFIX = "WorkerHung"
 
 
 def _safe_evaluate(
-    evaluator, trial_id: int, config: Dict[str, Any], budget_fraction: float, seed: int
+    evaluator,
+    trial_id: int,
+    config: Dict[str, Any],
+    budget_fraction: float,
+    seed: int,
+    telemetry: int = 0,
 ) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
-    """Run one evaluation under a fresh seeded generator, capturing errors."""
+    """Run one evaluation under a fresh seeded generator, capturing errors.
+
+    A non-zero ``telemetry`` bitmask installs a per-trial collector for
+    the evaluation (fold/fit spans, counters, profiled timings) and
+    attaches its payload to the result, which carries it back over the
+    executor pipe; the engine detaches it before the result is cached or
+    journaled.
+    """
     try:
         rng = np.random.default_rng(seed)
-        result = evaluator.evaluate(config, budget_fraction, rng)
+        if telemetry:
+            t0 = time.monotonic()
+            with trial_collection(telemetry) as collector:
+                result = evaluator.evaluate(config, budget_fraction, rng)
+                collector.observe("trial.execute_s", time.monotonic() - t0)
+            attach_payload(result, collector)
+        else:
+            result = evaluator.evaluate(config, budget_fraction, rng)
         return trial_id, True, result, None
     except Exception as exc:  # noqa: BLE001 — fault tolerance is the point
         return trial_id, False, None, f"{type(exc).__name__}: {exc}"
@@ -105,8 +125,10 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
                 break
             if task is None:
                 break
-            token, trial_id, config, budget_fraction, seed = task
-            payload = _safe_evaluate(evaluator, trial_id, config, budget_fraction, seed)
+            token, trial_id, config, budget_fraction, seed, telemetry = task
+            payload = _safe_evaluate(
+                evaluator, trial_id, config, budget_fraction, seed, telemetry
+            )
             try:
                 with send_lock:
                     conn.send(("done", token, payload))
@@ -191,7 +213,12 @@ class SerialExecutor(TrialExecutor):
             raise RuntimeError("wait_one called with no pending trials")
         request = self._queue.popleft()
         return _safe_evaluate(
-            self._evaluator, request.trial_id, request.config, request.budget_fraction, request.seed
+            self._evaluator,
+            request.trial_id,
+            request.config,
+            request.budget_fraction,
+            request.seed,
+            getattr(request, "telemetry", 0),
         )
 
     def pending(self) -> int:
@@ -333,7 +360,14 @@ class ParallelExecutor(TrialExecutor):
         self._ensure_workers()
         token = self._next_token
         self._next_token += 1
-        task = (token, request.trial_id, request.config, request.budget_fraction, request.seed)
+        task = (
+            token,
+            request.trial_id,
+            request.config,
+            request.budget_fraction,
+            request.seed,
+            getattr(request, "telemetry", 0),
+        )
         for handle in self._workers.values():
             if handle.idle and handle.process.is_alive():
                 self._dispatch(handle, task)

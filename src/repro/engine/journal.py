@@ -89,6 +89,10 @@ class JournalEntry:
     result:
         The terminal :class:`~repro.bandit.base.EvaluationResult`
         (the sentinel for degraded trials).
+    seq:
+        1-based position of this record in the journal (assigned by
+        :meth:`RunJournal.read`); replayed outcomes carry it into trace
+        spans so traces reference the write-ahead log.
     """
 
     config: Dict[str, Any]
@@ -102,6 +106,7 @@ class JournalEntry:
     failed: bool
     error: Optional[str]
     result: EvaluationResult
+    seq: int = 0
 
 
 def _entry_to_dict(outcome: TrialOutcome) -> Dict[str, Any]:
@@ -199,6 +204,8 @@ class RunJournal:
         self._handle = None
         #: Journal lines dropped at open because of a torn/corrupt tail.
         self.dropped_records = 0
+        #: 1-based sequence number of the last durable outcome record.
+        self.last_seq = 0
 
     # -- reading ---------------------------------------------------------------
 
@@ -238,7 +245,9 @@ class RunJournal:
                 data = json.loads(line)
                 if data.get("type") != "outcome":
                     raise KeyError("type")
-                entries.append(_entry_from_dict(data))
+                entry = _entry_from_dict(data)
+                entry.seq = len(entries) + 1
+                entries.append(entry)
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                 dropped = len(lines) - 1 - index
                 break
@@ -265,6 +274,7 @@ class RunJournal:
         entries: List[JournalEntry] = []
         if self.path.exists() and self.path.stat().st_size > 0:
             self.header, entries, self.dropped_records = self.read(self.path)
+            self.last_seq = len(entries)
             self.check_identity(root_seed, metadata)
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -305,16 +315,19 @@ class RunJournal:
                     f"recorded {stored[key]!r}, run has {value!r}"
                 )
 
-    def append(self, outcome: TrialOutcome) -> None:
+    def append(self, outcome: TrialOutcome) -> int:
         """Durably log one executed terminal outcome (success or degraded).
 
         Called by the engine *before* the outcome is released to the
         searcher — the write-ahead ordering that makes every observed
-        result recoverable.
+        result recoverable.  Returns the record's 1-based sequence
+        number, which the telemetry layer stamps onto trial spans.
         """
         if self._handle is None:
             raise JournalError("journal not open; call open() before append()")
         self._write_line(_entry_to_dict(outcome))
+        self.last_seq += 1
+        return self.last_seq
 
     def _write_line(self, record: Dict[str, Any]) -> None:
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")

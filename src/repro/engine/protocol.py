@@ -95,6 +95,10 @@ class TrialRequest:
         Cached :func:`~repro.space.config_key` of ``config``.
     attempt:
         Retry attempt this request represents (0 = first try).
+    telemetry:
+        Collection-flag bitmask (see :mod:`repro.telemetry.collect`)
+        shipped to the executor so worker processes know what to record;
+        0 (the default) keeps evaluation entirely uninstrumented.
     """
 
     config: Dict[str, Any]
@@ -105,6 +109,7 @@ class TrialRequest:
     seed: Optional[int] = None
     key: Optional[Tuple] = None
     attempt: int = 0
+    telemetry: int = 0
 
     def resolved_key(self) -> Tuple:
         """The configuration identity, computing and caching it if needed."""
@@ -139,6 +144,10 @@ class TrialOutcome:
         True when the outcome was replayed from a
         :class:`~repro.engine.journal.RunJournal` written by an earlier
         (possibly interrupted) run instead of being executed.
+    journal_seq:
+        1-based sequence number of this outcome's journal record, when
+        the engine journals (or replayed) it; ``None`` otherwise.  Trace
+        spans carry it so a trace links back to the write-ahead log.
     """
 
     request: TrialRequest
@@ -148,3 +157,4 @@ class TrialOutcome:
     failed: bool = False
     error: Optional[str] = None
     resumed: bool = False
+    journal_seq: Optional[int] = None

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 import scipy.optimize
 
+from ..telemetry.profiling import profiled
 from .activations import get_activation, softmax
 from .base import BaseEstimator, check_X_y
 from .losses import binary_log_loss, log_loss, squared_loss
@@ -205,6 +206,7 @@ class _BaseMLP(BaseEstimator):
 
     # -- fitting ----------------------------------------------------------
 
+    @profiled("mlp.fit")
     def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseMLP":
         """Train the network on ``(X, y)``."""
         self._validate_hyperparameters()

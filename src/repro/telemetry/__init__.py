@@ -1,0 +1,228 @@
+"""Unified telemetry: run tracing, metrics registry and profiling hooks.
+
+The package is zero-dependency (stdlib only) and threads through every
+layer of the repo — engine, searchers, evaluator, journal, guard, chaos,
+CLI — behind a single :class:`Telemetry` facade:
+
+>>> from repro.telemetry import Telemetry
+>>> telemetry = Telemetry(trace="run.trace")          # doctest: +SKIP
+>>> outcome = optimize(..., telemetry=telemetry)      # doctest: +SKIP
+>>> telemetry.close()                                 # doctest: +SKIP
+
+Three cooperating pieces:
+
+- **Spans** (:mod:`.spans`): nested timed regions
+  ``run > bracket > rung > trial > fold > fit`` streamed to a JSONL sink,
+  exportable to Chrome-trace/Perfetto JSON (:mod:`.export`,
+  ``tools/trace_view.py``).
+- **Metrics** (:mod:`.metrics`): counters/gauges/histograms that merge
+  deterministically, so serial and parallel runs of the same seed produce
+  identical counters.
+- **Profiling** (:mod:`.profiling`): the opt-in ``@profiled`` decorator on
+  hot paths (MLP fit, k-means, fold construction, subset sampling).
+
+Worker processes record into a per-trial collector (:mod:`.collect`)
+whose payload rides home on the evaluation result; the parent detaches
+it before caching/journaling, so telemetry is bit-for-bit neutral on run
+outputs and on everything persisted.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+from pathlib import Path
+
+from .collect import (
+    COLLECT_METRICS,
+    COLLECT_PROFILE,
+    COLLECT_SPANS,
+    TrialCollector,
+    attach_payload,
+    current_collector,
+    detach_payload,
+    trial_collection,
+)
+from .export import to_chrome_trace
+from .formatting import format_count, format_overhead, format_percent, format_seconds
+from .metrics import METRICS_SCHEMA_VERSION, HistogramSummary, MetricsRegistry
+from .profiling import profiled
+from .spans import TRACE_VERSION, Span, TraceSink, Tracer
+
+__all__ = [
+    "Telemetry",
+    "Tracer",
+    "TraceSink",
+    "Span",
+    "TRACE_VERSION",
+    "MetricsRegistry",
+    "HistogramSummary",
+    "METRICS_SCHEMA_VERSION",
+    "TrialCollector",
+    "trial_collection",
+    "current_collector",
+    "attach_payload",
+    "detach_payload",
+    "COLLECT_SPANS",
+    "COLLECT_PROFILE",
+    "COLLECT_METRICS",
+    "profiled",
+    "to_chrome_trace",
+    "format_percent",
+    "format_overhead",
+    "format_seconds",
+    "format_count",
+]
+
+
+class Telemetry:
+    """One run's telemetry: a tracer, a metrics registry and the wiring.
+
+    Parameters
+    ----------
+    trace:
+        Path for the JSONL span trace; ``None`` disables span recording
+        (the registry still collects metrics).
+    fsync:
+        Force every trace record to stable storage (default off — see
+        :class:`~repro.telemetry.spans.TraceSink`).
+    profile:
+        Enable ``@profiled`` hot-path timings (``profile.*`` metrics).
+    on_trial:
+        Optional callback ``f(telemetry, attrs)`` invoked after every
+        trial is recorded — the CLI's live progress line hangs off this.
+    clock, cpu_clock:
+        Injectable clocks shared by the tracer and inline collection.
+
+    Notes
+    -----
+    A ``Telemetry`` object is **single-run, single-process** on the
+    recording side: the engine and searchers call it only from the parent
+    process; worker-side observations arrive as collector payloads.
+    Close it (or use it as a context manager) to flush the final metrics
+    snapshot into the trace file.
+    """
+
+    def __init__(
+        self,
+        trace: Optional[Union[str, Path]] = None,
+        fsync: bool = False,
+        profile: bool = False,
+        on_trial: Optional[Callable[["Telemetry", Dict[str, Any]], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        cpu_clock: Callable[[], float] = time.process_time,
+    ) -> None:
+        self.sink = TraceSink(trace, fsync=fsync) if trace is not None else None
+        self.tracer = Tracer(self.sink, clock=clock, cpu_clock=cpu_clock)
+        self.registry = MetricsRegistry()
+        self.profile = profile
+        self.on_trial = on_trial
+        self.clock = clock
+        self.cpu_clock = cpu_clock
+        self.trials_seen = 0
+        self._closed = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    @property
+    def collection_flags(self) -> int:
+        """Bitmask shipped to executors/workers for per-trial collection."""
+        flags = COLLECT_METRICS
+        if self.tracer.enabled:
+            flags |= COLLECT_SPANS
+        if self.profile:
+            flags |= COLLECT_PROFILE
+        return flags
+
+    def span(self, name: str, kind: Optional[str] = None, **attrs: Any):
+        """Open a structural span (run/bracket/rung) — tracer passthrough."""
+        return self.tracer.span(name, kind, **attrs)
+
+    @contextmanager
+    def trial(self, **attrs: Any) -> Iterator[Dict[str, Any]]:
+        """Collect and record one inline (engine-less) evaluation.
+
+        Installs a trial collector for the block, times it, then records
+        the trial span (with any fold/fit children the evaluator
+        produced) and merges the collector's metrics.  Yields a mutable
+        record: update ``record["attrs"]`` with facts discovered during
+        the evaluation (score, gamma, cost) and append guard-event dicts
+        to ``record["ann"]``.
+        """
+        record: Dict[str, Any] = {"attrs": dict(attrs), "ann": []}
+        t0 = self.clock()
+        cpu0 = self.cpu_clock()
+        with trial_collection(self.collection_flags) as collector:
+            try:
+                yield record
+            finally:
+                self.emit_trial(
+                    t0,
+                    self.clock() - t0,
+                    attrs=record["attrs"],
+                    cpu_dur=self.cpu_clock() - cpu0,
+                    annotations=record["ann"],
+                    payload=collector.payload() if collector is not None else None,
+                )
+
+    def emit_trial(
+        self,
+        t0: float,
+        dur: float,
+        attrs: Optional[Dict[str, Any]] = None,
+        cpu_dur: float = 0.0,
+        annotations: Optional[List[Dict[str, Any]]] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        parent_id: Optional[int] = None,
+    ) -> None:
+        """Record one finished trial: metrics merge + trial span + children.
+
+        This is the single funnel for both execution paths — the engine
+        calls it per settled outcome (payload detached from the result),
+        the inline path reaches it through :meth:`trial`.
+        """
+        self.registry.merge_payload(payload)
+        self.tracer.emit(
+            "trial",
+            "trial",
+            t0,
+            dur,
+            cpu_dur=cpu_dur,
+            parent_id=parent_id,
+            attrs=attrs,
+            annotations=annotations,
+            children=(payload or {}).get("spans"),
+        )
+        self.trials_seen += 1
+        if self.on_trial is not None:
+            self.on_trial(self, attrs or {})
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the final metrics snapshot into the trace and close it.
+
+        Idempotent.  With tracing off this is a no-op apart from marking
+        the object closed; the registry stays readable either way.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.sink is not None:
+            if self.sink.spans_written and len(self.registry):
+                self.sink.write({"type": "metrics", **self.registry.as_dict()})
+            self.sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        trace = self.sink.path if self.sink is not None else None
+        return (
+            f"Telemetry(trace={str(trace)!r}, profile={self.profile}, "
+            f"trials_seen={self.trials_seen}, metrics={len(self.registry)})"
+        )

@@ -1,0 +1,105 @@
+"""Trace export: JSONL span files to Chrome-trace / Perfetto JSON.
+
+The Chrome trace event format (the JSON array flavour) is understood by
+``chrome://tracing``, Perfetto's web UI (ui.perfetto.dev) and ``speedscope``.
+Each span becomes one complete event (``"ph": "X"``) with microsecond
+timestamps; because our span times are monotonic-clock seconds, the whole
+trace is shifted so the earliest span starts at ``ts=0``.
+
+Lanes (``tid``) make overlap visible: the structural spans
+(run/bracket/rung) share lane 0, while trials are greedily packed into
+the lowest free lane — a 4-worker run shows four stacked trial lanes,
+a serial run shows one.  Fold/fit children inherit their trial's lane so
+the nesting renders as a flame under the trial bar.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["to_chrome_trace"]
+
+#: Lane for run/bracket/rung structural spans.
+STRUCTURAL_TID = 0
+#: Span kinds that always render in the structural lane.
+STRUCTURAL_KINDS = frozenset({"run", "bracket", "rung"})
+
+
+def to_chrome_trace(header: Dict[str, Any], records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert trace-file records to a Chrome-trace JSON object.
+
+    Parameters
+    ----------
+    header, records:
+        The output of :meth:`repro.telemetry.spans.TraceSink.read` — the
+        header line and the span/metrics records that followed it.
+
+    Returns
+    -------
+    dict with ``traceEvents`` (complete events sorted by start time) and
+    ``metadata`` (trace header plus any final metrics snapshot), ready for
+    ``json.dump``.
+    """
+    spans = [r for r in records if r.get("type") == "span"]
+    metrics = next((r for r in records if r.get("type") == "metrics"), None)
+
+    by_id = {span["id"]: span for span in spans}
+    t_min = min((span["t0"] for span in spans), default=0.0)
+
+    # Greedy lane packing for trial spans: lowest lane whose last trial
+    # ended before this one starts.  Children inherit their trial's lane.
+    lane_free_at: List[float] = []  # lane index -> time the lane frees up
+    tids: Dict[int, int] = {}
+    for span in sorted(spans, key=lambda s: (s["t0"], s["id"])):
+        if span["kind"] in STRUCTURAL_KINDS:
+            tids[span["id"]] = STRUCTURAL_TID
+            continue
+        if span["kind"] == "trial":
+            t0, t1 = span["t0"], span["t0"] + span["dur"]
+            for lane, free_at in enumerate(lane_free_at):
+                if free_at <= t0 + 1e-9:
+                    lane_free_at[lane] = t1
+                    tids[span["id"]] = lane + 1
+                    break
+            else:
+                lane_free_at.append(t1)
+                tids[span["id"]] = len(lane_free_at)
+
+    def resolve_tid(span: Dict[str, Any]) -> int:
+        seen = set()
+        current = span
+        while current is not None and current["id"] not in seen:
+            if current["id"] in tids:
+                return tids[current["id"]]
+            seen.add(current["id"])
+            parent = current.get("parent")
+            current = by_id.get(parent) if parent is not None else None
+        return STRUCTURAL_TID
+
+    events: List[Dict[str, Any]] = []
+    for span in sorted(spans, key=lambda s: (s["t0"], s["id"])):
+        args: Dict[str, Any] = dict(span.get("attrs") or {})
+        if span.get("ann"):
+            args["annotations"] = span["ann"]
+        args["span_id"] = span["id"]
+        if span.get("parent") is not None:
+            args["parent_id"] = span["parent"]
+        if span.get("cpu_dur"):
+            args["cpu_s"] = span["cpu_dur"]
+        events.append(
+            {
+                "name": span["name"],
+                "cat": span["kind"],
+                "ph": "X",
+                "ts": round((span["t0"] - t_min) * 1e6, 3),
+                "dur": round(span["dur"] * 1e6, 3),
+                "pid": header.get("pid", 0),
+                "tid": resolve_tid(span),
+                "args": args,
+            }
+        )
+
+    metadata: Dict[str, Any] = {"trace_header": header, "n_spans": len(spans)}
+    if metrics is not None:
+        metadata["metrics"] = {k: v for k, v in metrics.items() if k != "type"}
+    return {"traceEvents": events, "displayTimeUnit": "ms", "metadata": metadata}

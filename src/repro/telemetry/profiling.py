@@ -1,0 +1,63 @@
+"""Opt-in hot-path profiling: the ``@profiled`` decorator.
+
+``@profiled("mlp.fit")`` wraps a function so that, *when a trial collector
+with the profile bit is installed* (``--profile`` / ``Telemetry(profile=True)``),
+each call's wall and CPU time is folded into the ``profile.<name>.s`` and
+``profile.<name>.cpu_s`` timings plus a ``profile.<name>.calls`` counter.
+When no collector is installed the overhead is one global read and one
+``None`` check — cheap enough to leave on ``MLP.fit``, ``KMeans.fit``,
+fold construction and subset sampling permanently.
+
+The decorator deliberately does **not** open spans: profiled functions
+can be called thousands of times per trial (k-means per fold, fits per
+rung) and per-call spans would swamp the trace.  Aggregated timings in
+the registry are the right granularity; spans cover the structural
+levels (run/bracket/rung/trial/fold/fit).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, TypeVar
+
+from .collect import current_collector
+
+__all__ = ["profiled"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def profiled(name: str) -> Callable[[F], F]:
+    """Decorate a function to record per-call timings when profiling is on.
+
+    Parameters
+    ----------
+    name:
+        Dot-namespaced suffix for the metric names: a function decorated
+        ``@profiled("kmeans.fit")`` reports ``profile.kmeans.fit.calls``,
+        ``profile.kmeans.fit.s`` and ``profile.kmeans.fit.cpu_s``.
+    """
+    calls_metric = f"profile.{name}.calls"
+    wall_metric = f"profile.{name}.s"
+    cpu_metric = f"profile.{name}.cpu_s"
+
+    def decorate(func: F) -> F:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            collector = current_collector()
+            if collector is None or not collector.wants_profile:
+                return func(*args, **kwargs)
+            t0 = time.monotonic()
+            cpu0 = time.process_time()
+            try:
+                return func(*args, **kwargs)
+            finally:
+                collector.inc(calls_metric)
+                collector.observe(wall_metric, time.monotonic() - t0)
+                collector.observe(cpu_metric, time.process_time() - cpu0)
+
+        wrapper.__wrapped__ = func
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,88 @@
+"""Chrome-trace export units: lanes, timestamps, metadata."""
+
+from repro.telemetry import to_chrome_trace
+from repro.telemetry.export import STRUCTURAL_TID
+
+HEADER = {"type": "header", "version": 1, "pid": 42}
+
+
+def span(span_id, parent, name, t0, dur, kind=None, **extra):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": parent,
+        "name": name,
+        "kind": kind if kind is not None else name,
+        "t0": t0,
+        "dur": dur,
+        "cpu_dur": 0.0,
+        **extra,
+    }
+
+
+class TestToChromeTrace:
+    def test_structural_spans_share_lane_zero(self):
+        records = [
+            span(1, None, "run", 0.0, 10.0),
+            span(2, 1, "bracket", 0.0, 10.0),
+            span(3, 2, "rung", 0.0, 5.0),
+        ]
+        out = to_chrome_trace(HEADER, records)
+        assert all(e["tid"] == STRUCTURAL_TID for e in out["traceEvents"])
+
+    def test_concurrent_trials_get_distinct_lanes(self):
+        records = [
+            span(1, None, "rung", 0.0, 10.0),
+            span(2, 1, "trial", 1.0, 4.0),
+            span(3, 1, "trial", 2.0, 4.0),  # overlaps trial 2
+            span(4, 1, "trial", 6.0, 2.0),  # starts after trial 2 ends -> reuses lane 1
+        ]
+        out = to_chrome_trace(HEADER, records)
+        tid = {e["args"]["span_id"]: e["tid"] for e in out["traceEvents"]}
+        assert tid[2] == 1 and tid[3] == 2
+        assert tid[4] == 1
+        assert tid[1] == STRUCTURAL_TID
+
+    def test_children_inherit_trial_lane(self):
+        records = [
+            span(1, None, "trial", 0.0, 4.0),
+            span(2, 1, "fold", 1.0, 2.0),
+            span(3, 2, "fit", 1.5, 1.0),
+        ]
+        out = to_chrome_trace(HEADER, records)
+        tids = {e["args"]["span_id"]: e["tid"] for e in out["traceEvents"]}
+        assert tids[1] == tids[2] == tids[3] == 1
+
+    def test_timestamps_shifted_to_zero_and_microseconds(self):
+        records = [span(1, None, "trial", 100.0, 0.5), span(2, 1, "fold", 100.25, 0.125)]
+        out = to_chrome_trace(HEADER, records)
+        by_id = {e["args"]["span_id"]: e for e in out["traceEvents"]}
+        assert by_id[1]["ts"] == 0.0
+        assert by_id[2]["ts"] == 250000.0
+        assert by_id[2]["dur"] == 125000.0
+
+    def test_attrs_and_annotations_become_args(self):
+        records = [
+            span(1, None, "trial", 0.0, 1.0, attrs={"seed": 7},
+                 ann=[{"kind": "guard"}], cpu_dur=0.4)
+        ]
+        (event,) = to_chrome_trace(HEADER, records)["traceEvents"]
+        assert event["args"]["seed"] == 7
+        assert event["args"]["annotations"] == [{"kind": "guard"}]
+        assert event["args"]["cpu_s"] == 0.4
+        assert event["pid"] == 42
+
+    def test_metrics_record_lands_in_metadata(self):
+        records = [
+            span(1, None, "run", 0.0, 1.0),
+            {"type": "metrics", "schema_version": 1, "counters": {"n": 3}},
+        ]
+        out = to_chrome_trace(HEADER, records)
+        assert out["metadata"]["n_spans"] == 1
+        assert out["metadata"]["metrics"]["counters"] == {"n": 3}
+        assert out["metadata"]["trace_header"] is HEADER
+
+    def test_empty_trace_is_valid(self):
+        out = to_chrome_trace(HEADER, [])
+        assert out["traceEvents"] == []
+        assert out["metadata"]["n_spans"] == 0

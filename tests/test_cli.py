@@ -134,3 +134,62 @@ class TestGuardFlag:
 
         with pytest.raises(JournalError, match="guard"):
             main(base + ["--resume", "--guard", "warn"])
+
+
+class TestTelemetryFlags:
+    BASE = [
+        "tune", "--dataset", "australian", "--method", "sha",
+        "--scale", "0.25", "--max-iter", "5", "--seed", "1",
+    ]
+
+    def test_telemetry_defaults_to_off(self):
+        args = build_parser().parse_args(["tune", "--dataset", "australian"])
+        assert args.trace is None
+        assert args.metrics is False
+        assert args.profile is False
+
+    def test_trace_writes_file_and_prints_span_count(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.jsonl"
+        assert main(self.BASE + ["--trace", str(trace)]) == 0
+        printed = capsys.readouterr().out
+        assert "trace" in printed and str(trace) in printed
+        from repro.telemetry import TraceSink
+
+        _, records, dropped = TraceSink.read(trace)
+        assert dropped == 0
+        kinds = {r.get("kind") for r in records if r.get("type") == "span"}
+        assert {"run", "rung", "trial"} <= kinds
+
+    def test_metrics_flag_prints_registry(self, capsys):
+        assert main(self.BASE + ["--metrics"]) == 0
+        printed = capsys.readouterr().out
+        assert "telemetry metrics" in printed
+
+    def test_profile_flag_reports_hot_paths(self, capsys):
+        assert main(self.BASE + ["--profile"]) == 0
+        printed = capsys.readouterr().out
+        assert "profile.mlp.fit" in printed
+
+    def test_no_flags_prints_no_telemetry_lines(self, capsys):
+        assert main(self.BASE) == 0
+        printed = capsys.readouterr().out
+        assert "telemetry metrics" not in printed
+        assert "trace " not in printed
+
+    def test_saved_record_unchanged_by_tracing(self, tmp_path, capsys):
+        plain, traced = tmp_path / "plain.json", tmp_path / "traced.json"
+        assert main(self.BASE + ["--save", str(plain)]) == 0
+        assert main(self.BASE + [
+            "--save", str(traced), "--trace", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        capsys.readouterr()
+
+        def normalised(path):
+            payload = json.loads(path.read_text())
+            for trial in payload["trials"]:
+                trial["result"].pop("cost")  # measured wall time, varies per run
+            return payload
+
+        plain_payload, traced_payload = normalised(plain), normalised(traced)
+        assert traced_payload["trials"] == plain_payload["trials"]
+        assert traced_payload["best_config"] == plain_payload["best_config"]

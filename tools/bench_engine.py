@@ -22,9 +22,15 @@ a ``guard_policy="repair"`` grouped run against a guard-off one (the
 data-integrity layer's overhead, targeted at < 5% on clean data), each
 as a percentage of wall clock.
 
+A separate telemetry tier (``--only telemetry``) times a serial engine
+HyperBand run with full tracing + profiling against the identical run
+with telemetry off and writes ``BENCH_telemetry.json`` — the
+observability layer's own < 5% overhead contract.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_engine.py [--out BENCH_engine.json]
+    PYTHONPATH=src python tools/bench_engine.py --only telemetry
 """
 
 from __future__ import annotations
@@ -40,6 +46,8 @@ from repro.core import MLPModelFactory, grouped_evaluator, vanilla_evaluator
 from repro.datasets import make_classification
 from repro.engine import ParallelExecutor, SerialExecutor, TrialEngine
 from repro.experiments import paper_search_space
+from repro.telemetry import Telemetry
+from repro.telemetry.formatting import format_overhead, format_percent
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -110,7 +118,7 @@ def bench_method(method, X, y, space, pool, factory, seed):
         }
         print(f"  {method.upper():>3} x{n_workers}: {seconds:6.2f}s  "
               f"speedup {runs[str(n_workers)]['speedup_vs_baseline']:5.2f}x  "
-              f"hit rate {100 * stats.hit_rate:5.1f}%  "
+              f"hit rate {format_percent(stats.hit_rate):>6}  "
               f"({stats.executed}/{result.n_trials} executed)")
     return {
         "baseline_seconds": round(baseline_seconds, 4),
@@ -132,7 +140,7 @@ def bench_journal_overhead(X, y, space, pool, factory, seed):
         raise AssertionError("journaling changed the winner — determinism broken")
     overhead_pct = 100.0 * (journaled_seconds - plain_seconds) / plain_seconds
     print(f"journal: plain {plain_seconds:.2f}s, journaled {journaled_seconds:.2f}s "
-          f"({n_entries} entries) -> overhead {overhead_pct:+.1f}%")
+          f"({n_entries} entries) -> overhead {format_overhead(overhead_pct / 100.0)}")
     return {
         "plain_seconds": round(plain_seconds, 4),
         "journaled_seconds": round(journaled_seconds, 4),
@@ -177,7 +185,8 @@ def bench_guard_overhead(X, y, space, pool, factory, seed, repeats=3):
     trial_events = sum(len(t.result.guard_events) for t in on_result.trials)
     overhead_pct = 100.0 * (on_seconds - off_seconds) / off_seconds
     print(f"guard: off {off_seconds:.2f}s, repair {on_seconds:.2f}s "
-          f"({trial_events} trial events on clean data) -> overhead {overhead_pct:+.1f}%")
+          f"({trial_events} trial events on clean data) -> overhead "
+          f"{format_overhead(overhead_pct / 100.0)}")
     return {
         "off_seconds": round(off_seconds, 4),
         "repair_seconds": round(on_seconds, 4),
@@ -187,10 +196,85 @@ def bench_guard_overhead(X, y, space, pool, factory, seed, repeats=3):
     }
 
 
+def bench_telemetry(X, y, space, pool, factory, seed, repeats=3):
+    """Telemetry cost: serial engine HB fully traced + profiled vs off.
+
+    Both variants run the identical seeded HyperBand search through a
+    serial engine; the traced one streams every span to a JSONL sink and
+    records ``@profiled`` hot-path timings — the maximal telemetry
+    configuration, priced against a < 5% wall-clock target.  Best of
+    ``repeats`` per variant to shed timer noise; the winner must not
+    change (telemetry is observational only).
+    """
+
+    def timed_fit(telemetry):
+        with TrialEngine(executor=SerialExecutor(), cache=True, telemetry=telemetry) as engine:
+            return run_once("hb", X, y, space, pool, factory, seed, engine)
+
+    off_seconds, off_result = float("inf"), None
+    for _ in range(repeats):
+        seconds, result = timed_fit(None)
+        if seconds < off_seconds:
+            off_seconds, off_result = seconds, result
+
+    on_seconds, on_result = float("inf"), None
+    spans_written, counters = 0, {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for index in range(repeats):
+            telemetry = Telemetry(
+                trace=str(Path(tmp) / f"bench_{index}.trace.jsonl"), profile=True
+            )
+            seconds, result = timed_fit(telemetry)
+            telemetry.close()
+            if seconds < on_seconds:
+                on_seconds, on_result = seconds, result
+                spans_written = telemetry.sink.spans_written
+                counters = telemetry.registry.counters()
+    if on_result.best_config != off_result.best_config:
+        raise AssertionError("telemetry changed the winner — neutrality broken")
+    overhead_pct = 100.0 * (on_seconds - off_seconds) / off_seconds
+    print(f"telemetry: off {off_seconds:.2f}s, traced+profiled {on_seconds:.2f}s "
+          f"({spans_written} spans) -> overhead {format_overhead(overhead_pct / 100.0)}")
+    return {
+        "off_seconds": round(off_seconds, 4),
+        "traced_seconds": round(on_seconds, 4),
+        "spans_written": spans_written,
+        "profiled_calls": {
+            name: count for name, count in counters.items()
+            if name.startswith("profile.") and name.endswith(".calls")
+        },
+        "overhead_pct": round(overhead_pct, 2),
+        "target_pct": 5.0,
+    }
+
+
+def run_telemetry_tier(args, X, y, space, pools, factory):
+    """The telemetry tier: bench + ``BENCH_telemetry.json``."""
+    print("telemetry tier (serial HB, trace + profile on vs off):")
+    report = {
+        "benchmark": "repro.telemetry tracing+profiling overhead on serial HB",
+        "dataset": {"n_samples": args.n_samples, "n_features": 12},
+        "max_iter": args.max_iter,
+        "seed": args.seed,
+        "pool": len(pools["hb"]),
+        "telemetry_overhead": bench_telemetry(
+            X, y, space, pools["hb"], factory, args.seed
+        ),
+    }
+    out = Path(args.telemetry_out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"written to {out}")
+    return report
+
+
 def main(argv=None) -> int:
     """Run the benchmark and write the JSON report."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"))
+    parser.add_argument("--telemetry-out",
+                        default=str(Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"))
+    parser.add_argument("--only", choices=("all", "engine", "telemetry"), default="all",
+                        help="run only one benchmark tier (default: all)")
     parser.add_argument("--n-samples", type=int, default=900)
     parser.add_argument("--max-iter", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
@@ -200,6 +284,9 @@ def main(argv=None) -> int:
 
     X, y, space, pools, factory = build_problem(args)
     print(f"dataset: {args.n_samples} samples, MLP max_iter={args.max_iter}")
+    if args.only == "telemetry":
+        run_telemetry_tier(args, X, y, space, pools, factory)
+        return 0
     report = {
         "benchmark": "repro.engine SHA/HB at 1/2/4 workers",
         "dataset": {"n_samples": args.n_samples, "n_features": 12},
@@ -231,8 +318,11 @@ def main(argv=None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nheadline: HB x4 speedup {hb4['speedup_vs_baseline']}x, "
-          f"cache hit rate {100 * hb4['cache_hit_rate']:.1f}%")
+          f"cache hit rate {format_percent(hb4['cache_hit_rate'])}")
     print(f"written to {out}")
+    if args.only == "all":
+        print()
+        run_telemetry_tier(args, X, y, space, pools, factory)
     return 0
 
 

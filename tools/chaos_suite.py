@@ -20,6 +20,16 @@ Usage::
 
     PYTHONPATH=src python tools/chaos_suite.py           # full sweep
     PYTHONPATH=src python tools/chaos_suite.py --quick   # CI smoke subset
+    PYTHONPATH=src python tools/chaos_suite.py --trace DIR  # + span traces
+
+With ``--trace DIR`` every engine-backed search inside the scenarios
+records a :mod:`repro.telemetry` span trace into ``DIR`` (one JSONL file
+per search, numbered in execution order), so a chaotic run is
+inspectable after the fact — injected faults appear as
+``chaos.injected.*`` counters in each trace's metrics snapshot and
+retries/watchdog kills as ``engine.*`` counters, instead of being
+visible only in this harness's stdout summary.  Convert any of the
+files with ``tools/trace_view.py``.
 
 Exit code 0 iff every scenario PASSes.
 """
@@ -27,6 +37,7 @@ Exit code 0 iff every scenario PASSes.
 from __future__ import annotations
 
 import argparse
+import itertools
 import math
 import os
 import signal
@@ -82,10 +93,37 @@ def fingerprint(result):
     ]
 
 
+# Directory for per-search telemetry traces (set by --trace), plus a
+# counter so every engine-backed fit inside a scenario gets its own file.
+TRACE_DIR = None
+_trace_counter = itertools.count(1)
+
+
+def make_telemetry(tag):
+    """A fresh tracing Telemetry under --trace, else ``None``."""
+    if TRACE_DIR is None:
+        return None
+    from repro.telemetry import Telemetry
+
+    return Telemetry(trace=TRACE_DIR / f"{next(_trace_counter):03d}_{tag}.trace.jsonl")
+
+
 def run_search(name, engine):
-    """One fit of the named searcher on the shared space/evaluator."""
+    """One fit of the named searcher on the shared space/evaluator.
+
+    Under ``--trace`` the engine records a full span trace of the search;
+    telemetry is observational only, so the scenarios' bitwise
+    fingerprint assertions hold with tracing on or off.
+    """
     searcher = SEARCHERS[name](SPACE, QualityEvaluator(), engine)
-    return searcher.fit(configurations=SPACE.grid())
+    telemetry = make_telemetry(name)
+    if telemetry is not None:
+        engine.telemetry = telemetry
+    try:
+        return searcher.fit(configurations=SPACE.grid())
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
 
 def assert_sane(result, stats):
@@ -292,10 +330,20 @@ def scenario_corrupted_data(searcher_name):
         return [row + (trial.result.guard_events,)
                 for row, trial in zip(fingerprint(result), result.trials)]
 
+    def guarded_run(engine, tag):
+        telemetry = make_telemetry(tag)
+        if telemetry is not None:
+            engine.telemetry = telemetry
+        try:
+            return builder(space, evaluator, engine).fit(configurations=space.grid())
+        finally:
+            if telemetry is not None:
+                telemetry.close()
+
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "run.wal"
         with TrialEngine(executor=SerialExecutor(), journal=str(path), retry_backoff=0.0) as engine:
-            serial = builder(space, evaluator, engine).fit(configurations=space.grid())
+            serial = guarded_run(engine, f"corrupted-{searcher_name}-serial")
             serial_stats = engine.stats
         assert math.isfinite(serial.best_score), "corrupted data produced a non-finite incumbent"
         assert serial.best_config["learning_rate_init"] != 1e6, "the diverging learner won"
@@ -310,7 +358,7 @@ def scenario_corrupted_data(searcher_name):
         assert journal_events == serial_stats.guard_events, "journal lost guard events"
 
     with TrialEngine(executor=ParallelExecutor(n_workers=2), retry_backoff=0.0) as engine:
-        parallel = builder(space, evaluator, engine).fit(configurations=space.grid())
+        parallel = guarded_run(engine, f"corrupted-{searcher_name}-parallel")
         parallel_stats = engine.stats
     assert guarded_fingerprint(parallel) == guarded_fingerprint(serial), (
         f"{searcher_name}: guarded serial/parallel runs diverged"
@@ -348,7 +396,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smoke subset: one fast scenario per failure mode")
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="record a telemetry span trace per engine-backed "
+                             "search into DIR (inspect with tools/trace_view.py)")
     args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        global TRACE_DIR
+        TRACE_DIR = Path(args.trace)
+        TRACE_DIR.mkdir(parents=True, exist_ok=True)
 
     scenarios = build_scenarios(args.quick)
     print(f"chaos suite: {len(scenarios)} scenarios ({'quick' if args.quick else 'full'})\n")
@@ -364,6 +420,9 @@ def main(argv=None) -> int:
             status = "FAIL"
         print(f"[{status}] {name:<22} {time.monotonic() - start:6.1f}s  {detail}")
     print(f"\n{len(scenarios) - failures}/{len(scenarios)} scenarios passed")
+    if TRACE_DIR is not None:
+        traces = sorted(TRACE_DIR.glob("*.trace.jsonl"))
+        print(f"{len(traces)} telemetry trace(s) in {TRACE_DIR}")
     return 1 if failures else 0
 
 

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full verification ladder:
-#   1. tier-1 test suite (fast; chaos tests deselected by pyproject addopts)
+#   1. tier-1 test suite (fast; chaos + telemetry tests deselected by
+#      pyproject addopts)
 #   2. guard tier (data-integrity layer + corrupted-data chaos scenario)
-#   3. chaos-marked pytest tier (process kills, SIGKILL resume)
-#   4. fault-injection harness smoke (tools/chaos_suite.py --quick)
+#   3. telemetry tier (trace-file tests + tracing/profiling overhead bench)
+#   4. chaos-marked pytest tier (process kills, SIGKILL resume)
+#   5. fault-injection harness smoke (tools/chaos_suite.py --quick)
 #
 # Usage: bash tools/run_checks.sh
 set -euo pipefail
@@ -23,6 +25,12 @@ module = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(module)
 print("corrupted-data[sha+]:", module.scenario_corrupted_data("sha+"))
 EOF
+
+echo
+echo "== telemetry tier: pytest -m telemetry + overhead bench =="
+python -m pytest -q -m telemetry
+python tools/bench_engine.py --only telemetry --n-samples 400 --max-iter 8 \
+    --telemetry-out "$(mktemp -t BENCH_telemetry_check.XXXXXX.json)"
 
 echo
 echo "== chaos tier: pytest -m chaos =="

@@ -1,0 +1,82 @@
+"""Convert a repro telemetry trace (JSONL) to Chrome-trace/Perfetto JSON.
+
+Reads a span trace written by :class:`repro.telemetry.TraceSink` (the
+``--trace`` CLI flag or ``Telemetry(trace=...)``), tolerating a torn tail
+exactly like the run journal, and writes the Chrome trace-event format
+that ``chrome://tracing`` and https://ui.perfetto.dev load directly:
+structural spans (run/bracket/rung) on track 0, trials greedily packed
+onto parallel tracks, fold/fit children on their trial's track.
+
+Usage::
+
+    PYTHONPATH=src python tools/trace_view.py run.trace.jsonl [-o out.json]
+    PYTHONPATH=src python tools/trace_view.py run.trace.jsonl --summary
+
+``--summary`` prints span counts per kind and the embedded metrics
+snapshot instead of writing JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.telemetry import MetricsRegistry, TraceSink, to_chrome_trace
+from repro.telemetry.formatting import format_seconds
+
+
+def summarize(header, records, dropped) -> None:
+    """Print a human-oriented digest of one trace file."""
+    spans = [r for r in records if r.get("type") == "span"]
+    print(f"trace v{header.get('version')} from pid {header.get('pid')}"
+          + (f", {dropped} torn line(s) dropped" if dropped else ""))
+    counts = Counter(s.get("kind", "?") for s in spans)
+    for kind, count in counts.most_common():
+        total = sum(s.get("dur", 0.0) for s in spans if s.get("kind") == kind)
+        print(f"  {kind:<10} x{count:<5} total {format_seconds(total)}")
+    metrics = [r for r in records if r.get("type") == "metrics"]
+    if metrics:
+        registry = MetricsRegistry()
+        registry.merge_payload({
+            "counters": metrics[-1].get("counters", {}),
+            "timings": {
+                name: [h["count"], h["total"], h["min"], h["max"]]
+                for name, h in metrics[-1].get("histograms", {}).items()
+            },
+        })
+        print("embedded metrics snapshot:")
+        for line in registry.render_lines():
+            print(f"  {line}")
+
+
+def main(argv=None) -> int:
+    """Convert (or summarize) one trace file; returns the exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="JSONL trace file written by --trace / Telemetry(trace=...)")
+    parser.add_argument("-o", "--out", default=None,
+                        help="output path (default: <trace>.chrome.json)")
+    parser.add_argument("--summary", action="store_true",
+                        help="print span counts and metrics instead of converting")
+    args = parser.parse_args(argv)
+
+    header, records, dropped = TraceSink.read(args.trace)
+    if args.summary:
+        summarize(header, records, dropped)
+        return 0
+    out = Path(args.out) if args.out else Path(args.trace).with_suffix(".chrome.json")
+    chrome = to_chrome_trace(header, records)
+    out.write_text(json.dumps(chrome, indent=1) + "\n")
+    n_events = len(chrome["traceEvents"])
+    print(f"{n_events} events -> {out}"
+          + (f" ({dropped} torn line(s) dropped)" if dropped else ""))
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
