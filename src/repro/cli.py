@@ -88,6 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="watchdog deadline per evaluation; a hung trial is killed, "
                                   "retried with backoff and finally degraded (implies the "
                                   "parallel executor)")
+    tune_parser.add_argument("--warm-start", action="store_true",
+                             help="resume each promoted configuration's training from its "
+                                  "lower-rung checkpoint instead of re-initialising "
+                                  "(activates the engine)")
+    tune_parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                             help="spill directory making warm-start checkpoints durable; "
+                                  "required with --journal, implies --warm-start")
     tune_parser.add_argument("--guard", default="off",
                              choices=["strict", "repair", "warn", "off"],
                              help="data-integrity guard policy: strict rejects dirty data, "
@@ -133,12 +140,16 @@ def _build_engine(args: argparse.Namespace):
     needs a preemptable evaluation, so it selects the (watchdog-equipped)
     parallel executor even at one worker.
     """
+    warm_start = args.warm_start or args.checkpoint_dir is not None
     engine_flags = (
         args.n_workers > 1 or args.cache is not None or args.max_retries is not None
-        or args.journal is not None or args.trial_timeout is not None
+        or args.journal is not None or args.trial_timeout is not None or warm_start
     )
     if args.resume and args.journal is None:
         raise SystemExit("--resume requires --journal")
+    if warm_start and args.journal is not None and args.checkpoint_dir is None:
+        raise SystemExit("--warm-start with --journal requires --checkpoint-dir "
+                         "(journal replay can only re-warm from durable checkpoints)")
     if not engine_flags:
         return None
     from pathlib import Path
@@ -158,11 +169,18 @@ def _build_engine(args: argparse.Namespace):
         executor = ParallelExecutor(n_workers=args.n_workers, trial_timeout=args.trial_timeout)
     else:
         executor = SerialExecutor()
+    if not warm_start:
+        checkpoints = None
+    elif args.checkpoint_dir is not None:
+        checkpoints = args.checkpoint_dir
+    else:
+        checkpoints = True
     return TrialEngine(
         executor=executor,
         cache=True if args.cache is None else args.cache,
         max_retries=1 if args.max_retries is None else args.max_retries,
         journal=args.journal,
+        checkpoints=checkpoints,
     )
 
 
@@ -197,6 +215,11 @@ def _command_tune(args: argparse.Namespace) -> int:
             extras.append(f"trial_timeout {args.trial_timeout}s")
         if args.journal is not None:
             extras.append(f"journal {args.journal}" + (" (resuming)" if args.resume else ""))
+        if engine.checkpoints is not None:
+            extras.append(
+                "warm-start "
+                + (f"spill {args.checkpoint_dir}" if args.checkpoint_dir else "in-memory")
+            )
         print(f"engine: {type(engine.executor).__name__} x{args.n_workers} workers, "
               f"cache {'on' if engine.cache is not None else 'off'}, "
               f"max_retries {engine.max_retries}"
@@ -235,6 +258,11 @@ def _command_tune(args: argparse.Namespace) -> int:
         print(f"robustness         : {stats.resumed} resumed from journal, "
               f"{stats.timeouts} watchdog timeouts, {stats.non_finite} non-finite results, "
               f"{stats.guard_events} guard events")
+        if engine.checkpoints is not None:
+            total = stats.warm_hits + stats.warm_misses
+            print(f"warm start         : {stats.warm_hits}/{total} trials warm-started, "
+                  f"{stats.checkpoints_stored} checkpoints stored"
+                  + (f", spilled to {args.checkpoint_dir}" if args.checkpoint_dir else ""))
         engine.shutdown()
     if telemetry is not None:
         telemetry.close()

@@ -31,6 +31,7 @@ from ..bandit import (
     SuccessiveHalving,
     TPESearch,
 )
+from ..engine.checkpoint import CheckpointStore
 from ..space import SearchSpace
 from .evaluator import MLPModelFactory, SubsetCVEvaluator, grouped_evaluator, vanilla_evaluator
 
@@ -70,6 +71,8 @@ def make_searcher(
     engine=None,
     guard: Optional[str] = None,
     telemetry=None,
+    warm_start: bool = False,
+    checkpoint_dir=None,
 ) -> BaseSearcher:
     """Construct a searcher by paper name (``"sha"``, ``"sha+"``, ...).
 
@@ -105,6 +108,19 @@ def make_searcher(
         trial spans and metrics for this search.  Shared with ``engine``
         when one is given (see
         :meth:`~repro.bandit.base.BaseSearcher._sync_telemetry`).
+    warm_start:
+        Opt in to cross-rung warm starting: every evaluation's per-fold
+        trained parameters are checkpointed, and a promoted configuration
+        resumes training from its lower-rung checkpoint instead of a fresh
+        Glorot initialisation.  Builds a default
+        :class:`~repro.engine.TrialEngine` when ``engine`` is ``None``;
+        an explicit engine must carry its own ``checkpoints=`` store (this
+        flag then only validates the combination).
+    checkpoint_dir:
+        Spill directory making the checkpoints durable (required when the
+        engine journals; see
+        :class:`~repro.engine.checkpoint.CheckpointStore`).  Implies
+        ``warm_start``.
     """
     key = method.lower()
     if key not in METHODS:
@@ -112,6 +128,19 @@ def make_searcher(
     searcher_cls, enhanced = METHODS[key]
     if model_factory is None:
         model_factory = MLPModelFactory(task=task, max_iter=30)
+    if checkpoint_dir is not None:
+        warm_start = True
+    if warm_start:
+        if engine is None:
+            from ..engine import TrialEngine
+
+            engine = TrialEngine(checkpoints=checkpoint_dir if checkpoint_dir is not None else True)
+        elif engine.checkpoints is None:
+            engine.checkpoints = (
+                CheckpointStore(spill_dir=checkpoint_dir)
+                if checkpoint_dir is not None
+                else CheckpointStore()
+            )
     evaluator_kwargs = dict(evaluator_kwargs or {})
     if guard is not None:
         evaluator_kwargs.setdefault("guard_policy", guard)
@@ -188,6 +217,8 @@ def optimize(
     engine=None,
     guard: Optional[str] = None,
     telemetry=None,
+    warm_start: bool = False,
+    checkpoint_dir=None,
 ) -> OptimizationOutcome:
     """Run hyperparameter optimization end to end.
 
@@ -198,6 +229,12 @@ def optimize(
     Pass ``telemetry=Telemetry(trace="run.trace.jsonl")`` to record a
     structured trace and metrics; recording is observational only, so the
     returned outcome is bitwise identical with telemetry on or off.
+
+    Pass ``warm_start=True`` to resume each promoted configuration's
+    training from its lower-rung checkpoint (``checkpoint_dir=`` makes the
+    checkpoints durable across restarts); scores then reflect the extra
+    optimisation steps, so warm and cold runs are two *different* —
+    individually deterministic — experiments.
 
     Examples
     --------
@@ -225,6 +262,8 @@ def optimize(
         engine=engine,
         guard=guard,
         telemetry=telemetry,
+        warm_start=warm_start,
+        checkpoint_dir=checkpoint_dir,
     )
     result = searcher.fit(configurations=configurations, n_configurations=n_configurations)
     model = None

@@ -21,16 +21,19 @@ build the two configurations the paper compares.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from contextlib import nullcontext
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..bandit.base import EvaluationResult
+from ..engine.checkpoint import FoldCheckpoint, attach_checkpoints
 from ..guard import DataReport, GuardLog, validate_dataset
 from ..telemetry.collect import current_collector
 from ..telemetry.profiling import profiled
 from ..learners import MLPClassifier, MLPRegressor
+from ..learners.batched import batchable_model, fit_mlp_folds
 from ..metrics import accuracy_score, f1_score, r2_score
 from ..model_selection import KFold, StratifiedKFold, random_subsample, stratified_subsample
 from .folds import GeneralSpecialFolds
@@ -51,6 +54,9 @@ __all__ = [
 #: far above the engine's trial-level FAILURE_SCORE sentinel, so a partially
 #: failed evaluation still ranks below healthy ones but above total failures.
 FOLD_FLOOR = -1e6
+
+#: Entries kept in the per-evaluator subset/fold plan memo (LRU).
+_PLAN_CACHE_LIMIT = 32
 
 
 def make_scorer(metric: str) -> Callable:
@@ -160,6 +166,19 @@ class SubsetCVEvaluator:
         Pre-computed :class:`~repro.guard.DataReport` when the caller (e.g.
         :func:`grouped_evaluator`) already validated ``X, y``; skips the
         construction-time validation.
+    batched:
+        Whether to train a trial's fold models through the batched lane
+        kernels (:func:`repro.learners.batched.fit_mlp_folds`) when every
+        fold is batchable (MLP with an sgd/adam solver).  Bitwise-identical
+        to the per-fold loop; ``False`` forces the sequential reference
+        path.
+    memoize_plans:
+        Cache the drawn subset and fold partition per
+        ``(budget fraction, rng state)``.  Both are pure functions of that
+        pair, so repeated evaluations of the same trial seed (e.g. a warm
+        re-evaluation at a budget already planned cold) skip the
+        subsample/split work; the memo replays the consumed rng stream and
+        any guard events, keeping results bitwise-identical.
     """
 
     def __init__(
@@ -181,6 +200,8 @@ class SubsetCVEvaluator:
         clock: Optional[Callable[[], float]] = None,
         guard_policy: Optional[str] = None,
         data_report: Optional[DataReport] = None,
+        batched: bool = True,
+        memoize_plans: bool = True,
     ) -> None:
         for axis, value in (("sampling", sampling), ("folding", folding)):
             if value not in ("random", "stratified", "grouped"):
@@ -214,6 +235,9 @@ class SubsetCVEvaluator:
         self.score_params = score_params if score_params is not None else ScoreParams(use_variance=False)
         self.min_subset = min_subset
         self.clock = clock if clock is not None else time.perf_counter
+        self.batched = batched
+        self.memoize_plans = memoize_plans
+        self._plan_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
 
     @property
     def guard_active(self) -> bool:
@@ -231,12 +255,14 @@ class SubsetCVEvaluator:
         """
         state = dict(self.__dict__)
         state.pop("scorer", None)
+        state.pop("_plan_cache", None)
         return state
 
     def __setstate__(self, state):
         """Restore attributes and rebuild the scorer from the metric name."""
         self.__dict__.update(state)
         self.scorer = make_scorer(self.metric)
+        self._plan_cache = OrderedDict()
 
     # -- protocol ------------------------------------------------------------
 
@@ -245,22 +271,106 @@ class SubsetCVEvaluator:
         config: Dict[str, Any],
         budget_fraction: float,
         rng: np.random.Generator,
+        warm_states: Optional[List] = None,
+        capture_checkpoints: bool = False,
     ) -> EvaluationResult:
-        """Score ``config`` on a ``budget_fraction`` subset of the data."""
+        """Score ``config`` on a ``budget_fraction`` subset of the data.
+
+        The evaluation runs in three phases — plan (subset, folds and every
+        model seed, drawn in the exact order the per-fold reference loop
+        consumed them), fit (batched lane kernels when every fold qualifies,
+        the sequential loop otherwise) and score — so batching changes the
+        execution strategy without moving a single rng draw.
+
+        ``warm_states`` optionally carries one
+        :class:`~repro.engine.checkpoint.FoldCheckpoint` (or ``None``) per
+        fold from a lower-budget evaluation of the same configuration; a
+        shape-compatible entry replaces the Glorot initialisation of the
+        matching fold.  With ``capture_checkpoints`` the fitted per-fold
+        parameters are attached to the returned result for the engine's
+        :class:`~repro.engine.checkpoint.CheckpointStore`.
+        """
         if not 0.0 < budget_fraction <= 1.0:
             raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
         start = self.clock()
         guard = GuardLog(self.guard_policy) if self.guard_active else None
-        n_total = len(self.y)
-        k_total = self._n_folds()
-        floor = max(self.min_subset, 2 * k_total)
-        n_subset = int(round(budget_fraction * n_total))
-        n_subset = min(n_total, max(floor, n_subset))
-
-        subset = self._draw_subset(n_subset, rng)
+        subset, folds = self._subset_and_folds(budget_fraction, rng, guard)
         collector = current_collector()
+
+        # Plan phase: replicate the sequential seed stream exactly — a
+        # single-class fold draws nothing, every other fold draws one model
+        # seed, in fold order.
+        seeds: List[Optional[int]] = []
+        for train_idx, _ in folds:
+            if self.task == "classification" and len(np.unique(self.y[train_idx])) < 2:
+                seeds.append(None)
+            else:
+                seeds.append(int(rng.integers(2**31)))
+        models = {
+            index: self.model_factory(config, random_state=seed)
+            for index, seed in enumerate(seeds)
+            if seed is not None
+        }
+        warm_map: Dict[int, Any] = {}
+        if warm_states:
+            for index, model in models.items():
+                if (
+                    index < len(warm_states)
+                    and warm_states[index] is not None
+                    and isinstance(model, (MLPClassifier, MLPRegressor))
+                ):
+                    warm_map[index] = warm_states[index]
+
+        # Fit phase: one batched call when every model fold qualifies.
+        batch_fitted = False
+        if (
+            self.batched
+            and len(models) >= 2
+            and all(batchable_model(model) for model in models.values())
+        ):
+            order = sorted(models)
+            jobs = [(models[i], self.X[folds[i][0]], self.y[folds[i][0]]) for i in order]
+            warm = {
+                position: (warm_map[i].coefs, warm_map[i].intercepts)
+                for position, i in enumerate(order)
+                if i in warm_map
+            }
+            span = (
+                collector.span("fit_batch", folds=len(jobs))
+                if collector is not None
+                else nullcontext(None)
+            )
+            try:
+                with span as record:
+                    stats = fit_mlp_folds(jobs, warm=warm or None)
+                    if record is not None:
+                        record["attrs"].update(stats.as_dict())
+                batch_fitted = True
+                if collector is not None:
+                    collector.inc("evaluator.batched_folds", stats.batched_folds)
+                    if stats.warm_folds:
+                        collector.inc("evaluator.warm_folds", stats.warm_folds)
+            except Exception as exc:  # noqa: BLE001 - guarded runs degrade
+                if guard is None:
+                    raise
+                guard.record(
+                    "learner.batch_fallback",
+                    f"batched fit raised {type(exc).__name__}: {exc}; "
+                    "re-fitting folds sequentially",
+                    error=type(exc).__name__,
+                )
+                # The lane may have left partial state behind; rebuild the
+                # models from their planned seeds and let the score phase
+                # degrade broken folds one at a time like the reference path.
+                models = {
+                    index: self.model_factory(config, random_state=seed)
+                    for index, seed in enumerate(seeds)
+                    if seed is not None
+                }
+
+        # Score phase (fits here too when the batched kernel didn't run).
         fold_scores = []
-        for fold_index, (train_idx, val_idx) in enumerate(self._folds(subset, rng, guard)):
+        for fold_index, (train_idx, val_idx) in enumerate(folds):
             span = (
                 collector.span(
                     "fold",
@@ -272,17 +382,20 @@ class SubsetCVEvaluator:
                 else nullcontext(None)
             )
             with span as record:
-                fold_score = self._fit_and_score(config, train_idx, val_idx, rng, guard)
+                fold_score = self._score_fold(
+                    fold_index, train_idx, val_idx, models, warm_map, batch_fitted, guard
+                )
                 if record is not None:
                     record["attrs"]["score"] = round(float(fold_score), 6)
             if collector is not None:
                 collector.observe("evaluator.fold_score", float(fold_score))
             fold_scores.append(fold_score)
-        gamma = 100.0 * len(subset) / n_total
+
+        gamma = 100.0 * len(subset) / len(self.y)
         mean = float(np.mean(fold_scores))
         std = float(np.std(fold_scores))
         score = ucb_score(mean, std, gamma, self.score_params)
-        return EvaluationResult(
+        result = EvaluationResult(
             mean=mean,
             std=std,
             score=score,
@@ -292,8 +405,136 @@ class SubsetCVEvaluator:
             cost=self.clock() - start,
             guard_events=guard.as_dicts() if guard else [],
         )
+        if capture_checkpoints:
+            checkpoints = [
+                FoldCheckpoint.from_model(models[index]) if index in models else None
+                for index in range(len(folds))
+            ]
+            if any(state is not None for state in checkpoints):
+                attach_checkpoints(result, checkpoints)
+        return result
 
     # -- internals -------------------------------------------------------------
+
+    def _subset_and_folds(
+        self,
+        budget_fraction: float,
+        rng: np.random.Generator,
+        guard: Optional[GuardLog],
+    ) -> Tuple[np.ndarray, List[Tuple[np.ndarray, np.ndarray]]]:
+        """Draw the budget subset and its fold partition, memoized.
+
+        Both are pure functions of ``(budget fraction, rng state)``: the
+        subset consumes the subsample draw and the partition consumes the
+        splitter-seed draw.  A memo hit replays the stored rng end state and
+        guard events instead of redoing the clustering/stratification work,
+        so the caller observes a bitwise-identical rng stream either way.
+        """
+        n_total = len(self.y)
+        floor = max(self.min_subset, 2 * self._n_folds())
+        n_subset = int(round(budget_fraction * n_total))
+        n_subset = min(n_total, max(floor, n_subset))
+        cache_key = None
+        if self.memoize_plans:
+            cache_key = (round(float(budget_fraction), 12), repr(rng.bit_generator.state))
+            hit = self._plan_cache.get(cache_key)
+            if hit is not None:
+                subset, folds, events, end_state = hit
+                rng.bit_generator.state = end_state
+                if guard is not None:
+                    guard.extend(events)
+                self._plan_cache.move_to_end(cache_key)
+                collector = current_collector()
+                if collector is not None:
+                    collector.inc("evaluator.plan_cache_hits")
+                return subset, folds
+        probe = GuardLog(self.guard_policy) if guard is not None else None
+        subset = self._draw_subset(n_subset, rng)
+        folds = list(self._folds(subset, rng, probe))
+        if probe is not None:
+            guard.extend(probe.events)
+        if cache_key is not None:
+            self._plan_cache[cache_key] = (
+                subset,
+                folds,
+                list(probe.events) if probe is not None else [],
+                rng.bit_generator.state,
+            )
+            if len(self._plan_cache) > _PLAN_CACHE_LIMIT:
+                self._plan_cache.popitem(last=False)
+        return subset, folds
+
+    def _score_fold(
+        self,
+        fold_index: int,
+        train_idx: np.ndarray,
+        val_idx: np.ndarray,
+        models: Dict[int, Any],
+        warm_map: Dict[int, Any],
+        batch_fitted: bool,
+        guard: Optional[GuardLog],
+    ) -> float:
+        """Fit (unless already batch-fitted) and score one fold's model."""
+        model = models.get(fold_index)
+        if model is None:
+            y_train = self.y[train_idx]
+            if guard is not None:
+                guard.record(
+                    "folds.single_class_train",
+                    "training fold holds a single class; scored a constant predictor",
+                    n_train=int(len(train_idx)),
+                )
+            model = _ConstantClassifier(y_train[0])
+        elif batch_fitted:
+            if guard is not None and getattr(model, "diverged_", False):
+                guard.record(
+                    "learner.diverged",
+                    "fit aborted on exploding loss; parameters rolled back "
+                    "to the last finite state",
+                )
+        else:
+            X_train, y_train = self.X[train_idx], self.y[train_idx]
+            collector = current_collector()
+            span = (
+                collector.span("fit", n_train=int(len(train_idx)))
+                if collector is not None
+                else nullcontext(None)
+            )
+            warm = warm_map.get(fold_index)
+            fit_kwargs = (
+                {"coefs_init": warm.coefs, "intercepts_init": warm.intercepts}
+                if warm is not None
+                else {}
+            )
+            with span:
+                if guard is None:
+                    model.fit(X_train, y_train, **fit_kwargs)
+                else:
+                    try:
+                        model.fit(X_train, y_train, **fit_kwargs)
+                    except Exception as exc:  # noqa: BLE001 - any fit failure degrades
+                        guard.record(
+                            "learner.fit_error",
+                            f"fit raised {type(exc).__name__}: {exc}",
+                            error=type(exc).__name__,
+                            floor=FOLD_FLOOR,
+                        )
+                        return FOLD_FLOOR
+                    if getattr(model, "diverged_", False):
+                        guard.record(
+                            "learner.diverged",
+                            "fit aborted on exploding loss; parameters rolled back "
+                            "to the last finite state",
+                        )
+        score = float(self.scorer(model, self.X[val_idx], self.y[val_idx]))
+        if guard is not None and not np.isfinite(score):
+            guard.record(
+                "scoring.nonfinite_fold",
+                f"fold scored {score!r}; clamped to the fold floor",
+                floor=FOLD_FLOOR,
+            )
+            score = FOLD_FLOOR
+        return score
 
     def _n_folds(self) -> int:
         if self.folding == "grouped":
@@ -359,6 +600,12 @@ class SubsetCVEvaluator:
         rng: np.random.Generator,
         guard: Optional[GuardLog] = None,
     ) -> float:
+        """Sequential single-fold reference: create, fit and score one model.
+
+        :meth:`evaluate` no longer calls this (the plan/fit/score phases
+        above supersede it) but it remains the executable specification the
+        batched kernels are equivalence-tested against.
+        """
         X_train, y_train = self.X[train_idx], self.y[train_idx]
         X_val, y_val = self.X[val_idx], self.y[val_idx]
         if self.task == "classification" and len(np.unique(y_train)) < 2:
@@ -424,6 +671,8 @@ def vanilla_evaluator(
     min_subset: int = 30,
     clock: Optional[Callable[[], float]] = None,
     guard_policy: Optional[str] = None,
+    batched: bool = True,
+    memoize_plans: bool = True,
 ) -> SubsetCVEvaluator:
     """The baseline evaluator: stratified subsets, stratified k-fold, mean."""
     return SubsetCVEvaluator(
@@ -439,6 +688,8 @@ def vanilla_evaluator(
         min_subset=min_subset,
         clock=clock,
         guard_policy=guard_policy,
+        batched=batched,
+        memoize_plans=memoize_plans,
     )
 
 
@@ -460,6 +711,8 @@ def grouped_evaluator(
     grouping: Optional[InstanceGrouping] = None,
     clock: Optional[Callable[[], float]] = None,
     guard_policy: Optional[str] = None,
+    batched: bool = True,
+    memoize_plans: bool = True,
 ) -> SubsetCVEvaluator:
     """The paper's enhanced evaluator (grouped sampling/folds, Eq. 3 score).
 
@@ -516,6 +769,8 @@ def grouped_evaluator(
         clock=clock,
         guard_policy=guard_policy,
         data_report=data_report,
+        batched=batched,
+        memoize_plans=memoize_plans,
     )
     if data_report is not None:
         evaluator.setup_guard_events = setup_guard.as_dicts()

@@ -29,6 +29,7 @@ worker deaths and corrupted scores so those guarantees stay exercised::
 
 from .cache import EvaluationCache
 from .chaos import ChaosError, ChaosExecutor, ChaosPolicy, DataCorruption
+from .checkpoint import CheckpointStore, FoldCheckpoint
 from .core import FAILURE_SCORE, STATS_SCHEMA_VERSION, EngineStats, TrialEngine
 from .executors import ParallelExecutor, SerialExecutor, TrialExecutor
 from .journal import JOURNAL_VERSION, JournalEntry, JournalError, RunJournal, space_fingerprint
@@ -38,10 +39,12 @@ __all__ = [
     "ChaosError",
     "ChaosExecutor",
     "ChaosPolicy",
+    "CheckpointStore",
     "DataCorruption",
     "EvaluationCache",
     "EngineStats",
     "FAILURE_SCORE",
+    "FoldCheckpoint",
     "JOURNAL_VERSION",
     "JournalEntry",
     "JournalError",

@@ -54,15 +54,34 @@ class EvaluationCache:
         return len(self._entries)
 
     @staticmethod
-    def make_key(config_key: Tuple, budget_fraction: float, seed: int) -> Tuple:
-        """The exact lookup key used by :meth:`get` and :meth:`put`."""
-        return (config_key, _normalise_budget(budget_fraction), int(seed))
+    def make_key(
+        config_key: Tuple,
+        budget_fraction: float,
+        seed: int,
+        warm_source: Optional[float] = None,
+    ) -> Tuple:
+        """The exact lookup key used by :meth:`get` and :meth:`put`.
+
+        ``warm_source`` — the donor budget of a warm-started trial — adds a
+        fourth element when present, so a warm evaluation (whose result
+        depends on the lower-rung parameters it resumed from) never aliases
+        the cold evaluation of the same ``(config, budget, seed)``.  Cold
+        keys stay 3-tuples, keeping existing journals and tests valid.
+        """
+        key = (config_key, _normalise_budget(budget_fraction), int(seed))
+        if warm_source is not None:
+            key = key + (_normalise_budget(warm_source),)
+        return key
 
     def get(
-        self, config_key: Tuple, budget_fraction: float, seed: int
+        self,
+        config_key: Tuple,
+        budget_fraction: float,
+        seed: int,
+        warm_source: Optional[float] = None,
     ) -> Optional[EvaluationResult]:
         """Return the memoized result or ``None``, updating hit/miss counts."""
-        key = self.make_key(config_key, budget_fraction, seed)
+        key = self.make_key(config_key, budget_fraction, seed, warm_source)
         result = self._entries.get(key)
         if result is None:
             self.misses += 1
@@ -72,10 +91,15 @@ class EvaluationCache:
         return result
 
     def put(
-        self, config_key: Tuple, budget_fraction: float, seed: int, result: EvaluationResult
+        self,
+        config_key: Tuple,
+        budget_fraction: float,
+        seed: int,
+        result: EvaluationResult,
+        warm_source: Optional[float] = None,
     ) -> None:
         """Store ``result``, evicting the LRU entry when over capacity."""
-        key = self.make_key(config_key, budget_fraction, seed)
+        key = self.make_key(config_key, budget_fraction, seed, warm_source)
         self._entries[key] = result
         self._entries.move_to_end(key)
         if self.max_entries is not None and len(self._entries) > self.max_entries:

@@ -1,0 +1,278 @@
+"""Cross-rung warm-start checkpoints: reuse training work across budgets.
+
+HyperBand-family searchers re-train every promoted survivor from scratch
+at the next rung's larger subset, throwing away the lower-rung fit.
+Iterative-deepening variants (Brandt et al., 2023) show that resuming
+from previous work preserves the bandit guarantees; this module supplies
+the storage half of that idea:
+
+- :class:`FoldCheckpoint` — the per-fold trained parameters of one
+  evaluation (one entry per CV fold);
+- :class:`CheckpointStore` — an LRU-bounded in-memory map, keyed by
+  ``(configuration key, budget fraction)``, with an optional write-through
+  **spill directory** that makes checkpoints durable (required when warm
+  starting is combined with journal resume — replayed trials never
+  execute, so only the spill can repopulate their checkpoints);
+- :func:`attach_checkpoints` / :func:`detach_checkpoints` — transport of
+  captured fold states on an
+  :class:`~repro.bandit.base.EvaluationResult`, mirroring the telemetry
+  payload pattern: the states ride the instance ``__dict__`` (surviving
+  the worker pipe's pickle) and the engine strips them in ``_settle``
+  before the result reaches the cache, the journal or the searcher.
+
+Warm-start selection (:meth:`CheckpointStore.best_source`) is the
+*largest stored budget strictly below* the requested one — deterministic
+for rung-barrier searchers because the store's content at submit time is
+a pure function of the completed rungs, which is what keeps the
+serial == parallel bitwise invariant intact among warm-start runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "CHECKPOINT_ATTR",
+    "CheckpointStore",
+    "FoldCheckpoint",
+    "attach_checkpoints",
+    "detach_checkpoints",
+]
+
+#: Attribute name carrying captured fold states on an EvaluationResult.
+CHECKPOINT_ATTR = "_checkpoints"
+
+#: Spill-file suffix.
+_SPILL_SUFFIX = ".ckpt"
+
+
+def _normalise_budget(budget_fraction: float) -> float:
+    """Round the budget the same way seed derivation and the cache do."""
+    return round(float(budget_fraction), 12)
+
+
+def _config_digest(config_key: Tuple) -> str:
+    """Stable filename-safe digest of a configuration key."""
+    return hashlib.blake2b(repr(config_key).encode("utf-8"), digest_size=10).hexdigest()
+
+
+class FoldCheckpoint:
+    """Trained parameters of one fold's model, ready to warm-start a refit.
+
+    Attributes
+    ----------
+    layer_units:
+        The network's layer widths (input, hidden..., output); recorded
+        for inspection — warm-start compatibility is decided purely from
+        the coefficient shapes (see
+        :func:`repro.learners.mlp.warm_start_matches`).
+    coefs, intercepts:
+        Per-layer weight matrices and bias vectors (final values, i.e.
+        after any early-stopping best-parameter restore).
+    """
+
+    __slots__ = ("layer_units", "coefs", "intercepts")
+
+    def __init__(
+        self,
+        coefs: Sequence[np.ndarray],
+        intercepts: Sequence[np.ndarray],
+        layer_units: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        self.coefs = [np.asarray(c, dtype=float) for c in coefs]
+        self.intercepts = [np.asarray(b, dtype=float).ravel() for b in intercepts]
+        if layer_units is None and self.coefs:
+            layer_units = (self.coefs[0].shape[0], *(c.shape[1] for c in self.coefs))
+        self.layer_units = tuple(layer_units) if layer_units is not None else ()
+
+    @classmethod
+    def from_model(cls, model) -> Optional["FoldCheckpoint"]:
+        """Capture a fitted MLP's parameters; ``None`` for non-MLP models."""
+        coefs = getattr(model, "coefs_", None)
+        intercepts = getattr(model, "intercepts_", None)
+        if coefs is None or intercepts is None:
+            return None
+        return cls(coefs, intercepts)
+
+    def __getstate__(self):
+        return (self.layer_units, self.coefs, self.intercepts)
+
+    def __setstate__(self, state):
+        self.layer_units, self.coefs, self.intercepts = state
+
+
+def attach_checkpoints(result, fold_states: List[Optional[FoldCheckpoint]]) -> None:
+    """Hang captured fold states onto a result for transport to the engine."""
+    result.__dict__[CHECKPOINT_ATTR] = fold_states
+
+
+def detach_checkpoints(result) -> Optional[List[Optional[FoldCheckpoint]]]:
+    """Remove and return the fold states a worker attached, if any."""
+    if result is None:
+        return None
+    return result.__dict__.pop(CHECKPOINT_ATTR, None)
+
+
+class CheckpointStore:
+    """LRU-bounded map ``(config_key, budget) -> per-fold checkpoints``.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory capacity; the least-recently-used entry is dropped once
+        exceeded.  With a spill directory an evicted entry remains
+        loadable from disk; without one it is gone (a later
+        :meth:`best_source` then falls back to the next-best budget —
+        still deterministic, but a smaller reuse win; size the store to
+        the rung width to avoid this).
+    spill_dir:
+        Optional directory receiving a write-through pickle of every
+        stored entry.  Existing spill files are indexed at construction,
+        so a fresh store over an old directory resumes with every
+        previously persisted checkpoint available — the property journal
+        resume relies on.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        spill_dir: Union[str, Path, None] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._entries: "OrderedDict[Tuple, List[Optional[FoldCheckpoint]]]" = OrderedDict()
+        #: ``config digest -> {budget: spill path}`` for everything on disk.
+        self._spill_index: Dict[str, Dict[float, Path]] = {}
+        #: ``config digest -> sorted budgets`` across memory and spill.
+        self._budgets: Dict[str, List[float]] = {}
+        self.stores = 0
+        self.spill_loads = 0
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+            self._scan_spill()
+
+    @property
+    def durable(self) -> bool:
+        """Whether entries survive process restarts (spill directory set)."""
+        return self.spill_dir is not None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- internals ------------------------------------------------------------
+
+    def _scan_spill(self) -> None:
+        for path in sorted(self.spill_dir.glob(f"*{_SPILL_SUFFIX}")):
+            parts = path.stem.rsplit("_", 1)
+            if len(parts) != 2:
+                continue
+            digest, raw_budget = parts
+            try:
+                budget = float(raw_budget)
+            except ValueError:
+                continue
+            self._spill_index.setdefault(digest, {})[budget] = path
+            self._register_budget(digest, budget)
+
+    def _register_budget(self, digest: str, budget: float) -> None:
+        budgets = self._budgets.setdefault(digest, [])
+        if budget not in budgets:
+            budgets.append(budget)
+            budgets.sort()
+
+    def _spill_path(self, digest: str, budget: float) -> Path:
+        return self.spill_dir / f"{digest}_{budget:.12f}{_SPILL_SUFFIX}"
+
+    # -- protocol --------------------------------------------------------------
+
+    def put(
+        self,
+        config_key: Tuple,
+        budget_fraction: float,
+        fold_states: List[Optional[FoldCheckpoint]],
+    ) -> None:
+        """Store one evaluation's per-fold states (write-through to spill)."""
+        if not fold_states or all(state is None for state in fold_states):
+            return
+        budget = _normalise_budget(budget_fraction)
+        digest = _config_digest(config_key)
+        key = (digest, budget)
+        self._entries[key] = fold_states
+        self._entries.move_to_end(key)
+        self._register_budget(digest, budget)
+        self.stores += 1
+        if self.spill_dir is not None:
+            path = self._spill_path(digest, budget)
+            with path.open("wb") as handle:
+                pickle.dump(fold_states, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            self._spill_index.setdefault(digest, {})[budget] = path
+        if len(self._entries) > self.max_entries:
+            evicted_key, _ = self._entries.popitem(last=False)
+            if self.spill_dir is None:
+                # Without a spill the budget is genuinely gone; keep the
+                # budget index honest so best_source never dangles.
+                evicted_digest, evicted_budget = evicted_key
+                budgets = self._budgets.get(evicted_digest, [])
+                if evicted_budget in budgets:
+                    budgets.remove(evicted_budget)
+
+    def get(
+        self, config_key: Tuple, budget_fraction: float
+    ) -> Optional[List[Optional[FoldCheckpoint]]]:
+        """The stored states for an exact ``(config, budget)``, or ``None``."""
+        budget = _normalise_budget(budget_fraction)
+        digest = _config_digest(config_key)
+        key = (digest, budget)
+        states = self._entries.get(key)
+        if states is not None:
+            self._entries.move_to_end(key)
+            return states
+        path = self._spill_index.get(digest, {}).get(budget)
+        if path is None:
+            return None
+        try:
+            with path.open("rb") as handle:
+                states = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+        self.spill_loads += 1
+        self._entries[key] = states
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return states
+
+    def best_source(
+        self, config_key: Tuple, budget_fraction: float
+    ) -> Optional[Tuple[float, List[Optional[FoldCheckpoint]]]]:
+        """Donor for a warm start: largest stored budget strictly below.
+
+        Returns ``(source_budget, fold_states)`` or ``None`` when the
+        configuration has no lower-budget checkpoint.
+        """
+        budget = _normalise_budget(budget_fraction)
+        digest = _config_digest(config_key)
+        for candidate in reversed(self._budgets.get(digest, [])):
+            if candidate < budget:
+                states = self.get(config_key, candidate)
+                if states is not None:
+                    return candidate, states
+        return None
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (spill files are left untouched)."""
+        self._entries.clear()
+        if self.spill_dir is None:
+            self._budgets.clear()
+        else:
+            self._budgets = {
+                digest: sorted(index) for digest, index in self._spill_index.items()
+            }

@@ -46,6 +46,7 @@ from ..bandit.base import EvaluationResult
 from ..telemetry import Telemetry
 from ..telemetry.collect import detach_payload
 from .cache import EvaluationCache
+from .checkpoint import CheckpointStore, detach_checkpoints
 from .executors import (
     SerialExecutor,
     TIMEOUT_ERROR_PREFIX,
@@ -63,7 +64,7 @@ FAILURE_SCORE = -1e30
 
 #: Version of the :meth:`EngineStats.as_dict` payload; bump when counters
 #: are added/renamed so BENCH_engine.json stays comparable across PRs.
-STATS_SCHEMA_VERSION = 3
+STATS_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -94,6 +95,12 @@ class EngineStats:
         Data-integrity guard events carried on settled or replayed
         results (see :mod:`repro.guard.events`); 0 when no guard is
         active.
+    warm_hits, warm_misses:
+        With a checkpoint store configured: submissions that found a
+        lower-budget donor to warm-start from vs. those that ran cold
+        (both stay 0 without a store).
+    checkpoints_stored:
+        Evaluations whose captured fold states entered the store.
     """
 
     submitted: int = 0
@@ -106,6 +113,9 @@ class EngineStats:
     resumed: int = 0
     non_finite: int = 0
     guard_events: int = 0
+    warm_hits: int = 0
+    warm_misses: int = 0
+    checkpoints_stored: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -127,6 +137,9 @@ class EngineStats:
             "resumed": self.resumed,
             "non_finite": self.non_finite,
             "guard_events": self.guard_events,
+            "warm_hits": self.warm_hits,
+            "warm_misses": self.warm_misses,
+            "checkpoints_stored": self.checkpoints_stored,
             "hit_rate": self.hit_rate,
         }
 
@@ -202,6 +215,17 @@ class TrialEngine:
         journaling), and the engine mirrors its counters into the
         metrics registry plus queue-wait/execute histograms.  ``None``
         (default) records nothing and adds no per-trial work.
+    checkpoints:
+        Opt-in cross-rung warm starting.  ``True`` builds an in-memory
+        :class:`~repro.engine.checkpoint.CheckpointStore`; a path builds
+        one spilling to that directory (durable across restarts); an
+        instance is used as-is; ``None`` (default) disables warm starts
+        entirely.  With a store configured every evaluation captures its
+        per-fold trained parameters, and every submission warm-starts
+        from the largest lower-budget checkpoint of its configuration.
+        Combining a *non-durable* store with a journal raises at
+        :meth:`bind`: replayed trials never execute, so only a spill
+        directory can repopulate their checkpoints on resume.
 
     Examples
     --------
@@ -226,6 +250,7 @@ class TrialEngine:
         retry_backoff_max: float = 2.0,
         sleep: Optional[Callable[[float], None]] = None,
         telemetry: Optional[Telemetry] = None,
+        checkpoints: Union[CheckpointStore, str, Path, bool, None] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
@@ -248,6 +273,14 @@ class TrialEngine:
         self.retry_backoff_max = retry_backoff_max
         self._sleep = sleep if sleep is not None else time.sleep
         self.telemetry = telemetry
+        if checkpoints is True:
+            self.checkpoints: Optional[CheckpointStore] = CheckpointStore()
+        elif checkpoints is False or checkpoints is None:
+            self.checkpoints = None
+        elif isinstance(checkpoints, CheckpointStore):
+            self.checkpoints = checkpoints
+        else:
+            self.checkpoints = CheckpointStore(spill_dir=checkpoints)
         #: Submit timestamps by trial id (telemetry only): queue-wait
         #: tracking and trial-span start times.
         self._submit_time: Dict[int, float] = {}
@@ -282,6 +315,16 @@ class TrialEngine:
         self._evaluator = evaluator
         if root_seed is not None:
             self.root_seed = root_seed
+        if self.checkpoints is not None and self.journal is not None:
+            if not self.checkpoints.durable:
+                raise ValueError(
+                    "warm-start checkpoints combined with a journal require a "
+                    "durable store: journal replay never re-executes trials, so "
+                    "only a CheckpointStore spill_dir can repopulate their "
+                    "checkpoints on resume"
+                )
+            metadata = dict(metadata or {})
+            metadata["warm"] = True
         if self.journal is not None:
             if not self._journal_open:
                 entries = self.journal.open(self.root_seed, metadata=metadata)
@@ -325,6 +368,16 @@ class TrialEngine:
             request.seed = derive_seed(
                 self.root_seed, key, request.budget_fraction, request.attempt
             )
+        if self.checkpoints is not None:
+            request.capture = True
+            source = self.checkpoints.best_source(key, request.budget_fraction)
+            if source is not None:
+                request.warm_source, request.warm_states = source
+                self.stats.warm_hits += 1
+                self._inc("engine.warm_hits")
+            else:
+                self.stats.warm_misses += 1
+                self._inc("engine.warm_misses")
         self.stats.submitted += 1
         if self.telemetry is not None:
             request.telemetry = self.telemetry.collection_flags
@@ -334,7 +387,10 @@ class TrialEngine:
 
     def _cache_key(self, request: TrialRequest) -> Tuple:
         return EvaluationCache.make_key(
-            request.resolved_key(), request.budget_fraction, request.seed
+            request.resolved_key(),
+            request.budget_fraction,
+            request.seed,
+            request.warm_source,
         )
 
     # -- telemetry -------------------------------------------------------------
@@ -377,6 +433,8 @@ class TrialEngine:
             attrs["journal_seq"] = outcome.journal_seq
         if outcome.error is not None:
             attrs["error"] = outcome.error
+        if request.warm_source is not None:
+            attrs["warm_source"] = request.warm_source
         annotations = [
             event.as_dict() if hasattr(event, "as_dict") else dict(event)
             for event in (getattr(result, "guard_events", None) or [])
@@ -503,6 +561,9 @@ class TrialEngine:
                     key=request.key,
                     attempt=request.attempt + 1,
                     telemetry=request.telemetry,
+                    warm_source=request.warm_source,
+                    warm_states=request.warm_states,
+                    capture=request.capture,
                 )
                 retry.seed = derive_seed(
                     self.root_seed, retry.resolved_key(), retry.budget_fraction, retry.attempt
@@ -553,6 +614,11 @@ class TrialEngine:
         per executed trial; followers get their own cache-hit spans.
         """
         attempts = request.attempt + 1
+        fold_states = detach_checkpoints(result)
+        if fold_states is not None and self.checkpoints is not None and not failed:
+            self.checkpoints.put(request.resolved_key(), request.budget_fraction, fold_states)
+            self.stats.checkpoints_stored += 1
+            self._inc("engine.checkpoints_stored")
         guard_count = len(getattr(result, "guard_events", []) or [])
         self.stats.guard_events += guard_count
         if guard_count:
@@ -575,7 +641,7 @@ class TrialEngine:
             self._ready.append(follower_outcome)
             self._emit_trial(follower_outcome)
         if not failed and self.cache is not None:
-            self.cache.put(*cache_key, result)
+            self.cache.put(*cache_key[:3], result, *cache_key[3:])
 
     # -- batch protocol --------------------------------------------------------
 

@@ -70,6 +70,8 @@ def _safe_evaluate(
     budget_fraction: float,
     seed: int,
     telemetry: int = 0,
+    warm_states=None,
+    capture: bool = False,
 ) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
     """Run one evaluation under a fresh seeded generator, capturing errors.
 
@@ -77,18 +79,25 @@ def _safe_evaluate(
     the evaluation (fold/fit spans, counters, profiled timings) and
     attaches its payload to the result, which carries it back over the
     executor pipe; the engine detaches it before the result is cached or
-    journaled.
+    journaled.  ``warm_states``/``capture`` forward the engine's warm-start
+    protocol to the evaluator; both are passed only when set, so evaluators
+    predating the warm-start keywords keep working cold.
     """
     try:
         rng = np.random.default_rng(seed)
+        kwargs = {}
+        if warm_states is not None:
+            kwargs["warm_states"] = warm_states
+        if capture:
+            kwargs["capture_checkpoints"] = True
         if telemetry:
             t0 = time.monotonic()
             with trial_collection(telemetry) as collector:
-                result = evaluator.evaluate(config, budget_fraction, rng)
+                result = evaluator.evaluate(config, budget_fraction, rng, **kwargs)
                 collector.observe("trial.execute_s", time.monotonic() - t0)
             attach_payload(result, collector)
         else:
-            result = evaluator.evaluate(config, budget_fraction, rng)
+            result = evaluator.evaluate(config, budget_fraction, rng, **kwargs)
         return trial_id, True, result, None
     except Exception as exc:  # noqa: BLE001 — fault tolerance is the point
         return trial_id, False, None, f"{type(exc).__name__}: {exc}"
@@ -98,10 +107,12 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
     """Worker process loop: recv task, evaluate, send result, heartbeat.
 
     The duplex pipe carries tasks parent→worker and ``("hb",)`` /
-    ``("done", token, payload)`` messages worker→parent.  A background
-    thread emits heartbeats even while an evaluation is running, so the
-    parent can tell a long evaluation (heartbeats flowing) from a process
-    wedged in non-Python code (heartbeats stopped).  ``None`` is the
+    ``("done", token, payload)`` messages worker→parent.  When
+    ``heartbeat_interval`` is positive a background thread emits
+    heartbeats even while an evaluation is running, so the parent can tell
+    a long evaluation (heartbeats flowing) from a process wedged in
+    non-Python code (heartbeats stopped); the parent passes 0 when it runs
+    no hang detection, silencing the chatter entirely.  ``None`` is the
     shutdown sentinel; a closed pipe (parent gone) also ends the loop.
     """
     stop = threading.Event()
@@ -115,8 +126,9 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
             except (BrokenPipeError, OSError):
                 return
 
-    beater = threading.Thread(target=_beat, daemon=True)
-    beater.start()
+    if heartbeat_interval > 0:
+        beater = threading.Thread(target=_beat, daemon=True)
+        beater.start()
     try:
         while True:
             try:
@@ -125,9 +137,9 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
                 break
             if task is None:
                 break
-            token, trial_id, config, budget_fraction, seed, telemetry = task
+            token, trial_id, config, budget_fraction, seed, telemetry, warm, capture = task
             payload = _safe_evaluate(
-                evaluator, trial_id, config, budget_fraction, seed, telemetry
+                evaluator, trial_id, config, budget_fraction, seed, telemetry, warm, capture
             )
             try:
                 with send_lock:
@@ -219,6 +231,8 @@ class SerialExecutor(TrialExecutor):
             request.budget_fraction,
             request.seed,
             getattr(request, "telemetry", 0),
+            getattr(request, "warm_states", None),
+            getattr(request, "capture", False),
         )
 
     def pending(self) -> int:
@@ -227,22 +241,25 @@ class SerialExecutor(TrialExecutor):
 
 
 class _WorkerHandle:
-    """Parent-side view of one worker process: pipe, current task, deadlines."""
+    """Parent-side view of one worker process: pipe, queued tasks, deadlines."""
 
-    __slots__ = ("worker_id", "process", "conn", "task", "deadline", "last_heartbeat")
+    __slots__ = ("worker_id", "process", "conn", "tasks", "deadline", "last_heartbeat")
 
     def __init__(self, worker_id: int, process, conn) -> None:
         self.worker_id = worker_id
         self.process = process
         self.conn = conn
-        #: ``(token, trial_id)`` of the dispatched trial, or ``None`` if idle.
-        self.task: Optional[Tuple[int, int]] = None
+        #: ``(token, trial_id)`` of dispatched-but-unfinished trials, in
+        #: dispatch order.  Watchdog-supervised pools keep at most one
+        #: entry; pipelined pools queue several so the worker never idles
+        #: waiting for a parent round-trip between trials.
+        self.tasks: Deque[Tuple[int, int]] = deque()
         self.deadline: Optional[float] = None
         self.last_heartbeat = time.monotonic()
 
     @property
     def idle(self) -> bool:
-        return self.task is None
+        return not self.tasks
 
 
 class ParallelExecutor(TrialExecutor):
@@ -279,11 +296,21 @@ class ParallelExecutor(TrialExecutor):
     Notes
     -----
     A crashed worker (``os._exit``, segfault, OOM-kill) never sinks the
-    search: its in-flight trial is surfaced as a failed completion — which
+    search: its in-flight trials are surfaced as failed completions — which
     the engine retries or degrades — and a replacement worker is spawned
     immediately, keeping capacity constant.  Supervision happens entirely
     in the parent over per-worker duplex pipes; there is no shared queue a
     dying worker could leave locked.
+
+    When **no watchdog is configured** (``trial_timeout`` and
+    ``heartbeat_timeout`` both ``None``) the pool runs *pipelined*: tasks
+    are queued onto the least-loaded worker immediately instead of waiting
+    for an idle one, workers skip the heartbeat thread entirely, and
+    ``wait_one`` blocks on the pipes instead of polling.  This removes the
+    per-trial parent round-trip and the heartbeat chatter that used to
+    make small-trial workloads *slower* at two workers than one; with a
+    watchdog the stricter dispatch-one-collect-one cycle is kept so
+    per-trial deadlines stay meaningful.
     """
 
     def __init__(
@@ -311,6 +338,9 @@ class ParallelExecutor(TrialExecutor):
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.poll_interval = poll_interval
+        #: No per-trial deadline and no hang detection -> workers can be
+        #: kept fed with queued tasks and pipes waited on without polling.
+        self._pipelined = trial_timeout is None and heartbeat_timeout is None
         if start_method is None and "fork" in multiprocessing.get_all_start_methods():
             start_method = "fork"
         self._context = multiprocessing.get_context(start_method)
@@ -338,7 +368,14 @@ class ParallelExecutor(TrialExecutor):
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_watchdog_worker_main,
-            args=(self._evaluator, child_conn, worker_id, self.heartbeat_interval),
+            args=(
+                self._evaluator,
+                child_conn,
+                worker_id,
+                # The heartbeat thread only serves hang detection; without
+                # it, silence the per-worker chatter entirely.
+                self.heartbeat_interval if self.heartbeat_timeout is not None else 0.0,
+            ),
             daemon=True,
         )
         process.start()
@@ -356,7 +393,14 @@ class ParallelExecutor(TrialExecutor):
     # -- submission ------------------------------------------------------------
 
     def submit(self, request) -> None:
-        """Dispatch to an idle worker, or queue until one frees up."""
+        """Dispatch to a worker, or queue until one frees up.
+
+        Pipelined pools (no watchdog) queue onto the least-loaded live
+        worker immediately — a rung's whole batch lands on the worker
+        pipes up front, so workers run trial after trial back-to-back.
+        Watchdog-supervised pools dispatch one task per worker at a time
+        to keep per-trial deadlines meaningful.
+        """
         self._ensure_workers()
         token = self._next_token
         self._next_token += 1
@@ -367,17 +411,26 @@ class ParallelExecutor(TrialExecutor):
             request.budget_fraction,
             request.seed,
             getattr(request, "telemetry", 0),
+            getattr(request, "warm_states", None),
+            getattr(request, "capture", False),
         )
-        for handle in self._workers.values():
-            if handle.idle and handle.process.is_alive():
-                self._dispatch(handle, task)
+        if self._pipelined:
+            alive = [h for h in self._workers.values() if h.process.is_alive()]
+            if alive:
+                self._dispatch(min(alive, key=lambda h: len(h.tasks)), task)
                 return
+        else:
+            for handle in self._workers.values():
+                if handle.idle and handle.process.is_alive():
+                    self._dispatch(handle, task)
+                    return
         self._backlog.append(task)
 
     def _dispatch(self, handle: _WorkerHandle, task: Tuple) -> None:
         now = time.monotonic()
-        handle.task = (task[0], task[1])
-        handle.deadline = now + self.trial_timeout if self.trial_timeout else None
+        handle.tasks.append((task[0], task[1]))
+        if self.trial_timeout and len(handle.tasks) == 1:
+            handle.deadline = now + self.trial_timeout
         handle.last_heartbeat = now
         try:
             handle.conn.send(task)
@@ -385,14 +438,17 @@ class ParallelExecutor(TrialExecutor):
             self._retire(handle, f"{WORKER_DIED_PREFIX}: worker pipe closed before dispatch")
 
     def _feed_backlog(self, handle: _WorkerHandle) -> None:
-        if self._backlog:
+        if self._pipelined:
+            while self._backlog:
+                self._dispatch(handle, self._backlog.popleft())
+        elif self._backlog:
             self._dispatch(handle, self._backlog.popleft())
 
     # -- completion ------------------------------------------------------------
 
     def pending(self) -> int:
         """In-flight trials plus queued tasks plus uncollected completions."""
-        in_flight = sum(1 for handle in self._workers.values() if not handle.idle)
+        in_flight = sum(len(handle.tasks) for handle in self._workers.values())
         return in_flight + len(self._backlog) + len(self._completed)
 
     def wait_one(self) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
@@ -402,7 +458,9 @@ class ParallelExecutor(TrialExecutor):
                 return self._completed.popleft()
             if not self.pending():
                 raise RuntimeError("wait_one called with no pending trials")
-            self._pump(self.poll_interval)
+            # Without a watchdog there is nothing to periodically check:
+            # block on the pipes (a dead worker's EOF wakes the wait too).
+            self._pump(None if self._pipelined else self.poll_interval)
             if self._completed:
                 return self._completed.popleft()
             self._run_watchdog()
@@ -435,9 +493,13 @@ class ParallelExecutor(TrialExecutor):
                 handle.last_heartbeat = time.monotonic()
             elif kind == "done":
                 _, token, payload = message
-                if handle.task is not None and handle.task[0] == token:
-                    handle.task = None
-                    handle.deadline = None
+                if handle.tasks and handle.tasks[0][0] == token:
+                    handle.tasks.popleft()
+                    handle.deadline = (
+                        time.monotonic() + self.trial_timeout
+                        if self.trial_timeout and handle.tasks
+                        else None
+                    )
                     self._completed.append(payload)
                     self._feed_backlog(handle)
                 # A mismatched token is a completion the watchdog already
@@ -486,8 +548,8 @@ class ParallelExecutor(TrialExecutor):
         """
         if self._workers.pop(handle.worker_id, None) is None:
             return
-        task = handle.task
-        handle.task = None
+        tasks = list(handle.tasks)
+        handle.tasks.clear()
         handle.deadline = None
         if handle.process.is_alive():
             handle.process.kill()
@@ -496,8 +558,8 @@ class ParallelExecutor(TrialExecutor):
             handle.conn.close()
         except OSError:
             pass
-        if task is not None:
-            self._completed.append((task[1], False, None, error))
+        for _, trial_id in tasks:
+            self._completed.append((trial_id, False, None, error))
         if self._evaluator is not None:
             replacement = self._spawn_worker()
             self.respawns += 1

@@ -86,6 +86,11 @@ class JournalEntry:
         True when the trial was degraded to the sentinel result.
     error:
         ``"ExcType: message"`` of the last failure, if any.
+    warm:
+        Donor budget fraction the trial warm-started from, or ``None``
+        for a cold evaluation.  Part of the replay identity: a warm
+        outcome only replays for a submission warm-starting from the same
+        source.
     result:
         The terminal :class:`~repro.bandit.base.EvaluationResult`
         (the sentinel for degraded trials).
@@ -107,6 +112,7 @@ class JournalEntry:
     error: Optional[str]
     result: EvaluationResult
     seq: int = 0
+    warm: Optional[float] = None
 
 
 def _entry_to_dict(outcome: TrialOutcome) -> Dict[str, Any]:
@@ -125,6 +131,7 @@ def _entry_to_dict(outcome: TrialOutcome) -> Dict[str, Any]:
         "attempts": outcome.attempts,
         "failed": outcome.failed,
         "error": outcome.error,
+        "warm": request.warm_source,
         "result": {
             "mean": result.mean,
             "std": result.std,
@@ -152,6 +159,7 @@ def _entry_from_dict(data: Dict[str, Any]) -> JournalEntry:
         failed=bool(data.get("failed", False)),
         error=data.get("error"),
         result=EvaluationResult(**data["result"]),
+        warm=data.get("warm"),
     )
 
 
@@ -160,11 +168,14 @@ def replay_key(entry: JournalEntry, root_seed: Optional[int]) -> Tuple:
 
     Fresh submissions always carry ``attempt=0``, so the key is built from
     the attempt-0 derived seed regardless of how many retries the original
-    run needed before the trial settled.
+    run needed before the trial settled.  A warm outcome's key carries its
+    donor budget as a fourth element, matching
+    :meth:`~repro.engine.cache.EvaluationCache.make_key` — so it only
+    replays for a resubmission that would warm-start from the same source.
     """
     key = config_key(entry.config)
     seed = derive_seed(root_seed, key, entry.budget_fraction, 0)
-    return EvaluationCache.make_key(key, entry.budget_fraction, seed)
+    return EvaluationCache.make_key(key, entry.budget_fraction, seed, entry.warm)
 
 
 def _normalise_root(root_seed: Optional[int]) -> int:

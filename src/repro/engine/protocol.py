@@ -99,6 +99,20 @@ class TrialRequest:
         Collection-flag bitmask (see :mod:`repro.telemetry.collect`)
         shipped to the executor so worker processes know what to record;
         0 (the default) keeps evaluation entirely uninstrumented.
+    warm_source:
+        Budget fraction of the lower-rung checkpoint this trial warm-starts
+        from (filled by the engine from its
+        :class:`~repro.engine.checkpoint.CheckpointStore`); ``None`` for a
+        cold trial.  Part of the trial's identity: cache and journal keys
+        gain it as a fourth element, so warm and cold evaluations of the
+        same ``(config, budget)`` never alias.
+    warm_states:
+        The per-fold :class:`~repro.engine.checkpoint.FoldCheckpoint` list
+        backing ``warm_source``; shipped to the executor, never journaled
+        (the spill directory is the durable copy).
+    capture:
+        Whether the evaluation should capture per-fold checkpoints for the
+        store (set on every trial once a store is configured).
     """
 
     config: Dict[str, Any]
@@ -110,6 +124,9 @@ class TrialRequest:
     key: Optional[Tuple] = None
     attempt: int = 0
     telemetry: int = 0
+    warm_source: Optional[float] = None
+    warm_states: Optional[list] = None
+    capture: bool = False
 
     def resolved_key(self) -> Tuple:
         """The configuration identity, computing and caching it if needed."""

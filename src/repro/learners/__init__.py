@@ -7,11 +7,12 @@ plus the preprocessing helpers they depend on.
 
 from .activations import ACTIVATIONS, get_activation, logistic, relu, softmax, tanh
 from .base import BaseEstimator, check_array, check_X_y, clone
+from .batched import BatchedFitStats, batchable_model, fit_mlp_folds
 from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
 from .forest import RandomForestClassifier, RandomForestRegressor
 from .linear import LogisticRegression, Ridge
 from .losses import binary_log_loss, log_loss, squared_loss
-from .mlp import MLPClassifier, MLPRegressor
+from .mlp import MLPClassifier, MLPRegressor, resolve_initial_parameters, warm_start_matches
 from .naive_bayes import GaussianNB
 from .preprocessing import LabelEncoder, StandardScaler, one_hot
 from .solvers import AdamOptimizer, SGDOptimizer, make_optimizer
@@ -21,6 +22,7 @@ __all__ = [
     "ACTIVATIONS",
     "AdamOptimizer",
     "BaseEstimator",
+    "BatchedFitStats",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
     "GaussianNB",
@@ -35,17 +37,21 @@ __all__ = [
     "Ridge",
     "SGDOptimizer",
     "StandardScaler",
+    "batchable_model",
     "binary_log_loss",
     "check_X_y",
     "check_array",
     "clone",
+    "fit_mlp_folds",
     "get_activation",
     "log_loss",
     "logistic",
     "make_optimizer",
     "one_hot",
     "relu",
+    "resolve_initial_parameters",
     "softmax",
     "squared_loss",
     "tanh",
+    "warm_start_matches",
 ]

@@ -31,7 +31,13 @@ from .losses import binary_log_loss, log_loss, squared_loss
 from .preprocessing import LabelEncoder, one_hot
 from .solvers import make_optimizer
 
-__all__ = ["DIVERGENCE_LOSS_CAP", "MLPClassifier", "MLPRegressor"]
+__all__ = [
+    "DIVERGENCE_LOSS_CAP",
+    "MLPClassifier",
+    "MLPRegressor",
+    "resolve_initial_parameters",
+    "warm_start_matches",
+]
 
 #: Epoch losses beyond this (or non-finite ones) mark the fit as diverged:
 #: training aborts, parameters roll back to the last finite state and
@@ -59,6 +65,52 @@ def _init_coefficients(
         coefs.append(rng.uniform(-bound, bound, size=(fan_in, fan_out)))
         intercepts.append(rng.uniform(-bound, bound, size=fan_out))
     return coefs, intercepts
+
+
+def warm_start_matches(
+    layer_units: Sequence[int],
+    coefs_init: Optional[Sequence[np.ndarray]],
+    intercepts_init: Optional[Sequence[np.ndarray]],
+) -> bool:
+    """Whether a donated parameter set fits this network's architecture.
+
+    Warm starts are only usable when every layer's shape agrees; a
+    mismatch (e.g. a fold with a different class count) silently falls
+    back to cold Glorot initialisation rather than erroring, because the
+    donor was trained on *different data* and shape is the only contract.
+    """
+    if coefs_init is None or intercepts_init is None:
+        return False
+    expected = list(zip(layer_units[:-1], layer_units[1:]))
+    if len(coefs_init) != len(expected) or len(intercepts_init) != len(expected):
+        return False
+    for (fan_in, fan_out), coef, intercept in zip(expected, coefs_init, intercepts_init):
+        if tuple(np.shape(coef)) != (fan_in, fan_out):
+            return False
+        if tuple(np.shape(intercept)) != (fan_out,):
+            return False
+    return True
+
+
+def resolve_initial_parameters(
+    layer_units: Sequence[int],
+    activation: str,
+    rng: np.random.Generator,
+    coefs_init: Optional[Sequence[np.ndarray]] = None,
+    intercepts_init: Optional[Sequence[np.ndarray]] = None,
+) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+    """Warm parameters (copied) when shapes match, else fresh Glorot draws.
+
+    A matching warm start consumes **no** random draws — the training
+    trajectory then depends only on the donated weights and the
+    post-initialisation stream (validation split, shuffles), which is
+    what makes warm-started runs reproducible in their own right.
+    """
+    if warm_start_matches(layer_units, coefs_init, intercepts_init):
+        coefs = [np.array(c, dtype=float) for c in coefs_init]
+        intercepts = [np.array(b, dtype=float).ravel() for b in intercepts_init]
+        return coefs, intercepts
+    return _init_coefficients(layer_units, activation, rng)
 
 
 class _BaseMLP(BaseEstimator):
@@ -207,15 +259,32 @@ class _BaseMLP(BaseEstimator):
     # -- fitting ----------------------------------------------------------
 
     @profiled("mlp.fit")
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseMLP":
-        """Train the network on ``(X, y)``."""
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        coefs_init: Optional[Sequence[np.ndarray]] = None,
+        intercepts_init: Optional[Sequence[np.ndarray]] = None,
+    ) -> "_BaseMLP":
+        """Train the network on ``(X, y)``.
+
+        ``coefs_init`` / ``intercepts_init`` optionally warm-start the
+        network from previously trained parameters (e.g. a lower-budget
+        checkpoint): when their shapes match the architecture implied by
+        the data they replace the Glorot initialisation and training
+        continues from them; otherwise they are ignored and the fit is
+        cold.  Optimizer state (momentum/Adam moments) always starts
+        fresh.
+        """
         self._validate_hyperparameters()
         X, y = check_X_y(X, y)
         y_encoded = self._encode_targets(y)
 
         layer_units = [X.shape[1], *self._hidden_layers(), self._n_outputs(y_encoded)]
         rng = np.random.default_rng(self.random_state)
-        self.coefs_, self.intercepts_ = _init_coefficients(layer_units, self.activation, rng)
+        self.coefs_, self.intercepts_ = resolve_initial_parameters(
+            layer_units, self.activation, rng, coefs_init, intercepts_init
+        )
         self.n_layers_ = len(layer_units)
         self.loss_curve_: List[float] = []
         self.validation_scores_: List[float] = []

@@ -1,0 +1,196 @@
+"""CheckpointStore + FoldCheckpoint: storage semantics for warm starting.
+
+The store's contract matters for two engine invariants: ``best_source``
+must be a pure function of what has been stored (warm determinism), and
+a spill directory must make every stored entry recoverable by a fresh
+store instance (journal-resume compatibility).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.bandit.base import EvaluationResult
+from repro.engine.checkpoint import (
+    CHECKPOINT_ATTR,
+    CheckpointStore,
+    FoldCheckpoint,
+    attach_checkpoints,
+    detach_checkpoints,
+)
+
+KEY_A = (("alpha", 0.001), ("units", 16))
+KEY_B = (("alpha", 0.01), ("units", 32))
+
+
+def ckpt(seed=0, shape=(4, 3)):
+    r = np.random.default_rng(seed)
+    return FoldCheckpoint([r.normal(size=shape)], [r.normal(size=shape[1])])
+
+
+def states(seed=0, n_folds=2):
+    return [ckpt(seed + f) for f in range(n_folds)]
+
+
+def same_states(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        if x is None or y is None:
+            assert x is y
+            continue
+        assert x.layer_units == y.layer_units
+        for cx, cy in zip(x.coefs, y.coefs):
+            assert np.array_equal(cx, cy)
+        for ix, iy in zip(x.intercepts, y.intercepts):
+            assert np.array_equal(ix, iy)
+
+
+class TestFoldCheckpoint:
+    def test_layer_units_inferred_from_coef_shapes(self):
+        r = np.random.default_rng(0)
+        fc = FoldCheckpoint([r.normal(size=(6, 8)), r.normal(size=(8, 2))], [np.zeros(8), np.zeros(2)])
+        assert fc.layer_units == (6, 8, 2)
+
+    def test_from_model_requires_fitted_mlp_attributes(self):
+        class Fitted:
+            coefs_ = [np.ones((2, 3))]
+            intercepts_ = [np.zeros(3)]
+
+        fc = FoldCheckpoint.from_model(Fitted())
+        assert fc is not None and fc.layer_units == (2, 3)
+        assert FoldCheckpoint.from_model(object()) is None
+
+    def test_pickle_round_trip(self):
+        fc = ckpt(3)
+        clone = pickle.loads(pickle.dumps(fc))
+        same_states([fc], [clone])
+
+
+class TestAttachDetach:
+    def test_round_trip_strips_the_attribute(self):
+        result = EvaluationResult(mean=0.5, std=0.0, score=0.5, gamma=10.0)
+        payload = states(1)
+        attach_checkpoints(result, payload)
+        assert CHECKPOINT_ATTR in result.__dict__
+        assert detach_checkpoints(result) is payload
+        assert CHECKPOINT_ATTR not in result.__dict__
+        assert detach_checkpoints(result) is None
+
+    def test_detach_none_result(self):
+        assert detach_checkpoints(None) is None
+
+
+class TestStoreBasics:
+    def test_put_get_exact_key(self):
+        store = CheckpointStore()
+        payload = states(0)
+        store.put(KEY_A, 0.25, payload)
+        assert store.get(KEY_A, 0.25) is payload
+        assert store.get(KEY_A, 0.5) is None
+        assert store.get(KEY_B, 0.25) is None
+        assert store.stores == 1
+
+    def test_budget_normalisation_matches_cache(self):
+        store = CheckpointStore()
+        store.put(KEY_A, 0.1, states(0))
+        assert store.get(KEY_A, 0.1 + 1e-15) is not None
+
+    def test_all_none_states_are_not_stored(self):
+        store = CheckpointStore()
+        store.put(KEY_A, 0.25, [None, None])
+        store.put(KEY_A, 0.25, [])
+        assert len(store) == 0 and store.stores == 0
+
+    def test_not_durable_without_spill(self, tmp_path):
+        assert not CheckpointStore().durable
+        assert CheckpointStore(spill_dir=tmp_path / "ck").durable
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(max_entries=0)
+
+
+class TestBestSource:
+    def test_largest_budget_strictly_below(self):
+        store = CheckpointStore()
+        low, mid = states(1), states(2)
+        store.put(KEY_A, 0.1, low)
+        store.put(KEY_A, 0.3, mid)
+        budget, got = store.best_source(KEY_A, 0.9)
+        assert budget == 0.3 and got is mid
+        budget, got = store.best_source(KEY_A, 0.3)  # strictly below: skips 0.3
+        assert budget == 0.1 and got is low
+        assert store.best_source(KEY_A, 0.1) is None
+        assert store.best_source(KEY_B, 0.9) is None
+
+    def test_lru_eviction_without_spill_forgets_the_budget(self):
+        store = CheckpointStore(max_entries=2)
+        store.put(KEY_A, 0.1, states(1))
+        store.put(KEY_A, 0.2, states(2))
+        store.put(KEY_A, 0.4, states(3))  # evicts 0.1
+        assert len(store) == 2
+        budget, _ = store.best_source(KEY_A, 0.3)
+        assert budget == 0.2
+        # the evicted budget is not offered as a donor
+        assert store.best_source(KEY_A, 0.15) is None
+
+    def test_lru_eviction_with_spill_keeps_the_budget_loadable(self, tmp_path):
+        store = CheckpointStore(max_entries=2, spill_dir=tmp_path / "ck")
+        store.put(KEY_A, 0.1, states(1))
+        store.put(KEY_A, 0.2, states(2))
+        store.put(KEY_A, 0.4, states(3))  # evicts 0.1 from memory only
+        budget, got = store.best_source(KEY_A, 0.15)
+        assert budget == 0.1
+        same_states(got, states(1))
+        assert store.spill_loads == 1
+
+
+class TestSpill:
+    def test_fresh_store_rescans_spill_directory(self, tmp_path):
+        spill = tmp_path / "ck"
+        first = CheckpointStore(spill_dir=spill)
+        first.put(KEY_A, 0.25, states(7))
+        first.put(KEY_B, 0.5, states(8))
+
+        second = CheckpointStore(spill_dir=spill)
+        assert len(second) == 0  # nothing in memory yet
+        same_states(second.get(KEY_A, 0.25), states(7))
+        budget, got = second.best_source(KEY_B, 0.9)
+        assert budget == 0.5
+        same_states(got, states(8))
+
+    def test_corrupt_spill_file_is_ignored(self, tmp_path):
+        spill = tmp_path / "ck"
+        store = CheckpointStore(spill_dir=spill)
+        store.put(KEY_A, 0.25, states(0))
+        path = next(spill.glob("*.ckpt"))
+        path.write_bytes(b"not a pickle")
+        fresh = CheckpointStore(spill_dir=spill)
+        assert fresh.get(KEY_A, 0.25) is None
+
+    def test_foreign_files_in_spill_dir_are_skipped(self, tmp_path):
+        spill = tmp_path / "ck"
+        spill.mkdir()
+        (spill / "README.ckpt").write_text("nope")
+        (spill / "abc_notafloat.ckpt").write_text("nope")
+        store = CheckpointStore(spill_dir=spill)
+        assert len(store) == 0 and store.best_source(KEY_A, 1.0) is None
+
+
+class TestClear:
+    def test_clear_without_spill_drops_everything(self):
+        store = CheckpointStore()
+        store.put(KEY_A, 0.25, states(0))
+        store.clear()
+        assert len(store) == 0
+        assert store.best_source(KEY_A, 0.9) is None
+
+    def test_clear_with_spill_keeps_disk_entries_reachable(self, tmp_path):
+        store = CheckpointStore(spill_dir=tmp_path / "ck")
+        store.put(KEY_A, 0.25, states(4))
+        store.clear()
+        assert len(store) == 0
+        budget, got = store.best_source(KEY_A, 0.9)
+        assert budget == 0.25
+        same_states(got, states(4))

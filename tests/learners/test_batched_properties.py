@@ -1,0 +1,107 @@
+"""Property-based equivalence sweep for the batched fold kernels.
+
+The unit tests in ``test_batched.py`` pin hand-picked corners; these
+hypothesis sweeps hammer random (architecture, solver, schedule, fold
+layout) combinations and require *bitwise* agreement with the sequential
+per-fold ``fit`` loop every time.  They are exhaustive by design and run
+in the ``kernels`` tier (``pytest -m kernels``), outside tier-1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners import MLPClassifier, MLPRegressor
+from repro.learners.batched import fit_mlp_folds
+
+from .test_batched import assert_models_identical, make_data
+
+pytestmark = pytest.mark.kernels
+
+HIDDEN = st.sampled_from([(4,), (8,), (6, 4), (12,), (5, 5)])
+SOLVERS = st.sampled_from(["sgd", "adam"])
+SCHEDULES = st.sampled_from(["constant", "invscaling", "adaptive"])
+ACTIVATIONS = st.sampled_from(["relu", "tanh", "logistic"])
+
+
+def _run_both(cls, task, n_folds, kwargs, n, d, k, seed, sizes=None):
+    X, y = make_data(task, n, d, k, seed)
+    jobs_seq, jobs_bat = [], []
+    for f in range(n_folds):
+        size = sizes[f] if sizes else n // n_folds
+        idx = np.random.default_rng(seed * 31 + f).choice(n, size=min(size, n), replace=False)
+        jobs_seq.append((cls(random_state=seed + f, **kwargs), X[idx], y[idx]))
+        jobs_bat.append((cls(random_state=seed + f, **kwargs), X[idx], y[idx]))
+    for model, Xf, yf in jobs_seq:
+        model.fit(Xf, yf)
+    fit_mlp_folds(jobs_bat)
+    for i, (a, b) in enumerate(zip(jobs_seq, jobs_bat)):
+        assert_models_identical(a[0], b[0], f"fold {i}")
+
+
+class TestClassifierSweep:
+    @given(
+        hidden=HIDDEN,
+        solver=SOLVERS,
+        schedule=SCHEDULES,
+        activation=ACTIVATIONS,
+        n_classes=st.integers(min_value=2, max_value=4),
+        n_folds=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_config_bitwise_equal(self, hidden, solver, schedule, activation, n_classes, n_folds, seed):
+        kwargs = dict(
+            hidden_layer_sizes=hidden,
+            solver=solver,
+            learning_rate=schedule,
+            activation=activation,
+            max_iter=12,
+        )
+        _run_both(MLPClassifier, "multi", n_folds, kwargs, n=90, d=5, k=n_classes, seed=seed)
+
+    @given(
+        solver=SOLVERS,
+        early_stopping=st.booleans(),
+        batch_size=st.sampled_from([16, 32, "auto"]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stopping_and_batching_bitwise_equal(self, solver, early_stopping, batch_size, seed):
+        kwargs = dict(
+            hidden_layer_sizes=(8,),
+            solver=solver,
+            early_stopping=early_stopping,
+            batch_size=batch_size,
+            max_iter=25,
+        )
+        _run_both(MLPClassifier, "bin", 4, kwargs, n=100, d=6, k=2, seed=seed)
+
+
+class TestRegressorSweep:
+    @given(
+        hidden=HIDDEN,
+        solver=SOLVERS,
+        lr_init=st.sampled_from([0.001, 0.01, 0.1, 5.0]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_config_bitwise_equal(self, hidden, solver, lr_init, seed):
+        # lr_init=5.0 intentionally provokes divergence in some draws; the
+        # divergence bookkeeping must match bit for bit too.
+        kwargs = dict(hidden_layer_sizes=hidden, solver=solver, learning_rate_init=lr_init, max_iter=12)
+        _run_both(MLPRegressor, "reg", 4, kwargs, n=80, d=5, k=0, seed=seed)
+
+
+class TestLaneLayouts:
+    @given(
+        sizes=st.lists(st.integers(min_value=12, max_value=40), min_size=2, max_size=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_fold_size_mix_bitwise_equal(self, sizes, seed):
+        # Any mix of fold sizes — equal runs batch together, stragglers go
+        # to singleton lanes; the result must never depend on the layout.
+        kwargs = dict(hidden_layer_sizes=(6,), solver="adam", max_iter=10)
+        _run_both(MLPClassifier, "bin", len(sizes), kwargs, n=60, d=4, k=2, seed=seed, sizes=sizes)

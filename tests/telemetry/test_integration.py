@@ -205,8 +205,8 @@ class TestFullTracedRun:
         telemetry.close()
         return trace, telemetry, outcome.result
 
-    def test_spans_nest_run_bracket_rung_trial_fold_fit(self, traced_hyperband):
-        trace, _, _ = traced_hyperband
+    @staticmethod
+    def _span_chains(trace):
         _, records, dropped = TraceSink.read(trace)
         assert dropped == 0
         spans = {r["id"]: r for r in records if r.get("type") == "span"}
@@ -219,16 +219,43 @@ class TestFullTracedRun:
                 span = spans.get(parent) if parent is not None else None
             return names[::-1]
 
-        chains = {tuple(chain(s)) for s in spans.values()}
+        return {tuple(chain(s)) for s in spans.values()}
+
+    def test_spans_nest_run_bracket_rung_trial_fold(self, traced_hyperband):
+        trace, _, _ = traced_hyperband
+        chains = self._span_chains(trace)
         assert ("run", "bracket", "rung", "trial") in {c[:4] for c in chains if len(c) >= 4}
-        assert ("run", "bracket", "rung", "trial", "fold", "fit") in chains
+        assert ("run", "bracket", "rung", "trial", "fold") in chains
+        # batched kernels fit all folds in one span under the trial
+        assert ("run", "bracket", "rung", "trial", "fit_batch") in chains
         # every span roots at the single run span
         assert all(c[0] == "run" for c in chains)
+
+    def test_sequential_path_keeps_per_fold_fit_spans(self, tmp_path):
+        # With batching off the legacy trace shape — a fit span nested in
+        # every fold — and the mlp.fit profile hook must both survive.
+        X, y = make_classification(n_samples=120, n_features=5, random_state=0)
+        space = SearchSpace([Categorical("alpha", [1e-4, 1e-2])])
+        factory = MLPModelFactory(task="classification", max_iter=3)
+        trace = tmp_path / "seq.trace.jsonl"
+        telemetry = Telemetry(trace=trace, profile=True)
+        with TrialEngine(executor=SerialExecutor()) as engine:
+            optimize(
+                X, y, space, method="hb+", model_factory=factory,
+                random_state=3, refit=False, engine=engine, telemetry=telemetry,
+                evaluator_kwargs={"batched": False},
+            )
+        telemetry.close()
+        chains = self._span_chains(trace)
+        assert ("run", "bracket", "rung", "trial", "fold", "fit") in chains
+        counters = telemetry.registry.counters()
+        assert counters.get("profile.mlp.fit.calls", 0) > 0
 
     def test_profiled_hot_paths_recorded(self, traced_hyperband):
         _, telemetry, _ = traced_hyperband
         counters = telemetry.registry.counters()
-        assert counters.get("profile.mlp.fit.calls", 0) > 0
+        # batched trials dispatch through the lane kernels, not mlp.fit
+        assert counters.get("evaluator.batched_folds", 0) > 0
         assert counters.get("profile.evaluator.draw_subset.calls", 0) > 0
 
     def test_trace_view_converts_cleanly(self, traced_hyperband, tmp_path):

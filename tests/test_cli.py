@@ -193,3 +193,41 @@ class TestTelemetryFlags:
         plain_payload, traced_payload = normalised(plain), normalised(traced)
         assert traced_payload["trials"] == plain_payload["trials"]
         assert traced_payload["best_config"] == plain_payload["best_config"]
+
+
+class TestWarmStartFlags:
+    BASE = [
+        "tune", "--dataset", "australian", "--method", "sha",
+        "--scale", "0.25", "--max-iter", "5", "--seed", "1",
+    ]
+
+    def test_flags_parse_and_default_off(self):
+        args = build_parser().parse_args(["tune", "--dataset", "australian"])
+        assert args.warm_start is False
+        assert args.checkpoint_dir is None
+
+    def test_checkpoint_dir_implies_warm_start(self, tmp_path, capsys):
+        assert main(self.BASE + ["--checkpoint-dir", str(tmp_path / "ck")]) == 0
+        printed = capsys.readouterr().out
+        assert "warm-start spill" in printed
+        assert "warm start" in printed  # stats summary line
+
+    def test_warm_start_in_memory(self, capsys):
+        assert main(self.BASE + ["--warm-start"]) == 0
+        printed = capsys.readouterr().out
+        assert "warm-start in-memory" in printed
+
+    def test_warm_start_with_journal_requires_spill(self, tmp_path):
+        with pytest.raises(SystemExit, match="checkpoint-dir"):
+            main(self.BASE + ["--warm-start", "--journal", str(tmp_path / "run.wal")])
+
+    def test_warm_start_with_journal_and_spill_runs(self, tmp_path, capsys):
+        assert main(self.BASE + [
+            "--journal", str(tmp_path / "run.wal"),
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ]) == 0
+        assert "warm-start spill" in capsys.readouterr().out
+
+    def test_cold_run_prints_no_warm_lines(self, capsys):
+        assert main(self.BASE) == 0
+        assert "warm start" not in capsys.readouterr().out

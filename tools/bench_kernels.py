@@ -1,0 +1,255 @@
+"""Benchmark the batched fold kernels and cross-rung warm starting.
+
+Prices the two PR-5 performance features and writes
+``BENCH_kernels.json``:
+
+1. **Fold-loop microbench** — one trial's 5-fold fit dispatched through
+   :func:`repro.learners.batched.fit_mlp_folds` versus the sequential
+   per-fold ``model.fit`` loop, on the representative small-subset shape
+   bandit searchers spend most of their evaluations on (low rungs train
+   on O(100) rows, where per-call numpy overhead dominates).  Target:
+   >= 2x, asserted.
+2. **Size sweep** — the same comparison across subset sizes and widths,
+   recording how the speedup tapers as the work becomes compute-bound
+   (no assertion; feeds the table in docs/PERFORMANCE.md).
+3. **End-to-end HyperBand** — a serial-engine HB search with batched
+   kernels + warm starting versus the same search with both disabled
+   (the pre-kernel configuration).  Target: >= 1.5x, asserted.
+4. **Determinism gates** — the batched cold run must reproduce the
+   sequential cold run bit for bit (same trials, same scores, same
+   incumbent), and serial must equal a 2-worker pool bitwise in both
+   cold and warm modes.  All asserted; the report records the outcomes.
+
+Timing uses one untimed warmup plus a median of repeats, the same
+methodology as ``tools/bench_engine.py``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_kernels.py [--out BENCH_kernels.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.bandit import HyperBand
+from repro.core import MLPModelFactory, vanilla_evaluator
+from repro.datasets import make_classification
+from repro.engine import ParallelExecutor, SerialExecutor, TrialEngine
+from repro.learners import MLPClassifier
+from repro.learners.batched import fit_mlp_folds
+
+
+def timed_median(fn, repeats):
+    """One untimed warmup call, then the median of ``repeats`` timings."""
+    fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+# -- 1 + 2: fold-loop microbench -------------------------------------------
+
+
+def make_fold_jobs(n_rows, hidden, n_folds=5, max_iter=50, seed=0):
+    """Fresh 5-fold fit jobs over a synthetic subset (new models each call)."""
+    import numpy as np
+
+    X, y = make_classification(
+        n_samples=n_rows * 2, n_features=10, n_classes=3, random_state=seed
+    )
+    jobs = []
+    for fold in range(n_folds):
+        idx = np.random.default_rng(seed * 97 + fold).choice(
+            len(X), size=n_rows, replace=False
+        )
+        model = MLPClassifier(
+            hidden_layer_sizes=hidden, solver="adam", max_iter=max_iter,
+            random_state=1000 + fold,
+        )
+        jobs.append((model, X[idx], y[idx]))
+    return jobs
+
+
+def bench_fold_loop(n_rows, hidden, repeats):
+    """(sequential_seconds, batched_seconds, speedup) for one shape."""
+
+    def sequential():
+        for model, X, y in make_fold_jobs(n_rows, hidden):
+            model.fit(X, y)
+
+    def batched():
+        fit_mlp_folds(make_fold_jobs(n_rows, hidden))
+
+    seq = timed_median(sequential, repeats)
+    bat = timed_median(batched, repeats)
+    return seq, bat, seq / bat
+
+
+# -- 3 + 4: end-to-end HyperBand -------------------------------------------
+
+
+def fingerprint(result):
+    return [
+        (t.key, t.budget_fraction, t.result.score, tuple(t.result.fold_scores))
+        for t in result.trials
+    ]
+
+
+def run_hb(X, y, space, pool, factory, seed, *, batched, warm, executor=None):
+    """One engine HB fit; returns (seconds, fingerprint, best_config)."""
+    evaluator = vanilla_evaluator(
+        X, y, factory, batched=batched, memoize_plans=batched
+    )
+    engine = TrialEngine(
+        executor=executor if executor is not None else SerialExecutor(),
+        cache=True,
+        checkpoints=True if warm else None,
+    )
+    searcher = HyperBand(space, evaluator, random_state=seed, engine=engine)
+    start = time.perf_counter()
+    result = searcher.fit(configurations=pool)
+    seconds = time.perf_counter() - start
+    engine.shutdown()
+    return seconds, fingerprint(result), result.best_config
+
+
+def bench_end_to_end(args):
+    """Batched + warm HB versus the pre-kernel baseline, plus the gates."""
+    from repro.experiments import paper_search_space
+
+    X, y = make_classification(
+        n_samples=args.n_samples, n_features=12, n_classes=2,
+        class_sep=1.2, flip_y=0.05, random_state=args.seed,
+    )
+    space = paper_search_space(2)
+    pool = space.grid()[: args.hb_pool]
+    factory = MLPModelFactory(task="classification", max_iter=args.max_iter)
+
+    def timed(variant_kwargs):
+        seconds = timed_median(
+            lambda: run_hb(X, y, space, pool, factory, args.seed, **variant_kwargs),
+            args.e2e_repeats,
+        )
+        _, prints, best = run_hb(X, y, space, pool, factory, args.seed, **variant_kwargs)
+        return seconds, prints, best
+
+    baseline_seconds, baseline_prints, baseline_best = timed(
+        dict(batched=False, warm=False)
+    )
+    batched_seconds, batched_prints, batched_best = timed(
+        dict(batched=True, warm=False)
+    )
+    warm_seconds, warm_prints, warm_best = timed(dict(batched=True, warm=True))
+
+    # gate: the batched cold run is bitwise-identical to the sequential one
+    if batched_prints != baseline_prints:
+        raise AssertionError("batched cold run diverged from the sequential reference")
+    if batched_best != baseline_best:
+        raise AssertionError("batched kernels changed the cold incumbent")
+
+    # gate: serial == 2-worker pool, cold and warm
+    for warm in (False, True):
+        _, pool_prints, _ = run_hb(
+            X, y, space, pool, factory, args.seed,
+            batched=True, warm=warm, executor=ParallelExecutor(n_workers=2),
+        )
+        reference = warm_prints if warm else batched_prints
+        if pool_prints != reference:
+            raise AssertionError(
+                f"serial != parallel bitwise in {'warm' if warm else 'cold'} mode"
+            )
+
+    speedup = baseline_seconds / warm_seconds
+    print(f"end-to-end HB: baseline {baseline_seconds:.2f}s, "
+          f"batched {batched_seconds:.2f}s, batched+warm {warm_seconds:.2f}s "
+          f"-> {speedup:.2f}x (target >= {args.e2e_target}x)")
+    if speedup < args.e2e_target:
+        raise AssertionError(
+            f"end-to-end speedup {speedup:.2f}x below the {args.e2e_target}x target"
+        )
+    return {
+        "baseline_seconds": round(baseline_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "batched_warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 3),
+        "target": args.e2e_target,
+        "cold_incumbent_unchanged": True,
+        "serial_equals_parallel_cold": True,
+        "serial_equals_parallel_warm": True,
+        "pool": len(pool),
+        "n_trials": len(baseline_prints),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="microbench timing repetitions (median taken)")
+    parser.add_argument("--e2e-repeats", type=int, default=3,
+                        help="end-to-end timing repetitions (median taken)")
+    parser.add_argument("--n-samples", type=int, default=600)
+    parser.add_argument("--max-iter", type=int, default=30)
+    parser.add_argument("--hb-pool", type=int, default=6)
+    parser.add_argument("--micro-target", type=float, default=2.0)
+    parser.add_argument("--e2e-target", type=float, default=1.5)
+    parser.add_argument("--skip-e2e", action="store_true",
+                        help="microbench + sweep only (quick check)")
+    args = parser.parse_args(argv)
+
+    # 1. the asserted microbench: the representative low-rung shape
+    seq, bat, speedup = bench_fold_loop(n_rows=150, hidden=(8,), repeats=args.repeats)
+    print(f"fold-loop microbench (5 folds x 150 rows, hidden (8,)): "
+          f"sequential {seq*1000:.1f}ms, batched {bat*1000:.1f}ms "
+          f"-> {speedup:.2f}x (target >= {args.micro_target}x)")
+    if speedup < args.micro_target:
+        raise AssertionError(
+            f"fold-loop speedup {speedup:.2f}x below the {args.micro_target}x target"
+        )
+    report = {
+        "benchmark": "repro.learners.batched fold kernels + warm-start HB",
+        "seed": args.seed,
+        "microbench": {
+            "n_rows": 150, "hidden": [8], "n_folds": 5, "max_iter": 50,
+            "sequential_seconds": round(seq, 4),
+            "batched_seconds": round(bat, 4),
+            "speedup": round(speedup, 3),
+            "target": args.micro_target,
+        },
+    }
+
+    # 2. the taper: larger subsets amortise the per-call overhead batching removes
+    sweep = []
+    for n_rows, hidden in ((100, (8,)), (200, (8,)), (400, (16,)), (800, (32,))):
+        s, b, x = bench_fold_loop(n_rows, hidden, repeats=3)
+        sweep.append({
+            "n_rows": n_rows, "hidden": list(hidden), "speedup": round(x, 3),
+        })
+        print(f"  sweep n={n_rows:<4} hidden={hidden}: {x:.2f}x")
+    report["size_sweep"] = sweep
+
+    # 3 + 4. end-to-end + determinism gates
+    if not args.skip_e2e:
+        report["end_to_end"] = bench_end_to_end(args)
+        report["headline"] = {
+            "fold_loop_speedup": report["microbench"]["speedup"],
+            "end_to_end_speedup": report["end_to_end"]["speedup"],
+        }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Full verification ladder:
-#   1. tier-1 test suite (fast; chaos + telemetry tests deselected by
-#      pyproject addopts)
+#   1. tier-1 test suite (fast; chaos + telemetry + kernels tests
+#      deselected by pyproject addopts)
 #   2. guard tier (data-integrity layer + corrupted-data chaos scenario)
-#   3. telemetry tier (trace-file tests + tracing/profiling overhead bench)
-#   4. chaos-marked pytest tier (process kills, SIGKILL resume)
-#   5. fault-injection harness smoke (tools/chaos_suite.py --quick)
+#   3. kernels tier (exhaustive batched-kernel property sweeps + the
+#      fold-loop microbench gate)
+#   4. telemetry tier (trace-file tests + tracing/profiling overhead bench)
+#   5. chaos-marked pytest tier (process kills, SIGKILL resume)
+#   6. fault-injection harness smoke (tools/chaos_suite.py --quick)
 #
 # Usage: bash tools/run_checks.sh
 set -euo pipefail
@@ -25,6 +27,12 @@ module = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(module)
 print("corrupted-data[sha+]:", module.scenario_corrupted_data("sha+"))
 EOF
+
+echo
+echo "== kernels tier: pytest -m kernels + fold-loop microbench =="
+python -m pytest -q -m kernels
+python tools/bench_kernels.py --skip-e2e \
+    --out "$(mktemp -t BENCH_kernels_check.XXXXXX.json)"
 
 echo
 echo "== telemetry tier: pytest -m telemetry + overhead bench =="
