@@ -5,6 +5,9 @@ Subcommands::
     python -m repro datasets                 # list dataset analogues
     python -m repro tune --dataset NAME      # run HPO on one dataset
     python -m repro report --out report.md   # regenerate all experiments
+    python -m repro serve --root DIR         # run the HPO service daemon
+    python -m repro submit --url U ...       # submit a job to the daemon
+    python -m repro jobs --url U [...]       # list/inspect/cancel jobs
 
 ``tune`` runs any registered method (``sha+``, ``bohb``, ...) on a registry
 dataset, prints the chosen configuration with its train/test scores and can
@@ -35,6 +38,13 @@ run; ``--profile`` additionally records ``@profiled`` hot-path timings
 three also shows a live one-line progress ticker.  Telemetry is
 observational only — the chosen configuration and all scores are bitwise
 identical with and without it.
+
+Service verbs (:mod:`repro.serve`): ``serve`` runs the multi-tenant HPO
+daemon in the foreground (graceful drain on SIGTERM), ``submit`` posts
+one job spec to a running daemon (``--wait`` blocks for the terminal
+state and prints the incumbent), and ``jobs`` lists jobs, prints one
+record (``--job ID``), cancels cooperatively (``--cancel ID``) or dumps
+daemon stats (``--stats``).
 """
 
 from __future__ import annotations
@@ -115,6 +125,70 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--configs", type=int, default=36)
     report_parser.add_argument("--max-iter", type=int, default=12)
     report_parser.add_argument("--out", default=None)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the multi-tenant HPO service daemon"
+    )
+    serve_parser.add_argument("--root", required=True, metavar="DIR",
+                              help="serve root: job records, journals, results and "
+                                   "checkpoint spills live here (restart-safe)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="bind port (0 picks an ephemeral port, printed at start)")
+    serve_parser.add_argument("--workers", type=_positive_int, default=2,
+                              help="job-executor threads")
+    serve_parser.add_argument("--queue-limit", type=_positive_int, default=64,
+                              help="admission queue bound; submits beyond it get 429")
+    serve_parser.add_argument("--default-quota", type=_positive_int, default=2,
+                              help="max concurrently running jobs per tenant")
+    serve_parser.add_argument("--quota", action="append", default=[], metavar="TENANT=N",
+                              help="per-tenant quota override (repeatable)")
+    serve_parser.add_argument("--cache-entries", type=_positive_int, default=None,
+                              help="LRU bound per shared evaluation cache (default: unbounded)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="emit per-request access logs to stderr")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit one job to a running service daemon"
+    )
+    submit_parser.add_argument("--url", required=True,
+                               help="daemon address, e.g. http://127.0.0.1:8123")
+    submit_parser.add_argument("--tenant", required=True)
+    submit_parser.add_argument("--dataset", required=True, choices=list_datasets())
+    submit_parser.add_argument("--method", default="sha+", choices=sorted(METHODS))
+    submit_parser.add_argument("--hps", type=int, default=2)
+    submit_parser.add_argument("--scale", type=float, default=0.35)
+    submit_parser.add_argument("--seed", type=int, default=0)
+    submit_parser.add_argument("--max-iter", type=int, default=12)
+    submit_parser.add_argument("--priority", type=_positive_int, default=1,
+                               help="fair-share weight: a priority-2 tenant is dispatched "
+                                    "twice as often as a priority-1 tenant")
+    submit_parser.add_argument("--n-configurations", type=_positive_int, default=None)
+    submit_parser.add_argument("--guard", default="off",
+                               choices=["strict", "repair", "warn", "off"])
+    submit_parser.add_argument("--warm-start", action="store_true",
+                               help="share the context's durable checkpoint store")
+    submit_parser.add_argument("--refit", action="store_true",
+                               help="refit the incumbent on the full training split")
+    submit_parser.add_argument("--trace", action="store_true",
+                               help="stream a telemetry span trace into the job directory")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="block until the job reaches a terminal state")
+    submit_parser.add_argument("--timeout", type=float, default=600.0,
+                               help="--wait deadline in seconds")
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="inspect or cancel jobs on a running service daemon"
+    )
+    jobs_parser.add_argument("--url", required=True,
+                             help="daemon address, e.g. http://127.0.0.1:8123")
+    jobs_group = jobs_parser.add_mutually_exclusive_group()
+    jobs_group.add_argument("--job", default=None, metavar="ID",
+                            help="print one job's full record as JSON")
+    jobs_group.add_argument("--cancel", default=None, metavar="ID",
+                            help="cooperatively cancel one job")
+    jobs_group.add_argument("--stats", action="store_true",
+                            help="print daemon stats (queues, tenants, shared cache)")
     return parser
 
 
@@ -290,6 +364,119 @@ def _command_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_quotas(pairs: List[str]):
+    """Parse repeated ``--quota TENANT=N`` flags into a dict (or ``None``)."""
+    if not pairs:
+        return None
+    quotas = {}
+    for pair in pairs:
+        tenant, sep, value = pair.partition("=")
+        if not sep or not tenant:
+            raise SystemExit(f"--quota expects TENANT=N, got {pair!r}")
+        try:
+            quotas[tenant] = int(value)
+        except ValueError:
+            raise SystemExit(f"--quota {pair!r}: quota must be an integer")
+        if quotas[tenant] < 1:
+            raise SystemExit(f"--quota {pair!r}: quota must be >= 1")
+    return quotas
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the service daemon in the foreground until SIGTERM/SIGINT."""
+    from .serve import ServeDaemon
+
+    daemon = ServeDaemon(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        max_queued=args.queue_limit,
+        default_quota=args.default_quota,
+        quotas=_parse_quotas(args.quota),
+        cache_entries=args.cache_entries,
+        verbose=args.verbose,
+    )
+    print(f"serving on {daemon.address} (root {args.root}, "
+          f"{args.workers} workers, queue limit {args.queue_limit})", flush=True)
+    daemon.run_forever()
+    print("daemon drained and stopped")
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    """Submit one job; optionally block for its terminal state."""
+    import json as _json
+
+    from .serve import ServeClient, ServeError
+
+    spec = {
+        "tenant": args.tenant,
+        "dataset": args.dataset,
+        "method": args.method,
+        "hps": args.hps,
+        "scale": args.scale,
+        "seed": args.seed,
+        "max_iter": args.max_iter,
+        "priority": args.priority,
+        "n_configurations": args.n_configurations,
+        "guard": args.guard,
+        "warm_start": args.warm_start,
+        "refit": args.refit,
+        "trace": args.trace,
+    }
+    with ServeClient(args.url) as client:
+        try:
+            accepted = client.submit(spec)
+        except ServeError as exc:
+            hint = " (queue full — retry later)" if exc.status == 429 else ""
+            hint = " (daemon draining)" if exc.status == 503 else hint
+            print(f"submit rejected: {exc}{hint}", file=sys.stderr)
+            return 1
+        job_id = accepted["job_id"]
+        print(f"job {job_id} {accepted['state']} (tenant {args.tenant})")
+        if not args.wait:
+            return 0
+        record = client.wait(job_id, timeout=args.timeout)
+    print(f"job {job_id} {record['state']}" +
+          (f": {record['error']}" if record.get("error") else ""))
+    if record.get("incumbent"):
+        print(_json.dumps(record["incumbent"], indent=2))
+    return 0 if record["state"] == "done" else 1
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    """List, inspect, cancel jobs or print daemon stats."""
+    import json as _json
+
+    from .serve import ServeClient, ServeError
+
+    with ServeClient(args.url) as client:
+        try:
+            if args.stats:
+                print(_json.dumps(client.stats(), indent=2))
+            elif args.job:
+                print(_json.dumps(client.job(args.job), indent=2))
+            elif args.cancel:
+                outcome = client.cancel(args.cancel)
+                print(f"job {args.cancel}: {outcome.get('detail', outcome.get('state'))}")
+            else:
+                summaries = client.jobs()
+                if not summaries:
+                    print("no jobs")
+                for summary in summaries:
+                    score = summary.get("best_score")
+                    shown = f"{score:.4f}" if isinstance(score, float) else "-"
+                    print(f"{summary['job_id']}  {summary['state']:<9} "
+                          f"{summary['tenant']:<12} {summary['dataset']:<12} "
+                          f"{summary['method']:<6} trials {summary['trials_done']:>4}  "
+                          f"best {shown}")
+        except ServeError as exc:
+            print(f"request failed: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from .experiments.run_all import main as run_all_main
 
@@ -308,6 +495,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _command_datasets,
         "tune": _command_tune,
         "report": _command_report,
+        "serve": _command_serve,
+        "submit": _command_submit,
+        "jobs": _command_jobs,
     }
     return handlers[args.command](args)
 

@@ -12,10 +12,19 @@ behaviour-preserving, not an approximation.
 :class:`EvaluationCache` is a small LRU keyed by
 ``(config_key, budget_fraction, seed)`` with hit/miss counters that the
 CLI and the benchmark report as a hit rate.
+
+The cache is **thread-safe**: every operation (lookup, store, clear,
+length) holds an internal :class:`threading.RLock`, and LRU eviction
+happens atomically inside :meth:`EvaluationCache.put`.  This is what lets
+the multi-tenant service daemon (:mod:`repro.serve`) hand one
+process-lifetime cache to many concurrently-running
+:class:`~repro.engine.core.TrialEngine` instances so overlapping jobs
+share each other's warm results.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Optional, Tuple
 
@@ -46,12 +55,14 @@ class EvaluationCache:
             raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Tuple, EvaluationResult]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         """Number of stored results."""
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def make_key(
@@ -82,13 +93,14 @@ class EvaluationCache:
     ) -> Optional[EvaluationResult]:
         """Return the memoized result or ``None``, updating hit/miss counts."""
         key = self.make_key(config_key, budget_fraction, seed, warm_source)
-        result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return result
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
 
     def put(
         self,
@@ -100,19 +112,22 @@ class EvaluationCache:
     ) -> None:
         """Store ``result``, evicting the LRU entry when over capacity."""
         key = self.make_key(config_key, budget_fraction, seed, warm_source)
-        self._entries[key] = result
-        self._entries.move_to_end(key)
-        if self.max_entries is not None and len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            if self.max_entries is not None and len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from memory (0.0 when never queried)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -30,7 +30,10 @@ serial == parallel bitwise invariant intact among warm-start runs.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import tempfile
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -137,6 +140,18 @@ class CheckpointStore:
         so a fresh store over an old directory resumes with every
         previously persisted checkpoint available — the property journal
         resume relies on.
+
+    Notes
+    -----
+    The store is thread-safe (all operations hold an internal
+    :class:`threading.RLock`), and spill files are written atomically —
+    pickled to a temporary file in the same directory, then
+    :func:`os.replace`'d into place — so two engines concurrently storing
+    the same ``(digest, budget)`` key can never leave a torn checkpoint on
+    disk: readers see either the old complete file or the new complete
+    file, and the last writer wins.  Both properties are load-bearing for
+    the multi-tenant service daemon (:mod:`repro.serve`), which shares one
+    store across concurrently-running jobs.
     """
 
     def __init__(
@@ -148,6 +163,7 @@ class CheckpointStore:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple, List[Optional[FoldCheckpoint]]]" = OrderedDict()
         #: ``config digest -> {budget: spill path}`` for everything on disk.
         self._spill_index: Dict[str, Dict[float, Path]] = {}
@@ -165,7 +181,8 @@ class CheckpointStore:
         return self.spill_dir is not None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     # -- internals ------------------------------------------------------------
 
@@ -191,6 +208,27 @@ class CheckpointStore:
     def _spill_path(self, digest: str, budget: float) -> Path:
         return self.spill_dir / f"{digest}_{budget:.12f}{_SPILL_SUFFIX}"
 
+    def _spill_write(self, path: Path, fold_states: List[Optional[FoldCheckpoint]]) -> None:
+        """Atomically persist one entry: pickle to a temp file, then rename.
+
+        ``os.replace`` is atomic on POSIX within one filesystem, so a
+        concurrent writer of the same key — or a crash mid-write — can
+        never expose a torn pickle at the final path.
+        """
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.spill_dir), prefix=path.stem + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(fold_states, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, str(path))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
     # -- protocol --------------------------------------------------------------
 
     def put(
@@ -205,24 +243,24 @@ class CheckpointStore:
         budget = _normalise_budget(budget_fraction)
         digest = _config_digest(config_key)
         key = (digest, budget)
-        self._entries[key] = fold_states
-        self._entries.move_to_end(key)
-        self._register_budget(digest, budget)
-        self.stores += 1
-        if self.spill_dir is not None:
-            path = self._spill_path(digest, budget)
-            with path.open("wb") as handle:
-                pickle.dump(fold_states, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            self._spill_index.setdefault(digest, {})[budget] = path
-        if len(self._entries) > self.max_entries:
-            evicted_key, _ = self._entries.popitem(last=False)
-            if self.spill_dir is None:
-                # Without a spill the budget is genuinely gone; keep the
-                # budget index honest so best_source never dangles.
-                evicted_digest, evicted_budget = evicted_key
-                budgets = self._budgets.get(evicted_digest, [])
-                if evicted_budget in budgets:
-                    budgets.remove(evicted_budget)
+        with self._lock:
+            self._entries[key] = fold_states
+            self._entries.move_to_end(key)
+            self._register_budget(digest, budget)
+            self.stores += 1
+            if self.spill_dir is not None:
+                path = self._spill_path(digest, budget)
+                self._spill_write(path, fold_states)
+                self._spill_index.setdefault(digest, {})[budget] = path
+            if len(self._entries) > self.max_entries:
+                evicted_key, _ = self._entries.popitem(last=False)
+                if self.spill_dir is None:
+                    # Without a spill the budget is genuinely gone; keep the
+                    # budget index honest so best_source never dangles.
+                    evicted_digest, evicted_budget = evicted_key
+                    budgets = self._budgets.get(evicted_digest, [])
+                    if evicted_budget in budgets:
+                        budgets.remove(evicted_budget)
 
     def get(
         self, config_key: Tuple, budget_fraction: float
@@ -231,24 +269,25 @@ class CheckpointStore:
         budget = _normalise_budget(budget_fraction)
         digest = _config_digest(config_key)
         key = (digest, budget)
-        states = self._entries.get(key)
-        if states is not None:
+        with self._lock:
+            states = self._entries.get(key)
+            if states is not None:
+                self._entries.move_to_end(key)
+                return states
+            path = self._spill_index.get(digest, {}).get(budget)
+            if path is None:
+                return None
+            try:
+                with path.open("rb") as handle:
+                    states = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError):
+                return None
+            self.spill_loads += 1
+            self._entries[key] = states
             self._entries.move_to_end(key)
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
             return states
-        path = self._spill_index.get(digest, {}).get(budget)
-        if path is None:
-            return None
-        try:
-            with path.open("rb") as handle:
-                states = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError):
-            return None
-        self.spill_loads += 1
-        self._entries[key] = states
-        self._entries.move_to_end(key)
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return states
 
     def best_source(
         self, config_key: Tuple, budget_fraction: float
@@ -260,19 +299,21 @@ class CheckpointStore:
         """
         budget = _normalise_budget(budget_fraction)
         digest = _config_digest(config_key)
-        for candidate in reversed(self._budgets.get(digest, [])):
-            if candidate < budget:
-                states = self.get(config_key, candidate)
-                if states is not None:
-                    return candidate, states
-        return None
+        with self._lock:
+            for candidate in reversed(list(self._budgets.get(digest, []))):
+                if candidate < budget:
+                    states = self.get(config_key, candidate)
+                    if states is not None:
+                        return candidate, states
+            return None
 
     def clear(self) -> None:
         """Drop the in-memory entries (spill files are left untouched)."""
-        self._entries.clear()
-        if self.spill_dir is None:
-            self._budgets.clear()
-        else:
-            self._budgets = {
-                digest: sorted(index) for digest, index in self._spill_index.items()
-            }
+        with self._lock:
+            self._entries.clear()
+            if self.spill_dir is None:
+                self._budgets.clear()
+            else:
+                self._budgets = {
+                    digest: sorted(index) for digest, index in self._spill_index.items()
+                }

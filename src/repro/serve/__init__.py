@@ -1,0 +1,77 @@
+"""repro.serve — multi-tenant HPO service over one shared warm engine.
+
+A zero-dependency (stdlib ``http.server`` + ``threading``) daemon that
+accepts many concurrent optimize jobs over a small JSON protocol and runs
+them against **process-lifetime shared engine state**: jobs with the same
+evaluation context (dataset, seed, evaluator flavour, guard, budgets)
+share one thread-safe :class:`~repro.engine.cache.EvaluationCache` and —
+for warm-start jobs — one durable
+:class:`~repro.engine.checkpoint.CheckpointStore`, so identical
+``(config, budget)`` evaluations are never recomputed for any tenant.
+
+The moving parts:
+
+- :mod:`.protocol` — job specs, job records, evaluation contexts;
+- :mod:`.scheduler` — weighted round-robin fair share, per-tenant
+  quotas, bounded admission with 429 backpressure;
+- :mod:`.registry` — durable job records under the serve root, shared
+  caches/checkpoints, per-tenant counters and telemetry;
+- :mod:`.jobs` — spec -> ``optimize()`` translation, journaled
+  execution, cooperative cancel, the local reference runner;
+- :mod:`.server` — the HTTP daemon: recovery on start, graceful drain
+  on SIGTERM;
+- :mod:`.client` — stdlib HTTP client used by the ``repro serve`` /
+  ``repro submit`` / ``repro jobs`` CLI verbs.
+
+Quickstart::
+
+    from repro.serve import ServeDaemon, ServeClient
+
+    with ServeDaemon(root="serve-root", port=0) as daemon:
+        client = ServeClient(daemon.address)
+        job = client.submit(tenant="alice", dataset="australian",
+                            method="sha+", seed=0)
+        final = client.wait(job["job_id"])
+        print(final["incumbent"]["best_score"])
+
+See ``docs/SERVICE.md`` for the protocol reference, the multi-tenancy
+model and deployment/drain semantics.
+"""
+
+from .client import ServeClient, ServeError
+from .jobs import JobCancelled, execute_job, incumbent_fingerprint, optimize_inputs, run_job_local
+from .protocol import (
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    ProtocolError,
+    eval_context,
+)
+from .registry import JobRegistry, SharedEngineState, TenantStats
+from .scheduler import FairShareScheduler, QueueFull
+from .server import ServeDaemon
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "JobRecord",
+    "ProtocolError",
+    "eval_context",
+    "FairShareScheduler",
+    "QueueFull",
+    "JobRegistry",
+    "SharedEngineState",
+    "TenantStats",
+    "JobCancelled",
+    "optimize_inputs",
+    "run_job_local",
+    "execute_job",
+    "incumbent_fingerprint",
+    "ServeDaemon",
+    "ServeClient",
+    "ServeError",
+]

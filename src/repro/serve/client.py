@@ -1,0 +1,186 @@
+"""Stdlib HTTP client for the HPO service daemon.
+
+:class:`ServeClient` wraps :mod:`http.client` (no third-party
+dependencies, matching the daemon's zero-dependency constraint) around
+the service's JSON protocol.  One client object holds one persistent
+connection; it is not thread-safe — give each thread its own client.
+
+>>> client = ServeClient("http://127.0.0.1:8123")          # doctest: +SKIP
+>>> job = client.submit(tenant="alice", dataset="australian")  # doctest: +SKIP
+>>> final = client.wait(job["job_id"], timeout=120)        # doctest: +SKIP
+>>> final["incumbent"]["best_score"]                       # doctest: +SKIP
+
+Errors surface as :class:`ServeError` carrying the HTTP status, so
+callers can distinguish backpressure (429) from validation failures
+(400) and drain rejections (503).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional, Union
+from urllib.parse import urlparse
+
+from .protocol import JobSpec, TERMINAL_STATES
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the daemon.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code (0 for transport-level failures).
+    payload:
+        Decoded JSON error payload (``{"error": ...}``) when available.
+    """
+
+    def __init__(self, status: int, payload: Optional[Dict[str, Any]] = None) -> None:
+        self.status = status
+        self.payload = payload or {}
+        detail = self.payload.get("error") or self.payload or "request failed"
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServeClient:
+    """Typed access to one daemon's endpoints over a persistent connection.
+
+    Parameters
+    ----------
+    url:
+        Base URL (``"http://host:port"``) — what ``repro serve`` prints —
+        or just ``"host:port"``.
+    timeout:
+        Socket timeout per request, in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        if "//" not in url:
+            url = "http://" + url
+        parsed = urlparse(url)
+        if parsed.scheme != "http" or parsed.hostname is None or parsed.port is None:
+            raise ValueError(f"expected an http://host:port URL, got {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """One round trip; retries once on a stale kept-alive connection."""
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload is not None else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
+                self.close()
+                if attempt:
+                    raise ServeError(0, {"error": f"{type(exc).__name__}: {exc}"}) from exc
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            data = {}
+        if response.status >= 400:
+            raise ServeError(response.status, data if isinstance(data, dict) else {})
+        return data if isinstance(data, dict) else {}
+
+    # -- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz`` — liveness and serving/draining state."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """``GET /stats`` — queues, tenants, shared cache, throughput."""
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: Union[JobSpec, Dict[str, Any], None] = None, **fields: Any) -> Dict[str, Any]:
+        """``POST /jobs`` — submit one job; returns the accepted record.
+
+        Accepts a :class:`~repro.serve.protocol.JobSpec`, a plain dict,
+        or keyword fields (``submit(tenant="a", dataset="australian")``).
+        Raises :class:`ServeError` with ``status == 429`` on backpressure
+        and ``status == 503`` while the daemon drains.
+        """
+        if spec is None:
+            payload: Dict[str, Any] = dict(fields)
+        elif isinstance(spec, JobSpec):
+            payload = spec.to_dict()
+        else:
+            payload = {**spec, **fields}
+        return self._request("POST", "/jobs", body=payload)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """``GET /jobs`` — newest-first summaries of every known job."""
+        return self._request("GET", "/jobs").get("jobs", [])
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` — the full record of one job."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /jobs/<id>`` — cooperative cancel."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    # -- conveniences ----------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 300.0, poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; return its record.
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in TERMINAL_STATES:
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.get('state')!r} after {timeout:.1f}s"
+                )
+            time.sleep(poll)
+
+    def wait_all(self, job_ids: List[str], timeout: float = 600.0, poll: float = 0.05) -> Dict[str, Dict[str, Any]]:
+        """Wait for many jobs; returns ``{job_id: final record}``."""
+        deadline = time.monotonic() + timeout
+        done: Dict[str, Dict[str, Any]] = {}
+        remaining = list(job_ids)
+        while remaining:
+            for job_id in list(remaining):
+                record = self.job(job_id)
+                if record.get("state") in TERMINAL_STATES:
+                    done[job_id] = record
+                    remaining.remove(job_id)
+            if remaining:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(f"{len(remaining)} job(s) unfinished after {timeout:.1f}s")
+                time.sleep(poll)
+        return done

@@ -1,0 +1,334 @@
+"""Wire protocol of the HPO service: job specs, job records, job states.
+
+Everything the daemon and its clients exchange is plain JSON built from
+two value types:
+
+- :class:`JobSpec` — what a tenant asks for: dataset reference, searcher,
+  seed, priority and the knobs mirroring :func:`repro.optimize`.  A spec
+  fully determines the optimization it names (the dataset registry is
+  deterministic, per-trial seeds derive from the spec's seed), which is
+  what makes journal replay, result de-duplication and the
+  daemon-vs-direct bitwise-equality guarantee possible.
+- :class:`JobRecord` — one accepted job's lifecycle: state machine
+  ``queued -> running -> done | failed | cancelled``, timestamps,
+  progress counters, the incumbent summary once finished, and the
+  engine-stats snapshot.
+
+:func:`eval_context` digests the subset of a spec that determines *how a
+single (config, budget, seed) evaluation computes its result* — dataset
+identity, evaluator flavour, guard policy, model budget.  Jobs with equal
+contexts are served from one shared :class:`~repro.engine.cache.EvaluationCache`
+(and, when warm-starting, one shared
+:class:`~repro.engine.checkpoint.CheckpointStore`), so overlapping work
+is never recomputed across tenants; jobs with different contexts can
+never alias each other's results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ProtocolError",
+    "JobSpec",
+    "JobRecord",
+    "eval_context",
+]
+
+#: Version tag carried in job records and the /healthz payload; bump when
+#: the JSON schema changes incompatibly.
+PROTOCOL_VERSION = 1
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Guard policies a spec may name (mirrors :data:`repro.guard.GUARD_POLICIES`).
+_GUARD_CHOICES = ("strict", "repair", "warn", "off")
+
+
+class ProtocolError(ValueError):
+    """A request payload is malformed or names unknown entities (HTTP 400)."""
+
+
+@dataclass
+class JobSpec:
+    """One tenant's optimization request, fully deterministic by value.
+
+    Attributes
+    ----------
+    tenant:
+        Tenant identity; drives fair-share scheduling, quotas and the
+        per-tenant counters in ``/stats``.
+    dataset:
+        Name in :func:`repro.datasets.list_datasets`.
+    method:
+        Searcher name from :data:`repro.core.METHODS` (``"sha+"``, ...).
+    hps:
+        Number of Table III hyperparameters (1-8) for the search space.
+    scale:
+        Dataset scale factor (down-sampled synthetic analogue).
+    seed:
+        Root seed: dataset generation, evaluator randomness and every
+        derived per-trial seed flow from it.
+    max_iter:
+        MLP training iteration budget per fit.
+    priority:
+        Scheduling weight (>= 1); a tenant dispatching priority-``p`` jobs
+        advances its fair-share clock by ``1/p`` per job, so higher
+        priority means proportionally more dispatches under contention.
+    n_configurations:
+        Candidate-pool size for infinite spaces / model-based searchers;
+        ``None`` uses the searcher default (finite spaces enumerate their
+        grid, mirroring the ``repro tune`` CLI).
+    guard:
+        Data-integrity guard policy for the evaluator.
+    warm_start:
+        Opt in to cross-rung warm starting against the daemon's shared,
+        durable checkpoint store.  Warm runs score differently from cold
+        runs by design, so this also changes the job's evaluation context.
+    refit:
+        Refit the winning configuration on the full training set and
+        report its train score (costs one extra full fit).
+    trace:
+        Record a per-job telemetry span trace under the job directory.
+    """
+
+    tenant: str
+    dataset: str
+    method: str = "sha+"
+    hps: int = 2
+    scale: float = 0.35
+    seed: int = 0
+    max_iter: int = 12
+    priority: int = 1
+    n_configurations: Optional[int] = None
+    guard: str = "off"
+    warm_start: bool = False
+    refit: bool = False
+    trace: bool = False
+
+    def validate(self) -> "JobSpec":
+        """Check every field, raising :class:`ProtocolError` on the first bad one."""
+        from ..core import METHODS  # local import keeps module import light
+        from ..datasets import list_datasets
+
+        if not isinstance(self.tenant, str) or not self.tenant.strip():
+            raise ProtocolError("tenant must be a non-empty string")
+        if any(ch in self.tenant for ch in "/\\\n\r\t"):
+            raise ProtocolError(f"tenant {self.tenant!r} contains path or control characters")
+        if self.dataset not in list_datasets():
+            raise ProtocolError(f"unknown dataset {self.dataset!r}")
+        if str(self.method).lower() not in METHODS:
+            raise ProtocolError(f"unknown method {self.method!r}")
+        if not isinstance(self.hps, int) or not 1 <= self.hps <= 8:
+            raise ProtocolError(f"hps must be an int in [1, 8], got {self.hps!r}")
+        if not isinstance(self.scale, (int, float)) or not 0.0 < float(self.scale) <= 1.0:
+            raise ProtocolError(f"scale must be in (0, 1], got {self.scale!r}")
+        if not isinstance(self.seed, int):
+            raise ProtocolError(f"seed must be an int, got {self.seed!r}")
+        if not isinstance(self.max_iter, int) or self.max_iter < 1:
+            raise ProtocolError(f"max_iter must be an int >= 1, got {self.max_iter!r}")
+        if not isinstance(self.priority, int) or self.priority < 1:
+            raise ProtocolError(f"priority must be an int >= 1, got {self.priority!r}")
+        if self.n_configurations is not None and (
+            not isinstance(self.n_configurations, int) or self.n_configurations < 1
+        ):
+            raise ProtocolError(
+                f"n_configurations must be a positive int or null, got {self.n_configurations!r}"
+            )
+        if self.guard not in _GUARD_CHOICES:
+            raise ProtocolError(f"guard must be one of {_GUARD_CHOICES}, got {self.guard!r}")
+        for flag in ("warm_start", "refit", "trace"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ProtocolError(f"{flag} must be a boolean, got {getattr(self, flag)!r}")
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe copy of the spec."""
+        return {
+            "tenant": self.tenant,
+            "dataset": self.dataset,
+            "method": self.method,
+            "hps": self.hps,
+            "scale": self.scale,
+            "seed": self.seed,
+            "max_iter": self.max_iter,
+            "priority": self.priority,
+            "n_configurations": self.n_configurations,
+            "guard": self.guard,
+            "warm_start": self.warm_start,
+            "refit": self.refit,
+            "trace": self.trace,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
+        """Build and validate a spec from a JSON payload.
+
+        Unknown keys are rejected (a typoed field silently using its
+        default would be a debugging trap), as are missing required ones.
+        """
+        if not isinstance(data, dict):
+            raise ProtocolError(f"job spec must be a JSON object, got {type(data).__name__}")
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - explicit set build
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ProtocolError(f"unknown job-spec field(s): {', '.join(unknown)}")
+        missing = [name for name in ("tenant", "dataset") if name not in data]
+        if missing:
+            raise ProtocolError(f"missing required field(s): {', '.join(missing)}")
+        kwargs = dict(data)
+        if "scale" in kwargs and isinstance(kwargs["scale"], int):
+            kwargs["scale"] = float(kwargs["scale"])
+        spec = cls(**kwargs)
+        return spec.validate()
+
+
+def eval_context(spec: JobSpec) -> str:
+    """Digest of everything that shapes one evaluation's result.
+
+    Two jobs share cached evaluations iff their contexts are equal: the
+    dataset identity (name, scale, seed), the evaluator flavour (the
+    enhanced/vanilla split of the method, the metric and task follow from
+    the dataset), the model budget (``max_iter``), the guard policy and
+    the warm-start mode.  The searcher itself is deliberately *not* part
+    of the context — SHA and HB evaluating the same (config, budget, seed)
+    compute the same result, so their jobs can share work.
+    """
+    from ..core import METHODS
+
+    _, enhanced = METHODS[spec.method.lower()]
+    payload = repr((
+        spec.dataset,
+        round(float(spec.scale), 12),
+        int(spec.seed),
+        bool(enhanced),
+        int(spec.max_iter),
+        spec.guard,
+        bool(spec.warm_start),
+    )).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle and outcome of one accepted job.
+
+    Attributes
+    ----------
+    job_id:
+        Server-assigned identity (also the job's directory name under the
+        serve root).
+    spec:
+        The validated :class:`JobSpec`.
+    state:
+        One of :data:`JOB_STATES`.
+    created_at, started_at, finished_at:
+        Wall-clock POSIX timestamps of the transitions (``None`` until
+        they happen).
+    trials_done:
+        Live trial counter while running (updated from telemetry).
+    error:
+        ``"ExcType: message"`` for ``failed`` jobs; a human-readable
+        reason for ``cancelled`` ones.
+    incumbent:
+        Summary of the finished search: JSON-safe best configuration,
+        best score, trial count, search wall time, the incumbent
+        fingerprint (see :func:`repro.serve.jobs.incumbent_fingerprint`)
+        and, when ``spec.refit``, the full-train-set score.
+    engine_stats:
+        :meth:`~repro.engine.core.EngineStats.as_dict` snapshot at
+        completion — per-job cache hits, executions, resumes.
+    resumed:
+        Times this job was recovered from its journal after a daemon
+        restart.
+    """
+
+    job_id: str
+    spec: JobSpec
+    state: str = "queued"
+    created_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    trials_done: int = 0
+    error: Optional[str] = None
+    incumbent: Optional[Dict[str, Any]] = None
+    engine_stats: Dict[str, Any] = field(default_factory=dict)
+    resumed: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job has reached a final state."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Run duration in seconds (``None`` until the job finishes)."""
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe copy of the record (the wire and on-disk format)."""
+        return {
+            "version": PROTOCOL_VERSION,
+            "job_id": self.job_id,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "trials_done": self.trials_done,
+            "error": self.error,
+            "incumbent": self.incumbent,
+            "engine_stats": dict(self.engine_stats),
+            "resumed": self.resumed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRecord":
+        """Inverse of :meth:`to_dict`; raises :class:`ProtocolError` when malformed."""
+        try:
+            spec = JobSpec.from_dict(data["spec"])
+            record = cls(
+                job_id=str(data["job_id"]),
+                spec=spec,
+                state=str(data.get("state", "queued")),
+                created_at=data.get("created_at"),
+                started_at=data.get("started_at"),
+                finished_at=data.get("finished_at"),
+                trials_done=int(data.get("trials_done", 0)),
+                error=data.get("error"),
+                incumbent=data.get("incumbent"),
+                engine_stats=dict(data.get("engine_stats") or {}),
+                resumed=int(data.get("resumed", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            if isinstance(exc, ProtocolError):
+                raise
+            raise ProtocolError(f"malformed job record: {exc}") from exc
+        if record.state not in JOB_STATES:
+            raise ProtocolError(f"unknown job state {record.state!r}")
+        return record
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact listing entry for ``GET /jobs``."""
+        best = (self.incumbent or {}).get("best_score")
+        return {
+            "job_id": self.job_id,
+            "tenant": self.spec.tenant,
+            "dataset": self.spec.dataset,
+            "method": self.spec.method,
+            "state": self.state,
+            "trials_done": self.trials_done,
+            "best_score": best,
+            "duration": self.duration,
+        }

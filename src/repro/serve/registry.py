@@ -1,0 +1,339 @@
+"""Daemon-side state: the job registry and the shared warm engine state.
+
+Two long-lived structures back the service:
+
+- :class:`JobRegistry` — every accepted job's :class:`~repro.serve.protocol.JobRecord`,
+  held in memory and mirrored to ``<root>/jobs/<job_id>/job.json`` with
+  atomic write-temp-then-rename updates.  The on-disk copy is the crash
+  contract: a job is only acknowledged to the client after its record is
+  durable, and on restart :meth:`JobRegistry.load_all` rebuilds the
+  in-memory view so interrupted jobs can be re-queued and
+  journal-resumed.  The registry also accumulates per-tenant counters and
+  merges each finished job's telemetry metrics into a per-tenant
+  :class:`~repro.telemetry.MetricsRegistry` (exported via ``/stats``).
+- :class:`SharedEngineState` — the process-lifetime evaluation caches and
+  checkpoint stores, one pair per *evaluation context* (see
+  :func:`~repro.serve.protocol.eval_context`).  Jobs with the same
+  context share one thread-safe
+  :class:`~repro.engine.cache.EvaluationCache`, so tenant B submitting a
+  search overlapping tenant A's hits A's warm results instantly; jobs
+  with different contexts (different dataset, seed, guard, ...) get
+  different caches and can never alias.  Checkpoint stores spill under
+  ``<root>/checkpoints/<context>/`` and are therefore durable across
+  daemon restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..engine.cache import EvaluationCache
+from ..engine.checkpoint import CheckpointStore
+from ..telemetry import MetricsRegistry
+from .protocol import JobRecord, JobSpec, ProtocolError
+
+__all__ = ["JobRegistry", "SharedEngineState", "TenantStats"]
+
+
+class TenantStats:
+    """Mutable per-tenant counters surfaced by ``/stats``.
+
+    Attributes
+    ----------
+    submitted, completed, failed, cancelled:
+        Job-lifecycle counts since daemon start.
+    trials, cache_hits, cache_misses:
+        Sums over finished jobs' engine stats — ``cache_hits`` counts
+        every evaluation this tenant got for free (from its own or
+        another tenant's earlier work).
+    job_seconds:
+        Total run duration of finished jobs.
+    metrics:
+        Deterministically-merged telemetry registry of the tenant's
+        finished jobs.
+    """
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.trials = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.job_seconds = 0.0
+        self.metrics = MetricsRegistry()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (metrics reduced to counter totals)."""
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "trials": self.trials,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            "job_seconds": round(self.job_seconds, 6),
+            "metrics": self.metrics.counters(),
+        }
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Write JSON via temp-file-then-rename so readers never see a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class SharedEngineState:
+    """Process-lifetime caches and checkpoint stores, keyed by eval context.
+
+    Parameters
+    ----------
+    root:
+        Serve root directory; checkpoint spills live under
+        ``root/checkpoints/<context>/``.
+    cache_entries:
+        Optional LRU bound per context cache (``None`` = unbounded).
+    checkpoint_entries:
+        In-memory LRU bound per context checkpoint store.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        cache_entries: Optional[int] = None,
+        checkpoint_entries: int = 256,
+    ) -> None:
+        self.root = Path(root)
+        self.cache_entries = cache_entries
+        self.checkpoint_entries = checkpoint_entries
+        self._lock = threading.Lock()
+        self._caches: Dict[str, EvaluationCache] = {}
+        self._checkpoints: Dict[str, CheckpointStore] = {}
+
+    def cache_for(self, context: str) -> EvaluationCache:
+        """The shared (thread-safe) evaluation cache of one context."""
+        with self._lock:
+            cache = self._caches.get(context)
+            if cache is None:
+                cache = EvaluationCache(max_entries=self.cache_entries)
+                self._caches[context] = cache
+            return cache
+
+    def checkpoints_for(self, context: str) -> CheckpointStore:
+        """The shared durable checkpoint store of one context."""
+        with self._lock:
+            store = self._checkpoints.get(context)
+            if store is None:
+                store = CheckpointStore(
+                    max_entries=self.checkpoint_entries,
+                    spill_dir=self.root / "checkpoints" / context,
+                )
+                self._checkpoints[context] = store
+            return store
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate sizes and hit counters across every context."""
+        with self._lock:
+            caches = dict(self._caches)
+            checkpoints = dict(self._checkpoints)
+        hits = sum(c.hits for c in caches.values())
+        misses = sum(c.misses for c in caches.values())
+        lookups = hits + misses
+        return {
+            "contexts": len(caches),
+            "entries": sum(len(c) for c in caches.values()),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "checkpoint_contexts": len(checkpoints),
+            "checkpoints_stored": sum(s.stores for s in checkpoints.values()),
+        }
+
+
+class JobRegistry:
+    """All jobs the daemon knows about, durable under ``<root>/jobs/``.
+
+    Parameters
+    ----------
+    root:
+        Serve root directory.  Created (with parents) if missing.
+    clock:
+        Injectable wall clock for record timestamps.
+    """
+
+    def __init__(self, root: Union[str, Path], clock=time.time) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._records: Dict[str, JobRecord] = {}
+        self._tenants: Dict[str, TenantStats] = {}
+
+    # -- paths -----------------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        """Directory holding one job's record, journal, trace and result."""
+        return self.jobs_dir / job_id
+
+    def journal_path(self, job_id: str) -> Path:
+        """The job's write-ahead-log location."""
+        return self.job_dir(job_id) / "journal.wal"
+
+    def trace_path(self, job_id: str) -> Path:
+        """The job's telemetry trace location (when tracing is requested)."""
+        return self.job_dir(job_id) / "trace.jsonl"
+
+    def result_path(self, job_id: str) -> Path:
+        """The job's full search-record location (written when done)."""
+        return self.job_dir(job_id) / "result.json"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def create(self, spec: JobSpec) -> JobRecord:
+        """Admit one job: assign an id, persist the record, count the tenant."""
+        job_id = uuid.uuid4().hex[:12]
+        record = JobRecord(job_id=job_id, spec=spec, created_at=self.clock())
+        with self._lock:
+            self._records[job_id] = record
+            self.tenant(spec.tenant).submitted += 1
+        self.persist(record)
+        return record
+
+    def persist(self, record: JobRecord) -> None:
+        """Atomically write the record's current state to its job.json."""
+        with self._lock:
+            payload = record.to_dict()
+        _atomic_write_json(self.job_dir(record.job_id) / "job.json", payload)
+
+    def discard(self, record: JobRecord) -> None:
+        """Forget a job that failed admission (e.g. queue full after persist)."""
+        with self._lock:
+            self._records.pop(record.job_id, None)
+            stats = self._tenants.get(record.spec.tenant)
+            if stats is not None and stats.submitted > 0:
+                stats.submitted -= 1
+        job_dir = self.job_dir(record.job_id)
+        try:
+            for child in job_dir.iterdir():
+                child.unlink()
+            job_dir.rmdir()
+        except OSError:
+            pass
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        """The record for ``job_id``, or ``None``."""
+        with self._lock:
+            return self._records.get(job_id)
+
+    def all(self) -> List[JobRecord]:
+        """Every known record, newest first."""
+        with self._lock:
+            records = list(self._records.values())
+        return sorted(records, key=lambda r: (r.created_at or 0.0), reverse=True)
+
+    def tenant(self, name: str) -> TenantStats:
+        """The (auto-created) stats object of one tenant."""
+        with self._lock:
+            stats = self._tenants.get(name)
+            if stats is None:
+                stats = TenantStats()
+                self._tenants[name] = stats
+            return stats
+
+    def tenants(self) -> Dict[str, TenantStats]:
+        """Snapshot of the per-tenant stats map."""
+        with self._lock:
+            return dict(self._tenants)
+
+    # -- transitions -----------------------------------------------------------
+
+    def mark_running(self, record: JobRecord) -> None:
+        """queued -> running (persisted)."""
+        with self._lock:
+            record.state = "running"
+            record.started_at = self.clock()
+        self.persist(record)
+
+    def mark_finished(
+        self,
+        record: JobRecord,
+        state: str,
+        error: Optional[str] = None,
+        incumbent: Optional[Dict[str, Any]] = None,
+        engine_stats: Optional[Dict[str, Any]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        """running -> done/failed/cancelled, with tenant accounting (persisted)."""
+        with self._lock:
+            record.state = state
+            record.finished_at = self.clock()
+            record.error = error
+            if incumbent is not None:
+                record.incumbent = incumbent
+            if engine_stats is not None:
+                record.engine_stats = dict(engine_stats)
+            stats = self.tenant(record.spec.tenant)
+            if state == "done":
+                stats.completed += 1
+            elif state == "failed":
+                stats.failed += 1
+            elif state == "cancelled":
+                stats.cancelled += 1
+            if engine_stats:
+                stats.trials += int(engine_stats.get("submitted", 0))
+                stats.cache_hits += int(engine_stats.get("cache_hits", 0))
+                stats.cache_misses += int(engine_stats.get("cache_misses", 0))
+            if record.duration is not None:
+                stats.job_seconds += record.duration
+            if metrics is not None:
+                stats.metrics.merge(metrics)
+        self.persist(record)
+
+    # -- recovery --------------------------------------------------------------
+
+    def load_all(self) -> List[JobRecord]:
+        """Rebuild the in-memory view from disk; return recovered records.
+
+        Called once at daemon start.  Unreadable record files are skipped
+        (a torn job.json cannot occur — writes are atomic — but an empty
+        directory from a crashed admission can).  Jobs found in
+        ``queued``/``running`` state are the interrupted ones the server
+        re-queues for journal-resumed execution.
+        """
+        recovered: List[JobRecord] = []
+        for job_dir in sorted(self.jobs_dir.iterdir()):
+            record_path = job_dir / "job.json"
+            if not record_path.is_file():
+                continue
+            try:
+                record = JobRecord.from_dict(json.loads(record_path.read_text()))
+            except (json.JSONDecodeError, ProtocolError, OSError):
+                continue
+            with self._lock:
+                self._records[record.job_id] = record
+            recovered.append(record)
+        return recovered

@@ -1,0 +1,248 @@
+"""Fair-share job scheduling: weighted round-robin, quotas, backpressure.
+
+The daemon runs many tenants' jobs on a small worker pool; this module
+decides *whose* job runs next:
+
+- **Weighted round-robin.**  Each tenant carries a virtual clock.
+  Dispatching one of its jobs advances the clock by ``1 / priority`` of
+  that job, and the scheduler always picks the runnable tenant with the
+  smallest clock (ties break by tenant name, keeping dispatch order
+  deterministic for tests).  A tenant submitting priority-2 jobs
+  therefore receives twice the dispatch rate of a priority-1 tenant under
+  contention, and a tenant that was idle cannot hoard credit: on
+  (re)activation its clock is advanced to the minimum of the active
+  clocks.
+- **Per-tenant quotas.**  A tenant with ``quota`` jobs already running is
+  skipped until one finishes, so a single tenant can never occupy the
+  whole worker pool.
+- **Bounded admission.**  The queue accepts at most ``max_queued`` jobs
+  across all tenants; :meth:`FairShareScheduler.submit` raises
+  :class:`QueueFull` beyond that and the HTTP layer turns it into a
+  ``429 Too Many Requests`` backpressure response.
+
+The scheduler is a pure in-memory coordination structure — it never
+touches disk and knows nothing about HTTP or engines — which is what
+keeps its invariants unit-testable without a daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from .protocol import JobRecord
+
+__all__ = ["QueueFull", "FairShareScheduler"]
+
+
+class QueueFull(RuntimeError):
+    """The bounded admission queue is at capacity (maps to HTTP 429)."""
+
+
+class FairShareScheduler:
+    """Weighted round-robin dispatcher with quotas and a bounded queue.
+
+    Parameters
+    ----------
+    max_queued:
+        Admission bound across all tenants; further submissions raise
+        :class:`QueueFull`.
+    default_quota:
+        Maximum concurrently-running jobs per tenant.
+    quotas:
+        Optional per-tenant overrides of ``default_quota``.
+
+    Notes
+    -----
+    Thread-safe: worker threads block in :meth:`next_job` on an internal
+    condition variable; :meth:`submit`, :meth:`task_done`, :meth:`cancel`
+    and :meth:`close` may be called from any thread.
+    """
+
+    def __init__(
+        self,
+        max_queued: int = 64,
+        default_quota: int = 2,
+        quotas: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if max_queued < 1:
+            raise ValueError(f"max_queued must be >= 1, got {max_queued}")
+        if default_quota < 1:
+            raise ValueError(f"default_quota must be >= 1, got {default_quota}")
+        self.max_queued = max_queued
+        self.default_quota = default_quota
+        self.quotas = dict(quotas or {})
+        self._cond = threading.Condition()
+        self._queues: Dict[str, Deque[JobRecord]] = {}
+        self._vtime: Dict[str, float] = {}
+        self._running: Dict[str, int] = {}
+        self._queued = 0
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------------
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        """Queued jobs — for one tenant, or across all of them."""
+        with self._cond:
+            if tenant is not None:
+                return len(self._queues.get(tenant, ()))
+            return self._queued
+
+    def running(self, tenant: Optional[str] = None) -> int:
+        """Dispatched-but-unfinished jobs — per tenant or total."""
+        with self._cond:
+            if tenant is not None:
+                return self._running.get(tenant, 0)
+            return sum(self._running.values())
+
+    def quota(self, tenant: str) -> int:
+        """The concurrency quota applying to ``tenant``."""
+        return self.quotas.get(tenant, self.default_quota)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant queue depth, running count, quota and virtual clock."""
+        with self._cond:
+            tenants = set(self._queues) | set(self._running) | set(self._vtime)
+            return {
+                tenant: {
+                    "queued": len(self._queues.get(tenant, ())),
+                    "running": self._running.get(tenant, 0),
+                    "quota": self.quota(tenant),
+                    "vtime": round(self._vtime.get(tenant, 0.0), 6),
+                }
+                for tenant in sorted(tenants)
+            }
+
+    # -- admission -------------------------------------------------------------
+
+    def submit(self, record: JobRecord) -> None:
+        """Enqueue one job, or raise :class:`QueueFull` / ``RuntimeError``.
+
+        A tenant's first submission (or first after going fully idle)
+        fast-forwards its virtual clock to the current minimum, so a
+        newcomer competes fairly instead of winning every dispatch until
+        its clock catches up.
+        """
+        tenant = record.spec.tenant
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed; no further admissions")
+            if self._queued >= self.max_queued:
+                raise QueueFull(
+                    f"admission queue full ({self._queued}/{self.max_queued} jobs queued)"
+                )
+            queue = self._queues.setdefault(tenant, deque())
+            if not queue and not self._running.get(tenant, 0):
+                floor = min(
+                    (
+                        self._vtime[t]
+                        for t in self._vtime
+                        if self._queues.get(t) or self._running.get(t, 0)
+                    ),
+                    default=0.0,
+                )
+                self._vtime[tenant] = max(self._vtime.get(tenant, 0.0), floor)
+            queue.append(record)
+            self._queued += 1
+            self._cond.notify()
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _pick_tenant(self) -> Optional[str]:
+        """Runnable tenant with the smallest virtual clock (name-tiebreak)."""
+        best: Optional[str] = None
+        best_clock = float("inf")
+        for tenant in sorted(self._queues):
+            if not self._queues[tenant]:
+                continue
+            if self._running.get(tenant, 0) >= self.quota(tenant):
+                continue
+            clock = self._vtime.get(tenant, 0.0)
+            if clock < best_clock:
+                best, best_clock = tenant, clock
+        return best
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[JobRecord]:
+        """Block until a job is dispatchable; return it, or ``None``.
+
+        ``None`` means the scheduler was closed (worker should exit) or
+        the ``timeout`` elapsed without a dispatchable job.  The caller
+        owns the returned job and must eventually call :meth:`task_done`.
+        """
+        with self._cond:
+            while True:
+                tenant = self._pick_tenant()
+                if tenant is not None:
+                    record = self._queues[tenant].popleft()
+                    self._queued -= 1
+                    self._running[tenant] = self._running.get(tenant, 0) + 1
+                    self._vtime[tenant] = (
+                        self._vtime.get(tenant, 0.0) + 1.0 / max(1, record.spec.priority)
+                    )
+                    return record
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def task_done(self, record: JobRecord) -> None:
+        """Release the quota slot a dispatched job held; wake waiters."""
+        tenant = record.spec.tenant
+        with self._cond:
+            count = self._running.get(tenant, 0)
+            if count <= 1:
+                self._running.pop(tenant, None)
+            else:
+                self._running[tenant] = count - 1
+            self._cond.notify_all()
+
+    # -- cancellation & shutdown -----------------------------------------------
+
+    def cancel(self, job_id: str) -> Optional[JobRecord]:
+        """Remove a still-queued job, returning it (``None`` if not queued)."""
+        with self._cond:
+            for queue in self._queues.values():
+                for record in queue:
+                    if record.job_id == job_id:
+                        queue.remove(record)
+                        self._queued -= 1
+                        self._cond.notify_all()
+                        return record
+        return None
+
+    def drained(self) -> bool:
+        """Whether nothing is queued or running (safe to stop workers)."""
+        with self._cond:
+            return self._queued == 0 and not any(self._running.values())
+
+    def close(self) -> None:
+        """Stop dispatching: wake every blocked worker to return ``None``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    # -- waiting ---------------------------------------------------------------
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until queue and running set are empty; ``False`` on timeout."""
+        import time
+
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not (self._queued == 0 and not any(self._running.values())):
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=remaining if remaining is not None else 0.5)
+            return True
+
+    def pending_jobs(self) -> List[JobRecord]:
+        """Every queued (not yet dispatched) job, in tenant order."""
+        with self._cond:
+            return [record for tenant in sorted(self._queues) for record in self._queues[tenant]]

@@ -1,0 +1,412 @@
+"""The HPO service daemon: HTTP front end, worker pool, recovery, drain.
+
+:class:`ServeDaemon` composes the pieces this package and the engine
+already provide into a long-lived multi-tenant server:
+
+- a stdlib :class:`~http.server.ThreadingHTTPServer` speaking the small
+  JSON protocol (``POST /jobs``, ``GET /jobs``, ``GET /jobs/<id>``,
+  ``DELETE /jobs/<id>``, ``GET /healthz``, ``GET /stats``);
+- a pool of worker threads pulling jobs from the
+  :class:`~repro.serve.scheduler.FairShareScheduler` (weighted
+  round-robin, per-tenant quotas, 429 backpressure when the bounded
+  admission queue is full);
+- the :class:`~repro.serve.registry.SharedEngineState` — process-lifetime
+  evaluation caches and durable checkpoint stores shared by every job of
+  the same evaluation context, so overlapping searches from different
+  tenants never recompute each other's work;
+- crash recovery: at startup every ``queued``/``running`` job found under
+  the serve root is re-queued, and its journal replays the already-durable
+  trials so the resumed job finishes bitwise-identical to an
+  uninterrupted run;
+- graceful drain: :meth:`ServeDaemon.drain` (wired to SIGTERM/SIGINT by
+  :meth:`ServeDaemon.run_forever`) stops admitting (503), lets in-flight
+  and queued jobs finish within the grace period, and leaves anything
+  slower journaled on disk for the next start.
+
+The daemon binds ``127.0.0.1`` by default — it is a backend service; put
+a real proxy in front of it before exposing it further.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .jobs import execute_job
+from .protocol import PROTOCOL_VERSION, JobSpec, ProtocolError
+from .registry import JobRegistry, SharedEngineState
+from .scheduler import FairShareScheduler, QueueFull
+
+__all__ = ["ServeDaemon"]
+
+
+class _ServeHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying a reference back to its daemon."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, daemon_ref: "ServeDaemon") -> None:
+        super().__init__(address, handler)
+        self.daemon_ref = daemon_ref
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler translating HTTP routes to daemon operations."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    timeout = 60.0
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def daemon(self) -> "ServeDaemon":
+        """The owning daemon (via the server object)."""
+        return self.server.daemon_ref
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logs through the daemon's verbosity switch."""
+        if self.daemon.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any], headers: Optional[Dict[str, str]] = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> bytes:
+        """Consume the request body (always, even on error paths).
+
+        A kept-alive connection re-parses from the first unread byte, so
+        responding without draining the body would turn it into a bogus
+        next request line and poison the connection with a stray 400.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length > 0 else b""
+
+    @staticmethod
+    def _parse_json(raw: bytes) -> Dict[str, Any]:
+        if not raw:
+            raise ProtocolError("request body required")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        """``/healthz``, ``/stats``, ``/jobs`` and ``/jobs/<id>``."""
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.daemon.health())
+        elif path == "/stats":
+            self._send_json(200, self.daemon.stats())
+        elif path == "/jobs":
+            self._send_json(200, {"jobs": [r.summary() for r in self.daemon.registry.all()]})
+        elif path.startswith("/jobs/"):
+            record = self.daemon.registry.get(path[len("/jobs/"):])
+            if record is None:
+                self._send_json(404, {"error": "unknown job"})
+            else:
+                self._send_json(200, record.to_dict())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        """``POST /jobs`` — admit one job (202/400/429/503)."""
+        raw = self._read_body()
+        if self.path.rstrip("/") != "/jobs":
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        if self.daemon.draining:
+            self._send_json(503, {"error": "daemon is draining; not admitting jobs"})
+            return
+        try:
+            spec = JobSpec.from_dict(self._parse_json(raw))
+        except ProtocolError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        try:
+            record = self.daemon.admit(spec)
+        except QueueFull as exc:
+            self._send_json(429, {"error": str(exc)}, headers={"Retry-After": "1"})
+            return
+        self._send_json(202, record.to_dict())
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        """``DELETE /jobs/<id>`` — cooperative cancel (200/202/404)."""
+        path = self.path.rstrip("/")
+        if not path.startswith("/jobs/"):
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        job_id = path[len("/jobs/"):]
+        status, payload = self.daemon.cancel(job_id)
+        self._send_json(status, payload)
+
+
+class ServeDaemon:
+    """Multi-tenant HPO service over one shared warm engine state.
+
+    Parameters
+    ----------
+    root:
+        Serve root directory: job records, journals, results and
+        checkpoint spills all live under it, making the daemon's whole
+        state restart-safe.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` — the pattern tests and benches use).
+    n_workers:
+        Job-executor threads.  Each runs one job at a time on a serial
+        engine; trials release the GIL inside numpy, so a small pool
+        genuinely overlaps work.
+    max_queued, default_quota, quotas:
+        Scheduler admission bound and per-tenant concurrency quotas (see
+        :class:`~repro.serve.scheduler.FairShareScheduler`).
+    cache_entries:
+        LRU bound per evaluation-context cache (``None`` = unbounded).
+    verbose:
+        Emit per-request access logs to stderr.
+
+    Examples
+    --------
+    >>> daemon = ServeDaemon(root="serve-root", port=0)   # doctest: +SKIP
+    >>> daemon.start()                                    # doctest: +SKIP
+    >>> print(daemon.address)                             # doctest: +SKIP
+    >>> daemon.drain(); daemon.stop()                     # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_workers: int = 2,
+        max_queued: int = 64,
+        default_quota: int = 2,
+        quotas: Optional[Dict[str, int]] = None,
+        cache_entries: Optional[int] = None,
+        verbose: bool = False,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.root = Path(root)
+        self.registry = JobRegistry(self.root)
+        self.shared = SharedEngineState(self.root, cache_entries=cache_entries)
+        self.scheduler = FairShareScheduler(
+            max_queued=max_queued, default_quota=default_quota, quotas=quotas
+        )
+        self.n_workers = n_workers
+        self.verbose = verbose
+        self.draining = False
+        self.started_at: Optional[float] = None
+        self.recovered_jobs = 0
+        self._cancel_events: Dict[str, threading.Event] = {}
+        self._cancel_lock = threading.Lock()
+        self._threads: list = []
+        self._httpd = _ServeHTTPServer((host, port), _Handler, daemon_ref=self)
+        self.host, self.port = self._httpd.server_address[:2]
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` of the bound listener."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ServeDaemon":
+        """Recover interrupted jobs, start workers and the HTTP listener."""
+        self._recover()
+        self.started_at = time.monotonic()
+        for index in range(self.n_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        http_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serve-http", daemon=True
+        )
+        http_thread.start()
+        self._threads.append(http_thread)
+        return self
+
+    def _recover(self) -> None:
+        """Re-queue every non-terminal job found under the serve root.
+
+        A job that was ``running`` when the previous daemon died goes
+        back to ``queued`` and re-executes; its journal replays the
+        already-durable trials, so the re-run only computes the lost tail
+        and finishes bitwise-identical to an uninterrupted run.
+        """
+        for record in self.registry.load_all():
+            if record.terminal:
+                continue
+            if record.state != "queued":
+                record.state = "queued"
+                record.started_at = None
+                self.registry.persist(record)
+            self.scheduler.submit(record)
+            self.recovered_jobs += 1
+
+    def admit(self, spec: JobSpec) -> Any:
+        """Persist then enqueue one job; raises :class:`QueueFull` when saturated."""
+        record = self.registry.create(spec)
+        try:
+            self.scheduler.submit(record)
+        except (QueueFull, RuntimeError):
+            self.registry.discard(record)
+            raise
+        return record
+
+    def cancel(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        """Cancel one job; returns ``(http_status, payload)``.
+
+        Queued jobs cancel immediately; running jobs get their cancel
+        event set and stop cooperatively after the trial currently
+        settling (202).  Terminal jobs are left untouched (200).
+        """
+        record = self.registry.get(job_id)
+        if record is None:
+            return 404, {"error": "unknown job"}
+        if record.terminal:
+            return 200, record.to_dict()
+        dequeued = self.scheduler.cancel(job_id)
+        if dequeued is not None:
+            self.registry.mark_finished(record, "cancelled", error="cancelled while queued")
+            return 200, record.to_dict()
+        self._cancel_event(job_id).set()
+        return 202, {"job_id": job_id, "state": record.state, "cancelling": True}
+
+    def drain(self, timeout: Optional[float] = 60.0) -> bool:
+        """Stop admitting and wait for outstanding jobs; ``True`` when empty.
+
+        On timeout the remaining jobs are simply left where they are —
+        queued records and journals are durable, so the next daemon over
+        the same root resumes them.
+        """
+        self.draining = True
+        return self.scheduler.wait_drained(timeout=timeout)
+
+    def stop(self) -> None:
+        """Shut down workers and the HTTP listener (idempotent).
+
+        Workers finish the job they are on; anything still queued stays
+        durable on disk for the next start.
+        """
+        self.scheduler.close()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads = []
+
+    def run_forever(self) -> None:
+        """Start, then serve until SIGTERM/SIGINT triggers a graceful drain."""
+        stop_requested = threading.Event()
+
+        def _signal_handler(signum, frame) -> None:
+            stop_requested.set()
+
+        previous = {
+            sig: signal.signal(sig, _signal_handler)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        try:
+            self.start()
+            while not stop_requested.wait(timeout=0.2):
+                pass
+            self.drain()
+            self.stop()
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+
+    def __enter__(self) -> "ServeDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- workers ---------------------------------------------------------------
+
+    def _cancel_event(self, job_id: str) -> threading.Event:
+        with self._cancel_lock:
+            event = self._cancel_events.get(job_id)
+            if event is None:
+                event = threading.Event()
+                self._cancel_events[job_id] = event
+            return event
+
+    def _worker_loop(self) -> None:
+        """One worker thread: pull, execute, release — until close()."""
+        while True:
+            record = self.scheduler.next_job()
+            if record is None:
+                return
+            event = self._cancel_event(record.job_id)
+            try:
+                if event.is_set():
+                    self.registry.mark_finished(
+                        record, "cancelled", error="cancelled before start"
+                    )
+                else:
+                    execute_job(record, self.registry, self.shared, cancel_event=event)
+            finally:
+                with self._cancel_lock:
+                    self._cancel_events.pop(record.job_id, None)
+                self.scheduler.task_done(record)
+
+    # -- introspection ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload."""
+        return {
+            "status": "ok",
+            "state": "draining" if self.draining else "serving",
+            "version": PROTOCOL_VERSION,
+            "queued": self.scheduler.depth(),
+            "running": self.scheduler.running(),
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: global, per-tenant and shared-state counters."""
+        records = self.registry.all()
+        by_state: Dict[str, int] = {}
+        for record in records:
+            by_state[record.state] = by_state.get(record.state, 0) + 1
+        uptime = (time.monotonic() - self.started_at) if self.started_at is not None else 0.0
+        completed = by_state.get("done", 0)
+        return {
+            "state": "draining" if self.draining else "serving",
+            "uptime_s": round(uptime, 3),
+            "recovered_jobs": self.recovered_jobs,
+            "jobs": by_state,
+            "queue": {
+                "depth": self.scheduler.depth(),
+                "limit": self.scheduler.max_queued,
+                "per_tenant": self.scheduler.snapshot(),
+            },
+            "tenants": {
+                name: stats.as_dict() for name, stats in sorted(self.registry.tenants().items())
+            },
+            "shared_cache": self.shared.stats(),
+            "throughput": {
+                "completed": completed,
+                "jobs_per_s": completed / uptime if uptime > 0 else 0.0,
+            },
+        }

@@ -194,3 +194,68 @@ class TestClear:
         budget, got = store.best_source(KEY_A, 0.9)
         assert budget == 0.25
         same_states(got, states(4))
+
+
+class TestAtomicSpill:
+    """Spill files are written temp-then-rename: never torn, never partial."""
+
+    def test_no_tmp_files_left_after_puts(self, tmp_path):
+        store = CheckpointStore(spill_dir=tmp_path / "ck")
+        for seed in range(5):
+            store.put(KEY_A, 0.1 * (seed + 1), states(seed))
+        leftovers = list((tmp_path / "ck").glob("*.tmp"))
+        assert leftovers == []
+        assert len(list((tmp_path / "ck").glob("*.ckpt"))) == 5
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        store = CheckpointStore(spill_dir=tmp_path / "ck")
+        store.put(KEY_A, 0.25, states(1))
+        store.put(KEY_A, 0.25, states(2))  # same key+budget -> same file
+        fresh = CheckpointStore(spill_dir=tmp_path / "ck")
+        _, got = fresh.best_source(KEY_A, 0.9)
+        same_states(got, states(2))
+
+    def test_interrupted_write_leaves_previous_spill_intact(self, tmp_path, monkeypatch):
+        store = CheckpointStore(spill_dir=tmp_path / "ck")
+        store.put(KEY_A, 0.25, states(7))
+        original_dump = pickle.dump
+
+        def exploding_dump(obj, handle, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(pickle, "dump", exploding_dump)
+        with pytest.raises(RuntimeError):
+            store.put(KEY_A, 0.25, states(8))
+        monkeypatch.setattr(pickle, "dump", original_dump)
+        assert list((tmp_path / "ck").glob("*.tmp")) == []
+        fresh = CheckpointStore(spill_dir=tmp_path / "ck")
+        _, got = fresh.best_source(KEY_A, 0.9)
+        same_states(got, states(7))  # old bytes untouched
+
+    def test_concurrent_writers_distinct_keys(self, tmp_path):
+        import threading
+
+        store = CheckpointStore(spill_dir=tmp_path / "ck")
+        errors = []
+
+        def writer(tid):
+            try:
+                for i in range(10):
+                    key = ((f"w{tid}", i),)
+                    store.put(key, 0.5, states(tid * 100 + i))
+                    assert store.best_source(key, 0.9) is not None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        fresh = CheckpointStore(spill_dir=tmp_path / "ck")
+        for tid in range(6):
+            for i in range(10):
+                budget, got = fresh.best_source(((f"w{tid}", i),), 0.9)
+                assert budget == 0.5
+                same_states(got, states(tid * 100 + i))

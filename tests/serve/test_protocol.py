@@ -1,0 +1,122 @@
+"""Wire protocol: spec validation, record roundtrips, evaluation contexts."""
+
+import pytest
+
+from repro.serve import JobRecord, JobSpec, ProtocolError, eval_context
+from repro.serve.protocol import JOB_STATES, TERMINAL_STATES
+
+
+def spec(**overrides) -> JobSpec:
+    fields = dict(tenant="alice", dataset="australian")
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+class TestJobSpecValidation:
+    def test_minimal_spec_validates(self):
+        assert spec().validate() is not None
+
+    def test_from_dict_applies_defaults(self):
+        parsed = JobSpec.from_dict({"tenant": "a", "dataset": "australian"})
+        assert parsed.method == "sha+"
+        assert parsed.priority == 1
+        assert parsed.guard == "off"
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ({"dataset": "australian"}, "missing required"),
+        ({"tenant": "a"}, "missing required"),
+        ({"tenant": "a", "dataset": "australian", "bogus": 1}, "unknown job-spec field"),
+        ({"tenant": "a", "dataset": "nope"}, "unknown dataset"),
+        ({"tenant": "a", "dataset": "australian", "method": "nope"}, "unknown method"),
+        ({"tenant": "", "dataset": "australian"}, "tenant"),
+        ({"tenant": "a/b", "dataset": "australian"}, "path or control"),
+        ({"tenant": "a", "dataset": "australian", "hps": 0}, "hps"),
+        ({"tenant": "a", "dataset": "australian", "hps": 9}, "hps"),
+        ({"tenant": "a", "dataset": "australian", "scale": 0.0}, "scale"),
+        ({"tenant": "a", "dataset": "australian", "scale": 1.5}, "scale"),
+        ({"tenant": "a", "dataset": "australian", "max_iter": 0}, "max_iter"),
+        ({"tenant": "a", "dataset": "australian", "priority": 0}, "priority"),
+        ({"tenant": "a", "dataset": "australian", "n_configurations": 0}, "n_configurations"),
+        ({"tenant": "a", "dataset": "australian", "guard": "loose"}, "guard"),
+        ({"tenant": "a", "dataset": "australian", "warm_start": "yes"}, "warm_start"),
+        ({"tenant": "a", "dataset": "australian", "seed": "zero"}, "seed"),
+    ])
+    def test_bad_payloads_rejected(self, payload, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            JobSpec.from_dict(payload)
+
+    def test_spec_roundtrips_through_dict(self):
+        original = spec(method="bohb", hps=3, scale=0.25, seed=7,
+                        priority=4, guard="warn", warm_start=True, trace=True)
+        assert JobSpec.from_dict(original.to_dict()) == original
+
+    def test_integer_scale_coerced_to_float(self):
+        parsed = JobSpec.from_dict({"tenant": "a", "dataset": "australian", "scale": 1})
+        assert parsed.scale == 1.0 and isinstance(parsed.scale, float)
+
+
+class TestEvalContext:
+    def test_equal_specs_share_a_context(self):
+        assert eval_context(spec(seed=3)) == eval_context(spec(seed=3))
+
+    def test_searcher_does_not_split_the_context(self):
+        # SHA and HB evaluate (config, budget, seed) identically, so their
+        # jobs must share one cache.
+        assert eval_context(spec(method="sha")) == eval_context(spec(method="hb"))
+
+    def test_enhanced_vs_vanilla_splits_the_context(self):
+        assert eval_context(spec(method="sha")) != eval_context(spec(method="sha+"))
+
+    @pytest.mark.parametrize("a, b", [
+        (dict(), dict(dataset="analcatdata_authorship")),
+        (dict(), dict(scale=0.5)),
+        (dict(), dict(seed=1)),
+        (dict(), dict(max_iter=13)),
+        (dict(), dict(guard="strict")),
+        (dict(), dict(warm_start=True)),
+    ])
+    def test_result_shaping_fields_split_the_context(self, a, b):
+        assert eval_context(spec(**a)) != eval_context(spec(**b))
+
+    def test_tenant_and_priority_do_not_split_the_context(self):
+        # Sharing across tenants is the whole point of the daemon.
+        assert eval_context(spec(tenant="alice", priority=1)) == \
+            eval_context(spec(tenant="bob", priority=9))
+
+
+class TestJobRecord:
+    def test_states_are_consistent(self):
+        assert TERMINAL_STATES < set(JOB_STATES)
+        assert "queued" not in TERMINAL_STATES
+
+    def test_roundtrip_preserves_everything(self):
+        record = JobRecord(job_id="abc123", spec=spec(), state="done",
+                           created_at=1.0, started_at=2.0, finished_at=5.5,
+                           trials_done=37, incumbent={"best_score": 0.9},
+                           engine_stats={"cache_hits": 3}, resumed=1)
+        clone = JobRecord.from_dict(record.to_dict())
+        assert clone == record
+        assert clone.terminal
+        assert clone.duration == pytest.approx(3.5)
+
+    def test_duration_none_until_finished(self):
+        record = JobRecord(job_id="x", spec=spec(), started_at=1.0)
+        assert record.duration is None and not record.terminal
+
+    def test_unknown_state_rejected(self):
+        payload = JobRecord(job_id="x", spec=spec()).to_dict()
+        payload["state"] = "exploded"
+        with pytest.raises(ProtocolError, match="unknown job state"):
+            JobRecord.from_dict(payload)
+
+    def test_malformed_record_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            JobRecord.from_dict({"spec": {"tenant": "a", "dataset": "australian"}})
+
+    def test_summary_surfaces_incumbent_score(self):
+        record = JobRecord(job_id="x", spec=spec(), state="done",
+                           incumbent={"best_score": 0.75}, trials_done=10)
+        summary = record.summary()
+        assert summary["best_score"] == 0.75
+        assert summary["tenant"] == "alice"
+        assert summary["state"] == "done"

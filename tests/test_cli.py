@@ -231,3 +231,69 @@ class TestWarmStartFlags:
     def test_cold_run_prints_no_warm_lines(self, capsys):
         assert main(self.BASE) == 0
         assert "warm start" not in capsys.readouterr().out
+
+
+class TestServeVerbs:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--root", "sroot"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.queue_limit == 64
+        assert args.quota == []
+
+    def test_serve_quota_flag_repeats(self):
+        args = build_parser().parse_args([
+            "serve", "--root", "sroot", "--quota", "alice=3", "--quota", "bob=1",
+        ])
+        from repro.cli import _parse_quotas
+        assert _parse_quotas(args.quota) == {"alice": 3, "bob": 1}
+
+    @pytest.mark.parametrize("bad", ["alice", "alice=", "alice=zero", "alice=0"])
+    def test_serve_quota_flag_rejects_malformed(self, bad):
+        from repro.cli import _parse_quotas
+        with pytest.raises(SystemExit):
+            _parse_quotas([bad])
+
+    def test_serve_requires_root(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_defaults_mirror_jobspec(self):
+        from repro.serve import JobSpec
+        args = build_parser().parse_args([
+            "submit", "--url", "http://127.0.0.1:1", "--tenant", "a",
+            "--dataset", "australian",
+        ])
+        spec = JobSpec(tenant="a", dataset="australian")
+        assert args.method == spec.method
+        assert args.hps == spec.hps
+        assert args.scale == spec.scale
+        assert args.max_iter == spec.max_iter
+        assert args.priority == spec.priority
+        assert args.guard == spec.guard
+        assert args.warm_start is spec.warm_start
+
+    def test_submit_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "submit", "--url", "u", "--tenant", "a", "--dataset", "mnist",
+            ])
+
+    def test_jobs_selector_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "jobs", "--url", "u", "--job", "x", "--cancel", "y",
+            ])
+
+    def test_submit_unreachable_daemon_fails_cleanly(self, capsys):
+        code = main([
+            "submit", "--url", "http://127.0.0.1:9", "--tenant", "a",
+            "--dataset", "australian",
+        ])
+        assert code == 1
+        assert "submit rejected" in capsys.readouterr().err
+
+    def test_jobs_unreachable_daemon_fails_cleanly(self, capsys):
+        assert main(["jobs", "--url", "http://127.0.0.1:9"]) == 1
+        assert "request failed" in capsys.readouterr().err

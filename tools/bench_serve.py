@@ -1,0 +1,187 @@
+"""Benchmark the HPO service daemon: a 100-job two-tenant burst.
+
+Drives a real :class:`repro.serve.ServeDaemon` (HTTP and all) with the
+workload the daemon exists for: tenant ``alpha`` submits 50 distinct
+jobs (seeds 0..49) at priority 2, tenant ``beta`` immediately submits
+the *same* 50 specs at priority 1 — a 100-job burst where half the work
+is a duplicate of the other half.  Because every (config, budget, seed)
+evaluation lands in the context's shared cache, beta's twins should be
+served mostly from alpha's work.
+
+Reported in ``BENCH_serve.json``:
+
+- sustained throughput (jobs/s over the whole burst) and job latency
+  (submit -> terminal, p50/p99);
+- per-tenant aggregate cache hit rates — ``overlap_hit_rate`` is beta's,
+  and the bench FAILS below 40% (beta twins that start while their alpha
+  original is still running only share the finished prefix, so 100% is
+  not expected under honest concurrency);
+- the duplicate speedup (mean alpha job duration / mean beta job
+  duration) — the bench FAILS unless beta's duplicates are faster;
+- the equivalence check: for every seed, alpha's, beta's and a direct
+  :func:`repro.serve.run_job_local` run's incumbent fingerprints must be
+  identical — sharing must never change an answer.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serve.py [--out BENCH_serve.json]
+    PYTHONPATH=src python tools/bench_serve.py --quick   # 10 pairs, no JSON
+
+Exit code 0 iff every check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import JobSpec, ServeClient, ServeDaemon, incumbent_fingerprint, run_job_local
+
+#: Per-job spec shared by both tenants; seeds 0..n_pairs-1 make each pair
+#: its own evaluation context (~37 trials, a fraction of a second each).
+BASE_SPEC = dict(dataset="australian", method="sha", hps=2, scale=0.2, max_iter=8)
+
+#: Minimum aggregate cache hit rate for the duplicate tenant.
+MIN_OVERLAP_HIT_RATE = 0.40
+
+
+def percentile(values, q):
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def run_burst(n_pairs: int, n_workers: int = 4):
+    """Submit the two-tenant burst, wait it out, return the raw measurements."""
+    with tempfile.TemporaryDirectory() as tmp:
+        daemon = ServeDaemon(
+            root=Path(tmp) / "serve",
+            port=0,
+            n_workers=n_workers,
+            max_queued=4 * n_pairs,
+            # alpha fans out, beta trails serially: the duplicate tenant
+            # mostly arrives *after* its original finished, which is the
+            # deployment-shaped best case the shared cache targets.
+            quotas={"alpha": max(2, n_workers - 1), "beta": 1},
+        )
+        with daemon, ServeClient(daemon.address) as client:
+            started = time.monotonic()
+            alpha_ids = [
+                client.submit(tenant="alpha", priority=2, seed=seed, **BASE_SPEC)["job_id"]
+                for seed in range(n_pairs)
+            ]
+            beta_ids = [
+                client.submit(tenant="beta", priority=1, seed=seed, **BASE_SPEC)["job_id"]
+                for seed in range(n_pairs)
+            ]
+            finals = client.wait_all(alpha_ids + beta_ids, timeout=1200.0, poll=0.02)
+            wall = time.monotonic() - started
+            stats = client.stats()
+    return finals, alpha_ids, beta_ids, stats, wall
+
+
+def summarize(finals, alpha_ids, beta_ids, stats, wall, n_pairs):
+    """Aggregate the burst into the BENCH_serve.json payload + pass/fail."""
+    assert all(r["state"] == "done" for r in finals.values()), (
+        f"unfinished jobs: {sorted(r['state'] for r in finals.values())}"
+    )
+    latencies = [r["finished_at"] - r["created_at"] for r in finals.values()]
+    durations = {
+        tenant: [finals[job_id]["finished_at"] - finals[job_id]["started_at"]
+                 for job_id in ids]
+        for tenant, ids in (("alpha", alpha_ids), ("beta", beta_ids))
+    }
+    tenant_stats = stats["tenants"]
+    overlap_hit_rate = tenant_stats["beta"]["hit_rate"]
+    alpha_mean = statistics.mean(durations["alpha"])
+    beta_mean = statistics.mean(durations["beta"])
+
+    # equivalence: alpha == beta == direct, per seed
+    mismatches = []
+    for index in range(n_pairs):
+        fp_alpha = finals[alpha_ids[index]]["incumbent"]["fingerprint"]
+        fp_beta = finals[beta_ids[index]]["incumbent"]["fingerprint"]
+        if fp_alpha != fp_beta:
+            mismatches.append(f"seed {index}: alpha != beta")
+    spec = JobSpec(tenant="direct", seed=0, **BASE_SPEC)
+    fp_direct = incumbent_fingerprint(run_job_local(spec).result)
+    if finals[alpha_ids[0]]["incumbent"]["fingerprint"] != fp_direct:
+        mismatches.append("seed 0: daemon != direct optimize()")
+
+    checks = {
+        "all_jobs_done": True,
+        "overlap_hit_rate_ge_40pct": overlap_hit_rate >= MIN_OVERLAP_HIT_RATE,
+        "duplicates_faster_than_cold": beta_mean < alpha_mean,
+        "daemon_equals_direct_bitwise": not mismatches,
+    }
+    payload = {
+        "workload": {
+            "jobs": 2 * n_pairs,
+            "tenants": 2,
+            "overlap_fraction": 0.5,
+            "spec": BASE_SPEC,
+            "priorities": {"alpha": 2, "beta": 1},
+        },
+        "wall_time_s": round(wall, 3),
+        "jobs_per_s": round(2 * n_pairs / wall, 3),
+        "latency_s": {
+            "p50": round(percentile(latencies, 50), 4),
+            "p99": round(percentile(latencies, 99), 4),
+            "max": round(max(latencies), 4),
+        },
+        "job_duration_s": {
+            "alpha_mean": round(alpha_mean, 4),
+            "beta_mean": round(beta_mean, 4),
+            "duplicate_speedup": round(alpha_mean / beta_mean, 2),
+        },
+        "cache": {
+            "overlap_hit_rate": round(overlap_hit_rate, 4),
+            "alpha_hit_rate": round(tenant_stats["alpha"]["hit_rate"], 4),
+            "shared": stats["shared_cache"],
+        },
+        "checks": checks,
+        "fingerprint_mismatches": mismatches,
+    }
+    return payload, all(checks.values())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pairs", type=int, default=50,
+                        help="spec pairs; total jobs is twice this (default 50)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--quick", action="store_true",
+                        help="10 pairs and no JSON output (CI smoke)")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+    n_pairs = 10 if args.quick else args.pairs
+
+    print(f"bench_serve: {2 * n_pairs}-job burst, 2 tenants, 50% duplicates, "
+          f"{args.workers} workers")
+    finals, alpha_ids, beta_ids, stats, wall = run_burst(n_pairs, args.workers)
+    payload, ok = summarize(finals, alpha_ids, beta_ids, stats, wall, n_pairs)
+
+    print(f"  wall time          : {payload['wall_time_s']}s "
+          f"({payload['jobs_per_s']} jobs/s sustained)")
+    print(f"  latency            : p50 {payload['latency_s']['p50']}s, "
+          f"p99 {payload['latency_s']['p99']}s")
+    print(f"  duplicate tenant   : hit rate {payload['cache']['overlap_hit_rate']:.0%}, "
+          f"{payload['job_duration_s']['duplicate_speedup']}x faster than cold twin")
+    for name, passed in payload["checks"].items():
+        print(f"  [{'PASS' if passed else 'FAIL'}] {name}")
+    if not args.quick:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"  wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,7 +3,8 @@
 Each scenario breaks the engine on purpose — evaluator exceptions, NaN
 and ``+inf`` scores, hung evaluations, workers dying via ``os._exit``,
 SIGKILL mid-run, torn journal tails, corrupted training data fed to real
-learners — and asserts the robustness contract:
+learners, SIGKILL of the HPO service daemon mid-burst — and asserts the
+robustness contract:
 
 1. the search always completes and a real (finite, non-sentinel) trial
    wins whenever one exists;
@@ -286,6 +287,90 @@ def scenario_torn_journal():
         return "torn record dropped, prefix replayed, resume bitwise"
 
 
+def _start_serve_daemon(root):
+    """Launch ``python -m repro serve`` on an ephemeral port; return (proc, url)."""
+    env = {**os.environ,
+           "PYTHONPATH": "src" + os.pathsep + os.environ.get("PYTHONPATH", "")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--root", str(root),
+         "--port", "0", "--workers", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "serving on " in line:
+            url = line.split("serving on ", 1)[1].split()[0]
+            return proc, url
+        if proc.poll() is not None:
+            break
+    raise AssertionError("serve daemon failed to start")
+
+
+def scenario_serve_sigkill():
+    """SIGKILL the HPO service daemon mid-burst; a restart must finish
+    every job bitwise-identical to running the same specs directly.
+
+    Exercises the full durability stack at once: atomic job records, the
+    per-job journals, recovery re-queueing and journal replay-resume —
+    through a real subprocess daemon and real HTTP, exactly as deployed.
+    """
+    from repro.serve import JobSpec, ServeClient, incumbent_fingerprint, run_job_local
+
+    base = dict(dataset="australian", method="sha", hps=2, scale=0.5, max_iter=40)
+    specs = [dict(base, tenant="burst", seed=seed) for seed in range(6)]
+    references = {
+        spec["seed"]: incumbent_fingerprint(
+            run_job_local(JobSpec(**{k: v for k, v in spec.items()})).result
+        )
+        for spec in specs
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "serve-root"
+        proc, url = _start_serve_daemon(root)
+        try:
+            with ServeClient(url) as client:
+                job_ids = {client.submit(spec)["job_id"]: spec["seed"] for spec in specs}
+                # wait until some job is genuinely mid-search, then kill -9
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    if any(
+                        record["state"] == "running" and record["trials_done"] >= 2
+                        for record in (client.job(job_id) for job_id in job_ids)
+                    ):
+                        break
+                    time.sleep(0.02)
+                else:
+                    raise AssertionError("no job ever got mid-flight")
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        proc, url = _start_serve_daemon(root)
+        try:
+            with ServeClient(url) as client:
+                finals = client.wait_all(list(job_ids), timeout=300.0)
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60)
+
+    assert all(r["state"] == "done" for r in finals.values()), (
+        f"states after restart: {sorted(r['state'] for r in finals.values())}"
+    )
+    resumed = [r for r in finals.values()
+               if r["resumed"] >= 1 and r["engine_stats"].get("resumed", 0) > 0]
+    assert resumed, "no job replayed a journal — the kill missed every run"
+    mismatched = [
+        job_id for job_id, record in finals.items()
+        if record["incumbent"]["fingerprint"] != references[job_ids[job_id]]
+    ]
+    assert not mismatched, f"resume diverged from direct runs: {mismatched}"
+    replayed = max(r["engine_stats"]["resumed"] for r in resumed)
+    return (f"{len(resumed)}/{len(finals)} jobs journal-resumed "
+            f"(deepest replay {replayed} trials), all bitwise == direct")
+
+
 GUARDED_SEARCHERS = {
     "sha+": lambda space, ev, engine: SuccessiveHalving(space, ev, random_state=7, engine=engine),
     "hb+": lambda space, ev, engine: HyperBand(space, ev, random_state=7, engine=engine),
@@ -384,6 +469,7 @@ def build_scenarios(quick):
             ("crash-resume[asha]", lambda: scenario_crash_resume("asha")),
         ]
         scenarios.append(("sigkill-resume", scenario_sigkill_resume))
+        scenarios.append(("serve-sigkill", scenario_serve_sigkill))
         scenarios.extend([
             ("corrupted-data[hb+]", lambda: scenario_corrupted_data("hb+")),
             ("corrupted-data[bohb+]", lambda: scenario_corrupted_data("bohb+")),

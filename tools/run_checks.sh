@@ -6,8 +6,10 @@
 #   3. kernels tier (exhaustive batched-kernel property sweeps + the
 #      fold-loop microbench gate)
 #   4. telemetry tier (trace-file tests + tracing/profiling overhead bench)
-#   5. chaos-marked pytest tier (process kills, SIGKILL resume)
-#   6. fault-injection harness smoke (tools/chaos_suite.py --quick)
+#   5. serve tier (service-daemon end-to-end tests + two-tenant burst
+#      bench smoke)
+#   6. chaos-marked pytest tier (process kills, SIGKILL resume)
+#   7. fault-injection harness smoke (tools/chaos_suite.py --quick)
 #
 # Usage: bash tools/run_checks.sh
 set -euo pipefail
@@ -39,6 +41,11 @@ echo "== telemetry tier: pytest -m telemetry + overhead bench =="
 python -m pytest -q -m telemetry
 python tools/bench_engine.py --only telemetry --n-samples 400 --max-iter 8 \
     --telemetry-out "$(mktemp -t BENCH_telemetry_check.XXXXXX.json)"
+
+echo
+echo "== serve tier: pytest -m serve + burst bench smoke =="
+python -m pytest -q -m serve
+python tools/bench_serve.py --quick
 
 echo
 echo "== chaos tier: pytest -m chaos =="
