@@ -84,6 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     tune_parser.add_argument("--save", default=None, help="write the search record as JSON")
     tune_parser.add_argument("--n-workers", type=_positive_int, default=1,
                              help="evaluation worker processes (>1 enables the parallel executor)")
+    tune_parser.add_argument("--min-workers", type=_positive_int, default=None, metavar="N",
+                             help="elastic pool floor: start here, grow on demand up to "
+                                  "--max-workers, shrink back at rung barriers "
+                                  "(implies the parallel executor)")
+    tune_parser.add_argument("--max-workers", type=_positive_int, default=None, metavar="N",
+                             help="elastic pool ceiling (implies the parallel executor)")
+    tune_parser.add_argument("--speculate", action="store_true",
+                             help="straggler mitigation: re-run a trial that exceeds the "
+                                  "running-median deadline on an idle worker and keep the "
+                                  "first finite result (bit-identical either way; implies "
+                                  "the parallel executor)")
     tune_parser.add_argument("--cache", action=argparse.BooleanOptionalAction, default=None,
                              help="memoize repeated (config, budget) evaluations "
                                   "(default: on whenever the engine is active)")
@@ -143,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="max concurrently running jobs per tenant")
     serve_parser.add_argument("--quota", action="append", default=[], metavar="TENANT=N",
                               help="per-tenant quota override (repeatable)")
+    serve_parser.add_argument("--max-connections", type=_positive_int, default=64,
+                              help="concurrent keep-alive connection cap; connections "
+                                   "beyond it are refused with 503 + Retry-After")
     serve_parser.add_argument("--cache-entries", type=_positive_int, default=None,
                               help="LRU bound per shared evaluation cache (default: unbounded)")
     serve_parser.add_argument("--verbose", action="store_true",
@@ -172,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="refit the incumbent on the full training split")
     submit_parser.add_argument("--trace", action="store_true",
                                help="stream a telemetry span trace into the job directory")
+    _add_client_transport_flags(submit_parser)
     submit_parser.add_argument("--wait", action="store_true",
                                help="block until the job reaches a terminal state")
     submit_parser.add_argument("--timeout", type=float, default=600.0,
@@ -189,7 +204,30 @@ def build_parser() -> argparse.ArgumentParser:
                             help="cooperatively cancel one job")
     jobs_group.add_argument("--stats", action="store_true",
                             help="print daemon stats (queues, tenants, shared cache)")
+    _add_client_transport_flags(jobs_parser)
     return parser
+
+
+def _add_client_transport_flags(parser: argparse.ArgumentParser) -> None:
+    """Shared ``ServeClient`` transport flags for the submit/jobs verbs."""
+    parser.add_argument("--request-timeout", type=float, default=30.0, metavar="SECONDS",
+                        help="read timeout per request to the daemon")
+    parser.add_argument("--connect-timeout", type=float, default=None, metavar="SECONDS",
+                        help="TCP connect timeout (defaults to --request-timeout)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="transport retry budget with seeded jittered backoff "
+                             "(0 disables retries)")
+
+
+def _make_client(args: argparse.Namespace):
+    from .serve import ServeClient
+
+    return ServeClient(
+        args.url,
+        timeout=args.request_timeout,
+        connect_timeout=args.connect_timeout,
+        retries=args.retries,
+    )
 
 
 def _positive_int(value: str) -> int:
@@ -215,9 +253,11 @@ def _build_engine(args: argparse.Namespace):
     parallel executor even at one worker.
     """
     warm_start = args.warm_start or args.checkpoint_dir is not None
+    elastic = args.min_workers is not None or args.max_workers is not None
     engine_flags = (
         args.n_workers > 1 or args.cache is not None or args.max_retries is not None
         or args.journal is not None or args.trial_timeout is not None or warm_start
+        or elastic or args.speculate
     )
     if args.resume and args.journal is None:
         raise SystemExit("--resume requires --journal")
@@ -239,8 +279,17 @@ def _build_engine(args: argparse.Namespace):
             )
         if args.resume and not journal_path.exists():
             raise SystemExit(f"--resume: journal {journal_path} does not exist")
-    if args.n_workers > 1 or args.trial_timeout is not None:
-        executor = ParallelExecutor(n_workers=args.n_workers, trial_timeout=args.trial_timeout)
+    if (args.min_workers is not None and args.max_workers is not None
+            and args.max_workers < args.min_workers):
+        raise SystemExit("--max-workers must be >= --min-workers")
+    if args.n_workers > 1 or args.trial_timeout is not None or elastic or args.speculate:
+        executor = ParallelExecutor(
+            n_workers=args.n_workers,
+            trial_timeout=args.trial_timeout,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            speculate=args.speculate,
+        )
     else:
         executor = SerialExecutor()
     if not warm_start:
@@ -287,6 +336,10 @@ def _command_tune(args: argparse.Namespace) -> int:
         extras = []
         if args.trial_timeout is not None:
             extras.append(f"trial_timeout {args.trial_timeout}s")
+        if args.min_workers is not None or args.max_workers is not None:
+            extras.append(f"elastic {args.min_workers or 1}-{args.max_workers or 'auto'}")
+        if args.speculate:
+            extras.append("speculation on")
         if args.journal is not None:
             extras.append(f"journal {args.journal}" + (" (resuming)" if args.resume else ""))
         if engine.checkpoints is not None:
@@ -395,6 +448,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         default_quota=args.default_quota,
         quotas=_parse_quotas(args.quota),
         cache_entries=args.cache_entries,
+        max_connections=args.max_connections,
         verbose=args.verbose,
     )
     print(f"serving on {daemon.address} (root {args.root}, "
@@ -408,7 +462,7 @@ def _command_submit(args: argparse.Namespace) -> int:
     """Submit one job; optionally block for its terminal state."""
     import json as _json
 
-    from .serve import ServeClient, ServeError
+    from .serve import ServeError
 
     spec = {
         "tenant": args.tenant,
@@ -425,7 +479,7 @@ def _command_submit(args: argparse.Namespace) -> int:
         "refit": args.refit,
         "trace": args.trace,
     }
-    with ServeClient(args.url) as client:
+    with _make_client(args) as client:
         try:
             accepted = client.submit(spec)
         except ServeError as exc:
@@ -449,9 +503,9 @@ def _command_jobs(args: argparse.Namespace) -> int:
     """List, inspect, cancel jobs or print daemon stats."""
     import json as _json
 
-    from .serve import ServeClient, ServeError
+    from .serve import ServeError
 
-    with ServeClient(args.url) as client:
+    with _make_client(args) as client:
         try:
             if args.stats:
                 print(_json.dumps(client.stats(), indent=2))

@@ -9,7 +9,7 @@ from .registry import (
     list_datasets,
     load_dataset,
 )
-from .synthetic import make_classification, make_regression
+from .synthetic import make_classification, make_drifting_classification, make_regression
 
 __all__ = [
     "DATASET_SPECS",
@@ -21,5 +21,6 @@ __all__ = [
     "load_dataset",
     "load_svmlight_file",
     "make_classification",
+    "make_drifting_classification",
     "make_regression",
 ]

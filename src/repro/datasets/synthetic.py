@@ -19,7 +19,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["make_classification", "make_regression"]
+__all__ = ["make_classification", "make_drifting_classification", "make_regression"]
 
 
 def _class_weights(weights: Optional[Sequence[float]], n_classes: int) -> np.ndarray:
@@ -130,6 +130,57 @@ def make_classification(
     # Shuffle feature columns so informative features are not contiguous.
     X = X[:, rng.permutation(n_features)]
     return X, y.astype(int)
+
+
+def make_drifting_classification(
+    n_samples: int = 100,
+    n_features: int = 20,
+    drift: float = 1.0,
+    drift_rotation: float = 0.5,
+    nan_cell_rate: float = 0.0,
+    random_state: Optional[int] = None,
+    **kwargs,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A non-stationary classification problem: the distribution moves.
+
+    Rows are ordered by "arrival time" and the class structure drifts
+    along that axis — centroids translate by up to ``drift`` standard
+    deviations and the informative subspace rotates by up to
+    ``drift_rotation`` radians from the first row to the last.  Subset-CV
+    evaluators that subsample rows therefore see genuinely different
+    distributions at different budgets, which is the hostile regime the
+    guard layer and the engine's degradation path must survive together.
+    ``nan_cell_rate`` additionally knocks out feature cells (sensor
+    dropout while drifting), giving the guard's repair policy real work.
+
+    Remaining keyword arguments forward to :func:`make_classification`;
+    everything is a pure function of ``random_state``.
+    """
+    if drift < 0 or drift_rotation < 0:
+        raise ValueError(
+            f"drift terms must be >= 0, got drift={drift}, drift_rotation={drift_rotation}"
+        )
+    if not 0.0 <= nan_cell_rate <= 1.0:
+        raise ValueError(f"nan_cell_rate must be in [0, 1], got {nan_cell_rate}")
+    X, y = make_classification(
+        n_samples=n_samples, n_features=n_features, random_state=random_state, **kwargs
+    )
+    rng = np.random.default_rng(None if random_state is None else random_state + 1)
+    progress = np.linspace(0.0, 1.0, n_samples)[:, None]
+    if drift > 0:
+        direction = rng.standard_normal(n_features)
+        direction /= max(np.linalg.norm(direction), 1e-12)
+        X = X + drift * progress * direction
+    if drift_rotation > 0 and n_features >= 2:
+        i, j = rng.choice(n_features, size=2, replace=False)
+        theta = drift_rotation * progress[:, 0]
+        cos, sin = np.cos(theta), np.sin(theta)
+        xi, xj = X[:, i].copy(), X[:, j].copy()
+        X[:, i] = cos * xi - sin * xj
+        X[:, j] = sin * xi + cos * xj
+    if nan_cell_rate > 0:
+        X[rng.random(X.shape) < nan_cell_rate] = np.nan
+    return X, y
 
 
 def make_regression(

@@ -30,8 +30,14 @@ worker deaths and corrupted scores so those guarantees stay exercised::
 from .cache import EvaluationCache
 from .chaos import ChaosError, ChaosExecutor, ChaosPolicy, DataCorruption
 from .checkpoint import CheckpointStore, FoldCheckpoint
-from .core import FAILURE_SCORE, STATS_SCHEMA_VERSION, EngineStats, TrialEngine
-from .executors import ParallelExecutor, SerialExecutor, TrialExecutor
+from .core import FAILURE_SCORE, STATS_SCHEMA_VERSION, EngineStats, TrialEngine, backoff_delay
+from .executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    current_worker_connection,
+    current_worker_id,
+)
 from .journal import JOURNAL_VERSION, JournalEntry, JournalError, RunJournal, space_fingerprint
 from .protocol import TrialOutcome, TrialRequest, derive_seed
 
@@ -56,6 +62,9 @@ __all__ = [
     "TrialExecutor",
     "TrialOutcome",
     "TrialRequest",
+    "backoff_delay",
+    "current_worker_connection",
+    "current_worker_id",
     "derive_seed",
     "space_fingerprint",
 ]

@@ -11,6 +11,9 @@ injects the failure modes a production HPO service actually sees:
 - **exit** — the worker process dies mid-trial via ``os._exit`` (stand-in
   for segfaults and OOM kills); in a non-worker process this downgrades
   to a raise so a serial run is never killed;
+- **pipe-drop** — the worker closes its pipe to the parent mid-trial
+  (stand-in for a network partition or fd exhaustion), which the parent
+  must survive as a worker death; downgraded to a raise in-process;
 - **nan** / **corrupt** — the evaluation "succeeds" but returns a NaN or
   ``+inf`` score, which must be sanitised before it poisons ranking.
 
@@ -19,6 +22,14 @@ they are a pure function of ``(root_seed, config, budget, attempt)``:
 identical under any executor and worker count (chaos runs are themselves
 reproducible and journal-resumable), while each retry of a failing trial
 draws a fresh decision — exactly how transient faults behave.
+
+One fault class is deliberately *not* seed-driven: **slow workers**
+(``slow_workers``) pin extra latency to specific worker ids, modelling a
+degraded node rather than a degraded trial.  Slowness consumes no RNG
+draw and never changes scores, so a slow-worker-only policy is
+bitwise-transparent — which is exactly what makes it the right probe for
+straggler detection and speculative resubmission (the speculative copy
+lands on a *different* worker and genuinely runs faster).
 
 ``tools/chaos_suite.py`` drives these modes end to end and asserts the
 engine's invariants: the search completes, degraded trials carry the
@@ -38,7 +49,7 @@ import numpy as np
 
 from ..bandit.base import EvaluationResult
 from ..telemetry.collect import current_collector
-from .executors import TrialExecutor
+from .executors import TrialExecutor, current_worker_connection, current_worker_id
 
 __all__ = ["ChaosError", "ChaosPolicy", "ChaosExecutor", "DataCorruption"]
 
@@ -114,15 +125,23 @@ class ChaosError(RuntimeError):
 class ChaosPolicy:
     """Per-evaluation fault probabilities and shapes.
 
-    Rates are checked in the order ``exit``, ``hang``, ``raise``, ``nan``,
-    ``corrupt`` against a single uniform draw, so their sum is the total
-    fault probability and must stay ``<= 1``.
+    Rates are checked in the order ``exit``, ``pipe_drop``, ``hang``,
+    ``raise``, ``nan``, ``corrupt`` against a single uniform draw, so
+    their sum is the total fault probability and must stay ``<= 1``.
+    A policy whose rates are all zero consumes **no** RNG draw, so a
+    slow-workers-only policy leaves trial results bitwise-identical to a
+    chaos-free run.
 
     Attributes
     ----------
     exit_rate:
         Probability the worker process dies via ``os._exit(13)``
         (downgraded to :class:`ChaosError` outside worker processes).
+    pipe_drop_rate:
+        Probability the worker closes its parent pipe mid-trial and
+        carries on — the parent sees EOF, retires the worker through the
+        leave+join path, and retries the trial (downgraded to
+        :class:`ChaosError` outside worker processes).
     hang_rate:
         Probability the evaluation sleeps for ``hang_seconds`` before
         proceeding normally.
@@ -136,6 +155,12 @@ class ChaosPolicy:
     hang_seconds:
         Sleep duration of an injected hang; pick it larger than the
         executor's ``trial_timeout`` to exercise the watchdog.
+    slow_workers:
+        Worker ids that sleep ``slow_seconds`` before every evaluation —
+        a consistently degraded node.  Not seed-driven and score-neutral
+        (see module docstring); ignored under a serial executor.
+    slow_seconds:
+        Extra latency injected per evaluation on a slow worker.
     """
 
     exit_rate: float = 0.0
@@ -144,14 +169,28 @@ class ChaosPolicy:
     nan_rate: float = 0.0
     corrupt_rate: float = 0.0
     hang_seconds: float = 30.0
+    pipe_drop_rate: float = 0.0
+    slow_workers: Tuple[int, ...] = ()
+    slow_seconds: float = 2.0
 
     def __post_init__(self) -> None:
         rates = (
-            self.exit_rate, self.hang_rate, self.failure_rate,
-            self.nan_rate, self.corrupt_rate,
+            self.exit_rate, self.pipe_drop_rate, self.hang_rate,
+            self.failure_rate, self.nan_rate, self.corrupt_rate,
         )
         if any(rate < 0.0 for rate in rates) or sum(rates) > 1.0:
             raise ValueError(f"chaos rates must be >= 0 and sum to <= 1, got {rates}")
+        if self.slow_seconds < 0.0:
+            raise ValueError(f"slow_seconds must be >= 0, got {self.slow_seconds}")
+        self.slow_workers = tuple(self.slow_workers)
+
+    @property
+    def total_rate(self) -> float:
+        """Summed probability of all seed-driven faults."""
+        return (
+            self.exit_rate + self.pipe_drop_rate + self.hang_rate
+            + self.failure_rate + self.nan_rate + self.corrupt_rate
+        )
 
 
 class _ChaosEvaluator:
@@ -178,6 +217,16 @@ class _ChaosEvaluator:
         """
         policy = self._policy
         collector = current_collector()
+        if policy.slow_workers:
+            worker_id = current_worker_id()
+            if worker_id is not None and worker_id in policy.slow_workers:
+                if collector is not None:
+                    collector.inc("chaos.injected.slow")
+                time.sleep(policy.slow_seconds)
+        # All-zero policies draw nothing, keeping slow-worker-only chaos
+        # bitwise-transparent against a chaos-free run.
+        if policy.total_rate <= 0.0:
+            return self._evaluator.evaluate(config, budget_fraction, rng)
         draw = float(rng.random())
         edges = self._fault_edges()
         if draw < edges[0]:
@@ -188,33 +237,46 @@ class _ChaosEvaluator:
             raise ChaosError("injected worker exit (downgraded to raise in-process)")
         if draw < edges[1]:
             if collector is not None:
+                collector.inc("chaos.injected.pipe_drop")
+            conn = current_worker_connection()
+            if conn is None:
+                raise ChaosError("injected pipe drop (downgraded to raise in-process)")
+            # Drop the pipe and carry on evaluating: the parent sees EOF
+            # mid-trial and must retire this worker through leave+join.
+            try:
+                conn.close()
+            except OSError:
+                pass
+        elif draw < edges[2]:
+            if collector is not None:
                 collector.inc("chaos.injected.hang")
             time.sleep(policy.hang_seconds)
-        elif draw < edges[2]:
+        elif draw < edges[3]:
             if collector is not None:
                 collector.inc("chaos.injected.raise")
             raise ChaosError("injected evaluator failure")
         result = self._evaluator.evaluate(config, budget_fraction, rng)
-        if draw < edges[3]:
+        if draw < edges[4]:
             if collector is not None:
                 collector.inc("chaos.injected.nan")
             result.score = float("nan")
             result.mean = float("nan")
-        elif draw < edges[4]:
+        elif draw < edges[5]:
             if collector is not None:
                 collector.inc("chaos.injected.corrupt")
             result.score = float("inf")
         return result
 
-    def _fault_edges(self) -> Tuple[float, float, float, float, float]:
+    def _fault_edges(self) -> Tuple[float, float, float, float, float, float]:
         """Cumulative rate boundaries in injection-priority order."""
         policy = self._policy
         exit_edge = policy.exit_rate
-        hang_edge = exit_edge + policy.hang_rate
+        drop_edge = exit_edge + policy.pipe_drop_rate
+        hang_edge = drop_edge + policy.hang_rate
         raise_edge = hang_edge + policy.failure_rate
         nan_edge = raise_edge + policy.nan_rate
         corrupt_edge = nan_edge + policy.corrupt_rate
-        return exit_edge, hang_edge, raise_edge, nan_edge, corrupt_edge
+        return exit_edge, drop_edge, hang_edge, raise_edge, nan_edge, corrupt_edge
 
 
 class ChaosExecutor(TrialExecutor):

@@ -171,6 +171,9 @@ class CheckpointStore:
         self._budgets: Dict[str, List[float]] = {}
         self.stores = 0
         self.spill_loads = 0
+        #: Spill writes that failed (disk full, permissions); the entry
+        #: stays served from memory and the store keeps working.
+        self.spill_errors = 0
         if self.spill_dir is not None:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
             self._scan_spill()
@@ -250,8 +253,17 @@ class CheckpointStore:
             self.stores += 1
             if self.spill_dir is not None:
                 path = self._spill_path(digest, budget)
-                self._spill_write(path, fold_states)
-                self._spill_index.setdefault(digest, {})[budget] = path
+                try:
+                    self._spill_write(path, fold_states)
+                except OSError:
+                    # Disk full (ENOSPC) or similar: degrade to memory-only
+                    # for this entry rather than failing the trial.  The
+                    # spill index is left untouched so readers never see a
+                    # phantom path; durability resumes on the next put once
+                    # the disk recovers.
+                    self.spill_errors += 1
+                else:
+                    self._spill_index.setdefault(digest, {})[budget] = path
             if len(self._entries) > self.max_entries:
                 evicted_key, _ = self._entries.popitem(last=False)
                 if self.spill_dir is None:

@@ -56,7 +56,32 @@ from .executors import (
 from .journal import JournalEntry, RunJournal, replay_key
 from .protocol import TrialOutcome, TrialRequest, derive_seed
 
-__all__ = ["TrialEngine", "EngineStats", "FAILURE_SCORE", "STATS_SCHEMA_VERSION"]
+__all__ = [
+    "TrialEngine",
+    "EngineStats",
+    "FAILURE_SCORE",
+    "STATS_SCHEMA_VERSION",
+    "backoff_delay",
+]
+
+
+def backoff_delay(base: float, attempt: int, maximum: float, seed: int) -> float:
+    """Seeded exponential backoff with jitter, shared across subsystems.
+
+    Attempt ``k`` (1-based) sleeps ``min(base * 2**(k-1), maximum)``
+    scaled by a deterministic jitter factor in ``[0.5, 1.0]`` drawn from
+    ``seed`` — doubling spaces out repeated hits on a struggling
+    resource, the jitter de-synchronises concurrent retriers, and the
+    seed keeps every delay a pure function of its inputs.  Used by the
+    engine's trial retries (seeded per trial attempt) and by
+    :class:`~repro.serve.client.ServeClient`'s transport retries.
+    ``base <= 0`` disables the delay entirely.
+    """
+    if base <= 0.0:
+        return 0.0
+    capped = min(base * 2.0 ** (max(1, attempt) - 1), maximum)
+    rng = np.random.default_rng(seed)
+    return capped * (0.5 + 0.5 * float(rng.random()))
 
 #: Sentinel score assigned to permanently-failing trials: finite (so JSON
 #: round-trips and argsort stay well-behaved) yet below any real metric.
@@ -590,11 +615,9 @@ class TrialEngine:
         derived seed, so delays — like everything else in the engine —
         are a pure function of ``(root_seed, config, budget, attempt)``.
         """
-        if self.retry_backoff <= 0.0:
-            return 0.0
-        base = min(self.retry_backoff * 2.0 ** (retry.attempt - 1), self.retry_backoff_max)
-        rng = np.random.default_rng(retry.seed)
-        return base * (0.5 + 0.5 * float(rng.random()))
+        return backoff_delay(
+            self.retry_backoff, retry.attempt, self.retry_backoff_max, retry.seed
+        )
 
     def _settle(
         self,

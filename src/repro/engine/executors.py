@@ -29,13 +29,26 @@ possible:
   detected the same way: respawn plus a failed completion, never a
   deadlock.
 
-Because seeds are derived per trial, none of this affects scores — only
-scheduling latency.
+The pool is **elastic**: :meth:`ParallelExecutor.resize` changes the
+target worker count mid-run, and every involuntary recovery — watchdog
+kill, worker death, speculative-loser cancellation — is expressed as the
+same *leave then join* sequence (:meth:`_leave` + :meth:`_ensure_workers`),
+so there is exactly one code path and one set of invariants for pool
+membership.  With ``speculate=True`` the pool also detects stragglers
+(per-trial deadline scaled from the running median of completed-trial
+durations) and resubmits the trial to an idle worker; the first finished
+copy wins and the loser's worker is cancelled through leave+join.
+
+Because seeds are derived per trial, none of this affects scores — a
+speculative copy re-runs the *same* seed, so whichever copy wins produces
+bit-identical results and serial==parallel holds for the rung-barrier
+searchers no matter how the pool is resized or which copies win.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import statistics
 import threading
 import time
 from collections import deque
@@ -54,6 +67,8 @@ __all__ = [
     "TIMEOUT_ERROR_PREFIX",
     "WORKER_DIED_PREFIX",
     "WORKER_HUNG_PREFIX",
+    "current_worker_id",
+    "current_worker_connection",
 ]
 
 #: Error-string prefixes the watchdog uses; the engine keys its
@@ -61,6 +76,31 @@ __all__ = [
 TIMEOUT_ERROR_PREFIX = "TrialTimeout"
 WORKER_DIED_PREFIX = "WorkerDied"
 WORKER_HUNG_PREFIX = "WorkerHung"
+
+#: Set inside worker processes so evaluators (and the chaos layer) can
+#: observe which worker they run on and reach its parent pipe.  ``None``
+#: in the parent process and under :class:`SerialExecutor`.
+_WORKER_ID: Optional[int] = None
+_WORKER_CONN = None
+
+
+def current_worker_id() -> Optional[int]:
+    """Worker id of the calling process, or ``None`` outside a pool worker.
+
+    Chaos policies use this to make faults a property of the *worker*
+    (e.g. one consistently slow node) rather than of the trial seed, so
+    injected slowness never perturbs scores.
+    """
+    return _WORKER_ID
+
+
+def current_worker_connection():
+    """The worker's duplex pipe to the parent, or ``None`` in the parent.
+
+    Exposed for fault injection only: closing it mid-trial simulates a
+    dropped worker pipe, which the parent must survive as a worker death.
+    """
+    return _WORKER_CONN
 
 
 def _safe_evaluate(
@@ -115,6 +155,9 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
     no hang detection, silencing the chatter entirely.  ``None`` is the
     shutdown sentinel; a closed pipe (parent gone) also ends the loop.
     """
+    global _WORKER_ID, _WORKER_CONN
+    _WORKER_ID = worker_id
+    _WORKER_CONN = conn
     stop = threading.Event()
     send_lock = threading.Lock()
 
@@ -243,19 +286,35 @@ class SerialExecutor(TrialExecutor):
 class _WorkerHandle:
     """Parent-side view of one worker process: pipe, queued tasks, deadlines."""
 
-    __slots__ = ("worker_id", "process", "conn", "tasks", "deadline", "last_heartbeat")
+    __slots__ = (
+        "worker_id",
+        "process",
+        "conn",
+        "tasks",
+        "deadline",
+        "last_heartbeat",
+        "started",
+        "retiring",
+    )
 
     def __init__(self, worker_id: int, process, conn) -> None:
         self.worker_id = worker_id
         self.process = process
         self.conn = conn
-        #: ``(token, trial_id)`` of dispatched-but-unfinished trials, in
-        #: dispatch order.  Watchdog-supervised pools keep at most one
+        #: ``(token, trial_id, task)`` of dispatched-but-unfinished trials,
+        #: in dispatch order.  Watchdog-supervised pools keep at most one
         #: entry; pipelined pools queue several so the worker never idles
-        #: waiting for a parent round-trip between trials.
-        self.tasks: Deque[Tuple[int, int]] = deque()
+        #: waiting for a parent round-trip between trials.  The full task
+        #: tuple is kept so a straggling trial can be resubmitted verbatim
+        #: to another worker.
+        self.tasks: Deque[Tuple[int, int, Tuple]] = deque()
         self.deadline: Optional[float] = None
         self.last_heartbeat = time.monotonic()
+        #: Dispatch time of the head task (straggler detection input).
+        self.started: Optional[float] = None
+        #: A retiring worker finishes its queued tasks, receives nothing
+        #: new, and leaves the pool when idle (elastic shrink).
+        self.retiring = False
 
     @property
     def idle(self) -> bool:
@@ -263,12 +322,13 @@ class _WorkerHandle:
 
 
 class ParallelExecutor(TrialExecutor):
-    """Watchdog-supervised process pool shipping the evaluator to workers once.
+    """Watchdog-supervised elastic process pool shipping the evaluator once.
 
     Parameters
     ----------
     n_workers:
-        Worker process count; defaults to ``os.cpu_count()`` (min 1).
+        Initial worker process count; defaults to ``min_workers`` when
+        elastic bounds are given, else ``os.cpu_count()`` (min 1).
     start_method:
         ``multiprocessing`` start method.  Defaults to ``"fork"`` where
         available (Linux), which inherits the evaluator's data arrays
@@ -292,25 +352,54 @@ class ParallelExecutor(TrialExecutor):
     poll_interval:
         Parent-side supervision granularity: how often ``wait_one`` wakes
         to run watchdog checks while no completion is ready.
+    min_workers, max_workers:
+        Elastic bounds.  When either is given the pool resizes itself:
+        it grows by one worker (up to ``max_workers``) whenever a
+        submission finds no free worker, and shrinks (down to
+        ``min_workers``) whenever a worker goes idle with an empty
+        backlog — so rung barriers naturally breathe the pool in and out.
+        :meth:`resize` clamps into these bounds too.  Both default to
+        ``None`` (fixed-size pool, resizable only via :meth:`resize`).
+    speculate:
+        Enable straggler detection + speculative resubmission.  Forces the
+        supervised (non-pipelined) dispatch cycle so per-trial start times
+        are known.  A trial whose runtime exceeds
+        ``max(straggler_min_s, straggler_factor * median completed
+        duration)`` is duplicated onto an idle worker with the *same*
+        seed; the first finished copy wins (ties resolved deterministically
+        in favour of the lowest attempt index) and the loser's worker is
+        cancelled through the leave+join path.  Identical seeds make the
+        winner's result bitwise-independent of which copy won.
+    straggler_factor:
+        Multiple of the running median duration past which a trial counts
+        as straggling.
+    straggler_min_s:
+        Absolute floor for the straggler deadline, so sub-millisecond
+        medians do not cause speculation storms.
+    straggler_min_samples:
+        Completed-trial durations required before straggler detection
+        activates.
 
     Notes
     -----
     A crashed worker (``os._exit``, segfault, OOM-kill) never sinks the
     search: its in-flight trials are surfaced as failed completions — which
-    the engine retries or degrades — and a replacement worker is spawned
-    immediately, keeping capacity constant.  Supervision happens entirely
-    in the parent over per-worker duplex pipes; there is no shared queue a
-    dying worker could leave locked.
+    the engine retries or degrades — and the pool is rebalanced back to
+    its target size through the same :meth:`_leave` + :meth:`_ensure_workers`
+    sequence used by :meth:`resize`.  Supervision happens entirely in the
+    parent over per-worker duplex pipes; there is no shared queue a dying
+    worker could leave locked.
 
     When **no watchdog is configured** (``trial_timeout`` and
-    ``heartbeat_timeout`` both ``None``) the pool runs *pipelined*: tasks
-    are queued onto the least-loaded worker immediately instead of waiting
-    for an idle one, workers skip the heartbeat thread entirely, and
-    ``wait_one`` blocks on the pipes instead of polling.  This removes the
-    per-trial parent round-trip and the heartbeat chatter that used to
-    make small-trial workloads *slower* at two workers than one; with a
-    watchdog the stricter dispatch-one-collect-one cycle is kept so
-    per-trial deadlines stay meaningful.
+    ``heartbeat_timeout`` both ``None``, ``speculate`` off) the pool runs
+    *pipelined*: tasks are queued onto the least-loaded worker immediately
+    instead of waiting for an idle one, workers skip the heartbeat thread
+    entirely, and ``wait_one`` blocks on the pipes instead of polling.
+    This removes the per-trial parent round-trip and the heartbeat chatter
+    that used to make small-trial workloads *slower* at two workers than
+    one; with a watchdog (or speculation) the stricter
+    dispatch-one-collect-one cycle is kept so per-trial deadlines stay
+    meaningful.
     """
 
     def __init__(
@@ -321,6 +410,12 @@ class ParallelExecutor(TrialExecutor):
         heartbeat_interval: float = 0.2,
         heartbeat_timeout: Optional[float] = None,
         poll_interval: float = 0.05,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        speculate: bool = False,
+        straggler_factor: float = 4.0,
+        straggler_min_s: float = 0.25,
+        straggler_min_samples: int = 3,
     ) -> None:
         import os
 
@@ -332,15 +427,42 @@ class ParallelExecutor(TrialExecutor):
             raise ValueError(f"heartbeat_timeout must be > 0 or None, got {heartbeat_timeout}")
         if heartbeat_interval <= 0:
             raise ValueError(f"heartbeat_interval must be > 0, got {heartbeat_interval}")
-        self.n_workers = n_workers or max(1, os.cpu_count() or 1)
-        self.capacity = self.n_workers
+        if min_workers is not None and min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {min_workers}")
+        if max_workers is not None and max_workers < (min_workers or 1):
+            raise ValueError(
+                f"max_workers must be >= min_workers, got {max_workers} < {min_workers or 1}"
+            )
+        if straggler_factor <= 1.0:
+            raise ValueError(f"straggler_factor must be > 1, got {straggler_factor}")
+        self.min_workers = min_workers
+        self.max_workers = max_workers
+        self._elastic = min_workers is not None or max_workers is not None
+        if n_workers is None:
+            n_workers = min_workers if min_workers is not None else max(1, os.cpu_count() or 1)
+            if max_workers is not None:
+                n_workers = min(n_workers, max_workers)
+        if min_workers is not None and n_workers < min_workers:
+            raise ValueError(f"n_workers={n_workers} below min_workers={min_workers}")
+        if max_workers is not None and n_workers > max_workers:
+            raise ValueError(f"n_workers={n_workers} above max_workers={max_workers}")
+        self.n_workers = n_workers
+        #: Concurrency the engine may rely on.  Elastic pools report their
+        #: upper bound so callers keep enough trials in flight to trigger
+        #: growth.
+        self.capacity = max_workers if self._elastic and max_workers else n_workers
         self.trial_timeout = trial_timeout
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.poll_interval = poll_interval
-        #: No per-trial deadline and no hang detection -> workers can be
-        #: kept fed with queued tasks and pipes waited on without polling.
-        self._pipelined = trial_timeout is None and heartbeat_timeout is None
+        self.speculate = speculate
+        self.straggler_factor = straggler_factor
+        self.straggler_min_s = straggler_min_s
+        self.straggler_min_samples = straggler_min_samples
+        #: No per-trial deadline, no hang detection and no speculation ->
+        #: workers can be kept fed with queued tasks and pipes waited on
+        #: without polling.
+        self._pipelined = trial_timeout is None and heartbeat_timeout is None and not speculate
         if start_method is None and "fork" in multiprocessing.get_all_start_methods():
             start_method = "fork"
         self._context = multiprocessing.get_context(start_method)
@@ -350,9 +472,21 @@ class ParallelExecutor(TrialExecutor):
         self._completed: Deque[Tuple[int, bool, Optional[EvaluationResult], Optional[str]]] = deque()
         self._next_token = 0
         self._next_worker_id = 0
+        #: Completed-trial wall-clock durations feeding the straggler
+        #: median (bounded window so the estimate tracks the workload).
+        self._durations: Deque[float] = deque(maxlen=64)
+        #: trial_id -> {token: attempt_index} for trials with more than
+        #: one live copy in flight (speculation groups).
+        self._spec_groups: Dict[int, Dict[int, int]] = {}
         #: Lifetime counts of watchdog interventions (observability).
         self.respawns = 0
         self.timeouts = 0
+        #: Lifetime counts of elastic/speculative activity.
+        self.resizes = 0
+        self.joins = 0
+        self.leaves = 0
+        self.speculations = 0
+        self.speculation_wins = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -382,13 +516,101 @@ class ParallelExecutor(TrialExecutor):
         child_conn.close()
         handle = _WorkerHandle(worker_id, process, parent_conn)
         self._workers[worker_id] = handle
+        self.joins += 1
         return handle
 
-    def _ensure_workers(self) -> None:
+    def _active(self) -> int:
+        """Workers counting toward the target size (excludes retiring)."""
+        return sum(1 for h in self._workers.values() if not h.retiring)
+
+    def _ensure_workers(self) -> int:
+        """Join workers until the active pool matches ``n_workers``.
+
+        This is the single *join* path: initial spawn, watchdog respawn
+        and elastic growth all come through here.  Returns how many
+        workers joined.
+        """
         if self._evaluator is None:
             raise RuntimeError("ParallelExecutor.submit called before bind()")
-        while len(self._workers) < self.n_workers:
+        spawned = 0
+        while self._active() < self.n_workers:
             self._spawn_worker()
+            spawned += 1
+        return spawned
+
+    def _leave(self, handle: _WorkerHandle, graceful: bool) -> bool:
+        """The single *leave* path: remove one worker from the pool.
+
+        ``graceful`` sends the shutdown sentinel and waits briefly before
+        killing; the involuntary paths (watchdog, death, speculation-loser
+        cancel) kill outright.  Returns ``False`` when the worker already
+        left (idempotence — a worker can be reported dead through several
+        paths and must only leave once).
+        """
+        if self._workers.pop(handle.worker_id, None) is None:
+            return False
+        if graceful:
+            try:
+                handle.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            handle.process.join(timeout=0.5)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=1.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        self.leaves += 1
+        return True
+
+    # -- elastic resize --------------------------------------------------------
+
+    def resize(self, n: int) -> int:
+        """Change the target worker count mid-run; returns the new target.
+
+        Growth joins workers immediately (and feeds them from the
+        backlog); shrinkage retires idle workers at once and marks busy
+        ones *retiring* — they finish their queued trials, receive
+        nothing new, and leave when idle.  Only scheduling changes:
+        per-trial seeds are derived from the trial, not the worker, so
+        results are unaffected by any resize sequence.  The requested
+        size is clamped into ``[min_workers, max_workers]``.
+        """
+        n = int(n)
+        if n < 1:
+            raise ValueError(f"resize target must be >= 1, got {n}")
+        if self.min_workers is not None:
+            n = max(n, self.min_workers)
+        if self.max_workers is not None:
+            n = min(n, self.max_workers)
+        if n == self.n_workers:
+            return self.n_workers
+        self.n_workers = n
+        if not self._elastic:
+            self.capacity = n
+        self.resizes += 1
+        if self._evaluator is None or not self._workers:
+            return self.n_workers
+        if self._active() < self.n_workers:
+            self._ensure_workers()
+            self._feed_idle()
+            return self.n_workers
+        surplus = self._active() - self.n_workers
+        # Newest workers leave first; idle ones immediately, busy ones
+        # once their queued trials drain.
+        for handle in sorted(self._workers.values(), key=lambda h: -h.worker_id):
+            if surplus <= 0:
+                break
+            if handle.retiring:
+                continue
+            if handle.idle:
+                self._leave(handle, graceful=True)
+            else:
+                handle.retiring = True
+            surplus -= 1
+        return self.n_workers
 
     # -- submission ------------------------------------------------------------
 
@@ -399,7 +621,8 @@ class ParallelExecutor(TrialExecutor):
         worker immediately — a rung's whole batch lands on the worker
         pipes up front, so workers run trial after trial back-to-back.
         Watchdog-supervised pools dispatch one task per worker at a time
-        to keep per-trial deadlines meaningful.
+        to keep per-trial deadlines meaningful.  Elastic pools grow by
+        one worker when a submission finds every worker busy.
         """
         self._ensure_workers()
         token = self._next_token
@@ -414,23 +637,48 @@ class ParallelExecutor(TrialExecutor):
             getattr(request, "warm_states", None),
             getattr(request, "capture", False),
         )
-        if self._pipelined:
-            alive = [h for h in self._workers.values() if h.process.is_alive()]
-            if alive:
-                self._dispatch(min(alive, key=lambda h: len(h.tasks)), task)
-                return
-        else:
-            for handle in self._workers.values():
-                if handle.idle and handle.process.is_alive():
-                    self._dispatch(handle, task)
-                    return
+        handle = self._free_worker()
+        if handle is None and self._elastic:
+            active = self._active()
+            if self.max_workers is None or active < self.max_workers:
+                self.resize(active + 1)
+                handle = self._free_worker()
+        if handle is not None:
+            self._dispatch(handle, task)
+            return
         self._backlog.append(task)
+
+    def _free_worker(self) -> Optional[_WorkerHandle]:
+        """The worker the next task should land on, or ``None`` if all busy.
+
+        Pipelined pools treat any live non-retiring worker as free (tasks
+        queue); supervised pools require a genuinely idle worker.
+        """
+        candidates = [
+            h
+            for h in self._workers.values()
+            if not h.retiring and h.process.is_alive() and (self._pipelined or h.idle)
+        ]
+        if not candidates:
+            return None
+        if self._pipelined:
+            best = min(candidates, key=lambda h: len(h.tasks))
+            # A loaded "free" worker means the pool is saturated — let an
+            # elastic pool grow instead of queueing deeper.
+            if self._elastic and best.tasks:
+                active = self._active()
+                if self.max_workers is None or active < self.max_workers:
+                    return None
+            return best
+        return candidates[0]
 
     def _dispatch(self, handle: _WorkerHandle, task: Tuple) -> None:
         now = time.monotonic()
-        handle.tasks.append((task[0], task[1]))
-        if self.trial_timeout and len(handle.tasks) == 1:
-            handle.deadline = now + self.trial_timeout
+        handle.tasks.append((task[0], task[1], task))
+        if len(handle.tasks) == 1:
+            handle.started = now
+            if self.trial_timeout:
+                handle.deadline = now + self.trial_timeout
         handle.last_heartbeat = now
         try:
             handle.conn.send(task)
@@ -438,18 +686,35 @@ class ParallelExecutor(TrialExecutor):
             self._retire(handle, f"{WORKER_DIED_PREFIX}: worker pipe closed before dispatch")
 
     def _feed_backlog(self, handle: _WorkerHandle) -> None:
+        if handle.retiring:
+            return
         if self._pipelined:
             while self._backlog:
                 self._dispatch(handle, self._backlog.popleft())
         elif self._backlog:
             self._dispatch(handle, self._backlog.popleft())
 
+    def _feed_idle(self) -> None:
+        """Feed backlog tasks to every idle worker (post-join rebalance)."""
+        for handle in list(self._workers.values()):
+            if not self._backlog:
+                return
+            if handle.idle and not handle.retiring and handle.process.is_alive():
+                self._feed_backlog(handle)
+
     # -- completion ------------------------------------------------------------
 
     def pending(self) -> int:
-        """In-flight trials plus queued tasks plus uncollected completions."""
-        in_flight = sum(len(handle.tasks) for handle in self._workers.values())
-        return in_flight + len(self._backlog) + len(self._completed)
+        """In-flight trials plus queued tasks plus uncollected completions.
+
+        Distinct *trials*, not dispatched copies: a speculated trial with
+        two live copies still counts once, since exactly one completion
+        will surface.
+        """
+        in_flight = {
+            trial_id for handle in self._workers.values() for _, trial_id, _ in handle.tasks
+        }
+        return len(in_flight) + len(self._backlog) + len(self._completed)
 
     def wait_one(self) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
         """Next completion in any order; watchdog failures count as completions."""
@@ -465,7 +730,7 @@ class ParallelExecutor(TrialExecutor):
                 return self._completed.popleft()
             self._run_watchdog()
 
-    def _pump(self, timeout: float) -> None:
+    def _pump(self, timeout: Optional[float]) -> None:
         """Drain every readable worker pipe, waiting up to ``timeout``."""
         conns = {handle.conn: handle for handle in self._workers.values()}
         if not conns:
@@ -474,13 +739,19 @@ class ParallelExecutor(TrialExecutor):
             ready = mp_connection.wait(list(conns), timeout)
         except OSError:
             ready = []
-        for conn in ready:
-            handle = conns[conn]
+        # Drain in dispatch order (head token) so that when both copies of
+        # a speculated trial are ready in the same wake-up, the lowest
+        # attempt index deterministically wins.
+        ready_handles = [conns[conn] for conn in ready]
+        ready_handles.sort(key=lambda h: h.tasks[0][0] if h.tasks else float("inf"))
+        for handle in ready_handles:
             self._drain(handle)
 
     def _drain(self, handle: _WorkerHandle) -> None:
         """Consume every queued message from one worker's pipe."""
         while True:
+            if handle.worker_id not in self._workers:
+                return  # cancelled/retired while this pump iterated
             try:
                 if not handle.conn.poll():
                     return
@@ -494,16 +765,74 @@ class ParallelExecutor(TrialExecutor):
             elif kind == "done":
                 _, token, payload = message
                 if handle.tasks and handle.tasks[0][0] == token:
-                    handle.tasks.popleft()
+                    now = time.monotonic()
+                    _, trial_id, _task = handle.tasks.popleft()
+                    if handle.started is not None and not self._pipelined:
+                        self._durations.append(now - handle.started)
+                    handle.started = now if handle.tasks else None
                     handle.deadline = (
-                        time.monotonic() + self.trial_timeout
+                        now + self.trial_timeout
                         if self.trial_timeout and handle.tasks
                         else None
                     )
-                    self._completed.append(payload)
+                    self._settle_completion(trial_id, token, payload)
+                    if handle.worker_id not in self._workers:
+                        return  # this worker left (elastic shrink below won't run)
+                    if handle.retiring and handle.idle:
+                        self._leave(handle, graceful=True)
+                        return
                     self._feed_backlog(handle)
+                    if (
+                        self._elastic
+                        and not self._backlog
+                        and self._active() > (self.min_workers or 1)
+                        and all(h.idle for h in self._workers.values())
+                    ):
+                        # The rung drained: breathe the pool back down to
+                        # its floor (the next burst grows it again).
+                        self.resize(self.min_workers or 1)
+                        if handle.worker_id not in self._workers:
+                            return
                 # A mismatched token is a completion the watchdog already
                 # resolved as a failure; drop it — the retry owns the trial.
+
+    def _settle_completion(self, trial_id: int, token: int, payload: Tuple) -> None:
+        """Record one finished copy; resolve its speculation group if any.
+
+        For speculated trials the first *successful* copy wins and every
+        other live copy is cancelled by retiring its worker through the
+        leave+join path.  A failed copy defers to outstanding copies and
+        only surfaces when it is the last one standing — so a straggler
+        that eventually errors cannot fail a trial whose speculative twin
+        succeeded.
+        """
+        group = self._spec_groups.get(trial_id)
+        if group is None:
+            self._completed.append(payload)
+            return
+        attempt = group.pop(token, None)
+        if attempt is None:
+            return  # copy already resolved; drop the duplicate result
+        ok = payload[1]
+        if not ok and group:
+            return  # a live copy may still succeed — let it try
+        del self._spec_groups[trial_id]
+        if ok and attempt > 0:
+            self.speculation_wins += 1
+        self._completed.append(payload)
+        # Cancel the losing copies: their workers leave (discarding the
+        # in-flight duplicate) and replacements join immediately.
+        for loser_token in list(group):
+            for other in list(self._workers.values()):
+                if any(t == loser_token for t, _, _ in other.tasks):
+                    other.tasks.clear()
+                    other.deadline = None
+                    other.started = None
+                    self._leave(other, graceful=False)
+                    break
+        if group and self._evaluator is not None:
+            self._ensure_workers()
+            self._feed_idle()
 
     def _run_watchdog(self) -> None:
         """Kill/respawn dead, overdue or silent workers; surface their trials."""
@@ -538,32 +867,71 @@ class ParallelExecutor(TrialExecutor):
                     f"{WORKER_HUNG_PREFIX}: no heartbeat for over "
                     f"{self.heartbeat_timeout}s",
                 )
+        if self.speculate:
+            self._check_stragglers(now)
+
+    def _check_stragglers(self, now: float) -> None:
+        """Duplicate overdue trials onto idle workers (same seed, new token)."""
+        if len(self._durations) < self.straggler_min_samples:
+            return
+        threshold = max(
+            self.straggler_min_s, self.straggler_factor * statistics.median(self._durations)
+        )
+        for handle in list(self._workers.values()):
+            if handle.idle or handle.retiring or handle.started is None:
+                continue
+            token, trial_id, task = handle.tasks[0]
+            if trial_id in self._spec_groups:
+                continue  # already speculated
+            if now - handle.started <= threshold:
+                continue
+            idle = next(
+                (
+                    h
+                    for h in self._workers.values()
+                    if h.idle and not h.retiring and h.process.is_alive()
+                ),
+                None,
+            )
+            if idle is None:
+                return  # no spare capacity; try again next poll
+            spec_token = self._next_token
+            self._next_token += 1
+            spec_task = (spec_token,) + task[1:]
+            self._spec_groups[trial_id] = {token: 0, spec_token: 1}
+            self.speculations += 1
+            self._dispatch(idle, spec_task)
 
     def _retire(self, handle: _WorkerHandle, error: str) -> None:
-        """Kill one worker, fail its in-flight trial, and respawn a replacement.
+        """One worker leaves involuntarily; its trials fail; the pool rejoins.
 
-        Idempotent per handle: a worker can be reported dead through
-        several paths (pipe EOF while draining, ``is_alive`` in the
-        watchdog) and must only be failed/respawned once.
+        This *is* the leave+join path: the worker is removed via
+        :meth:`_leave`, its in-flight trials surface as failed completions
+        (unless a speculative twin is still running), and
+        :meth:`_ensure_workers` brings the pool back to the current target
+        size — the same sequence :meth:`resize` uses, so watchdog recovery
+        and elastic scaling share one set of invariants.  Idempotent per
+        handle: a worker can be reported dead through several paths (pipe
+        EOF while draining, ``is_alive`` in the watchdog) and must only
+        leave once.
         """
-        if self._workers.pop(handle.worker_id, None) is None:
-            return
         tasks = list(handle.tasks)
         handle.tasks.clear()
         handle.deadline = None
-        if handle.process.is_alive():
-            handle.process.kill()
-        handle.process.join(timeout=1.0)
-        try:
-            handle.conn.close()
-        except OSError:
-            pass
-        for _, trial_id in tasks:
+        handle.started = None
+        if not self._leave(handle, graceful=False):
+            return
+        for token, trial_id, _task in tasks:
+            group = self._spec_groups.get(trial_id)
+            if group is not None:
+                group.pop(token, None)
+                if group:
+                    continue  # the surviving copy owns the trial now
+                del self._spec_groups[trial_id]
             self._completed.append((trial_id, False, None, error))
         if self._evaluator is not None:
-            replacement = self._spawn_worker()
-            self.respawns += 1
-            self._feed_backlog(replacement)
+            self.respawns += self._ensure_workers()
+            self._feed_idle()
 
     # -- teardown --------------------------------------------------------------
 
@@ -587,3 +955,5 @@ class ParallelExecutor(TrialExecutor):
         self._workers.clear()
         self._backlog.clear()
         self._completed.clear()
+        self._durations.clear()
+        self._spec_groups.clear()

@@ -48,10 +48,11 @@ from .protocol import (
     JobSpec,
     ProtocolError,
     eval_context,
+    spec_digest,
 )
 from .registry import JobRegistry, SharedEngineState, TenantStats
 from .scheduler import FairShareScheduler, QueueFull
-from .server import ServeDaemon
+from .server import Degraded, ServeDaemon
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -61,6 +62,7 @@ __all__ = [
     "JobRecord",
     "ProtocolError",
     "eval_context",
+    "spec_digest",
     "FairShareScheduler",
     "QueueFull",
     "JobRegistry",
@@ -72,6 +74,7 @@ __all__ = [
     "execute_job",
     "incumbent_fingerprint",
     "ServeDaemon",
+    "Degraded",
     "ServeClient",
     "ServeError",
 ]

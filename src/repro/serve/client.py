@@ -24,6 +24,7 @@ import time
 from typing import Any, Dict, List, Optional, Union
 from urllib.parse import urlparse
 
+from ..engine.core import backoff_delay
 from .protocol import JobSpec, TERMINAL_STATES
 
 __all__ = ["ServeError", "ServeClient"]
@@ -56,25 +57,74 @@ class ServeClient:
         Base URL (``"http://host:port"``) — what ``repro serve`` prints —
         or just ``"host:port"``.
     timeout:
-        Socket timeout per request, in seconds.
+        Read timeout per request, in seconds (how long to wait for the
+        daemon's response once connected).
+    connect_timeout:
+        Timeout for establishing the TCP connection; defaults to
+        ``timeout``.  A daemon that is down fails fast here instead of
+        hanging for a full read timeout.
+    retries:
+        Transport retry budget: how many times a failed round trip is
+        re-attempted after the first try.  Each retry sleeps a jittered
+        exponential backoff from the engine's seeded
+        :func:`~repro.engine.core.backoff_delay` helper, so the delay
+        schedule is reproducible.  Retrying a ``submit`` whose first
+        attempt actually landed is safe: the daemon's in-flight dedup
+        subscribes the duplicate to the original job.
+    retry_backoff / retry_backoff_max:
+        Base and cap (seconds) of the backoff schedule.
+    retry_seed:
+        Seed for the deterministic jitter.
+    retry_statuses:
+        Optional HTTP statuses (e.g. ``(429, 503)``) also retried within
+        the same budget; by default only transport-level failures retry
+        and every HTTP error surfaces immediately as :class:`ServeError`.
     """
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        connect_timeout: Optional[float] = None,
+        retries: int = 1,
+        retry_backoff: float = 0.1,
+        retry_backoff_max: float = 2.0,
+        retry_seed: int = 0,
+        retry_statuses: tuple = (),
+        sleep=time.sleep,
+    ) -> None:
         if "//" not in url:
             url = "http://" + url
         parsed = urlparse(url)
         if parsed.scheme != "http" or parsed.hostname is None or parsed.port is None:
             raise ValueError(f"expected an http://host:port URL, got {url!r}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0 or retry_backoff_max < 0:
+            raise ValueError("retry backoff terms must be >= 0")
         self.host = parsed.hostname
         self.port = parsed.port
         self.timeout = timeout
+        self.connect_timeout = timeout if connect_timeout is None else connect_timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self.retry_seed = retry_seed
+        self.retry_statuses = tuple(retry_statuses)
+        #: Round trips that failed and were retried (transport or status).
+        self.transport_retries = 0
+        self._sleep = sleep
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport -------------------------------------------------------------
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
-            self._conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.connect_timeout
+            )
         return self._conn
 
     def close(self) -> None:
@@ -90,33 +140,66 @@ class ServeClient:
         self.close()
 
     def _request(self, method: str, path: str, body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """One round trip; retries once on a stale kept-alive connection."""
+        """One logical request with a bounded, seeded-jitter retry budget.
+
+        Transport failures (stale kept-alive connection, refused connect,
+        socket timeout) are retried up to ``retries`` times with
+        :func:`~repro.engine.core.backoff_delay` sleeps between attempts;
+        statuses listed in ``retry_statuses`` consume the same budget.
+        Whatever failure ends the budget is what surfaces.
+        """
         payload = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if payload is not None else {}
-        for attempt in (0, 1):
+        last_failure: Optional[ServeError] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.transport_retries += 1
+                delay = backoff_delay(
+                    self.retry_backoff, attempt, self.retry_backoff_max,
+                    self.retry_seed + attempt,
+                )
+                if delay > 0:
+                    self._sleep(delay)
             conn = self._connection()
             try:
                 conn.request(method, path, body=payload, headers=headers)
+                if conn.sock is not None:
+                    conn.sock.settimeout(self.timeout)
                 response = conn.getresponse()
                 raw = response.read()
-                break
             except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as exc:
                 self.close()
-                if attempt:
-                    raise ServeError(0, {"error": f"{type(exc).__name__}: {exc}"}) from exc
-        try:
-            data = json.loads(raw.decode("utf-8")) if raw else {}
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            data = {}
-        if response.status >= 400:
-            raise ServeError(response.status, data if isinstance(data, dict) else {})
-        return data if isinstance(data, dict) else {}
+                last_failure = ServeError(0, {"error": f"{type(exc).__name__}: {exc}"})
+                last_failure.__cause__ = exc
+                continue
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                data = {}
+            if not isinstance(data, dict):
+                data = {}
+            if response.status >= 400:
+                last_failure = ServeError(response.status, data)
+                if response.status in self.retry_statuses:
+                    continue
+                raise last_failure
+            return data
+        assert last_failure is not None
+        raise last_failure
 
     # -- endpoints -------------------------------------------------------------
 
     def healthz(self) -> Dict[str, Any]:
         """``GET /healthz`` — liveness and serving/draining state."""
         return self._request("GET", "/healthz")
+
+    def readyz(self) -> Dict[str, Any]:
+        """``GET /readyz`` — readiness to accept new work.
+
+        Raises :class:`ServeError` with ``status == 503`` (payload
+        carrying the blocking ``reasons``) while the daemon is not ready.
+        """
+        return self._request("GET", "/readyz")
 
     def stats(self) -> Dict[str, Any]:
         """``GET /stats`` — queues, tenants, shared cache, throughput."""

@@ -38,6 +38,7 @@ __all__ = [
     "JobSpec",
     "JobRecord",
     "eval_context",
+    "spec_digest",
 ]
 
 #: Version tag carried in job records and the /healthz payload; bump when
@@ -218,6 +219,28 @@ def eval_context(spec: JobSpec) -> str:
     return hashlib.blake2b(payload, digest_size=8).hexdigest()
 
 
+def spec_digest(spec: JobSpec) -> str:
+    """Digest of everything that determines one job's *entire result*.
+
+    Strictly finer than :func:`eval_context`: it additionally pins the
+    searcher, the search-space size and the refit flag, so two specs with
+    equal digests run the identical search and produce bitwise-identical
+    incumbents and fingerprints.  Tenant, priority and trace are excluded
+    — they shape scheduling and observability, never results.  This is
+    the key for cross-run in-flight dedup: a job whose digest matches a
+    currently queued/running job can subscribe to that job's result
+    instead of recomputing it.
+    """
+    payload = repr((
+        eval_context(spec),
+        spec.method.lower(),
+        int(spec.hps),
+        spec.n_configurations,
+        bool(spec.refit),
+    )).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=8).hexdigest()
+
+
 @dataclass
 class JobRecord:
     """Lifecycle and outcome of one accepted job.
@@ -250,6 +273,10 @@ class JobRecord:
     resumed:
         Times this job was recovered from its journal after a daemon
         restart.
+    deduped_from:
+        Job id of the in-flight twin this job subscribed to instead of
+        executing (see :func:`spec_digest`); ``None`` for jobs that ran
+        themselves.
     """
 
     job_id: str
@@ -263,6 +290,7 @@ class JobRecord:
     incumbent: Optional[Dict[str, Any]] = None
     engine_stats: Dict[str, Any] = field(default_factory=dict)
     resumed: int = 0
+    deduped_from: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -291,6 +319,7 @@ class JobRecord:
             "incumbent": self.incumbent,
             "engine_stats": dict(self.engine_stats),
             "resumed": self.resumed,
+            "deduped_from": self.deduped_from,
         }
 
     @classmethod
@@ -310,6 +339,7 @@ class JobRecord:
                 incumbent=data.get("incumbent"),
                 engine_stats=dict(data.get("engine_stats") or {}),
                 resumed=int(data.get("resumed", 0)),
+                deduped_from=data.get("deduped_from"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             if isinstance(exc, ProtocolError):

@@ -192,12 +192,27 @@ class JobRegistry:
         self._lock = threading.RLock()
         self._records: Dict[str, JobRecord] = {}
         self._tenants: Dict[str, TenantStats] = {}
+        #: Corrupt record files moved aside by :meth:`load_all` since start.
+        self.quarantined = 0
 
     # -- paths -----------------------------------------------------------------
 
     def job_dir(self, job_id: str) -> Path:
         """Directory holding one job's record, journal, trace and result."""
         return self.jobs_dir / job_id
+
+    def spec_path(self, job_id: str) -> Path:
+        """The job's immutable spec sidecar.
+
+        Written once at admission and never touched again, it is the
+        recovery anchor when ``job.json`` itself is lost to corruption:
+        the spec plus the journal reconstruct the job bit for bit.
+        """
+        return self.job_dir(job_id) / "spec.json"
+
+    def quarantine_dir(self) -> Path:
+        """Where corrupt record files are moved aside for post-mortems."""
+        return self.root / "quarantine"
 
     def journal_path(self, job_id: str) -> Path:
         """The job's write-ahead-log location."""
@@ -214,14 +229,30 @@ class JobRegistry:
     # -- lifecycle -------------------------------------------------------------
 
     def create(self, spec: JobSpec) -> JobRecord:
-        """Admit one job: assign an id, persist the record, count the tenant."""
+        """Admit one job: assign an id, persist the record, count the tenant.
+
+        Durability first, bookkeeping second: the record and its spec
+        sidecar hit disk before the in-memory view or tenant counters
+        change, so a failed write (disk full) leaves no phantom job
+        behind and the caller can shed the request cleanly.
+        """
         job_id = uuid.uuid4().hex[:12]
         record = JobRecord(job_id=job_id, spec=spec, created_at=self.clock())
+        _atomic_write_json(self.spec_path(job_id), spec.to_dict())
+        _atomic_write_json(self.job_dir(job_id) / "job.json", record.to_dict())
         with self._lock:
             self._records[job_id] = record
             self.tenant(spec.tenant).submitted += 1
-        self.persist(record)
         return record
+
+    def probe(self) -> None:
+        """Prove the registry can still write durably (raises ``OSError``).
+
+        Used by the daemon's readiness check and degraded-mode recovery:
+        an atomic write of a tiny probe file exercises the same
+        mkstemp/fsync/rename path every record update takes.
+        """
+        _atomic_write_json(self.jobs_dir / ".probe", {"t": self.clock()})
 
     def persist(self, record: JobRecord) -> None:
         """Atomically write the record's current state to its job.json."""
@@ -318,22 +349,77 @@ class JobRegistry:
     def load_all(self) -> List[JobRecord]:
         """Rebuild the in-memory view from disk; return recovered records.
 
-        Called once at daemon start.  Unreadable record files are skipped
-        (a torn job.json cannot occur — writes are atomic — but an empty
-        directory from a crashed admission can).  Jobs found in
-        ``queued``/``running`` state are the interrupted ones the server
-        re-queues for journal-resumed execution.
+        Called once at daemon start.  Jobs found in ``queued``/``running``
+        state are the interrupted ones the server re-queues for
+        journal-resumed execution.
+
+        Hostile on-disk state never crashes the daemon and never silently
+        drops a job.  Three corruption shapes are handled, all counted in
+        :attr:`quarantined` and moved under ``<root>/quarantine/`` for
+        post-mortems:
+
+        - stray ``job.json.*.tmp`` files (a write that crashed before its
+          rename) are moved aside;
+        - a truncated/corrupt/unparseable ``job.json`` is moved aside and
+          the record is rebuilt ``queued`` from the immutable ``spec.json``
+          sidecar — the job's journal then replays the already-durable
+          trials, so the re-run stays bitwise-equal to an uninterrupted
+          one;
+        - a ``job.json`` missing entirely (the rename never happened) is
+          rebuilt from ``spec.json`` the same way.
+
+        Only a directory whose ``spec.json`` is *also* unreadable is
+        skipped — there is nothing left to recover from.
         """
         recovered: List[JobRecord] = []
         for job_dir in sorted(self.jobs_dir.iterdir()):
+            if not job_dir.is_dir():
+                continue
+            for stray in sorted(job_dir.glob("*.tmp")):
+                self._quarantine(stray)
             record_path = job_dir / "job.json"
-            if not record_path.is_file():
-                continue
-            try:
-                record = JobRecord.from_dict(json.loads(record_path.read_text()))
-            except (json.JSONDecodeError, ProtocolError, OSError):
-                continue
+            record: Optional[JobRecord] = None
+            if record_path.is_file():
+                try:
+                    record = JobRecord.from_dict(json.loads(record_path.read_text()))
+                except (json.JSONDecodeError, ProtocolError, OSError, UnicodeDecodeError):
+                    self._quarantine(record_path)
+                    record = None
+            if record is None:
+                record = self._rebuild_from_spec(job_dir)
+                if record is None:
+                    continue
             with self._lock:
                 self._records[record.job_id] = record
             recovered.append(record)
         return recovered
+
+    def _quarantine(self, path: Path) -> None:
+        """Move one corrupt file aside (never raises, always counts)."""
+        target_dir = self.quarantine_dir() / path.parent.name
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(str(path), str(target_dir / path.name))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return  # could not even remove it; leave it for the operator
+        self.quarantined += 1
+
+    def _rebuild_from_spec(self, job_dir: Path) -> Optional[JobRecord]:
+        """Reconstruct a queued record from the immutable spec sidecar."""
+        spec_path = job_dir / "spec.json"
+        if not spec_path.is_file():
+            return None
+        try:
+            spec = JobSpec.from_dict(json.loads(spec_path.read_text()))
+        except (json.JSONDecodeError, ProtocolError, OSError, UnicodeDecodeError):
+            self._quarantine(spec_path)
+            return None
+        record = JobRecord(job_id=job_dir.name, spec=spec, created_at=self.clock())
+        try:
+            self.persist(record)
+        except OSError:
+            pass  # still recoverable in memory; the next persist retries
+        return record

@@ -30,23 +30,38 @@ a real proxy in front of it before exposing it further.
 from __future__ import annotations
 
 import json
+import shutil
 import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .jobs import execute_job
-from .protocol import PROTOCOL_VERSION, JobSpec, ProtocolError
+from .protocol import PROTOCOL_VERSION, JobRecord, JobSpec, ProtocolError, spec_digest
 from .registry import JobRegistry, SharedEngineState
 from .scheduler import FairShareScheduler, QueueFull
 
-__all__ = ["ServeDaemon"]
+__all__ = ["ServeDaemon", "Degraded"]
+
+
+class Degraded(RuntimeError):
+    """Admission shed because the daemon is in degraded mode (HTTP 429).
+
+    Raised by :meth:`ServeDaemon.admit` while the spill disk refuses
+    durable writes; cleared automatically once a probe write succeeds.
+    """
 
 
 class _ServeHTTPServer(ThreadingHTTPServer):
-    """Threading HTTP server carrying a reference back to its daemon."""
+    """Threading HTTP server carrying a reference back to its daemon.
+
+    Enforces the daemon's keep-alive connection budget at accept time:
+    past ``max_connections`` concurrently-open connections, new arrivals
+    get a minimal ``503 + Retry-After`` and are closed before a handler
+    thread is ever tied up parsing them.
+    """
 
     daemon_threads = True
     allow_reuse_address = True
@@ -54,6 +69,27 @@ class _ServeHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, handler, daemon_ref: "ServeDaemon") -> None:
         super().__init__(address, handler)
         self.daemon_ref = daemon_ref
+
+    def process_request_thread(self, request, client_address) -> None:
+        daemon = self.daemon_ref
+        if not daemon._acquire_connection():
+            body = b'{"error": "connection limit reached"}'
+            try:
+                request.sendall(
+                    b"HTTP/1.1 503 Service Unavailable\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Retry-After: 1\r\n"
+                    b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                    b"Connection: close\r\n\r\n" + body
+                )
+            except OSError:
+                pass
+            self.shutdown_request(request)
+            return
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            daemon._release_connection()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -111,6 +147,9 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, self.daemon.health())
+        elif path == "/readyz":
+            payload = self.daemon.ready()
+            self._send_json(200 if payload["ready"] else 503, payload)
         elif path == "/stats":
             self._send_json(200, self.daemon.stats())
         elif path == "/jobs":
@@ -142,6 +181,9 @@ class _Handler(BaseHTTPRequestHandler):
             record = self.daemon.admit(spec)
         except QueueFull as exc:
             self._send_json(429, {"error": str(exc)}, headers={"Retry-After": "1"})
+            return
+        except Degraded as exc:
+            self._send_json(429, {"error": str(exc)}, headers={"Retry-After": "5"})
             return
         self._send_json(202, record.to_dict())
 
@@ -177,8 +219,33 @@ class ServeDaemon:
         :class:`~repro.serve.scheduler.FairShareScheduler`).
     cache_entries:
         LRU bound per evaluation-context cache (``None`` = unbounded).
+    max_connections:
+        Concurrent keep-alive HTTP connection budget; arrivals past it
+        get ``503 + Retry-After`` at accept time (counted in ``/stats``).
     verbose:
         Emit per-request access logs to stderr.
+
+    Notes
+    -----
+    Beyond scheduling, the daemon is a fault-tolerance shell:
+
+    - ``/healthz`` answers liveness (the process serves requests) while
+      ``/readyz`` answers readiness — scheduler accepting, registry
+      writable (probe write), worker pool alive — so an orchestrator can
+      stop routing to a sick instance without killing it;
+    - jobs whose :func:`~repro.serve.protocol.spec_digest` matches a
+      currently queued/running job **subscribe** to that job's result
+      instead of recomputing it (cross-run in-flight dedup); if the
+      primary fails or is cancelled, its followers are promoted to run
+      for real;
+    - when durable writes fail (disk full), admission enters *degraded
+      mode*: new jobs are shed with ``429 + Retry-After`` while running
+      jobs continue, and a successful probe write clears the mode
+      automatically;
+    - corrupt or torn ``job.json`` files found on restart are moved to
+      ``<root>/quarantine/`` and the jobs rebuilt from their spec
+      sidecars and journals (see
+      :meth:`~repro.serve.registry.JobRegistry.load_all`).
 
     Examples
     --------
@@ -198,10 +265,13 @@ class ServeDaemon:
         default_quota: int = 2,
         quotas: Optional[Dict[str, int]] = None,
         cache_entries: Optional[int] = None,
+        max_connections: int = 64,
         verbose: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_connections < 1:
+            raise ValueError(f"max_connections must be >= 1, got {max_connections}")
         self.root = Path(root)
         self.registry = JobRegistry(self.root)
         self.shared = SharedEngineState(self.root, cache_entries=cache_entries)
@@ -216,6 +286,24 @@ class ServeDaemon:
         self._cancel_events: Dict[str, threading.Event] = {}
         self._cancel_lock = threading.Lock()
         self._threads: list = []
+        # -- fault-tolerance state --------------------------------------------
+        #: Why admission is degraded (``None`` = healthy).
+        self.degraded_reason: Optional[str] = None
+        #: Jobs shed with 429 while degraded (telemetry counter).
+        self.shed_jobs = 0
+        #: Jobs that subscribed to an in-flight twin instead of running.
+        self.deduped_jobs = 0
+        self._dedup_lock = threading.Lock()
+        #: spec digest -> job_id of the queued/running job owning it.
+        self._inflight_digests: Dict[str, str] = {}
+        #: primary job_id -> follower job_ids awaiting its result.
+        self._followers: Dict[str, List[str]] = {}
+        # -- connection budget -------------------------------------------------
+        self.max_connections = max_connections
+        self.connections_rejected = 0
+        self.connections_peak = 0
+        self._active_connections = 0
+        self._conn_lock = threading.Lock()
         self._httpd = _ServeHTTPServer((host, port), _Handler, daemon_ref=self)
         self.host, self.port = self._httpd.server_address[:2]
 
@@ -256,22 +344,155 @@ class ServeDaemon:
         for record in self.registry.load_all():
             if record.terminal:
                 continue
+            if record.deduped_from is not None:
+                # The twin this job subscribed to did not survive the
+                # restart as its primary; promote it to run on its own
+                # (its journal, if any, still replays).
+                record.deduped_from = None
             if record.state != "queued":
                 record.state = "queued"
                 record.started_at = None
-                self.registry.persist(record)
+            self.registry.persist(record)
             self.scheduler.submit(record)
+            with self._dedup_lock:
+                self._inflight_digests[spec_digest(record.spec)] = record.job_id
             self.recovered_jobs += 1
 
     def admit(self, spec: JobSpec) -> Any:
-        """Persist then enqueue one job; raises :class:`QueueFull` when saturated."""
-        record = self.registry.create(spec)
+        """Persist then enqueue one job (or subscribe it to an in-flight twin).
+
+        Raises :class:`QueueFull` when the scheduler is saturated and
+        :class:`Degraded` while durable writes are failing (both shed
+        with 429 at the HTTP layer).  A job whose
+        :func:`~repro.serve.protocol.spec_digest` matches a queued or
+        running job becomes that job's *follower*: it is persisted and
+        visible like any job, but never scheduled — it adopts the
+        primary's result the moment the primary finishes.
+        """
+        self._check_degraded()
+        digest = spec_digest(spec)
+        with self._dedup_lock:
+            primary_id = self._inflight_digests.get(digest)
+            primary = self.registry.get(primary_id) if primary_id else None
+            if primary is not None and not primary.terminal:
+                record = self._create_record(spec)
+                record.deduped_from = primary.job_id
+                try:
+                    self.registry.persist(record)
+                except OSError as exc:
+                    self._enter_degraded(exc)
+                self._followers.setdefault(primary.job_id, []).append(record.job_id)
+                self.deduped_jobs += 1
+                return record
+        record = self._create_record(spec)
         try:
             self.scheduler.submit(record)
         except (QueueFull, RuntimeError):
             self.registry.discard(record)
+            self.shed_jobs += 1
             raise
+        with self._dedup_lock:
+            self._inflight_digests[digest] = record.job_id
         return record
+
+    def _create_record(self, spec: JobSpec) -> JobRecord:
+        """Durably create one record, entering degraded mode on write failure."""
+        try:
+            return self.registry.create(spec)
+        except OSError as exc:
+            self._enter_degraded(exc)
+            self.shed_jobs += 1
+            raise Degraded(f"admission degraded ({self.degraded_reason}); retry later") from exc
+
+    # -- degraded mode ---------------------------------------------------------
+
+    def _enter_degraded(self, exc: BaseException) -> None:
+        self.degraded_reason = f"{type(exc).__name__}: {exc}"
+
+    def _check_degraded(self) -> None:
+        """Shed (raise :class:`Degraded`) while the disk still refuses writes.
+
+        Every admission attempted in degraded mode re-probes, so the mode
+        clears itself on the first request after pressure lifts — no
+        operator action, no restart.
+        """
+        if self.degraded_reason is None:
+            return
+        try:
+            self.registry.probe()
+        except OSError as exc:
+            self._enter_degraded(exc)
+            self.shed_jobs += 1
+            raise Degraded(
+                f"admission degraded ({self.degraded_reason}); retry later"
+            ) from exc
+        self.degraded_reason = None
+
+    # -- connection budget -----------------------------------------------------
+
+    def _acquire_connection(self) -> bool:
+        with self._conn_lock:
+            if self._active_connections >= self.max_connections:
+                self.connections_rejected += 1
+                return False
+            self._active_connections += 1
+            self.connections_peak = max(self.connections_peak, self._active_connections)
+            return True
+
+    def _release_connection(self) -> None:
+        with self._conn_lock:
+            self._active_connections -= 1
+
+    # -- dedup resolution ------------------------------------------------------
+
+    def _resolve_followers(self, primary: JobRecord) -> None:
+        """Settle every follower of a just-finished primary.
+
+        ``done`` primaries hand their incumbent (and result file) to each
+        follower; a failed or cancelled primary promotes its first
+        follower to run for real (the rest re-subscribe to it), so a
+        tenant's job never silently dies with someone else's failure.
+        """
+        with self._dedup_lock:
+            digest = spec_digest(primary.spec)
+            if self._inflight_digests.get(digest) == primary.job_id:
+                del self._inflight_digests[digest]
+            follower_ids = self._followers.pop(primary.job_id, [])
+        waiting = []
+        for job_id in follower_ids:
+            follower = self.registry.get(job_id)
+            if follower is not None and not follower.terminal:
+                waiting.append(follower)
+        if not waiting:
+            return
+        if primary.state == "done":
+            source = self.registry.result_path(primary.job_id)
+            for follower in waiting:
+                follower.trials_done = primary.trials_done
+                if source.is_file():
+                    try:
+                        shutil.copyfile(source, self.registry.result_path(follower.job_id))
+                    except OSError:
+                        pass  # the incumbent on the record still answers queries
+                self.registry.mark_finished(
+                    follower, "done", incumbent=primary.incumbent
+                )
+            return
+        # Primary failed or was cancelled: promote the first live follower.
+        leader, rest = waiting[0], waiting[1:]
+        leader.deduped_from = None
+        with self._dedup_lock:
+            self._inflight_digests[digest] = leader.job_id
+            if rest:
+                self._followers[leader.job_id] = [f.job_id for f in rest]
+        try:
+            self.registry.persist(leader)
+            self.scheduler.submit(leader)
+        except (QueueFull, RuntimeError) as exc:
+            self.registry.mark_finished(
+                leader, "failed", error=f"promotion after twin {primary.job_id}: {exc}"
+            )
+            self._resolve_followers(leader)
 
     def cancel(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
         """Cancel one job; returns ``(http_status, payload)``.
@@ -284,6 +505,14 @@ class ServeDaemon:
         if record is None:
             return 404, {"error": "unknown job"}
         if record.terminal:
+            return 200, record.to_dict()
+        if record.deduped_from is not None:
+            # A follower never runs; unsubscribe it from its primary.
+            with self._dedup_lock:
+                followers = self._followers.get(record.deduped_from)
+                if followers and job_id in followers:
+                    followers.remove(job_id)
+            self.registry.mark_finished(record, "cancelled", error="cancelled while subscribed")
             return 200, record.to_dict()
         dequeued = self.scheduler.cancel(job_id)
         if dequeued is not None:
@@ -369,18 +598,60 @@ class ServeDaemon:
             finally:
                 with self._cancel_lock:
                     self._cancel_events.pop(record.job_id, None)
+                try:
+                    self._resolve_followers(record)
+                except Exception:  # noqa: BLE001 — a follower must never kill a worker
+                    pass
                 self.scheduler.task_done(record)
 
     # -- introspection ---------------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
-        """The ``/healthz`` payload."""
+        """The ``/healthz`` payload — pure liveness, always 200."""
         return {
             "status": "ok",
             "state": "draining" if self.draining else "serving",
             "version": PROTOCOL_VERSION,
             "queued": self.scheduler.depth(),
             "running": self.scheduler.running(),
+        }
+
+    def ready(self) -> Dict[str, Any]:
+        """The ``/readyz`` payload — readiness to accept *new* work.
+
+        Ready iff the scheduler is accepting (not draining, not closed),
+        the registry proves writable with a probe write, and at least one
+        job-worker thread is alive.  Each failing condition is named in
+        ``reasons`` so an orchestrator's probe log says *why* traffic
+        stopped; a successful probe also clears degraded mode.
+        """
+        reasons = []
+        if self.started_at is None:
+            reasons.append("not started")
+        if self.draining:
+            reasons.append("draining")
+        if self.scheduler.closed:
+            reasons.append("scheduler closed")
+        workers_alive = sum(
+            1
+            for thread in self._threads
+            if thread.name.startswith("serve-worker") and thread.is_alive()
+        )
+        if self.started_at is not None and workers_alive == 0:
+            reasons.append("no job workers alive")
+        try:
+            self.registry.probe()
+            self.degraded_reason = None
+        except OSError as exc:
+            self._enter_degraded(exc)
+            reasons.append(f"registry not writable: {self.degraded_reason}")
+        return {
+            "ready": not reasons,
+            "reasons": reasons,
+            "workers_alive": workers_alive,
+            "pool_size": self.n_workers,
+            "queued": self.scheduler.depth(),
+            "degraded": self.degraded_reason is not None,
         }
 
     def stats(self) -> Dict[str, Any]:
@@ -408,5 +679,18 @@ class ServeDaemon:
             "throughput": {
                 "completed": completed,
                 "jobs_per_s": completed / uptime if uptime > 0 else 0.0,
+            },
+            "fault_tolerance": {
+                "degraded": self.degraded_reason is not None,
+                "degraded_reason": self.degraded_reason,
+                "shed_jobs": self.shed_jobs,
+                "deduped_jobs": self.deduped_jobs,
+                "quarantined_records": self.registry.quarantined,
+                "connections": {
+                    "active": self._active_connections,
+                    "peak": self.connections_peak,
+                    "limit": self.max_connections,
+                    "rejected": self.connections_rejected,
+                },
             },
         }

@@ -259,3 +259,54 @@ class TestAtomicSpill:
                 budget, got = fresh.best_source(((f"w{tid}", i),), 0.9)
                 assert budget == 0.5
                 same_states(got, states(tid * 100 + i))
+
+
+class TestSpillFailure:
+    """Disk-full spill writes degrade to memory-only, never fail the trial."""
+
+    def _failing_store(self, tmp_path, monkeypatch):
+        store = CheckpointStore(spill_dir=tmp_path / "ck")
+        monkeypatch.setattr(
+            CheckpointStore,
+            "_spill_write",
+            lambda self, path, fold_states: (_ for _ in ()).throw(
+                OSError(28, "No space left on device")
+            ),
+        )
+        return store
+
+    def test_put_survives_enospc_and_serves_from_memory(self, tmp_path, monkeypatch):
+        store = self._failing_store(tmp_path, monkeypatch)
+        store.put((("a", 1),), 0.5, states(1))
+        assert store.spill_errors == 1
+        same_states(store.get((("a", 1),), 0.5), states(1))
+        # the spill index holds no phantom path for the failed write
+        assert store._spill_index == {}
+
+    def test_best_source_skips_dangling_budget(self, tmp_path, monkeypatch):
+        store = self._failing_store(tmp_path, monkeypatch)
+        store.put((("a", 1),), 0.25, states(1))
+        store.put((("a", 1),), 0.5, states(2))
+        budget, got = store.best_source((("a", 1),), 0.9)
+        assert budget == 0.5
+        same_states(got, states(2))
+
+    def test_durability_resumes_after_recovery(self, tmp_path, monkeypatch):
+        store = CheckpointStore(spill_dir=tmp_path / "ck")
+        original = CheckpointStore._spill_write
+        broken = {"on": True}
+
+        def flaky(self, path, fold_states):
+            if broken["on"]:
+                raise OSError(28, "No space left on device")
+            original(self, path, fold_states)
+
+        monkeypatch.setattr(CheckpointStore, "_spill_write", flaky)
+        store.put((("a", 1),), 0.25, states(1))
+        assert store.spill_errors == 1
+        broken["on"] = False
+        store.put((("a", 1),), 0.5, states(2))
+        fresh = CheckpointStore(spill_dir=tmp_path / "ck")
+        budget, got = fresh.best_source((("a", 1),), 0.9)
+        assert budget == 0.5  # only the post-recovery entry is durable
+        same_states(got, states(2))

@@ -1,0 +1,196 @@
+"""Elastic pool resizing and speculative re-execution.
+
+Constructor/bounds tests are pure logic and run in tier-1; everything
+that spawns real worker processes is marked ``elastic`` (excluded from
+tier-1, run with ``pytest -m elastic``).
+"""
+
+import time
+
+import pytest
+
+from repro.bandit.base import EvaluationResult
+from repro.engine import ParallelExecutor, SerialExecutor, TrialRequest
+from repro.engine.executors import current_worker_id
+
+
+class SeedEchoEvaluator:
+    """Picklable evaluator whose score encodes (config, seed)."""
+
+    def evaluate(self, config, budget_fraction, rng):
+        score = config["q"] + float(rng.random())
+        return EvaluationResult(
+            mean=score, std=0.0, score=score, gamma=100 * budget_fraction
+        )
+
+
+class SlowOnEvenWorkersEvaluator(SeedEchoEvaluator):
+    """Sleeps on even worker ids: a scheduling skew, never a seed draw."""
+
+    def evaluate(self, config, budget_fraction, rng):
+        worker = current_worker_id()
+        if worker is not None and worker % 2 == 0:
+            time.sleep(0.4)
+        return super().evaluate(config, budget_fraction, rng)
+
+
+def _request(trial_id, q=0, budget=0.5, seed=123):
+    return TrialRequest(
+        config={"q": q}, budget_fraction=budget, trial_id=trial_id, seed=seed
+    )
+
+
+class TestElasticConstruction:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(min_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(min_workers=4, max_workers=2)
+        with pytest.raises(ValueError):
+            ParallelExecutor(n_workers=1, min_workers=2)
+        with pytest.raises(ValueError):
+            ParallelExecutor(n_workers=5, max_workers=4)
+        with pytest.raises(ValueError):
+            ParallelExecutor(speculate=True, straggler_factor=1.0)
+
+    def test_defaults_from_bounds(self):
+        executor = ParallelExecutor(min_workers=2, max_workers=6)
+        assert executor.n_workers == 2
+        assert executor.capacity == 6  # callers should keep 6 trials in flight
+
+    def test_fixed_pool_capacity_is_n_workers(self):
+        assert ParallelExecutor(n_workers=3).capacity == 3
+
+    def test_resize_validates_target(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(n_workers=2).resize(0)
+
+    def test_resize_clamps_to_bounds_before_spawn(self):
+        executor = ParallelExecutor(min_workers=2, max_workers=4)
+        assert executor.resize(1) == 2
+        assert executor.resize(99) == 4
+        assert executor.resize(3) == 3
+
+    def test_speculation_disables_pipelining(self):
+        assert ParallelExecutor(n_workers=2)._pipelined is True
+        assert ParallelExecutor(n_workers=2, speculate=True)._pipelined is False
+
+
+@pytest.mark.elastic
+class TestElasticPool:
+    def test_grow_and_shrink_mid_run(self):
+        with ParallelExecutor(n_workers=2, min_workers=1, max_workers=4) as executor:
+            executor.bind(SeedEchoEvaluator())
+            for i in range(6):
+                executor.submit(_request(i, q=i, seed=i))
+            executor.resize(4)
+            grown = executor._active()
+            seen = {executor.wait_one()[0] for _ in range(6)}
+        assert seen == set(range(6))
+        assert grown >= 3
+        assert executor.resizes > 0
+        assert executor.joins >= 4
+        assert executor.leaves > 0  # the post-drain breathe-down
+
+    def test_auto_grows_to_demand_and_breathes_down(self):
+        with ParallelExecutor(min_workers=1, max_workers=3) as executor:
+            executor.bind(SeedEchoEvaluator())
+            for i in range(8):
+                executor.submit(_request(i, q=i, seed=i))
+            peak = executor._active()
+            for _ in range(8):
+                executor.wait_one()
+            settled = executor._active()
+        assert peak == 3, "saturated submits should have grown the pool to max"
+        assert settled == 1, "the drained pool should breathe back to min_workers"
+
+    def test_shrink_with_backlog_still_completes_everything(self):
+        with ParallelExecutor(n_workers=3, min_workers=1, max_workers=3) as executor:
+            executor.bind(SeedEchoEvaluator())
+            for i in range(9):
+                executor.submit(_request(i, q=i, seed=i))
+            executor.resize(1)
+            seen = {executor.wait_one()[0] for _ in range(9)}
+        assert seen == set(range(9))
+
+    def test_resize_storm_matches_serial_scores(self):
+        serial = SerialExecutor()
+        serial.bind(SeedEchoEvaluator())
+        for i in range(8):
+            serial.submit(_request(i, q=i, seed=1000 + i))
+        reference = {}
+        for _ in range(8):
+            trial_id, ok, result, _ = serial.wait_one()
+            assert ok
+            reference[trial_id] = result.score
+
+        with ParallelExecutor(n_workers=2, min_workers=1, max_workers=4) as executor:
+            executor.bind(SeedEchoEvaluator())
+            for i in range(8):
+                executor.resize([1, 3, 2, 4][i % 4])
+                executor.submit(_request(i, q=i, seed=1000 + i))
+            stormed = {}
+            for _ in range(8):
+                trial_id, ok, result, _ = executor.wait_one()
+                assert ok
+                stormed[trial_id] = result.score
+        assert stormed == reference
+
+    def test_retiring_worker_leaves_after_draining(self):
+        with ParallelExecutor(n_workers=2, min_workers=1, max_workers=2,
+                              poll_interval=0.02) as executor:
+            executor.bind(SeedEchoEvaluator())
+            for i in range(4):
+                executor.submit(_request(i, q=i, seed=i))
+            executor.resize(1)  # one busy worker is marked retiring
+            for _ in range(4):
+                executor.wait_one()
+            assert executor._active() == 1
+            assert all(not h.retiring for h in executor._workers.values())
+
+
+@pytest.mark.elastic
+class TestSpeculation:
+    def test_straggler_is_speculated_and_result_unchanged(self):
+        serial = SerialExecutor()
+        serial.bind(SeedEchoEvaluator())
+        for i in range(8):
+            serial.submit(_request(i, q=i, seed=i))
+        reference = {}
+        for _ in range(8):
+            trial_id, ok, result, _ = serial.wait_one()
+            reference[trial_id] = result.score
+
+        with ParallelExecutor(n_workers=2, speculate=True, straggler_factor=3.0,
+                              straggler_min_s=0.1, poll_interval=0.02) as executor:
+            executor.bind(SlowOnEvenWorkersEvaluator())
+            for i in range(8):
+                executor.submit(_request(i, q=i, seed=i))
+            speculated = {}
+            for _ in range(8):
+                trial_id, ok, result, _ = executor.wait_one()
+                assert ok
+                speculated[trial_id] = result.score
+            assert executor.pending() == 0
+        assert executor.speculations > 0, "the slow worker was never speculated against"
+        assert speculated == reference, "speculation changed a score"
+
+    def test_speculation_counts_wins(self):
+        with ParallelExecutor(n_workers=2, speculate=True, straggler_factor=3.0,
+                              straggler_min_s=0.1, poll_interval=0.02) as executor:
+            executor.bind(SlowOnEvenWorkersEvaluator())
+            for i in range(8):
+                executor.submit(_request(i, q=i, seed=i))
+            for _ in range(8):
+                executor.wait_one()
+        # the fast twin beats a 0.4s sleeper every time it is launched
+        assert executor.speculation_wins == executor.speculations > 0
+
+    def test_no_speculation_without_flag(self):
+        with ParallelExecutor(n_workers=2, poll_interval=0.02) as executor:
+            executor.bind(SlowOnEvenWorkersEvaluator())
+            for i in range(4):
+                executor.submit(_request(i, q=i, seed=i))
+            for _ in range(4):
+                executor.wait_one()
+        assert executor.speculations == 0

@@ -172,10 +172,12 @@ class TestBackpressure:
                 while server.scheduler.running() < 1:
                     assert time.monotonic() < deadline
                     time.sleep(0.005)
-                queued = [c.submit(tenant="alpha", **FAST),
-                          c.submit(tenant="beta", **FAST)]
+                # Distinct seeds: identical specs would dedup into
+                # followers of the first job and never occupy the queue.
+                queued = [c.submit(tenant="alpha", **{**FAST, "seed": 1}),
+                          c.submit(tenant="beta", **{**FAST, "seed": 2})]
                 with pytest.raises(ServeError) as excinfo:
-                    c.submit(tenant="gamma", **FAST)
+                    c.submit(tenant="gamma", **{**FAST, "seed": 3})
                 assert excinfo.value.status == 429
                 for accepted in queued:
                     c.cancel(accepted["job_id"])

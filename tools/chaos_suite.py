@@ -66,6 +66,7 @@ from repro.engine import (
     RunJournal,
     SerialExecutor,
     TrialEngine,
+    TrialExecutor,
 )
 from repro.space import Categorical, SearchSpace
 
@@ -75,6 +76,7 @@ SEARCHERS = {
     "sha+": lambda space, ev, engine: SuccessiveHalving(space, ev, random_state=7, engine=engine),
     "hb+": lambda space, ev, engine: HyperBand(space, ev, random_state=7, engine=engine),
     "asha": lambda space, ev, engine: ASHA(space, ev, random_state=7, n_workers=2, engine=engine),
+    "bohb+": lambda space, ev, engine: BOHB(space, ev, random_state=7, engine=engine),
 }
 
 
@@ -453,6 +455,277 @@ def scenario_corrupted_data(searcher_name):
             f"{diverged} divergence catches, serial==parallel")
 
 
+def _serial_reference(searcher_name):
+    """The chaos-free serial run the elastic scenarios compare against."""
+    with TrialEngine(executor=SerialExecutor(), retry_backoff=0.0) as engine:
+        return run_search(searcher_name, engine)
+
+
+def scenario_straggler_speculation(searcher_name):
+    """Slow workers + speculative re-execution must stay bitwise-serial.
+
+    Chaos pins a worker-id subset to sleep inside every evaluation (a
+    scheduling perturbation, not a seed draw), the executor's straggler
+    detector duplicates the overdue trial onto an idle worker with the
+    *same* derived seed, the first finite copy wins and the loser's
+    worker is cancelled through the leave+join path.  Because the copies
+    share the trial seed, the search result must equal the plain serial
+    run bit for bit no matter which copy wins.
+    """
+    reference = _serial_reference(searcher_name)
+    policy = ChaosPolicy(slow_workers=tuple(range(0, 12, 2)), slow_seconds=0.4)
+    inner = ParallelExecutor(n_workers=2, speculate=True, straggler_factor=3.0,
+                             straggler_min_s=0.12, poll_interval=0.02)
+    with TrialEngine(executor=ChaosExecutor(inner, policy), retry_backoff=0.0) as engine:
+        result = run_search(searcher_name, engine)
+        stats = engine.stats
+    assert stats.failures == 0, "slow workers must not fail trials"
+    assert inner.speculations > 0, "no straggler was ever speculated"
+    assert fingerprint(result) == fingerprint(reference), (
+        f"{searcher_name}: speculative run diverged from serial"
+    )
+    return (f"{inner.speculations} speculations ({inner.speculation_wins} wins), "
+            f"bitwise == serial")
+
+
+class _ResizeStormExecutor(TrialExecutor):
+    """Delegating wrapper that resizes the pool on every submission."""
+
+    def __init__(self, inner, schedule):
+        self.inner = inner
+        self._schedule = itertools.cycle(schedule)
+
+    @property
+    def capacity(self):
+        return self.inner.capacity
+
+    def bind(self, evaluator):
+        self.inner.bind(evaluator)
+
+    def submit(self, request):
+        self.inner.resize(next(self._schedule))
+        self.inner.submit(request)
+
+    def wait_one(self):
+        return self.inner.wait_one()
+
+    def pending(self):
+        return self.inner.pending()
+
+    def shutdown(self):
+        self.inner.shutdown()
+
+
+def scenario_resize_storm(searcher_name):
+    """Resize the elastic pool on every submit; the result must not move.
+
+    Per-trial seeds are derived from the trial, never the worker, so any
+    sequence of grows/shrinks — including shrinking under a full backlog
+    and growing past it again — may only change scheduling.  The storm
+    cycles 1..4 workers across every submission of the whole search.
+    """
+    reference = _serial_reference(searcher_name)
+    inner = ParallelExecutor(n_workers=2, min_workers=1, max_workers=4)
+    storm = _ResizeStormExecutor(inner, schedule=[1, 3, 2, 4])
+    with TrialEngine(executor=storm, retry_backoff=0.0) as engine:
+        result = run_search(searcher_name, engine)
+    assert inner.resizes > 0, "the storm never actually resized"
+    assert inner.leaves > 0, "no worker ever left the pool"
+    assert inner.joins > inner.n_workers, "no worker ever joined beyond the initial pool"
+    assert fingerprint(result) == fingerprint(reference), (
+        f"{searcher_name}: resize storm changed the result"
+    )
+    return (f"{inner.resizes} resizes ({inner.joins} joins / {inner.leaves} leaves), "
+            f"bitwise == serial")
+
+
+def scenario_pipe_drop():
+    """Workers drop their result pipe mid-trial: respawn + retry, no hang."""
+    policy = ChaosPolicy(pipe_drop_rate=0.2)
+    inner = ParallelExecutor(n_workers=2)
+    with TrialEngine(executor=ChaosExecutor(inner, policy),
+                     max_retries=3, retry_backoff=0.0) as engine:
+        result = run_search("hb+", engine)
+        stats = engine.stats
+    assert_sane(result, stats)
+    assert inner.respawns > 0, "no pipe was ever dropped"
+    return f"{inner.respawns} workers respawned after pipe drops, {stats.retries} retries"
+
+
+def scenario_registry_corruption():
+    """Corrupt three job.json records behind a restart; nothing is lost.
+
+    One record is truncated mid-byte, one is overwritten with garbage,
+    one's rename "never happened" (only a ``job.json.*.tmp`` remains).
+    The restarted daemon must quarantine all three, rebuild each job from
+    its immutable ``spec.json`` sidecar, re-run them to completion and
+    match the fingerprints of direct ``run_job_local`` executions.
+    """
+    from repro.serve import (
+        JobSpec, ServeClient, ServeDaemon, incumbent_fingerprint, run_job_local,
+    )
+
+    base = dict(dataset="australian", method="sha", hps=2, scale=0.35, max_iter=12)
+    specs = {seed: JobSpec(tenant="chaos", seed=seed, **base) for seed in (0, 1, 2)}
+    references = {
+        seed: incumbent_fingerprint(run_job_local(spec).result)
+        for seed, spec in specs.items()
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "serve-root"
+        with ServeDaemon(root=root, port=0, n_workers=2) as daemon:
+            with ServeClient(daemon.address) as client:
+                job_ids = {
+                    client.submit(spec.to_dict())["job_id"]: seed
+                    for seed, spec in specs.items()
+                }
+                finals = client.wait_all(list(job_ids), timeout=300.0)
+        assert all(r["state"] == "done" for r in finals.values())
+
+        paths = [root / "jobs" / job_id / "job.json" for job_id in job_ids]
+        blob = paths[0].read_bytes()
+        paths[0].write_bytes(blob[: len(blob) // 2])          # truncated write
+        paths[1].write_bytes(b"{\x00 not json at all")         # bit rot
+        os.replace(paths[2], paths[2].with_name("job.json.4242.tmp"))  # lost rename
+
+        with ServeDaemon(root=root, port=0, n_workers=2) as daemon:
+            assert daemon.registry.quarantined == 3, (
+                f"expected 3 quarantined records, got {daemon.registry.quarantined}"
+            )
+            with ServeClient(daemon.address) as client:
+                finals = client.wait_all(list(job_ids), timeout=300.0)
+
+    assert all(r["state"] == "done" for r in finals.values()), (
+        f"states after corruption: {sorted(r['state'] for r in finals.values())}"
+    )
+    mismatched = [
+        job_id for job_id, record in finals.items()
+        if record["incumbent"]["fingerprint"] != references[job_ids[job_id]]
+    ]
+    assert not mismatched, f"recovered jobs diverged from direct runs: {mismatched}"
+    return "3 corrupt records quarantined, all jobs re-completed bitwise == direct"
+
+
+def scenario_disk_full_degraded():
+    """Durable writes fail (ENOSPC): shed with 429 + Retry-After, recover.
+
+    While the registry cannot write, every submit must be shed — counted,
+    answered 429 with a Retry-After header, and never half-admitted.  The
+    moment writes succeed again the daemon recovers on its own, and the
+    records written before the outage are untouched.
+    """
+    import http.client as http_client
+    import json as json_mod
+
+    import repro.serve.registry as registry_mod
+    from repro.serve import ServeClient, ServeDaemon
+
+    base = dict(tenant="chaos", dataset="australian", method="sha", hps=2,
+                scale=0.35, max_iter=12)
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServeDaemon(root=Path(tmp) / "serve-root", port=0, n_workers=2) as daemon:
+            with ServeClient(daemon.address) as client:
+                before = client.submit(dict(base, seed=0))
+                client.wait(before["job_id"], timeout=300.0)
+                durable_bytes = (daemon.registry.jobs_dir / before["job_id"]
+                                 / "job.json").read_bytes()
+
+                real_write = registry_mod._atomic_write_json
+                def enospc(*args, **kwargs):
+                    raise OSError(28, "No space left on device")
+                registry_mod._atomic_write_json = enospc
+                try:
+                    host, port = daemon.address.split("//", 1)[1].rsplit(":", 1)
+                    conn = http_client.HTTPConnection(host, int(port), timeout=30)
+                    body = json_mod.dumps(dict(base, seed=1))
+                    conn.request("POST", "/jobs", body=body,
+                                 headers={"Content-Type": "application/json"})
+                    response = conn.getresponse()
+                    response.read()
+                    assert response.status == 429, f"expected 429, got {response.status}"
+                    assert response.getheader("Retry-After"), "no Retry-After header"
+                    conn.close()
+                    for seed in (2, 3):  # degraded mode keeps shedding
+                        try:
+                            client.submit(dict(base, seed=seed))
+                            raise AssertionError("degraded daemon accepted a job")
+                        except Exception as exc:
+                            assert getattr(exc, "status", None) == 429, exc
+                    shed = daemon.stats()["fault_tolerance"]["shed_jobs"]
+                    assert shed >= 3, f"expected >= 3 shed submits, got {shed}"
+                    assert daemon.stats()["fault_tolerance"]["degraded"] is True
+                finally:
+                    registry_mod._atomic_write_json = real_write
+
+                after = client.submit(dict(base, seed=4))  # auto-recovery
+                final = client.wait(after["job_id"], timeout=300.0)
+                assert final["state"] == "done"
+                assert daemon.stats()["fault_tolerance"]["degraded"] is False
+                # the pre-outage record is byte-identical and still readable
+                assert (daemon.registry.jobs_dir / before["job_id"]
+                        / "job.json").read_bytes() == durable_bytes, (
+                    "the outage corrupted a record written before it"
+                )
+                assert client.job(before["job_id"])["state"] == "done"
+                return (f"{shed} submits shed at 429 while disk full, "
+                        f"auto-recovered after restore")
+
+
+def scenario_drifting_data():
+    """A drifting, NaN-pocked dataset under guard repair: still sane.
+
+    ``make_drifting_classification`` moves the class structure along the
+    row axis (translation + rotation) and knocks out feature cells, so
+    subset evaluators see genuinely different distributions per budget.
+    The guarded engine must repair, survive the planted diverging
+    learner, crown a finite incumbent, and stay serial == parallel.
+    """
+    from repro.datasets import make_drifting_classification
+
+    X, y = make_drifting_classification(
+        n_samples=160, n_features=6, drift=2.0, drift_rotation=1.0,
+        nan_cell_rate=0.05, random_state=5, class_sep=1.5,
+    )
+    factory = MLPModelFactory(task="classification", max_iter=8,
+                              solver="sgd", hidden_layer_sizes=(8,))
+    evaluator = grouped_evaluator(X, y, factory, guard_policy="repair",
+                                  n_groups=2, min_subset=20, random_state=3)
+    space = SearchSpace([Categorical("learning_rate_init", [0.001, 0.01, 1e6])])
+
+    def guarded_fingerprint(result):
+        return [row + (trial.result.guard_events,)
+                for row, trial in zip(fingerprint(result), result.trials)]
+
+    def run(engine, tag):
+        telemetry = make_telemetry(tag)
+        if telemetry is not None:
+            engine.telemetry = telemetry
+        try:
+            searcher = SuccessiveHalving(space, evaluator, random_state=7, engine=engine)
+            return searcher.fit(configurations=space.grid())
+        finally:
+            if telemetry is not None:
+                telemetry.close()
+
+    with TrialEngine(executor=SerialExecutor(), retry_backoff=0.0) as engine:
+        serial = run(engine, "drifting-serial")
+        serial_stats = engine.stats
+    assert math.isfinite(serial.best_score), "drifting data produced a non-finite incumbent"
+    assert serial.best_config["learning_rate_init"] != 1e6, "the diverging learner won"
+    assert serial_stats.guard_events > 0, "NaN knockout never reached the guard"
+
+    with TrialEngine(executor=ParallelExecutor(n_workers=2), retry_backoff=0.0) as engine:
+        parallel = run(engine, "drifting-parallel")
+        parallel_stats = engine.stats
+    assert guarded_fingerprint(parallel) == guarded_fingerprint(serial), (
+        "drifting-data: serial/parallel diverged"
+    )
+    assert parallel_stats.guard_events == serial_stats.guard_events
+    return (f"{serial_stats.guard_events} guard events under drift, "
+            f"finite incumbent, serial==parallel")
+
+
 def build_scenarios(quick):
     """(name, callable) list; --quick keeps one fast probe per failure mode."""
     scenarios = [
@@ -460,7 +733,10 @@ def build_scenarios(quick):
         ("evaluator-faults", scenario_evaluator_faults),
         ("torn-journal", scenario_torn_journal),
         ("worker-exit", scenario_worker_exit),
+        ("pipe-drop", scenario_pipe_drop),
         ("hang-watchdog", scenario_hang_watchdog),
+        ("straggler-speculation[sha+]", lambda: scenario_straggler_speculation("sha+")),
+        ("resize-storm[sha+]", lambda: scenario_resize_storm("sha+")),
         ("corrupted-data[sha+]", lambda: scenario_corrupted_data("sha+")),
     ]
     if not quick:
@@ -471,8 +747,15 @@ def build_scenarios(quick):
         scenarios.append(("sigkill-resume", scenario_sigkill_resume))
         scenarios.append(("serve-sigkill", scenario_serve_sigkill))
         scenarios.extend([
+            ("straggler-speculation[hb+]", lambda: scenario_straggler_speculation("hb+")),
+            ("straggler-speculation[bohb+]", lambda: scenario_straggler_speculation("bohb+")),
+            ("resize-storm[hb+]", lambda: scenario_resize_storm("hb+")),
+            ("resize-storm[bohb+]", lambda: scenario_resize_storm("bohb+")),
+            ("registry-corruption", scenario_registry_corruption),
+            ("disk-full-degraded", scenario_disk_full_degraded),
             ("corrupted-data[hb+]", lambda: scenario_corrupted_data("hb+")),
             ("corrupted-data[bohb+]", lambda: scenario_corrupted_data("bohb+")),
+            ("drifting-data", scenario_drifting_data),
         ])
     return scenarios
 
@@ -482,6 +765,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smoke subset: one fast scenario per failure mode")
+    parser.add_argument("--list", action="store_true",
+                        help="print the scenario names the current flags select, then exit")
+    parser.add_argument("--only", action="append", default=None, metavar="SCENARIO",
+                        help="run only the named scenario (repeatable; see --list)")
     parser.add_argument("--trace", default=None, metavar="DIR",
                         help="record a telemetry span trace per engine-backed "
                              "search into DIR (inspect with tools/trace_view.py)")
@@ -493,8 +780,20 @@ def main(argv=None) -> int:
         TRACE_DIR.mkdir(parents=True, exist_ok=True)
 
     scenarios = build_scenarios(args.quick)
+    if args.list:
+        for name, _scenario in scenarios:
+            print(name)
+        return 0
+    if args.only:
+        known = {name for name, _ in scenarios}
+        unknown = sorted(set(args.only) - known)
+        if unknown:
+            parser.error(f"unknown scenario(s): {', '.join(unknown)} "
+                         f"(use --list to see the available names)")
+        scenarios = [(name, fn) for name, fn in scenarios if name in set(args.only)]
     print(f"chaos suite: {len(scenarios)} scenarios ({'quick' if args.quick else 'full'})\n")
     failures = 0
+    first_failed = None
     for name, scenario in scenarios:
         start = time.monotonic()
         try:
@@ -502,10 +801,13 @@ def main(argv=None) -> int:
             status = "PASS"
         except Exception:
             failures += 1
+            first_failed = first_failed or name
             detail = traceback.format_exc().splitlines()[-1]
             status = "FAIL"
-        print(f"[{status}] {name:<22} {time.monotonic() - start:6.1f}s  {detail}")
+        print(f"[{status}] {name:<28} {time.monotonic() - start:6.1f}s  {detail}")
     print(f"\n{len(scenarios) - failures}/{len(scenarios)} scenarios passed")
+    if first_failed is not None:
+        print(f"first failed scenario: {first_failed}")
     if TRACE_DIR is not None:
         traces = sorted(TRACE_DIR.glob("*.trace.jsonl"))
         print(f"{len(traces)} telemetry trace(s) in {TRACE_DIR}")

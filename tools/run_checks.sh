@@ -8,8 +8,10 @@
 #   4. telemetry tier (trace-file tests + tracing/profiling overhead bench)
 #   5. serve tier (service-daemon end-to-end tests + two-tenant burst
 #      bench smoke)
-#   6. chaos-marked pytest tier (process kills, SIGKILL resume)
-#   7. fault-injection harness smoke (tools/chaos_suite.py --quick)
+#   6. elastic tier (elastic pool / speculative execution tests)
+#   7. chaos-marked pytest tier (process kills, SIGKILL resume)
+#   8. fault-injection harness smoke (tools/chaos_suite.py --quick,
+#      per-scenario wall-clock printed by the harness itself)
 #
 # Usage: bash tools/run_checks.sh
 set -euo pipefail
@@ -46,6 +48,10 @@ echo
 echo "== serve tier: pytest -m serve + burst bench smoke =="
 python -m pytest -q -m serve
 python tools/bench_serve.py --quick
+
+echo
+echo "== elastic tier: pytest -m elastic =="
+python -m pytest -q -m elastic
 
 echo
 echo "== chaos tier: pytest -m chaos =="
