@@ -311,6 +311,29 @@ class ChaosExecutor(TrialExecutor):
         """Concurrency of the wrapped executor."""
         return self.inner.capacity
 
+    def resize(self, n: int) -> int:
+        """Forward an elastic resize to the wrapped executor.
+
+        Raises :class:`AttributeError` when the inner executor is not
+        elastic (e.g. :class:`~repro.engine.executors.SerialExecutor`) —
+        the same contract callers get without the wrapper.
+        """
+        return self.inner.resize(n)
+
+    def __getattr__(self, name: str):
+        """Expose the inner executor's extended surface through the wrapper.
+
+        The executor protocol methods are delegated explicitly above;
+        everything else — elastic counters (``joins``, ``leaves``),
+        speculation counters (``speculations``, ``speculation_wins``),
+        pool sizing attributes (``n_workers``, ``min_workers``,
+        ``max_workers``) — resolves against the inner executor so wrapping
+        never hides capability from pool-aware callers.
+        """
+        if name.startswith("_") or "inner" not in self.__dict__:
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
     def bind(self, evaluator) -> None:
         """Wrap the evaluator in the fault-injecting proxy and bind that.
 

@@ -40,6 +40,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..faults.points import fault_point
+from .durability import fsync_dir
+
 __all__ = [
     "CHECKPOINT_ATTR",
     "CheckpointStore",
@@ -216,14 +219,19 @@ class CheckpointStore:
 
         ``os.replace`` is atomic on POSIX within one filesystem, so a
         concurrent writer of the same key — or a crash mid-write — can
-        never expose a torn pickle at the final path.
+        never expose a torn pickle at the final path.  The parent
+        directory is fsync'd after the rename so the publish also
+        survives power-loss reordering.
         """
+        fault_point("checkpoint.spill.pre_write", path=str(path))
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.spill_dir), prefix=path.stem + ".", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(fold_states, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                fault_point("checkpoint.spill.pre_replace", handle=handle)
             os.replace(tmp_name, str(path))
         except BaseException:
             try:
@@ -231,6 +239,9 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
+        fault_point("checkpoint.spill.post_replace", path=str(path))
+        fsync_dir(self.spill_dir)
+        fault_point("checkpoint.spill.post_dirsync", path=str(path))
 
     # -- protocol --------------------------------------------------------------
 
@@ -243,6 +254,7 @@ class CheckpointStore:
         """Store one evaluation's per-fold states (write-through to spill)."""
         if not fold_states or all(state is None for state in fold_states):
             return
+        fault_point("checkpoint.put.pre")
         budget = _normalise_budget(budget_fraction)
         digest = _config_digest(config_key)
         key = (digest, budget)
@@ -289,6 +301,7 @@ class CheckpointStore:
             path = self._spill_index.get(digest, {}).get(budget)
             if path is None:
                 return None
+            fault_point("checkpoint.load.pre", path=str(path))
             try:
                 with path.open("rb") as handle:
                     states = pickle.load(handle)

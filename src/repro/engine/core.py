@@ -43,6 +43,7 @@ from collections import deque
 import numpy as np
 
 from ..bandit.base import EvaluationResult
+from ..faults.points import active_controller, fault_point
 from ..telemetry import Telemetry
 from ..telemetry.collect import detach_payload
 from .cache import EvaluationCache
@@ -371,6 +372,13 @@ class TrialEngine:
         if self.journal is not None:
             self.journal.close()
             self._journal_open = False
+        if self.telemetry is not None:
+            controller = active_controller()
+            if controller is not None:
+                # Gauges (not counters) so a double shutdown cannot
+                # double-count; keyed per site for the fault catalog.
+                for site, hits in sorted(controller.snapshot().items()):
+                    self.telemetry.registry.set_gauge(f"faults.hits.{site}", hits)
 
     def __enter__(self) -> "TrialEngine":
         """Support ``with TrialEngine(...) as engine:``."""
@@ -493,6 +501,7 @@ class TrialEngine:
         if self._replayed:
             entry = self._replayed.get(cache_key)
             if entry is not None:
+                fault_point("engine.replay.pre_serve")
                 self.stats.resumed += 1
                 self.stats.guard_events += len(getattr(entry.result, "guard_events", []) or [])
                 self._inc("engine.resumed")
@@ -530,6 +539,7 @@ class TrialEngine:
             self._inc("engine.cache_misses")
             self._followers[cache_key] = []
             self._primary_key[request.trial_id] = cache_key
+        fault_point("engine.submit.pre_dispatch")
         self._in_flight[request.trial_id] = request
         self.executor.submit(request)
         self.stats.executed += 1
@@ -650,7 +660,9 @@ class TrialEngine:
             request=request, result=result, attempts=attempts, failed=failed, error=error
         )
         if self.journal is not None and self._journal_open:
+            fault_point("engine.settle.pre_journal")
             outcome.journal_seq = self.journal.append(outcome)
+        fault_point("engine.settle.pre_commit")
         self._ready.append(outcome)
         self._emit_trial(outcome, payload=payload)
         cache_key = self._primary_key.pop(request.trial_id, None)
@@ -664,6 +676,7 @@ class TrialEngine:
             self._ready.append(follower_outcome)
             self._emit_trial(follower_outcome)
         if not failed and self.cache is not None:
+            fault_point("engine.cache.pre_insert")
             self.cache.put(*cache_key[:3], result, *cache_key[3:])
 
     # -- batch protocol --------------------------------------------------------

@@ -1,0 +1,44 @@
+"""Directory-level durability helpers.
+
+``os.replace`` makes a rename *atomic*, not *durable*: until the parent
+directory's metadata reaches the platter, a power cut can roll the
+rename back even though the data blocks of the temp file were fsync'd.
+POSIX requires an ``fsync`` on the directory fd to pin the new directory
+entry (the classic "fsync the parent after rename" rule).  Every atomic
+publish in this codebase — registry ``job.json``/``spec.json`` writes and
+checkpoint spills — follows its ``os.replace`` with :func:`fsync_dir`.
+
+The helper is deliberately forgiving: some filesystems (and most
+non-POSIX platforms) refuse ``open(dir)`` or directory ``fsync``; in that
+case the rename is still atomic, just not power-loss-ordered, and we
+degrade silently rather than fail the write.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["fsync_dir"]
+
+
+def fsync_dir(path: Union[str, Path]) -> bool:
+    """fsync a directory so a completed rename survives power loss.
+
+    Returns ``True`` when the directory was fsync'd, ``False`` when the
+    platform or filesystem does not support it (the caller's rename
+    remains atomic either way).
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(str(path), flags)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+    return True

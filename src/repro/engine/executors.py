@@ -58,6 +58,7 @@ from typing import Any, Deque, Dict, Optional, Tuple
 import numpy as np
 
 from ..bandit.base import EvaluationResult
+from ..faults.points import fault_point
 from ..telemetry.collect import attach_payload, trial_collection
 
 __all__ = [
@@ -180,11 +181,13 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
                 break
             if task is None:
                 break
+            fault_point("executor.worker.post_recv")
             token, trial_id, config, budget_fraction, seed, telemetry, warm, capture = task
             payload = _safe_evaluate(
                 evaluator, trial_id, config, budget_fraction, seed, telemetry, warm, capture
             )
             try:
+                fault_point("executor.worker.pre_send")
                 with send_lock:
                     conn.send(("done", token, payload))
             except (BrokenPipeError, OSError):
@@ -267,6 +270,7 @@ class SerialExecutor(TrialExecutor):
         if not self._queue:
             raise RuntimeError("wait_one called with no pending trials")
         request = self._queue.popleft()
+        fault_point("executor.serial.pre_execute")
         return _safe_evaluate(
             self._evaluator,
             request.trial_id,
@@ -497,6 +501,7 @@ class ParallelExecutor(TrialExecutor):
         self._evaluator = evaluator
 
     def _spawn_worker(self) -> _WorkerHandle:
+        fault_point("executor.pool.pre_spawn")
         worker_id = self._next_worker_id
         self._next_worker_id += 1
         parent_conn, child_conn = self._context.Pipe(duplex=True)
@@ -549,6 +554,7 @@ class ParallelExecutor(TrialExecutor):
         """
         if self._workers.pop(handle.worker_id, None) is None:
             return False
+        fault_point("executor.pool.pre_leave")
         if graceful:
             try:
                 handle.conn.send(None)
@@ -681,6 +687,7 @@ class ParallelExecutor(TrialExecutor):
                 handle.deadline = now + self.trial_timeout
         handle.last_heartbeat = now
         try:
+            fault_point("executor.pool.pre_send")
             handle.conn.send(task)
         except (BrokenPipeError, OSError):
             self._retire(handle, f"{WORKER_DIED_PREFIX}: worker pipe closed before dispatch")
@@ -756,6 +763,7 @@ class ParallelExecutor(TrialExecutor):
                 if not handle.conn.poll():
                     return
                 message = handle.conn.recv()
+                fault_point("executor.pool.post_recv")
             except (EOFError, OSError):
                 self._retire(handle, f"{WORKER_DIED_PREFIX}: worker process exited unexpectedly")
                 return
@@ -825,6 +833,7 @@ class ParallelExecutor(TrialExecutor):
         for loser_token in list(group):
             for other in list(self._workers.values()):
                 if any(t == loser_token for t, _, _ in other.tasks):
+                    fault_point("executor.pool.pre_cancel")
                     other.tasks.clear()
                     other.deadline = None
                     other.started = None

@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..bandit.base import EvaluationResult
+from ..faults.points import fault_point
 from ..results import config_from_jsonable, config_to_jsonable
 from ..space import config_key
 from .cache import EvaluationCache
@@ -284,6 +285,7 @@ class RunJournal:
             return []
         entries: List[JournalEntry] = []
         if self.path.exists() and self.path.stat().st_size > 0:
+            fault_point("journal.open.pre_replay", path=str(self.path))
             self.header, entries, self.dropped_records = self.read(self.path)
             self.last_seq = len(entries)
             self.check_identity(root_seed, metadata)
@@ -296,7 +298,7 @@ class RunJournal:
                 "metadata": dict(metadata or {}),
             }
             self._handle = self.path.open("w")
-            self._write_line(self.header)
+            self._write_line(self.header, site="journal.header")
             return []
         self._handle = self.path.open("a")
         return entries
@@ -336,19 +338,23 @@ class RunJournal:
         """
         if self._handle is None:
             raise JournalError("journal not open; call open() before append()")
-        self._write_line(_entry_to_dict(outcome))
+        self._write_line(_entry_to_dict(outcome), site="journal.append")
         self.last_seq += 1
         return self.last_seq
 
-    def _write_line(self, record: Dict[str, Any]) -> None:
+    def _write_line(self, record: Dict[str, Any], site: str = "journal.append") -> None:
+        fault_point(site + ".pre_write", handle=self._handle)
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         self._handle.flush()
         if self.fsync:
+            fault_point(site + ".pre_fsync", handle=self._handle)
             os.fsync(self._handle.fileno())
+            fault_point(site + ".post_fsync", handle=self._handle)
 
     def close(self) -> None:
         """Close the underlying file (idempotent); reopening replays it."""
         if self._handle is not None:
+            fault_point("journal.close.pre", handle=self._handle)
             self._handle.close()
             self._handle = None
 

@@ -40,6 +40,7 @@ from ..core import MLPModelFactory, optimize
 from ..datasets import load_dataset
 from ..engine import SerialExecutor, TrialEngine
 from ..experiments import paper_search_space
+from ..faults.points import fault_point
 from ..results import result_to_dict, save_result
 from ..telemetry import Telemetry
 from .protocol import JobRecord, JobSpec, eval_context
@@ -184,6 +185,7 @@ def execute_job(
         checkpoints=shared.checkpoints_for(context) if spec.warm_start else None,
         telemetry=telemetry,
     )
+    fault_point("serve.job.pre_mark_running")
     registry.mark_running(record)
     try:
         if cancel_event is not None and cancel_event.is_set():
@@ -206,7 +208,9 @@ def execute_job(
             metrics=telemetry.registry,
         )
     else:
+        fault_point("serve.job.pre_result_write")
         save_result(outcome.result, registry.result_path(record.job_id))
+        fault_point("serve.job.pre_mark_finished")
         registry.mark_finished(
             record,
             "done",

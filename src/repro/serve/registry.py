@@ -36,6 +36,8 @@ from typing import Any, Dict, List, Optional, Union
 
 from ..engine.cache import EvaluationCache
 from ..engine.checkpoint import CheckpointStore
+from ..engine.durability import fsync_dir
+from ..faults.points import fault_point
 from ..telemetry import MetricsRegistry
 from .protocol import JobRecord, JobSpec, ProtocolError
 
@@ -88,15 +90,27 @@ class TenantStats:
         }
 
 
-def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
-    """Write JSON via temp-file-then-rename so readers never see a torn file."""
+def _atomic_write_json(
+    path: Path, payload: Dict[str, Any], site: str = "registry.record"
+) -> None:
+    """Write JSON via temp-file-then-rename so readers never see a torn file.
+
+    The parent directory is fsync'd after the rename so the publish also
+    survives power-loss reordering (rename atomicity alone does not pin
+    the directory entry).  ``site`` names the fault-point prefix so the
+    crash-schedule explorer can distinguish spec-sidecar writes from
+    job-record updates.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
+    fault_point(site + ".pre_write", path=str(path))
     fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), prefix=path.name + ".", suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.flush()
+            fault_point(site + ".pre_fsync", handle=handle)
             os.fsync(handle.fileno())
+            fault_point(site + ".pre_replace", handle=handle)
         os.replace(tmp_name, str(path))
     except BaseException:
         try:
@@ -104,6 +118,9 @@ def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
         except OSError:
             pass
         raise
+    fault_point(site + ".post_replace", path=str(path))
+    fsync_dir(path.parent)
+    fault_point(site + ".post_dirsync", path=str(path))
 
 
 class SharedEngineState:
@@ -238,7 +255,7 @@ class JobRegistry:
         """
         job_id = uuid.uuid4().hex[:12]
         record = JobRecord(job_id=job_id, spec=spec, created_at=self.clock())
-        _atomic_write_json(self.spec_path(job_id), spec.to_dict())
+        _atomic_write_json(self.spec_path(job_id), spec.to_dict(), site="registry.spec")
         _atomic_write_json(self.job_dir(job_id) / "job.json", record.to_dict())
         with self._lock:
             self._records[job_id] = record
@@ -252,7 +269,7 @@ class JobRegistry:
         an atomic write of a tiny probe file exercises the same
         mkstemp/fsync/rename path every record update takes.
         """
-        _atomic_write_json(self.jobs_dir / ".probe", {"t": self.clock()})
+        _atomic_write_json(self.jobs_dir / ".probe", {"t": self.clock()}, site="registry.probe")
 
     def persist(self, record: JobRecord) -> None:
         """Atomically write the record's current state to its job.json."""

@@ -38,6 +38,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..faults.points import fault_point
 from .jobs import execute_job
 from .protocol import PROTOCOL_VERSION, JobRecord, JobSpec, ProtocolError, spec_digest
 from .registry import JobRegistry, SharedEngineState
@@ -344,6 +345,7 @@ class ServeDaemon:
         for record in self.registry.load_all():
             if record.terminal:
                 continue
+            fault_point("serve.recover.pre_requeue")
             if record.deduped_from is not None:
                 # The twin this job subscribed to did not survive the
                 # restart as its primary; promote it to run on its own
@@ -381,11 +383,13 @@ class ServeDaemon:
                     self.registry.persist(record)
                 except OSError as exc:
                     self._enter_degraded(exc)
+                fault_point("serve.dedup.pre_subscribe")
                 self._followers.setdefault(primary.job_id, []).append(record.job_id)
                 self.deduped_jobs += 1
                 return record
         record = self._create_record(spec)
         try:
+            fault_point("serve.admit.pre_enqueue")
             self.scheduler.submit(record)
         except (QueueFull, RuntimeError):
             self.registry.discard(record)
@@ -594,7 +598,9 @@ class ServeDaemon:
                         record, "cancelled", error="cancelled before start"
                     )
                 else:
+                    fault_point("serve.dispatch.pre")
                     execute_job(record, self.registry, self.shared, cancel_event=event)
+                    fault_point("serve.dispatch.post")
             finally:
                 with self._cancel_lock:
                     self._cancel_events.pop(record.job_id, None)

@@ -1,0 +1,51 @@
+"""Directory fsync after atomic renames: the publish must be pinned.
+
+``os.replace`` makes the rename atomic but does not make the new
+directory entry durable — power loss can still reorder it away.  Both
+durable writers (registry job records, checkpoint spills) therefore
+fsync the parent directory right after the rename; these tests pin that
+call without needing to actually cut the power.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine.checkpoint as checkpoint_mod
+import repro.serve.registry as registry_mod
+from repro.engine.checkpoint import CheckpointStore, FoldCheckpoint
+from repro.engine.durability import fsync_dir
+
+
+class TestFsyncDir:
+    def test_syncs_a_real_directory(self, tmp_path):
+        assert fsync_dir(tmp_path) is True
+
+    def test_is_forgiving_on_missing_paths(self, tmp_path):
+        assert fsync_dir(tmp_path / "nope") is False
+
+
+@pytest.fixture
+def dirsyncs(monkeypatch):
+    """Record every fsync_dir call made by the module under test."""
+    calls = []
+
+    def record(path):
+        calls.append(str(path))
+        return True
+
+    monkeypatch.setattr(registry_mod, "fsync_dir", record)
+    monkeypatch.setattr(checkpoint_mod, "fsync_dir", record)
+    return calls
+
+
+def test_registry_record_write_syncs_its_directory(tmp_path, dirsyncs):
+    target = tmp_path / "jobs" / "j1" / "job.json"
+    registry_mod._atomic_write_json(target, {"state": "queued"})
+    assert dirsyncs == [str(target.parent)]
+
+
+def test_checkpoint_spill_syncs_the_spill_directory(tmp_path, dirsyncs):
+    store = CheckpointStore(spill_dir=tmp_path / "ckpt")
+    state = FoldCheckpoint(coefs=[np.ones((2, 2))], intercepts=[np.zeros(2)])
+    store.put(("k",), 0.5, [state])
+    assert dirsyncs == [str(tmp_path / "ckpt")]

@@ -22,6 +22,13 @@ Usage::
     PYTHONPATH=src python tools/chaos_suite.py           # full sweep
     PYTHONPATH=src python tools/chaos_suite.py --quick   # CI smoke subset
     PYTHONPATH=src python tools/chaos_suite.py --trace DIR  # + span traces
+    PYTHONPATH=src python tools/chaos_suite.py --jobs 4  # parallel subprocesses
+
+With ``--jobs N`` each scenario runs in its own subprocess with an
+isolated temporary directory and a per-scenario ``--timeout`` (default
+900 s), N at a time.  Result lines, the summary count and the
+first-failed report keep the listed scenario order and the exit-code
+contract of the serial path.
 
 With ``--trace DIR`` every engine-backed search inside the scenarios
 records a :mod:`repro.telemetry` span trace into ``DIR`` (one JSONL file
@@ -39,8 +46,11 @@ from __future__ import annotations
 
 import argparse
 import itertools
+import json
 import math
 import os
+import re
+import shutil
 import signal
 import subprocess
 import sys
@@ -48,6 +58,7 @@ import tempfile
 import textwrap
 import time
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -760,6 +771,78 @@ def build_scenarios(quick):
     return scenarios
 
 
+def _run_one_subprocess(name, args, index):
+    """Run one scenario in a child process under an isolated temp dir.
+
+    The child is this script with ``--only name --report-json``; its
+    TMPDIR points at a private directory (removed afterwards) so
+    concurrent scenarios can never collide on temp state.  Returns a
+    ``{"name", "status", "detail", "elapsed"}`` record; a timeout or a
+    child that dies without reporting becomes a FAIL record.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+    workdir = Path(tempfile.mkdtemp(prefix=f"chaos-{safe}-"))
+    report_path = workdir / "report.json"
+    cmd = [sys.executable, str(Path(__file__).resolve()),
+           "--only", name, "--report-json", str(report_path)]
+    if args.quick:
+        cmd.append("--quick")
+    if args.trace is not None:
+        trace_dir = Path(args.trace) / safe
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        cmd.extend(["--trace", str(trace_dir)])
+    env = {**os.environ,
+           "TMPDIR": str(workdir), "TEMP": str(workdir), "TMP": str(workdir),
+           "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src")
+           + os.pathsep + os.environ.get("PYTHONPATH", "")}
+    start = time.monotonic()
+    try:
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                              timeout=args.timeout)
+        elapsed = time.monotonic() - start
+        if report_path.exists():
+            record = json.loads(report_path.read_text())[0]
+            record["elapsed"] = elapsed
+        else:
+            tail = (proc.stdout + proc.stderr).strip().splitlines()
+            record = {"name": name, "status": "FAIL", "elapsed": elapsed,
+                      "detail": f"child exited {proc.returncode} without a report: "
+                                f"{tail[-1] if tail else '<no output>'}"}
+    except subprocess.TimeoutExpired:
+        record = {"name": name, "status": "FAIL",
+                  "elapsed": time.monotonic() - start,
+                  "detail": f"timed out after {args.timeout:.0f}s"}
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return record
+
+
+def _run_parallel(scenarios, args) -> int:
+    """Dispatch scenarios onto ``--jobs`` subprocesses; keep serial semantics.
+
+    Result lines print in the listed scenario order as soon as each
+    scenario (and all before it) has finished, the summary counts every
+    scenario, ``first failed scenario`` is the first in listed order, and
+    the exit code is 1 iff anything failed — exactly the serial contract.
+    """
+    print(f"chaos suite: {len(scenarios)} scenarios "
+          f"({'quick' if args.quick else 'full'}, {args.jobs} jobs)\n")
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [pool.submit(_run_one_subprocess, name, args, index)
+                   for index, (name, _fn) in enumerate(scenarios)]
+        results = []
+        for future in futures:  # listed order, printed as each completes
+            record = future.result()
+            results.append(record)
+            print(f"[{record['status']}] {record['name']:<28} "
+                  f"{record['elapsed']:6.1f}s  {record['detail']}")
+    failures = [r for r in results if r["status"] != "PASS"]
+    print(f"\n{len(results) - len(failures)}/{len(results)} scenarios passed")
+    if failures:
+        print(f"first failed scenario: {failures[0]['name']}")
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     """Run every scenario; print PASS/FAIL; exit non-zero on any failure."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -772,6 +855,13 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", default=None, metavar="DIR",
                         help="record a telemetry span trace per engine-backed "
                              "search into DIR (inspect with tools/trace_view.py)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run scenarios in N parallel subprocesses, each with "
+                             "an isolated temp dir (default 1: in-process, serial)")
+    parser.add_argument("--timeout", type=float, default=900.0, metavar="S",
+                        help="per-scenario timeout in seconds under --jobs (default 900)")
+    parser.add_argument("--report-json", default=None, metavar="PATH",
+                        help=argparse.SUPPRESS)  # child channel for --jobs
     args = parser.parse_args(argv)
 
     if args.trace is not None:
@@ -791,9 +881,12 @@ def main(argv=None) -> int:
             parser.error(f"unknown scenario(s): {', '.join(unknown)} "
                          f"(use --list to see the available names)")
         scenarios = [(name, fn) for name, fn in scenarios if name in set(args.only)]
+    if args.jobs > 1:
+        return _run_parallel(scenarios, args)
     print(f"chaos suite: {len(scenarios)} scenarios ({'quick' if args.quick else 'full'})\n")
     failures = 0
     first_failed = None
+    results = []
     for name, scenario in scenarios:
         start = time.monotonic()
         try:
@@ -804,7 +897,12 @@ def main(argv=None) -> int:
             first_failed = first_failed or name
             detail = traceback.format_exc().splitlines()[-1]
             status = "FAIL"
-        print(f"[{status}] {name:<28} {time.monotonic() - start:6.1f}s  {detail}")
+        elapsed = time.monotonic() - start
+        results.append({"name": name, "status": status,
+                        "detail": detail, "elapsed": round(elapsed, 1)})
+        print(f"[{status}] {name:<28} {elapsed:6.1f}s  {detail}")
+    if args.report_json is not None:
+        Path(args.report_json).write_text(json.dumps(results, indent=2) + "\n")
     print(f"\n{len(scenarios) - failures}/{len(scenarios)} scenarios passed")
     if first_failed is not None:
         print(f"first failed scenario: {first_failed}")

@@ -12,6 +12,10 @@
 #   7. chaos-marked pytest tier (process kills, SIGKILL resume)
 #   8. fault-injection harness smoke (tools/chaos_suite.py --quick,
 #      per-scenario wall-clock printed by the harness itself)
+#   9. crashx tier (faults-marked explorer tests + a bounded
+#      crash-schedule sweep over the toy and HB+ workloads; the full
+#      sweep that regenerates CRASHX_report.json is
+#      `python tools/crashx.py --pairwise 40 --jobs 2 --out CRASHX_report.json`)
 #
 # Usage: bash tools/run_checks.sh
 set -euo pipefail
@@ -60,6 +64,11 @@ python -m pytest -q -m chaos
 echo
 echo "== chaos suite smoke: tools/chaos_suite.py --quick =="
 python tools/chaos_suite.py --quick
+
+echo
+echo "== crashx tier: pytest -m faults + bounded schedule sweep =="
+python -m pytest -q -m faults
+python tools/crashx.py --workload toy --workload hb --max-hits-per-site 2 --jobs 2
 
 echo
 echo "all checks passed"
