@@ -8,6 +8,7 @@ Subcommands::
     python -m repro serve --root DIR         # run the HPO service daemon
     python -m repro submit --url U ...       # submit a job to the daemon
     python -m repro jobs --url U [...]       # list/inspect/cancel jobs
+    python -m repro obs snapshot [...]       # Prometheus-text metrics snapshot
 
 ``tune`` runs any registered method (``sha+``, ``bohb``, ...) on a registry
 dataset, prints the chosen configuration with its train/test scores and can
@@ -205,6 +206,18 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_group.add_argument("--stats", action="store_true",
                             help="print daemon stats (queues, tenants, shared cache)")
     _add_client_transport_flags(jobs_parser)
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="observability: render metrics snapshots as Prometheus text"
+    )
+    obs_parser.add_argument("action", choices=["snapshot"],
+                            help="snapshot: print a Prometheus-text metrics scrape")
+    obs_source = obs_parser.add_mutually_exclusive_group(required=True)
+    obs_source.add_argument("--trace", action="append", default=None, metavar="PATH",
+                            help="render the final metrics record of a run's trace "
+                                 "file (repeatable; multiple files merge)")
+    obs_source.add_argument("--url", default=None,
+                            help="scrape GET /metrics from a running daemon instead")
     return parser
 
 
@@ -531,6 +544,43 @@ def _command_jobs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_obs(args: argparse.Namespace) -> int:
+    """``repro obs snapshot`` — Prometheus text from a daemon or trace files.
+
+    ``--url`` scrapes a live daemon's ``/metrics``; ``--trace`` re-renders
+    the final metrics snapshot a finished run left in its trace file(s),
+    so non-daemon runs get the same diffable scrape format.
+    """
+    if args.url:
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/metrics"
+        with urllib.request.urlopen(url, timeout=30.0) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+        return 0
+
+    from .obs.prom import render_registry
+    from .telemetry import MetricsRegistry, TraceSink
+
+    merged = MetricsRegistry()
+    missing = 0
+    for path in args.trace:
+        try:
+            _, records, _ = TraceSink.read(path)
+        except (OSError, ValueError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            missing += 1
+            continue
+        snapshot = next((r for r in records if r.get("type") == "metrics"), None)
+        if snapshot is None:
+            print(f"skipping {path}: no metrics record", file=sys.stderr)
+            missing += 1
+            continue
+        merged.merge(MetricsRegistry.from_dict(snapshot))
+    sys.stdout.write(render_registry(merged))
+    return 0 if missing < len(args.trace) else 1
+
+
 def _command_report(args: argparse.Namespace) -> int:
     from .experiments.run_all import main as run_all_main
 
@@ -552,6 +602,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _command_serve,
         "submit": _command_submit,
         "jobs": _command_jobs,
+        "obs": _command_obs,
     }
     return handlers[args.command](args)
 

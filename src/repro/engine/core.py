@@ -44,6 +44,7 @@ import numpy as np
 
 from ..bandit.base import EvaluationResult
 from ..faults.points import active_controller, fault_point
+from ..obs import flightrec as _flightrec
 from ..telemetry import Telemetry
 from ..telemetry.collect import detach_payload
 from .cache import EvaluationCache
@@ -368,6 +369,12 @@ class TrialEngine:
 
     def shutdown(self) -> None:
         """Release executor resources (workers, queues) and close the journal."""
+        if self.telemetry is not None:
+            pool_stats = getattr(self.executor, "pool_stats", None)
+            if pool_stats is not None:
+                # Final pool shape as gauges (idempotent on double shutdown).
+                for key, value in pool_stats().items():
+                    self.telemetry.registry.set_gauge(f"pool.{key}", value)
         self.executor.shutdown()
         if self.journal is not None:
             self.journal.close()
@@ -416,6 +423,13 @@ class TrialEngine:
             request.telemetry = self.telemetry.collection_flags
             self._submit_time[request.trial_id] = self.telemetry.clock()
             self._inc("engine.submitted")
+        _flightrec.note(
+            "trial.submit",
+            trial=request.trial_id,
+            bracket=request.bracket,
+            rung=request.iteration,
+            budget=request.budget_fraction,
+        )
         return request
 
     def _cache_key(self, request: TrialRequest) -> Tuple:
@@ -441,10 +455,19 @@ class TrialEngine:
         followers) — never at ``wait_one`` return, where ``run_batch``'s
         spillover re-queue would double-emit.
         """
+        request = outcome.request
+        _flightrec.note(
+            "trial.settle",
+            trial=request.trial_id,
+            bracket=request.bracket,
+            rung=request.iteration,
+            failed=outcome.failed,
+            cache_hit=outcome.cache_hit,
+        )
         telemetry = self.telemetry
         if telemetry is None:
             return
-        request, result = outcome.request, outcome.result
+        result = outcome.result
         now = telemetry.clock()
         t0 = self._submit_time.pop(request.trial_id, now)
         duration = now - t0
@@ -468,6 +491,12 @@ class TrialEngine:
             attrs["error"] = outcome.error
         if request.warm_source is not None:
             attrs["warm_source"] = request.warm_source
+        # Rung occupancy: one deterministic counter per (bracket, rung), the
+        # dashboard axis Hyperband's structure makes legible.  Emitted per
+        # settled outcome, so serial == parallel counts hold.
+        bracket = request.bracket if request.bracket is not None else 0
+        rung = request.iteration if request.iteration is not None else 0
+        telemetry.registry.inc(f"engine.rung_trials.b{bracket}.r{rung}")
         annotations = [
             event.as_dict() if hasattr(event, "as_dict") else dict(event)
             for event in (getattr(result, "guard_events", None) or [])

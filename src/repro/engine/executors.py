@@ -48,6 +48,7 @@ searchers no matter how the pool is resized or which copies win.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import statistics
 import threading
 import time
@@ -59,7 +60,8 @@ import numpy as np
 
 from ..bandit.base import EvaluationResult
 from ..faults.points import fault_point
-from ..telemetry.collect import attach_payload, trial_collection
+from ..obs import flightrec as _flightrec
+from ..telemetry.collect import PAYLOAD_ATTR, attach_payload, trial_collection
 
 __all__ = [
     "TrialExecutor",
@@ -137,6 +139,13 @@ def _safe_evaluate(
                 result = evaluator.evaluate(config, budget_fraction, rng, **kwargs)
                 collector.observe("trial.execute_s", time.monotonic() - t0)
             attach_payload(result, collector)
+            if _WORKER_ID is not None:
+                # Stamp where the evaluation physically ran; rides the same
+                # sidecar and is stripped with it before caching/journaling,
+                # so stored results stay byte-identical to an untraced run.
+                payload = result.__dict__.get(PAYLOAD_ATTR)
+                if payload is not None:
+                    payload["origin"] = {"pid": os.getpid(), "worker": _WORKER_ID}
         else:
             result = evaluator.evaluate(config, budget_fraction, rng, **kwargs)
         return trial_id, True, result, None
@@ -159,6 +168,7 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
     global _WORKER_ID, _WORKER_CONN
     _WORKER_ID = worker_id
     _WORKER_CONN = conn
+    _flightrec.note("worker.start", worker=worker_id)
     stop = threading.Event()
     send_lock = threading.Lock()
 
@@ -618,6 +628,26 @@ class ParallelExecutor(TrialExecutor):
             surplus -= 1
         return self.n_workers
 
+    def pool_stats(self) -> Dict[str, int]:
+        """Live pool gauges: target/alive/retiring sizes plus lifecycle counters.
+
+        Read by the engine's shutdown snapshot and the /metrics exporter;
+        every value is a plain attribute or an O(workers) scan, safe to
+        call from another thread between dispatches.
+        """
+        return {
+            "workers": self.n_workers,
+            "alive": len(self._workers),
+            "retiring": sum(1 for h in self._workers.values() if h.retiring),
+            "respawns": self.respawns,
+            "timeouts": self.timeouts,
+            "resizes": self.resizes,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "speculations": self.speculations,
+            "speculation_wins": self.speculation_wins,
+        }
+
     # -- submission ------------------------------------------------------------
 
     def submit(self, request) -> None:
@@ -930,6 +960,15 @@ class ParallelExecutor(TrialExecutor):
         handle.started = None
         if not self._leave(handle, graceful=False):
             return
+        recorder = _flightrec.installed()
+        if recorder is not None:
+            recorder.record(
+                "worker.retire",
+                worker=handle.worker_id,
+                error=error,
+                trials=[trial_id for _, trial_id, _ in tasks],
+            )
+            recorder.dump("watchdog-kill")
         for token, trial_id, _task in tasks:
             group = self._spec_groups.get(trial_id)
             if group is not None:

@@ -119,7 +119,11 @@ class WorkloadReference:
 # -- subprocess legs ----------------------------------------------------------
 
 
-def _child_env(schedule: Optional[FaultSchedule], census_path: Optional[Path]) -> Dict[str, str]:
+def _child_env(
+    schedule: Optional[FaultSchedule],
+    census_path: Optional[Path],
+    flightrec_dir: Optional[Path] = None,
+) -> Dict[str, str]:
     env = dict(os.environ)
     env.pop(ENV_VAR, None)
     spec: Dict[str, Any] = {}
@@ -127,6 +131,8 @@ def _child_env(schedule: Optional[FaultSchedule], census_path: Optional[Path]) -
         spec["schedule"] = schedule.to_payload()
     if census_path is not None:
         spec["census"] = str(census_path)
+    if flightrec_dir is not None:
+        spec["flightrec"] = str(flightrec_dir)
     if spec:
         env[ENV_VAR] = json.dumps(spec, sort_keys=True)
     src_root = str(Path(__file__).resolve().parents[2])
@@ -142,13 +148,14 @@ def run_leg(
     schedule: Optional[FaultSchedule] = None,
     census_path: Optional[Path] = None,
     timeout: float = LEG_TIMEOUT,
+    flightrec_dir: Optional[Path] = None,
 ) -> subprocess.CompletedProcess:
     """Run one workload leg in a subprocess; never raises on bad exits."""
     command = [sys.executable, "-m", "repro.faults.workloads", workload, str(run_dir)]
     try:
         return subprocess.run(
             command,
-            env=_child_env(schedule, census_path),
+            env=_child_env(schedule, census_path, flightrec_dir),
             capture_output=True,
             text=True,
             timeout=timeout,
@@ -254,7 +261,12 @@ def _run_plan_inner(
     legs_run = 0
     completed = False
     for index, leg in enumerate(plan.legs):
-        proc = run_leg(workload, run_dir, schedule=leg, timeout=timeout)
+        # Crash legs arm the flight recorder so every injected fault leaves
+        # a post-mortem dump next to the run state it interrupted.
+        proc = run_leg(
+            workload, run_dir, schedule=leg, timeout=timeout,
+            flightrec_dir=run_dir / "obs",
+        )
         legs_run += 1
         if proc.returncode == CRASH_EXIT_CODE:
             continue

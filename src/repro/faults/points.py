@@ -28,7 +28,12 @@ route the ScheduleExplorer uses for its subprocess legs — via the
 ``REPRO_FAULTS`` environment variable, a JSON object parsed at import::
 
     {"schedule": [{"site": "...", "hit": 3, "action": "crash"}],
-     "census": "/path/to/census.jsonl"}
+     "census": "/path/to/census.jsonl",
+     "flightrec": "/dir/for/flightrec-dumps"}
+
+The optional ``flightrec`` key arms a :mod:`repro.obs.flightrec` ring in
+the subprocess, so an injected crash leaves a ``flightrec-<pid>-*.json``
+post-mortem naming the span that was in flight.
 
 When ``census`` is set, an :mod:`atexit` hook appends one JSON line
 ``{"pid": ..., "hits": {site: count, ...}}`` to that file on clean
@@ -56,6 +61,7 @@ __all__ = [
     "arm",
     "disarm",
     "fault_point",
+    "set_fault_observer",
 ]
 
 #: Environment variable carrying a JSON arming spec to subprocesses.
@@ -87,10 +93,17 @@ class FaultController:
         with self._lock:
             index = self._hits.get(site, 0)
             self._hits[site] = index + 1
+        action = None
         if self.schedule is not None:
             action = self.schedule.action_for(site, index)
-            if action is not None:
-                action.fire(site, index, context)
+        observer = _observer
+        if observer is not None:
+            # The observer runs BEFORE the action: crash actions exit via
+            # os._exit, so this is the last chance to persist what was in
+            # flight (the flight recorder dumps here).
+            observer(site, index, str(action) if action is not None else None)
+        if action is not None:
+            action.fire(site, index, context)
 
     def snapshot(self) -> Dict[str, int]:
         """A copy of the per-site hit counts so far."""
@@ -109,6 +122,18 @@ class FaultController:
 
 #: The armed controller, or ``None`` (the common case — zero cost).
 _controller: Optional[FaultController] = None
+
+#: Optional observer called as ``observer(site, hit_index, action_or_None)``
+#: on every *armed* hit, before any action fires.  Installed by the
+#: flight recorder (:func:`repro.obs.flightrec.install`); the dependency
+#: points the other way — this module never imports the observer's home.
+_observer = None
+
+
+def set_fault_observer(observer) -> None:
+    """Install (or clear, with ``None``) the armed-hit observer."""
+    global _observer
+    _observer = observer
 
 
 def fault_point(site: str, **context) -> None:
@@ -157,6 +182,14 @@ def _arm_from_env() -> Optional[FaultController]:
     controller = FaultController(schedule=schedule, census_path=spec.get("census"))
     if controller.census_path is not None:
         atexit.register(controller.flush_census)
+    flightrec_dir = spec.get("flightrec")
+    if flightrec_dir:
+        # Deferred, fault-runs-only import: repro.obs.flightrec is itself
+        # stdlib-only, and its install() resolves this (already-importing)
+        # module through sys.modules, so there is no cycle at runtime.
+        from ..obs import flightrec as _flightrec
+
+        _flightrec.install(dump_dir=flightrec_dir, spill_every=32)
     return arm(controller)
 
 

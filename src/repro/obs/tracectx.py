@@ -1,0 +1,126 @@
+"""Trace contexts: one identity for a piece of work across processes.
+
+A :class:`TraceContext` is the minimal cross-process trace envelope —
+a ``trace_id`` naming the logical operation (a serve job, a CLI run) and
+the span id of the parent under which any downstream spans should hang.
+It exists so the spans one operation produces in *different* places —
+the daemon thread that dispatched a job, the engine that ran it, the
+worker processes that fitted its folds — can be re-joined into one tree
+by ``tools/trace_view.py``:
+
+- the serve daemon mints a context per job (``trace_id`` = the job id,
+  which is already unique and deterministic for a given submission);
+- :class:`repro.telemetry.Telemetry` stamps the context into the trace
+  file **header** (``trace_id`` / ``parent_span`` fields), so every span
+  in that file is claimed by the trace without per-span overhead;
+- worker-side spans ride home on the PR-4 result sidecar and are grafted
+  into the same file, carrying their origin ``pid``/``worker`` as span
+  attributes (:meth:`repro.telemetry.spans.Tracer.emit`), which is what
+  makes the process boundary visible in the merged Chrome trace.
+
+Contexts are tracked per *thread*: the serve daemon runs several jobs
+concurrently in worker threads and each must see only its own context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["TraceContext", "mint", "current_context", "use_context"]
+
+
+class TraceContext:
+    """Identity of one logical operation across processes.
+
+    Attributes
+    ----------
+    trace_id:
+        Stable string naming the operation (a job id, or a digest of the
+        run's identity for CLI runs).
+    parent_span:
+        Span id in the *parent* trace under which this context's spans
+        logically hang, or ``None`` for a root context.
+    origin_pid:
+        Pid of the process that minted the context.
+    """
+
+    __slots__ = ("trace_id", "parent_span", "origin_pid")
+
+    def __init__(
+        self,
+        trace_id: str,
+        parent_span: Optional[int] = None,
+        origin_pid: Optional[int] = None,
+    ) -> None:
+        self.trace_id = str(trace_id)
+        self.parent_span = parent_span
+        self.origin_pid = origin_pid if origin_pid is not None else os.getpid()
+
+    def child(self, parent_span: int) -> "TraceContext":
+        """The same trace, re-rooted under ``parent_span``."""
+        return TraceContext(self.trace_id, parent_span=parent_span, origin_pid=self.origin_pid)
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Compact JSON-able form (header fields, sidecar payloads)."""
+        wire: Dict[str, Any] = {"trace_id": self.trace_id, "origin_pid": self.origin_pid}
+        if self.parent_span is not None:
+            wire["parent_span"] = self.parent_span
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Optional[Dict[str, Any]]) -> Optional["TraceContext"]:
+        """Inverse of :meth:`to_wire`; ``None`` in, ``None`` out."""
+        if not wire or "trace_id" not in wire:
+            return None
+        return cls(
+            wire["trace_id"],
+            parent_span=wire.get("parent_span"),
+            origin_pid=wire.get("origin_pid"),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"parent_span={self.parent_span}, origin_pid={self.origin_pid})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceContext)
+            and self.trace_id == other.trace_id
+            and self.parent_span == other.parent_span
+        )
+
+
+def mint(*parts: Any) -> TraceContext:
+    """Deterministically mint a context from identity material.
+
+    Equal inputs produce equal trace ids, so a resumed job or a re-run
+    of the same spec lands in the same logical trace — which is exactly
+    what an operator diffing two attempts wants.
+    """
+    blob = "\x1f".join(str(part) for part in parts)
+    return TraceContext(hashlib.blake2b(blob.encode("utf-8"), digest_size=8).hexdigest())
+
+
+_local = threading.local()
+
+
+def current_context() -> Optional[TraceContext]:
+    """The context installed for the current thread, if any."""
+    return getattr(_local, "context", None)
+
+
+@contextmanager
+def use_context(context: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Install ``context`` as the current thread's trace context."""
+    previous = getattr(_local, "context", None)
+    _local.context = context
+    try:
+        yield context
+    finally:
+        _local.context = previous

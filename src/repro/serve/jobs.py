@@ -41,6 +41,8 @@ from ..datasets import load_dataset
 from ..engine import SerialExecutor, TrialEngine
 from ..experiments import paper_search_space
 from ..faults.points import fault_point
+from ..obs import flightrec as _flightrec
+from ..obs.tracectx import TraceContext, use_context
 from ..results import result_to_dict, save_result
 from ..telemetry import Telemetry
 from .protocol import JobRecord, JobSpec, eval_context
@@ -153,6 +155,7 @@ def execute_job(
     registry: JobRegistry,
     shared: SharedEngineState,
     cancel_event: Optional[threading.Event] = None,
+    live=None,
 ) -> JobRecord:
     """Run one dispatched job to a terminal state (daemon-side path).
 
@@ -162,6 +165,15 @@ def execute_job(
     the cancel/progress hook, then records the outcome — ``done`` with an
     incumbent summary and engine stats, ``cancelled`` or ``failed``
     otherwise.  Never raises: every exception becomes job state.
+
+    The job's trace (when ``spec.trace`` is on) is claimed by a
+    :class:`~repro.obs.tracectx.TraceContext` whose trace id *is* the job
+    id — deterministic, so a resumed job lands in the same logical trace
+    — and opens with a ``serve.job`` root span the engine's run/bracket
+    spans hang under.  ``live``, when given, is the daemon's live-job
+    table (see :class:`~repro.serve.server.LiveJobs`): the job registers
+    its record+telemetry for the duration so ``/metrics`` can export
+    trial progress and rung occupancy mid-flight.
     """
     spec = record.spec
     context = eval_context(spec)
@@ -174,9 +186,11 @@ def execute_job(
         if cancel_event is not None and cancel_event.is_set():
             raise JobCancelled(record.job_id)
 
+    trace_context = TraceContext(record.job_id)
     telemetry = Telemetry(
         trace=str(registry.trace_path(record.job_id)) if spec.trace else None,
         on_trial=_on_trial,
+        context=trace_context,
     )
     engine = TrialEngine(
         executor=SerialExecutor(),
@@ -187,10 +201,19 @@ def execute_job(
     )
     fault_point("serve.job.pre_mark_running")
     registry.mark_running(record)
+    _flightrec.note("job.start", sticky=True, job=record.job_id, tenant=spec.tenant)
+    if live is not None:
+        live.register(record, telemetry)
     try:
         if cancel_event is not None and cancel_event.is_set():
             raise JobCancelled(record.job_id)
-        outcome = optimize(**optimize_inputs(spec), engine=engine, telemetry=telemetry)
+        with use_context(trace_context):
+            with telemetry.span(
+                "serve.job", job_id=record.job_id, tenant=spec.tenant, method=spec.method
+            ):
+                outcome = optimize(
+                    **optimize_inputs(spec), engine=engine, telemetry=telemetry
+                )
     except JobCancelled:
         registry.mark_finished(
             record,
@@ -219,6 +242,9 @@ def execute_job(
             metrics=telemetry.registry,
         )
     finally:
+        if live is not None:
+            live.unregister(record.job_id)
         engine.shutdown()
         telemetry.close()
+        _flightrec.note("job.finish", job=record.job_id, state=record.state)
     return record

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from ..engine.cache import EvaluationCache
+from ..obs import flightrec as _flightrec
 from ..engine.checkpoint import CheckpointStore
 from ..engine.durability import fsync_dir
 from ..faults.points import fault_point
@@ -423,6 +424,7 @@ class JobRegistry:
             except OSError:
                 return  # could not even remove it; leave it for the operator
         self.quarantined += 1
+        _flightrec.note("registry.quarantine", path=str(path))
 
     def _rebuild_from_spec(self, job_dir: Path) -> Optional[JobRecord]:
         """Reconstruct a queued record from the immutable spec sidecar."""

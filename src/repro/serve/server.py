@@ -39,12 +39,50 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..faults.points import fault_point
+from ..obs import flightrec as _flightrec
+from ..obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from ..obs.prom import render, serve_families
 from .jobs import execute_job
 from .protocol import PROTOCOL_VERSION, JobRecord, JobSpec, ProtocolError, spec_digest
 from .registry import JobRegistry, SharedEngineState
 from .scheduler import FairShareScheduler, QueueFull
 
-__all__ = ["ServeDaemon", "Degraded"]
+__all__ = ["ServeDaemon", "Degraded", "LiveJobs", "STATS_SCHEMA_VERSION"]
+
+#: Version of the ``/stats`` JSON shape (see docs/SERVICE.md); bump on
+#: any breaking change so scrapers can evolve safely.
+STATS_SCHEMA_VERSION = 1
+
+
+class LiveJobs:
+    """Thread-safe table of the jobs currently executing in this daemon.
+
+    Each entry pairs the mutable :class:`JobRecord` with the job's
+    :class:`~repro.telemetry.Telemetry`, letting the ``/metrics``
+    exporter read trial progress and per-rung counters mid-flight.
+    Reads take the same lock as writes but hold it only to copy the
+    table — rendering happens outside, so a scrape cannot stall a
+    dispatch that wants to register.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Tuple[JobRecord, Any]] = {}
+
+    def register(self, record: JobRecord, telemetry: Any) -> None:
+        """Add a job that just started running (called from the dispatch path)."""
+        with self._lock:
+            self._jobs[record.job_id] = (record, telemetry)
+
+    def unregister(self, job_id: str) -> None:
+        """Drop a job that settled; unknown ids are a no-op."""
+        with self._lock:
+            self._jobs.pop(job_id, None)
+
+    def snapshot(self) -> List[Tuple[JobRecord, Any]]:
+        """Stable-ordered copy of the live entries (sorted by job id)."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in sorted(self._jobs)]
 
 
 class Degraded(RuntimeError):
@@ -122,6 +160,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _read_body(self) -> bytes:
         """Consume the request body (always, even on error paths).
 
@@ -144,13 +190,15 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
-        """``/healthz``, ``/stats``, ``/jobs`` and ``/jobs/<id>``."""
+        """``/healthz``, ``/metrics``, ``/stats``, ``/jobs`` and ``/jobs/<id>``."""
         path = self.path.rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(200, self.daemon.health())
         elif path == "/readyz":
             payload = self.daemon.ready()
             self._send_json(200 if payload["ready"] else 503, payload)
+        elif path == "/metrics":
+            self._send_text(200, self.daemon.metrics_text(), _PROM_CONTENT_TYPE)
         elif path == "/stats":
             self._send_json(200, self.daemon.stats())
         elif path == "/jobs":
@@ -284,6 +332,10 @@ class ServeDaemon:
         self.draining = False
         self.started_at: Optional[float] = None
         self.recovered_jobs = 0
+        #: Jobs currently executing, readable by the /metrics exporter.
+        self.live_jobs = LiveJobs()
+        #: Where flight-recorder crash dumps and live spills land.
+        self.obs_dir = self.root / "obs"
         self._cancel_events: Dict[str, threading.Event] = {}
         self._cancel_lock = threading.Lock()
         self._threads: list = []
@@ -318,7 +370,14 @@ class ServeDaemon:
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> "ServeDaemon":
-        """Recover interrupted jobs, start workers and the HTTP listener."""
+        """Recover interrupted jobs, start workers and the HTTP listener.
+
+        Also arms the process-wide flight recorder with dumps under
+        ``<root>/obs``: spilled every 32 events (and on every job
+        dispatch), so even a SIGKILL leaves a ``flightrec-<pid>-live.json``
+        naming what was in flight.
+        """
+        _flightrec.install(dump_dir=self.obs_dir, spill_every=32)
         self._recover()
         self.started_at = time.monotonic()
         for index in range(self.n_workers):
@@ -563,6 +622,11 @@ class ServeDaemon:
             self.start()
             while not stop_requested.wait(timeout=0.2):
                 pass
+            # A signal asked us to die: persist the ring before draining,
+            # so the post-mortem shows what was in flight at the moment of
+            # the request even if the drain itself then hangs or is killed.
+            _flightrec.note("serve.shutdown", reason="signal")
+            _flightrec.dump_now("sigterm")
             self.drain()
             self.stop()
         finally:
@@ -599,7 +663,13 @@ class ServeDaemon:
                     )
                 else:
                     fault_point("serve.dispatch.pre")
-                    execute_job(record, self.registry, self.shared, cancel_event=event)
+                    execute_job(
+                        record,
+                        self.registry,
+                        self.shared,
+                        cancel_event=event,
+                        live=self.live_jobs,
+                    )
                     fault_point("serve.dispatch.post")
             finally:
                 with self._cancel_lock:
@@ -660,8 +730,22 @@ class ServeDaemon:
             "degraded": self.degraded_reason is not None,
         }
 
+    def metrics_text(self) -> str:
+        """The ``/metrics`` body: live state in Prometheus text format.
+
+        Pure reads — scheduler snapshot, attribute loads, dict copies —
+        so a scrape never blocks job dispatch; and no wall-clock-derived
+        values, so two scrapes of an idle daemon are byte-identical.
+        """
+        return render(serve_families(self))
+
     def stats(self) -> Dict[str, Any]:
-        """The ``/stats`` payload: global, per-tenant and shared-state counters."""
+        """The ``/stats`` payload: global, per-tenant and shared-state counters.
+
+        The JSON shape is versioned by ``schema_version`` and documented
+        in ``docs/SERVICE.md``; scrapers should check the version before
+        assuming field layout.
+        """
         records = self.registry.all()
         by_state: Dict[str, int] = {}
         for record in records:
@@ -669,6 +753,7 @@ class ServeDaemon:
         uptime = (time.monotonic() - self.started_at) if self.started_at is not None else 0.0
         completed = by_state.get("done", 0)
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "state": "draining" if self.draining else "serving",
             "uptime_s": round(uptime, 3),
             "recovered_jobs": self.recovered_jobs,

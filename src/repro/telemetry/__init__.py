@@ -44,7 +44,7 @@ from .collect import (
     detach_payload,
     trial_collection,
 )
-from .export import to_chrome_trace
+from .export import merge_chrome_traces, to_chrome_trace
 from .formatting import format_count, format_overhead, format_percent, format_seconds
 from .metrics import METRICS_SCHEMA_VERSION, HistogramSummary, MetricsRegistry
 from .profiling import profiled
@@ -69,6 +69,7 @@ __all__ = [
     "COLLECT_METRICS",
     "profiled",
     "to_chrome_trace",
+    "merge_chrome_traces",
     "format_percent",
     "format_overhead",
     "format_seconds",
@@ -92,6 +93,10 @@ class Telemetry:
     on_trial:
         Optional callback ``f(telemetry, attrs)`` invoked after every
         trial is recorded — the CLI's live progress line hangs off this.
+    context:
+        Optional :class:`repro.obs.tracectx.TraceContext` stamped into
+        the trace file header, claiming every span in the file for one
+        cross-process trace (serve job id, CLI run digest).
     clock, cpu_clock:
         Injectable clocks shared by the tracer and inline collection.
 
@@ -110,10 +115,14 @@ class Telemetry:
         fsync: bool = False,
         profile: bool = False,
         on_trial: Optional[Callable[["Telemetry", Dict[str, Any]], None]] = None,
+        context: Optional[Any] = None,
         clock: Callable[[], float] = time.monotonic,
         cpu_clock: Callable[[], float] = time.process_time,
     ) -> None:
-        self.sink = TraceSink(trace, fsync=fsync) if trace is not None else None
+        self.context = context
+        self.sink = (
+            TraceSink(trace, fsync=fsync, context=context) if trace is not None else None
+        )
         self.tracer = Tracer(self.sink, clock=clock, cpu_clock=cpu_clock)
         self.registry = MetricsRegistry()
         self.profile = profile
@@ -193,6 +202,7 @@ class Telemetry:
             attrs=attrs,
             annotations=annotations,
             children=(payload or {}).get("spans"),
+            origin=(payload or {}).get("origin"),
         )
         self.trials_seen += 1
         if self.on_trial is not None:

@@ -26,6 +26,7 @@ grafts the records into the tail of the trial span instead
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
@@ -52,7 +53,10 @@ COLLECT_METRICS = 4
 #: Attribute name the payload rides under on ``EvaluationResult.__dict__``.
 PAYLOAD_ATTR = "_telemetry"
 
-_current: Optional["TrialCollector"] = None
+#: The installed collector, tracked per *thread*: the serve daemon runs
+#: several jobs concurrently in worker threads, each with its own serial
+#: engine, and one job's collector must never see another's folds.
+_local = threading.local()
 
 
 class TrialCollector:
@@ -171,12 +175,12 @@ def current_collector() -> Optional[TrialCollector]:
     """The collector installed for the evaluation in progress, if any.
 
     Instrumented code calls this on its hot path; a ``None`` return means
-    telemetry is off and the caller should do nothing.  The global is
+    telemetry is off and the caller should do nothing.  The slot is
     process-local by construction — each worker process gets its own
-    module state after fork, and the engine's serial path installs and
-    removes it around each evaluation.
+    module state after fork — and *thread*-local on top, so concurrent
+    serve jobs in one daemon each see only their own collector.
     """
-    return _current
+    return getattr(_local, "collector", None)
 
 
 @contextmanager
@@ -187,17 +191,16 @@ def trial_collection(flags: int) -> Iterator[Optional[TrialCollector]]:
     executors can pass the engine's mask straight through.  Nesting is
     not supported and not needed: one evaluation, one collector.
     """
-    global _current
     if not flags:
         yield None
         return
     collector = TrialCollector(flags=flags)
-    previous = _current
-    _current = collector
+    previous = getattr(_local, "collector", None)
+    _local.collector = collector
     try:
         yield collector
     finally:
-        _current = previous
+        _local.collector = previous
 
 
 def attach_payload(result: Any, collector: Optional[TrialCollector]) -> None:

@@ -15,9 +15,9 @@ the nesting renders as a flame under the trial bar.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["to_chrome_trace"]
+__all__ = ["to_chrome_trace", "merge_chrome_traces"]
 
 #: Lane for run/bracket/rung structural spans.
 STRUCTURAL_TID = 0
@@ -25,7 +25,11 @@ STRUCTURAL_TID = 0
 STRUCTURAL_KINDS = frozenset({"run", "bracket", "rung"})
 
 
-def to_chrome_trace(header: Dict[str, Any], records: List[Dict[str, Any]]) -> Dict[str, Any]:
+def to_chrome_trace(
+    header: Dict[str, Any],
+    records: List[Dict[str, Any]],
+    t_min: Optional[float] = None,
+) -> Dict[str, Any]:
     """Convert trace-file records to a Chrome-trace JSON object.
 
     Parameters
@@ -33,6 +37,12 @@ def to_chrome_trace(header: Dict[str, Any], records: List[Dict[str, Any]]) -> Di
     header, records:
         The output of :meth:`repro.telemetry.spans.TraceSink.read` — the
         header line and the span/metrics records that followed it.
+    t_min:
+        Timestamp the trace is shifted against (defaults to this file's
+        earliest span).  :func:`merge_chrome_traces` passes the global
+        minimum across files so multi-process traces share one timeline —
+        valid because ``time.monotonic`` is CLOCK_MONOTONIC, which is
+        system-wide on Linux, not per-process.
 
     Returns
     -------
@@ -44,7 +54,8 @@ def to_chrome_trace(header: Dict[str, Any], records: List[Dict[str, Any]]) -> Di
     metrics = next((r for r in records if r.get("type") == "metrics"), None)
 
     by_id = {span["id"]: span for span in spans}
-    t_min = min((span["t0"] for span in spans), default=0.0)
+    if t_min is None:
+        t_min = min((span["t0"] for span in spans), default=0.0)
 
     # Greedy lane packing for trial spans: lowest lane whose last trial
     # ended before this one starts.  Children inherit their trial's lane.
@@ -102,4 +113,56 @@ def to_chrome_trace(header: Dict[str, Any], records: List[Dict[str, Any]]) -> Di
     metadata: Dict[str, Any] = {"trace_header": header, "n_spans": len(spans)}
     if metrics is not None:
         metadata["metrics"] = {k: v for k, v in metrics.items() if k != "type"}
+    return {"traceEvents": events, "displayTimeUnit": "ms", "metadata": metadata}
+
+
+def merge_chrome_traces(
+    parts: Sequence[Tuple[Dict[str, Any], List[Dict[str, Any]]]],
+) -> Dict[str, Any]:
+    """Stitch several trace files into one multi-process Chrome trace.
+
+    ``parts`` is a sequence of ``(header, records)`` pairs as returned by
+    :meth:`TraceSink.read` — typically a serve job's daemon-side trace
+    plus engine/worker traces claiming the same ``trace_id``.  Every file
+    keeps its own ``pid`` lane-group (labelled via ``process_name``
+    metadata events, including its trace id), and all files share one
+    timeline anchored at the globally earliest span, so cross-process
+    causality reads left-to-right in Perfetto.
+    """
+    t_min = min(
+        (
+            record["t0"]
+            for _, records in parts
+            for record in records
+            if record.get("type") == "span"
+        ),
+        default=0.0,
+    )
+    events: List[Dict[str, Any]] = []
+    part_meta: List[Dict[str, Any]] = []
+    trace_ids: List[str] = []
+    for index, (header, records) in enumerate(parts):
+        converted = to_chrome_trace(header, records, t_min=t_min)
+        pid = header.get("pid", 0)
+        trace_id = header.get("trace_id")
+        if trace_id is not None and trace_id not in trace_ids:
+            trace_ids.append(trace_id)
+        label = f"pid {pid}"
+        if trace_id is not None:
+            label += f" · trace {trace_id}"
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": label}}
+        )
+        events.append(
+            {"name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"sort_index": index}}
+        )
+        events.extend(converted["traceEvents"])
+        part_meta.append(converted["metadata"])
+    metadata = {
+        "parts": part_meta,
+        "trace_ids": trace_ids,
+        "n_spans": sum(meta["n_spans"] for meta in part_meta),
+    }
     return {"traceEvents": events, "displayTimeUnit": "ms", "metadata": metadata}

@@ -183,9 +183,35 @@ class MetricsRegistry:
         """Name-sorted copy of every counter — the deterministic comparator."""
         return {name: self._counters[name] for name in sorted(self._counters)}
 
+    def gauges(self) -> Dict[str, float]:
+        """Name-sorted copy of every gauge."""
+        return {name: self._gauges[name] for name in sorted(self._gauges)}
+
     def histograms(self) -> Dict[str, HistogramSummary]:
         """Name-sorted shallow copy of the histogram summaries."""
         return {name: self._histograms[name] for name in sorted(self._histograms)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot.
+
+        The inverse up to histogram totals' 9-decimal rounding; used by
+        ``repro obs snapshot`` to re-render a finished run's trace-file
+        metrics as Prometheus text.
+        """
+        registry = cls()
+        for name, value in (payload.get("counters") or {}).items():
+            registry._counters[name] = int(value)
+        for name, value in (payload.get("gauges") or {}).items():
+            registry._gauges[name] = float(value)
+        for name, summary in (payload.get("histograms") or {}).items():
+            if summary.get("count"):
+                histogram = HistogramSummary()
+                histogram.merge_wire(
+                    [summary["count"], summary["total"], summary["min"], summary["max"]]
+                )
+                registry._histograms[name] = histogram
+        return registry
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-able snapshot with every section name-sorted (stable output)."""

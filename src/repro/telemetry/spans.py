@@ -25,6 +25,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..obs import flightrec as _flightrec
+
 __all__ = ["TRACE_VERSION", "Span", "TraceSink", "Tracer"]
 
 #: On-disk trace format version; bump when the record schema changes.
@@ -87,6 +89,11 @@ class TraceSink:
         Force every record to stable storage (off by default — traces are
         observability, not the source of truth the run journal is; flip it
         on to trace the run that keeps crashing the machine).
+    context:
+        Optional :class:`repro.obs.tracectx.TraceContext` (or its
+        ``to_wire()`` dict).  Stamped into the header as ``trace_id`` /
+        ``parent_span``, which is how a whole file of spans is claimed by
+        one cross-process trace without per-span overhead.
 
     Notes
     -----
@@ -95,9 +102,15 @@ class TraceSink:
     until something actually happens.
     """
 
-    def __init__(self, path: Union[str, Path], fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync: bool = False,
+        context: Optional[Any] = None,
+    ) -> None:
         self.path = Path(path)
         self.fsync = fsync
+        self.context = context
         self._handle = None
         self.spans_written = 0
 
@@ -108,14 +121,22 @@ class TraceSink:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("w")
-            self._write_line(
-                {
-                    "type": "header",
-                    "version": TRACE_VERSION,
-                    "created_unix": round(time.time(), 3),
-                    "pid": os.getpid(),
-                }
-            )
+            header: Dict[str, Any] = {
+                "type": "header",
+                "version": TRACE_VERSION,
+                "created_unix": round(time.time(), 3),
+                "pid": os.getpid(),
+            }
+            if self.context is not None:
+                wire = (
+                    self.context.to_wire()
+                    if hasattr(self.context, "to_wire")
+                    else dict(self.context)
+                )
+                header["trace_id"] = wire["trace_id"]
+                if wire.get("parent_span") is not None:
+                    header["parent_span"] = wire["parent_span"]
+            self._write_line(header)
         if record.get("type") == "span":
             self.spans_written += 1
         self._write_line(record)
@@ -291,6 +312,7 @@ class Tracer:
         attrs: Optional[Dict[str, Any]] = None,
         annotations: Optional[List[Dict[str, Any]]] = None,
         children: Optional[List[Dict[str, Any]]] = None,
+        origin: Optional[Dict[str, Any]] = None,
     ) -> Optional[int]:
         """Write one already-timed span (plus optional collected children).
 
@@ -302,6 +324,10 @@ class Tracer:
         remapped to fresh tracer ids and their ``rel0`` offsets are laid
         out inside the tail of the parent span's window (the evaluation
         itself runs at the end of a trial span; the head is queue wait).
+        When ``origin`` (``{"pid": ..., "worker": ...}``, stamped by the
+        executor that ran the evaluation) is given, each grafted child
+        carries it as span attributes — that is what makes the process
+        boundary visible in a stitched Chrome trace.
 
         Returns the new span's id, or ``None`` when tracing is disabled.
         """
@@ -325,6 +351,11 @@ class Tracer:
             for child in children:
                 local_parent = child.get("parent")
                 mapped_parent = id_map.get(int(local_parent)) if local_parent is not None else span_id
+                child_attrs = dict(child.get("attrs") or {})
+                if origin:
+                    child_attrs.setdefault("pid", origin.get("pid"))
+                    if origin.get("worker") is not None:
+                        child_attrs.setdefault("worker", origin.get("worker"))
                 self._write_span(
                     id_map[int(child["id"])],
                     mapped_parent if mapped_parent is not None else span_id,
@@ -333,7 +364,7 @@ class Tracer:
                     base + float(child.get("rel0", 0.0)),
                     float(child.get("dur", 0.0)),
                     float(child.get("cpu_dur", 0.0)),
-                    dict(child.get("attrs") or {}),
+                    child_attrs,
                     list(child.get("ann") or []),
                 )
         return span_id
@@ -365,5 +396,6 @@ class Tracer:
         if annotations:
             record["ann"] = annotations
         self.sink.write(record)
+        _flightrec.note("span.close", name=name, span=span_id, dur=record["dur"])
         if self.on_close is not None:
             self.on_close(record)

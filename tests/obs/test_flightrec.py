@@ -1,0 +1,157 @@
+"""Flight recorder: ring semantics, atomic dumps, hooks."""
+
+import json
+
+import pytest
+
+from repro.faults.points import FaultController, arm, disarm
+from repro.faults.schedule import FaultSchedule
+from repro.obs import flightrec
+from repro.obs.flightrec import FLIGHTREC_SCHEMA_VERSION, FlightRecorder
+
+
+@pytest.fixture(autouse=True)
+def clean_install():
+    """Every test starts and ends with no recorder installed."""
+    flightrec.uninstall()
+    yield
+    flightrec.uninstall()
+    disarm()
+
+
+class TestRing:
+    def test_records_in_order(self):
+        recorder = FlightRecorder(capacity=8)
+        for index in range(3):
+            recorder.record("tick", index=index)
+        events = recorder.events()
+        assert [event["kind"] for event in events] == ["tick"] * 3
+        assert [event["index"] for event in events] == [0, 1, 2]
+        assert [event["seq"] for event in events] == [0, 1, 2]
+
+    def test_wraps_keeping_newest(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record("tick", index=index)
+        events = recorder.events()
+        assert len(events) == 4
+        assert [event["index"] for event in events] == [6, 7, 8, 9]
+        assert len(recorder) == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_events_are_copies(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.record("tick")
+        recorder.events()[0]["kind"] = "mutated"
+        assert recorder.events()[0]["kind"] == "tick"
+
+
+class TestDump:
+    def test_dump_writes_schema_payload(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path)
+        recorder.record("job.start", job="j1")
+        path = recorder.dump("sigterm")
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == FLIGHTREC_SCHEMA_VERSION
+        assert payload["reason"] == "sigterm"
+        assert payload["capacity"] == 4
+        assert payload["events_recorded"] == 1
+        assert payload["events_retained"] == 1
+        assert payload["events"][0]["kind"] == "job.start"
+        assert payload["events"][0]["job"] == "j1"
+
+    def test_reason_sanitized_in_filename(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path)
+        path = recorder.dump("fault toy/step:mid")
+        assert path.name.endswith("-fault-toy-step-mid.json")
+
+    def test_dump_without_directory_is_none(self):
+        assert FlightRecorder(capacity=4).dump("whatever") is None
+
+    def test_no_tmp_litter(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path)
+        recorder.dump("x")
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_sticky_event_spills_live_snapshot(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path, spill_every=1000)
+        recorder.record("job.start", sticky=True, job="j1")
+        spills = list(tmp_path.glob("flightrec-*-live.json"))
+        assert len(spills) == 1
+        payload = json.loads(spills[0].read_text())
+        assert payload["reason"] == "live"
+        assert payload["events"][0]["job"] == "j1"
+
+    def test_periodic_spill_every_n(self, tmp_path):
+        recorder = FlightRecorder(capacity=8, dump_dir=tmp_path, spill_every=4)
+        for _ in range(3):
+            recorder.record("tick")
+        assert not list(tmp_path.glob("flightrec-*-live.json"))
+        recorder.record("tick")
+        assert len(list(tmp_path.glob("flightrec-*-live.json"))) == 1
+
+
+class TestModuleInstall:
+    def test_note_is_noop_until_installed(self):
+        flightrec.note("tick")  # must not raise
+        assert flightrec.installed() is None
+
+    def test_install_note_dump_now(self, tmp_path):
+        flightrec.install(dump_dir=tmp_path, hook_exceptions=False)
+        flightrec.note("tick", index=1)
+        path = flightrec.dump_now("test")
+        assert json.loads(path.read_text())["events"][0]["index"] == 1
+
+    def test_uninstall_returns_recorder(self, tmp_path):
+        recorder = flightrec.install(dump_dir=tmp_path, hook_exceptions=False)
+        assert flightrec.uninstall() is recorder
+        assert flightrec.installed() is None
+        assert flightrec.dump_now("after") is None
+
+    def test_excepthook_dumps_and_chains(self, tmp_path):
+        flightrec.install(dump_dir=tmp_path, hook_exceptions=False)
+        seen = []
+        flightrec._previous_excepthook = lambda *args: seen.append(args)
+        try:
+            flightrec._crash_excepthook(RuntimeError, RuntimeError("boom"), None)
+        finally:
+            flightrec._previous_excepthook = None
+        dumps = list(tmp_path.glob("flightrec-*-exception.json"))
+        assert len(dumps) == 1
+        payload = json.loads(dumps[0].read_text())
+        assert payload["events"][-1]["kind"] == "crash.exception"
+        assert "boom" in payload["events"][-1]["error"]
+        assert len(seen) == 1  # the previous hook still ran
+
+
+class TestFaultObserver:
+    def test_armed_hits_recorded_and_fire_dumps(self, tmp_path):
+        recorder = flightrec.install(dump_dir=tmp_path, hook_exceptions=False)
+        schedule = FaultSchedule.single("x.mid", hit=1, action="delay:0")
+        controller = arm(FaultController(schedule=schedule))
+        try:
+            controller.hit("x.mid", {})  # hit 0: recorded, no action
+            controller.hit("x.mid", {})  # hit 1: fires (a harmless delay)
+        finally:
+            disarm()
+        kinds = [event["kind"] for event in recorder.events()]
+        assert kinds == ["fault.hit", "fault.fire"]
+        fire = recorder.events()[-1]
+        assert fire["site"] == "x.mid"
+        assert fire["hit"] == 1
+        assert fire["action"].startswith("delay")
+        dumps = list(tmp_path.glob("flightrec-*-fault-x.mid.json"))
+        assert len(dumps) == 1
+
+    def test_unarmed_process_records_nothing(self, tmp_path):
+        recorder = flightrec.install(dump_dir=tmp_path, hook_exceptions=False)
+        controller = arm(FaultController())  # census-only, no schedule
+        try:
+            controller.hit("x.mid", {})
+        finally:
+            disarm()
+        assert [event["kind"] for event in recorder.events()] == ["fault.hit"]
+        assert not list(tmp_path.glob("flightrec-*-fault-*.json"))

@@ -1,0 +1,149 @@
+"""Prometheus exposition: rendering determinism and the strict parser."""
+
+import pytest
+
+from repro.obs.prom import (
+    CONTENT_TYPE,
+    Family,
+    metric_name,
+    parse_prometheus,
+    registry_families,
+    render,
+    render_registry,
+)
+from repro.telemetry import MetricsRegistry
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("engine.cache_hits") == "repro_engine_cache_hits"
+
+    def test_prefix_optional(self):
+        assert metric_name("engine.cache_hits", prefix="") == "engine_cache_hits"
+
+    def test_hostile_characters_sanitized(self):
+        name = metric_name("profile.mlp-v2/fit time")
+        assert name == "repro_profile_mlp_v2_fit_time"
+
+
+class TestFamily:
+    def test_counter_renders_help_type_and_sample(self):
+        family = Family("repro_jobs_total", "counter", "Finished jobs").add({}, 7)
+        assert family.render_lines() == [
+            "# HELP repro_jobs_total Finished jobs",
+            "# TYPE repro_jobs_total counter",
+            "repro_jobs_total 7",
+        ]
+
+    def test_labels_render_sorted(self):
+        family = Family("repro_x", "gauge", "x").add({"b": "2", "a": "1"}, 1)
+        assert family.render_lines()[-1] == 'repro_x{a="1",b="2"} 1'
+
+    def test_label_values_escaped(self):
+        family = Family("repro_x", "gauge", "x").add({"t": 'a"b\\c\nd'}, 1)
+        line = family.render_lines()[-1]
+        assert line == 'repro_x{t="a\\"b\\\\c\\nd"} 1'
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Family("0bad", "gauge", "x")
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            Family("repro_x", "histogram2", "x")
+
+    def test_invalid_label_rejected(self):
+        with pytest.raises(ValueError):
+            Family("repro_x", "gauge", "x").add({"bad-label": 1}, 1)
+
+
+class TestRender:
+    def test_families_sorted_by_name(self):
+        text = render([
+            Family("repro_z", "gauge", "z").add({}, 1),
+            Family("repro_a", "gauge", "a").add({}, 2),
+        ])
+        assert text.index("repro_a") < text.index("repro_z")
+
+    def test_empty_families_skipped(self):
+        text = render([Family("repro_empty", "gauge", "never sampled")])
+        assert "repro_empty" not in text
+
+    def test_byte_identical_for_equal_input(self):
+        def families():
+            return [
+                Family("repro_x", "gauge", "x").add({"t": "a"}, 1.5).add({"t": "b"}, 2),
+                Family("repro_y_total", "counter", "y").add({}, 3),
+            ]
+
+        assert render(families()) == render(families())
+
+    def test_sample_order_independent(self):
+        ab = Family("repro_x", "gauge", "x").add({"t": "a"}, 1).add({"t": "b"}, 2)
+        ba = Family("repro_x", "gauge", "x").add({"t": "b"}, 2).add({"t": "a"}, 1)
+        assert render([ab]) == render([ba])
+
+    def test_content_type_is_version_0_0_4(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestRegistryFamilies:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.inc("engine.cache_hits", 5)
+        registry.set_gauge("pool.workers", 4)
+        registry.observe("trial.execute_s", 0.25)
+        registry.observe("trial.execute_s", 0.75)
+        return registry
+
+    def test_counter_gets_total_suffix(self):
+        names = [f.name for f in registry_families(self.make_registry())]
+        assert "repro_engine_cache_hits_total" in names
+
+    def test_histogram_becomes_summary_with_min_max(self):
+        names = {f.name: f.type for f in registry_families(self.make_registry())}
+        assert names["repro_trial_execute_s"] == "summary"
+        assert names["repro_trial_execute_s_min"] == "gauge"
+        assert names["repro_trial_execute_s_max"] == "gauge"
+
+    def test_round_trip_through_parser(self):
+        parsed = parse_prometheus(render_registry(self.make_registry()))
+        assert parsed["repro_engine_cache_hits_total"] == [({}, 5.0)]
+        assert parsed["repro_pool_workers"] == [({}, 4.0)]
+        assert parsed["repro_trial_execute_s_count"] == [({}, 2.0)]
+        assert parsed["repro_trial_execute_s_sum"] == [({}, 1.0)]
+        assert parsed["repro_trial_execute_s_min"] == [({}, 0.25)]
+        assert parsed["repro_trial_execute_s_max"] == [({}, 0.75)]
+
+    def test_extra_labels_stamped_on_every_sample(self):
+        families = registry_families(self.make_registry(), labels={"job": "j1"})
+        parsed = parse_prometheus(render(families))
+        assert all(
+            labels == {"job": "j1"}
+            for samples in parsed.values()
+            for labels, _ in samples
+        )
+
+
+class TestParsePrometheus:
+    def test_parses_labels_and_values(self):
+        parsed = parse_prometheus(
+            '# HELP repro_x x\n# TYPE repro_x gauge\nrepro_x{a="1",b="two"} 3.5\n'
+        )
+        assert parsed == {"repro_x": [({"a": "1", "b": "two"}, 3.5)]}
+
+    def test_rejects_garbage_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_x{ 1\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_x notanumber\n")
+
+    def test_rejects_unknown_comment(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("# NOPE repro_x\n")
+
+    def test_rejects_unquoted_labels(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("repro_x{a=1} 2\n")

@@ -1,0 +1,65 @@
+"""Trace contexts: wire round-trip, deterministic minting, thread scoping."""
+
+import os
+import threading
+
+from repro.obs.tracectx import TraceContext, current_context, mint, use_context
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        context = TraceContext("job-1", parent_span=7)
+        clone = TraceContext.from_wire(context.to_wire())
+        assert clone == context
+        assert clone.origin_pid == os.getpid()
+
+    def test_root_context_omits_parent_on_wire(self):
+        assert "parent_span" not in TraceContext("job-1").to_wire()
+
+    def test_from_wire_tolerates_garbage(self):
+        assert TraceContext.from_wire(None) is None
+        assert TraceContext.from_wire({}) is None
+        assert TraceContext.from_wire({"pid": 3}) is None
+
+    def test_child_rebases_parent_span(self):
+        child = TraceContext("job-1").child(42)
+        assert child.trace_id == "job-1"
+        assert child.parent_span == 42
+
+    def test_mint_is_deterministic(self):
+        assert mint("australian", "sha", 0).trace_id == mint("australian", "sha", 0).trace_id
+        assert mint("australian", "sha", 0).trace_id != mint("australian", "sha", 1).trace_id
+
+    def test_mint_separator_prevents_aliasing(self):
+        assert mint("ab", "c").trace_id != mint("a", "bc").trace_id
+
+
+class TestThreadScoping:
+    def test_use_context_restores_previous(self):
+        outer = TraceContext("outer")
+        inner = TraceContext("inner")
+        assert current_context() is None
+        with use_context(outer):
+            assert current_context() is outer
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+        assert current_context() is None
+
+    def test_threads_see_only_their_own(self):
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with use_context(TraceContext(name)):
+                barrier.wait(timeout=10)
+                seen[name] = current_context().trace_id
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        with use_context(TraceContext("main")):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert current_context().trace_id == "main"
+        assert seen == {"a": "a", "b": "b"}

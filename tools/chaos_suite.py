@@ -384,6 +384,60 @@ def scenario_serve_sigkill():
             f"(deepest replay {replayed} trials), all bitwise == direct")
 
 
+def scenario_serve_sigkill_flightrec():
+    """SIGKILL the daemon mid-burst; the flight recorder's spill-backed
+    live snapshot must survive and name the in-flight jobs.
+
+    SIGKILL is uncatchable, so the daemon cannot dump on the way down —
+    the post-mortem evidence is the ``flightrec-<pid>-live.json`` spill
+    the recorder force-writes at every sticky event (job dispatch).  A
+    job the client observed ``running`` must therefore appear as a
+    ``job.start`` event in the surviving snapshot.
+    """
+    from repro.serve import ServeClient
+
+    base = dict(dataset="australian", method="sha", hps=2, scale=0.5, max_iter=40)
+    specs = [dict(base, tenant=tenant, seed=seed)
+             for tenant in ("acme", "globex") for seed in range(2)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "serve-root"
+        proc, url = _start_serve_daemon(root)
+        running = set()
+        try:
+            with ServeClient(url) as client:
+                job_ids = [client.submit(spec)["job_id"] for spec in specs]
+                deadline = time.monotonic() + 60.0
+                while time.monotonic() < deadline:
+                    running = {job_id for job_id in job_ids
+                               if client.job(job_id)["state"] == "running"}
+                    if running:
+                        break
+                    time.sleep(0.02)
+                else:
+                    raise AssertionError("no job ever started running")
+                # The spill is forced right after the state flips to
+                # running; give the write a beat before pulling the plug.
+                time.sleep(0.3)
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        spills = sorted((root / "obs").glob("flightrec-*-live.json"))
+        assert spills, f"no flight-recorder live snapshot under {root / 'obs'}"
+        payload = json.loads(spills[-1].read_text())
+        assert payload.get("schema_version") == 1, f"bad spill schema: {payload.keys()}"
+        started = {event.get("job") for event in payload.get("events", [])
+                   if event.get("kind") == "job.start"}
+        named = running & started
+        assert named, (
+            f"spill names jobs {sorted(started)} but none of the in-flight "
+            f"{sorted(running)}"
+        )
+    return (f"SIGKILL'd daemon; surviving spill ({spills[-1].name}) names "
+            f"{len(named)}/{len(running)} in-flight job(s)")
+
+
 GUARDED_SEARCHERS = {
     "sha+": lambda space, ev, engine: SuccessiveHalving(space, ev, random_state=7, engine=engine),
     "hb+": lambda space, ev, engine: HyperBand(space, ev, random_state=7, engine=engine),
@@ -757,6 +811,7 @@ def build_scenarios(quick):
         ]
         scenarios.append(("sigkill-resume", scenario_sigkill_resume))
         scenarios.append(("serve-sigkill", scenario_serve_sigkill))
+        scenarios.append(("serve-sigkill-flightrec", scenario_serve_sigkill_flightrec))
         scenarios.extend([
             ("straggler-speculation[hb+]", lambda: scenario_straggler_speculation("hb+")),
             ("straggler-speculation[bohb+]", lambda: scenario_straggler_speculation("bohb+")),

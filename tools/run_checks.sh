@@ -16,6 +16,10 @@
 #      crash-schedule sweep over the toy and HB+ workloads; the full
 #      sweep that regenerates CRASHX_report.json is
 #      `python tools/crashx.py --pairwise 40 --jobs 2 --out CRASHX_report.json`)
+#  10. obs tier (obs-marked observability tests + the SIGKILL
+#      flight-recorder chaos scenario + the obs overhead bench smoke)
+#  11. bench regression gate (tools/bench_regress.py re-judges every
+#      committed BENCH_*.json against its targets)
 #
 # Usage: bash tools/run_checks.sh
 set -euo pipefail
@@ -69,6 +73,16 @@ echo
 echo "== crashx tier: pytest -m faults + bounded schedule sweep =="
 python -m pytest -q -m faults
 python tools/crashx.py --workload toy --workload hb --max-hits-per-site 2 --jobs 2
+
+echo
+echo "== obs tier: pytest -m obs + SIGKILL flight-recorder scenario + bench smoke =="
+python -m pytest -q -m obs
+python tools/chaos_suite.py --only serve-sigkill-flightrec
+python tools/bench_obs.py --quick
+
+echo
+echo "== bench regression gate: tools/bench_regress.py =="
+python tools/bench_regress.py
 
 echo
 echo "all checks passed"
