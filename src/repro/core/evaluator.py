@@ -28,12 +28,14 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..bandit.base import EvaluationResult
-from ..engine.checkpoint import FoldCheckpoint, attach_checkpoints
+from ..engine.arena import ArenaRef, SharedArena
+from ..engine.arena import attach as arena_attach
+from ..engine.checkpoint import FoldCheckpoint, attach_checkpoints, attach_plan_cache_delta
 from ..guard import DataReport, GuardLog, validate_dataset
-from ..telemetry.collect import current_collector
+from ..telemetry.collect import current_collector, install_collector
 from ..telemetry.profiling import profiled
 from ..learners import MLPClassifier, MLPRegressor
-from ..learners.batched import batchable_model, fit_mlp_folds
+from ..learners.batched import MegaBatchStats, batchable_model, fit_mlp_folds, fit_mlp_trials
 from ..metrics import accuracy_score, f1_score, r2_score
 from ..model_selection import KFold, StratifiedKFold, random_subsample, stratified_subsample
 from .folds import GeneralSpecialFolds
@@ -179,6 +181,12 @@ class SubsetCVEvaluator:
         re-evaluation at a budget already planned cold) skip the
         subsample/split work; the memo replays the consumed rng stream and
         any guard events, keeping results bitwise-identical.
+    plan_cache_size:
+        LRU capacity of the plan memo (default 32 entries).  Hits and
+        misses are counted on :attr:`plan_cache_hits` /
+        :attr:`plan_cache_misses` and ride each result back to the engine,
+        which surfaces run totals in
+        :class:`~repro.engine.EngineStats`.
     """
 
     def __init__(
@@ -202,6 +210,7 @@ class SubsetCVEvaluator:
         data_report: Optional[DataReport] = None,
         batched: bool = True,
         memoize_plans: bool = True,
+        plan_cache_size: int = _PLAN_CACHE_LIMIT,
     ) -> None:
         for axis, value in (("sampling", sampling), ("folding", folding)):
             if value not in ("random", "stratified", "grouped"):
@@ -237,7 +246,15 @@ class SubsetCVEvaluator:
         self.clock = clock if clock is not None else time.perf_counter
         self.batched = batched
         self.memoize_plans = memoize_plans
+        if plan_cache_size < 1:
+            raise ValueError(f"plan_cache_size must be >= 1, got {plan_cache_size}")
+        self.plan_cache_size = int(plan_cache_size)
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
         self._plan_cache: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+        #: ``{"X": ArenaRef, "y": ArenaRef}`` once :meth:`share_memory`
+        #: published the dataset; ``None`` keeps plain pickle transport.
+        self._arena_refs: Optional[Dict[str, ArenaRef]] = None
 
     @property
     def guard_active(self) -> bool:
@@ -246,23 +263,54 @@ class SubsetCVEvaluator:
 
     # -- pickling -------------------------------------------------------------
 
+    def share_memory(self, arena: SharedArena) -> Dict[str, ArenaRef]:
+        """Publish the dataset into ``arena``; pickles then carry refs.
+
+        After this, :meth:`__getstate__` replaces the ``X``/``y`` arrays
+        with their :class:`~repro.engine.arena.ArenaRef` placeholders, so
+        shipping the evaluator to a spawned worker moves kilobytes of
+        metadata instead of the dataset — the worker attaches read-only
+        shared views and verifies the content digest.  The caller (the
+        parallel executor) owns the arena's lifetime; call
+        :meth:`unshare_memory` before pickling for any destination that
+        cannot reach this machine's shared memory.
+        """
+        refs = arena.publish_all({"X": self.X, "y": self.y})
+        self._arena_refs = refs
+        return refs
+
+    def unshare_memory(self) -> None:
+        """Forget published refs; pickling carries the arrays again."""
+        self._arena_refs = None
+
     def __getstate__(self):
         """Drop the (possibly lambda-built) scorer so the evaluator pickles.
 
         :class:`~repro.engine.ParallelExecutor` ships the evaluator to
         worker processes once via the pool initializer; the scorer is
-        rebuilt from ``metric`` on the other side.
+        rebuilt from ``metric`` on the other side.  With
+        :meth:`share_memory` active, the dataset arrays travel as arena
+        refs instead of bytes.
         """
         state = dict(self.__dict__)
         state.pop("scorer", None)
         state.pop("_plan_cache", None)
+        refs = state.get("_arena_refs")
+        if refs:
+            state["X"] = refs["X"]
+            state["y"] = refs["y"]
         return state
 
     def __setstate__(self, state):
-        """Restore attributes and rebuild the scorer from the metric name."""
+        """Restore attributes, rebuild the scorer, attach any arena refs."""
         self.__dict__.update(state)
         self.scorer = make_scorer(self.metric)
         self._plan_cache = OrderedDict()
+        self.__dict__.setdefault("_arena_refs", None)
+        if isinstance(self.X, ArenaRef):
+            self.X = arena_attach(self.X)
+        if isinstance(self.y, ArenaRef):
+            self.y = arena_attach(self.y)
 
     # -- protocol ------------------------------------------------------------
 
@@ -293,13 +341,175 @@ class SubsetCVEvaluator:
         if not 0.0 < budget_fraction <= 1.0:
             raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
         start = self.clock()
+        cache_hits0, cache_misses0 = self.plan_cache_hits, self.plan_cache_misses
         guard = GuardLog(self.guard_policy) if self.guard_active else None
         subset, folds = self._subset_and_folds(budget_fraction, rng, guard)
         collector = current_collector()
+        seeds, models, warm_map = self._plan_models(config, folds, rng, warm_states)
 
-        # Plan phase: replicate the sequential seed stream exactly — a
-        # single-class fold draws nothing, every other fold draws one model
-        # seed, in fold order.
+        # Fit phase: one batched call when every model fold qualifies.
+        batch_fitted = False
+        if self._batch_eligible(models):
+            jobs, warm = self._fold_jobs(folds, models, warm_map)
+            span = (
+                collector.span("fit_batch", folds=len(jobs))
+                if collector is not None
+                else nullcontext(None)
+            )
+            try:
+                with span as record:
+                    stats = fit_mlp_folds(jobs, warm=warm or None)
+                    if record is not None:
+                        record["attrs"].update(stats.as_dict())
+                batch_fitted = True
+                self._count_batch_stats(collector, stats)
+            except Exception as exc:  # noqa: BLE001 - guarded runs degrade
+                if guard is None:
+                    raise
+                guard.record(
+                    "learner.batch_fallback",
+                    f"batched fit raised {type(exc).__name__}: {exc}; "
+                    "re-fitting folds sequentially",
+                    error=type(exc).__name__,
+                )
+                # The lane may have left partial state behind; rebuild the
+                # models from their planned seeds and let the score phase
+                # degrade broken folds one at a time like the reference path.
+                models = {
+                    index: self.model_factory(config, random_state=seed)
+                    for index, seed in enumerate(seeds)
+                    if seed is not None
+                }
+
+        fold_scores = self._score_trial(folds, models, warm_map, batch_fitted, guard, collector)
+        result = self._assemble_result(
+            subset, folds, models, fold_scores, guard, self.clock() - start, capture_checkpoints
+        )
+        attach_plan_cache_delta(
+            result,
+            self.plan_cache_hits - cache_hits0,
+            self.plan_cache_misses - cache_misses0,
+        )
+        return result
+
+    def evaluate_many(
+        self,
+        specs: List[Tuple],
+    ) -> Tuple[List[EvaluationResult], MegaBatchStats]:
+        """Evaluate several trials of one rung as a single mega-batch.
+
+        Each spec is ``(config, budget_fraction, rng, warm_states,
+        capture_checkpoints, collector)`` — one trial exactly as
+        :meth:`evaluate` takes it, plus an optional
+        :class:`~repro.telemetry.TrialCollector` that is installed around
+        every phase touching that trial (the phases of different trials
+        interleave, so a single ambient collector cannot attribute work).
+
+        All trials are planned first (each consuming only its own rng),
+        then every batch-eligible trial's folds are fused into rung-level
+        lanes via :func:`~repro.learners.batched.fit_mlp_trials` —
+        bitwise-identical per fold to the per-trial path — and finally
+        each trial is scored.  Ineligible trials (non-MLP, lbfgs, single
+        fold) fit sequentially inside their own score phase, exactly as
+        :meth:`evaluate` would.
+
+        Raises on *any* error instead of degrading: the caller falls back
+        to per-trial :meth:`evaluate` calls, whose per-trial guard
+        semantics are the contract.  Returns the per-trial results (spec
+        order) and the aggregate :class:`MegaBatchStats`.
+        """
+        plans: List[Dict[str, Any]] = []
+        for config, budget_fraction, rng, warm_states, capture, collector in specs:
+            if not 0.0 < budget_fraction <= 1.0:
+                raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
+            start = self.clock()
+            cache_hits0, cache_misses0 = self.plan_cache_hits, self.plan_cache_misses
+            guard = GuardLog(self.guard_policy) if self.guard_active else None
+            with install_collector(collector):
+                subset, folds = self._subset_and_folds(budget_fraction, rng, guard)
+                seeds, models, warm_map = self._plan_models(config, folds, rng, warm_states)
+            plans.append(
+                {
+                    "config": config,
+                    "subset": subset,
+                    "folds": folds,
+                    "seeds": seeds,
+                    "models": models,
+                    "warm_map": warm_map,
+                    "guard": guard,
+                    "collector": collector,
+                    "capture": capture,
+                    "own": self.clock() - start,
+                    "fit_share": 0.0,
+                    "batch_fitted": False,
+                    "cache_delta": (
+                        self.plan_cache_hits - cache_hits0,
+                        self.plan_cache_misses - cache_misses0,
+                    ),
+                }
+            )
+
+        fused = [plan for plan in plans if self._batch_eligible(plan["models"])]
+        mega = MegaBatchStats()
+        if fused:
+            trial_jobs = []
+            warms = []
+            for plan in fused:
+                jobs, warm = self._fold_jobs(plan["folds"], plan["models"], plan["warm_map"])
+                trial_jobs.append(jobs)
+                warms.append(warm or None)
+            fit_start = self.clock()
+            per_trial_stats, mega = fit_mlp_trials(trial_jobs, warms)
+            fit_elapsed = self.clock() - fit_start
+            total_folds = sum(stats.folds for stats in per_trial_stats) or 1
+            for plan, stats in zip(fused, per_trial_stats):
+                plan["batch_fitted"] = True
+                plan["fit_share"] = fit_elapsed * stats.folds / total_folds
+                with install_collector(plan["collector"]) as collector:
+                    self._count_batch_stats(collector, stats)
+
+        results = []
+        for plan in plans:
+            score_start = self.clock()
+            with install_collector(plan["collector"]) as collector:
+                fold_scores = self._score_trial(
+                    plan["folds"],
+                    plan["models"],
+                    plan["warm_map"],
+                    plan["batch_fitted"],
+                    plan["guard"],
+                    collector,
+                )
+            cost = plan["own"] + plan["fit_share"] + (self.clock() - score_start)
+            result = self._assemble_result(
+                plan["subset"],
+                plan["folds"],
+                plan["models"],
+                fold_scores,
+                plan["guard"],
+                cost,
+                plan["capture"],
+            )
+            attach_plan_cache_delta(result, *plan["cache_delta"])
+            results.append(result)
+        return results, mega
+
+    # -- internals -------------------------------------------------------------
+
+    def _plan_models(
+        self,
+        config: Dict[str, Any],
+        folds: List[Tuple[np.ndarray, np.ndarray]],
+        rng: np.random.Generator,
+        warm_states: Optional[List],
+    ) -> Tuple[List[Optional[int]], Dict[int, Any], Dict[int, Any]]:
+        """Plan phase: replicate the sequential seed stream exactly.
+
+        A single-class fold draws nothing, every other fold draws one
+        model seed, in fold order — after this the trial's rng is fully
+        consumed (nothing downstream touches it), which is what lets the
+        mega-batch path plan all trials before fitting any of them.
+        """
         seeds: List[Optional[int]] = []
         for train_idx, _ in folds:
             if self.task == "classification" and len(np.unique(self.y[train_idx])) < 2:
@@ -320,55 +530,51 @@ class SubsetCVEvaluator:
                     and isinstance(model, (MLPClassifier, MLPRegressor))
                 ):
                     warm_map[index] = warm_states[index]
+        return seeds, models, warm_map
 
-        # Fit phase: one batched call when every model fold qualifies.
-        batch_fitted = False
-        if (
+    def _batch_eligible(self, models: Dict[int, Any]) -> bool:
+        """Whether a trial's folds can go through the lane kernels."""
+        return (
             self.batched
             and len(models) >= 2
             and all(batchable_model(model) for model in models.values())
-        ):
-            order = sorted(models)
-            jobs = [(models[i], self.X[folds[i][0]], self.y[folds[i][0]]) for i in order]
-            warm = {
-                position: (warm_map[i].coefs, warm_map[i].intercepts)
-                for position, i in enumerate(order)
-                if i in warm_map
-            }
-            span = (
-                collector.span("fit_batch", folds=len(jobs))
-                if collector is not None
-                else nullcontext(None)
-            )
-            try:
-                with span as record:
-                    stats = fit_mlp_folds(jobs, warm=warm or None)
-                    if record is not None:
-                        record["attrs"].update(stats.as_dict())
-                batch_fitted = True
-                if collector is not None:
-                    collector.inc("evaluator.batched_folds", stats.batched_folds)
-                    if stats.warm_folds:
-                        collector.inc("evaluator.warm_folds", stats.warm_folds)
-            except Exception as exc:  # noqa: BLE001 - guarded runs degrade
-                if guard is None:
-                    raise
-                guard.record(
-                    "learner.batch_fallback",
-                    f"batched fit raised {type(exc).__name__}: {exc}; "
-                    "re-fitting folds sequentially",
-                    error=type(exc).__name__,
-                )
-                # The lane may have left partial state behind; rebuild the
-                # models from their planned seeds and let the score phase
-                # degrade broken folds one at a time like the reference path.
-                models = {
-                    index: self.model_factory(config, random_state=seed)
-                    for index, seed in enumerate(seeds)
-                    if seed is not None
-                }
+        )
 
-        # Score phase (fits here too when the batched kernel didn't run).
+    def _fold_jobs(
+        self,
+        folds: List[Tuple[np.ndarray, np.ndarray]],
+        models: Dict[int, Any],
+        warm_map: Dict[int, Any],
+    ) -> Tuple[List[Tuple], Dict[int, Tuple]]:
+        """Build the lane-kernel job list (and positional warm dict)."""
+        order = sorted(models)
+        jobs = [(models[i], self.X[folds[i][0]], self.y[folds[i][0]]) for i in order]
+        warm = {
+            position: (warm_map[i].coefs, warm_map[i].intercepts)
+            for position, i in enumerate(order)
+            if i in warm_map
+        }
+        return jobs, warm
+
+    @staticmethod
+    def _count_batch_stats(collector, stats) -> None:
+        """Fold one trial's lane-dispatch counters into its collector."""
+        if collector is None:
+            return
+        collector.inc("evaluator.batched_folds", stats.batched_folds)
+        if stats.warm_folds:
+            collector.inc("evaluator.warm_folds", stats.warm_folds)
+
+    def _score_trial(
+        self,
+        folds: List[Tuple[np.ndarray, np.ndarray]],
+        models: Dict[int, Any],
+        warm_map: Dict[int, Any],
+        batch_fitted: bool,
+        guard: Optional[GuardLog],
+        collector,
+    ) -> List[float]:
+        """Score phase (fits here too when the batched kernel didn't run)."""
         fold_scores = []
         for fold_index, (train_idx, val_idx) in enumerate(folds):
             span = (
@@ -390,7 +596,19 @@ class SubsetCVEvaluator:
             if collector is not None:
                 collector.observe("evaluator.fold_score", float(fold_score))
             fold_scores.append(fold_score)
+        return fold_scores
 
+    def _assemble_result(
+        self,
+        subset: np.ndarray,
+        folds: List[Tuple[np.ndarray, np.ndarray]],
+        models: Dict[int, Any],
+        fold_scores: List[float],
+        guard: Optional[GuardLog],
+        cost: float,
+        capture_checkpoints: bool,
+    ) -> EvaluationResult:
+        """Assemble the trial's result (and attach captured checkpoints)."""
         gamma = 100.0 * len(subset) / len(self.y)
         mean = float(np.mean(fold_scores))
         std = float(np.std(fold_scores))
@@ -402,7 +620,7 @@ class SubsetCVEvaluator:
             gamma=gamma,
             fold_scores=[float(s) for s in fold_scores],
             n_instances=int(len(subset)),
-            cost=self.clock() - start,
+            cost=cost,
             guard_events=guard.as_dicts() if guard else [],
         )
         if capture_checkpoints:
@@ -413,8 +631,6 @@ class SubsetCVEvaluator:
             if any(state is not None for state in checkpoints):
                 attach_checkpoints(result, checkpoints)
         return result
-
-    # -- internals -------------------------------------------------------------
 
     def _subset_and_folds(
         self,
@@ -444,10 +660,15 @@ class SubsetCVEvaluator:
                 if guard is not None:
                     guard.extend(events)
                 self._plan_cache.move_to_end(cache_key)
+                self.plan_cache_hits += 1
                 collector = current_collector()
                 if collector is not None:
                     collector.inc("evaluator.plan_cache_hits")
                 return subset, folds
+            self.plan_cache_misses += 1
+            collector = current_collector()
+            if collector is not None:
+                collector.inc("evaluator.plan_cache_misses")
         probe = GuardLog(self.guard_policy) if guard is not None else None
         subset = self._draw_subset(n_subset, rng)
         folds = list(self._folds(subset, rng, probe))
@@ -460,7 +681,7 @@ class SubsetCVEvaluator:
                 list(probe.events) if probe is not None else [],
                 rng.bit_generator.state,
             )
-            if len(self._plan_cache) > _PLAN_CACHE_LIMIT:
+            while len(self._plan_cache) > self.plan_cache_size:
                 self._plan_cache.popitem(last=False)
         return subset, folds
 

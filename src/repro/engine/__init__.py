@@ -27,6 +27,15 @@ worker deaths and corrupted scores so those guarantees stay exercised::
     print(engine.stats.hit_rate)                 # memoization at work
 """
 
+from .arena import (
+    ArenaError,
+    ArenaIntegrityError,
+    ArenaRef,
+    SharedArena,
+    arena_available,
+    list_segments,
+    reap_stale,
+)
 from .cache import EvaluationCache
 from .chaos import ChaosError, ChaosExecutor, ChaosPolicy, DataCorruption
 from .checkpoint import CheckpointStore, FoldCheckpoint
@@ -42,6 +51,13 @@ from .journal import JOURNAL_VERSION, JournalEntry, JournalError, RunJournal, sp
 from .protocol import TrialOutcome, TrialRequest, derive_seed
 
 __all__ = [
+    "ArenaError",
+    "ArenaIntegrityError",
+    "ArenaRef",
+    "SharedArena",
+    "arena_available",
+    "list_segments",
+    "reap_stale",
     "ChaosError",
     "ChaosExecutor",
     "ChaosPolicy",

@@ -48,7 +48,7 @@ from ..obs import flightrec as _flightrec
 from ..telemetry import Telemetry
 from ..telemetry.collect import detach_payload
 from .cache import EvaluationCache
-from .checkpoint import CheckpointStore, detach_checkpoints
+from .checkpoint import CheckpointStore, detach_checkpoints, detach_plan_cache_delta
 from .executors import (
     SerialExecutor,
     TIMEOUT_ERROR_PREFIX,
@@ -91,7 +91,7 @@ FAILURE_SCORE = -1e30
 
 #: Version of the :meth:`EngineStats.as_dict` payload; bump when counters
 #: are added/renamed so BENCH_engine.json stays comparable across PRs.
-STATS_SCHEMA_VERSION = 4
+STATS_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -128,6 +128,15 @@ class EngineStats:
         (both stay 0 without a store).
     checkpoints_stored:
         Evaluations whose captured fold states entered the store.
+    plan_cache_hits, plan_cache_misses:
+        Evaluator plan-memoization outcomes (subset + fold construction
+        replayed from the LRU cache vs. recomputed), accumulated from the
+        per-result deltas each evaluation carries home; both stay 0 when
+        the evaluator does not memoize plans.
+    megabatch_trials, megabatch_folds:
+        Rung-level mega-batching activity: trials whose folds were fused
+        across trial boundaries into shared lanes, and the fold count
+        that ran fused.  0 under per-trial execution.
     """
 
     submitted: int = 0
@@ -143,6 +152,10 @@ class EngineStats:
     warm_hits: int = 0
     warm_misses: int = 0
     checkpoints_stored: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    megabatch_trials: int = 0
+    megabatch_folds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -167,6 +180,10 @@ class EngineStats:
             "warm_hits": self.warm_hits,
             "warm_misses": self.warm_misses,
             "checkpoints_stored": self.checkpoints_stored,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "megabatch_trials": self.megabatch_trials,
+            "megabatch_folds": self.megabatch_folds,
             "hit_rate": self.hit_rate,
         }
 
@@ -595,6 +612,21 @@ class TrialEngine:
             trial_id, ok, result, error = self.executor.wait_one()
             request = self._in_flight.pop(trial_id)
             payload = detach_payload(result) if ok else None
+            if ok:
+                delta = detach_plan_cache_delta(result)
+                if delta is not None:
+                    self.stats.plan_cache_hits += delta[0]
+                    self.stats.plan_cache_misses += delta[1]
+                    if delta[0]:
+                        self._inc("engine.plan_cache_hits", delta[0])
+                    if delta[1]:
+                        self._inc("engine.plan_cache_misses", delta[1])
+                if payload is not None:
+                    mega = payload.pop("megabatch", None)
+                    if mega:
+                        # Worker-side fusion: the first fused trial carries
+                        # the rung's mega-batch summary on its sidecar.
+                        self._note_megabatch(request, mega)
             if ok and not _result_is_finite(result):
                 self.stats.non_finite += 1
                 self._inc("engine.non_finite")
@@ -708,6 +740,31 @@ class TrialEngine:
             fault_point("engine.cache.pre_insert")
             self.cache.put(*cache_key[:3], result, *cache_key[3:])
 
+    def _note_megabatch(self, request: TrialRequest, mega: Dict) -> None:
+        """Account one rung-level mega-batch (serial flush or worker fusion).
+
+        ``mega`` is a :meth:`~repro.learners.batched.MegaBatchStats.as_dict`
+        payload.  Stats counters accumulate over the run; the occupancy
+        gauge is keyed per (bracket, rung) — lanes filled over lane
+        capacity for the rung that just fused — which is what the
+        ``/metrics`` exporter surfaces as ``repro_job_rung_occupancy``.
+        """
+        trials = int(mega.get("trials", 0))
+        fused_folds = int(mega.get("fused_folds", 0))
+        self.stats.megabatch_trials += trials
+        self.stats.megabatch_folds += fused_folds
+        if trials:
+            self._inc("engine.megabatch_trials", trials)
+        if fused_folds:
+            self._inc("engine.megabatch_folds", fused_folds)
+        if self.telemetry is not None:
+            bracket = request.bracket if request.bracket is not None else 0
+            rung = request.iteration if request.iteration is not None else 0
+            self.telemetry.registry.set_gauge(
+                f"engine.rung_occupancy.b{bracket}.r{rung}",
+                float(mega.get("occupancy", 0.0)),
+            )
+
     # -- batch protocol --------------------------------------------------------
 
     def run_batch(self, requests: Sequence[TrialRequest]) -> List[TrialOutcome]:
@@ -718,8 +775,36 @@ class TrialEngine:
         order, so a fixed-seed search is bitwise identical under serial
         and parallel executors — and, via journal replay, across an
         interruption.
+
+        After the whole rung is submitted the executor gets one
+        :meth:`~repro.engine.executors.TrialExecutor.flush_batch` call —
+        its chance to fuse the queued trials into a rung-level mega-batch
+        (shape-matched fold lanes stacked across trials).  Fusion changes
+        scheduling only: results, cache keys and journal records are
+        bitwise-identical to per-trial execution.
         """
         submitted = [self.submit(request) for request in requests]
+        if submitted:
+            t0 = self.telemetry.clock() if self.telemetry is not None else 0.0
+            mega = self.executor.flush_batch()
+            if mega is not None and getattr(mega, "trials", 0):
+                attrs = mega.as_dict()
+                head = submitted[0]
+                self._note_megabatch(head, attrs)
+                if self.telemetry is not None:
+                    # rung > megabatch: one span for the fused fit, nested
+                    # under the searcher's open rung span.
+                    self.telemetry.tracer.emit(
+                        "megabatch",
+                        "megabatch",
+                        t0,
+                        self.telemetry.clock() - t0,
+                        attrs={
+                            **attrs,
+                            "bracket": head.bracket,
+                            "rung": head.iteration,
+                        },
+                    )
         outcomes: Dict[int, TrialOutcome] = {}
         wanted = {request.trial_id for request in submitted}
         spillover: List[TrialOutcome] = []

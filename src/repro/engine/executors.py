@@ -61,7 +61,13 @@ import numpy as np
 from ..bandit.base import EvaluationResult
 from ..faults.points import fault_point
 from ..obs import flightrec as _flightrec
-from ..telemetry.collect import PAYLOAD_ATTR, attach_payload, trial_collection
+from .arena import ArenaError, SharedArena, arena_available, reap_stale
+from ..telemetry.collect import (
+    PAYLOAD_ATTR,
+    TrialCollector,
+    attach_payload,
+    trial_collection,
+)
 
 __all__ = [
     "TrialExecutor",
@@ -153,6 +159,53 @@ def _safe_evaluate(
         return trial_id, False, None, f"{type(exc).__name__}: {exc}"
 
 
+def _fused_evaluate(evaluator, tasks):
+    """Evaluate several queued tasks as one rung-level mega-batch.
+
+    Returns ``(payloads, mega)`` — per-task ``(trial_id, ok, result,
+    error)`` tuples in task order plus the aggregate
+    :class:`~repro.learners.batched.MegaBatchStats` — or ``None`` when
+    fusion is unavailable (the evaluator has no ``evaluate_many``) or the
+    fused call raised; the caller then falls back to per-task
+    :func:`_safe_evaluate`, which produces bitwise-identical results
+    because every task carries its own seed and the evaluator's plan
+    memoization replays rng state on hit.
+
+    ``evaluate_many`` is resolved on the evaluator's *class*, never
+    through ``__getattr__`` delegation: wrapper evaluators (chaos
+    injectors, test doubles) that override ``evaluate`` and proxy every
+    other attribute to the wrapped instance must not be silently
+    bypassed by the fused path.
+    """
+    if getattr(type(evaluator), "evaluate_many", None) is None:
+        return None
+    evaluate_many = evaluator.evaluate_many
+    specs = []
+    collectors = []
+    for task in tasks:
+        _token, _trial_id, config, budget_fraction, seed, telemetry, warm, capture = task
+        collector = TrialCollector(flags=telemetry) if telemetry else None
+        collectors.append(collector)
+        specs.append(
+            (config, budget_fraction, np.random.default_rng(seed), warm, bool(capture), collector)
+        )
+    fault_point("executor.pre_megabatch", tasks=len(tasks))
+    try:
+        results, mega = evaluate_many(specs)
+    except Exception:  # noqa: BLE001 — per-task fallback is bitwise identical
+        return None
+    payloads = []
+    for task, result, collector in zip(tasks, results, collectors):
+        if collector is not None:
+            collector.observe("trial.execute_s", float(result.cost))
+        attach_payload(result, collector)
+        payload_dict = result.__dict__.get(PAYLOAD_ATTR)
+        if payload_dict is not None and _WORKER_ID is not None:
+            payload_dict["origin"] = {"pid": os.getpid(), "worker": _WORKER_ID}
+        payloads.append((task[1], True, result, None))
+    return payloads, mega
+
+
 def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: float) -> None:
     """Worker process loop: recv task, evaluate, send result, heartbeat.
 
@@ -184,7 +237,8 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
         beater = threading.Thread(target=_beat, daemon=True)
         beater.start()
     try:
-        while True:
+        shutting_down = False
+        while not shutting_down:
             try:
                 task = conn.recv()
             except (EOFError, OSError):
@@ -192,16 +246,47 @@ def _watchdog_worker_main(evaluator, conn, worker_id: int, heartbeat_interval: f
             if task is None:
                 break
             fault_point("executor.worker.post_recv")
-            token, trial_id, config, budget_fraction, seed, telemetry, warm, capture = task
-            payload = _safe_evaluate(
-                evaluator, trial_id, config, budget_fraction, seed, telemetry, warm, capture
-            )
+            # Pipelined pools land a rung's tasks on the pipe back to back;
+            # drain whatever already arrived so shape-matched trials fuse
+            # into rung-level mega-batch lanes.  Supervised pools dispatch
+            # one task per worker at a time, so the drain finds nothing and
+            # behaviour is unchanged.
+            tasks = [task]
             try:
-                fault_point("executor.worker.pre_send")
-                with send_lock:
-                    conn.send(("done", token, payload))
-            except (BrokenPipeError, OSError):
-                break
+                while conn.poll():
+                    extra = conn.recv()
+                    if extra is None:
+                        shutting_down = True
+                        break
+                    tasks.append(extra)
+            except (EOFError, OSError):
+                shutting_down = True
+            fused = _fused_evaluate(evaluator, tasks) if len(tasks) > 1 else None
+            payloads = None
+            if fused is not None:
+                payloads, mega = fused
+                sidecar = payloads[0][2].__dict__.get(PAYLOAD_ATTR)
+                if sidecar is not None and mega.trials:
+                    # The mega-batch summary rides home on the first
+                    # trial's sidecar; the engine pops it before the
+                    # result is cached or journaled.
+                    sidecar["megabatch"] = mega.as_dict()
+            for position, task in enumerate(tasks):
+                token, trial_id, config, budget_fraction, seed, telemetry, warm, capture = task
+                if payloads is not None:
+                    payload = payloads[position]
+                else:
+                    payload = _safe_evaluate(
+                        evaluator, trial_id, config, budget_fraction, seed,
+                        telemetry, warm, capture,
+                    )
+                try:
+                    fault_point("executor.worker.pre_send")
+                    with send_lock:
+                        conn.send(("done", token, payload))
+                except (BrokenPipeError, OSError):
+                    shutting_down = True
+                    break
     finally:
         stop.set()
 
@@ -234,6 +319,21 @@ class TrialExecutor:
         """Number of submitted-but-uncollected trials."""
         raise NotImplementedError
 
+    def flush_batch(self):
+        """Fuse queued submissions into one rung-level mega-batch, if able.
+
+        The engine calls this once per :meth:`~repro.engine.core.TrialEngine.run_batch`
+        after submitting the whole rung.  Executors that can co-schedule
+        the queued trials — the serial executor fusing them through the
+        evaluator's ``evaluate_many`` — do so and return the aggregate
+        :class:`~repro.learners.batched.MegaBatchStats`; the default
+        no-op returns ``None`` and trials run one by one as before.
+        Fusion never changes results: the mega-batched kernels are
+        bitwise-identical to the per-trial path, and any fusion error
+        falls back to per-trial execution.
+        """
+        return None
+
     def shutdown(self) -> None:
         """Release any resources (idempotent)."""
 
@@ -264,6 +364,7 @@ class SerialExecutor(TrialExecutor):
     def __init__(self) -> None:
         self._evaluator = None
         self._queue: deque = deque()
+        self._completed: deque = deque()
 
     def bind(self, evaluator) -> None:
         """Attach the evaluator requests will run against."""
@@ -275,8 +376,44 @@ class SerialExecutor(TrialExecutor):
             raise RuntimeError("SerialExecutor.submit called before bind()")
         self._queue.append(request)
 
+    def flush_batch(self):
+        """Fuse the queued rung through the evaluator's ``evaluate_many``.
+
+        Converts every queued request into a mega-batch spec (the request
+        seed recreates the exact rng the per-trial path would use) and
+        runs them in one fused call; completions queue up for
+        :meth:`wait_one` in request order.  Skipped — returning ``None``
+        with the queue untouched, so per-trial execution proceeds
+        bitwise-identically — when fewer than two requests are queued,
+        the evaluator cannot fuse, or the fused call raised.
+        """
+        if len(self._queue) < 2:
+            return None
+        tasks = [
+            (
+                0,
+                request.trial_id,
+                request.config,
+                request.budget_fraction,
+                request.seed,
+                getattr(request, "telemetry", 0),
+                getattr(request, "warm_states", None),
+                getattr(request, "capture", False),
+            )
+            for request in self._queue
+        ]
+        fused = _fused_evaluate(self._evaluator, tasks)
+        if fused is None:
+            return None
+        payloads, mega = fused
+        self._queue.clear()
+        self._completed.extend(payloads)
+        return mega
+
     def wait_one(self) -> Tuple[int, bool, Optional[EvaluationResult], Optional[str]]:
-        """Execute and return the oldest queued request."""
+        """Return the next fused completion, else execute the oldest request."""
+        if self._completed:
+            return self._completed.popleft()
         if not self._queue:
             raise RuntimeError("wait_one called with no pending trials")
         request = self._queue.popleft()
@@ -293,8 +430,8 @@ class SerialExecutor(TrialExecutor):
         )
 
     def pending(self) -> int:
-        """Number of queued, not-yet-executed requests."""
-        return len(self._queue)
+        """Queued requests plus fused completions awaiting pickup."""
+        return len(self._queue) + len(self._completed)
 
 
 class _WorkerHandle:
@@ -393,6 +530,19 @@ class ParallelExecutor(TrialExecutor):
     straggler_min_samples:
         Completed-trial durations required before straggler detection
         activates.
+    transport:
+        How the evaluator's dataset reaches workers.  ``"auto"``
+        (default) publishes it once into a shared-memory arena
+        (:mod:`repro.engine.arena`) whenever the start method pickles
+        the evaluator (``spawn``; ``fork`` inherits it copy-on-write and
+        ships nothing either way), ``"arena"`` forces publishing even
+        under ``fork``, and ``"pickle"`` disables the arena entirely.
+        Publishing failures (platform without shared memory, size
+        limits) silently fall back to pickle transport — the transport
+        changes, the evaluated bytes do not.  The pool owns the arena's
+        lifetime: segments are unlinked in :meth:`shutdown`, survive
+        watchdog respawns (the new worker re-attaches), and stale
+        segments from a SIGKILLed run are reaped before every publish.
 
     Notes
     -----
@@ -430,9 +580,14 @@ class ParallelExecutor(TrialExecutor):
         straggler_factor: float = 4.0,
         straggler_min_s: float = 0.25,
         straggler_min_samples: int = 3,
+        transport: str = "auto",
     ) -> None:
         import os
 
+        if transport not in ("auto", "arena", "pickle"):
+            raise ValueError(
+                f"transport must be 'auto', 'arena' or 'pickle', got {transport!r}"
+            )
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if trial_timeout is not None and trial_timeout <= 0:
@@ -480,6 +635,8 @@ class ParallelExecutor(TrialExecutor):
         if start_method is None and "fork" in multiprocessing.get_all_start_methods():
             start_method = "fork"
         self._context = multiprocessing.get_context(start_method)
+        self.transport = transport
+        self._arena: Optional[SharedArena] = None
         self._evaluator = None
         self._workers: Dict[int, _WorkerHandle] = {}
         self._backlog: Deque[Tuple] = deque()
@@ -508,7 +665,36 @@ class ParallelExecutor(TrialExecutor):
         """Attach the evaluator; a new one forces a pool restart."""
         if evaluator is not self._evaluator:
             self.shutdown()
-        self._evaluator = evaluator
+            self._evaluator = evaluator
+            self._publish_arena()
+
+    def _publish_arena(self) -> None:
+        """Publish the evaluator's dataset into shared memory, if worthwhile.
+
+        Only runs when the pool's start method pickles the evaluator to
+        workers (``"arena"`` forces it regardless), the evaluator class
+        supports :meth:`~repro.core.evaluator.SubsetCVEvaluator.share_memory`,
+        and the platform has shared memory at all.  Any publishing
+        failure degrades silently to pickle transport.  Stale segments
+        left by a SIGKILLed run (dead owner pid in the segment name) are
+        reaped first, so crashed runs cannot leak ``/dev/shm`` space past
+        their successor.
+        """
+        if self.transport == "pickle" or self._evaluator is None:
+            return
+        if self.transport == "auto" and self._context.get_start_method() == "fork":
+            return  # fork inherits the evaluator copy-on-write; nothing to ship
+        if getattr(type(self._evaluator), "share_memory", None) is None:
+            return
+        if not arena_available():
+            return
+        reap_stale()
+        try:
+            arena = SharedArena()
+            self._evaluator.share_memory(arena)
+        except ArenaError:
+            return
+        self._arena = arena
 
     def _spawn_worker(self) -> _WorkerHandle:
         fault_point("executor.pool.pre_spawn")
@@ -646,6 +832,7 @@ class ParallelExecutor(TrialExecutor):
             "leaves": self.leaves,
             "speculations": self.speculations,
             "speculation_wins": self.speculation_wins,
+            "arena": int(self._arena is not None),
         }
 
     # -- submission ------------------------------------------------------------
@@ -1005,3 +1192,14 @@ class ParallelExecutor(TrialExecutor):
         self._completed.clear()
         self._durations.clear()
         self._spec_groups.clear()
+        if self._arena is not None:
+            # Unpublish before unlinking so a later pickle of the same
+            # evaluator (serial reuse, a different pool) carries real
+            # arrays again instead of dangling refs.
+            if self._evaluator is not None:
+                try:
+                    self._evaluator.unshare_memory()
+                except Exception:  # noqa: BLE001 - teardown must not raise
+                    pass
+            self._arena.close()
+            self._arena = None

@@ -16,6 +16,12 @@ Workloads
     warm-checkpointed serial engine — the "direct" path.  Every journal,
     checkpoint, cache and engine fault point fires here, all in the main
     process, so any crash is resumable bitwise via journal replay.
+``hb-par``
+    The same job through a 2-worker :class:`ParallelExecutor` with
+    ``transport="arena"``, prefixed by a shared-memory self-check in
+    the main process — adds the ``arena.*`` and ``executor.pool.*``
+    fault points to the lattice while keeping every crash-swept arena
+    site in the journaled parent.
 ``serve``
     A six-job burst (five distinct specs across two tenants plus one
     duplicate that exercises dedup-subscribe) against an in-process
@@ -81,6 +87,61 @@ def _run_hb(run_dir: Path) -> Dict[str, Any]:
     spec = JobSpec(tenant="ref", seed=_HB_SEED, warm_start=True, **_JOB_BASE)
     engine = TrialEngine(
         executor=SerialExecutor(),
+        cache=True,
+        journal=str(run_dir / "run.wal"),
+        checkpoints=CheckpointStore(spill_dir=run_dir / "ckpt"),
+    )
+    try:
+        outcome = optimize(**optimize_inputs(spec), engine=engine)
+    finally:
+        engine.shutdown()
+    return {"fingerprint": incumbent_fingerprint(outcome.result)}
+
+
+def _arena_self_check() -> None:
+    """Publish→attach→verify→unlink one probe block in the main process.
+
+    Exercises every arena fault point (``arena.create`` / ``arena.attach``
+    / ``arena.unlink``) where the explorer's crash schedules are
+    resumable: a kill at any of them restarts the whole workload leg.
+    The parallel run below keeps its forked workers on copy-on-write
+    arrays, so without this probe ``arena.attach`` would only ever fire
+    inside short-lived worker processes that a schedule cannot replay
+    deterministically.
+    """
+    import numpy as np
+
+    from ..engine.arena import SharedArena, attach, detach_all, reap_stale
+
+    reap_stale()
+    probe = np.arange(64, dtype=np.float64)
+    with SharedArena() as arena:
+        ref = arena.publish("probe", probe)
+        view = attach(ref)
+        if not np.array_equal(view, probe):
+            raise RuntimeError("arena self-check round-trip mismatch")
+        detach_all()
+
+
+def _run_hb_par(run_dir: Path) -> Dict[str, Any]:
+    """The ``hb`` job through a 2-worker pool on the shared-memory arena.
+
+    Adds the data-plane lattice to the direct workload: the arena
+    self-check plus a :class:`~repro.engine.executors.ParallelExecutor`
+    with ``transport="arena"``, so ``arena.*`` and ``executor.pool.*``
+    fault points fire in the journaled main process.  Resume over the
+    same directory replays the journal bitwise, and a successor's
+    publish reaps any segments a crashed leg leaked.
+    """
+    from ..engine import CheckpointStore, ParallelExecutor, TrialEngine
+    from ..serve.jobs import incumbent_fingerprint, optimize_inputs
+    from ..serve.protocol import JobSpec
+    from ..core import optimize
+
+    _arena_self_check()
+    spec = JobSpec(tenant="ref", seed=_HB_SEED, warm_start=True, **_JOB_BASE)
+    engine = TrialEngine(
+        executor=ParallelExecutor(n_workers=2, transport="arena"),
         cache=True,
         journal=str(run_dir / "run.wal"),
         checkpoints=CheckpointStore(spill_dir=run_dir / "ckpt"),
@@ -225,6 +286,7 @@ def _run_toy(run_dir: Path, buggy: bool) -> Dict[str, Any]:
 
 _WORKLOADS: Dict[str, Callable[[Path], Dict[str, Any]]] = {
     "hb": _run_hb,
+    "hb-par": _run_hb_par,
     "serve": _run_serve,
     "toy": lambda run_dir: _run_toy(run_dir, buggy=False),
     "toy-buggy": lambda run_dir: _run_toy(run_dir, buggy=True),

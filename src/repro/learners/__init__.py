@@ -7,7 +7,13 @@ plus the preprocessing helpers they depend on.
 
 from .activations import ACTIVATIONS, get_activation, logistic, relu, softmax, tanh
 from .base import BaseEstimator, check_array, check_X_y, clone
-from .batched import BatchedFitStats, batchable_model, fit_mlp_folds
+from .batched import (
+    BatchedFitStats,
+    MegaBatchStats,
+    batchable_model,
+    fit_mlp_folds,
+    fit_mlp_trials,
+)
 from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
 from .forest import RandomForestClassifier, RandomForestRegressor
 from .linear import LogisticRegression, Ridge
@@ -32,6 +38,7 @@ __all__ = [
     "LogisticRegression",
     "MLPClassifier",
     "MLPRegressor",
+    "MegaBatchStats",
     "RandomForestClassifier",
     "RandomForestRegressor",
     "Ridge",
@@ -43,6 +50,7 @@ __all__ = [
     "check_array",
     "clone",
     "fit_mlp_folds",
+    "fit_mlp_trials",
     "get_activation",
     "log_loss",
     "logistic",

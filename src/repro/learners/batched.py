@@ -37,6 +37,21 @@ stays in Python with per-fold scalars, exactly mirroring
 ``_BaseMLP._fit_stochastic``; a fold that stops is compacted out of the
 lane and the survivors keep training.
 
+Rung-level mega-batches
+-----------------------
+:func:`fit_mlp_trials` extends the same lanes **across every trial in a
+rung**: the lane key captures everything *structural* about a fold's
+training loop (architecture, row count, solver family, activations,
+schedule shape, batch size, epoch budget), while the purely *numeric*
+per-fold hyperparameters — ``alpha``, ``learning_rate_init``,
+``momentum``, ``tol``, ``n_iter_no_change`` — are carried per fold
+inside the lane.  A per-fold scalar applied through an ``(A, 1, 1)``
+broadcast column performs the identical elementwise arithmetic on each
+slice as the scalar it replaces, so two trials that differ only in
+those knobs train in one stack and still produce bitwise-identical
+models.  Fold results never depend on lane grouping, which is what
+keeps cache keys, journal records and incumbent fingerprints untouched.
+
 Only the stochastic solvers (``sgd`` / ``adam``) are batchable; L-BFGS
 is full-batch scipy and keeps the per-fold loop.
 """
@@ -58,9 +73,15 @@ from .mlp import (
     resolve_initial_parameters,
     warm_start_matches,
 )
-from .solvers import AdamOptimizer, SGDOptimizer
+from .solvers import AdamOptimizer
 
-__all__ = ["BatchedFitStats", "batchable_model", "fit_mlp_folds"]
+__all__ = [
+    "BatchedFitStats",
+    "MegaBatchStats",
+    "batchable_model",
+    "fit_mlp_folds",
+    "fit_mlp_trials",
+]
 
 
 def batchable_model(model: Any) -> bool:
@@ -95,16 +116,72 @@ class BatchedFitStats:
         }
 
 
+class MegaBatchStats:
+    """Counters describing how one rung's trials were fused into lanes.
+
+    ``lane occupancy`` is ``batched_folds / folds``: every fold is one
+    lane slot, and a slot counts as *filled* when its fold trained
+    inside a stacked lane rather than falling back to the sequential
+    loop.  ``fused_lanes`` / ``fused_folds`` count lanes (and their
+    folds) that mixed folds from two or more distinct trials — the
+    cross-trial work that per-trial batching could not reach.
+    """
+
+    __slots__ = (
+        "trials",
+        "folds",
+        "lanes",
+        "fused_lanes",
+        "fused_folds",
+        "batched_folds",
+        "sequential_folds",
+        "warm_folds",
+        "max_lane_width",
+    )
+
+    def __init__(self) -> None:
+        self.trials = 0
+        self.folds = 0
+        self.lanes = 0
+        self.fused_lanes = 0
+        self.fused_folds = 0
+        self.batched_folds = 0
+        self.sequential_folds = 0
+        self.warm_folds = 0
+        self.max_lane_width = 0
+
+    @property
+    def occupancy(self) -> float:
+        """Filled lane slots over total slots, in ``[0, 1]``."""
+        return self.batched_folds / self.folds if self.folds else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict snapshot for telemetry span attributes."""
+        return {
+            "trials": self.trials,
+            "folds": self.folds,
+            "lanes": self.lanes,
+            "fused_lanes": self.fused_lanes,
+            "fused_folds": self.fused_folds,
+            "batched_folds": self.batched_folds,
+            "sequential_folds": self.sequential_folds,
+            "warm_folds": self.warm_folds,
+            "max_lane_width": self.max_lane_width,
+            "occupancy": self.occupancy,
+        }
+
+
 class _FoldPlan:
     """One fold's prepared state between the fit preamble and training."""
 
-    __slots__ = ("model", "X", "y_encoded", "rng", "lane_key")
+    __slots__ = ("model", "X", "y_encoded", "rng", "layer_units", "lane_key")
 
-    def __init__(self, model, X, y_encoded, rng, lane_key) -> None:
+    def __init__(self, model, X, y_encoded, rng, layer_units, lane_key) -> None:
         self.model = model
         self.X = X
         self.y_encoded = y_encoded
         self.rng = rng
+        self.layer_units = layer_units
         self.lane_key = lane_key
 
 
@@ -141,7 +218,7 @@ def fit_mlp_folds(
         if warm is not None and index in warm:
             coefs_init, intercepts_init = warm[index]
         plan = _prepare_fold(model, X, y, coefs_init, intercepts_init)
-        if warm_start_matches(plan.lane_key[0], coefs_init, intercepts_init):
+        if warm_start_matches(plan.layer_units, coefs_init, intercepts_init):
             stats.warm_folds += 1
         plans.append(plan)
 
@@ -150,14 +227,94 @@ def fit_mlp_folds(
         lanes.setdefault(plan.lane_key, []).append(plan)
     stats.lanes = len(lanes)
     for members in lanes.values():
-        if len(members) == 1 or members[0].model.solver == "lbfgs":
-            for plan in members:
-                _fit_sequential(plan)
-                stats.sequential_folds += 1
-        else:
-            _fit_lane(members)
+        if _run_lane(members):
             stats.batched_folds += len(members)
+        else:
+            stats.sequential_folds += len(members)
     return stats
+
+
+@profiled("mlp.fit_megabatch")
+def fit_mlp_trials(
+    trial_jobs: Sequence[Sequence[Tuple[Any, np.ndarray, np.ndarray]]],
+    warms: Optional[Sequence[Optional[Dict[int, Tuple[Sequence[np.ndarray], Sequence[np.ndarray]]]]]] = None,
+) -> Tuple[List[BatchedFitStats], MegaBatchStats]:
+    """Fit every fold of every trial in one rung-level mega-batch.
+
+    Parameters
+    ----------
+    trial_jobs:
+        One entry per trial, each a sequence of ``(model, X_train,
+        y_train)`` fold jobs exactly as :func:`fit_mlp_folds` takes
+        them.  Models from *different* trials may carry different
+        hyperparameter configurations.
+    warms:
+        Optional per-trial warm-start dicts, aligned with
+        ``trial_jobs`` (``None`` entries for cold trials).
+
+    Returns
+    -------
+    (per_trial_stats, mega_stats)
+        One :class:`BatchedFitStats` per trial (identical semantics to
+        the per-trial entry point) plus an aggregate
+        :class:`MegaBatchStats` describing the fusion.
+
+    Every fold is trained bitwise-identically to ``model.fit`` run on
+    its own, regardless of which trials ended up sharing its lane.
+    """
+    per_trial = [BatchedFitStats() for _ in trial_jobs]
+    mega = MegaBatchStats()
+    mega.trials = len(trial_jobs)
+    plans: List[_FoldPlan] = []
+    owner: List[int] = []
+    for t, jobs in enumerate(trial_jobs):
+        warm = warms[t] if warms is not None else None
+        stats = per_trial[t]
+        stats.folds = len(jobs)
+        for index, (model, X, y) in enumerate(jobs):
+            coefs_init = intercepts_init = None
+            if warm is not None and index in warm:
+                coefs_init, intercepts_init = warm[index]
+            plan = _prepare_fold(model, X, y, coefs_init, intercepts_init)
+            if warm_start_matches(plan.layer_units, coefs_init, intercepts_init):
+                stats.warm_folds += 1
+            plans.append(plan)
+            owner.append(t)
+
+    lanes: Dict[Tuple, List[int]] = {}
+    for position, plan in enumerate(plans):
+        lanes.setdefault(plan.lane_key, []).append(position)
+    mega.lanes = len(lanes)
+    mega.folds = len(plans)
+    for positions in lanes.values():
+        members = [plans[i] for i in positions]
+        lane_trials = {owner[i] for i in positions}
+        if len(lane_trials) > 1:
+            mega.fused_lanes += 1
+            mega.fused_folds += len(members)
+        mega.max_lane_width = max(mega.max_lane_width, len(members))
+        batched = _run_lane(members)
+        for i in positions:
+            if batched:
+                per_trial[owner[i]].batched_folds += 1
+            else:
+                per_trial[owner[i]].sequential_folds += 1
+        for t in lane_trials:
+            per_trial[t].lanes += 1
+    mega.batched_folds = sum(s.batched_folds for s in per_trial)
+    mega.sequential_folds = sum(s.sequential_folds for s in per_trial)
+    mega.warm_folds = sum(s.warm_folds for s in per_trial)
+    return per_trial, mega
+
+
+def _run_lane(members: List[_FoldPlan]) -> bool:
+    """Train one lane; True iff it ran stacked (not member-by-member)."""
+    if len(members) == 1 or members[0].model.solver == "lbfgs":
+        for plan in members:
+            _fit_sequential(plan)
+        return False
+    _fit_lane(members)
+    return True
 
 
 def _prepare_fold(model, X, y, coefs_init, intercepts_init) -> _FoldPlan:
@@ -180,8 +337,49 @@ def _prepare_fold(model, X, y, coefs_init, intercepts_init) -> _FoldPlan:
     model.loss_curve_ = []
     model.validation_scores_ = []
     model.diverged_ = False
-    lane_key = (tuple(layer_units), int(X.shape[0]))
-    return _FoldPlan(model, X, y_encoded, rng, lane_key)
+    lane_key = _lane_key(model, layer_units, int(X.shape[0]), y_encoded)
+    return _FoldPlan(model, X, y_encoded, rng, layer_units, lane_key)
+
+
+def _lane_key(model, layer_units, n_rows, y_encoded) -> Tuple:
+    """Everything *structural* about a fold's training loop.
+
+    Two folds with equal keys run the same tensor shapes, the same batch
+    schedule and the same branch structure for every epoch, so they can
+    share a lane.  The purely numeric knobs — ``alpha``,
+    ``learning_rate_init``, ``momentum``, ``tol``, ``n_iter_no_change``
+    — are deliberately *absent*: the lane carries them per fold (scalar
+    or broadcast column, bitwise-equal either way), which is what lets
+    trials that differ only in those values fuse into one stack.
+    """
+    if model.solver == "sgd":
+        # The lookahead branch and the decay exponent shape the update;
+        # adam never reads either.
+        solver_key = (
+            "sgd",
+            model.learning_rate,
+            bool(model.nesterovs_momentum),
+            float(model.power_t),
+        )
+    else:
+        # ``learning_rate`` still gates the stall-break branch in
+        # ``_fit_stochastic`` ("adaptive" keeps training), even though
+        # adam ignores the schedule itself.
+        solver_key = (model.solver, model.learning_rate)
+    early_stopping = bool(model.early_stopping)
+    return (
+        type(model).__name__,
+        tuple(layer_units),
+        n_rows,
+        solver_key,
+        model.activation,
+        model._output_activation(),
+        early_stopping,
+        float(model.validation_fraction) if early_stopping else None,
+        bool(model.shuffle),
+        int(model.max_iter),
+        model.batch_size,
+    )
 
 
 def _fit_sequential(plan: _FoldPlan) -> None:
@@ -196,48 +394,62 @@ def _fit_sequential(plan: _FoldPlan) -> None:
 # -- lane optimisers ----------------------------------------------------------
 
 
+def _per_fold_factor(values: List, ndim: int):
+    """A scalar while every fold agrees, else an ``(A, 1, ...)`` column.
+
+    Broadcasting the column applies each fold's scalar to its slice with
+    the same elementwise arithmetic as the scalar it replaces, keeping
+    heterogeneous lanes bitwise-equal to the per-fold reference loop.
+    """
+    first = values[0]
+    if all(value == first for value in values):
+        return first
+    return np.asarray(values, dtype=float).reshape((len(values),) + (1,) * (ndim - 1))
+
+
 class _LaneSGD:
     """Stacked-tensor mirror of :class:`~repro.learners.solvers.SGDOptimizer`.
 
     Parameters are ``(A, ...)`` stacks; the update applies the exact
     arithmetic of the per-fold optimizer to every lane slice.  The
-    learning rate is a scalar while all folds agree (always, except
-    after an ``adaptive`` stall) and a per-fold broadcast column
+    learning rate and momentum come from each member's own model, so
+    folds from different trials may carry different values: factors stay
+    scalar while all folds agree and become per-fold broadcast columns
     otherwise.
     """
 
-    def __init__(self, params: List[np.ndarray], template: SGDOptimizer, width: int) -> None:
+    def __init__(self, params: List[np.ndarray], members: List[_FoldPlan]) -> None:
+        reference = members[0].model
         self.params = params
-        self.schedule = template.schedule
-        self.momentum = template.momentum
-        self.nesterov = template.nesterov
-        self.power_t = template.power_t
-        self.learning_rate_init = template.learning_rate_init
-        self.rates = [template.learning_rate_init] * width
+        self.schedule = reference.learning_rate
+        self.nesterov = reference.nesterovs_momentum
+        self.power_t = reference.power_t
+        self.rate_inits = [plan.model.learning_rate_init for plan in members]
+        self.rates = list(self.rate_inits)
+        self.momenta = [plan.model.momentum for plan in members]
         self._velocities = [np.zeros_like(p) for p in params]
         self._t = 0
 
     def compact(self, keep: List[int]) -> None:
         self._velocities = [v[keep] for v in self._velocities]
         self.rates = [self.rates[i] for i in keep]
+        self.rate_inits = [self.rate_inits[i] for i in keep]
+        self.momenta = [self.momenta[i] for i in keep]
 
     def _rate_factor(self, ndim: int):
         if self.schedule == "invscaling":
-            rate = self.learning_rate_init / (self._t**self.power_t)
-            self.rates = [rate] * len(self.rates)
-        first = self.rates[0]
-        if all(rate == first for rate in self.rates):
-            return first
-        return np.asarray(self.rates).reshape((len(self.rates),) + (1,) * (ndim - 1))
+            self.rates = [init / (self._t**self.power_t) for init in self.rate_inits]
+        return _per_fold_factor(self.rates, ndim)
 
     def update(self, grads: List[np.ndarray]) -> None:
         self._t += 1
         for param, grad, velocity in zip(self.params, grads, self._velocities):
             lr = self._rate_factor(param.ndim)
-            velocity *= self.momentum
+            momentum = _per_fold_factor(self.momenta, param.ndim)
+            velocity *= momentum
             velocity -= lr * grad
             if self.nesterov:
-                param += self.momentum * velocity - lr * grad
+                param += momentum * velocity - lr * grad
             else:
                 param += velocity
 
@@ -253,13 +465,16 @@ class _LaneAdam:
     """Stacked-tensor mirror of :class:`~repro.learners.solvers.AdamOptimizer`.
 
     Every active fold in a lane has taken the same number of steps, so
-    the bias-corrected step size is one shared scalar, exactly the
-    python-float arithmetic of the per-fold optimizer.
+    the bias-correction terms are shared; the per-fold step size is the
+    exact python-float chain of the per-fold optimizer (``init * sqrt /
+    denom``), one scalar while all folds share a ``learning_rate_init``
+    and a broadcast column otherwise.
     """
 
-    def __init__(self, params: List[np.ndarray], template: AdamOptimizer, width: int) -> None:
+    def __init__(self, params: List[np.ndarray], members: List[_FoldPlan]) -> None:
+        template = AdamOptimizer([], learning_rate_init=members[0].model.learning_rate_init)
         self.params = params
-        self.learning_rate_init = template.learning_rate_init
+        self.rate_inits = [plan.model.learning_rate_init for plan in members]
         self.beta_1 = template.beta_1
         self.beta_2 = template.beta_2
         self.epsilon = template.epsilon
@@ -270,15 +485,15 @@ class _LaneAdam:
     def compact(self, keep: List[int]) -> None:
         self._ms = [m[keep] for m in self._ms]
         self._vs = [v[keep] for v in self._vs]
+        self.rate_inits = [self.rate_inits[i] for i in keep]
 
     def update(self, grads: List[np.ndarray]) -> None:
         self._t += 1
-        step = (
-            self.learning_rate_init
-            * np.sqrt(1.0 - self.beta_2**self._t)
-            / (1.0 - self.beta_1**self._t)
-        )
+        scale = np.sqrt(1.0 - self.beta_2**self._t)
+        denom = 1.0 - self.beta_1**self._t
+        steps = [init * scale / denom for init in self.rate_inits]
         for param, grad, m, v in zip(self.params, grads, self._ms, self._vs):
+            step = _per_fold_factor(steps, param.ndim)
             m *= self.beta_1
             m += (1.0 - self.beta_1) * grad
             v *= self.beta_2
@@ -293,12 +508,27 @@ class _LaneAdam:
 
 
 class _FoldState:
-    """Per-fold bookkeeping that must stay scalar (and Python-exact)."""
+    """Per-fold bookkeeping that must stay scalar (and Python-exact).
 
-    __slots__ = ("plan", "best_loss", "best_val_score", "best_params", "no_improvement")
+    Carries the fold's own stopping hyperparameters (``tol``,
+    ``n_iter_no_change``): they feed pure-Python comparisons, so folds
+    from trials with different values share a lane without ever mixing.
+    """
+
+    __slots__ = (
+        "plan",
+        "tol",
+        "n_iter_no_change",
+        "best_loss",
+        "best_val_score",
+        "best_params",
+        "no_improvement",
+    )
 
     def __init__(self, plan: _FoldPlan) -> None:
         self.plan = plan
+        self.tol = plan.model.tol
+        self.n_iter_no_change = plan.model.n_iter_no_change
         self.best_loss = np.inf
         self.best_val_score = -np.inf
         self.best_params: Optional[Tuple[List[np.ndarray], List[np.ndarray]]] = None
@@ -350,18 +580,9 @@ def _fit_lane(members: List[_FoldPlan]) -> None:
     params = [*coefs, *intercepts]
     width = len(members)
     if reference.solver == "sgd":
-        template = SGDOptimizer(
-            [],
-            learning_rate_init=reference.learning_rate_init,
-            schedule=reference.learning_rate,
-            momentum=reference.momentum,
-            nesterov=reference.nesterovs_momentum,
-            power_t=reference.power_t,
-        )
-        optimizer = _LaneSGD(params, template, width)
+        optimizer = _LaneSGD(params, members)
     else:
-        template = AdamOptimizer([], learning_rate_init=reference.learning_rate_init)
-        optimizer = _LaneAdam(params, template, width)
+        optimizer = _LaneAdam(params, members)
 
     n_samples = Xs.shape[1]
     batch_size = reference._resolve_batch_size(n_samples)
@@ -371,9 +592,7 @@ def _fit_lane(members: List[_FoldPlan]) -> None:
 
     hidden_fn, hidden_derivative = get_activation(reference.activation)
     output_activation = reference._output_activation()
-    alpha = reference.alpha
-    tol = reference.tol
-    n_iter_no_change = reference.n_iter_no_change
+    alphas = [plan.model.alpha for plan in members]
     adaptive = reference.learning_rate == "adaptive"
 
     def _forward_stack(batch: np.ndarray) -> List[np.ndarray]:
@@ -412,16 +631,17 @@ def _fit_lane(members: List[_FoldPlan]) -> None:
 
             activations = _forward_stack(Xb)
             out = activations[-1]
-            losses = _lane_losses(output_activation, yb, out, coefs, alpha, batch_n)
+            losses = _lane_losses(output_activation, yb, out, coefs, alphas, batch_n)
             for i in range(width):
                 accumulated[i] += losses[i] * batch_n
 
             delta = (out - yb) / batch_n
+            ridge = _per_fold_factor([a / batch_n for a in alphas], 3)
             coef_grads: List[Optional[np.ndarray]] = [None] * n_layers
             intercept_grads: List[Optional[np.ndarray]] = [None] * n_layers
             for layer in range(n_layers - 1, -1, -1):
                 grad = np.matmul(activations[layer].transpose(0, 2, 1), delta)
-                grad += (alpha / batch_n) * coefs[layer]
+                grad += ridge * coefs[layer]
                 coef_grads[layer] = grad
                 intercept_grads[layer] = delta.sum(axis=1)
                 if layer > 0:
@@ -451,7 +671,7 @@ def _fit_lane(members: List[_FoldPlan]) -> None:
             if early_stopping and has_val:
                 val_score = _validation_score_slice(model, val_out[i], yv[i])
                 model.validation_scores_.append(val_score)
-                if val_score > state.best_val_score + tol:
+                if val_score > state.best_val_score + state.tol:
                     state.best_val_score = val_score
                     state.best_params = (
                         [coefs[l][i].copy() for l in range(n_layers)],
@@ -461,13 +681,13 @@ def _fit_lane(members: List[_FoldPlan]) -> None:
                 else:
                     state.no_improvement += 1
             else:
-                if epoch_loss < state.best_loss - tol:
+                if epoch_loss < state.best_loss - state.tol:
                     state.best_loss = epoch_loss
                     state.no_improvement = 0
                 else:
                     state.no_improvement += 1
 
-            if state.no_improvement >= n_iter_no_change:
+            if state.no_improvement >= state.n_iter_no_change:
                 optimizer.notify_no_improvement(i)
                 state.no_improvement = 0
                 if optimizer.should_stop(i) or early_stopping or not adaptive:
@@ -482,6 +702,7 @@ def _fit_lane(members: List[_FoldPlan]) -> None:
             if not keep:
                 return
             states = [states[i] for i in keep]
+            alphas = [alphas[i] for i in keep]
             Xs = Xs[keep]
             ys = ys[keep]
             if has_val:
@@ -503,17 +724,18 @@ def _lane_losses(
     yb: np.ndarray,
     out: np.ndarray,
     coefs: List[np.ndarray],
-    alpha: float,
+    alphas: Sequence[float],
     batch_n: int,
 ) -> List[float]:
     """Per-fold regularised batch losses from one stacked forward pass.
 
     Replicates ``_BaseMLP._backprop``'s loss arithmetic — the head loss
-    from :mod:`.losses` plus the L2 penalty — with the elementwise work
-    and the per-slice reductions done once on the ``(A, B, k)`` stack.
-    A same-shape slice reduction (``sum(axis=(1, 2))``) is bitwise
-    identical to the per-fold 2-D ``.sum()``, so each returned float
-    equals the sequential path's exactly.
+    from :mod:`.losses` plus the L2 penalty (scaled by each fold's own
+    ``alpha``) — with the elementwise work and the per-slice reductions
+    done once on the ``(A, B, k)`` stack.  A same-shape slice reduction
+    (``sum(axis=(1, 2))``) is bitwise identical to the per-fold 2-D
+    ``.sum()``, so each returned float equals the sequential path's
+    exactly.
     """
     width = yb.shape[0]
     if output_activation == "softmax":
@@ -529,8 +751,10 @@ def _lane_losses(
         sums = (diff**2).sum(axis=(1, 2))
         data = [float(sums[i] / (2.0 * batch_n)) for i in range(width)]
     layer_sums = [(W**2).sum(axis=(1, 2)) for W in coefs]
-    scale = alpha / (2.0 * batch_n)
-    return [data[i] + scale * sum(float(s[i]) for s in layer_sums) for i in range(width)]
+    return [
+        data[i] + (alphas[i] / (2.0 * batch_n)) * sum(float(s[i]) for s in layer_sums)
+        for i in range(width)
+    ]
 
 
 def _finalize_fold(

@@ -200,6 +200,12 @@ _JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 #: Counter name prefix the engine uses for per-rung occupancy tallies.
 _RUNG_COUNTER = re.compile(r"^engine\.rung_trials\.b(?P<bracket>-?\d+)\.r(?P<rung>-?\d+)$")
 
+#: Gauge name the engine uses for mega-batch lane occupancy per rung
+#: (fraction of a rung's batchable folds fused into stacked lanes).
+_RUNG_OCCUPANCY = re.compile(
+    r"^engine\.rung_occupancy\.b(?P<bracket>-?\d+)\.r(?P<rung>-?\d+)$"
+)
+
 
 def serve_families(daemon) -> List[Family]:
     """The daemon's live operational state as metric families.
@@ -313,8 +319,12 @@ def serve_families(daemon) -> List[Family]:
     live = getattr(daemon, "live_jobs", None)
     if live is not None:
         progress = gauge("repro_job_trials_done", "Settled trials per running job")
-        occupancy = gauge(
+        rung_trials = gauge(
             "repro_job_rung_trials", "Trials settled per rung of each active bracket"
+        )
+        rung_occupancy = gauge(
+            "repro_job_rung_occupancy",
+            "Mega-batch lane occupancy per rung (fused folds / batchable folds)",
         )
         for record, telemetry in live.snapshot():
             labels = {"job_id": record.job_id, "tenant": record.spec.tenant}
@@ -322,7 +332,14 @@ def serve_families(daemon) -> List[Family]:
             for raw, value in telemetry.registry.counters().items():
                 match = _RUNG_COUNTER.match(raw)
                 if match is not None:
-                    occupancy.add(
+                    rung_trials.add(
+                        {**labels, "bracket": match.group("bracket"), "rung": match.group("rung")},
+                        value,
+                    )
+            for raw, value in telemetry.registry.gauges().items():
+                match = _RUNG_OCCUPANCY.match(raw)
+                if match is not None:
+                    rung_occupancy.add(
                         {**labels, "bracket": match.group("bracket"), "rung": match.group("rung")},
                         value,
                     )

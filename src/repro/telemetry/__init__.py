@@ -42,6 +42,7 @@ from .collect import (
     attach_payload,
     current_collector,
     detach_payload,
+    install_collector,
     trial_collection,
 )
 from .export import merge_chrome_traces, to_chrome_trace
@@ -61,6 +62,7 @@ __all__ = [
     "METRICS_SCHEMA_VERSION",
     "TrialCollector",
     "trial_collection",
+    "install_collector",
     "current_collector",
     "attach_payload",
     "detach_payload",

@@ -38,6 +38,7 @@ __all__ = [
     "TrialCollector",
     "current_collector",
     "trial_collection",
+    "install_collector",
     "attach_payload",
     "detach_payload",
 ]
@@ -195,6 +196,28 @@ def trial_collection(flags: int) -> Iterator[Optional[TrialCollector]]:
         yield None
         return
     collector = TrialCollector(flags=flags)
+    previous = getattr(_local, "collector", None)
+    _local.collector = collector
+    try:
+        yield collector
+    finally:
+        _local.collector = previous
+
+
+@contextmanager
+def install_collector(collector: Optional[TrialCollector]) -> Iterator[Optional[TrialCollector]]:
+    """Install an *existing* collector for the duration of the block.
+
+    The mega-batch path evaluates several trials interleaved (plan all,
+    fit all folds fused, score all), so each trial's collector is
+    created once and re-installed around every phase that touches that
+    trial — counters and spans accumulate across installs into the same
+    payload.  ``None`` installs nothing, mirroring
+    :func:`trial_collection` with zero flags.
+    """
+    if collector is None:
+        yield None
+        return
     previous = getattr(_local, "collector", None)
     _local.collector = collector
     try:

@@ -194,3 +194,63 @@ class TestSpeculation:
             for _ in range(4):
                 executor.wait_one()
         assert executor.speculations == 0
+
+
+@pytest.mark.elastic
+class TestMidRungResizeWithMegaBatching:
+    """Resizing mid-rung regroups worker-side mega-batches; bits must hold."""
+
+    @staticmethod
+    def _evaluator():
+        import numpy as np
+
+        from repro.core.evaluator import MLPModelFactory, vanilla_evaluator
+
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(120, 6))
+        y = (X @ rng.normal(size=6) > 0).astype(int)
+        return vanilla_evaluator(
+            X, y, MLPModelFactory(task="classification", max_iter=5), task="classification"
+        )
+
+    @staticmethod
+    def _requests():
+        return [
+            TrialRequest(
+                config={"learning_rate_init": 1e-3 * (1 + i % 3), "alpha": 1e-4},
+                budget_fraction=0.5,
+                trial_id=i,
+                seed=500 + i,
+            )
+            for i in range(8)
+        ]
+
+    def test_resize_mid_rung_matches_serial_bitwise(self):
+        serial = SerialExecutor()
+        serial.bind(self._evaluator())
+        for request in self._requests():
+            serial.submit(request)
+        serial.flush_batch()  # serial path fuses the whole rung at once
+        reference = {}
+        while serial.pending():
+            trial_id, ok, result, _ = serial.wait_one()
+            assert ok
+            reference[trial_id] = (result.score, tuple(result.fold_scores))
+
+        with ParallelExecutor(
+            n_workers=2, min_workers=1, max_workers=3, transport="arena"
+        ) as executor:
+            executor.bind(self._evaluator())
+            resized = {}
+            requests = self._requests()
+            for i, request in enumerate(requests):
+                executor.submit(request)
+                if i == 3:
+                    executor.resize(3)  # grow mid-rung
+                if i == 6:
+                    executor.resize(1)  # shrink mid-rung
+            while executor.pending():
+                trial_id, ok, result, _ = executor.wait_one()
+                assert ok
+                resized[trial_id] = (result.score, tuple(result.fold_scores))
+        assert resized == reference

@@ -147,3 +147,38 @@ class TestSingleFaultProperty:
         outcome = run_plan("serve", CrashPlan.single(site, hit),
                            serve_reference.fingerprint, base_dir, keep_failed=False)
         assert outcome.passed, f"{site}#{hit}: {outcome.detail}"
+
+
+@pytest.fixture(scope="module")
+def hb_par_reference(base_dir):
+    return census_workload("hb-par", base_dir)
+
+
+class TestArenaLattice:
+    """The parallel workload adds the shared-memory data plane to the sweep."""
+
+    def test_census_covers_arena_and_pool_sites(self, hb_par_reference):
+        census = hb_par_reference.census
+        assert census.get("arena.attach", 0) >= 1
+        assert census.get("arena.create", 0) >= 3  # probe + X + y
+        assert census.get("arena.unlink", 0) >= 3
+        prefixes = {site.split(".")[0] for site in hb_par_reference.sites}
+        assert {"arena", "journal", "checkpoint", "engine", "executor"} <= prefixes
+
+    def test_same_fingerprint_as_serial_workload(self, hb_reference, hb_par_reference):
+        # The transport must never change the incumbent: parallel + arena
+        # == serial, bit for bit.
+        assert hb_par_reference.fingerprint == hb_reference.fingerprint
+
+    def test_every_arena_crash_schedule_resumes_bitwise(self, hb_par_reference, base_dir):
+        plans = single_fault_plans(
+            hb_par_reference,
+            sites=[s for s in hb_par_reference.sites if s.startswith("arena.")],
+        )
+        assert len(plans) >= 7
+        for plan in plans:
+            outcome = run_plan(
+                "hb-par", plan, hb_par_reference.fingerprint, base_dir,
+                keep_failed=False,
+            )
+            assert outcome.passed, f"{plan.describe()}: {outcome.detail}"

@@ -1,0 +1,227 @@
+"""Property-based equivalence sweep for rung-level mega-batching.
+
+``test_batched_properties.py`` proves the *per-trial* batched path is
+bitwise-equal to the sequential per-fold loop.  These sweeps prove the
+*cross-trial* mega-batch (``fit_mlp_trials``) is bitwise-equal to both,
+for random mixes of per-trial numeric hyperparameters sharing one
+architecture (the case lanes fuse across trials), warm-started lanes,
+and arbitrary partitions of a rung's trials into separate mega-batches —
+the exact regrouping a mid-rung worker resize induces.  They run in the
+``kernels`` tier (``pytest -m kernels``), outside tier-1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learners import MLPClassifier, MLPRegressor
+from repro.learners.batched import fit_mlp_folds, fit_mlp_trials
+
+from .test_batched import assert_models_identical, make_data
+
+pytestmark = pytest.mark.kernels
+
+HIDDEN = st.sampled_from([(4,), (8,), (6, 4)])
+SOLVERS = st.sampled_from(["sgd", "adam"])
+ACTIVATIONS = st.sampled_from(["relu", "tanh", "logistic"])
+LR_INITS = st.sampled_from([1e-3, 3e-3, 1e-2, 3e-2])
+ALPHAS = st.sampled_from([1e-5, 1e-4, 1e-2, 1.0])
+
+
+def _trial_kwargs(rng, n_trials, hidden, solver, activation):
+    """Per-trial configs: shared architecture, distinct numeric HPs."""
+    out = []
+    for _ in range(n_trials):
+        out.append(
+            dict(
+                hidden_layer_sizes=hidden,
+                solver=solver,
+                activation=activation,
+                learning_rate_init=float(rng.choice([1e-3, 3e-3, 1e-2, 3e-2])),
+                alpha=float(rng.choice([1e-5, 1e-4, 1e-2, 1.0])),
+                momentum=float(rng.choice([0.0, 0.5, 0.9])),
+                max_iter=10,
+            )
+        )
+    return out
+
+
+def _build_jobs(cls, task, per_trial_kwargs, n_folds, n, d, k, seed, copies=3):
+    """``copies`` identical nested job lists (same seeds, same fold data)."""
+    X, y = make_data(task, n, d, k, seed)
+    rng = np.random.default_rng(seed * 77 + 13)
+    fold_idx = [rng.choice(n, size=n // n_folds, replace=False) for _ in range(n_folds)]
+    builds = [[] for _ in range(copies)]
+    for t, kwargs in enumerate(per_trial_kwargs):
+        for build in builds:
+            build.append(
+                [
+                    (cls(random_state=seed + 100 * t + f, **kwargs), X[idx], y[idx])
+                    for f, idx in enumerate(fold_idx)
+                ]
+            )
+    return builds
+
+
+def _assert_trials_identical(trials_a, trials_b, tag):
+    for t, (jobs_a, jobs_b) in enumerate(zip(trials_a, trials_b)):
+        for f, ((model_a, _, _), (model_b, _, _)) in enumerate(zip(jobs_a, jobs_b)):
+            assert_models_identical(model_a, model_b, f"{tag}: trial {t} fold {f}")
+
+
+class TestMegaBatchSweep:
+    @given(
+        hidden=HIDDEN,
+        solver=SOLVERS,
+        activation=ACTIVATIONS,
+        n_trials=st.integers(min_value=2, max_value=4),
+        n_folds=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mega_equals_per_trial_equals_sequential(
+        self, hidden, solver, activation, n_trials, n_folds, seed
+    ):
+        rng = np.random.default_rng(seed)
+        kwargs = _trial_kwargs(rng, n_trials, hidden, solver, activation)
+        seq, per_trial, mega = _build_jobs(
+            MLPClassifier, "bin", kwargs, n_folds, n=90, d=5, k=2, seed=seed
+        )
+        for jobs in seq:
+            for model, Xf, yf in jobs:
+                model.fit(Xf, yf)
+        for jobs in per_trial:
+            fit_mlp_folds(jobs)
+        per_trial_stats, stats = fit_mlp_trials(mega)
+        _assert_trials_identical(mega, seq, "mega vs sequential")
+        _assert_trials_identical(mega, per_trial, "mega vs per-trial")
+        assert stats.trials == n_trials
+        assert stats.folds == n_trials * n_folds
+        assert sum(s.folds for s in per_trial_stats) == stats.folds
+        # Shared architecture + shared fold shapes: every lane fuses
+        # across trials, so occupancy is total whenever lanes stack.
+        if stats.batched_folds:
+            assert stats.fused_folds == stats.batched_folds
+            assert stats.occupancy == 1.0
+
+    @given(
+        solver=SOLVERS,
+        lr_init=LR_INITS,
+        n_trials=st.integers(min_value=2, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_regressor_divergence_bookkeeping_matches(self, solver, lr_init, n_trials, seed):
+        # Large lr_init provokes divergence in some draws; flags and NaN
+        # loss curves must agree bit for bit across all three paths.
+        kwargs = [
+            dict(hidden_layer_sizes=(6,), solver=solver, learning_rate_init=lr_init, max_iter=10)
+            for _ in range(n_trials)
+        ]
+        seq, per_trial, mega = _build_jobs(
+            MLPRegressor, "reg", kwargs, 3, n=80, d=5, k=0, seed=seed
+        )
+        for jobs in seq:
+            for model, Xf, yf in jobs:
+                model.fit(Xf, yf)
+        for jobs in per_trial:
+            fit_mlp_folds(jobs)
+        fit_mlp_trials(mega)
+        _assert_trials_identical(mega, seq, "mega vs sequential")
+        _assert_trials_identical(mega, per_trial, "mega vs per-trial")
+
+
+class TestWarmStartedLanes:
+    @given(
+        hidden=HIDDEN,
+        solver=SOLVERS,
+        warm_mask_seed=st.integers(min_value=0, max_value=1_000),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_warm_lanes_bitwise_equal(self, hidden, solver, warm_mask_seed, seed):
+        """Random folds warm-started from donors; cold and warm mix in lanes."""
+        n_trials, n_folds = 3, 3
+        kwargs = [
+            dict(
+                hidden_layer_sizes=hidden,
+                solver=solver,
+                learning_rate_init=1e-3 * (t + 1),
+                max_iter=8,
+            )
+            for t in range(n_trials)
+        ]
+        donor_jobs, seq, per_trial, mega = _build_jobs(
+            MLPClassifier, "bin", kwargs, n_folds, n=90, d=5, k=2, seed=seed, copies=4
+        )
+        # Donors: shorter fits of the same architectures provide states.
+        donors = {}
+        for t, jobs in enumerate(donor_jobs):
+            for f, (model, Xf, yf) in enumerate(jobs):
+                model.max_iter = 3
+                model.fit(Xf, yf)
+                donors[(t, f)] = (
+                    [c.copy() for c in model.coefs_],
+                    [i.copy() for i in model.intercepts_],
+                )
+        mask_rng = np.random.default_rng(warm_mask_seed)
+        warm_cells = {
+            (t, f)
+            for t in range(n_trials)
+            for f in range(n_folds)
+            if mask_rng.random() < 0.5
+        }
+        warms = [
+            {f: donors[(t, f)] for f in range(n_folds) if (t, f) in warm_cells} or None
+            for t in range(n_trials)
+        ]
+
+        for t, jobs in enumerate(seq):
+            for f, (model, Xf, yf) in enumerate(jobs):
+                if (t, f) in warm_cells:
+                    coefs, intercepts = donors[(t, f)]
+                    model.fit(Xf, yf, coefs_init=coefs, intercepts_init=intercepts)
+                else:
+                    model.fit(Xf, yf)
+        for t, jobs in enumerate(per_trial):
+            fit_mlp_folds(jobs, warm=warms[t])
+        _, stats = fit_mlp_trials(mega, warms=warms)
+        _assert_trials_identical(mega, seq, "warm mega vs sequential")
+        _assert_trials_identical(mega, per_trial, "warm mega vs per-trial")
+        assert stats.warm_folds == len(warm_cells)
+
+
+class TestMidRungResize:
+    @given(
+        hidden=HIDDEN,
+        solver=SOLVERS,
+        split_seed=st.integers(min_value=0, max_value=1_000),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_partitioned_megabatches_equal_single_megabatch(
+        self, hidden, solver, split_seed, seed
+    ):
+        """A mid-rung worker resize regroups trials into different
+        mega-batches; any partition must give the same bits as one batch."""
+        n_trials, n_folds = 4, 3
+        rng = np.random.default_rng(seed)
+        kwargs = _trial_kwargs(rng, n_trials, hidden, solver, "relu")
+        whole, parts = _build_jobs(
+            MLPClassifier, "bin", kwargs, n_folds, n=90, d=5, k=2, seed=seed, copies=2
+        )
+        fit_mlp_trials(whole)
+
+        split_rng = np.random.default_rng(split_seed)
+        cut_points = sorted(
+            split_rng.choice(range(1, n_trials), size=split_rng.integers(0, n_trials - 1), replace=False)
+        )
+        chunks, start = [], 0
+        for cut in list(cut_points) + [n_trials]:
+            chunks.append(parts[start:cut])
+            start = cut
+        for chunk in chunks:
+            if chunk:
+                fit_mlp_trials(chunk)
+        _assert_trials_identical(parts, whole, "partitioned vs single mega-batch")

@@ -147,3 +147,73 @@ class TestParsePrometheus:
     def test_rejects_unquoted_labels(self):
         with pytest.raises(ValueError):
             parse_prometheus("repro_x{a=1} 2\n")
+
+
+class TestServeFamiliesRungMetrics:
+    """The live-jobs section maps engine rung metrics onto labelled gauges."""
+
+    @staticmethod
+    def _daemon(registry):
+        from types import SimpleNamespace
+
+        record = SimpleNamespace(
+            job_id="job-1",
+            trials_done=4,
+            spec=SimpleNamespace(tenant="alice"),
+        )
+        telemetry = SimpleNamespace(registry=registry)
+        return SimpleNamespace(
+            draining=False,
+            degraded_reason=None,
+            n_workers=1,
+            recovered_jobs=0,
+            shed_jobs=0,
+            deduped_jobs=0,
+            registry=SimpleNamespace(all=lambda: [], tenants=lambda: {}, quarantined=0),
+            scheduler=SimpleNamespace(max_queued=8, snapshot=lambda: {}),
+            _active_connections=0,
+            connections_peak=0,
+            max_connections=4,
+            connections_rejected=0,
+            shared=SimpleNamespace(
+                stats=lambda: {
+                    "contexts": 0,
+                    "entries": 0,
+                    "hits": 0,
+                    "misses": 0,
+                    "hit_rate": 0.0,
+                    "checkpoint_contexts": 0,
+                    "checkpoints_stored": 0,
+                }
+            ),
+            live_jobs=SimpleNamespace(snapshot=lambda: [(record, telemetry)]),
+        )
+
+    def test_rung_occupancy_gauge_from_engine_gauges(self):
+        from repro.obs.prom import serve_families
+
+        registry = MetricsRegistry()
+        registry.inc("engine.rung_trials.b0.r1", 9)
+        registry.set_gauge("engine.rung_occupancy.b0.r1", 0.75)
+        registry.set_gauge("engine.rung_occupancy.b2.r0", 1.0)
+        registry.set_gauge("engine.some_other_gauge", 5.0)  # must not leak in
+
+        parsed = parse_prometheus(render(serve_families(self._daemon(registry))))
+        want = {"job_id": "job-1", "tenant": "alice"}
+        assert parsed["repro_job_rung_trials"] == [
+            ({**want, "bracket": "0", "rung": "1"}, 9.0)
+        ]
+        occupancy = sorted(
+            parsed["repro_job_rung_occupancy"],
+            key=lambda sample: (sample[0]["bracket"], sample[0]["rung"]),
+        )
+        assert occupancy == [
+            ({**want, "bracket": "0", "rung": "1"}, 0.75),
+            ({**want, "bracket": "2", "rung": "0"}, 1.0),
+        ]
+
+    def test_no_rung_gauges_yields_no_occupancy_samples(self):
+        from repro.obs.prom import serve_families
+
+        parsed = parse_prometheus(render(serve_families(self._daemon(MetricsRegistry()))))
+        assert "repro_job_rung_occupancy" not in parsed

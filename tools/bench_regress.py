@@ -54,6 +54,18 @@ GATES = [
     ("BENCH_kernels", "end_to_end_speedup",
      lambda d: d["end_to_end"]["speedup"],
      ">=", lambda d: d["end_to_end"]["target"]),
+    ("BENCH_kernels", "megabatch_hb_speedup",
+     lambda d: d["megabatch"]["end_to_end_hb"]["speedup_vs_sequential"],
+     ">=", lambda d: d["megabatch"]["end_to_end_hb"]["target"]),
+    ("BENCH_kernels", "sha_2worker_shm_speedup",
+     lambda d: d["shm_transport"]["sha_2worker"]["speedup_vs_serial"],
+     ">=", lambda d: d["shm_transport"]["sha_2worker"]["target"]),
+    ("BENCH_kernels", "megabatch_fingerprints_equal",
+     lambda d: (all(d["megabatch"]["end_to_end_hb"]["fingerprints_equal"].values())
+                and all(d["shm_transport"]["sha_2worker"]["fingerprints_equal"].values())),
+     "is", lambda d: True),
+    ("BENCH_kernels", "arena_bytes_shipped_ratio",
+     lambda d: d["shm_transport"]["zero_copy"]["bytes_shipped_ratio"], None, None),
     ("BENCH_serve", "checks_all_pass",
      lambda d: all(d["checks"].values()), "is", lambda d: True),
     ("BENCH_serve", "overlap_hit_rate",

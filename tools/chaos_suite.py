@@ -282,6 +282,114 @@ def scenario_sigkill_resume():
         return f"killed at {len(entries)}/{len(reference.trials)} trials, resume bitwise"
 
 
+_ARENA_RUN_SCRIPT = textwrap.dedent(
+    """
+    import json, sys
+    import numpy as np
+    from repro.bandit import SuccessiveHalving
+    from repro.core.evaluator import MLPModelFactory, vanilla_evaluator
+    from repro.engine import ParallelExecutor, TrialEngine
+    from repro.space import Categorical, SearchSpace
+
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 8))
+    y = (X @ rng.normal(size=8) > 0).astype(int)
+    space = SearchSpace([
+        Categorical("learning_rate_init", [1e-3, 3e-3, 1e-2, 3e-2]),
+        Categorical("alpha", [1e-4, 1e-2]),
+    ])
+    evaluator = vanilla_evaluator(
+        X, y, MLPModelFactory(task="classification", max_iter=30),
+        task="classification")
+    engine = TrialEngine(
+        executor=ParallelExecutor(n_workers=2, transport="arena"),
+        journal=sys.argv[1], retry_backoff=0.0)
+    result = SuccessiveHalving(space, evaluator, random_state=7,
+                               engine=engine).fit(configurations=space.grid())
+    engine.shutdown()
+    print(json.dumps([
+        (t.key, t.budget_fraction, t.result.score, t.iteration, t.bracket)
+        for t in result.trials]))
+    """
+)
+
+
+def scenario_arena_sigkill():
+    """SIGKILL a run holding shared-memory segments; resume reaps and finishes.
+
+    The run publishes its dataset into the ``/dev/shm`` arena, so a kill
+    mid-run leaks named segments with a dead owner pid.  The resumed leg
+    must (1) reap those orphans before publishing its own, (2) replay the
+    journal to the bitwise reference, and (3) unlink everything on clean
+    shutdown — zero arena segments with a dead owner survive the scenario.
+    """
+    from repro.engine import list_segments
+    from repro.engine.arena import _owner_pid, _pid_alive
+
+    def dead_owner_segments():
+        return [name for name in list_segments()
+                if _owner_pid(name) is not None and not _pid_alive(_owner_pid(name))]
+
+    env = {**os.environ,
+           "PYTHONPATH": "src" + os.pathsep + os.environ.get("PYTHONPATH", "")}
+    with tempfile.TemporaryDirectory() as tmp:
+        reference_wal = Path(tmp) / "reference.wal"
+        proc = subprocess.run(
+            [sys.executable, "-c", _ARENA_RUN_SCRIPT, str(reference_wal)],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, f"reference leg failed:\n{proc.stderr[-2000:]}"
+        reference = json.loads(proc.stdout.splitlines()[-1])
+
+        wal = Path(tmp) / "run.wal"
+        child = subprocess.Popen(
+            [sys.executable, "-c", _ARENA_RUN_SCRIPT, str(wal)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        try:
+            prefix = f"repro-arena-{child.pid}-"
+            deadline = time.monotonic() + 60.0
+            armed = False
+            def durable_entries():
+                # Parse, don't count raw lines: line 0 is the header and
+                # the tail may be torn mid-append.
+                if not wal.exists():
+                    return 0
+                try:
+                    _, entries, _ = RunJournal.read(wal)
+                except Exception:
+                    return 0
+                return len(entries)
+
+            while time.monotonic() < deadline:
+                published = any(s.startswith(prefix) for s in list_segments())
+                if published and durable_entries() >= 3:
+                    armed = True
+                    break
+                if child.poll() is not None:
+                    break
+                time.sleep(0.02)
+            assert armed, "child finished before segments + journal were observed"
+            os.kill(child.pid, signal.SIGKILL)
+        finally:
+            child.wait(timeout=30)
+
+        leaked = [s for s in dead_owner_segments() if s.startswith(prefix)]
+        assert leaked, "SIGKILL mid-run left no orphan segments to reap"
+
+        _, entries, _ = RunJournal.read(wal)
+        assert len(entries) >= 3, "kill was not mid-run"
+
+        proc = subprocess.run(
+            [sys.executable, "-c", _ARENA_RUN_SCRIPT, str(wal)],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, f"resume leg failed:\n{proc.stderr[-2000:]}"
+        resumed = json.loads(proc.stdout.splitlines()[-1])
+        assert resumed == reference, "arena SIGKILL resume diverged"
+        remaining = dead_owner_segments()
+        assert not remaining, f"leaked arena segments survived resume: {remaining}"
+        return (f"killed holding {len(leaked)} shm segments at "
+                f"{len(entries)}/{len(reference)} trials; resume reaped all, bitwise")
+
+
 def scenario_torn_journal():
     """A crash mid-append leaves a torn line: dropped, then overwritten."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -810,6 +918,7 @@ def build_scenarios(quick):
             ("crash-resume[asha]", lambda: scenario_crash_resume("asha")),
         ]
         scenarios.append(("sigkill-resume", scenario_sigkill_resume))
+        scenarios.append(("arena-sigkill", scenario_arena_sigkill))
         scenarios.append(("serve-sigkill", scenario_serve_sigkill))
         scenarios.append(("serve-sigkill-flightrec", scenario_serve_sigkill_flightrec))
         scenarios.extend([

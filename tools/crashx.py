@@ -54,7 +54,8 @@ def _parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--workload", action="append", choices=sorted(WORKLOAD_NAMES), default=None,
-        help="workload(s) to explore (default: hb and serve)",
+        help="workload(s) to explore (default: hb, hb-par and serve; the "
+             "hb-par sweep is restricted to arena.* sites unless --site is given)",
     )
     parser.add_argument(
         "--census-only", action="store_true",
@@ -101,7 +102,7 @@ def _parse_args(argv=None) -> argparse.Namespace:
 
 def main(argv=None) -> int:
     args = _parse_args(argv)
-    workloads = args.workload or ["hb", "serve"]
+    workloads = args.workload or ["hb", "hb-par", "serve"]
     base_dir = args.base_dir or Path(tempfile.mkdtemp(prefix="crashx-"))
     base_dir.mkdir(parents=True, exist_ok=True)
     own_base = args.base_dir is None
@@ -123,14 +124,25 @@ def main(argv=None) -> int:
                     print(f"   {site:42s} {reference.census[site]:5d}")
                 sections.append(summarize(reference, []))
                 continue
+            sites = args.site
+            if name == "hb-par" and sites is None:
+                # hb-par's census includes sites hit inside forked worker
+                # processes (executor.worker.*, executor.pre_megabatch); a
+                # crash scheduled there re-fires in every respawned worker
+                # at the same hit index — a crash loop, not a resumable
+                # schedule.  Sweep only the parent-resident arena sites by
+                # default; --site overrides.
+                sites = [site for site in reference.sites if site.startswith("arena.")]
+                print(f"   (sweep restricted to {len(sites)} arena.* sites; "
+                      f"pass --site to override)")
             plans = single_fault_plans(
                 reference,
-                sites=args.site,
+                sites=sites,
                 max_hits_per_site=args.max_hits_per_site,
                 action=args.action,
             )
             plans.extend(
-                pairwise_plans(reference, args.pairwise, seed=args.seed, sites=args.site)
+                pairwise_plans(reference, args.pairwise, seed=args.seed, sites=sites)
             )
             print(f"== {name}: exploring {len(plans)} schedules ==", flush=True)
 

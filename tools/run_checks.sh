@@ -4,7 +4,7 @@
 #      deselected by pyproject addopts)
 #   2. guard tier (data-integrity layer + corrupted-data chaos scenario)
 #   3. kernels tier (exhaustive batched-kernel property sweeps + the
-#      fold-loop microbench gate)
+#      fold-loop and rung-level mega-batch microbench gates)
 #   4. telemetry tier (trace-file tests + tracing/profiling overhead bench)
 #   5. serve tier (service-daemon end-to-end tests + two-tenant burst
 #      bench smoke)
@@ -41,10 +41,12 @@ print("corrupted-data[sha+]:", module.scenario_corrupted_data("sha+"))
 EOF
 
 echo
-echo "== kernels tier: pytest -m kernels + fold-loop microbench =="
+echo "== kernels tier: pytest -m kernels + fold-loop/rung microbenches =="
 python -m pytest -q -m kernels
 python tools/bench_kernels.py --skip-e2e \
     --out "$(mktemp -t BENCH_kernels_check.XXXXXX.json)"
+python tools/bench_megabatch.py --skip-e2e \
+    --out "$(mktemp -t BENCH_megabatch_check.XXXXXX.json)"
 
 echo
 echo "== telemetry tier: pytest -m telemetry + overhead bench =="
@@ -66,13 +68,15 @@ echo "== chaos tier: pytest -m chaos =="
 python -m pytest -q -m chaos
 
 echo
-echo "== chaos suite smoke: tools/chaos_suite.py --quick =="
+echo "== chaos suite smoke: tools/chaos_suite.py --quick + arena SIGKILL leak check =="
 python tools/chaos_suite.py --quick
+python tools/chaos_suite.py --only arena-sigkill
 
 echo
 echo "== crashx tier: pytest -m faults + bounded schedule sweep =="
 python -m pytest -q -m faults
-python tools/crashx.py --workload toy --workload hb --max-hits-per-site 2 --jobs 2
+python tools/crashx.py --workload toy --workload hb --workload hb-par \
+    --max-hits-per-site 2 --jobs 2
 
 echo
 echo "== obs tier: pytest -m obs + SIGKILL flight-recorder scenario + bench smoke =="
